@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the cluster simulator's collective models and
+//! the numerically-real compressed all-reduce.
+
+use actcomp_compress::{AutoEncoder, Compressor, Identity, TopK};
+use actcomp_distsim::collective::{allgather_time, allreduce_time};
+use actcomp_distsim::LinkSpec;
+use actcomp_mp::CompressedAllReduce;
+use actcomp_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let link = LinkSpec::nvlink();
+    c.bench_function("allreduce_cost_model", |b| {
+        b.iter(|| allreduce_time(&link, 4, 33_554_432))
+    });
+    c.bench_function("allgather_cost_model", |b| {
+        b.iter(|| allgather_time(&link, 4, 1_638_400))
+    });
+}
+
+fn bench_real_reduce(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let partials: Vec<_> = (0..4).map(|_| init::randn(&mut rng, [64, 64], 1.0)).collect();
+
+    let mut id_reduce = CompressedAllReduce::new(
+        (0..4).map(|_| Box::new(Identity::new()) as Box<dyn Compressor>).collect(),
+    );
+    c.bench_function("reduce_identity_4x4096", |b| {
+        b.iter(|| id_reduce.forward(&partials))
+    });
+
+    let mut ae_reduce = CompressedAllReduce::new(
+        (0..4)
+            .map(|_| {
+                let mut r = ChaCha8Rng::seed_from_u64(1);
+                Box::new(AutoEncoder::new(&mut r, 64, 6)) as Box<dyn Compressor>
+            })
+            .collect(),
+    );
+    c.bench_function("reduce_ae_4x4096", |b| b.iter(|| ae_reduce.forward(&partials)));
+
+    let mut tk_reduce = CompressedAllReduce::new(
+        (0..4).map(|_| Box::new(TopK::new(200)) as Box<dyn Compressor>).collect(),
+    );
+    c.bench_function("reduce_topk_4x4096", |b| b.iter(|| tk_reduce.forward(&partials)));
+}
+
+criterion_group!(benches, bench_cost_models, bench_real_reduce);
+criterion_main!(benches);

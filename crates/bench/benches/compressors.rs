@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the compression kernels — the real
+//! arithmetic counterpart of the paper's encode/decode cost measurements
+//! (Table 4's Enc/Dec columns).
+
+use actcomp_compress::{AutoEncoder, Compressor, Identity, Quantizer, RandomK, TopK};
+use actcomp_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn activation(elems: usize) -> Tensor {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    init::randn(&mut rng, [elems / 64, 64], 1.0)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for &n in &[4096usize, 65_536, 262_144] {
+        let x = activation(n);
+        group.throughput(Throughput::Elements(n as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut compressors: Vec<(&str, Box<dyn Compressor>)> = vec![
+            ("identity", Box::new(Identity::new())),
+            ("ae", Box::new(AutoEncoder::new(&mut rng, 64, 6))),
+            ("topk", Box::new(TopK::new(n / 20))),
+            ("randk", Box::new(RandomK::new(n / 20, 7))),
+            ("quant2", Box::new(Quantizer::new(2))),
+            ("quant8", Box::new(Quantizer::new(8))),
+        ];
+        for (name, comp) in &mut compressors {
+            group.bench_with_input(BenchmarkId::new(*name, n), &x, |b, x| {
+                b.iter(|| comp.compress(x))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_trip");
+    let n = 65_536;
+    let x = activation(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut compressors: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("ae", Box::new(AutoEncoder::new(&mut rng, 64, 6))),
+        ("topk", Box::new(TopK::new(n / 20))),
+        ("quant4", Box::new(Quantizer::new(4))),
+    ];
+    for (name, comp) in &mut compressors {
+        group.bench_function(*name, |b| b.iter(|| comp.round_trip(&x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the tensor kernels backing the training stack.
+
+use actcomp_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let a = init::randn(&mut rng, [n, n], 1.0);
+        let b = init::randn(&mut rng, [n, n], 1.0);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("nn", n), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| a.matmul(b))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| a.matmul_tn(b))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| a.matmul_nt(b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_and_svd(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let x = init::randn(&mut rng, [128, 128], 1.0);
+    c.bench_function("softmax_rows_128", |b| b.iter(|| x.softmax_rows()));
+    let small = init::randn(&mut rng, [32, 32], 1.0);
+    c.bench_function("jacobi_svd_32", |b| {
+        b.iter(|| actcomp_tensor::linalg::singular_values(&small))
+    });
+    let _ = Tensor::ones([1]);
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax_and_svd);
+criterion_main!(benches);

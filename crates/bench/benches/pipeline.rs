@@ -1,0 +1,27 @@
+//! Criterion benchmarks of the pipeline-schedule simulator and the full
+//! iteration model.
+
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::throughput::{finetune_breakdown, pretrain_breakdown, Machine};
+use actcomp_distsim::pipeline::{simulate_gpipe, BoundaryTiming, StageTiming};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_gpipe(c: &mut Criterion) {
+    let stages = vec![StageTiming { fwd_s: 0.05, bwd_s: 0.06 }; 8];
+    let boundaries = vec![BoundaryTiming { fwd_s: 0.01, bwd_s: 0.01 }; 7];
+    c.bench_function("gpipe_8stages_64mb", |b| {
+        b.iter(|| simulate_gpipe(&stages, &boundaries, 64))
+    });
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    c.bench_function("iteration_finetune", |b| {
+        b.iter(|| finetune_breakdown(Machine::LocalPcie, 2, 2, 32, 512, CompressorSpec::A1))
+    });
+    c.bench_function("iteration_pretrain", |b| {
+        b.iter(|| pretrain_breakdown(4, 4, CompressorSpec::A2))
+    });
+}
+
+criterion_group!(benches, bench_gpipe, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: the memory axis the paper leaves unmeasured — per-GPU
+//! activation stash under GPipe vs 1F1B, with and without compressed
+//! boundaries.
+
+use actcomp_bench::util;
+use actcomp_compress::plan::CompressionPlan;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::report::Table;
+use actcomp_distsim::memory::{activation_memory, peak_activation_bytes, Schedule};
+use actcomp_distsim::workload::ModelShape;
+use actcomp_distsim::Parallelism;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let model = ModelShape::bert_large();
+    let par = Parallelism::new(4, 4);
+    let mut table = Table::new(
+        "Ablation — peak per-GPU activation memory (pre-train, TP=4 PP=4, m=8)",
+        ["schedule", "compression", "peak activation (GB)", "last-stage (GB)"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+    for (sched_name, sched) in [("GPipe", Schedule::GPipe), ("1F1B", Schedule::OneFOneB)] {
+        for (plan_name, plan) in [
+            ("w/o", CompressionPlan::none()),
+            ("A1 (last 12)", CompressionPlan::last_layers(CompressorSpec::A1, 24, 12)),
+        ] {
+            let stages = activation_memory(&model, par, 128, 128, 8, sched, &plan);
+            let peak = peak_activation_bytes(&stages) as f64 / 1e9;
+            let last = stages.last().expect("stages").activation_bytes as f64 / 1e9;
+            table.push_row(vec![
+                sched_name.into(),
+                plan_name.into(),
+                format!("{peak:.2}"),
+                format!("{last:.2}"),
+            ]);
+            records.push(util::record(
+                "ablation_memory",
+                format!("{sched_name} {plan_name}"),
+                None,
+                peak,
+                "GB",
+            ));
+        }
+    }
+    util::emit(&opts, "ablation_memory", &table, &records);
+    println!(
+        "1F1B's bounded stash is why Megatron runs it despite equal \
+         makespan. Compressing the LAST 12 layers shrinks the late stages' \
+         stash but not the peak — the peak lives on stage 0, whose layers \
+         are uncompressed (the same early-layer placement that §4.5 shows \
+         is accuracy-critical). Memory relief would require compressing \
+         early layers, exactly where accuracy cannot afford it."
+    );
+}

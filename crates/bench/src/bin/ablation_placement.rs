@@ -1,0 +1,48 @@
+//! Ablation: why tensor parallelism must stay inside the node (the
+//! mechanism behind Table 6's catastrophic TP=8 row, and Narayanan et
+//! al.'s placement rule the paper follows). Sweeps (TP, PP) factorizations
+//! of 16 GPUs and attributes the cost.
+
+use actcomp_bench::util;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::report::Table;
+use actcomp_core::throughput::pretrain_breakdown;
+use actcomp_distsim::{ClusterSpec, Parallelism};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let cluster = ClusterSpec::p3_cluster(4);
+    let mut table = Table::new(
+        "Ablation — (TP, PP) placement on 4x4 GPUs (pre-train, uncompressed)",
+        ["setting", "TP spans nodes?", "total (ms)", "tensor comm (ms)", "wait & PP (ms)"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+    for (tp, pp) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)] {
+        let b = pretrain_breakdown(tp, pp, CompressorSpec::Baseline);
+        let placement = cluster.place(Parallelism::new(tp, pp));
+        let crosses = placement.tp_crosses_nodes(&cluster);
+        table.push_row(vec![
+            format!("TP={tp}, PP={pp}"),
+            if crosses { "YES" } else { "no" }.into(),
+            format!("{:.0}", b.total_ms),
+            format!("{:.0}", b.tensor_comm_ms),
+            format!("{:.0}", b.wait_pp_ms),
+        ]);
+        records.push(util::record(
+            "ablation_placement",
+            format!("TP={tp},PP={pp}"),
+            None,
+            b.total_ms,
+            "ms",
+        ));
+    }
+    util::emit(&opts, "ablation_placement", &table, &records);
+    println!(
+        "The moment the TP group crosses the 10 Gbps boundary (TP=8, TP=16), \
+         per-layer all-reduces land on the slow fabric and iteration time \
+         explodes — Table 6's TP=8 row, isolated."
+    );
+}

@@ -1,0 +1,52 @@
+//! Ablation: GPipe flush vs 1F1B (Megatron's schedule) under the paper's
+//! pre-training stage timings — confirming the schedule choice does not
+//! confound the compression comparison (equal makespan; only memory
+//! differs, which the study doesn't measure).
+
+use actcomp_bench::util;
+use actcomp_core::report::Table;
+use actcomp_distsim::pipeline::{simulate_gpipe, BoundaryTiming, StageTiming};
+use actcomp_distsim::schedule::simulate_1f1b;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut table = Table::new(
+        "Ablation — GPipe vs 1F1B makespan (uniform stages + paper-like timings)",
+        ["config", "GPipe (ms)", "1F1B (ms)", "delta"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+    let cases = [
+        ("p=4 m=8 (pre-train shape)", 4usize, 8usize, 59.8e-3, 65.4e-3, 44.8e-3),
+        ("p=4 m=32", 4, 32, 59.8e-3, 65.4e-3, 44.8e-3),
+        ("p=8 m=8", 8, 8, 30.0e-3, 33.0e-3, 44.8e-3),
+        ("p=2 m=1 (fine-tune shape)", 2, 1, 150.0e-3, 200.0e-3, 3.0e-3),
+    ];
+    for (label, p, m, tf, tb, comm) in cases {
+        let stages = vec![StageTiming { fwd_s: tf, bwd_s: tb }; p];
+        let bounds = vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1];
+        let g = simulate_gpipe(&stages, &bounds, m).makespan_s * 1e3;
+        let f = simulate_1f1b(&stages, &bounds, m).makespan_s * 1e3;
+        table.push_row(vec![
+            label.to_string(),
+            format!("{g:.1}"),
+            format!("{f:.1}"),
+            format!("{:+.2}%", 100.0 * (f - g) / g),
+        ]);
+        records.push(util::record("ablation_schedule", format!("{label} gpipe"), None, g, "ms"));
+        records.push(util::record("ablation_schedule", format!("{label} 1f1b"), None, f, "ms"));
+    }
+    util::emit(&opts, "ablation_schedule", &table, &records);
+    println!(
+        "With zero-cost boundaries the two schedules' makespans coincide \
+         exactly (the textbook same-bubble result; see schedule tests). \
+         With *blocking* stage transfers — what this simulator models — \
+         1F1B pays the boundary latency inside every steady-state cycle \
+         while GPipe's phase separation pipelines it, so GPipe reads \
+         faster here. Real Megatron overlaps sends, landing in between; \
+         either way the schedule applies equally to every compressor, so \
+         it does not confound the paper's comparisons."
+    );
+}

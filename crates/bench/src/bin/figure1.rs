@@ -1,0 +1,25 @@
+//! Figure 1 — communication overhead of model parallelism on BERT-Large
+//! with 4 GPUs across (batch, seq) settings.
+
+use actcomp_bench::util;
+use actcomp_core::report::Table;
+use actcomp_core::throughput::comm_overhead_fraction;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut table = Table::new(
+        "Figure 1 — fraction of iteration time in model-parallel communication (TP=4)",
+        ["(batch, seq)", "comm fraction"].into_iter().map(String::from).collect(),
+    );
+    let mut records = Vec::new();
+    for (b, s) in [(8, 128), (8, 512), (16, 128), (16, 512), (32, 128), (32, 512)] {
+        let f = comm_overhead_fraction(b, s);
+        table.push_row(vec![format!("({b}, {s})"), format!("{:.1}%", 100.0 * f)]);
+        records.push(util::record("figure1", format!("b={b},s={s}"), None, f, "fraction"));
+    }
+    util::emit(&opts, "figure1", &table, &records);
+    println!(
+        "Paper's point: communication is a major share of iteration time \
+         across settings, motivating compression."
+    );
+}

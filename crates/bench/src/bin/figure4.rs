@@ -1,0 +1,90 @@
+//! Figure 4 — fine-tuning accuracy on CoLA and RTE while (a) varying the
+//! number of compressed layers and (b) sliding the compression window
+//! (§4.5: early layers are the sensitive ones).
+
+use actcomp_bench::util;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::report::Table;
+use actcomp_core::{accuracy, AccuracyConfig};
+use actcomp_data::GlueTask;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let spec = CompressorSpec::A2;
+    let layers = AccuracyConfig::paper_default().bert.layers;
+    let tasks = [GlueTask::Cola, GlueTask::Rte];
+    let mut records = Vec::new();
+
+    // (a) compress the LAST k layers, k = 1..layers.
+    let counts: Vec<usize> = if opts.quick {
+        vec![2, layers / 2, layers]
+    } else {
+        (1..=layers).collect()
+    };
+    let mut ta = Table::new(
+        "Figure 4a — accuracy vs number of (last) layers compressed (A2)",
+        ["layers compressed", "CoLA", "RTE"].into_iter().map(String::from).collect(),
+    );
+    for &k in &counts {
+        let mut row = vec![k.to_string()];
+        for task in tasks {
+            let mut cfg = AccuracyConfig::paper_default()
+                .with_spec(spec)
+                .with_window(layers - k, k);
+            if let Some(steps) = opts.steps {
+                cfg.steps = steps;
+            }
+            let r = accuracy::finetune(&cfg, task);
+            eprintln!("  [last {k} layers, {}] {:.1}", task.name(), r.score);
+            row.push(format!("{:.1}", r.score));
+            records.push(util::record(
+                "figure4a",
+                format!("last{k} {}", task.name()),
+                None,
+                r.score,
+                "score",
+            ));
+        }
+        ta.push_row(row);
+    }
+    println!("{ta}");
+
+    // (b) fixed window size (half the stack), sliding start position.
+    let window = layers / 2;
+    let starts: Vec<usize> = if opts.quick {
+        vec![0, layers - window]
+    } else {
+        (0..=layers - window).collect()
+    };
+    let mut tb = Table::new(
+        "Figure 4b — accuracy vs compression location (A2, fixed window)",
+        ["first layer compressed", "CoLA", "RTE"].into_iter().map(String::from).collect(),
+    );
+    for &start in &starts {
+        let mut row = vec![start.to_string()];
+        for task in tasks {
+            let mut cfg = AccuracyConfig::paper_default()
+                .with_spec(spec)
+                .with_window(start, window);
+            if let Some(steps) = opts.steps {
+                cfg.steps = steps;
+            }
+            let r = accuracy::finetune(&cfg, task);
+            eprintln!("  [window @{start}, {}] {:.1}", task.name(), r.score);
+            row.push(format!("{:.1}", r.score));
+            records.push(util::record(
+                "figure4b",
+                format!("start{start} {}", task.name()),
+                None,
+                r.score,
+                "score",
+            ));
+        }
+        tb.push_row(row);
+    }
+    util::emit(&opts, "figure4", &tb, &records);
+    println!(
+        "Paper's Takeaways 6–7: accuracy decreases with more compressed \
+         layers, and compressing the EARLY layers hurts most."
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates every table and figure, writing JSON records and a
+//! markdown summary under `results/`.
+//!
+//! Usage: `run_all [--quick] [--steps N] [--out DIR] [--throughput-only]`
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let throughput_only = args.iter().any(|a| a == "--throughput-only");
+    let forwarded: Vec<&String> = args
+        .iter()
+        .filter(|a| *a != "--throughput-only")
+        .collect();
+
+    let throughput = [
+        "figure1", "table2", "table3", "table4", "table6", "table7", "table9", "table10",
+        "table11_14", "figure5", "ablation_bandwidth", "ablation_schedule",
+        "ablation_placement", "ablation_memory",
+    ];
+    let accuracy = ["figure2", "table5", "table8", "figure4", "table15_16", "ablation_lowrank", "ablation_ef"];
+
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+
+    let mut failed = Vec::new();
+    let bins: Vec<&str> = if throughput_only {
+        throughput.to_vec()
+    } else {
+        throughput.iter().chain(accuracy.iter()).copied().collect()
+    };
+    for bin in bins {
+        println!("==================== {bin} ====================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(forwarded.iter().map(|s| s.as_str()))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll harnesses completed. Records under results/.");
+    } else {
+        eprintln!("\nFailed harnesses: {failed:?}");
+        std::process::exit(1);
+    }
+}

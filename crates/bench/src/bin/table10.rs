@@ -1,0 +1,42 @@
+//! Table 10 — weak-scaling speedup of AE compression (Eq. 3) over the
+//! Megatron scaling configurations.
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_perfmodel::scaling::{paper_bandwidth_elems, table10_configs};
+use actcomp_perfmodel::{weak_scaling, PerfCoefficients};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let rows = weak_scaling(
+        &PerfCoefficients::paper(),
+        &table10_configs(),
+        paper_bandwidth_elems(),
+    );
+    let mut table = Table::new(
+        "Table 10 — weak-scaling speedup [ours (paper)]",
+        ["hidden", "layers", "nodes", "batch", "speedup"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+    for (row, (h, paper_speedup)) in rows.iter().zip(paper::table10()) {
+        assert_eq!(row.config.hidden, h);
+        table.push_row(vec![
+            row.config.hidden.to_string(),
+            row.config.layers.to_string(),
+            row.config.nodes.to_string(),
+            row.config.batch.to_string(),
+            format!("{:.2}x ({paper_speedup:.2}x)", row.speedup),
+        ]);
+        records.push(util::record(
+            "table10",
+            format!("h={h}"),
+            Some(paper_speedup),
+            row.speedup,
+            "ratio",
+        ));
+    }
+    util::emit(&opts, "table10", &table, &records);
+}

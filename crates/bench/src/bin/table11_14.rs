@@ -1,0 +1,72 @@
+//! Tables 11–14 — fine-tuning iteration time at smaller batch/sequence
+//! settings, on both machines (the §4.6 hyper-parameter study: small
+//! messages erase compression's benefit).
+
+use actcomp_bench::{paper, util};
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::report::Table;
+use actcomp_core::throughput::{finetune_breakdown, Machine};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut records = Vec::new();
+    let specs = [
+        CompressorSpec::Baseline,
+        CompressorSpec::A1,
+        CompressorSpec::A2,
+        CompressorSpec::T1,
+        CompressorSpec::R1,
+        CompressorSpec::Q1,
+        CompressorSpec::Q3,
+    ];
+
+    for ((nvlink, batch, seq), baselines) in paper::tables11_14_baselines() {
+        let machine = if nvlink { Machine::AwsP3 } else { Machine::LocalPcie };
+        let label = format!(
+            "Tables 11–14 — fine-tune time (ms), {} b={batch} s={seq} [ours (paper baseline)]",
+            if nvlink { "NVLink" } else { "no NVLink" }
+        );
+        let mut header = vec!["Setting".to_string()];
+        header.extend(specs.iter().map(|s| s.label().to_string()));
+        let mut table = Table::new(label, header);
+
+        for ((tp, pp), paper_baseline) in baselines {
+            let mut row = vec![format!("TP={tp}, PP={pp}")];
+            for spec in &specs {
+                let b = finetune_breakdown(machine, tp, pp, batch, seq, *spec);
+                let paper_val =
+                    (*spec == CompressorSpec::Baseline).then_some(paper_baseline);
+                row.push(util::vs(b.total_ms, paper_val));
+                records.push(util::record(
+                    "table11_14",
+                    format!(
+                        "{} b={batch},s={seq} TP={tp},PP={pp} {spec}",
+                        if nvlink { "NVLink" } else { "PCIe" }
+                    ),
+                    paper_val,
+                    b.total_ms,
+                    "ms",
+                ));
+            }
+            table.push_row(row);
+        }
+        println!("{table}");
+
+        // Takeaway 8 check: at these small settings no compressor should
+        // beat the baseline meaningfully.
+        for (tp, pp) in [(2usize, 2usize), (4, 1)] {
+            let base = finetune_breakdown(machine, tp, pp, batch, seq, CompressorSpec::Baseline);
+            let a1 = finetune_breakdown(machine, tp, pp, batch, seq, CompressorSpec::A1);
+            let gain = 100.0 * (base.total_ms - a1.total_ms) / base.total_ms;
+            println!(
+                "  Takeaway 8 ({} b={batch} s={seq} TP={tp},PP={pp}): A1 gain {gain:+.1}%",
+                if nvlink { "NVLink" } else { "PCIe" }
+            );
+        }
+        println!();
+    }
+    let path = opts.out_dir.join("table11_14.json");
+    if let Err(e) = actcomp_core::report::write_records(&path, &records) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

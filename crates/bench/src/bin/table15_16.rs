@@ -1,0 +1,61 @@
+//! Tables 15–16 — fine-tuning GLUE scores at reduced batch/sequence
+//! settings (appendix A): batch 32 and batch 8 at the short sequence
+//! length.
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::{accuracy, AccuracyConfig};
+use actcomp_data::GlueTask;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut records = Vec::new();
+
+    // The paper's (b=32, s=128) and (b=8, s=128) map onto the scaled
+    // model as (16, 12) and (8, 12): same relative reduction from the
+    // default (16, 24).
+    let settings = [
+        ("Table 15 (b=32→16, s=128→12)", 16usize, 12usize, paper::table15()),
+        ("Table 16 (b=8, s=128→12)", 8, 12, paper::table16()),
+    ];
+
+    for (title, batch, seq, paper_rows) in settings {
+        let mut rows = paper_rows;
+        if opts.quick {
+            rows.truncate(3);
+        }
+        let mut header = vec!["Algo".to_string()];
+        header.extend(GlueTask::all().iter().map(|t| t.name().to_string()));
+        header.push("Avg.".into());
+        let mut table = Table::new(format!("{title} [ours (paper)]"), header);
+
+        for (spec, paper_scores) in rows {
+            let mut cfg = AccuracyConfig::paper_default().with_spec(spec);
+            cfg.batch = batch;
+            cfg.seq = seq;
+            if let Some(steps) = opts.steps {
+                cfg.steps = steps;
+            }
+            let results = accuracy::glue_suite(&cfg);
+            let mut row = vec![spec.label().to_string()];
+            for (i, r) in results.iter().enumerate() {
+                row.push(util::vs(r.score, Some(paper_scores[i])));
+                records.push(util::record(
+                    "table15_16",
+                    format!("b={batch},s={seq} {spec} {}", r.task.name()),
+                    Some(paper_scores[i]),
+                    r.score,
+                    "score",
+                ));
+                eprintln!("  [b={batch} {spec} {}] {:.1}", r.task.name(), r.score);
+            }
+            row.push(format!("{:.1}", accuracy::average(&results)));
+            table.push_row(row);
+        }
+        println!("{table}");
+    }
+    let path = opts.out_dir.join("table15_16.json");
+    if let Err(e) = actcomp_core::report::write_records(&path, &records) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

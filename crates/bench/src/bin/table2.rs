@@ -1,0 +1,34 @@
+//! Table 2 — fine-tuning iteration time (ms) on the NVLink machine,
+//! b=32, s=512, across (TP, PP) and all compression settings.
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::throughput::{finetune_breakdown, Machine};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut header = vec!["Distributed Setting".to_string()];
+    header.extend(paper::TIMING_SPECS.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(
+        "Table 2 — fine-tune iteration time (ms), NVLink, b=32 s=512 [ours (paper)]",
+        header,
+    );
+    let mut records = Vec::new();
+
+    for ((tp, pp), paper_row) in paper::table2() {
+        let mut row = vec![format!("TP={tp}, PP={pp}")];
+        for (spec, paper_val) in paper::TIMING_SPECS.iter().zip(paper_row) {
+            let b = finetune_breakdown(Machine::AwsP3, tp, pp, 32, 512, *spec);
+            row.push(util::vs(b.total_ms, paper_val));
+            records.push(util::record(
+                "table2",
+                format!("TP={tp},PP={pp} {spec}"),
+                paper_val,
+                b.total_ms,
+                "ms",
+            ));
+        }
+        table.push_row(row);
+    }
+    util::emit(&opts, "table2", &table, &records);
+}

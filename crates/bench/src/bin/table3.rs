@@ -1,0 +1,59 @@
+//! Table 3 — fine-tuning iteration time with vs. without NVLink,
+//! uncompressed vs. A1/A2 (the paper's headline 17.8% AE speedup).
+
+use actcomp_bench::{paper, util};
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::report::Table;
+use actcomp_core::throughput::{finetune_breakdown, Machine};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut table = Table::new(
+        "Table 3 — fine-tune iteration time (ms), with/without NVLink [ours (paper)]",
+        vec![
+            "Machine".into(),
+            "Setting".into(),
+            "w/o".into(),
+            "A1".into(),
+            "A2".into(),
+            "best speedup".into(),
+        ],
+    );
+    let mut records = Vec::new();
+
+    for (nvlink, (tp, pp), paper_vals) in paper::table3() {
+        let machine = if nvlink {
+            Machine::AwsP3
+        } else {
+            Machine::LocalPcie
+        };
+        let specs = [CompressorSpec::Baseline, CompressorSpec::A1, CompressorSpec::A2];
+        let ours: Vec<f64> = specs
+            .iter()
+            .map(|s| finetune_breakdown(machine, tp, pp, 32, 512, *s).total_ms)
+            .collect();
+        for ((spec, our), paper_val) in specs.iter().zip(&ours).zip(paper_vals) {
+            records.push(util::record(
+                "table3",
+                format!("{} TP={tp},PP={pp} {spec}", if nvlink { "NVLink" } else { "PCIe" }),
+                Some(paper_val),
+                *our,
+                "ms",
+            ));
+        }
+        let speedup = ours[0] / ours[1].min(ours[2]);
+        table.push_row(vec![
+            if nvlink { "With NVLink" } else { "Without NVLink" }.into(),
+            format!("TP={tp}, PP={pp}"),
+            util::vs(ours[0], Some(paper_vals[0])),
+            util::vs(ours[1], Some(paper_vals[1])),
+            util::vs(ours[2], Some(paper_vals[2])),
+            format!("{speedup:.3}x"),
+        ]);
+    }
+    util::emit(&opts, "table3", &table, &records);
+    println!(
+        "Paper headline: up to 17.8% end-to-end AE speedup without NVLink; \
+         no meaningful speedup with NVLink."
+    );
+}

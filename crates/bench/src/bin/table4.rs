@@ -1,0 +1,47 @@
+//! Table 4 — fine-tuning iteration breakdown (TP=2, PP=2, no NVLink):
+//! forward / backward / optimizer / waiting / total, plus the tensor
+//! encode / decode / communication components inside the forward step.
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::throughput::{finetune_breakdown, Machine};
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut table = Table::new(
+        "Table 4 — fine-tune breakdown (ms), TP=2 PP=2, no NVLink [ours (paper)]",
+        ["Algo", "Forward", "Backward", "Optimizer", "Wait&PP", "Total", "Enc", "Dec", "Comm"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+
+    for (spec, prow) in paper::table4() {
+        let b = finetune_breakdown(Machine::LocalPcie, 2, 2, 32, 512, spec);
+        let ours = [
+            b.forward_ms,
+            b.backward_ms,
+            b.optimizer_ms,
+            b.wait_pp_ms,
+            b.total_ms,
+            b.tensor_enc_ms,
+            b.tensor_dec_ms,
+            b.tensor_comm_ms,
+        ];
+        let mut row = vec![spec.label().to_string()];
+        let names = ["forward", "backward", "optimizer", "wait", "total", "enc", "dec", "comm"];
+        for ((our, paper_val), name) in ours.iter().zip(prow).zip(names) {
+            row.push(util::vs(*our, paper_val));
+            records.push(util::record(
+                "table4",
+                format!("{spec} {name}"),
+                paper_val,
+                *our,
+                "ms",
+            ));
+        }
+        table.push_row(row);
+    }
+    util::emit(&opts, "table4", &table, &records);
+}

@@ -1,0 +1,53 @@
+//! Table 5 — fine-tuning GLUE scores under each compression setting
+//! (TP=2, PP=2). Real training through the model-parallel stack on the
+//! synthetic GLUE suite.
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::{accuracy, AccuracyConfig};
+use actcomp_data::GlueTask;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut specs: Vec<_> = paper::table5().into_iter().map(|(s, p)| (s, Some(p))).collect();
+    if opts.quick {
+        specs.truncate(4);
+    }
+
+    let mut header = vec!["Algo".to_string()];
+    header.extend(GlueTask::all().iter().map(|t| t.name().to_string()));
+    header.push("Avg.".into());
+    let mut table = Table::new(
+        "Table 5 — fine-tune GLUE scores, TP=2 PP=2 [ours (paper)]",
+        header,
+    );
+    let mut records = Vec::new();
+
+    for (spec, paper_scores) in specs {
+        let mut cfg = AccuracyConfig::paper_default().with_spec(spec);
+        if let Some(steps) = opts.steps {
+            cfg.steps = steps;
+        }
+        let results = accuracy::glue_suite(&cfg);
+        let mut row = vec![spec.label().to_string()];
+        for (i, r) in results.iter().enumerate() {
+            let p = paper_scores.map(|ps| ps[i]);
+            row.push(util::vs(r.score, p));
+            records.push(util::record(
+                "table5",
+                format!("{spec} {}", r.task.name()),
+                p,
+                r.score,
+                "score",
+            ));
+            eprintln!("  [{spec} {}] {:.1}", r.task.name(), r.score);
+        }
+        row.push(format!("{:.1}", accuracy::average(&results)));
+        table.push_row(row);
+    }
+    util::emit(&opts, "table5", &table, &records);
+    println!(
+        "Paper's Takeaway 2: only AE and quantization preserve accuracy; \
+         Top-K/Random-K lose it, worst on CoLA and RTE."
+    );
+}

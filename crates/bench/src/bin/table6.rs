@@ -1,0 +1,34 @@
+//! Table 6 — pre-training iteration time (ms): 4 p3.8xlarge nodes,
+//! micro-batch 128, global batch 1024, s=128, across (TP, PP).
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::throughput::pretrain_breakdown;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut header = vec!["Distributed Setting".to_string()];
+    header.extend(paper::TIMING_SPECS.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(
+        "Table 6 — pre-train iteration time (ms), 4 nodes, mb=128 s=128 [ours (paper)]",
+        header,
+    );
+    let mut records = Vec::new();
+
+    for ((tp, pp), paper_row) in paper::table6() {
+        let mut row = vec![format!("TP={tp}, PP={pp}")];
+        for (spec, paper_val) in paper::TIMING_SPECS.iter().zip(paper_row) {
+            let b = pretrain_breakdown(tp, pp, *spec);
+            row.push(util::vs(b.total_ms, paper_val));
+            records.push(util::record(
+                "table6",
+                format!("TP={tp},PP={pp} {spec}"),
+                paper_val,
+                b.total_ms,
+                "ms",
+            ));
+        }
+        table.push_row(row);
+    }
+    util::emit(&opts, "table6", &table, &records);
+}

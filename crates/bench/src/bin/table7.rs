@@ -1,0 +1,39 @@
+//! Table 7 — pre-training iteration breakdown (TP=4, PP=4, 4 nodes).
+
+use actcomp_bench::{paper, util};
+use actcomp_core::report::Table;
+use actcomp_core::throughput::pretrain_breakdown;
+
+fn main() {
+    let opts = util::Options::from_args();
+    let mut table = Table::new(
+        "Table 7 — pre-train breakdown (ms), TP=4 PP=4 [ours (paper)]",
+        ["Algo", "Forward", "Backward", "Optimizer", "Wait&PP", "Total", "Enc", "Dec", "Comm"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    let mut records = Vec::new();
+
+    for (spec, prow) in paper::table7() {
+        let b = pretrain_breakdown(4, 4, spec);
+        let ours = [
+            b.forward_ms,
+            b.backward_ms,
+            b.optimizer_ms,
+            b.wait_pp_ms,
+            b.total_ms,
+            b.tensor_enc_ms,
+            b.tensor_dec_ms,
+            b.tensor_comm_ms,
+        ];
+        let mut row = vec![spec.label().to_string()];
+        let names = ["forward", "backward", "optimizer", "wait", "total", "enc", "dec", "comm"];
+        for ((our, paper_val), name) in ours.iter().zip(prow).zip(names) {
+            row.push(util::vs(*our, paper_val));
+            records.push(util::record("table7", format!("{spec} {name}"), paper_val, *our, "ms"));
+        }
+        table.push_row(row);
+    }
+    util::emit(&opts, "table7", &table, &records);
+}

@@ -1,0 +1,14 @@
+//! # actcomp-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of *"Does
+//! Compressing Activations Help Model Parallel Training?"* (MLSys 2024).
+//!
+//! Each `bin/` target reproduces one artifact and prints the paper's
+//! reported numbers next to ours; `run_all` executes the full set and
+//! writes JSON records plus a markdown summary under `results/`.
+//!
+//! Criterion micro-benchmarks for the compressor kernels, matmul, and the
+//! simulators live under `benches/`.
+
+pub mod paper;
+pub mod util;

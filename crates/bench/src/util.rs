@@ -1,0 +1,86 @@
+//! Shared harness utilities: CLI flags, result output, comparisons.
+
+use actcomp_core::report::{write_records, Record, Table};
+use std::path::PathBuf;
+
+/// Common harness options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Reduced setting matrix (for smoke runs): `--quick`.
+    pub quick: bool,
+    /// Optimizer steps override for accuracy runs: `--steps N`.
+    pub steps: Option<usize>,
+    /// Output directory for JSON records (default `results/`).
+    pub out_dir: PathBuf,
+}
+
+impl Options {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let steps = args
+            .iter()
+            .position(|a| a == "--steps")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok());
+        let out_dir = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Options {
+            quick,
+            steps,
+            out_dir,
+        }
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            steps: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Prints a table and writes its records, reporting any I/O failure to
+/// stderr without aborting the harness.
+pub fn emit(opts: &Options, name: &str, table: &Table, records: &[Record]) {
+    println!("{table}");
+    let path = opts.out_dir.join(format!("{name}.json"));
+    if let Err(e) = write_records(&path, records) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[records written to {}]\n", path.display());
+    }
+}
+
+/// Formats a paper-vs-measured cell: `"measured (paper P)"`.
+pub fn vs(measured: f64, paper: Option<f64>) -> String {
+    match paper {
+        Some(p) => format!("{measured:.2} ({p:.2})"),
+        None => format!("{measured:.2} (—)"),
+    }
+}
+
+/// Builds a [`Record`].
+pub fn record(
+    experiment: &str,
+    setting: impl Into<String>,
+    paper: Option<f64>,
+    measured: f64,
+    unit: &str,
+) -> Record {
+    Record {
+        experiment: experiment.to_string(),
+        setting: setting.into(),
+        paper,
+        measured,
+        unit: unit.to_string(),
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal flag parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    /// `--key value` pairs and bare `--flag`s (mapped to `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// Grammar: the first non-flag token is the subcommand; every
+    /// `--key` consumes the following token as its value unless that
+    /// token is itself a flag (then `key` is boolean).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut command = None;
+        let mut options = HashMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                let value = match tokens.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => "true".to_string(),
+                };
+                options.insert(key.to_string(), value);
+            } else if command.is_none() {
+                command = Some(t.clone());
+            }
+            i += 1;
+        }
+        Args { command, options }
+    }
+
+    /// Parses from `std::env::args`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String option with a default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Numeric option with a default; exits with a message on a malformed
+    /// value.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        match self.options.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects an integer, got '{v}'");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("simulate --tp 2 --pp 4 --machine pcie");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get("tp", "1"), "2");
+        assert_eq!(a.get_usize("pp", 1), 4);
+        assert_eq!(a.get("machine", "nvlink"), "pcie");
+    }
+
+    #[test]
+    fn bare_flags_are_boolean() {
+        let a = parse("scaling --json --nodes 4");
+        assert!(a.flag("json"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get_usize("nodes", 1), 4);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("finetune --quick --task rte");
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("task", "sst2"), "rte");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("simulate");
+        assert_eq!(a.get_usize("tp", 2), 2);
+        assert_eq!(a.get("spec", "A1"), "A1");
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("");
+        assert_eq!(a.command, None);
+        assert!(a.options.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! `actcomp` — command-line interface to the reproduction of *"Does
+//! Compressing Activations Help Model Parallel Training?"* (MLSys 2024).
+//!
+//! ```text
+//! actcomp simulate --machine pcie --tp 2 --pp 2 --batch 32 --seq 512 --spec A1
+//! actcomp pretrain-sim --tp 4 --pp 4 --spec A2
+//! actcomp finetune --task cola --spec Q2 --steps 150
+//! actcomp scaling
+//! actcomp specs
+//! ```
+
+mod args;
+
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::throughput::{finetune_breakdown, pretrain_breakdown, Machine};
+use actcomp_core::{accuracy, AccuracyConfig};
+use actcomp_data::GlueTask;
+use actcomp_distsim::IterationBreakdown;
+use actcomp_perfmodel::scaling::{paper_bandwidth_elems, table10_configs};
+use actcomp_perfmodel::{weak_scaling, PerfCoefficients};
+use args::Args;
+
+fn main() {
+    let args = Args::from_env();
+    match args.command.as_deref() {
+        Some("simulate") => simulate(&args),
+        Some("pretrain-sim") => pretrain_sim(&args),
+        Some("finetune") => finetune(&args),
+        Some("scaling") => scaling(&args),
+        Some("specs") => specs(),
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n");
+            usage();
+            std::process::exit(2);
+        }
+        None => usage(),
+    }
+}
+
+fn usage() {
+    println!(
+        "actcomp — activation compression for model-parallel training (MLSys 2024 reproduction)
+
+USAGE:
+  actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
+  actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
+  actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
+  actcomp scaling       [--json]
+  actcomp specs
+
+Spec IDs follow the paper's Table 1: w/o A1 A2 T1-T4 R1-R4 Q1-Q3.
+Tasks: mnli qqp sst2 mrpc cola qnli rte stsb."
+    );
+}
+
+fn parse_spec(name: &str) -> CompressorSpec {
+    CompressorSpec::all()
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("error: unknown spec '{name}' (try `actcomp specs`)");
+            std::process::exit(2);
+        })
+}
+
+fn parse_task(name: &str) -> GlueTask {
+    let target = name.to_ascii_lowercase().replace('-', "");
+    GlueTask::all()
+        .into_iter()
+        .find(|t| t.name().to_ascii_lowercase().replace('-', "") == target)
+        .unwrap_or_else(|| {
+            eprintln!("error: unknown task '{name}'");
+            std::process::exit(2);
+        })
+}
+
+fn print_breakdown(b: &IterationBreakdown, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(b).expect("serialize"));
+        return;
+    }
+    println!("total        {:>10.2} ms", b.total_ms);
+    println!("  forward    {:>10.2} ms", b.forward_ms);
+    println!("  backward   {:>10.2} ms", b.backward_ms);
+    println!("  optimizer  {:>10.2} ms", b.optimizer_ms);
+    println!("  wait & PP  {:>10.2} ms", b.wait_pp_ms);
+    println!("  tensor enc {:>10.2} ms", b.tensor_enc_ms);
+    println!("  tensor dec {:>10.2} ms", b.tensor_dec_ms);
+    println!("  tensor comm{:>10.2} ms", b.tensor_comm_ms);
+    if !b.boundary_per_mb_ms.is_empty() {
+        let bounds: Vec<String> = b
+            .boundary_per_mb_ms
+            .iter()
+            .map(|x| format!("{x:.1}"))
+            .collect();
+        println!("  boundaries [{}] ms/micro-batch", bounds.join(", "));
+    }
+}
+
+fn simulate(args: &Args) {
+    let machine = match args.get("machine", "nvlink") {
+        "nvlink" => Machine::AwsP3,
+        "pcie" => Machine::LocalPcie,
+        other => {
+            eprintln!("error: unknown machine '{other}' (nvlink|pcie)");
+            std::process::exit(2);
+        }
+    };
+    let spec = parse_spec(args.get("spec", "w/o"));
+    let b = finetune_breakdown(
+        machine,
+        args.get_usize("tp", 2),
+        args.get_usize("pp", 2),
+        args.get_usize("batch", 32),
+        args.get_usize("seq", 512),
+        spec,
+    );
+    print_breakdown(&b, args.flag("json"));
+}
+
+fn pretrain_sim(args: &Args) {
+    let spec = parse_spec(args.get("spec", "w/o"));
+    let b = pretrain_breakdown(args.get_usize("tp", 4), args.get_usize("pp", 4), spec);
+    print_breakdown(&b, args.flag("json"));
+}
+
+fn finetune(args: &Args) {
+    let task = parse_task(args.get("task", "sst2"));
+    let mut cfg = AccuracyConfig::paper_default().with_spec(parse_spec(args.get("spec", "w/o")));
+    cfg.steps = args.get_usize("steps", cfg.steps);
+    cfg.seed = args.get_usize("seed", cfg.seed as usize) as u64;
+    println!(
+        "fine-tuning {} with {} for {} steps (TP={}, PP={})...",
+        task.name(),
+        cfg.spec.label(),
+        cfg.steps,
+        cfg.tp,
+        cfg.pp
+    );
+    let r = accuracy::finetune(&cfg, task);
+    println!(
+        "{} score: {:.2}   (final train loss {:.3})",
+        task.name(),
+        r.score,
+        r.final_loss
+    );
+}
+
+fn scaling(args: &Args) {
+    let rows = weak_scaling(
+        &PerfCoefficients::paper(),
+        &table10_configs(),
+        paper_bandwidth_elems(),
+    );
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        return;
+    }
+    println!("{:>8} {:>7} {:>6} {:>7} {:>9}", "hidden", "layers", "nodes", "batch", "speedup");
+    for r in rows {
+        println!(
+            "{:>8} {:>7} {:>6} {:>7} {:>8.2}x",
+            r.config.hidden, r.config.layers, r.config.nodes, r.config.batch, r.speedup
+        );
+    }
+}
+
+fn specs() {
+    println!("{:6} {:14} {}", "id", "family", "meaning");
+    for s in CompressorSpec::all() {
+        let meaning = match s {
+            CompressorSpec::Baseline => "no compression".to_string(),
+            CompressorSpec::A1 | CompressorSpec::A2 => {
+                format!("auto-encoder, code dim {} at h=1024", s.code_dim(1024))
+            }
+            CompressorSpec::T1 | CompressorSpec::T2 | CompressorSpec::R1 | CompressorSpec::R2 => {
+                "sparsifier, same comm cost as the matching AE".to_string()
+            }
+            CompressorSpec::T3 | CompressorSpec::T4 | CompressorSpec::R3 | CompressorSpec::R4 => {
+                "sparsifier, same compression ratio as the matching AE".to_string()
+            }
+            _ => format!("{}-bit uniform quantization", s.quant_bits()),
+        };
+        println!("{:6} {:14} {}", s.label(), format!("{:?}", s.family()), meaning);
+    }
+}

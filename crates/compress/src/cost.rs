@@ -1,0 +1,301 @@
+//! Encode/decode latency models for each compression family.
+//!
+//! The paper measures the GPU-side cost of each codec (its Tables 4 and 7
+//! break an iteration into tensor-encode / tensor-decode / communication
+//! time). Those costs — not the arithmetic — decide the throughput verdict:
+//! `random.sample` is catastrophically slow, `torch.topk` scans the whole
+//! tensor, quantization makes two passes, and the auto-encoder is one slim
+//! matmul. This module models each per-operation latency with a small
+//! closed form whose coefficients are **fit to the paper's Table 4**
+//! (fine-tuning, V100, `n = 32·512·1024` elements per op, 24 ops/iter).
+//!
+//! `actcomp-distsim` composes these per-op costs with collective and
+//! pipeline models to regenerate the throughput tables.
+
+use crate::spec::{CompressorSpec, Family};
+
+/// Encode/decode latency of one compression operation, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CodecCost {
+    /// Time to encode (compress) once.
+    pub encode_s: f64,
+    /// Time to decode (decompress) once.
+    pub decode_s: f64,
+}
+
+impl CodecCost {
+    /// Encode + decode.
+    pub fn total_s(&self) -> f64 {
+        self.encode_s + self.decode_s
+    }
+
+    /// The zero cost of the uncompressed baseline.
+    pub fn zero() -> Self {
+        CodecCost {
+            encode_s: 0.0,
+            decode_s: 0.0,
+        }
+    }
+}
+
+/// Latency model for compression kernels on a V100-class GPU.
+///
+/// All coefficients are per-operation; `n` is the dense element count of
+/// the activation being compressed, `k` the kept element count for
+/// sparsifiers, `c` the auto-encoder code dimension.
+///
+/// Functional forms and the Table 4 measurements they were fit to
+/// (per-op = table value / 24 ops):
+///
+/// | family | form | fit anchors (per-op) |
+/// |---|---|---|
+/// | AE enc | `o + a·n·c` | A1 0.090 ms, A2 0.130 ms |
+/// | AE dec | `o + a·n·c` | A1 0.130 ms, A2 0.190 ms |
+/// | Top-K enc | `o + a·n + b·k` | T1 2.92 ms, T4 3.12 ms |
+/// | Top-K dec | `o + b·k` | T1 0.57 ms, T4 1.89 ms |
+/// | Random-K enc | `a·k + b·k²` | R1 85.0 ms, R4 1835 ms |
+/// | Random-K dec | `o + b·k` | R1 0.66 ms, R4 1.98 ms |
+/// | Quant enc | `o + a·n` | Q1 0.86 ms |
+/// | Quant dec | `o + a·n` | Q1 1.34 ms |
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// AE encode: fixed launch overhead (s).
+    pub ae_enc_overhead: f64,
+    /// AE encode: seconds per (element × code-dim unit).
+    pub ae_enc_per_nc: f64,
+    /// AE decode overhead (s).
+    pub ae_dec_overhead: f64,
+    /// AE decode per (element × code-dim unit).
+    pub ae_dec_per_nc: f64,
+    /// Top-K encode overhead (s).
+    pub topk_enc_overhead: f64,
+    /// Top-K encode per input element (the full-tensor scan).
+    pub topk_enc_per_n: f64,
+    /// Top-K encode per kept element.
+    pub topk_enc_per_k: f64,
+    /// Top-K decode overhead (s).
+    pub topk_dec_overhead: f64,
+    /// Top-K decode per kept element (scatter).
+    pub topk_dec_per_k: f64,
+    /// Random-K encode linear term per kept element.
+    pub randk_enc_per_k: f64,
+    /// Random-K encode quadratic term per kept element squared
+    /// (`random.sample`'s rejection behaviour degrades superlinearly).
+    pub randk_enc_per_k2: f64,
+    /// Random-K decode overhead (s).
+    pub randk_dec_overhead: f64,
+    /// Random-K decode per kept element.
+    pub randk_dec_per_k: f64,
+    /// Quantization encode overhead (s).
+    pub quant_enc_overhead: f64,
+    /// Quantization encode per element (min/max pass + pack pass).
+    pub quant_enc_per_n: f64,
+    /// Quantization decode overhead (s).
+    pub quant_dec_overhead: f64,
+    /// Quantization decode per element (unpack).
+    pub quant_dec_per_n: f64,
+}
+
+impl CostModel {
+    /// Coefficients for the AWS p3.8xlarge machines (fine-tuning regime).
+    ///
+    /// Identical to [`CostModel::v100`] except that `torch.topk` runs
+    /// ~2× faster than on the paper's local machine (Table 2's T1 deltas
+    /// versus Table 4's measured encode times imply different kernel
+    /// selection across the two software stacks).
+    pub fn v100_aws() -> Self {
+        CostModel {
+            topk_enc_per_n: 0.8e-10,
+            ..Self::v100()
+        }
+    }
+
+    /// Coefficients for the pre-training regime (b=128, s=128, AWS
+    /// cluster).
+    ///
+    /// The paper's Table 7 measures `torch.topk` at ~0.77 ms/op on the
+    /// pre-training activation shape versus ~2.9 ms/op on the fine-tuning
+    /// shape with the *same element count* (Table 4) — the kernel's
+    /// selection strategy depends on the tensor's row geometry. Every
+    /// other codec cost transfers across regimes within measurement noise.
+    pub fn v100_pretrain() -> Self {
+        CostModel {
+            topk_enc_per_n: 4.0e-11,
+            ..Self::v100()
+        }
+    }
+
+    /// Total cost of decoding `peers` gathered messages (the all-gather
+    /// path non-summable compressors take, §3.2).
+    ///
+    /// Sparsifier decoding is one fused scatter over the union of the
+    /// gathered supports (launch overhead paid once, per-element cost paid
+    /// `peers` times); quantized messages must each be unpacked in full.
+    pub fn decode_gathered(&self, spec: CompressorSpec, n: usize, h: usize, peers: usize) -> f64 {
+        let peers = peers.max(1) as f64;
+        match spec.family() {
+            Family::None | Family::AutoEncoder => self.codec_cost(spec, n, h).decode_s,
+            Family::TopK => {
+                let k = spec.sparsifier_k(n, h) as f64;
+                self.topk_dec_overhead + self.topk_dec_per_k * k * peers
+            }
+            Family::RandomK => {
+                let k = spec.sparsifier_k(n, h) as f64;
+                self.randk_dec_overhead + self.randk_dec_per_k * k * peers
+            }
+            Family::Quantization => {
+                (self.quant_dec_overhead + self.quant_dec_per_n * n as f64) * peers
+            }
+        }
+    }
+
+    /// Coefficients calibrated to the paper's Table 4 (V100, fp16).
+    pub fn v100() -> Self {
+        CostModel {
+            ae_enc_overhead: 5.0e-5,
+            ae_enc_per_nc: 4.77e-14,
+            ae_dec_overhead: 7.0e-5,
+            ae_dec_per_nc: 7.15e-14,
+            topk_enc_overhead: 1.0e-4,
+            topk_enc_per_n: 1.66e-10,
+            topk_enc_per_k: 1.47e-10,
+            topk_dec_overhead: 3.0e-4,
+            topk_dec_per_k: 9.7e-10,
+            randk_enc_per_k: 1.5e-7,
+            randk_enc_per_k2: 5.9e-13,
+            randk_dec_overhead: 3.9e-4,
+            randk_dec_per_k: 9.7e-10,
+            quant_enc_overhead: 6.0e-5,
+            quant_enc_per_n: 4.7e-11,
+            quant_dec_overhead: 8.0e-5,
+            quant_dec_per_n: 7.5e-11,
+        }
+    }
+
+    /// Per-operation encode/decode cost of `spec` on an activation of `n`
+    /// elements with hidden width `h`.
+    pub fn codec_cost(&self, spec: CompressorSpec, n: usize, h: usize) -> CodecCost {
+        let n_f = n as f64;
+        match spec.family() {
+            Family::None => CodecCost::zero(),
+            Family::AutoEncoder => {
+                // Cost is the encoder matmul: n·c multiply-adds.
+                let c = spec.code_dim(h) as f64;
+                CodecCost {
+                    encode_s: self.ae_enc_overhead + self.ae_enc_per_nc * n_f * c,
+                    decode_s: self.ae_dec_overhead + self.ae_dec_per_nc * n_f * c,
+                }
+            }
+            Family::TopK => {
+                let k = spec.sparsifier_k(n, h) as f64;
+                CodecCost {
+                    encode_s: self.topk_enc_overhead
+                        + self.topk_enc_per_n * n_f
+                        + self.topk_enc_per_k * k,
+                    decode_s: self.topk_dec_overhead + self.topk_dec_per_k * k,
+                }
+            }
+            Family::RandomK => {
+                let k = spec.sparsifier_k(n, h) as f64;
+                CodecCost {
+                    encode_s: self.randk_enc_per_k * k + self.randk_enc_per_k2 * k * k,
+                    decode_s: self.randk_dec_overhead + self.randk_dec_per_k * k,
+                }
+            }
+            Family::Quantization => CodecCost {
+                encode_s: self.quant_enc_overhead + self.quant_enc_per_n * n_f,
+                decode_s: self.quant_dec_overhead + self.quant_dec_per_n * n_f,
+            },
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompressorSpec::*;
+
+    /// The fine-tuning activation geometry of Table 4.
+    const N: usize = 32 * 512 * 1024;
+    const H: usize = 1024;
+    /// 12 compressed layers × 2 all-reduces per layer.
+    const OPS: f64 = 24.0;
+
+    fn table4_ms(spec: CompressorSpec) -> (f64, f64) {
+        let c = CostModel::v100().codec_cost(spec, N, H);
+        (c.encode_s * OPS * 1e3, c.decode_s * OPS * 1e3)
+    }
+
+    #[test]
+    fn reproduces_table4_ae() {
+        let (enc, dec) = table4_ms(A1);
+        assert!((enc - 2.16).abs() / 2.16 < 0.15, "A1 enc {enc}");
+        assert!((dec - 3.12).abs() / 3.12 < 0.15, "A1 dec {dec}");
+        let (enc, dec) = table4_ms(A2);
+        assert!((enc - 3.12).abs() / 3.12 < 0.15, "A2 enc {enc}");
+        assert!((dec - 4.56).abs() / 4.56 < 0.15, "A2 dec {dec}");
+    }
+
+    #[test]
+    fn reproduces_table4_topk() {
+        let (enc, dec) = table4_ms(T1);
+        assert!((enc - 70.08).abs() / 70.08 < 0.15, "T1 enc {enc}");
+        assert!((dec - 13.68).abs() / 13.68 < 0.30, "T1 dec {dec}");
+        let (enc, dec) = table4_ms(T4);
+        assert!((enc - 74.88).abs() / 74.88 < 0.15, "T4 enc {enc}");
+        assert!((dec - 45.36).abs() / 45.36 < 0.15, "T4 dec {dec}");
+    }
+
+    #[test]
+    fn reproduces_table4_randk_shape() {
+        // Random-K is the catastrophic case; require order-of-magnitude
+        // agreement and strict superlinearity.
+        let (r1, _) = table4_ms(R1);
+        let (r2, _) = table4_ms(R2);
+        let (r4, _) = table4_ms(R4);
+        assert!((r1 / 2040.0 - 1.0).abs() < 0.5, "R1 enc {r1}");
+        assert!((r4 / 44038.0 - 1.0).abs() < 0.5, "R4 enc {r4}");
+        assert!(r2 / r1 > 1.5, "superlinear growth violated");
+        assert!(r4 / r2 > 2.0, "superlinear growth violated");
+    }
+
+    #[test]
+    fn reproduces_table4_quant() {
+        let (enc, dec) = table4_ms(Q1);
+        assert!((enc - 20.64).abs() / 20.64 < 0.15, "Q1 enc {enc}");
+        assert!((dec - 32.16).abs() / 32.16 < 0.15, "Q1 dec {dec}");
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Per-op cost ordering: AE < quant < topk << randk.
+        let m = CostModel::v100();
+        let ae = m.codec_cost(A1, N, H).total_s();
+        let q = m.codec_cost(Q2, N, H).total_s();
+        let t = m.codec_cost(T1, N, H).total_s();
+        let r = m.codec_cost(R1, N, H).total_s();
+        assert!(ae < q && q < t && t < r, "ae {ae} q {q} t {t} r {r}");
+    }
+
+    #[test]
+    fn baseline_costs_nothing() {
+        let c = CostModel::v100().codec_cost(Baseline, N, H);
+        assert_eq!(c.total_s(), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_n() {
+        let m = CostModel::v100();
+        for spec in [A1, T1, R1, Q1] {
+            let small = m.codec_cost(spec, N / 4, H).total_s();
+            let large = m.codec_cost(spec, N, H).total_s();
+            assert!(large > small, "{spec}: {large} <= {small}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Uniform quantization (2/4/8 bits) with bit packing.
+
+use crate::{Compressed, Compressor, Payload};
+use actcomp_tensor::Tensor;
+use bytes::Bytes;
+
+/// Per-tensor uniform affine quantization to `bits` bits, following the
+/// scheme of Wang et al. 2022 that the paper's `Q1`/`Q2`/`Q3` settings use.
+///
+/// `code = round((x − min) / scale)` with
+/// `scale = (max − min) / (2^bits − 1)`; codes are bit-packed
+/// little-endian within each byte. The backward rule is the
+/// straight-through estimator.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_compress::{Compressor, Quantizer};
+/// use actcomp_tensor::Tensor;
+///
+/// let mut q = Quantizer::new(8);
+/// let x = Tensor::from_vec(vec![-1.0, 0.0, 0.5, 1.0], [4]);
+/// let y = q.round_trip(&x);
+/// assert!(x.max_abs_diff(&y) < 1.0 / 255.0 + 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Quantizer {
+    bits: u8,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given code width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits` is 2, 4, or 8 (the widths the paper sweeps).
+    pub fn new(bits: u8) -> Self {
+        assert!(
+            matches!(bits, 2 | 4 | 8),
+            "unsupported quantization width {bits} (expected 2, 4, or 8)"
+        );
+        Quantizer { bits }
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+}
+
+impl Compressor for Quantizer {
+    fn name(&self) -> &'static str {
+        "quant"
+    }
+
+    fn compress(&mut self, x: &Tensor) -> Compressed {
+        let lo = x.min();
+        let hi = x.max();
+        let levels = self.levels();
+        let scale = if hi > lo {
+            (hi - lo) / levels as f32
+        } else {
+            1.0 // constant tensor: all codes zero
+        };
+        let per_byte = 8 / self.bits as usize;
+        let mut codes = vec![0u8; x.len().div_ceil(per_byte)];
+        for (i, &v) in x.as_slice().iter().enumerate() {
+            let q = (((v - lo) / scale).round() as u32).min(levels) as u8;
+            codes[i / per_byte] |= q << ((i % per_byte) * self.bits as usize);
+        }
+        Compressed::new(
+            Payload::Quantized {
+                codes: Bytes::from(codes),
+                bits: self.bits,
+                scale,
+                zero: lo,
+            },
+            x.shape().clone(),
+        )
+    }
+
+    fn decompress(&self, msg: &Compressed) -> Tensor {
+        match msg.payload() {
+            Payload::Quantized {
+                codes,
+                bits,
+                scale,
+                zero,
+            } => {
+                let bits = *bits as usize;
+                let per_byte = 8 / bits;
+                let mask = ((1u16 << bits) - 1) as u8;
+                let n = msg.dense_len();
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let byte = codes[i / per_byte];
+                    let code = (byte >> ((i % per_byte) * bits)) & mask;
+                    out.push(zero + code as f32 * scale);
+                }
+                Tensor::from_vec(out, msg.shape().clone())
+            }
+            _ => panic!("Quantizer received a non-quantized message"),
+        }
+    }
+
+    // Straight-through backward inherited from the trait default.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn round_trip_error_within_half_step() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::randn(&mut rng, [32, 32], 2.0);
+        for bits in [2u8, 4, 8] {
+            let mut q = Quantizer::new(bits);
+            let y = q.round_trip(&x);
+            let step = (x.max() - x.min()) / ((1u32 << bits) - 1) as f32;
+            assert!(
+                x.max_abs_diff(&y) <= step / 2.0 + 1e-5,
+                "{bits}-bit error {} > step/2 {}",
+                x.max_abs_diff(&y),
+                step / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let x = Tensor::from_vec(vec![-3.0, 0.1, 0.2, 5.0], [4]);
+        let mut q = Quantizer::new(4);
+        let y = q.round_trip(&x);
+        assert!((y[0] + 3.0).abs() < 1e-6);
+        assert!((y[3] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_tensor_round_trips() {
+        let x = Tensor::full(2.5, [7]);
+        let mut q = Quantizer::new(2);
+        assert!(q.round_trip(&x).max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn wire_size_matches_bit_width() {
+        let x = Tensor::ones([64]);
+        // 64 elements at 2 bits = 16 bytes + 8 metadata.
+        assert_eq!(Quantizer::new(2).compress(&x).wire_bytes(2), 24);
+        assert_eq!(Quantizer::new(4).compress(&x).wire_bytes(2), 40);
+        assert_eq!(Quantizer::new(8).compress(&x).wire_bytes(2), 72);
+    }
+
+    #[test]
+    fn odd_length_packs_correctly() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0, 4.0], [5]);
+        let mut q = Quantizer::new(4);
+        let y = q.round_trip(&x);
+        assert!(x.max_abs_diff(&y) < 0.2);
+    }
+
+    #[test]
+    fn straight_through_backward() {
+        let mut q = Quantizer::new(8);
+        let dy = Tensor::from_vec(vec![1.0, -2.0], [2]);
+        assert_eq!(q.backward(&dy), dy);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported quantization width")]
+    fn rejects_bad_width() {
+        Quantizer::new(3);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = init::randn(&mut rng, [64], 1.0);
+        let e2 = Quantizer::new(2).round_trip(&x).sub(&x).norm();
+        let e4 = Quantizer::new(4).round_trip(&x).sub(&x).norm();
+        let e8 = Quantizer::new(8).round_trip(&x).sub(&x).norm();
+        assert!(e2 > e4 && e4 > e8);
+    }
+}

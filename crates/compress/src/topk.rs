@@ -1,0 +1,182 @@
+//! Top-K sparsification.
+
+use crate::message::scatter_sparse;
+use crate::{Compressed, Compressor, Payload};
+use actcomp_tensor::Tensor;
+
+/// Keeps the `k` entries of largest absolute value, zeroing the rest
+/// (the paper's `torch.topk` baseline, §3.2).
+///
+/// Gradients flow only through the kept positions.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_compress::{Compressor, TopK};
+/// use actcomp_tensor::Tensor;
+///
+/// let mut c = TopK::new(1);
+/// let y = c.round_trip(&Tensor::from_vec(vec![1.0, -9.0, 3.0], [1, 3]));
+/// assert_eq!(y.as_slice(), &[0.0, -9.0, 0.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    cache_mask: Option<Vec<u32>>,
+}
+
+impl TopK {
+    /// Keeps `k` elements per tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TopK requires k > 0");
+        TopK {
+            k,
+            cache_mask: None,
+        }
+    }
+
+    /// Keeps a `ratio` fraction of elements (e.g. `0.05` keeps 5%).
+    ///
+    /// The element count is resolved per tensor at compression time, with a
+    /// minimum of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio <= 1`.
+    pub fn with_ratio(ratio: f64, n: usize) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} not in (0, 1]");
+        Self::new(((n as f64 * ratio) as usize).max(1))
+    }
+
+    /// The configured number of kept elements.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Compressor for TopK {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn compress(&mut self, x: &Tensor) -> Compressed {
+        let k = self.k.min(x.len());
+        // Select the k largest |values| in O(n) with select_nth, then sort
+        // the selected indices for a deterministic message layout.
+        let mut order: Vec<u32> = (0..x.len() as u32).collect();
+        let data = x.as_slice();
+        if k < x.len() {
+            order.select_nth_unstable_by(k - 1, |&a, &b| {
+                data[b as usize]
+                    .abs()
+                    .partial_cmp(&data[a as usize].abs())
+                    .expect("activations are finite")
+            });
+            order.truncate(k);
+        }
+        order.sort_unstable();
+        let values: Vec<f32> = order.iter().map(|&i| data[i as usize]).collect();
+        self.cache_mask = Some(order.clone());
+        Compressed::new(
+            Payload::Sparse {
+                values,
+                indices: order,
+            },
+            x.shape().clone(),
+        )
+    }
+
+    fn decompress(&self, msg: &Compressed) -> Tensor {
+        match msg.payload() {
+            Payload::Sparse { values, indices } => scatter_sparse(values, indices, msg.shape()),
+            _ => panic!("TopK received a non-sparse message"),
+        }
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mask = self
+            .cache_mask
+            .take()
+            .expect("TopK::backward called without compress");
+        let mut dx = Tensor::zeros_like(dy);
+        for &i in &mask {
+            dx[i as usize] = dy[i as usize];
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn keeps_true_top_k() {
+        let x = Tensor::from_vec(vec![0.5, -3.0, 2.0, -0.1, 1.0], [5]);
+        let mut c = TopK::new(2);
+        let y = c.round_trip(&x);
+        assert_eq!(y.as_slice(), &[0.0, -3.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn k_larger_than_tensor_is_identity() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let mut c = TopK::new(10);
+        assert_eq!(c.round_trip(&x), x);
+    }
+
+    #[test]
+    fn error_bounded_by_dropped_mass() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::randn(&mut rng, [16, 16], 1.0);
+        let mut c = TopK::new(64);
+        let y = c.round_trip(&x);
+        // Reconstruction keeps the largest entries, so the residual's max
+        // must not exceed the smallest kept magnitude.
+        let kept_min = y
+            .as_slice()
+            .iter()
+            .filter(|v| **v != 0.0)
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        let resid_max = x.sub(&y).abs_max();
+        assert!(resid_max <= kept_min + 1e-6);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let x = Tensor::from_vec(vec![5.0, 0.1, -4.0, 0.2], [4]);
+        let mut c = TopK::new(2);
+        let _ = c.compress(&x);
+        let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
+        let dx = c.backward(&dy);
+        assert_eq!(dx.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn wire_size_counts_values_and_indices() {
+        let x = Tensor::from_vec((0..100).map(|i| i as f32).collect(), [100]);
+        let mut c = TopK::new(10);
+        let msg = c.compress(&x);
+        assert_eq!(msg.wire_bytes(2), 10 * 2 + 10 * 4);
+    }
+
+    #[test]
+    fn with_ratio_resolves_k() {
+        let c = TopK::with_ratio(0.05, 1000);
+        assert_eq!(c.k(), 50);
+        assert_eq!(TopK::with_ratio(0.0001, 10).k(), 1);
+    }
+
+    #[test]
+    fn not_summable() {
+        assert!(!TopK::new(1).summable());
+    }
+}

@@ -1,0 +1,240 @@
+//! Accuracy experiments: real fine-tuning and pre-training through the
+//! model-parallel stack (`actcomp-mp`) on the synthetic GLUE suite.
+//!
+//! These runners regenerate the paper's Tables 5, 8, 15, 16 and Figure 4.
+
+use crate::config::AccuracyConfig;
+use actcomp_data::glue::{class_labels, score_labels, Example, GlueTask, Label};
+use actcomp_data::pretrain::{mask_tokens, Corpus};
+use actcomp_mp::{MpBert, MpConfig};
+use actcomp_nn::optim::{self, Adam};
+use actcomp_nn::{loss, BertEncoder, ClassifierHead, LrSchedule, MlmHead};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of fine-tuning one task under one setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinetuneResult {
+    /// Task evaluated.
+    pub task: GlueTask,
+    /// Score under the task's GLUE metric, in the paper's 0–100 scale.
+    pub score: f64,
+    /// Final training loss (diagnostic).
+    pub final_loss: f32,
+}
+
+/// Fine-tunes a freshly initialized model on `task` and returns the dev
+/// score (0–100 scale, matching the paper's tables).
+pub fn finetune(cfg: &AccuracyConfig, task: GlueTask) -> FinetuneResult {
+    cfg.validate();
+    let mut model_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xF1E2_D3C4);
+    let serial = BertEncoder::new(&mut model_rng, cfg.bert.clone());
+    finetune_from(cfg, &serial, task)
+}
+
+/// Fine-tunes starting from an existing serial checkpoint (the paper's
+/// §4.4 pre-train-then-fine-tune pipeline; Table 8).
+pub fn finetune_from(cfg: &AccuracyConfig, serial: &BertEncoder, task: GlueTask) -> FinetuneResult {
+    cfg.validate();
+    let (mut train, dev) = task.generate(cfg.seed, cfg.bert.vocab, cfg.seq);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xA5A5);
+
+    let mp_cfg = MpConfig {
+        bert: cfg.bert.clone(),
+        tp: cfg.tp,
+        pp: cfg.pp,
+        plan: cfg.plan(),
+        tokens: cfg.tokens(),
+        error_feedback: cfg.error_feedback,
+    };
+    let mut model = MpBert::from_serial(serial, mp_cfg, &mut rng);
+    let classes = if task.is_regression() {
+        1
+    } else {
+        task.num_classes()
+    };
+    let mut head = ClassifierHead::new(&mut rng, cfg.bert.hidden, classes, 0.0, cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let schedule = LrSchedule::Warmup {
+        lr: cfg.lr,
+        warmup: cfg.warmup,
+    };
+
+    train.shuffle(&mut rng);
+    let mut cursor = 0usize;
+    let mut final_loss = 0.0f32;
+    for step in 0..cfg.steps {
+        let batch: Vec<&Example> = (0..cfg.batch)
+            .map(|i| &train[(cursor + i) % train.len()])
+            .collect();
+        cursor = (cursor + cfg.batch) % train.len();
+
+        let ids: Vec<usize> = batch.iter().flat_map(|e| e.tokens.iter().copied()).collect();
+        let hidden = model.forward(&ids, cfg.batch, cfg.seq);
+        let logits = head.forward(&hidden, cfg.batch, cfg.seq);
+
+        let (l, dlogits) = if task.is_regression() {
+            let targets: Vec<f32> = batch
+                .iter()
+                .map(|e| match e.label {
+                    Label::Score(s) => s,
+                    Label::Class(_) => unreachable!("regression task"),
+                })
+                .collect();
+            loss::mse(&logits, &targets)
+        } else {
+            let labels: Vec<usize> = batch
+                .iter()
+                .map(|e| match e.label {
+                    Label::Class(c) => c,
+                    Label::Score(_) => unreachable!("classification task"),
+                })
+                .collect();
+            loss::softmax_cross_entropy(&logits, &labels)
+        };
+        final_loss = l;
+
+        model.zero_grad();
+        head.visit_params(&mut |p| p.zero_grad());
+        let dhidden = head.backward(&dlogits);
+        model.backward(&dhidden);
+        opt.lr = schedule.at(step + 1);
+        opt.begin_step();
+        optim::step(&mut opt, |f| {
+            model.visit_all_params(f);
+            head.visit_params(f);
+        });
+    }
+
+    let score = evaluate(&mut model, &mut head, &dev, task, cfg);
+    FinetuneResult {
+        task,
+        score,
+        final_loss,
+    }
+}
+
+/// Evaluates the model on a dev split, returning the task metric × 100.
+fn evaluate(
+    model: &mut MpBert,
+    head: &mut ClassifierHead,
+    dev: &[Example],
+    task: GlueTask,
+    cfg: &AccuracyConfig,
+) -> f64 {
+    head.set_training(false);
+    let mut class_preds = Vec::new();
+    let mut score_preds = Vec::new();
+    for chunk in dev.chunks(cfg.batch) {
+        let ids: Vec<usize> = chunk.iter().flat_map(|e| e.tokens.iter().copied()).collect();
+        let hidden = model.forward(&ids, chunk.len(), cfg.seq);
+        let logits = head.forward(&hidden, chunk.len(), cfg.seq);
+        if task.is_regression() {
+            score_preds.extend_from_slice(logits.as_slice());
+        } else {
+            class_preds.extend(logits.argmax_rows());
+        }
+        // Discard cached state so the next forward starts clean.
+        let _ = head.backward(&actcomp_tensor::Tensor::zeros_like(&logits));
+    }
+    head.set_training(true);
+    let metric = task.metric();
+    let raw = if task.is_regression() {
+        metric.eval_scores(&score_preds, &score_labels(dev))
+    } else {
+        metric.eval_classes(&class_preds, &class_labels(dev))
+    };
+    100.0 * raw
+}
+
+/// Runs the full eight-task suite under one setting (one row of the
+/// paper's Table 5 / 8 / 15 / 16).
+pub fn glue_suite(cfg: &AccuracyConfig) -> Vec<FinetuneResult> {
+    GlueTask::all().iter().map(|t| finetune(cfg, *t)).collect()
+}
+
+/// The suite average the paper's "Avg." column reports.
+pub fn average(results: &[FinetuneResult]) -> f64 {
+    results.iter().map(|r| r.score).sum::<f64>() / results.len() as f64
+}
+
+/// Masked-language-model pre-training through the model-parallel stack;
+/// returns the serial checkpoint with compressors removed (§4.4).
+pub fn pretrain(cfg: &AccuracyConfig, steps: usize) -> BertEncoder {
+    cfg.validate();
+    let mut model_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x7E57);
+    let serial = BertEncoder::new(&mut model_rng, cfg.bert.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x1234);
+
+    let mp_cfg = MpConfig {
+        bert: cfg.bert.clone(),
+        tp: cfg.tp,
+        pp: cfg.pp,
+        plan: cfg.plan(),
+        tokens: cfg.tokens(),
+        error_feedback: cfg.error_feedback,
+    };
+    let mut model = MpBert::from_serial(&serial, mp_cfg, &mut rng);
+    let mut head = MlmHead::new(&mut rng, cfg.bert.hidden, cfg.bert.vocab);
+    let mut opt = Adam::new(cfg.lr);
+    let schedule = LrSchedule::Warmup {
+        lr: cfg.lr,
+        warmup: cfg.warmup,
+    };
+    let mut corpus = Corpus::new(cfg.seed, cfg.bert.vocab);
+
+    for step in 0..steps {
+        let tokens = corpus.sample_batch(cfg.batch, cfg.seq);
+        let (input, labels) = mask_tokens(&mut rng, &tokens, cfg.bert.vocab);
+        let hidden = model.forward(&input, cfg.batch, cfg.seq);
+        let logits = head.forward(&hidden);
+        let (_, dlogits) = loss::masked_cross_entropy(&logits, &labels);
+        model.zero_grad();
+        head.visit_params(&mut |p| p.zero_grad());
+        let dhidden = head.backward(&dlogits);
+        model.backward(&dhidden);
+        opt.lr = schedule.at(step + 1);
+        opt.begin_step();
+        optim::step(&mut opt, |f| {
+            model.visit_all_params(f);
+            head.visit_params(f);
+        });
+    }
+    model.to_serial()
+}
+
+/// Measures the MLM loss of a checkpoint on freshly sampled corpus data
+/// (used to verify pre-training learned something).
+pub fn mlm_eval_loss(encoder: &mut BertEncoder, cfg: &AccuracyConfig, batches: usize) -> f32 {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xEEE);
+    let mut corpus = Corpus::new(cfg.seed ^ 0xBEEF, cfg.bert.vocab);
+    let mut head_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xD00D);
+    // Fresh linear probe: measures representation quality, not head reuse.
+    let mut head = MlmHead::new(&mut head_rng, cfg.bert.hidden, cfg.bert.vocab);
+    let mut opt = Adam::new(5e-3);
+    let mut total = 0.0f32;
+    // Train the probe briefly, then measure.
+    for phase in 0..2 {
+        total = 0.0;
+        for _ in 0..batches {
+            let tokens = corpus.sample_batch(cfg.batch, cfg.seq);
+            let (input, labels) = mask_tokens(&mut rng, &tokens, cfg.bert.vocab);
+            let hidden = encoder.forward(&input, cfg.batch, cfg.seq);
+            let logits = head.forward(&hidden);
+            let (l, dlogits) = loss::masked_cross_entropy(&logits, &labels);
+            total += l;
+            if phase == 0 {
+                encoder.zero_grad();
+                head.visit_params(&mut |p| p.zero_grad());
+                let _ = head.backward(&dlogits);
+                opt.begin_step();
+                optim::step(&mut opt, |f| head.visit_params(f));
+            } else {
+                let _ = head.backward(&actcomp_tensor::Tensor::zeros_like(&dlogits));
+            }
+        }
+    }
+    total / batches as f32
+}

@@ -1,0 +1,167 @@
+//! Experiment configurations.
+
+use actcomp_compress::plan::CompressionPlan;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_nn::BertConfig;
+use serde::{Deserialize, Serialize};
+
+/// The scaled-down architecture the accuracy experiments train for real.
+///
+/// Keeps BERT-Large's *structure* — deep stack, `ff = 4h`, post-LN — at a
+/// CPU-trainable size (8 layers, hidden 64). The paper's default
+/// "compress the last half of the layers" placement maps to the last 4
+/// layers here; §4.5's layer sweeps scan 1–8.
+pub fn accuracy_model() -> BertConfig {
+    BertConfig {
+        vocab: 64,
+        hidden: 64,
+        layers: 8,
+        heads: 4,
+        ff_hidden: 256,
+        max_seq: 32,
+    }
+}
+
+/// Configuration of one accuracy experiment (a fine-tuning or pre-training
+/// run with real numerics through `actcomp-mp`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyConfig {
+    /// Architecture.
+    pub bert: BertConfig,
+    /// Tensor model-parallel degree.
+    pub tp: usize,
+    /// Pipeline model-parallel degree.
+    pub pp: usize,
+    /// Compression setting (Table 1 notation).
+    pub spec: CompressorSpec,
+    /// Compressed-layer window `(start, count)`; `None` uses the paper's
+    /// default of the last half of the layers.
+    pub window: Option<(usize, usize)>,
+    /// Sequences per training batch.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Adam learning rate (peak; linear warmup precedes it).
+    pub lr: f32,
+    /// Linear warmup steps (deep post-LN stacks need a short ramp).
+    pub warmup: usize,
+    /// Wrap every compressor in error feedback (§3.3's extension hook).
+    pub error_feedback: bool,
+    /// Master seed (data, init, and compressor streams derive from it).
+    pub seed: u64,
+}
+
+impl AccuracyConfig {
+    /// The paper's default accuracy setting: TP=2, PP=2, batch 32/seq 512
+    /// scaled to the small model's batch 16/seq 24, last-half compression.
+    pub fn paper_default() -> Self {
+        AccuracyConfig {
+            bert: accuracy_model(),
+            tp: 2,
+            pp: 2,
+            spec: CompressorSpec::Baseline,
+            window: None,
+            batch: 16,
+            seq: 24,
+            steps: 200,
+            lr: 3e-4,
+            warmup: 20,
+            error_feedback: false,
+            seed: 42,
+        }
+    }
+
+    /// Same run with a different compressor.
+    pub fn with_spec(mut self, spec: CompressorSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Same run compressing `count` layers starting at `start` (§4.5).
+    pub fn with_window(mut self, start: usize, count: usize) -> Self {
+        self.window = Some((start, count));
+        self
+    }
+
+    /// Same run with error feedback wrapped around every compressor.
+    pub fn with_error_feedback(mut self) -> Self {
+        self.error_feedback = true;
+        self
+    }
+
+    /// Resolves the compression placement.
+    pub fn plan(&self) -> CompressionPlan {
+        if self.spec == CompressorSpec::Baseline {
+            return CompressionPlan::none();
+        }
+        match self.window {
+            Some((start, count)) => CompressionPlan::window(self.spec, start, count),
+            None => CompressionPlan::last_layers(
+                self.spec,
+                self.bert.layers,
+                self.bert.layers / 2,
+            ),
+        }
+    }
+
+    /// Tokens per forward pass.
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        self.bert.validate();
+        assert!(self.seq <= self.bert.max_seq, "seq exceeds max_seq");
+        assert!(self.batch > 0 && self.steps > 0);
+        assert!(self.lr > 0.0, "non-positive learning rate");
+        let plan = self.plan();
+        assert!(
+            plan.end_layer() <= self.bert.layers,
+            "window exceeds layer count"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_last_half() {
+        let cfg = AccuracyConfig::paper_default().with_spec(CompressorSpec::A2);
+        let plan = cfg.plan();
+        assert_eq!(plan.start_layer, 4);
+        assert_eq!(plan.num_layers, 4);
+    }
+
+    #[test]
+    fn baseline_plan_is_none() {
+        let cfg = AccuracyConfig::paper_default();
+        assert!(!cfg.plan().is_active());
+    }
+
+    #[test]
+    fn window_override() {
+        let cfg = AccuracyConfig::paper_default()
+            .with_spec(CompressorSpec::Q2)
+            .with_window(0, 3);
+        let plan = cfg.plan();
+        assert!(plan.covers(0) && plan.covers(2) && !plan.covers(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds")]
+    fn validates_window() {
+        AccuracyConfig::paper_default()
+            .with_spec(CompressorSpec::Q2)
+            .with_window(6, 5)
+            .validate();
+    }
+}

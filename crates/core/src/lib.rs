@@ -1,0 +1,40 @@
+//! # actcomp-core
+//!
+//! Experiment orchestration for the `actcomp` reproduction of *"Does
+//! Compressing Activations Help Model Parallel Training?"* (MLSys 2024).
+//!
+//! This crate ties the substrates together into the paper's experiments:
+//!
+//! - [`config`]: the scaled-down accuracy model and per-run settings,
+//! - [`throughput`]: iteration-time experiments through the cluster
+//!   simulator (Tables 2–4, 6, 7, 9, 11–14, Figure 1),
+//! - [`accuracy`]: real fine-tuning / pre-training through the
+//!   model-parallel stack on the synthetic GLUE suite (Tables 5, 8, 15,
+//!   16, Figure 4),
+//! - [`lowrank`]: the gradient-vs-activation SVD analysis (Figure 2),
+//! - [`report`]: markdown tables and paper-vs-measured JSON records.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use actcomp_core::throughput::{finetune_breakdown, Machine};
+//! use actcomp_compress::spec::CompressorSpec;
+//!
+//! // One Table 3 cell: A1 on the no-NVLink machine, TP=2/PP=2.
+//! let b = finetune_breakdown(Machine::LocalPcie, 2, 2, 32, 512, CompressorSpec::A1);
+//! println!("iteration: {:.2} ms", b.total_ms);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod config;
+pub mod lowrank;
+pub mod report;
+pub mod throughput;
+
+pub use accuracy::{finetune, finetune_from, glue_suite, pretrain, FinetuneResult};
+pub use config::{accuracy_model, AccuracyConfig};
+pub use lowrank::{analyze, LowRankAnalysis};
+pub use report::{Record, Table};
+pub use throughput::{finetune_breakdown, pretrain_breakdown, Machine};

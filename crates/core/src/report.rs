@@ -1,0 +1,159 @@
+//! Table rendering and paper-vs-measured record export.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A rendered results table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title (e.g. `"Table 2 — fine-tune iteration time (ms)"`).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row cells (each row the same length as the header).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.markdown())
+    }
+}
+
+/// One paper-vs-measured datapoint, exported to `results/*.json` by the
+/// bench harnesses and summarized in EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Experiment id (`"table2"`, `"figure4a"`, …).
+    pub experiment: String,
+    /// Human-readable setting (`"TP=2,PP=2 A1"`).
+    pub setting: String,
+    /// The paper's reported value, when one exists.
+    pub paper: Option<f64>,
+    /// Our measured/simulated value.
+    pub measured: f64,
+    /// Unit (`"ms"`, `"score"`, `"ratio"`).
+    pub unit: String,
+}
+
+/// Writes records as pretty JSON, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating directories or writing the file.
+pub fn write_records(path: impl AsRef<Path>, records: &[Record]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(records).expect("records serialize");
+    f.write_all(json.as_bytes())
+}
+
+/// Formats a millisecond value the way the paper's tables do
+/// (thousands separators, two decimals).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100_000.0 {
+        return ">100,000".to_string();
+    }
+    let s = format!("{ms:.2}");
+    let (int, frac) = s.split_once('.').expect("formatted float");
+    let mut grouped = String::new();
+    for (i, c) in int.chars().enumerate() {
+        if i > 0 && (int.len() - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(c);
+    }
+    format!("{grouped}.{frac}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new("x", vec!["a".into()]).push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ms_formatting_matches_paper_style() {
+        assert_eq!(fmt_ms(591.96), "591.96");
+        assert_eq!(fmt_ms(1625.16), "1,625.16");
+        assert_eq!(fmt_ms(17117.01), "17,117.01");
+        assert_eq!(fmt_ms(150000.0), ">100,000");
+    }
+
+    #[test]
+    fn records_round_trip_json() {
+        let recs = vec![Record {
+            experiment: "table2".into(),
+            setting: "TP=2,PP=2 A1".into(),
+            paper: Some(437.98),
+            measured: 435.0,
+            unit: "ms".into(),
+        }];
+        let dir = std::env::temp_dir().join("actcomp_test_records");
+        let path = dir.join("t2.json");
+        write_records(&path, &recs).unwrap();
+        let back: Vec<Record> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, recs);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,166 @@
+//! Throughput experiments: drives `actcomp-distsim` with the paper's
+//! exact configurations (Tables 2–4, 6, 7, 9, 11–14 and Figure 1).
+
+use actcomp_compress::cost::CostModel;
+use actcomp_compress::plan::CompressionPlan;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_distsim::workload::ModelShape;
+use actcomp_distsim::{
+    calibration, simulate_iteration, ClusterSpec, IterationBreakdown, Parallelism, TrainSetup,
+};
+use serde::{Deserialize, Serialize};
+
+/// The machines of the paper's §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Machine {
+    /// One AWS p3.8xlarge (4×V100, NVLink).
+    AwsP3,
+    /// The local 4×V100 machine without NVLink (shared PCIe).
+    LocalPcie,
+    /// `n` p3.8xlarge instances over 10 Gbps (pre-training cluster).
+    AwsCluster(usize),
+}
+
+impl Machine {
+    fn cluster(&self) -> ClusterSpec {
+        match self {
+            Machine::AwsP3 => ClusterSpec::p3_8xlarge(),
+            Machine::LocalPcie => ClusterSpec::local_no_nvlink(),
+            Machine::AwsCluster(n) => ClusterSpec::p3_cluster(*n),
+        }
+    }
+
+    fn cost_model(&self, pretrain: bool) -> CostModel {
+        match (self, pretrain) {
+            (Machine::LocalPcie, _) => CostModel::v100(),
+            (_, true) => CostModel::v100_pretrain(),
+            (_, false) => CostModel::v100_aws(),
+        }
+    }
+}
+
+/// The paper's default compression placement at BERT-Large scale: the
+/// last 12 of 24 layers.
+pub fn paper_plan(spec: CompressorSpec) -> CompressionPlan {
+    if spec == CompressorSpec::Baseline {
+        CompressionPlan::none()
+    } else {
+        CompressionPlan::last_layers(spec, 24, 12)
+    }
+}
+
+/// Simulates one fine-tuning iteration (BERT-Large, one micro-batch; the
+/// Tables 2–4 and 11–14 regime).
+pub fn finetune_breakdown(
+    machine: Machine,
+    tp: usize,
+    pp: usize,
+    batch: usize,
+    seq: usize,
+    spec: CompressorSpec,
+) -> IterationBreakdown {
+    finetune_breakdown_with_plan(machine, tp, pp, batch, seq, paper_plan(spec))
+}
+
+/// Fine-tuning iteration with an explicit compression placement (§4.5).
+pub fn finetune_breakdown_with_plan(
+    machine: Machine,
+    tp: usize,
+    pp: usize,
+    batch: usize,
+    seq: usize,
+    plan: CompressionPlan,
+) -> IterationBreakdown {
+    let setup = TrainSetup {
+        model: ModelShape::bert_large(),
+        seq,
+        micro_batch: batch,
+        num_micro_batches: 1,
+        parallelism: Parallelism::new(tp, pp),
+        cluster: machine.cluster(),
+        gpu: calibration::v100_finetune(),
+        plan,
+        cost: machine.cost_model(false),
+    };
+    simulate_iteration(&setup)
+}
+
+/// Simulates one pre-training iteration (4 nodes, micro-batch 128, global
+/// batch 1024, sequence 128; the Tables 6/7/9 regime).
+pub fn pretrain_breakdown(tp: usize, pp: usize, spec: CompressorSpec) -> IterationBreakdown {
+    let machine = Machine::AwsCluster(4);
+    let setup = TrainSetup {
+        model: ModelShape::bert_large(),
+        seq: 128,
+        micro_batch: 128,
+        num_micro_batches: 8, // 1024 / 128
+        parallelism: Parallelism::new(tp, pp),
+        cluster: machine.cluster(),
+        gpu: calibration::v100_pretrain(),
+        plan: paper_plan(spec),
+        cost: machine.cost_model(true),
+    };
+    simulate_iteration(&setup)
+}
+
+/// Figure 1's metric: the fraction of iteration time spent in
+/// model-parallel communication for BERT-Large on 4 GPUs at `(batch,
+/// seq)`, TP=4.
+pub fn comm_overhead_fraction(batch: usize, seq: usize) -> f64 {
+    let b = finetune_breakdown(Machine::AwsP3, 4, 1, batch, seq, CompressorSpec::Baseline);
+    // TP=4, PP=1: all model-parallel traffic is tensor-parallel. The
+    // backward pass issues the same all-reduces as the forward.
+    (2.0 * b.tensor_comm_ms / b.total_ms).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_communication_is_a_major_share() {
+        // The paper's Figure 1 message: model-parallel communication is a
+        // substantial fraction of iteration time across (batch, seq)
+        // settings on 4 GPUs. The *fraction* shrinks as s grows (compute
+        // has an s² term, communication is linear in s) while the
+        // *absolute* communication time grows.
+        let mut prev_abs = 0.0;
+        for (b, s) in [(8, 128), (8, 512), (32, 128), (32, 512)] {
+            let frac = comm_overhead_fraction(b, s);
+            assert!(
+                (0.15..0.85).contains(&frac),
+                "({b},{s}): fraction {frac}"
+            );
+            let abs = finetune_breakdown(Machine::AwsP3, 4, 1, b, s, CompressorSpec::Baseline)
+                .tensor_comm_ms;
+            assert!(abs > prev_abs * 0.9, "({b},{s}): abs comm {abs}");
+            prev_abs = abs.max(prev_abs);
+        }
+    }
+
+    #[test]
+    fn machines_pick_expected_cost_models() {
+        assert_eq!(Machine::LocalPcie.cost_model(false), CostModel::v100());
+        assert_eq!(Machine::AwsP3.cost_model(false), CostModel::v100_aws());
+        assert_eq!(
+            Machine::AwsCluster(4).cost_model(true),
+            CostModel::v100_pretrain()
+        );
+    }
+
+    #[test]
+    fn plan_covers_last_half() {
+        let p = paper_plan(CompressorSpec::A1);
+        assert!(!p.covers(11) && p.covers(12) && p.covers(23));
+        assert!(!paper_plan(CompressorSpec::Baseline).is_active());
+    }
+
+    #[test]
+    fn finetune_and_pretrain_run() {
+        let f = finetune_breakdown(Machine::AwsP3, 2, 2, 32, 512, CompressorSpec::A1);
+        assert!(f.total_ms > 100.0 && f.total_ms < 1500.0);
+        let p = pretrain_breakdown(4, 4, CompressorSpec::A2);
+        assert!(p.total_ms > 500.0 && p.total_ms < 5000.0);
+        assert_eq!(p.boundary_per_mb_ms.len(), 3);
+    }
+}

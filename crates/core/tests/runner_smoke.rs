@@ -1,0 +1,67 @@
+//! Integration tests of the accuracy runner at small scale: determinism,
+//! compression wiring, and the error-feedback path.
+
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_core::{accuracy, AccuracyConfig};
+use actcomp_data::GlueTask;
+
+fn small() -> AccuracyConfig {
+    let mut cfg = AccuracyConfig::paper_default();
+    cfg.bert.layers = 4;
+    cfg.bert.hidden = 32;
+    cfg.bert.ff_hidden = 128;
+    cfg.steps = 40;
+    cfg.lr = 5e-4;
+    cfg.seq = 16;
+    cfg
+}
+
+#[test]
+fn finetune_is_deterministic_per_seed() {
+    let cfg = small().with_spec(CompressorSpec::A2);
+    let a = accuracy::finetune(&cfg, GlueTask::Sst2);
+    let b = accuracy::finetune(&cfg, GlueTask::Sst2);
+    assert_eq!(a.score, b.score);
+    assert_eq!(a.final_loss, b.final_loss);
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let mut cfg = small();
+    let a = accuracy::finetune(&cfg, GlueTask::Sst2);
+    cfg.seed = 1234;
+    let b = accuracy::finetune(&cfg, GlueTask::Sst2);
+    assert_ne!(
+        (a.score, a.final_loss),
+        (b.score, b.final_loss),
+        "different seeds should produce different runs"
+    );
+}
+
+#[test]
+fn error_feedback_path_runs_and_differs() {
+    let plain = small().with_spec(CompressorSpec::Q1);
+    let ef = plain.clone().with_error_feedback();
+    let a = accuracy::finetune(&plain, GlueTask::Sst2);
+    let b = accuracy::finetune(&ef, GlueTask::Sst2);
+    // EF changes the numerics (residual injection), so trajectories split.
+    assert_ne!(a.final_loss, b.final_loss);
+    assert!(b.score > 50.0, "EF run must still learn: {}", b.score);
+}
+
+#[test]
+fn window_placement_affects_outcome() {
+    let late = small().with_spec(CompressorSpec::T3).with_window(2, 2);
+    let early = small().with_spec(CompressorSpec::T3).with_window(0, 2);
+    let a = accuracy::finetune(&late, GlueTask::Sst2);
+    let b = accuracy::finetune(&early, GlueTask::Sst2);
+    assert_ne!(a.score, b.score, "placement must matter");
+}
+
+#[test]
+fn regression_task_round_trips() {
+    let cfg = small();
+    let r = accuracy::finetune(&cfg, GlueTask::StsB);
+    assert!(r.score.is_finite());
+    assert!(r.score > 30.0, "STS-B Spearman too low: {}", r.score);
+}

@@ -1,0 +1,551 @@
+//! Synthetic stand-ins for the eight GLUE tasks (§4.3).
+//!
+//! Real GLUE text is out of scope for a CPU reproduction, but the paper's
+//! accuracy findings are *relative*: which compressors degrade which kind
+//! of task. Each synthetic task plants a signal of a particular character
+//! in random token sequences and reuses its GLUE namesake's task type,
+//! metric, class balance, and data-scarcity profile:
+//!
+//! | task | type | metric | signal character |
+//! |---|---|---|---|
+//! | MNLI | 3-class | accuracy | redundant keyword mixture, large train set |
+//! | QQP | binary | F1 | keyword mixture over two [`SEP`]-separated segments |
+//! | SST-2 | binary | accuracy | redundant sentiment keywords (easy) |
+//! | MRPC | binary | F1 | weaker keywords, small 2:1-imbalanced train set |
+//! | CoLA | binary | Matthews | *sequential* constraint (A must be followed by B) |
+//! | QNLI | binary | accuracy | question marker / answer marker pairing |
+//! | RTE | binary | accuracy | weak signal, tiny train set (volatile, like the paper's) |
+//! | STS-B | regression | Spearman | continuous keyword density |
+//!
+//! CoLA's sequential constraint and RTE's scarcity make them the fragile
+//! tasks — exactly the two the paper singles out in §4.5.
+
+use crate::metrics;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Token id of the `[CLS]` position every sequence starts with.
+pub const CLS: usize = 0;
+/// Token id of the `[SEP]` separator between segment halves.
+pub const SEP: usize = 2;
+/// First content token id (0..FIRST_CONTENT are reserved specials).
+pub const FIRST_CONTENT: usize = 4;
+
+/// The label of one example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Label {
+    /// Classification target.
+    Class(usize),
+    /// Regression target (STS-B style, in `[0, 5]`).
+    Score(f32),
+}
+
+/// One tokenized example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// Token ids, starting with [`CLS`], fixed length.
+    pub tokens: Vec<usize>,
+    /// Target.
+    pub label: Label,
+}
+
+/// Evaluation metric of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Exact-match accuracy.
+    Accuracy,
+    /// Binary F1.
+    F1,
+    /// Matthews correlation coefficient.
+    Matthews,
+    /// Spearman rank correlation.
+    Spearman,
+}
+
+impl Metric {
+    /// Evaluates class predictions (classification metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Metric::Spearman`].
+    pub fn eval_classes(&self, preds: &[usize], labels: &[usize]) -> f64 {
+        match self {
+            Metric::Accuracy => metrics::accuracy(preds, labels),
+            Metric::F1 => metrics::f1(preds, labels),
+            Metric::Matthews => metrics::matthews(preds, labels),
+            Metric::Spearman => panic!("Spearman is a regression metric"),
+        }
+    }
+
+    /// Evaluates regression predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the metric is [`Metric::Spearman`].
+    pub fn eval_scores(&self, preds: &[f32], targets: &[f32]) -> f64 {
+        match self {
+            Metric::Spearman => metrics::spearman(preds, targets),
+            other => panic!("{other:?} is not a regression metric"),
+        }
+    }
+}
+
+/// One of the eight GLUE-analogue tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the GLUE names are self-describing
+pub enum GlueTask {
+    Mnli,
+    Qqp,
+    Sst2,
+    Mrpc,
+    Cola,
+    Qnli,
+    Rte,
+    StsB,
+}
+
+impl GlueTask {
+    /// All eight tasks, in the paper's table order.
+    pub fn all() -> [GlueTask; 8] {
+        use GlueTask::*;
+        [Mnli, Qqp, Sst2, Mrpc, Cola, Qnli, Rte, StsB]
+    }
+
+    /// The paper's column label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GlueTask::Mnli => "MNLI",
+            GlueTask::Qqp => "QQP",
+            GlueTask::Sst2 => "SST-2",
+            GlueTask::Mrpc => "MRPC",
+            GlueTask::Cola => "CoLA",
+            GlueTask::Qnli => "QNLI",
+            GlueTask::Rte => "RTE",
+            GlueTask::StsB => "STS-B",
+        }
+    }
+
+    /// Number of classes (1 for regression).
+    pub fn num_classes(&self) -> usize {
+        match self {
+            GlueTask::Mnli => 3,
+            GlueTask::StsB => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether the task is a regression.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, GlueTask::StsB)
+    }
+
+    /// Reported metric.
+    pub fn metric(&self) -> Metric {
+        match self {
+            GlueTask::Qqp | GlueTask::Mrpc => Metric::F1,
+            GlueTask::Cola => Metric::Matthews,
+            GlueTask::StsB => Metric::Spearman,
+            _ => Metric::Accuracy,
+        }
+    }
+
+    /// Training-set size (mirrors each task's relative scarcity).
+    pub fn train_size(&self) -> usize {
+        match self {
+            GlueTask::Mnli | GlueTask::Qqp | GlueTask::Qnli | GlueTask::Sst2 => 512,
+            GlueTask::StsB | GlueTask::Cola => 384,
+            GlueTask::Mrpc => 256,
+            GlueTask::Rte => 128,
+        }
+    }
+
+    /// Held-out evaluation size.
+    pub fn dev_size(&self) -> usize {
+        match self {
+            GlueTask::Rte => 96,
+            _ => 192,
+        }
+    }
+
+    /// Label-noise rate: the irreducible error that keeps even perfect
+    /// models below 100 (mirroring each real task's headroom — the paper's
+    /// baselines score ~86–95 on the easy tasks, ~56–62 CoLA Matthews).
+    fn label_noise(&self) -> f64 {
+        match self {
+            GlueTask::Sst2 => 0.04,
+            GlueTask::Mnli => 0.08,
+            GlueTask::Qqp => 0.06,
+            GlueTask::Mrpc => 0.09,
+            GlueTask::Qnli => 0.06,
+            GlueTask::Rte => 0.14,
+            GlueTask::Cola => 0.10,
+            GlueTask::StsB => 0.0, // regression noise added on the score
+        }
+    }
+
+    /// Fraction of positions carrying class signal (task difficulty).
+    fn signal_rate(&self) -> f64 {
+        match self {
+            GlueTask::Sst2 => 0.30,
+            GlueTask::Mnli => 0.25,
+            GlueTask::Qnli => 0.22,
+            GlueTask::Qqp => 0.25,
+            GlueTask::Mrpc => 0.24,
+            GlueTask::Rte => 0.15,
+            GlueTask::Cola | GlueTask::StsB => 0.25,
+        }
+    }
+
+    /// Generates `(train, dev)` splits, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab` is too small (needs ≥ 24 content tokens) or
+    /// `seq < 8`.
+    pub fn generate(&self, seed: u64, vocab: usize, seq: usize) -> (Vec<Example>, Vec<Example>) {
+        assert!(vocab >= FIRST_CONTENT + 24, "vocabulary too small: {vocab}");
+        assert!(seq >= 8, "sequence length {seq} too short");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ task_salt(*self));
+        let train = (0..self.train_size())
+            .map(|_| self.sample(&mut rng, vocab, seq))
+            .collect();
+        let dev = (0..self.dev_size())
+            .map(|_| self.sample(&mut rng, vocab, seq))
+            .collect();
+        (train, dev)
+    }
+
+    /// Samples one example (with the task's irreducible label noise).
+    fn sample(&self, rng: &mut ChaCha8Rng, vocab: usize, seq: usize) -> Example {
+        let mut ex = match self {
+            GlueTask::Cola => sample_cola(rng, vocab, seq),
+            GlueTask::StsB => sample_stsb(rng, vocab, seq, self.signal_rate()),
+            GlueTask::Qqp | GlueTask::Mrpc => sample_paired_keywords(
+                rng,
+                vocab,
+                seq,
+                self.signal_rate(),
+                if *self == GlueTask::Mrpc { 0.66 } else { 0.5 },
+            ),
+            _ => sample_keywords(rng, vocab, seq, self.num_classes(), self.signal_rate()),
+        };
+        match &mut ex.label {
+            Label::Class(c) => {
+                if rng.gen_bool(self.label_noise()) {
+                    // Flip to a uniformly random *different* class.
+                    *c = (*c + 1 + rng.gen_range(0..self.num_classes() - 1))
+                        % self.num_classes();
+                }
+            }
+            Label::Score(s) => {
+                // Mild observation noise on the regression target.
+                *s = (*s + rng.gen_range(-0.35f32..0.35)).clamp(0.0, 5.0);
+            }
+        }
+        ex
+    }
+}
+
+impl std::fmt::Display for GlueTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn task_salt(task: GlueTask) -> u64 {
+    let index = GlueTask::all()
+        .iter()
+        .position(|t| *t == task)
+        .expect("task in list") as u64;
+    index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Class-`c` keyword pool: a disjoint 6-token band per class.
+fn class_pool(c: usize) -> std::ops::Range<usize> {
+    let lo = FIRST_CONTENT + c * 6;
+    lo..lo + 6
+}
+
+/// Noise pool: content tokens above all class bands.
+fn noise_token(rng: &mut ChaCha8Rng, vocab: usize) -> usize {
+    rng.gen_range(FIRST_CONTENT + 18..vocab)
+}
+
+/// Keyword-mixture classification (MNLI/SST-2/QNLI/RTE shape).
+fn sample_keywords(
+    rng: &mut ChaCha8Rng,
+    vocab: usize,
+    seq: usize,
+    classes: usize,
+    rate: f64,
+) -> Example {
+    let y = rng.gen_range(0..classes);
+    let mut tokens = vec![CLS];
+    for _ in 1..seq {
+        if rng.gen_bool(rate) {
+            let pool = class_pool(y);
+            tokens.push(rng.gen_range(pool));
+        } else {
+            tokens.push(noise_token(rng, vocab));
+        }
+    }
+    Example {
+        tokens,
+        label: Label::Class(y),
+    }
+}
+
+/// Paired-segment keyword task (QQP/MRPC): two [`SEP`]-separated
+/// segments; positives plant "shared-topic" keywords in *both* segments,
+/// negatives in neither. Keeps the two-segment input format and F1
+/// metric of the paraphrase tasks at a signal strength the small model
+/// can extract (a fully relational token-overlap signal is beyond an
+/// 8-layer h=64 model in a few hundred steps).
+fn sample_paired_keywords(
+    rng: &mut ChaCha8Rng,
+    vocab: usize,
+    seq: usize,
+    rate: f64,
+    pos_prior: f64,
+) -> Example {
+    let y = rng.gen_bool(pos_prior) as usize;
+    let half = (seq - 2) / 2;
+    let mut tokens = vec![CLS];
+    let emit = |rng: &mut ChaCha8Rng, n: usize, out: &mut Vec<usize>| {
+        for _ in 0..n {
+            if rng.gen_bool(rate) {
+                out.push(rng.gen_range(class_pool(y)));
+            } else {
+                out.push(noise_token(rng, vocab));
+            }
+        }
+    };
+    emit(rng, half, &mut tokens);
+    tokens.push(SEP);
+    let rest = seq - tokens.len();
+    emit(rng, rest, &mut tokens);
+    Example {
+        tokens,
+        label: Label::Class(y),
+    }
+}
+
+/// CoLA analogue: "grammatical" iff every occurrence of the trigger token
+/// `A` is immediately followed by `B` — a *sequential* constraint that
+/// needs positional information, making it the compression-fragile task.
+fn sample_cola(rng: &mut ChaCha8Rng, vocab: usize, seq: usize) -> Example {
+    let a = FIRST_CONTENT; // trigger
+    let b = FIRST_CONTENT + 1; // required successor
+    let y = rng.gen_bool(0.6) as usize; // mildly imbalanced, like CoLA
+    let mut tokens = vec![CLS];
+    let pairs = rng.gen_range(1..=3);
+    let mut positions: Vec<usize> = (1..seq - 1).collect();
+    positions.shuffle(rng);
+    let mut slots: Vec<usize> = positions.into_iter().take(pairs).collect();
+    slots.sort_unstable();
+    // Avoid adjacent slots so pairs don't overlap.
+    slots.dedup_by(|p, q| *p == *q + 1);
+    for _ in 1..seq {
+        tokens.push(noise_token(rng, vocab));
+    }
+    let violate = if y == 0 {
+        rng.gen_range(0..slots.len())
+    } else {
+        usize::MAX
+    };
+    for (i, &p) in slots.iter().enumerate() {
+        tokens[p] = a;
+        tokens[p + 1] = if i == violate {
+            noise_token(rng, vocab) // broken pair → unacceptable
+        } else {
+            b
+        };
+    }
+    Example {
+        tokens,
+        label: Label::Class(y),
+    }
+}
+
+/// STS-B analogue: score proportional to the density of a keyword band.
+fn sample_stsb(rng: &mut ChaCha8Rng, vocab: usize, seq: usize, rate: f64) -> Example {
+    let density: f64 = rng.gen_range(0.0..(2.0 * rate));
+    let pool = class_pool(0);
+    let mut hits = 0usize;
+    let mut tokens = vec![CLS];
+    for _ in 1..seq {
+        if rng.gen_bool(density) {
+            tokens.push(rng.gen_range(pool.clone()));
+            hits += 1;
+        } else {
+            tokens.push(noise_token(rng, vocab));
+        }
+    }
+    let score = 5.0 * hits as f32 / ((seq - 1) as f64 * 2.0 * rate) as f32;
+    Example {
+        tokens,
+        label: Label::Score(score.min(5.0)),
+    }
+}
+
+/// Extracts class labels from a slice of examples.
+///
+/// # Panics
+///
+/// Panics if any example is a regression example.
+pub fn class_labels(examples: &[Example]) -> Vec<usize> {
+    examples
+        .iter()
+        .map(|e| match e.label {
+            Label::Class(c) => c,
+            Label::Score(_) => panic!("regression example in classification task"),
+        })
+        .collect()
+}
+
+/// Extracts regression targets from a slice of examples.
+///
+/// # Panics
+///
+/// Panics if any example is a classification example.
+pub fn score_labels(examples: &[Example]) -> Vec<f32> {
+    examples
+        .iter()
+        .map(|e| match e.label {
+            Label::Score(s) => s,
+            Label::Class(_) => panic!("classification example in regression task"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        for task in GlueTask::all() {
+            let (a, _) = task.generate(7, 64, 16);
+            let (b, _) = task.generate(7, 64, 16);
+            assert_eq!(a, b, "{task}");
+            let (c, _) = task.generate(8, 64, 16);
+            assert_ne!(a, c, "{task}");
+        }
+    }
+
+    #[test]
+    fn tasks_differ_under_same_seed() {
+        let (m, _) = GlueTask::Mnli.generate(7, 64, 16);
+        let (s, _) = GlueTask::Sst2.generate(7, 64, 16);
+        assert_ne!(m[0].tokens, s[0].tokens);
+    }
+
+    #[test]
+    fn shapes_and_specials() {
+        for task in GlueTask::all() {
+            let (train, dev) = task.generate(0, 64, 16);
+            assert_eq!(train.len(), task.train_size());
+            assert_eq!(dev.len(), task.dev_size());
+            for e in &train {
+                assert_eq!(e.tokens.len(), 16);
+                assert_eq!(e.tokens[0], CLS);
+                assert!(e.tokens.iter().all(|&t| t < 64));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_task_type() {
+        for task in GlueTask::all() {
+            let (train, _) = task.generate(1, 64, 16);
+            for e in &train {
+                match (task.is_regression(), e.label) {
+                    (true, Label::Score(s)) => assert!((0.0..=5.0).contains(&s)),
+                    (false, Label::Class(c)) => assert!(c < task.num_classes()),
+                    _ => panic!("{task}: label type mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cola_constraint_holds_up_to_label_noise() {
+        let (train, _) = GlueTask::Cola.generate(3, 64, 16);
+        let a = FIRST_CONTENT;
+        let b = FIRST_CONTENT + 1;
+        let consistent = train
+            .iter()
+            .filter(|e| {
+                let violated = e
+                    .tokens
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &t)| t == a && e.tokens.get(i + 1) != Some(&b));
+                matches!(
+                    (violated, e.label),
+                    (false, Label::Class(1)) | (true, Label::Class(0))
+                )
+            })
+            .count();
+        // ~10% label noise is planted; the rest must satisfy the rule.
+        let rate = consistent as f64 / train.len() as f64;
+        assert!((0.82..=0.97).contains(&rate), "consistency {rate}");
+    }
+
+    #[test]
+    fn stsb_scores_correlate_with_keyword_density() {
+        let (train, _) = GlueTask::StsB.generate(4, 64, 24);
+        let pool = class_pool(0);
+        let densities: Vec<f32> = train
+            .iter()
+            .map(|e| e.tokens.iter().filter(|t| pool.contains(t)).count() as f32)
+            .collect();
+        let scores = score_labels(&train);
+        let corr = crate::metrics::spearman(&densities, &scores);
+        // Observation noise on the target lowers the ceiling slightly.
+        assert!(corr > 0.85, "density/score correlation {corr}");
+    }
+
+    #[test]
+    fn keyword_tasks_are_linearly_separable_by_counts() {
+        // A trivial count-based classifier must beat chance comfortably —
+        // the planted signal is real.
+        let (train, _) = GlueTask::Sst2.generate(5, 64, 24);
+        let labels = class_labels(&train);
+        let preds: Vec<usize> = train
+            .iter()
+            .map(|e| {
+                let c0 = e.tokens.iter().filter(|t| class_pool(0).contains(t)).count();
+                let c1 = e.tokens.iter().filter(|t| class_pool(1).contains(t)).count();
+                (c1 > c0) as usize
+            })
+            .collect();
+        let acc = metrics::accuracy(&preds, &labels);
+        // Ceiling is 1 − label_noise ≈ 0.96 for SST-2.
+        assert!(acc > 0.85, "count classifier accuracy {acc}");
+    }
+
+    #[test]
+    fn paired_tasks_have_two_segments_and_are_separable() {
+        let (train, _) = GlueTask::Qqp.generate(9, 64, 24);
+        let labels = class_labels(&train);
+        let preds: Vec<usize> = train
+            .iter()
+            .map(|e| {
+                assert!(e.tokens.contains(&SEP), "missing segment separator");
+                let hits = e.tokens.iter().filter(|t| class_pool(1).contains(t)).count();
+                (hits >= 2) as usize
+            })
+            .collect();
+        let acc = metrics::accuracy(&preds, &labels);
+        assert!(acc > 0.8, "keyword classifier accuracy {acc}");
+    }
+
+    #[test]
+    fn rte_is_smallest() {
+        assert!(GlueTask::Rte.train_size() < GlueTask::Mrpc.train_size());
+        assert!(GlueTask::Mrpc.train_size() < GlueTask::Mnli.train_size());
+    }
+}

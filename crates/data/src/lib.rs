@@ -1,0 +1,26 @@
+//! # actcomp-data
+//!
+//! Synthetic datasets and metrics for the `actcomp` reproduction of *"Does
+//! Compressing Activations Help Model Parallel Training?"* (MLSys 2024).
+//!
+//! The paper fine-tunes on the eight GLUE tasks and pre-trains on
+//! Wikipedia + BooksCorpus. This crate substitutes:
+//!
+//! - [`glue`]: eight synthetic sequence tasks reusing each GLUE namesake's
+//!   task type, metric, class balance and data-scarcity profile, with
+//!   planted signals whose *character* (redundant keywords vs. fragile
+//!   sequential constraints) mirrors what makes the real tasks robust or
+//!   brittle under activation compression;
+//! - [`pretrain`]: a Markov/Zipf corpus sampler plus BERT-style MLM
+//!   masking;
+//! - [`metrics`]: accuracy, F1, Matthews correlation, Spearman correlation
+//!   — exactly the metrics the paper's accuracy tables report.
+
+#![warn(missing_docs)]
+
+pub mod glue;
+pub mod metrics;
+pub mod pretrain;
+
+pub use glue::{Example, GlueTask, Label, Metric};
+pub use pretrain::Corpus;

@@ -1,0 +1,196 @@
+//! The GLUE evaluation metrics the paper reports (§4.3): accuracy, F1,
+//! Matthews correlation, and Spearman rank correlation.
+
+/// Fraction of exact matches between predictions and labels.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    check(preds.len(), labels.len());
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / preds.len() as f64
+}
+
+/// Binary F1 score with class `1` as positive (reported for QQP and MRPC).
+///
+/// Returns 0 when there are no predicted or actual positives.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn f1(preds: &[usize], labels: &[usize]) -> f64 {
+    check(preds.len(), labels.len());
+    let mut tp = 0f64;
+    let mut fp = 0f64;
+    let mut fne = 0f64;
+    for (&p, &l) in preds.iter().zip(labels) {
+        match (p, l) {
+            (1, 1) => tp += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fne += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fne);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Matthews correlation coefficient for binary labels (reported for CoLA).
+///
+/// Returns 0 when any marginal is degenerate — the same convention that
+/// produces the paper's `0.00` CoLA entries for collapsed models.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn matthews(preds: &[usize], labels: &[usize]) -> f64 {
+    check(preds.len(), labels.len());
+    let (mut tp, mut tn, mut fp, mut fne) = (0f64, 0f64, 0f64, 0f64);
+    for (&p, &l) in preds.iter().zip(labels) {
+        match (p, l) {
+            (1, 1) => tp += 1.0,
+            (0, 0) => tn += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fne += 1.0,
+            _ => panic!("matthews expects binary labels, got ({p}, {l})"),
+        }
+    }
+    let denom = ((tp + fp) * (tp + fne) * (tn + fp) * (tn + fne)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (tp * tn - fp * fne) / denom
+}
+
+/// Spearman rank correlation (reported for STS-B).
+///
+/// Ties receive their average rank.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn spearman(preds: &[f32], targets: &[f32]) -> f64 {
+    assert_eq!(preds.len(), targets.len(), "length mismatch");
+    assert!(preds.len() >= 2, "need at least two points");
+    pearson(&ranks(preds), &ranks(targets))
+}
+
+/// Pearson correlation of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least two points");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// Average ranks (1-based), ties averaged.
+fn ranks(xs: &[f32]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("finite scores"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn check(a: usize, b: usize) {
+    assert_eq!(a, b, "prediction/label length mismatch");
+    assert!(a > 0, "empty evaluation set");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn f1_known_case() {
+        // tp=2, fp=1, fn=1 → p=2/3, r=2/3 → f1=2/3.
+        let preds = [1, 1, 1, 0, 0];
+        let labels = [1, 1, 0, 1, 0];
+        assert!((f1(&preds, &labels) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_degenerate_is_zero() {
+        assert_eq!(f1(&[0, 0], &[1, 1]), 0.0);
+        assert_eq!(f1(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn matthews_perfect_and_inverse() {
+        assert!((matthews(&[1, 0, 1, 0], &[1, 0, 1, 0]) - 1.0).abs() < 1e-12);
+        assert!((matthews(&[0, 1, 0, 1], &[1, 0, 1, 0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matthews_collapsed_predictor_is_zero() {
+        // A model that always predicts one class scores 0 (the paper's
+        // CoLA 0.00 rows).
+        assert_eq!(matthews(&[1, 1, 1, 1], &[1, 0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [10.0f32, 20.0, 25.0, 100.0]; // any increasing map
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0f32, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0f32, 1.0, 2.0, 3.0];
+        let b = [1.0f32, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Synthetic pre-training corpus and MLM masking (the Wikipedia +
+//! BooksCorpus substitute, §4.4).
+//!
+//! The corpus sampler draws token streams from a first-order Markov chain
+//! with Zipf-like marginals, so sequences have both unigram structure
+//! (frequent tokens) and local bigram structure (predictable successors) —
+//! enough signal for masked-language-model pre-training to produce
+//! transferable representations over the same token space the
+//! [`crate::glue`] tasks use.
+
+use crate::glue::CLS;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Token id used for `[MASK]`.
+pub const MASK: usize = 1;
+
+/// A Markov-chain corpus sampler over a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vocab: usize,
+    /// Per-state cumulative transition distribution, `vocab × vocab`.
+    cumulative: Vec<f64>,
+    rng: ChaCha8Rng,
+}
+
+impl Corpus {
+    /// Builds a corpus sampler with a random (but seed-deterministic)
+    /// transition structure: each token has a few preferred successors on
+    /// top of a Zipf base distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 8`.
+    pub fn new(seed: u64, vocab: usize) -> Self {
+        assert!(vocab >= 8, "vocabulary too small: {vocab}");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Zipf base weights over content tokens (specials get ~0 weight).
+        let base: Vec<f64> = (0..vocab)
+            .map(|t| if t < 4 { 1e-6 } else { 1.0 / (t - 3) as f64 })
+            .collect();
+        let mut cumulative = Vec::with_capacity(vocab * vocab);
+        for _state in 0..vocab {
+            let mut weights = base.clone();
+            // Each state strongly prefers 3 random successors (bigram
+            // structure an MLM can learn).
+            for _ in 0..3 {
+                let succ = rng.gen_range(4..vocab);
+                weights[succ] += 2.0;
+            }
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total;
+                cumulative.push(acc);
+            }
+        }
+        Corpus {
+            vocab,
+            cumulative,
+            rng,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Samples one sequence of length `seq` starting with `[CLS]`.
+    pub fn sample_sequence(&mut self, seq: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(seq);
+        out.push(CLS);
+        let mut state = self.rng.gen_range(4..self.vocab);
+        for _ in 1..seq {
+            let u: f64 = self.rng.gen();
+            let row = &self.cumulative[state * self.vocab..(state + 1) * self.vocab];
+            let next = row.partition_point(|&c| c < u).min(self.vocab - 1);
+            out.push(next);
+            state = next;
+        }
+        out
+    }
+
+    /// Samples a batch of `batch` sequences, concatenated row-major.
+    pub fn sample_batch(&mut self, batch: usize, seq: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch * seq);
+        for _ in 0..batch {
+            out.extend(self.sample_sequence(seq));
+        }
+        out
+    }
+}
+
+/// Applies BERT-style MLM masking: ~15% of (non-special) positions are
+/// selected; of those, 80% become `[MASK]`, 10% a random token, 10% stay.
+/// Returns the corrupted input and per-position prediction targets
+/// (`Some(original)` at selected positions).
+pub fn mask_tokens(
+    rng: &mut ChaCha8Rng,
+    tokens: &[usize],
+    vocab: usize,
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    let mut input = tokens.to_vec();
+    let mut labels = vec![None; tokens.len()];
+    for i in 0..tokens.len() {
+        if tokens[i] < 4 {
+            continue; // never mask specials
+        }
+        if rng.gen_bool(0.15) {
+            labels[i] = Some(tokens[i]);
+            let r: f64 = rng.gen();
+            if r < 0.8 {
+                input[i] = MASK;
+            } else if r < 0.9 {
+                input[i] = rng.gen_range(4..vocab);
+            } // else keep original
+        }
+    }
+    (input, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_start_with_cls_and_stay_in_vocab() {
+        let mut c = Corpus::new(0, 64);
+        let s = c.sample_sequence(32);
+        assert_eq!(s.len(), 32);
+        assert_eq!(s[0], CLS);
+        assert!(s.iter().all(|&t| t < 64));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = Corpus::new(5, 64);
+        let mut b = Corpus::new(5, 64);
+        assert_eq!(a.sample_batch(4, 16), b.sample_batch(4, 16));
+    }
+
+    #[test]
+    fn markov_structure_is_learnable() {
+        // Preferred successors appear far more often than chance.
+        let mut c = Corpus::new(1, 64);
+        let mut bigrams = std::collections::HashMap::new();
+        for _ in 0..200 {
+            let s = c.sample_sequence(64);
+            for w in s.windows(2) {
+                *bigrams.entry((w[0], w[1])).or_insert(0usize) += 1;
+            }
+        }
+        let max = bigrams.values().max().copied().unwrap_or(0);
+        let total: usize = bigrams.values().sum();
+        // Uniform bigrams over 60² pairs would put ~total/3600 in each.
+        assert!(
+            max as f64 > 10.0 * total as f64 / 3600.0,
+            "no bigram structure: max {max} of {total}"
+        );
+    }
+
+    #[test]
+    fn masking_rate_and_specials() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut c = Corpus::new(3, 64);
+        let tokens = c.sample_batch(16, 64);
+        let (input, labels) = mask_tokens(&mut rng, &tokens, 64);
+        assert_eq!(input.len(), tokens.len());
+        let masked = labels.iter().flatten().count();
+        let rate = masked as f64 / tokens.len() as f64;
+        assert!((0.10..0.20).contains(&rate), "mask rate {rate}");
+        // CLS positions never masked.
+        for (i, &t) in tokens.iter().enumerate() {
+            if t == CLS {
+                assert!(labels[i].is_none());
+            }
+        }
+        // Masked labels store the original token.
+        for (i, l) in labels.iter().enumerate() {
+            if let Some(orig) = l {
+                assert_eq!(*orig, tokens[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the dataset generators and metrics.
+
+use actcomp_data::glue::{class_labels, GlueTask, Label, CLS};
+use actcomp_data::metrics;
+use actcomp_data::Corpus;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every task generates within-vocab, CLS-prefixed, fixed-length
+    /// sequences for any seed and reasonable geometry.
+    #[test]
+    fn generated_examples_are_well_formed(
+        seed in 0u64..10_000,
+        seq in prop::sample::select(vec![8usize, 12, 16, 24]),
+    ) {
+        for task in GlueTask::all() {
+            let (train, dev) = task.generate(seed, 64, seq);
+            prop_assert_eq!(train.len(), task.train_size());
+            prop_assert_eq!(dev.len(), task.dev_size());
+            for e in train.iter().chain(&dev) {
+                prop_assert_eq!(e.tokens.len(), seq);
+                prop_assert_eq!(e.tokens[0], CLS);
+                prop_assert!(e.tokens.iter().all(|&t| t < 64));
+                match e.label {
+                    Label::Class(c) => prop_assert!(c < task.num_classes()),
+                    Label::Score(s) => prop_assert!((0.0..=5.0).contains(&s)),
+                }
+            }
+        }
+    }
+
+    /// Class marginals stay near the intended priors.
+    #[test]
+    fn class_balance_is_sane(seed in 0u64..1000) {
+        let (train, _) = GlueTask::Sst2.generate(seed, 64, 16);
+        let labels = class_labels(&train);
+        let pos = labels.iter().filter(|&&c| c == 1).count() as f64 / labels.len() as f64;
+        prop_assert!((0.35..0.65).contains(&pos), "SST-2 balance {pos}");
+
+        let (train, _) = GlueTask::Mrpc.generate(seed, 64, 16);
+        let labels = class_labels(&train);
+        let pos = labels.iter().filter(|&&c| c == 1).count() as f64 / labels.len() as f64;
+        prop_assert!((0.5..0.82).contains(&pos), "MRPC balance {pos}");
+    }
+
+    /// Accuracy is bounded, symmetric under label permutation of both
+    /// arguments, and 1.0 iff predictions equal labels.
+    #[test]
+    fn accuracy_properties(labels in proptest::collection::vec(0usize..3, 1..40)) {
+        prop_assert_eq!(metrics::accuracy(&labels, &labels), 1.0);
+        let flipped: Vec<usize> = labels.iter().map(|&l| (l + 1) % 3).collect();
+        prop_assert_eq!(metrics::accuracy(&flipped, &labels), 0.0);
+    }
+
+    /// Matthews is antisymmetric under prediction inversion and bounded.
+    #[test]
+    fn matthews_properties(labels in proptest::collection::vec(0usize..2, 8..64)) {
+        // Need both classes present for a non-degenerate denominator.
+        prop_assume!(labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1));
+        let m_perfect = metrics::matthews(&labels, &labels);
+        prop_assert!((m_perfect - 1.0).abs() < 1e-12);
+        let inverted: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();
+        let m_inv = metrics::matthews(&inverted, &labels);
+        prop_assert!((m_inv + 1.0).abs() < 1e-12);
+    }
+
+    /// Spearman is invariant under strictly monotone transforms.
+    #[test]
+    fn spearman_monotone_invariance(
+        xs in proptest::collection::vec(-100.0f32..100.0, 4..32),
+    ) {
+        let distinct = xs.iter().map(|x| x.to_bits()).collect::<std::collections::HashSet<_>>();
+        prop_assume!(distinct.len() == xs.len());
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x + 3.0).collect();
+        let s = metrics::spearman(&ys, &xs);
+        prop_assert!((s - 1.0).abs() < 1e-9, "spearman {s}");
+    }
+
+    /// Corpus sampling is deterministic per seed, in-vocab, and CLS-led.
+    #[test]
+    fn corpus_properties(seed in 0u64..1000, seq in 4usize..64) {
+        let mut a = Corpus::new(seed, 64);
+        let mut b = Corpus::new(seed, 64);
+        let sa = a.sample_sequence(seq);
+        prop_assert_eq!(&sa, &b.sample_sequence(seq));
+        prop_assert_eq!(sa[0], CLS);
+        prop_assert!(sa.iter().all(|&t| t < 64));
+    }
+}

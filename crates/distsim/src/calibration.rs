@@ -1,0 +1,86 @@
+//! Calibrated compute profiles, with provenance.
+//!
+//! The simulator predicts iteration times from first principles (FLOPs,
+//! bytes, schedules), but the *achieved* FLOP rate of a V100 differs
+//! between the paper's two regimes, so each gets its own profile:
+//!
+//! - **Fine-tuning** (b=32, s=512, classification head): the paper's
+//!   `TP=1, PP=4` baseline runs 24 layers × `96Bsh² + 16Bs²h` = 4.29e13
+//!   FLOPs in 592 ms (Table 2) → 1.38e-14 s/FLOP (~72 TFLOP/s achieved).
+//!   Backward/forward compute ratio 1.62 from Table 4 after subtracting
+//!   the measured communication (`(354−151)/(276−151)`).
+//!
+//! - **Pre-training** (b=128, s=128, MLM + NSP heads): Table 7's forward
+//!   time implies ~3× more wall time per layer-FLOP, because the per-layer
+//!   formula excludes the embedding and MLM-head work (a `h × 30522`
+//!   projection) and the shorter sequences utilize the GPU worse →
+//!   3.35e-14 s/FLOP, backward/forward 0.87 (Table 7: 419/467 after
+//!   communication).
+//!
+//! Optimizer rates come from dividing the measured optimizer column by the
+//! per-GPU parameter count.
+
+use crate::hardware::GpuSpec;
+
+/// V100 profile for the fine-tuning regime (b=32, s=512).
+pub fn v100_finetune() -> GpuSpec {
+    GpuSpec {
+        sec_per_flop: 1.38e-14,
+        bwd_over_fwd: 1.62,
+        // Table 4: 5.8 ms for 345M/4 params ≈ 6.7e-11 s/param.
+        sec_per_param_update: 6.7e-11,
+    }
+}
+
+/// V100 profile for the pre-training regime (b=128, s=128, MLM head).
+pub fn v100_pretrain() -> GpuSpec {
+    GpuSpec {
+        sec_per_flop: 3.35e-14,
+        bwd_over_fwd: 0.87,
+        // Table 7: 7.4 ms for 345M/16 params ≈ 3.4e-10 s/param.
+        sec_per_param_update: 3.4e-10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_plausible_v100_rates() {
+        // Achieved rates must sit below the 125 TFLOP/s fp16 peak.
+        for p in [v100_finetune(), v100_pretrain()] {
+            let tflops = 1.0 / p.sec_per_flop / 1e12;
+            assert!(tflops > 5.0 && tflops < 125.0, "{tflops} TFLOP/s");
+        }
+    }
+
+    #[test]
+    fn finetune_baseline_iteration_time() {
+        // TP=1, PP=4 fine-tuning baseline: paper measures 591.96 ms.
+        use crate::iteration::{simulate_iteration, TrainSetup};
+        use crate::plan::CompressionPlan;
+        use crate::topology::Parallelism;
+        use crate::workload::ModelShape;
+        use crate::ClusterSpec;
+        use actcomp_compress::cost::CostModel;
+
+        let setup = TrainSetup {
+            model: ModelShape::bert_large(),
+            seq: 512,
+            micro_batch: 32,
+            num_micro_batches: 1,
+            parallelism: Parallelism::new(1, 4),
+            cluster: ClusterSpec::p3_8xlarge(),
+            gpu: v100_finetune(),
+            plan: CompressionPlan::none(),
+            cost: CostModel::v100(),
+        };
+        let b = simulate_iteration(&setup);
+        assert!(
+            (b.total_ms - 591.96).abs() / 591.96 < 0.10,
+            "TP=1 PP=4 baseline {} vs paper 591.96",
+            b.total_ms
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! End-to-end iteration simulation: composes FLOP costs, collectives,
+//! codec latencies, and the pipeline schedule into the per-iteration
+//! breakdown the paper's Tables 2–4, 6, 7, 9 and 11–14 report.
+
+use crate::collective::{allgather_time, allreduce_time, p2p_time};
+use crate::hardware::{ClusterSpec, GpuSpec};
+use crate::pipeline::{simulate_gpipe, BoundaryTiming, StageTiming};
+use crate::plan::CompressionPlan;
+use crate::topology::{stage_layer_offsets, Parallelism};
+use crate::workload::{activation_elems, layer_flops, ModelShape};
+use actcomp_compress::cost::CostModel;
+use actcomp_compress::spec::Family;
+use serde::{Deserialize, Serialize};
+
+/// Complete description of one training configuration to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSetup {
+    /// Architecture being trained.
+    pub model: ModelShape,
+    /// Sequence length.
+    pub seq: usize,
+    /// Micro-batch size (sequences per pipeline micro-batch).
+    pub micro_batch: usize,
+    /// Micro-batches per iteration (`global_batch / micro_batch`).
+    pub num_micro_batches: usize,
+    /// (TP, PP) degrees.
+    pub parallelism: Parallelism,
+    /// Cluster the job runs on.
+    pub cluster: ClusterSpec,
+    /// Per-GPU compute profile (see `calibration`).
+    pub gpu: GpuSpec,
+    /// Compression placement.
+    pub plan: CompressionPlan,
+    /// Codec latency model.
+    pub cost: CostModel,
+}
+
+/// Simulated per-iteration time breakdown, all in milliseconds, using the
+/// paper's attribution: encode/decode/communication of tensor parallelism
+/// count as part of the forward step; the pipeline bubble and stage
+/// transfers appear under "waiting & pipeline comm".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationBreakdown {
+    /// Total iteration time.
+    pub total_ms: f64,
+    /// Forward time on the critical path (incl. tensor enc/dec/comm).
+    pub forward_ms: f64,
+    /// Backward time on the critical path.
+    pub backward_ms: f64,
+    /// Optimizer step.
+    pub optimizer_ms: f64,
+    /// Waiting (pipeline bubble) + pipeline communication.
+    pub wait_pp_ms: f64,
+    /// Tensor-parallel message encode time (within forward).
+    pub tensor_enc_ms: f64,
+    /// Tensor-parallel message decode time (within forward).
+    pub tensor_dec_ms: f64,
+    /// Tensor-parallel communication time (within forward).
+    pub tensor_comm_ms: f64,
+    /// Per-boundary transfer time per micro-batch, forward + backward
+    /// (the paper's Table 9 rows).
+    pub boundary_per_mb_ms: Vec<f64>,
+}
+
+impl IterationBreakdown {
+    /// Fraction of the iteration spent in model-parallel communication
+    /// (tensor comm + pipeline transfers) — the paper's Figure 1 metric.
+    pub fn comm_fraction(&self) -> f64 {
+        let pp: f64 = self.boundary_per_mb_ms.iter().sum();
+        // boundary_per_mb is per micro-batch; wait_pp_ms already captures
+        // the critical-path share, so use tensor comm + measured transfers.
+        (self.tensor_comm_ms + pp).min(self.total_ms) / self.total_ms
+    }
+}
+
+/// Per-stage aggregation used while assembling the breakdown.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageCosts {
+    fwd_s: f64,
+    bwd_s: f64,
+    enc_s: f64,
+    dec_s: f64,
+    comm_s: f64,
+}
+
+/// Simulates one training iteration.
+///
+/// # Panics
+///
+/// Panics if the parallelism does not fit the cluster or the model has
+/// fewer layers than pipeline stages.
+pub fn simulate_iteration(setup: &TrainSetup) -> IterationBreakdown {
+    let par = setup.parallelism;
+    let placement = setup.cluster.place(par);
+    let offsets = stage_layer_offsets(setup.model.layers, par.pp);
+    let per_stage = crate::topology::layers_per_stage(setup.model.layers, par.pp);
+
+    let h = setup.model.hidden;
+    let n = activation_elems(setup.micro_batch, setup.seq, h);
+    let dense_bytes = n * 2; // fp16 on the wire
+    let flops_total = layer_flops(setup.micro_batch, setup.seq, h) / par.tp as f64;
+    let r = setup.gpu.bwd_over_fwd;
+    let fwd_comp = flops_total / (1.0 + r) * setup.gpu.sec_per_flop;
+    let bwd_comp = fwd_comp * r;
+
+    let spec = setup.plan.spec;
+    let codec = setup.cost.codec_cost(spec, n, h);
+    let compressed_bytes = if setup.plan.is_active() {
+        spec.wire_bytes(n, h)
+    } else {
+        dense_bytes
+    };
+    // Extra per-op synchronization overhead the compressed *all-reduce*
+    // (auto-encoder) path pays on fused-collective fabrics: it replaces
+    // NCCL's captured dense all-reduce in place. The all-gather path the
+    // sparsifiers/quantizers take is a different collective to begin with
+    // and does not hit the fast path either way (see `LinkSpec` docs).
+    let sync_overhead = if spec.family() == Family::AutoEncoder {
+        placement.tp_link.compressed_collective_overhead * par.tp as f64 / 2.0
+    } else {
+        0.0
+    };
+
+    let dense_ar = allreduce_time(&placement.tp_link, par.tp, dense_bytes);
+
+    // Per-stage forward/backward times per micro-batch.
+    let mut costs: Vec<StageCosts> = Vec::with_capacity(par.pp);
+    for s in 0..par.pp {
+        let mut c = StageCosts::default();
+        for l in offsets[s]..offsets[s] + per_stage[s] {
+            // Forward: compute + 2 tensor-parallel collectives.
+            c.fwd_s += fwd_comp;
+            // Backward: compute + 2 dense all-reduces (activation grads are
+            // dense floats; §3.3).
+            c.bwd_s += bwd_comp;
+            if par.tp > 1 {
+                c.bwd_s += 2.0 * dense_ar;
+                if setup.plan.covers(l) {
+                    let comm = if spec.family() == Family::AutoEncoder {
+                        allreduce_time(&placement.tp_link, par.tp, compressed_bytes)
+                    } else {
+                        allgather_time(&placement.tp_link, par.tp, compressed_bytes)
+                    };
+                    // Non-summable compressors decode the (p−1) gathered
+                    // peer messages; the AE decodes the reduced code once.
+                    let dec = setup.cost.decode_gathered(spec, n, h, par.tp - 1);
+                    c.enc_s += 2.0 * codec.encode_s;
+                    c.dec_s += 2.0 * dec;
+                    c.comm_s += 2.0 * comm;
+                    c.fwd_s += 2.0 * (codec.encode_s + dec + comm + sync_overhead);
+                    if spec.family() == Family::AutoEncoder {
+                        // The AE's encoder/decoder matmuls also run in the
+                        // backward pass (Table 4: A1/A2 raise backward time).
+                        c.bwd_s += 2.0 * (codec.encode_s + codec.decode_s);
+                    }
+                } else {
+                    c.comm_s += 2.0 * dense_ar;
+                    c.fwd_s += 2.0 * dense_ar;
+                }
+            }
+        }
+        costs.push(c);
+    }
+
+    // Pipeline boundaries. Boundary i carries the activation feeding stage
+    // i+1; it is compressed iff that stage's first layer is compressed.
+    let mut boundaries = Vec::with_capacity(par.pp.saturating_sub(1));
+    let mut boundary_per_mb_ms = Vec::with_capacity(par.pp.saturating_sub(1));
+    for b in 0..par.pp.saturating_sub(1) {
+        let link = &placement.boundary_links[b];
+        let receiving_first_layer = offsets[b + 1];
+        let compressed = setup.plan.covers(receiving_first_layer);
+        let (fwd_s, bwd_s) = if compressed {
+            let fwd_bytes = compressed_bytes;
+            // Sparse and AE gradients travel compressed; quantized
+            // gradients cannot (PyTorch's backward engine only supports
+            // float gradients — §3.3).
+            let bwd_bytes = match spec.family() {
+                Family::Quantization => dense_bytes,
+                _ => compressed_bytes,
+            };
+            // Backward re-encoding is free for sparsifiers (the gradient
+            // reuses the forward mask) and for the AE (the code-space
+            // gradient is produced directly by the decoder's backward);
+            // quantized gradients travel dense (no codec at all).
+            let bwd_codec = match spec.family() {
+                Family::Quantization => 0.0,
+                _ => codec.decode_s,
+            };
+            (
+                p2p_time(link, fwd_bytes) + codec.encode_s + codec.decode_s,
+                p2p_time(link, bwd_bytes) + bwd_codec,
+            )
+        } else {
+            (p2p_time(link, dense_bytes), p2p_time(link, dense_bytes))
+        };
+        boundaries.push(BoundaryTiming { fwd_s, bwd_s });
+        boundary_per_mb_ms.push((fwd_s + bwd_s) * 1e3);
+    }
+
+    let stage_timings: Vec<StageTiming> = costs
+        .iter()
+        .map(|c| StageTiming {
+            fwd_s: c.fwd_s,
+            bwd_s: c.bwd_s,
+        })
+        .collect();
+    let m = setup.num_micro_batches;
+    let pipe = simulate_gpipe(&stage_timings, &boundaries, m);
+
+    // Critical-path attribution: for m = 1 the stages run strictly
+    // serially, so each component sums across stages (the paper's Table 4
+    // convention); for deep pipelines the bottleneck stage executes m
+    // micro-batches back to back and its components dominate (Table 7).
+    let serial: f64 = costs.iter().map(|c| c.fwd_s + c.bwd_s).sum();
+    let bottleneck = costs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            (a.1.fwd_s + a.1.bwd_s)
+                .partial_cmp(&(b.1.fwd_s + b.1.bwd_s))
+                .expect("stage times are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one stage");
+    let bn = &costs[bottleneck];
+    let use_serial = serial >= m as f64 * (bn.fwd_s + bn.bwd_s);
+    let critical = |f: &dyn Fn(&StageCosts) -> f64| -> f64 {
+        if use_serial {
+            costs.iter().map(|c| f(c)).sum()
+        } else {
+            m as f64 * f(bn)
+        }
+    };
+    let forward_s = critical(&|c: &StageCosts| c.fwd_s);
+    let backward_s = critical(&|c: &StageCosts| c.bwd_s);
+    let tensor_enc_s = critical(&|c: &StageCosts| c.enc_s);
+    let tensor_dec_s = critical(&|c: &StageCosts| c.dec_s);
+    let tensor_comm_s = critical(&|c: &StageCosts| c.comm_s);
+
+    let params_per_gpu = setup.model.num_params() as f64 / par.gpus() as f64;
+    let optimizer_s = params_per_gpu * setup.gpu.sec_per_param_update;
+
+    let total_s = pipe.makespan_s + optimizer_s;
+    let wait_pp_s = (pipe.makespan_s - forward_s - backward_s).max(0.0);
+
+    IterationBreakdown {
+        total_ms: total_s * 1e3,
+        forward_ms: forward_s * 1e3,
+        backward_ms: backward_s * 1e3,
+        optimizer_ms: optimizer_s * 1e3,
+        wait_pp_ms: wait_pp_s * 1e3,
+        tensor_enc_ms: tensor_enc_s * 1e3,
+        tensor_dec_ms: tensor_dec_s * 1e3,
+        tensor_comm_ms: tensor_comm_s * 1e3,
+        boundary_per_mb_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration;
+    use actcomp_compress::spec::CompressorSpec;
+
+    fn finetune_setup(tp: usize, pp: usize, plan: CompressionPlan) -> TrainSetup {
+        TrainSetup {
+            model: ModelShape::bert_large(),
+            seq: 512,
+            micro_batch: 32,
+            num_micro_batches: 1,
+            parallelism: Parallelism::new(tp, pp),
+            cluster: ClusterSpec::local_no_nvlink(),
+            gpu: calibration::v100_finetune(),
+            plan,
+            cost: CostModel::v100(),
+        }
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let b = simulate_iteration(&finetune_setup(2, 2, CompressionPlan::none()));
+        let parts = b.forward_ms + b.backward_ms + b.optimizer_ms + b.wait_pp_ms;
+        assert!(
+            (parts - b.total_ms).abs() / b.total_ms < 1e-6,
+            "{parts} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn enc_dec_comm_within_forward() {
+        let plan = CompressionPlan::last_layers(CompressorSpec::A1, 24, 12);
+        let b = simulate_iteration(&finetune_setup(2, 2, plan));
+        assert!(b.tensor_enc_ms + b.tensor_dec_ms + b.tensor_comm_ms <= b.forward_ms);
+        assert!(b.tensor_enc_ms > 0.0 && b.tensor_dec_ms > 0.0);
+    }
+
+    #[test]
+    fn tp1_has_no_tensor_comm() {
+        let plan = CompressionPlan::last_layers(CompressorSpec::A1, 24, 12);
+        let b = simulate_iteration(&finetune_setup(1, 4, plan));
+        assert_eq!(b.tensor_comm_ms, 0.0);
+        assert_eq!(b.tensor_enc_ms, 0.0);
+    }
+
+    #[test]
+    fn ae_beats_baseline_without_nvlink() {
+        // The paper's headline: up to ~18% end-to-end speedup from AE on
+        // the PCIe machine (Table 3 / Takeaway 1).
+        let base = simulate_iteration(&finetune_setup(2, 2, CompressionPlan::none()));
+        let a1 = simulate_iteration(&finetune_setup(
+            2,
+            2,
+            CompressionPlan::last_layers(CompressorSpec::A1, 24, 12),
+        ));
+        assert!(
+            a1.total_ms < base.total_ms,
+            "A1 {} >= baseline {}",
+            a1.total_ms,
+            base.total_ms
+        );
+        let speedup = base.total_ms / a1.total_ms;
+        assert!(speedup > 1.05 && speedup < 1.30, "speedup {speedup}");
+    }
+
+    #[test]
+    fn randk_is_catastrophic() {
+        let base = simulate_iteration(&finetune_setup(2, 2, CompressionPlan::none()));
+        let r4 = simulate_iteration(&finetune_setup(
+            2,
+            2,
+            CompressionPlan::last_layers(CompressorSpec::R4, 24, 12),
+        ));
+        assert!(
+            r4.total_ms > 10.0 * base.total_ms,
+            "R4 {} not catastrophic vs {}",
+            r4.total_ms,
+            base.total_ms
+        );
+    }
+
+    #[test]
+    fn quantization_gains_nothing_on_nvlink() {
+        // Table 2: Q1 is (slightly) slower than the baseline on the NVLink
+        // machine; Table 4 shows it roughly break-even on PCIe.
+        let nvlink = |plan| {
+            let mut s = finetune_setup(2, 2, plan);
+            s.cluster = ClusterSpec::p3_8xlarge();
+            simulate_iteration(&s)
+        };
+        let base = nvlink(CompressionPlan::none());
+        let q1 = nvlink(CompressionPlan::last_layers(CompressorSpec::Q1, 24, 12));
+        assert!(
+            q1.total_ms > base.total_ms,
+            "Q1 {} should not beat baseline {} on NVLink",
+            q1.total_ms,
+            base.total_ms
+        );
+
+        // PCIe: within a few percent of the baseline either way.
+        let base_pcie = simulate_iteration(&finetune_setup(2, 2, CompressionPlan::none()));
+        let q1_pcie = simulate_iteration(&finetune_setup(
+            2,
+            2,
+            CompressionPlan::last_layers(CompressorSpec::Q1, 24, 12),
+        ));
+        let rel = (q1_pcie.total_ms - base_pcie.total_ms).abs() / base_pcie.total_ms;
+        assert!(rel < 0.05, "Q1 on PCIe deviates {rel}");
+    }
+
+    #[test]
+    fn boundary_compression_shows_in_table9_shape() {
+        // Pre-train setup: TP=4, PP=4 over 4 nodes, A2 on last 12 layers:
+        // boundary 0 uncompressed, boundaries 1 and 2 compressed.
+        let setup = TrainSetup {
+            model: ModelShape::bert_large(),
+            seq: 128,
+            micro_batch: 128,
+            num_micro_batches: 8,
+            parallelism: Parallelism::new(4, 4),
+            cluster: ClusterSpec::p3_cluster(4),
+            gpu: calibration::v100_pretrain(),
+            plan: CompressionPlan::last_layers(CompressorSpec::A2, 24, 12),
+            cost: CostModel::v100(),
+        };
+        let b = simulate_iteration(&setup);
+        assert_eq!(b.boundary_per_mb_ms.len(), 3);
+        assert!(
+            b.boundary_per_mb_ms[0] > 5.0 * b.boundary_per_mb_ms[1],
+            "boundary 0 {} should dwarf compressed boundary 1 {}",
+            b.boundary_per_mb_ms[0],
+            b.boundary_per_mb_ms[1]
+        );
+        assert!((b.boundary_per_mb_ms[1] - b.boundary_per_mb_ms[2]).abs() < 1.0);
+    }
+
+    #[test]
+    fn deeper_tp_reduces_compute_share() {
+        let t2 = simulate_iteration(&finetune_setup(2, 2, CompressionPlan::none()));
+        let t4 = simulate_iteration(&finetune_setup(4, 1, CompressionPlan::none()));
+        // Forward compute shrinks with TP even if comm grows on PCIe.
+        assert!(t4.forward_ms - t4.tensor_comm_ms < t2.forward_ms - t2.tensor_comm_ms);
+    }
+}

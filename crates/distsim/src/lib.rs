@@ -1,0 +1,66 @@
+//! # actcomp-distsim
+//!
+//! A simulated GPU cluster for the throughput side of the `actcomp`
+//! reproduction of *"Does Compressing Activations Help Model Parallel
+//! Training?"* (MLSys 2024).
+//!
+//! The paper measures BERT-Large iteration times on 4–16 V100s across
+//! NVLink, PCIe and 10 Gbps fabrics. This crate substitutes that hardware
+//! with calibrated analytical models composed by an exact pipeline-schedule
+//! simulation:
+//!
+//! - [`hardware`]: GPU and link specs with effective (measured-equivalent)
+//!   rates; presets for the paper's two machines and its 4-node cluster,
+//! - [`topology`]: placing `(TP, PP)` onto nodes, per-boundary links,
+//! - [`collective`]: ring all-reduce / all-gather / p2p cost models,
+//! - [`pipeline`]: dependency-exact GPipe schedule simulation,
+//! - [`iteration`]: the full per-iteration breakdown (forward / backward /
+//!   optimizer / waiting / tensor enc / dec / comm) that regenerates the
+//!   paper's Tables 2–4, 6, 7, 9 and 11–14,
+//! - [`calibration`]: compute profiles with documented provenance.
+//!
+//! # Example
+//!
+//! ```
+//! use actcomp_distsim::{
+//!     calibration, iteration::{simulate_iteration, TrainSetup},
+//!     plan::CompressionPlan, topology::Parallelism, workload::ModelShape,
+//!     ClusterSpec,
+//! };
+//! use actcomp_compress::{cost::CostModel, spec::CompressorSpec};
+//!
+//! let setup = TrainSetup {
+//!     model: ModelShape::bert_large(),
+//!     seq: 512,
+//!     micro_batch: 32,
+//!     num_micro_batches: 1,
+//!     parallelism: Parallelism::new(2, 2),
+//!     cluster: ClusterSpec::local_no_nvlink(),
+//!     gpu: calibration::v100_finetune(),
+//!     plan: CompressionPlan::last_layers(CompressorSpec::A1, 24, 12),
+//!     cost: CostModel::v100(),
+//! };
+//! let breakdown = simulate_iteration(&setup);
+//! assert!(breakdown.total_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod collective;
+pub mod dp;
+pub mod hardware;
+pub mod iteration;
+pub mod memory;
+pub mod pipeline;
+pub mod plan;
+pub mod schedule;
+pub mod topology;
+pub mod workload;
+
+pub use hardware::{ClusterSpec, GpuSpec, LinkKind, LinkSpec, MachineSpec};
+pub use iteration::{simulate_iteration, IterationBreakdown, TrainSetup};
+pub use pipeline::{simulate_gpipe, PipelineResult};
+pub use schedule::simulate_1f1b;
+pub use plan::CompressionPlan;
+pub use topology::Parallelism;

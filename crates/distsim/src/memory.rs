@@ -1,0 +1,170 @@
+//! Per-GPU activation-memory model.
+//!
+//! Iteration *time* is what the paper tabulates, but the schedules and
+//! compression choices it studies also move activation *memory* — the
+//! resource that forces model parallelism in the first place (§2.1: "the
+//! worker may not have enough memory"). This module models the per-GPU
+//! activation footprint so the repository can quantify that second axis:
+//! GPipe's flush holds all `m` micro-batches' stage activations at once,
+//! 1F1B holds at most `p − s` per stage, and compressing the stashed
+//! boundary activations shrinks both.
+
+use crate::plan::CompressionPlan;
+use crate::topology::{layers_per_stage, stage_layer_offsets, Parallelism};
+use crate::workload::ModelShape;
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline schedule's stash discipline to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// All-forward-then-all-backward: every stage stashes all `m`
+    /// micro-batches until the flush.
+    GPipe,
+    /// One-forward-one-backward: stage `s` stashes at most
+    /// `min(p − s, m)` micro-batches (its warmup depth).
+    OneFOneB,
+}
+
+/// Per-GPU activation memory of one stage, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageMemory {
+    /// Stage index.
+    pub stage: usize,
+    /// Micro-batches stashed simultaneously under the schedule.
+    pub stashed_microbatches: usize,
+    /// Bytes of stashed layer activations (fp16).
+    pub activation_bytes: usize,
+}
+
+/// Activation memory per stage for a training configuration.
+///
+/// Each layer's backward needs its input activation (`b·s·h` elements,
+/// fp16) per stashed micro-batch; tensor parallelism divides the
+/// per-layer stash across the TP group (each rank keeps its shard of the
+/// attention/MLP internals, modelled as `1/tp` of the layer stash, plus
+/// the full layer-boundary activation). Compressed layers stash the
+/// *compressed* boundary activation — recomputing the decompression on
+/// the backward pass — which is the memory upside the paper leaves to
+/// future work.
+pub fn activation_memory(
+    model: &ModelShape,
+    par: Parallelism,
+    micro_batch: usize,
+    seq: usize,
+    num_micro_batches: usize,
+    schedule: Schedule,
+    plan: &CompressionPlan,
+) -> Vec<StageMemory> {
+    let per_stage = layers_per_stage(model.layers, par.pp);
+    let offsets = stage_layer_offsets(model.layers, par.pp);
+    let boundary_elems = micro_batch * seq * model.hidden;
+
+    (0..par.pp)
+        .map(|s| {
+            let stashed = match schedule {
+                Schedule::GPipe => num_micro_batches,
+                Schedule::OneFOneB => (par.pp - s).min(num_micro_batches),
+            };
+            let mut per_mb_bytes = 0usize;
+            for l in offsets[s]..offsets[s] + per_stage[s] {
+                // Layer-internal stash (Q/K/V, MLP hidden, softmax probs):
+                // ≈ 8·b·s·h elements, sharded across the TP group.
+                let internal = 8 * boundary_elems / par.tp;
+                // Layer-boundary activation, replicated across TP ranks;
+                // compressed layers keep the compressed form instead.
+                let boundary = if plan.covers(l) {
+                    plan.spec.wire_bytes(boundary_elems, model.hidden) / 2
+                } else {
+                    boundary_elems
+                };
+                per_mb_bytes += (internal + boundary) * 2; // fp16
+            }
+            StageMemory {
+                stage: s,
+                stashed_microbatches: stashed,
+                activation_bytes: stashed * per_mb_bytes,
+            }
+        })
+        .collect()
+}
+
+/// The peak per-GPU activation memory across stages, in bytes.
+pub fn peak_activation_bytes(stages: &[StageMemory]) -> usize {
+    stages.iter().map(|s| s.activation_bytes).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_compress::spec::CompressorSpec;
+
+    fn base(
+        schedule: Schedule,
+        plan: &CompressionPlan,
+        tp: usize,
+        pp: usize,
+        m: usize,
+    ) -> Vec<StageMemory> {
+        activation_memory(
+            &ModelShape::bert_large(),
+            Parallelism::new(tp, pp),
+            128,
+            128,
+            m,
+            schedule,
+            plan,
+        )
+    }
+
+    #[test]
+    fn gpipe_stashes_all_microbatches() {
+        let stages = base(Schedule::GPipe, &CompressionPlan::none(), 4, 4, 8);
+        assert!(stages.iter().all(|s| s.stashed_microbatches == 8));
+    }
+
+    #[test]
+    fn one_f_one_b_stash_decreases_along_pipeline() {
+        let stages = base(Schedule::OneFOneB, &CompressionPlan::none(), 4, 4, 8);
+        let depths: Vec<usize> = stages.iter().map(|s| s.stashed_microbatches).collect();
+        assert_eq!(depths, vec![4, 3, 2, 1]);
+        // 1F1B's peak is below GPipe's.
+        let gpipe = base(Schedule::GPipe, &CompressionPlan::none(), 4, 4, 8);
+        assert!(peak_activation_bytes(&stages) < peak_activation_bytes(&gpipe));
+    }
+
+    #[test]
+    fn tensor_parallelism_divides_internal_stash() {
+        let tp1 = base(Schedule::GPipe, &CompressionPlan::none(), 1, 4, 8);
+        let tp4 = base(Schedule::GPipe, &CompressionPlan::none(), 4, 4, 8);
+        let r = tp1[0].activation_bytes as f64 / tp4[0].activation_bytes as f64;
+        assert!(r > 2.5 && r < 4.0, "TP=4 should cut ~the sharded part: {r}");
+    }
+
+    #[test]
+    fn compression_shrinks_compressed_stages_only() {
+        let plan = CompressionPlan::last_layers(CompressorSpec::A1, 24, 12);
+        let plain = base(Schedule::GPipe, &CompressionPlan::none(), 4, 4, 8);
+        let comp = base(Schedule::GPipe, &plan, 4, 4, 8);
+        // Stages 0–1 (layers 0..12) unchanged; stages 2–3 smaller.
+        assert_eq!(plain[0].activation_bytes, comp[0].activation_bytes);
+        assert_eq!(plain[1].activation_bytes, comp[1].activation_bytes);
+        assert!(comp[2].activation_bytes < plain[2].activation_bytes);
+        assert!(comp[3].activation_bytes < plain[3].activation_bytes);
+    }
+
+    #[test]
+    fn bert_large_scale_is_plausible() {
+        // GPipe, TP=4/PP=4, mb=128, s=128, m=8: activation stash should be
+        // in the single-digit GB per GPU — the regime that motivates
+        // model parallelism on 16 GB V100s.
+        let stages = base(Schedule::GPipe, &CompressionPlan::none(), 4, 4, 8);
+        let peak = peak_activation_bytes(&stages) as f64 / 1e9;
+        assert!((1.0..16.0).contains(&peak), "peak {peak} GB");
+    }
+
+    #[test]
+    fn microbatch_count_caps_1f1b_stash() {
+        let stages = base(Schedule::OneFOneB, &CompressionPlan::none(), 4, 4, 2);
+        assert!(stages.iter().all(|s| s.stashed_microbatches <= 2));
+    }
+}

@@ -1,0 +1,238 @@
+//! Pipeline-schedule simulation (GPipe-style flush schedule).
+//!
+//! Given per-stage forward/backward times and per-boundary transfer times,
+//! the simulator computes the exact start/finish time of every
+//! (micro-batch, stage) cell by dependency-respecting dynamic programming,
+//! yielding the iteration makespan, per-stage busy/idle split, and
+//! per-boundary communication totals — the quantities behind the paper's
+//! "Waiting & Pipeline Comm." column and Table 9.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-micro-batch timing of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Forward time of one micro-batch through this stage (including its
+    /// tensor-parallel communication and any encode/decode cost).
+    pub fwd_s: f64,
+    /// Backward time of one micro-batch.
+    pub bwd_s: f64,
+}
+
+/// Per-micro-batch timing of one stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryTiming {
+    /// Activation transfer time, stage `i → i+1`.
+    pub fwd_s: f64,
+    /// Activation-gradient transfer time, stage `i+1 → i`.
+    pub bwd_s: f64,
+}
+
+/// Result of simulating one training iteration's pipeline schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// Iteration makespan (first forward start to last backward finish).
+    pub makespan_s: f64,
+    /// Per-stage total busy time (forward + backward over all
+    /// micro-batches).
+    pub busy_s: Vec<f64>,
+    /// Per-stage idle ("waiting") time: makespan − busy.
+    pub idle_s: Vec<f64>,
+    /// Per-boundary total transfer time over the iteration
+    /// (`m · (fwd + bwd)` per boundary).
+    pub boundary_total_s: Vec<f64>,
+}
+
+impl PipelineResult {
+    /// Idle time of the busiest stage — a proxy for the paper's
+    /// "Waiting & Pipeline Comm." attribution.
+    pub fn min_idle_s(&self) -> f64 {
+        self.idle_s.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Simulates a GPipe flush schedule: all `m` micro-batch forwards, then all
+/// backwards, with stage-to-stage dependencies through the boundary
+/// transfers.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty, `m == 0`, or `boundaries.len() + 1 !=
+/// stages.len()`.
+pub fn simulate_gpipe(
+    stages: &[StageTiming],
+    boundaries: &[BoundaryTiming],
+    m: usize,
+) -> PipelineResult {
+    let p = stages.len();
+    assert!(p > 0, "pipeline needs at least one stage");
+    assert!(m > 0, "pipeline needs at least one micro-batch");
+    assert_eq!(
+        boundaries.len() + 1,
+        p,
+        "{} boundaries for {p} stages",
+        boundaries.len()
+    );
+
+    // Forward phase: fwd[i][s] = finish time of micro-batch i on stage s.
+    let mut fwd = vec![vec![0.0f64; p]; m];
+    for i in 0..m {
+        for s in 0..p {
+            let after_prev_stage = if s == 0 {
+                0.0
+            } else {
+                fwd[i][s - 1] + boundaries[s - 1].fwd_s
+            };
+            let after_prev_mb = if i == 0 { 0.0 } else { fwd[i - 1][s] };
+            fwd[i][s] = after_prev_stage.max(after_prev_mb) + stages[s].fwd_s;
+        }
+    }
+
+    // Backward phase (flush: backward begins once the stage has finished
+    // all its forwards; the last stage additionally waits for nothing else).
+    let mut bwd = vec![vec![0.0f64; p]; m];
+    let all_fwd_done: Vec<f64> = (0..p).map(|s| fwd[m - 1][s]).collect();
+    for i in 0..m {
+        for s in (0..p).rev() {
+            let after_next_stage = if s == p - 1 {
+                0.0
+            } else {
+                bwd[i][s + 1] + boundaries[s].bwd_s
+            };
+            let after_prev_mb = if i == 0 { all_fwd_done[s] } else { bwd[i - 1][s] };
+            bwd[i][s] = after_next_stage.max(after_prev_mb) + stages[s].bwd_s;
+        }
+    }
+
+    let makespan = bwd[m - 1][0].max(
+        (0..p)
+            .map(|s| bwd[m - 1][s])
+            .fold(0.0f64, f64::max),
+    );
+    let busy: Vec<f64> = stages
+        .iter()
+        .map(|st| m as f64 * (st.fwd_s + st.bwd_s))
+        .collect();
+    let idle: Vec<f64> = busy.iter().map(|b| makespan - b).collect();
+    let boundary_total: Vec<f64> = boundaries
+        .iter()
+        .map(|b| m as f64 * (b.fwd_s + b.bwd_s))
+        .collect();
+
+    PipelineResult {
+        makespan_s: makespan,
+        busy_s: busy,
+        idle_s: idle,
+        boundary_total_s: boundary_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(p: usize, fwd: f64, bwd: f64, comm: f64) -> (Vec<StageTiming>, Vec<BoundaryTiming>) {
+        (
+            vec![StageTiming { fwd_s: fwd, bwd_s: bwd }; p],
+            vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1],
+        )
+    }
+
+    #[test]
+    fn single_stage_single_microbatch() {
+        let (s, b) = uniform(1, 2.0, 3.0, 0.0);
+        let r = simulate_gpipe(&s, &b, 1);
+        assert!((r.makespan_s - 5.0).abs() < 1e-12);
+        assert!((r.idle_s[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_stages_one_microbatch_is_serial() {
+        // m=1: stages execute strictly serially (the fine-tuning regime).
+        let (s, b) = uniform(2, 1.0, 2.0, 0.5);
+        let r = simulate_gpipe(&s, &b, 1);
+        // fwd: 1 + 0.5 + 1 = 2.5 ; bwd: 2 + 0.5 + 2 = 4.5 → 7.0
+        assert!((r.makespan_s - 7.0).abs() < 1e-12, "{}", r.makespan_s);
+        // Each stage busy 3.0, idle 4.0.
+        assert!((r.idle_s[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpipe_bubble_formula_uniform_stages() {
+        // Classic GPipe with zero comm: makespan = (m + p − 1)(tf + tb).
+        let (s, b) = uniform(4, 1.0, 2.0, 0.0);
+        let m = 8;
+        let r = simulate_gpipe(&s, &b, m);
+        let expected = (m + 4 - 1) as f64 * 3.0;
+        assert!(
+            (r.makespan_s - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.makespan_s
+        );
+    }
+
+    #[test]
+    fn more_microbatches_amortize_the_bubble() {
+        let (s, b) = uniform(4, 1.0, 2.0, 0.0);
+        let t8 = simulate_gpipe(&s, &b, 8).makespan_s / 8.0;
+        let t32 = simulate_gpipe(&s, &b, 32).makespan_s / 32.0;
+        assert!(t32 < t8, "per-micro-batch time should drop: {t32} vs {t8}");
+    }
+
+    #[test]
+    fn slow_boundary_slows_iteration() {
+        let (s, b_fast) = uniform(4, 1.0, 2.0, 0.01);
+        let (_, b_slow) = uniform(4, 1.0, 2.0, 1.0);
+        let fast = simulate_gpipe(&s, &b_fast, 8).makespan_s;
+        let slow = simulate_gpipe(&s, &b_slow, 8).makespan_s;
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn straggler_stage_dominates() {
+        let mut stages = vec![StageTiming { fwd_s: 1.0, bwd_s: 1.0 }; 4];
+        stages[2] = StageTiming { fwd_s: 5.0, bwd_s: 5.0 };
+        let b = vec![BoundaryTiming { fwd_s: 0.0, bwd_s: 0.0 }; 3];
+        let m = 16;
+        let r = simulate_gpipe(&stages, &b, m);
+        // The slow stage's throughput bound: >= m * (tf + tb) of straggler.
+        assert!(r.makespan_s >= m as f64 * 10.0);
+        // And its idle time is the smallest.
+        let min_idx = r
+            .idle_s
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_idx, 2);
+    }
+
+    #[test]
+    fn causality_forward_order_respected() {
+        // Finish times strictly increase along stages for a given mb.
+        let (s, b) = uniform(4, 1.0, 1.0, 0.1);
+        let r = simulate_gpipe(&s, &b, 2);
+        assert!(r.makespan_s > 0.0);
+        // Busy + idle == makespan per stage.
+        for st in 0..4 {
+            assert!((r.busy_s[st] + r.idle_s[st] - r.makespan_s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boundary_totals_scale_with_microbatches() {
+        let (s, b) = uniform(3, 1.0, 1.0, 0.25);
+        let r = simulate_gpipe(&s, &b, 4);
+        for bt in &r.boundary_total_s {
+            assert!((bt - 4.0 * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries")]
+    fn boundary_count_checked() {
+        let (s, _) = uniform(3, 1.0, 1.0, 0.0);
+        simulate_gpipe(&s, &[], 1);
+    }
+}

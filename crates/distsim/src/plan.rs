@@ -1,0 +1,4 @@
+//! Re-export of the compression placement plan (defined in
+//! `actcomp-compress`, shared with the numerically-real `actcomp-mp`).
+
+pub use actcomp_compress::plan::CompressionPlan;

@@ -1,0 +1,251 @@
+//! General pipeline-schedule simulation via dependency graphs, including
+//! Megatron's 1F1B (PipeDream-flush) schedule.
+//!
+//! [`crate::pipeline::simulate_gpipe`] computes the GPipe flush schedule
+//! with closed-form dynamic programming. This module generalizes: a
+//! schedule is a per-stage *order* of forward/backward micro-batch
+//! operations; makespan is the longest path through the DAG of
+//! (intra-stage sequencing) ∪ (inter-stage activation/gradient transfer)
+//! edges. That lets us simulate 1F1B — which Megatron-LM actually runs —
+//! and verify the textbook result that its *makespan* equals GPipe's
+//! (the schedules differ in peak memory, which a time simulator doesn't
+//! see).
+
+use crate::pipeline::{BoundaryTiming, PipelineResult, StageTiming};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One pipeline operation: the forward or backward of one micro-batch on
+/// one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Micro-batch index.
+    pub mb: usize,
+    /// Pipeline stage.
+    pub stage: usize,
+    /// Backward (true) or forward (false).
+    pub backward: bool,
+}
+
+/// Builds each stage's 1F1B operation order: `min(p − s, m)` warmup
+/// forwards, then alternating backward/forward in steady state, then the
+/// backward drain.
+pub fn one_f_one_b_order(p: usize, m: usize, stage: usize) -> Vec<Op> {
+    let warmup = (p - stage).min(m);
+    let mut ops = Vec::with_capacity(2 * m);
+    for mb in 0..warmup {
+        ops.push(Op {
+            mb,
+            stage,
+            backward: false,
+        });
+    }
+    let mut next_fwd = warmup;
+    let mut next_bwd = 0;
+    while next_bwd < m {
+        ops.push(Op {
+            mb: next_bwd,
+            stage,
+            backward: true,
+        });
+        next_bwd += 1;
+        if next_fwd < m {
+            ops.push(Op {
+                mb: next_fwd,
+                stage,
+                backward: false,
+            });
+            next_fwd += 1;
+        }
+    }
+    ops
+}
+
+/// Simulates an arbitrary per-stage operation order, returning the same
+/// result shape as the GPipe simulator.
+///
+/// # Panics
+///
+/// Panics on malformed input (wrong boundary count, stages missing ops,
+/// or a cyclic schedule).
+pub fn simulate_schedule(
+    stages: &[StageTiming],
+    boundaries: &[BoundaryTiming],
+    orders: &[Vec<Op>],
+    m: usize,
+) -> PipelineResult {
+    let p = stages.len();
+    assert!(p > 0 && m > 0, "empty pipeline");
+    assert_eq!(boundaries.len() + 1, p, "boundary count mismatch");
+    assert_eq!(orders.len(), p, "one order per stage required");
+    for (s, order) in orders.iter().enumerate() {
+        assert_eq!(order.len(), 2 * m, "stage {s} must run 2m ops");
+    }
+
+    // Longest-path over the DAG via iterative relaxation (op count is
+    // small: 2·m·p). finish[op] = start + duration.
+    let mut finish: HashMap<Op, f64> = HashMap::new();
+    let duration = |op: &Op| {
+        if op.backward {
+            stages[op.stage].bwd_s
+        } else {
+            stages[op.stage].fwd_s
+        }
+    };
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds <= 2 * m * p + 2, "cyclic schedule");
+        for order in orders {
+            let mut prev_finish = 0.0f64;
+            for op in order {
+                // Cross-stage dependency.
+                let dep = if op.backward {
+                    (op.stage + 1 < p).then(|| {
+                        let up = Op {
+                            mb: op.mb,
+                            stage: op.stage + 1,
+                            backward: true,
+                        };
+                        finish.get(&up).copied().unwrap_or(f64::INFINITY)
+                            + boundaries[op.stage].bwd_s
+                    })
+                } else {
+                    (op.stage > 0).then(|| {
+                        let up = Op {
+                            mb: op.mb,
+                            stage: op.stage - 1,
+                            backward: false,
+                        };
+                        finish.get(&up).copied().unwrap_or(f64::INFINITY)
+                            + boundaries[op.stage - 1].fwd_s
+                    })
+                };
+                let start = prev_finish.max(dep.unwrap_or(0.0));
+                let f = start + duration(op);
+                if f.is_finite() {
+                    let entry = finish.entry(*op).or_insert(f64::INFINITY);
+                    if (*entry - f).abs() > 1e-12 {
+                        *entry = f;
+                        changed = true;
+                    }
+                    prev_finish = f;
+                } else {
+                    // Dependency not resolved yet this round.
+                    prev_finish = f64::INFINITY;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let makespan = finish
+        .values()
+        .copied()
+        .fold(0.0f64, f64::max);
+    assert!(makespan.is_finite(), "schedule did not resolve");
+    let busy: Vec<f64> = stages
+        .iter()
+        .map(|st| m as f64 * (st.fwd_s + st.bwd_s))
+        .collect();
+    let idle = busy.iter().map(|b| makespan - b).collect();
+    let boundary_total = boundaries
+        .iter()
+        .map(|b| m as f64 * (b.fwd_s + b.bwd_s))
+        .collect();
+    PipelineResult {
+        makespan_s: makespan,
+        busy_s: busy,
+        idle_s: idle,
+        boundary_total_s: boundary_total,
+    }
+}
+
+/// Simulates the 1F1B (PipeDream-flush) schedule Megatron-LM uses.
+pub fn simulate_1f1b(
+    stages: &[StageTiming],
+    boundaries: &[BoundaryTiming],
+    m: usize,
+) -> PipelineResult {
+    let orders: Vec<Vec<Op>> = (0..stages.len())
+        .map(|s| one_f_one_b_order(stages.len(), m, s))
+        .collect();
+    simulate_schedule(stages, boundaries, &orders, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::simulate_gpipe;
+
+    fn uniform(p: usize, fwd: f64, bwd: f64, comm: f64) -> (Vec<StageTiming>, Vec<BoundaryTiming>) {
+        (
+            vec![StageTiming { fwd_s: fwd, bwd_s: bwd }; p],
+            vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1],
+        )
+    }
+
+    #[test]
+    fn order_structure_is_1f1b() {
+        let order = one_f_one_b_order(4, 8, 0);
+        assert_eq!(order.len(), 16);
+        // Stage 0 warms up with p = 4 forwards.
+        assert!(order[..4].iter().all(|o| !o.backward));
+        // Then strictly alternates B, F.
+        assert!(order[4].backward && !order[5].backward);
+        // Last stage warms up with exactly 1 forward.
+        let last = one_f_one_b_order(4, 8, 3);
+        assert!(!last[0].backward && last[1].backward);
+    }
+
+    #[test]
+    fn matches_gpipe_makespan_on_uniform_stages() {
+        // The classic result: same bubble, same makespan — only memory
+        // differs (which a timing simulator doesn't observe).
+        for (p, m) in [(2usize, 4usize), (4, 8), (4, 16)] {
+            let (s, b) = uniform(p, 1.0, 2.0, 0.0);
+            let g = simulate_gpipe(&s, &b, m).makespan_s;
+            let f = simulate_1f1b(&s, &b, m).makespan_s;
+            assert!(
+                (g - f).abs() < 1e-9,
+                "p={p} m={m}: gpipe {g} vs 1f1b {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_stage_is_serial() {
+        let (s, b) = uniform(1, 1.0, 2.0, 0.0);
+        let r = simulate_1f1b(&s, &b, 4);
+        assert!((r.makespan_s - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_boundary_delays() {
+        let (s, b_fast) = uniform(4, 1.0, 1.0, 0.0);
+        let (_, b_slow) = uniform(4, 1.0, 1.0, 0.5);
+        let fast = simulate_1f1b(&s, &b_fast, 8).makespan_s;
+        let slow = simulate_1f1b(&s, &b_slow, 8).makespan_s;
+        assert!(slow > fast + 1.0);
+    }
+
+    #[test]
+    fn nonuniform_stages_bound_by_straggler() {
+        let mut stages = vec![StageTiming { fwd_s: 1.0, bwd_s: 1.0 }; 4];
+        stages[1] = StageTiming { fwd_s: 3.0, bwd_s: 3.0 };
+        let b = vec![BoundaryTiming { fwd_s: 0.0, bwd_s: 0.0 }; 3];
+        let m = 8;
+        let r = simulate_1f1b(&stages, &b, m);
+        assert!(r.makespan_s >= m as f64 * 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one order per stage")]
+    fn validates_orders() {
+        let (s, b) = uniform(2, 1.0, 1.0, 0.0);
+        simulate_schedule(&s, &b, &[], 2);
+    }
+}

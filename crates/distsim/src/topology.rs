@@ -1,0 +1,195 @@
+//! Mapping (tensor, pipeline) parallelism onto a cluster.
+//!
+//! GPUs are numbered node-major. Tensor-parallel groups take consecutive
+//! GPUs (so TP stays inside a node whenever `tp ≤ gpus/node`, the strategy
+//! Narayanan et al. 2021 recommend and the paper follows); pipeline stages
+//! are laid out across the remaining dimension.
+
+use crate::hardware::{ClusterSpec, LinkSpec};
+use serde::{Deserialize, Serialize};
+
+/// A (tensor-parallel, pipeline-parallel) degree pair — the paper's
+/// `(TP, PP)` tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Tensor model-parallel degree.
+    pub tp: usize,
+    /// Pipeline model-parallel degree.
+    pub pp: usize,
+}
+
+impl Parallelism {
+    /// Creates a degree pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either degree is zero.
+    pub fn new(tp: usize, pp: usize) -> Self {
+        assert!(tp > 0 && pp > 0, "parallel degrees must be positive");
+        Parallelism { tp, pp }
+    }
+
+    /// Total GPUs required.
+    pub fn gpus(&self) -> usize {
+        self.tp * self.pp
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TP={}, PP={}", self.tp, self.pp)
+    }
+}
+
+/// The concrete links a parallelism layout communicates over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Degrees being placed.
+    pub parallelism: Parallelism,
+    /// Link carrying tensor-parallel all-reduce traffic.
+    pub tp_link: LinkSpec,
+    /// Link for each of the `pp − 1` pipeline-stage boundaries,
+    /// boundary `i` sitting between stages `i` and `i+1`.
+    pub boundary_links: Vec<LinkSpec>,
+}
+
+impl Placement {
+    /// Whether the tensor-parallel group had to span nodes (the
+    /// catastrophic `TP=8` rows of the paper's Table 6).
+    pub fn tp_crosses_nodes(&self, cluster: &ClusterSpec) -> bool {
+        self.parallelism.tp > cluster.machine.gpus
+    }
+}
+
+impl ClusterSpec {
+    /// Places a parallelism layout on this cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp · pp` exceeds the cluster's GPU count.
+    pub fn place(&self, parallelism: Parallelism) -> Placement {
+        assert!(
+            parallelism.gpus() <= self.total_gpus(),
+            "{parallelism} needs {} GPUs but cluster has {}",
+            parallelism.gpus(),
+            self.total_gpus()
+        );
+        let gpn = self.machine.gpus;
+        let tp_link = if parallelism.tp <= gpn {
+            self.machine.intra
+        } else {
+            // TP group spans nodes: the slowest hop bounds the ring.
+            self.inter
+        };
+        let boundary_links = (0..parallelism.pp.saturating_sub(1))
+            .map(|s| {
+                // Representative rank 0 of each stage.
+                let from_gpu = s * parallelism.tp;
+                let to_gpu = (s + 1) * parallelism.tp;
+                if from_gpu / gpn == to_gpu / gpn {
+                    self.machine.intra
+                } else {
+                    self.inter
+                }
+            })
+            .collect();
+        Placement {
+            parallelism,
+            tp_link,
+            boundary_links,
+        }
+    }
+}
+
+/// Splits `layers` across `pp` stages as evenly as possible (Megatron's
+/// default balanced assignment); earlier stages get the remainder.
+///
+/// # Panics
+///
+/// Panics if `pp == 0` or `pp > layers`.
+pub fn layers_per_stage(layers: usize, pp: usize) -> Vec<usize> {
+    assert!(pp > 0 && pp <= layers, "cannot split {layers} layers into {pp} stages");
+    let base = layers / pp;
+    let extra = layers % pp;
+    (0..pp).map(|s| base + usize::from(s < extra)).collect()
+}
+
+/// The first (global) layer index of each stage.
+pub fn stage_layer_offsets(layers: usize, pp: usize) -> Vec<usize> {
+    let per = layers_per_stage(layers, pp);
+    let mut offsets = Vec::with_capacity(pp);
+    let mut acc = 0;
+    for l in per {
+        offsets.push(acc);
+        acc += l;
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::LinkKind;
+
+    #[test]
+    fn tp_within_node_uses_intra_link() {
+        let c = ClusterSpec::p3_cluster(4);
+        let p = c.place(Parallelism::new(4, 4));
+        assert_eq!(p.tp_link.kind, LinkKind::NvLink);
+        assert!(!p.tp_crosses_nodes(&c));
+    }
+
+    #[test]
+    fn tp_spanning_nodes_uses_ethernet() {
+        let c = ClusterSpec::p3_cluster(4);
+        let p = c.place(Parallelism::new(8, 2));
+        assert_eq!(p.tp_link.kind, LinkKind::Ethernet);
+        assert!(p.tp_crosses_nodes(&c));
+    }
+
+    #[test]
+    fn boundary_links_follow_node_boundaries() {
+        // TP=4 on 4-GPU nodes: every stage fills one node, so every
+        // pipeline boundary crosses nodes.
+        let c = ClusterSpec::p3_cluster(4);
+        let p = c.place(Parallelism::new(4, 4));
+        assert_eq!(p.boundary_links.len(), 3);
+        assert!(p.boundary_links.iter().all(|l| l.kind == LinkKind::Ethernet));
+
+        // TP=2, PP=2 on one node: boundary stays on NVLink.
+        let c1 = ClusterSpec::p3_8xlarge();
+        let p1 = c1.place(Parallelism::new(2, 2));
+        assert_eq!(p1.boundary_links.len(), 1);
+        assert_eq!(p1.boundary_links[0].kind, LinkKind::NvLink);
+
+        // TP=2, PP=8 on 4 nodes: boundaries alternate intra/inter.
+        let p2 = c.place(Parallelism::new(2, 8));
+        let kinds: Vec<LinkKind> = p2.boundary_links.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LinkKind::NvLink,
+                LinkKind::Ethernet,
+                LinkKind::NvLink,
+                LinkKind::Ethernet,
+                LinkKind::NvLink,
+                LinkKind::Ethernet,
+                LinkKind::NvLink
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 32 GPUs")]
+    fn rejects_oversubscription() {
+        ClusterSpec::p3_8xlarge().place(Parallelism::new(8, 4));
+    }
+
+    #[test]
+    fn layer_split_is_balanced() {
+        assert_eq!(layers_per_stage(24, 4), vec![6, 6, 6, 6]);
+        assert_eq!(layers_per_stage(24, 1), vec![24]);
+        assert_eq!(layers_per_stage(25, 4), vec![7, 6, 6, 6]);
+        assert_eq!(stage_layer_offsets(24, 4), vec![0, 6, 12, 18]);
+    }
+}

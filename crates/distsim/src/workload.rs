@@ -1,0 +1,86 @@
+//! Model shapes and FLOP accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural shape of the Transformer being trained (compute/comm
+/// geometry only — the real numerics live in `actcomp-nn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelShape {
+    /// Number of Transformer layers.
+    pub layers: usize,
+    /// Hidden width `h`.
+    pub hidden: usize,
+    /// Vocabulary size (embedding + MLM head geometry).
+    pub vocab: usize,
+    /// Maximum sequence length (position table).
+    pub max_seq: usize,
+}
+
+impl ModelShape {
+    /// BERT-Large: 24 layers, `h = 1024` (the paper's §4.1 model).
+    pub fn bert_large() -> Self {
+        ModelShape {
+            layers: 24,
+            hidden: 1024,
+            vocab: 30_522,
+            max_seq: 512,
+        }
+    }
+
+    /// Total parameter count (≈345 M for BERT-Large).
+    pub fn num_params(&self) -> usize {
+        // 12 h² weights + ~13 h biases/norms per layer, plus embeddings.
+        self.layers * (12 * self.hidden * self.hidden + 13 * self.hidden)
+            + (self.vocab + self.max_seq) * self.hidden
+    }
+}
+
+/// Forward+backward FLOPs of one Transformer layer for a `b`-sequence
+/// micro-batch of length `s` at hidden width `h`:
+/// `96·b·s·h² + 16·b·s²·h` (the paper's §4.7 formula, after
+/// Narayanan et al. 2021).
+pub fn layer_flops(b: usize, s: usize, h: usize) -> f64 {
+    let (b, s, h) = (b as f64, s as f64, h as f64);
+    96.0 * b * s * h * h + 16.0 * b * s * s * h
+}
+
+/// Elements in the activation tensor each tensor-parallel all-reduce moves:
+/// `b·s·h` (paper §4.7).
+pub fn activation_elems(b: usize, s: usize, h: usize) -> usize {
+    b * s * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_is_345m() {
+        let p = ModelShape::bert_large().num_params();
+        assert!(
+            (300_000_000..400_000_000).contains(&p),
+            "BERT-Large params {p}"
+        );
+    }
+
+    #[test]
+    fn flops_match_paper_arithmetic() {
+        // b=32, s=512, h=1024 → 96·b·s·h² = 1.649e12.
+        let f = layer_flops(32, 512, 1024);
+        assert!((f - 1.787e12).abs() / 1.787e12 < 0.01, "flops {f:.3e}");
+    }
+
+    #[test]
+    fn quadratic_term_grows_with_seq() {
+        // Doubling s more than doubles FLOPs (attention's s² term).
+        let f1 = layer_flops(32, 512, 1024);
+        let f2 = layer_flops(32, 1024, 1024);
+        assert!(f2 / f1 > 2.0);
+        assert!(f2 / f1 < 2.2);
+    }
+
+    #[test]
+    fn activation_size() {
+        assert_eq!(activation_elems(32, 512, 1024), 16_777_216);
+    }
+}

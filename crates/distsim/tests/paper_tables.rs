@@ -1,0 +1,172 @@
+//! Integration checks: the simulator against the paper's headline rows.
+//!
+//! Absolute times must land near the paper's measurements for baselines
+//! (simulator is calibrated on a subset of them); for compressed settings
+//! the *ordering* and rough magnitudes must hold.
+
+use actcomp_compress::cost::CostModel;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_distsim::{
+    calibration, simulate_iteration, ClusterSpec, CompressionPlan, Parallelism, TrainSetup,
+};
+use actcomp_distsim::workload::ModelShape;
+
+fn finetune(
+    cluster: ClusterSpec,
+    tp: usize,
+    pp: usize,
+    batch: usize,
+    seq: usize,
+    spec: CompressorSpec,
+) -> f64 {
+    let plan = if spec == CompressorSpec::Baseline {
+        CompressionPlan::none()
+    } else {
+        CompressionPlan::last_layers(spec, 24, 12)
+    };
+    // The AWS machine and the local machine run different software stacks
+    // with different measured topk kernels (see CostModel docs).
+    let cost = if cluster == ClusterSpec::local_no_nvlink() {
+        CostModel::v100()
+    } else {
+        CostModel::v100_aws()
+    };
+    let setup = TrainSetup {
+        model: ModelShape::bert_large(),
+        seq,
+        micro_batch: batch,
+        num_micro_batches: 1,
+        parallelism: Parallelism::new(tp, pp),
+        cluster,
+        gpu: calibration::v100_finetune(),
+        plan,
+        cost,
+    };
+    simulate_iteration(&setup).total_ms
+}
+
+fn pretrain(tp: usize, pp: usize, spec: CompressorSpec) -> f64 {
+    let plan = if spec == CompressorSpec::Baseline {
+        CompressionPlan::none()
+    } else {
+        CompressionPlan::last_layers(spec, 24, 12)
+    };
+    let setup = TrainSetup {
+        model: ModelShape::bert_large(),
+        seq: 128,
+        micro_batch: 128,
+        num_micro_batches: 8,
+        parallelism: Parallelism::new(tp, pp),
+        cluster: ClusterSpec::p3_cluster(4),
+        gpu: calibration::v100_pretrain(),
+        plan,
+        cost: CostModel::v100_pretrain(),
+    };
+    simulate_iteration(&setup).total_ms
+}
+
+#[test]
+fn print_main_table_rows() {
+    use CompressorSpec::*;
+    println!("=== Table 2 (fine-tune, NVLink, b=32 s=512) ===");
+    for (tp, pp) in [(1, 4), (2, 2), (4, 1)] {
+        print!("TP={tp} PP={pp}:");
+        for s in [Baseline, A1, A2, T1, T4, R1, R4, Q1, Q2] {
+            print!(" {}={:.0}", s.label(), finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, s));
+        }
+        println!();
+    }
+    println!("=== Table 3 bottom (no NVLink) ===");
+    for (tp, pp) in [(1, 4), (2, 2), (4, 1)] {
+        print!("TP={tp} PP={pp}:");
+        for s in [Baseline, A1, A2] {
+            print!(" {}={:.0}", s.label(), finetune(ClusterSpec::local_no_nvlink(), tp, pp, 32, 512, s));
+        }
+        println!();
+    }
+    println!("=== Table 6 (pre-train, 4 nodes, mb=128 s=128, m=8) ===");
+    for (tp, pp) in [(2, 8), (4, 4), (8, 2)] {
+        print!("TP={tp} PP={pp}:");
+        for s in [Baseline, A1, A2, T1, T2, R1, Q1, Q2] {
+            print!(" {}={:.0}", s.label(), pretrain(tp, pp, s));
+        }
+        println!();
+    }
+}
+
+#[test]
+fn table2_baselines_within_tolerance() {
+    // Paper: 591.96, 440.71, 261.48.
+    let cases = [((1, 4), 591.96), ((2, 2), 440.71), ((4, 1), 261.48)];
+    for ((tp, pp), paper) in cases {
+        let ours = finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, CompressorSpec::Baseline);
+        let rel = (ours - paper).abs() / paper;
+        assert!(rel < 0.15, "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})");
+    }
+}
+
+#[test]
+fn table3_no_nvlink_baselines_within_tolerance() {
+    // Paper: 633.17 and 646.14. (The paper's TP=4 row, 360.15 ms, is
+    // internally inconsistent with its own Table 4 per-op communication
+    // costs — see EXPERIMENTS.md — so only the AE speedup ratio is
+    // asserted for that row, in `ae_speedup_shape_matches_paper`.)
+    let cases = [((1, 4), 633.17), ((2, 2), 646.14)];
+    for ((tp, pp), paper) in cases {
+        let ours = finetune(ClusterSpec::local_no_nvlink(), tp, pp, 32, 512, CompressorSpec::Baseline);
+        let rel = (ours - paper).abs() / paper;
+        assert!(rel < 0.15, "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})");
+    }
+}
+
+#[test]
+fn ae_speedup_shape_matches_paper() {
+    // No NVLink: AE wins (up to ~18% at TP=4); NVLink: no meaningful win.
+    let no_nv_base = finetune(ClusterSpec::local_no_nvlink(), 4, 1, 32, 512, CompressorSpec::Baseline);
+    let no_nv_a1 = finetune(ClusterSpec::local_no_nvlink(), 4, 1, 32, 512, CompressorSpec::A1);
+    let speedup = no_nv_base / no_nv_a1;
+    assert!(speedup > 1.08, "no-NVLink TP=4 AE speedup {speedup}");
+
+    let nv_base = finetune(ClusterSpec::p3_8xlarge(), 4, 1, 32, 512, CompressorSpec::Baseline);
+    let nv_a1 = finetune(ClusterSpec::p3_8xlarge(), 4, 1, 32, 512, CompressorSpec::A1);
+    assert!(
+        nv_a1 > nv_base * 0.99,
+        "NVLink TP=4: A1 {nv_a1} should not beat baseline {nv_base}"
+    );
+}
+
+#[test]
+fn randk_ordering_is_catastrophic_everywhere() {
+    use CompressorSpec::*;
+    for (tp, pp) in [(2, 2), (4, 1)] {
+        let base = finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, Baseline);
+        let r1 = finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, R1);
+        let r4 = finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, R4);
+        assert!(r1 > 3.0 * base, "R1 {r1} vs base {base}");
+        assert!(r4 > r1 * 5.0, "R4 {r4} vs R1 {r1}");
+    }
+}
+
+#[test]
+fn pretrain_tp8_spanning_nodes_is_terrible() {
+    // Table 6: TP=8 PP=2 baseline is ~10x the TP=4 PP=4 row because the
+    // TP group crosses the 10 Gbps boundary.
+    let t44 = pretrain(4, 4, CompressorSpec::Baseline);
+    let t82 = pretrain(8, 2, CompressorSpec::Baseline);
+    assert!(t82 > 5.0 * t44, "TP=8 {t82} vs TP=4 {t44}");
+}
+
+#[test]
+fn pretrain_ae_and_topk_win_quant_loses() {
+    use CompressorSpec::*;
+    let base = pretrain(4, 4, Baseline);
+    let a2 = pretrain(4, 4, A2);
+    let t1 = pretrain(4, 4, T1);
+    let q1 = pretrain(4, 4, Q1);
+    assert!(a2 < base, "A2 {a2} vs base {base}");
+    assert!(t1 < base, "T1 {t1} vs base {base}");
+    assert!(q1 > base, "Q1 {q1} vs base {base}");
+    // Takeaway 4: AE speedup up to ~16%.
+    let speedup = base / a2;
+    assert!(speedup > 1.05 && speedup < 1.35, "pretrain AE speedup {speedup}");
+}

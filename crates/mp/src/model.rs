@@ -1,0 +1,456 @@
+//! The full model-parallel BERT: sharded encoder layers, pipeline
+//! boundaries, and per-layer compression placement — the numerically-real
+//! counterpart of the system the paper builds on Megatron-LM.
+
+use crate::pp::PipelineBoundary;
+use crate::reduce::{CommBytes, CompressedAllReduce};
+use crate::tp::TpEncoderLayer;
+use actcomp_compress::plan::CompressionPlan;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_compress::{Compressor, Identity};
+use actcomp_nn::{BertConfig, BertEncoder, Embedding, Layer, LayerNorm, Parameter};
+use actcomp_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a model-parallel training run.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MpConfig {
+    /// Architecture.
+    pub bert: BertConfig,
+    /// Tensor model-parallel degree.
+    pub tp: usize,
+    /// Pipeline model-parallel degree.
+    pub pp: usize,
+    /// Which layers are compressed, and how.
+    pub plan: CompressionPlan,
+    /// Expected tokens per forward pass (`batch · seq`), used to size
+    /// sparsifier element counts exactly as the paper's Table 1 does.
+    pub tokens: usize,
+    /// Wrap every compressor in an [`actcomp_compress::ErrorFeedback`]
+    /// accumulator (§3.3: "our implementation also allows the integration
+    /// of error-feedback compression algorithms").
+    pub error_feedback: bool,
+}
+
+impl MpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if degrees don't divide the architecture.
+    pub fn validate(&self) {
+        self.bert.validate();
+        assert!(self.tp > 0 && self.pp > 0, "parallel degrees must be positive");
+        assert!(
+            self.bert.heads % self.tp == 0,
+            "{} heads not divisible by TP={}",
+            self.bert.heads,
+            self.tp
+        );
+        assert!(
+            self.bert.layers >= self.pp,
+            "{} layers < PP={}",
+            self.bert.layers,
+            self.pp
+        );
+        assert!(
+            self.plan.end_layer() <= self.bert.layers,
+            "compression plan exceeds layer count"
+        );
+    }
+}
+
+/// A BERT encoder executed with (simulated but numerically real) tensor
+/// and pipeline model parallelism, with activation compression installed
+/// per the configured [`CompressionPlan`].
+///
+/// Built by sharding a serial [`BertEncoder`]; with the plan inactive, its
+/// outputs match the serial model to floating-point tolerance.
+#[derive(Debug)]
+pub struct MpBert {
+    /// Token embedding (replicated; first stage).
+    pub tok: Embedding,
+    /// Position embedding (replicated; first stage).
+    pub pos: Embedding,
+    /// Embedding layer norm.
+    pub emb_ln: LayerNorm,
+    layers: Vec<TpEncoderLayer>,
+    /// `pp − 1` boundaries; `boundaries[b]` sits before the first layer of
+    /// stage `b + 1`.
+    boundaries: Vec<PipelineBoundary>,
+    stage_offsets: Vec<usize>,
+    config: MpConfig,
+    bytes: CommBytes,
+}
+
+impl MpBert {
+    /// Builds the model from a fresh serial initialization.
+    pub fn new(rng: &mut ChaCha8Rng, config: MpConfig) -> Self {
+        config.validate();
+        let serial = BertEncoder::new(rng, config.bert.clone());
+        Self::from_serial(&serial, config, rng)
+    }
+
+    /// Shards an existing serial encoder (used to compare compressed runs
+    /// against an identically-initialized baseline, and to "load a
+    /// checkpoint" into a different parallel layout as §4.4 does).
+    pub fn from_serial(serial: &BertEncoder, config: MpConfig, rng: &mut ChaCha8Rng) -> Self {
+        config.validate();
+        let h = config.bert.hidden;
+        let n = config.tokens * h;
+
+        let wrap = |c: Box<dyn Compressor>, active: bool| -> Box<dyn Compressor> {
+            if active && config.error_feedback {
+                Box::new(actcomp_compress::ErrorFeedback::new(c))
+            } else {
+                c
+            }
+        };
+        let make_reduce = |covered: bool, rng: &mut ChaCha8Rng| -> CompressedAllReduce {
+            // TP=1 has no all-reduce, hence no TP compression point.
+            let spec = if covered && config.tp > 1 {
+                config.plan.spec
+            } else {
+                CompressorSpec::Baseline
+            };
+            let seed: u64 = rng.gen();
+            CompressedAllReduce::new(
+                (0..config.tp)
+                    .map(|_| {
+                        // Auto-encoders must be replicated (identical
+                        // weights) across workers; other compressors get
+                        // independent streams.
+                        let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+                        wrap(spec.build(&mut wrng, n, h), spec != CompressorSpec::Baseline)
+                    })
+                    .collect(),
+            )
+        };
+
+        let layers: Vec<TpEncoderLayer> = serial
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                let covered = config.plan.covers(l);
+                TpEncoderLayer::from_serial(
+                    layer,
+                    config.tp,
+                    make_reduce(covered, rng),
+                    make_reduce(covered, rng),
+                )
+            })
+            .collect();
+
+        let stage_offsets = stage_offsets(config.bert.layers, config.pp);
+        let boundaries = (0..config.pp - 1)
+            .map(|b| {
+                let receiving_first = stage_offsets[b + 1];
+                let comp: Box<dyn Compressor> = if config.plan.covers(receiving_first) {
+                    let mut wrng = ChaCha8Rng::seed_from_u64(rng.gen());
+                    wrap(config.plan.spec.build(&mut wrng, n, h), true)
+                } else {
+                    Box::new(Identity::new())
+                };
+                PipelineBoundary::new(comp)
+            })
+            .collect();
+
+        MpBert {
+            tok: serial.tok.clone(),
+            pos: serial.pos.clone(),
+            emb_ln: serial.emb_ln.clone(),
+            layers,
+            boundaries,
+            stage_offsets,
+            config,
+            bytes: CommBytes::default(),
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &MpConfig {
+        &self.config
+    }
+
+    /// Cumulative model-parallel traffic since construction.
+    pub fn bytes(&self) -> CommBytes {
+        self.bytes
+    }
+
+    /// Forward pass: embeds `ids` and runs all stages/layers, applying
+    /// pipeline-boundary compression between stages and tensor-parallel
+    /// compression inside covered layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != batch * seq` or `seq` exceeds the model's
+    /// maximum.
+    pub fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
+        assert_eq!(ids.len(), batch * seq, "ids length != batch*seq");
+        assert!(seq <= self.config.bert.max_seq, "sequence too long");
+        let tok = self.tok.forward(ids);
+        let pos_ids: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
+        let pos = self.pos.forward(&pos_ids);
+        let mut x = self.emb_ln.forward(&tok.add(&pos));
+        for l in 0..self.layers.len() {
+            if let Some(b) = self.boundary_before(l) {
+                x = self.boundaries[b].forward(&x);
+            }
+            let (y, bytes) = self.layers[l].forward(&x, batch, seq);
+            self.bytes.add(bytes);
+            x = y;
+        }
+        x
+    }
+
+    /// Backward pass from the gradient of the final hidden states.
+    pub fn backward(&mut self, dhidden: &Tensor) {
+        let mut d = dhidden.clone();
+        for l in (0..self.layers.len()).rev() {
+            d = self.layers[l].backward(&d);
+            if let Some(b) = self.boundary_before(l) {
+                d = self.boundaries[b].backward(&d);
+            }
+        }
+        let demb = self.emb_ln.backward(&d);
+        self.tok.backward(&demb);
+        self.pos.backward(&demb);
+        for layer in &mut self.layers {
+            layer.sync_compressor_grads();
+        }
+    }
+
+    /// Index of the boundary crossed *before* layer `l`, if any.
+    fn boundary_before(&self, l: usize) -> Option<usize> {
+        self.stage_offsets
+            .iter()
+            .position(|&o| o == l)
+            .and_then(|stage| stage.checked_sub(1))
+    }
+
+    /// Visits model parameters (embeddings, norms, sharded layers).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.tok.visit_params(f);
+        self.pos.visit_params(f);
+        self.emb_ln.visit_params(f);
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Visits compressor parameters (auto-encoder matrices at TP reduces
+    /// and pipeline boundaries).
+    pub fn visit_compressor_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for layer in &mut self.layers {
+            layer.visit_compressor_params(f);
+        }
+        for b in &mut self.boundaries {
+            b.visit_params(f);
+        }
+    }
+
+    /// Visits model and compressor parameters (everything the optimizer
+    /// updates).
+    pub fn visit_all_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.visit_params(f);
+        self.visit_compressor_params(f);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_all_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total trainable scalars, including compressor parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_all_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Reassembles a serial checkpoint from the sharded weights,
+    /// *dropping* all compressor parameters — the paper's §4.4 workflow:
+    /// "we can use the AE at the pre-training phase and remove it during
+    /// the fine-tuning phase".
+    pub fn to_serial(&self) -> BertEncoder {
+        let layers = self.layers.iter().map(|l| l.to_serial()).collect();
+        BertEncoder::from_parts(
+            self.tok.clone(),
+            self.pos.clone(),
+            self.emb_ln.clone(),
+            layers,
+            self.config.bert.clone(),
+        )
+    }
+}
+
+/// First (global) layer index of each of `pp` stages over `layers` layers.
+fn stage_offsets(layers: usize, pp: usize) -> Vec<usize> {
+    let base = layers / pp;
+    let extra = layers % pp;
+    let mut offsets = Vec::with_capacity(pp);
+    let mut acc = 0;
+    for s in 0..pp {
+        offsets.push(acc);
+        acc += base + usize::from(s < extra);
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(tp: usize, pp: usize, plan: CompressionPlan) -> MpConfig {
+        MpConfig {
+            bert: BertConfig {
+                vocab: 32,
+                hidden: 16,
+                layers: 4,
+                heads: 4,
+                ff_hidden: 32,
+                max_seq: 8,
+            },
+            tp,
+            pp,
+            plan,
+            tokens: 2 * 4,
+            error_feedback: false,
+        }
+    }
+
+    #[test]
+    fn uncompressed_mp_matches_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = tiny_config(2, 2, CompressionPlan::none());
+        let mut serial = BertEncoder::new(&mut rng, cfg.bert.clone());
+        let mut rng2 = ChaCha8Rng::seed_from_u64(99);
+        let mut mp = MpBert::from_serial(&serial, cfg, &mut rng2);
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let want = serial.forward(&ids, 2, 4);
+        let got = mp.forward(&ids, 2, 4);
+        assert!(
+            got.max_abs_diff(&want) < 1e-4,
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn stage_offsets_balanced() {
+        assert_eq!(stage_offsets(24, 4), vec![0, 6, 12, 18]);
+        assert_eq!(stage_offsets(4, 2), vec![0, 2]);
+        assert_eq!(stage_offsets(5, 2), vec![0, 3]);
+    }
+
+    #[test]
+    fn boundary_placement_follows_plan() {
+        // Compress last 2 of 4 layers, PP=2: boundary feeds stage 1 whose
+        // first layer (2) is covered → boundary compressed → traffic ratio > 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let plan = CompressionPlan::last_layers(CompressorSpec::Q2, 4, 2);
+        let mut mp = MpBert::new(&mut rng, tiny_config(1, 2, plan));
+        let ids = [1usize; 8];
+        let _ = mp.forward(&ids, 2, 4);
+        let boundary_bytes = mp.boundaries[0].bytes();
+        assert!(boundary_bytes.ratio() > 2.0, "ratio {}", boundary_bytes.ratio());
+    }
+
+    #[test]
+    fn tp1_applies_no_tensor_compression() {
+        // With TP=1 there is no all-reduce; compression must not perturb
+        // the math inside layers (only at the PP boundary).
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg_plan = CompressionPlan::last_layers(CompressorSpec::A1, 4, 2);
+        let serial_cfg = tiny_config(1, 1, CompressionPlan::none());
+        let mut serial = BertEncoder::new(&mut rng, serial_cfg.bert.clone());
+        let mut rng2 = ChaCha8Rng::seed_from_u64(3);
+        let mut mp = MpBert::from_serial(&serial, tiny_config(1, 1, cfg_plan), &mut rng2);
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let want = serial.forward(&ids, 2, 4);
+        let got = mp.forward(&ids, 2, 4);
+        assert!(got.max_abs_diff(&want) < 1e-4);
+    }
+
+    #[test]
+    fn compression_perturbs_but_training_signal_flows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let plan = CompressionPlan::last_layers(CompressorSpec::Q2, 4, 2);
+        let cfg = tiny_config(2, 2, plan);
+        let mut serial = BertEncoder::new(&mut rng, cfg.bert.clone());
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let mut mp = MpBert::from_serial(&serial, cfg, &mut rng2);
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let want = serial.forward(&ids, 2, 4);
+        let got = mp.forward(&ids, 2, 4);
+        let diff = got.max_abs_diff(&want);
+        assert!(diff > 1e-6, "4-bit quantization should perturb the output");
+
+        mp.zero_grad();
+        mp.backward(&Tensor::ones([8, 16]));
+        let mut grad_mass = 0.0;
+        mp.visit_params(&mut |p| grad_mass += p.grad.sq_norm());
+        assert!(grad_mass > 0.0, "gradients must flow through compression");
+    }
+
+    #[test]
+    fn param_count_includes_ae_when_active() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let plan = CompressionPlan::last_layers(CompressorSpec::A2, 4, 2);
+        let mut with_ae = MpBert::new(&mut rng, tiny_config(2, 2, plan));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(6);
+        let mut without = MpBert::new(&mut rng2, tiny_config(2, 2, CompressionPlan::none()));
+        assert!(with_ae.num_params() > without.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by TP")]
+    fn config_validation_rejects_bad_tp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut cfg = tiny_config(1, 1, CompressionPlan::none());
+        cfg.tp = 3;
+        MpBert::new(&mut rng, cfg);
+    }
+}
+
+#[cfg(test)]
+mod serial_round_trip_tests {
+    use super::*;
+
+    #[test]
+    fn to_serial_round_trips_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let cfg = MpConfig {
+            bert: BertConfig {
+                vocab: 32,
+                hidden: 16,
+                layers: 4,
+                heads: 4,
+                ff_hidden: 32,
+                max_seq: 8,
+            },
+            tp: 2,
+            pp: 2,
+            plan: CompressionPlan::last_layers(CompressorSpec::A2, 4, 2),
+            tokens: 8,
+            error_feedback: false,
+        };
+        let mut serial = BertEncoder::new(&mut rng, cfg.bert.clone());
+        let mut rng2 = ChaCha8Rng::seed_from_u64(12);
+        let mp = MpBert::from_serial(&serial, cfg, &mut rng2);
+        let mut rebuilt = mp.to_serial();
+
+        // Identical forward outputs (compressors dropped, weights exact).
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let want = serial.forward(&ids, 2, 4);
+        let got = rebuilt.forward(&ids, 2, 4);
+        assert!(
+            got.max_abs_diff(&want) < 1e-6,
+            "round-trip diff {}",
+            got.max_abs_diff(&want)
+        );
+        assert_eq!(rebuilt.num_params(), serial.num_params());
+    }
+}

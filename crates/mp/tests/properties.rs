@@ -1,0 +1,126 @@
+//! Property-based tests of the model-parallel execution layer.
+
+use actcomp_compress::{AutoEncoder, Compressor, Identity, Quantizer, TopK};
+use actcomp_mp::{CompressedAllReduce, TpEncoderLayer};
+use actcomp_nn::EncoderLayer;
+use actcomp_tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn identity_reduce(world: usize) -> CompressedAllReduce {
+    CompressedAllReduce::new(
+        (0..world)
+            .map(|_| Box::new(Identity::new()) as Box<dyn Compressor>)
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TP sharding is numerically transparent for any world that divides
+    /// the head count, any batch/seq, any seed.
+    #[test]
+    fn tp_equals_serial_under_identity(
+        seed in 0u64..1000,
+        world in prop::sample::select(vec![1usize, 2, 4]),
+        batch in 1usize..4,
+        seq in 1usize..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut serial = EncoderLayer::new(&mut rng, 8, 4, 16);
+        let mut tp = TpEncoderLayer::from_serial(
+            &serial,
+            world,
+            identity_reduce(world),
+            identity_reduce(world),
+        );
+        let x = init::randn(&mut rng, [batch * seq, 8], 1.0);
+        let want = serial.forward(&x, batch, seq);
+        let (got, _) = tp.forward(&x, batch, seq);
+        prop_assert!(got.max_abs_diff(&want) < 1e-3,
+            "world {} diff {}", world, got.max_abs_diff(&want));
+    }
+
+    /// The identity reduce is an exact sum for any number of workers.
+    #[test]
+    fn identity_reduce_is_sum(seed in 0u64..1000, world in 1usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partials: Vec<Tensor> =
+            (0..world).map(|_| init::randn(&mut rng, [3, 8], 1.0)).collect();
+        let mut reduce = identity_reduce(world);
+        let (out, bytes) = reduce.forward(&partials);
+        let mut want = partials[0].clone();
+        for p in &partials[1..] {
+            want.add_assign(p);
+        }
+        prop_assert!(out.max_abs_diff(&want) < 1e-4);
+        prop_assert_eq!(bytes.wire, bytes.dense);
+    }
+
+    /// Quantized reduces stay within the per-worker quantization error
+    /// budget: |reduce(x) − Σx| ≤ Σ per-worker half-steps.
+    #[test]
+    fn quantized_reduce_error_bounded(seed in 0u64..500, world in 2usize..5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partials: Vec<Tensor> =
+            (0..world).map(|_| init::randn(&mut rng, [4, 8], 1.0)).collect();
+        let mut reduce = CompressedAllReduce::new(
+            (0..world)
+                .map(|_| Box::new(Quantizer::new(8)) as Box<dyn Compressor>)
+                .collect(),
+        );
+        let (out, _) = reduce.forward(&partials);
+        let mut exact = partials[0].clone();
+        for p in &partials[1..] {
+            exact.add_assign(p);
+        }
+        let budget: f32 = partials
+            .iter()
+            .map(|p| (p.max() - p.min()) / 255.0 / 2.0 + 1e-5)
+            .sum();
+        prop_assert!(out.max_abs_diff(&exact) <= budget,
+            "error {} > budget {}", out.max_abs_diff(&exact), budget);
+    }
+
+    /// Top-K reduce gradients are supported only on kept positions.
+    #[test]
+    fn topk_reduce_backward_support(seed in 0u64..500, k in 1usize..16) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partials: Vec<Tensor> =
+            (0..2).map(|_| init::randn(&mut rng, [2, 8], 1.0)).collect();
+        let mut reduce = CompressedAllReduce::new(
+            (0..2).map(|_| Box::new(TopK::new(k)) as Box<dyn Compressor>).collect(),
+        );
+        let _ = reduce.forward(&partials);
+        let dxs = reduce.backward(&Tensor::ones([2, 8]));
+        for dx in &dxs {
+            let nz = dx.as_slice().iter().filter(|v| **v != 0.0).count();
+            prop_assert!(nz <= k.min(16));
+        }
+    }
+
+    /// AE reduces commute with scaling (linearity survives the whole
+    /// reduce path).
+    #[test]
+    fn ae_reduce_is_linear(seed in 0u64..500, scale in 0.1f32..3.0) {
+        let mk = || {
+            CompressedAllReduce::new(
+                (0..2)
+                    .map(|_| {
+                        let mut r = ChaCha8Rng::seed_from_u64(99);
+                        Box::new(AutoEncoder::new(&mut r, 8, 3)) as Box<dyn Compressor>
+                    })
+                    .collect(),
+            )
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let partials: Vec<Tensor> =
+            (0..2).map(|_| init::randn(&mut rng, [2, 8], 1.0)).collect();
+        let scaled: Vec<Tensor> = partials.iter().map(|p| p.scale(scale)).collect();
+        let (y1, _) = mk().forward(&scaled);
+        let (y2, _) = mk().forward(&partials);
+        prop_assert!(y1.max_abs_diff(&y2.scale(scale)) < 1e-2 * (1.0 + y1.abs_max()));
+    }
+}

@@ -1,0 +1,365 @@
+//! Multi-head self-attention with a full manual backward pass.
+
+use crate::{Layer, Linear, Parameter};
+use actcomp_tensor::Tensor;
+use rand::Rng;
+
+/// Multi-head scaled-dot-product self-attention.
+///
+/// Input and output are `[batch·seq, hidden]`; the `(batch, seq)`
+/// factorization is supplied per call because the same layer is reused
+/// across batch shapes. Q/K/V/output projections are [`Linear`] layers, so
+/// tensor-parallel shards (in `actcomp-mp`) can partition them head-wise
+/// exactly as Megatron-LM does.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_nn::MultiHeadAttention;
+/// use actcomp_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut attn = MultiHeadAttention::new(&mut rng, 16, 4);
+/// let x = Tensor::ones([2 * 3, 16]); // batch 2, seq 3
+/// let y = attn.forward(&x, 2, 3);
+/// assert_eq!(y.dims(), &[6, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax probabilities, one `[seq, seq]` matrix per (batch, head).
+    probs: Vec<Tensor>,
+    batch: usize,
+    seq: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer over `hidden` features with `heads` heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn new(rng: &mut impl Rng, hidden: usize, heads: usize) -> Self {
+        assert!(
+            heads > 0 && hidden % heads == 0,
+            "hidden {hidden} not divisible by {heads} heads"
+        );
+        MultiHeadAttention {
+            wq: Linear::new(rng, hidden, hidden),
+            wk: Linear::new(rng, hidden, hidden),
+            wv: Linear::new(rng, hidden, hidden),
+            wo: Linear::new(rng, hidden, hidden),
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Assembles an attention layer from existing projections (used when
+    /// reassembling tensor-parallel shards into a serial checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projections are not square and equal-sized, or
+    /// `heads` does not divide the width.
+    pub fn from_parts(wq: Linear, wk: Linear, wv: Linear, wo: Linear, heads: usize) -> Self {
+        let h = wq.fan_in();
+        for l in [&wq, &wk, &wv, &wo] {
+            assert_eq!(l.fan_in(), h, "projection width mismatch");
+            assert_eq!(l.fan_out(), h, "projection width mismatch");
+        }
+        assert!(heads > 0 && h % heads == 0, "{h} not divisible by {heads} heads");
+        MultiHeadAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.wq.fan_in()
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden() / self.heads
+    }
+
+    /// Forward pass over `[batch·seq, hidden]` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[batch·seq, hidden]`.
+    pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        let h = self.hidden();
+        assert_eq!(
+            x.dims(),
+            &[batch * seq, h],
+            "attention input shape {} != [{}x{}]",
+            x.shape(),
+            batch * seq,
+            h
+        );
+        let d = self.head_dim();
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+
+        let mut ctx = Tensor::zeros([batch * seq, h]);
+        let mut probs = Vec::with_capacity(batch * self.heads);
+        for t in 0..batch {
+            for hd in 0..self.heads {
+                let qb = head_block(&q, t, hd, seq, d, h);
+                let kb = head_block(&k, t, hd, seq, d, h);
+                let vb = head_block(&v, t, hd, seq, d, h);
+                let scores = qb.matmul_nt(&kb).scale(scale);
+                let p = scores.softmax_rows();
+                let c = p.matmul(&vb);
+                write_head_block(&mut ctx, &c, t, hd, seq, d, h);
+                probs.push(p);
+            }
+        }
+        let out = self.wo.forward(&ctx);
+        self.cache = Some(AttnCache {
+            q,
+            k,
+            v,
+            probs,
+            batch,
+            seq,
+        });
+        out
+    }
+
+    /// Backward pass; returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`MultiHeadAttention::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let AttnCache {
+            q,
+            k,
+            v,
+            probs,
+            batch,
+            seq,
+        } = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward called without forward");
+        let h = self.hidden();
+        let d = self.head_dim();
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let dctx = self.wo.backward(dy);
+        let mut dq = Tensor::zeros([batch * seq, h]);
+        let mut dk = Tensor::zeros([batch * seq, h]);
+        let mut dv = Tensor::zeros([batch * seq, h]);
+
+        for t in 0..batch {
+            for hd in 0..self.heads {
+                let p = &probs[t * self.heads + hd];
+                let qb = head_block(&q, t, hd, seq, d, h);
+                let kb = head_block(&k, t, hd, seq, d, h);
+                let vb = head_block(&v, t, hd, seq, d, h);
+                let dc = head_block(&dctx, t, hd, seq, d, h);
+
+                // c = p v  →  dp = dc vᵀ ; dv = pᵀ dc
+                let dp = dc.matmul_nt(&vb);
+                let dvb = p.matmul_tn(&dc);
+                // p = softmax(s), s = α q kᵀ
+                let ds = Tensor::softmax_rows_backward(p, &dp).scale(scale);
+                let dqb = ds.matmul(&kb);
+                let dkb = ds.matmul_tn(&qb);
+
+                write_head_block(&mut dq, &dqb, t, hd, seq, d, h);
+                write_head_block(&mut dk, &dkb, t, hd, seq, d, h);
+                write_head_block(&mut dv, &dvb, t, hd, seq, d, h);
+            }
+        }
+
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+
+    /// Visits all projection parameters (q, k, v, o order).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+/// Extracts the `[seq, d]` block of head `hd`, batch item `t` from a
+/// `[batch·seq, h]` tensor.
+fn head_block(x: &Tensor, t: usize, hd: usize, seq: usize, d: usize, h: usize) -> Tensor {
+    let mut out = Vec::with_capacity(seq * d);
+    let base_col = hd * d;
+    for r in 0..seq {
+        let row = (t * seq + r) * h + base_col;
+        out.extend_from_slice(&x.as_slice()[row..row + d]);
+    }
+    Tensor::from_vec(out, [seq, d])
+}
+
+/// Writes a `[seq, d]` block back into a `[batch·seq, h]` tensor.
+fn write_head_block(
+    out: &mut Tensor,
+    block: &Tensor,
+    t: usize,
+    hd: usize,
+    seq: usize,
+    d: usize,
+    h: usize,
+) {
+    let base_col = hd * d;
+    for r in 0..seq {
+        let row = (t * seq + r) * h + base_col;
+        out.as_mut_slice()[row..row + d].copy_from_slice(&block.as_slice()[r * d..(r + 1) * d]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_close;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn head_block_round_trip() {
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), [4, 6]);
+        // batch 2, seq 2, heads 3, d 2, h 6
+        let b = head_block(&x, 1, 2, 2, 2, 6);
+        assert_eq!(b.as_slice(), &[16.0, 17.0, 22.0, 23.0]);
+        let mut y = Tensor::zeros([4, 6]);
+        write_head_block(&mut y, &b, 1, 2, 2, 2, 6);
+        assert_eq!(y.at(&[2, 4]), 16.0);
+        assert_eq!(y.at(&[3, 5]), 23.0);
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = init::randn(&mut rng, [6, 8], 1.0);
+        let y1 = attn.forward(&x, 2, 3);
+        let y2 = attn.forward(&x, 2, 3);
+        assert_eq!(y1, y2);
+        assert_eq!(y1.dims(), &[6, 8]);
+        assert!(y1.all_finite());
+    }
+
+    #[test]
+    fn uniform_rows_attend_uniformly() {
+        // With identical tokens, attention is an average: output rows equal.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut attn = MultiHeadAttention::new(&mut rng, 8, 2);
+        let row = init::randn(&mut rng, [1, 8], 1.0);
+        let x = Tensor::concat_rows(&[&row, &row, &row]);
+        let y = attn.forward(&x, 1, 3);
+        let r0 = y.slice_rows(0, 1);
+        let r1 = y.slice_rows(1, 2);
+        let r2 = y.slice_rows(2, 3);
+        assert!(r0.max_abs_diff(&r1) < 1e-5);
+        assert!(r1.max_abs_diff(&r2) < 1e-5);
+    }
+
+    /// Full finite-difference check of input gradients through attention.
+    #[test]
+    fn input_gradients_match_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut attn = MultiHeadAttention::new(&mut rng, 6, 2);
+        let x = init::randn(&mut rng, [4, 6], 0.8); // batch 2, seq 2
+        let y = attn.forward(&x, 2, 2);
+        let dy = init::randn(&mut rng, y.shape().clone(), 1.0);
+        let _ = attn.forward(&x, 2, 2);
+        let dx = attn.backward(&dy);
+
+        let eps = 1e-2;
+        for j in 0..x.len() {
+            let mut xp = x.clone();
+            xp[j] += eps;
+            let mut xm = x.clone();
+            xm[j] -= eps;
+            let lp = attn.forward(&xp, 2, 2).mul(&dy).sum();
+            let lm = attn.forward(&xm, 2, 2).mul(&dy).sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert_close(dx[j], fd, 3e-2, &format!("attn dx[{j}]"));
+        }
+    }
+
+    /// Finite-difference check of a sample of parameter gradients.
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut attn = MultiHeadAttention::new(&mut rng, 6, 2);
+        let x = init::randn(&mut rng, [4, 6], 0.8);
+        let y = attn.forward(&x, 2, 2);
+        let dy = init::randn(&mut rng, y.shape().clone(), 1.0);
+
+        attn.visit_params(&mut |p| p.zero_grad());
+        let _ = attn.forward(&x, 2, 2);
+        let _ = attn.backward(&dy);
+        let mut grads = Vec::new();
+        attn.visit_params(&mut |p| grads.push(p.grad.clone()));
+
+        fn bump(attn: &mut MultiHeadAttention, t: usize, j: usize, delta: f32) {
+            let mut idx = 0;
+            attn.visit_params(&mut |p| {
+                if idx == t {
+                    p.value[j] += delta;
+                }
+                idx += 1;
+            });
+        }
+
+        let eps = 1e-2;
+        let num_tensors = grads.len();
+        for t in 0..num_tensors {
+            // Check a handful of entries per tensor to keep runtime modest.
+            let stride = (grads[t].len() / 4).max(1);
+            for j in (0..grads[t].len()).step_by(stride) {
+                bump(&mut attn, t, j, eps);
+                let lp = attn.forward(&x, 2, 2).mul(&dy).sum();
+                bump(&mut attn, t, j, -2.0 * eps);
+                let lm = attn.forward(&x, 2, 2).mul(&dy).sum();
+                bump(&mut attn, t, j, eps);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert_close(grads[t][j], fd, 3e-2, &format!("attn param {t}[{j}]"));
+            }
+        }
+    }
+}

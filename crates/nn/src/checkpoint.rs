@@ -1,0 +1,220 @@
+//! Checkpoint serialization for encoders and heads.
+//!
+//! A checkpoint is the model configuration plus every parameter value in
+//! `visit_params` order (gradients are not persisted). The format is JSON
+//! via serde — human-inspectable and adequate at the scales this
+//! workspace trains.
+
+use crate::{BertConfig, BertEncoder, Parameter};
+use actcomp_tensor::Tensor;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialized model snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Architecture the parameters belong to.
+    pub config: BertConfig,
+    /// Parameter values, in `visit_params` order.
+    pub params: Vec<Tensor>,
+}
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint.
+    Parse(serde_json::Error),
+    /// Parameter list does not fit the target model.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            LoadError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+            LoadError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse(e) => Some(e),
+            LoadError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+impl Checkpoint {
+    /// Snapshots an encoder's parameters.
+    pub fn from_encoder(encoder: &mut BertEncoder) -> Self {
+        let mut params = Vec::new();
+        encoder.visit_params(&mut |p: &mut Parameter| params.push(p.value.clone()));
+        Checkpoint {
+            config: encoder.config().clone(),
+            params,
+        }
+    }
+
+    /// Rebuilds an encoder from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Mismatch`] if the parameter count or any shape
+    /// disagrees with the stored configuration.
+    pub fn into_encoder(self) -> Result<BertEncoder, LoadError> {
+        // Build a skeleton with the right architecture, then overwrite.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut encoder = BertEncoder::new(&mut rng, self.config.clone());
+        let mut idx = 0;
+        let mut err: Option<String> = None;
+        let params = &self.params;
+        encoder.visit_params(&mut |p: &mut Parameter| {
+            if err.is_some() {
+                return;
+            }
+            match params.get(idx) {
+                Some(v) if v.shape().same_as(p.value.shape()) => {
+                    p.value = v.clone();
+                    p.zero_grad();
+                }
+                Some(v) => {
+                    err = Some(format!(
+                        "param {idx}: stored shape {} != model shape {}",
+                        v.shape(),
+                        p.value.shape()
+                    ));
+                }
+                None => err = Some(format!("missing parameter {idx}")),
+            }
+            idx += 1;
+        });
+        if let Some(msg) = err {
+            return Err(LoadError::Mismatch(msg));
+        }
+        if idx != self.params.len() {
+            return Err(LoadError::Mismatch(format!(
+                "checkpoint has {} parameters but model visits {idx}",
+                self.params.len()
+            )));
+        }
+        Ok(encoder)
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LoadError> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LoadError> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny() -> BertConfig {
+        BertConfig {
+            vocab: 16,
+            hidden: 8,
+            layers: 2,
+            heads: 2,
+            ff_hidden: 16,
+            max_seq: 8,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut original = BertEncoder::new(&mut rng, tiny());
+        let ids = [1usize, 2, 3, 4];
+        let want = original.forward(&ids, 1, 4);
+
+        let ckpt = Checkpoint::from_encoder(&mut original);
+        let mut restored = ckpt.into_encoder().expect("restore");
+        let got = restored.forward(&ids, 1, 4);
+        assert!(got.max_abs_diff(&want) < 1e-7);
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut original = BertEncoder::new(&mut rng, tiny());
+        let dir = std::env::temp_dir().join("actcomp_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+
+        Checkpoint::from_encoder(&mut original).save(&path).expect("save");
+        let mut restored = Checkpoint::load(&path).expect("load").into_encoder().expect("restore");
+        let ids = [5usize, 6, 7, 8];
+        assert!(
+            restored
+                .forward(&ids, 1, 4)
+                .max_abs_diff(&original.forward(&ids, 1, 4))
+                < 1e-7
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_truncated_checkpoints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut original = BertEncoder::new(&mut rng, tiny());
+        let mut ckpt = Checkpoint::from_encoder(&mut original);
+        ckpt.params.pop();
+        assert!(matches!(
+            ckpt.into_encoder(),
+            Err(LoadError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut original = BertEncoder::new(&mut rng, tiny());
+        let mut ckpt = Checkpoint::from_encoder(&mut original);
+        ckpt.params[0] = Tensor::zeros([3, 3]);
+        let err = ckpt.into_encoder().unwrap_err();
+        assert!(err.to_string().contains("stored shape"));
+    }
+
+    #[test]
+    fn load_errors_are_reportable() {
+        let err = Checkpoint::load("/definitely/not/here.json").unwrap_err();
+        assert!(err.to_string().contains("i/o"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Layer normalization.
+
+use crate::{Layer, Parameter};
+use actcomp_tensor::Tensor;
+
+/// Layer normalization over the feature axis of `[tokens, features]`
+/// inputs: `y = γ ⊙ (x − μ)/√(σ² + ε) + β`.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_nn::{Layer, LayerNorm};
+/// use actcomp_tensor::Tensor;
+///
+/// let mut ln = LayerNorm::new(4);
+/// let y = ln.forward(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]));
+/// assert!(y.mean().abs() < 1e-6); // zero-mean per row with unit γ, zero β
+/// ```
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale `γ`, shape `[features]`.
+    pub gamma: Parameter,
+    /// Shift `β`, shape `[features]`.
+    pub beta: Parameter,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LnCache {
+    xhat: Tensor,
+    inv_std: Tensor,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over `features` with `γ = 1`, `β = 0`,
+    /// `ε = 1e-5`.
+    pub fn new(features: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::new(Tensor::ones([features])),
+            beta: Parameter::new(Tensor::zeros([features])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature width this layer normalizes over.
+    pub fn features(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "LayerNorm input must be rank 2, got {}", x.shape());
+        let n = self.features();
+        assert_eq!(x.dims()[1], n, "LayerNorm width {} != input width {}", n, x.dims()[1]);
+        let m = x.dims()[0];
+        let (mean, var) = x.row_moments();
+        let mut xhat = vec![0.0f32; m * n];
+        let mut inv_std = vec![0.0f32; m];
+        for i in 0..m {
+            let is = 1.0 / (var[i] + self.eps).sqrt();
+            inv_std[i] = is;
+            for j in 0..n {
+                xhat[i * n + j] = (x.as_slice()[i * n + j] - mean[i]) * is;
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, [m, n]);
+        let y = xhat
+            .mul_row_broadcast(&self.gamma.value)
+            .add_row_broadcast(&self.beta.value);
+        self.cache = Some(LnCache {
+            xhat,
+            inv_std: Tensor::from_vec(inv_std, [m]),
+        });
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let LnCache { xhat, inv_std } = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward called without forward");
+        let (m, n) = (xhat.dims()[0], xhat.dims()[1]);
+        assert!(dy.shape().same_as(xhat.shape()), "LayerNorm dy shape mismatch");
+
+        // Parameter grads.
+        self.gamma.grad.add_assign(&dy.mul(&xhat).sum_axis0());
+        self.beta.grad.add_assign(&dy.sum_axis0());
+
+        // Input grad: dx = (γ·inv_std/n) * (n·dy − Σdy − x̂·Σ(dy⊙x̂)) per row
+        // where the per-row sums are over dŷ = dy ⊙ γ.
+        let g = self.gamma.value.as_slice();
+        let mut dx = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row_dy = &dy.as_slice()[i * n..(i + 1) * n];
+            let row_xh = &xhat.as_slice()[i * n..(i + 1) * n];
+            let mut s1 = 0.0; // Σ dŷ
+            let mut s2 = 0.0; // Σ dŷ ⊙ x̂
+            for j in 0..n {
+                let dyh = row_dy[j] * g[j];
+                s1 += dyh;
+                s2 += dyh * row_xh[j];
+            }
+            let is = inv_std[i];
+            for j in 0..n {
+                let dyh = row_dy[j] * g[j];
+                dx[i * n + j] = is * (dyh - (s1 + row_xh[j] * s2) / n as f32);
+            }
+        }
+        Tensor::from_vec(dx, [m, n])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::grad_check_layer;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::randn(&mut rng, [5, 16], 3.0).add_scalar(2.0);
+        let mut ln = LayerNorm::new(16);
+        let y = ln.forward(&x);
+        let (mean, var) = y.row_moments();
+        for i in 0..5 {
+            assert!(mean[i].abs() < 1e-5);
+            assert!((var[i] - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value = Tensor::from_vec(vec![2.0, 2.0], [2]);
+        ln.beta.value = Tensor::from_vec(vec![1.0, -1.0], [2]);
+        let y = ln.forward(&Tensor::from_vec(vec![-1.0, 1.0], [1, 2]));
+        // x̂ = [-1, 1] (unit variance after eps ≈ 0), so y ≈ [-1, 1]*2 + β.
+        assert!((y[0] + 1.0).abs() < 1e-2);
+        assert!((y[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ln = LayerNorm::new(6);
+        grad_check_layer(ln, [3, 6], 3e-2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "without forward")]
+    fn backward_requires_forward() {
+        LayerNorm::new(2).backward(&Tensor::ones([1, 2]));
+    }
+}

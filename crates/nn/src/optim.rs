@@ -1,0 +1,295 @@
+//! Optimizers operating on [`Parameter`] collections.
+//!
+//! Optimizers hold per-parameter state keyed by visitation order, so a
+//! model's `visit_params` traversal must be stable across steps (all models
+//! in this workspace have a fixed layer structure, so it is).
+
+use crate::Parameter;
+use actcomp_tensor::Tensor;
+
+/// A gradient-based parameter updater.
+///
+/// State (momentum, moments) is keyed by the order in which parameters are
+/// visited, so use a stable traversal such as a model's `visit_params`.
+pub trait Optimizer {
+    /// Updates the `index`-th visited parameter from its gradient.
+    fn update(&mut self, index: usize, param: &mut Parameter);
+}
+
+/// Drives one optimization step: visits every parameter through `visit`
+/// and applies `opt` to each in order.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_nn::{optim, Linear, Layer};
+/// use actcomp_nn::optim::Sgd;
+/// use actcomp_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let mut layer = Linear::new(&mut rng, 4, 2);
+/// let mut opt = Sgd::new(0.1);
+/// layer.forward(&Tensor::ones([1, 4]));
+/// layer.backward(&Tensor::ones([1, 2]));
+/// optim::step(&mut opt, |f| layer.visit_params(f));
+/// ```
+pub fn step<O: Optimizer + ?Sized>(
+    opt: &mut O,
+    visit: impl FnOnce(&mut dyn FnMut(&mut Parameter)),
+) {
+    let mut idx = 0;
+    visit(&mut |p| {
+        opt.update(idx, p);
+        idx += 1;
+    });
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`
+/// (BERT-style clipping). Returns the pre-clip global norm.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_nn::{optim, Parameter};
+/// use actcomp_tensor::Tensor;
+///
+/// let mut p = Parameter::new(Tensor::zeros([2]));
+/// p.grad = Tensor::from_vec(vec![3.0, 4.0], [2]);
+/// let norm = optim::clip_global_norm(1.0, |f| f(&mut p));
+/// assert!((norm - 5.0).abs() < 1e-6);
+/// assert!((p.grad.norm() - 1.0).abs() < 1e-5);
+/// ```
+pub fn clip_global_norm(
+    max_norm: f32,
+    mut visit: impl FnMut(&mut dyn FnMut(&mut Parameter)),
+) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f32;
+    visit(&mut |p| sq += p.grad.sq_norm());
+    let norm = sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        visit(&mut |p| p.grad.scale_assign(scale));
+    }
+    norm
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (`0.0` disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, index: usize, param: &mut Parameter) {
+        if self.momentum == 0.0 {
+            param.value.axpy(-self.lr, &param.grad);
+            return;
+        }
+        while self.velocity.len() <= index {
+            self.velocity.push(Tensor::zeros_like(&param.grad));
+        }
+        let v = &mut self.velocity[index];
+        v.scale_assign(self.momentum);
+        v.add_assign(&param.grad);
+        param.value.axpy(-self.lr, v);
+    }
+}
+
+/// Adam / AdamW.
+///
+/// With `weight_decay > 0` this is AdamW: decay is decoupled from the
+/// moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard betas `(0.9, 0.999)` and no decay.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Creates AdamW with decoupled weight decay.
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Adam {
+            weight_decay,
+            ..Adam::new(lr)
+        }
+    }
+
+    /// Marks the beginning of a new optimization step (advances the bias
+    /// correction counter). Call once per batch, before visiting params.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, index: usize, param: &mut Parameter) {
+        assert!(self.step > 0, "call Adam::begin_step before updating");
+        while self.m.len() <= index {
+            self.m.push(Tensor::zeros_like(&param.grad));
+            self.v.push(Tensor::zeros_like(&param.grad));
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        let (m, v) = (&mut self.m[index], &mut self.v[index]);
+        let g = param.grad.as_slice();
+        let pv = param.value.as_mut_slice();
+        for i in 0..g.len() {
+            let mi = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+            let vi = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            m[i] = mi;
+            v[i] = vi;
+            let mhat = mi / bc1;
+            let vhat = vi / bc2;
+            pv[i] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * pv[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(vals: &[f32]) -> Parameter {
+        Parameter::new(Tensor::from_vec(vals.to_vec(), [vals.len()]))
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut a = param(&[3.0, 4.0]);
+        a.grad = Tensor::from_vec(vec![3.0, 4.0], [2]);
+        let norm = clip_global_norm(10.0, |f| f(&mut a));
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((a.grad.norm() - 5.0).abs() < 1e-6, "below threshold: untouched");
+        let _ = clip_global_norm(1.0, |f| f(&mut a));
+        assert!((a.grad.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_spans_multiple_parameters() {
+        let mut a = param(&[0.0]);
+        let mut b = param(&[0.0]);
+        a.grad = Tensor::from_vec(vec![3.0], [1]);
+        b.grad = Tensor::from_vec(vec![4.0], [1]);
+        let norm = clip_global_norm(2.5, |f| {
+            f(&mut a);
+            f(&mut b);
+        });
+        assert!((norm - 5.0).abs() < 1e-6);
+        // Halved globally, proportions preserved.
+        assert!((a.grad[0] - 1.5).abs() < 1e-5);
+        assert!((b.grad[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = param(&[1.0, -1.0]);
+        p.grad = Tensor::from_vec(vec![0.5, -0.5], [2]);
+        let mut opt = Sgd::new(0.1);
+        opt.update(0, &mut p);
+        assert!((p.value[0] - 0.95).abs() < 1e-6);
+        assert!((p.value[1] + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let mut plain = param(&[0.0]);
+        let mut mom = param(&[0.0]);
+        let mut opt_plain = Sgd::new(0.1);
+        let mut opt_mom = Sgd::with_momentum(0.1, 0.9);
+        for _ in 0..5 {
+            plain.grad = Tensor::from_vec(vec![1.0], [1]);
+            mom.grad = Tensor::from_vec(vec![1.0], [1]);
+            opt_plain.update(0, &mut plain);
+            opt_mom.update(0, &mut mom);
+        }
+        assert!(mom.value[0] < plain.value[0], "momentum should travel further");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)²; gradient is 2(x - 3).
+        let mut p = param(&[0.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            p.grad = Tensor::from_vec(vec![2.0 * (p.value[0] - 3.0)], [1]);
+            opt.begin_step();
+            opt.update(0, &mut p);
+        }
+        assert!((p.value[0] - 3.0).abs() < 0.05, "x = {}", p.value[0]);
+    }
+
+    #[test]
+    fn adamw_decays_without_gradient() {
+        let mut p = param(&[10.0]);
+        let mut opt = Adam::with_weight_decay(0.1, 0.1);
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.begin_step();
+            opt.update(0, &mut p);
+        }
+        assert!(p.value[0] < 10.0, "weight decay should shrink the weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn adam_requires_begin_step() {
+        let mut p = param(&[1.0]);
+        Adam::new(0.1).update(0, &mut p);
+    }
+}

@@ -1,0 +1,127 @@
+//! Learning-rate schedules.
+//!
+//! BERT-style training uses linear warmup followed by linear decay; deep
+//! post-LN stacks in particular need warmup to survive larger peak rates.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping the (1-based) step to a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup` steps, constant after.
+    Warmup {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+    },
+    /// Linear warmup then linear decay to zero at `total` steps.
+    WarmupLinearDecay {
+        /// Peak rate.
+        lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps (decay endpoint).
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The rate at `step` (1-based; step 0 is treated as step 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use actcomp_nn::LrSchedule;
+    ///
+    /// let s = LrSchedule::Warmup { lr: 1.0, warmup: 10 };
+    /// assert!((s.at(5) - 0.5).abs() < 1e-6);
+    /// assert_eq!(s.at(10), 1.0);
+    /// assert_eq!(s.at(100), 1.0);
+    /// ```
+    pub fn at(&self, step: usize) -> f32 {
+        let step = step.max(1);
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { lr, warmup } => {
+                if warmup == 0 || step >= warmup {
+                    lr
+                } else {
+                    lr * step as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupLinearDecay { lr, warmup, total } => {
+                if warmup > 0 && step < warmup {
+                    lr * step as f32 / warmup as f32
+                } else if step >= total {
+                    0.0
+                } else {
+                    let span = (total - warmup).max(1) as f32;
+                    lr * (total - step) as f32 / span
+                }
+            }
+        }
+    }
+
+    /// Peak learning rate.
+    pub fn peak(&self) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr }
+            | LrSchedule::Warmup { lr, .. }
+            | LrSchedule::WarmupLinearDecay { lr, .. } => lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(1), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { lr: 2.0, warmup: 4 };
+        assert!((s.at(1) - 0.5).abs() < 1e-6);
+        assert!((s.at(2) - 1.0).abs() < 1e-6);
+        assert!((s.at(3) - 1.5).abs() < 1e-6);
+        assert_eq!(s.at(4), 2.0);
+        assert_eq!(s.at(9999), 2.0);
+    }
+
+    #[test]
+    fn decay_reaches_zero_at_total() {
+        let s = LrSchedule::WarmupLinearDecay {
+            lr: 1.0,
+            warmup: 10,
+            total: 110,
+        };
+        assert!((s.at(5) - 0.5).abs() < 1e-6);
+        assert!((s.at(10) - 1.0).abs() < 1e-6);
+        assert!((s.at(60) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(110), 0.0);
+        assert_eq!(s.at(500), 0.0);
+    }
+
+    #[test]
+    fn step_zero_is_step_one() {
+        let s = LrSchedule::Warmup { lr: 1.0, warmup: 10 };
+        assert_eq!(s.at(0), s.at(1));
+    }
+
+    #[test]
+    fn zero_warmup_never_divides_by_zero() {
+        let s = LrSchedule::Warmup { lr: 0.3, warmup: 0 };
+        assert_eq!(s.at(1), 0.3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Analytic crossover solvers for the §4.7 cost model.
+//!
+//! The paper's qualitative conclusions — compression pays only below some
+//! bandwidth, only above some message size, and its benefit dies off past
+//! some hidden size — are all threshold statements. Given fitted
+//! coefficients, these solvers locate the thresholds in closed form /
+//! by bisection, turning the takeaways into numbers.
+
+use crate::model::{layer_flops, PerfCoefficients};
+
+/// The largest `β` (seconds per element, i.e. the *slowest acceptable
+/// network* expressed as inverse bandwidth) at which AE compression still
+/// breaks even for the given geometry — equivalently, the bandwidth
+/// crossover of Takeaway 1.
+///
+/// Break-even: `T_comm(Bsh) = T_comm(Bse) + T_overhead(Bsh)`, i.e.
+/// `β·Bsh = c + γ·Bsh` (taking the compressed message below threshold),
+/// so `β* = γ + c/(Bsh)`. Returns `β*`; compression wins for `β > β*`.
+pub fn break_even_beta(coeffs: &PerfCoefficients, b: usize, s: usize, h: usize) -> f64 {
+    let elems = (b * s * h) as f64;
+    coeffs.gamma + coeffs.c / elems
+}
+
+/// The message size (elements) at which AE compression breaks even for a
+/// given `β` — Takeaway 8's "batch and sequence need to be at least
+/// 32/512" as a solved threshold. Returns `None` if compression never
+/// breaks even at this `β` (i.e. `β ≤ γ`).
+pub fn break_even_message_elems(coeffs: &PerfCoefficients, beta: f64) -> Option<f64> {
+    if beta <= coeffs.gamma {
+        return None;
+    }
+    // β·E = c + γ·E  →  E* = c / (β − γ); also must exceed the piecewise
+    // threshold d for the dense message to be in the linear regime.
+    let e = coeffs.c / (beta - coeffs.gamma);
+    Some(e.max(coeffs.d))
+}
+
+/// The hidden size beyond which the AE's end-to-end speedup drops below
+/// `target` on a fixed single-node group (the diminishing-returns knee of
+/// Eq. 2), found by bisection. Returns `None` if even `h = h_min` is
+/// already below the target.
+pub fn speedup_knee(
+    coeffs: &PerfCoefficients,
+    b: usize,
+    s: usize,
+    e_over_h: f64,
+    target: f64,
+) -> Option<usize> {
+    let speedup = |h: usize| {
+        let e = ((h as f64 * e_over_h) as usize).max(1);
+        coeffs.speedup(b, s, h, e)
+    };
+    let (mut lo, mut hi) = (256usize, 1 << 22);
+    if speedup(lo) < target {
+        return None;
+    }
+    if speedup(hi) >= target {
+        return Some(hi);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if speedup(mid) >= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Communication share of one uncompressed layer under the model —
+/// `T_comm / (T_comp + T_comm)` (the Figure 1 quantity, analytically).
+pub fn comm_share(coeffs: &PerfCoefficients, b: usize, s: usize, h: usize) -> f64 {
+    let comm = coeffs.t_comm((b * s * h) as f64);
+    let comp = coeffs.t_comp(layer_flops(b, s, h));
+    comm / (comm + comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> PerfCoefficients {
+        PerfCoefficients::paper()
+    }
+
+    #[test]
+    fn beta_crossover_consistent_with_speedup() {
+        let c = paper();
+        let (b, s, h) = (16usize, 128usize, 4096usize);
+        let beta_star = break_even_beta(&c, b, s, h);
+        let e = 100 * h / 1024;
+        // Just above the crossover: compression wins.
+        let mut above = c;
+        above.beta = beta_star * 1.2;
+        assert!(above.speedup(b, s, h, e) > 1.0);
+        // Just below: it loses.
+        let mut below = c;
+        below.beta = beta_star * 0.8;
+        assert!(below.speedup(b, s, h, e) < 1.0);
+    }
+
+    #[test]
+    fn message_threshold_matches_takeaway8_shape() {
+        let c = paper();
+        let e = break_even_message_elems(&c, c.beta).expect("paper beta is above gamma");
+        // The fine-tune default (32·512·1024) is far above the threshold;
+        // the small setting (8·128·1024) sits near/below ~d.
+        assert!((32 * 512 * 1024) as f64 > e);
+        assert!(e >= c.d);
+    }
+
+    #[test]
+    fn no_break_even_on_infinitely_fast_network() {
+        let c = paper();
+        assert!(break_even_message_elems(&c, c.gamma * 0.5).is_none());
+        assert!(break_even_message_elems(&c, c.gamma).is_none());
+    }
+
+    #[test]
+    fn knee_is_monotone_in_target() {
+        let c = paper();
+        let k15 = speedup_knee(&c, 16, 128, 100.0 / 1024.0, 1.5).expect("1.5x reachable");
+        let k11 = speedup_knee(&c, 16, 128, 100.0 / 1024.0, 1.1).expect("1.1x reachable");
+        assert!(k11 > k15, "weaker target allows larger h: {k11} vs {k15}");
+        // The speedup at the knee bounds the target from above.
+        let e = (k15 as f64 * 100.0 / 1024.0) as usize;
+        assert!(c.speedup(16, 128, k15, e.max(1)) >= 1.5);
+        assert!(c.speedup(16, 128, k15 * 2, (2 * e).max(1)) < 1.5);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let c = paper();
+        assert!(speedup_knee(&c, 16, 128, 100.0 / 1024.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn comm_share_decreases_with_h() {
+        let c = paper();
+        let small = comm_share(&c, 16, 128, 2048);
+        let large = comm_share(&c, 16, 128, 16384);
+        assert!(small > large);
+        assert!((0.0..=1.0).contains(&small));
+    }
+}

@@ -1,0 +1,202 @@
+//! Fitting the §4.7 cost-model coefficients from measurements.
+//!
+//! The paper fits α from the wall-clock time at the *largest* hidden size
+//! (where the GPU is closest to peak utilization — fitting at small sizes
+//! mispredicted by up to 30×), β/c from a piecewise regression of
+//! all-reduce times, and γ from the AE matmul times. These routines do the
+//! same from `(x, time)` samples, which `actcomp-core` produces with the
+//! cluster simulator (reproducing Figure 5's fit-vs-real panels).
+
+use crate::model::PerfCoefficients;
+
+/// Ordinary least-squares line `y = slope·x + intercept`.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or zero variance in `x`.
+pub fn least_squares_line(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "sample length mismatch");
+    assert!(xs.len() >= 2, "need at least two samples");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+    }
+    assert!(sxx > 0.0, "x has zero variance");
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+/// Fits `α` from the sample with the largest FLOP count (the paper's
+/// peak-utilization rule).
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn fit_alpha(flops: &[f64], times: &[f64]) -> f64 {
+    assert_eq!(flops.len(), times.len(), "sample length mismatch");
+    let (i, _) = flops
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite flops"))
+        .expect("at least one sample");
+    times[i] / flops[i]
+}
+
+/// Fits the piecewise communication model given the threshold `d`:
+/// `c` is the mean time of messages below `d`; `β` is the zero-intercept
+/// slope over messages at/above `d`.
+///
+/// # Panics
+///
+/// Panics if either regime has no samples.
+pub fn fit_comm(elems: &[f64], times: &[f64], d: f64) -> (f64, f64) {
+    assert_eq!(elems.len(), times.len(), "sample length mismatch");
+    let below: Vec<f64> = elems
+        .iter()
+        .zip(times)
+        .filter(|(e, _)| **e < d)
+        .map(|(_, t)| *t)
+        .collect();
+    let above: Vec<(f64, f64)> = elems
+        .iter()
+        .zip(times)
+        .filter(|(e, _)| **e >= d)
+        .map(|(e, t)| (*e, *t))
+        .collect();
+    assert!(!below.is_empty(), "no samples below threshold {d}");
+    assert!(!above.is_empty(), "no samples above threshold {d}");
+    let c = below.iter().sum::<f64>() / below.len() as f64;
+    // Zero-intercept least squares: β = Σ e·t / Σ e².
+    let num: f64 = above.iter().map(|(e, t)| e * t).sum();
+    let den: f64 = above.iter().map(|(e, _)| e * e).sum();
+    (c, num / den)
+}
+
+/// Fits `γ` (AE overhead per element) by zero-intercept least squares.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn fit_gamma(elems: &[f64], times: &[f64]) -> f64 {
+    assert_eq!(elems.len(), times.len(), "sample length mismatch");
+    assert!(!elems.is_empty(), "need samples");
+    let num: f64 = elems.iter().zip(times).map(|(e, t)| e * t).sum();
+    let den: f64 = elems.iter().map(|e| e * e).sum();
+    num / den
+}
+
+/// Fits a complete coefficient set from compute, communication, and
+/// overhead samples.
+pub fn fit_all(
+    flops: &[f64],
+    comp_times: &[f64],
+    comm_elems: &[f64],
+    comm_times: &[f64],
+    overhead_elems: &[f64],
+    overhead_times: &[f64],
+    d: f64,
+) -> PerfCoefficients {
+    let alpha = fit_alpha(flops, comp_times);
+    let (c, beta) = fit_comm(comm_elems, comm_times, d);
+    let gamma = fit_gamma(overhead_elems, overhead_times);
+    PerfCoefficients {
+        alpha,
+        beta,
+        gamma,
+        c,
+        d,
+    }
+}
+
+/// Mean relative error of predictions against ground truth (the fit
+/// quality Figure 5 visualizes).
+///
+/// # Panics
+///
+/// Panics on empty or mismatched input.
+pub fn mean_relative_error(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "sample length mismatch");
+    assert!(!pred.is_empty(), "empty samples");
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs() / t.abs().max(1e-12))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fit_recovers_planted_coefficients() {
+        let xs: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x + 1.25).collect();
+        let (slope, intercept) = least_squares_line(&xs, &ys);
+        assert!((slope - 3.5).abs() < 1e-9);
+        assert!((intercept - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_uses_peak_point() {
+        // Small workloads run at poor utilization (inflated time); only
+        // the largest point reflects α.
+        let flops = [1e9, 1e10, 1e12];
+        let times = [1e9 * 5e-14, 1e10 * 3e-14, 1e12 * 1e-14];
+        let a = fit_alpha(&flops, &times);
+        assert!((a - 1e-14).abs() < 1e-20);
+    }
+
+    #[test]
+    fn comm_fit_recovers_piecewise_model() {
+        let d = 1000.0;
+        let elems: Vec<f64> = vec![10.0, 100.0, 500.0, 2000.0, 4000.0, 8000.0];
+        let times: Vec<f64> = elems
+            .iter()
+            .map(|&e| if e < d { 2e-4 } else { 1e-7 * e })
+            .collect();
+        let (c, beta) = fit_comm(&elems, &times, d);
+        assert!((c - 2e-4).abs() < 1e-9);
+        assert!((beta - 1e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_fit_zero_intercept() {
+        let elems = [1e5, 2e5, 4e5];
+        let times: Vec<f64> = elems.iter().map(|e| 3e-10 * e).collect();
+        assert!((fit_gamma(&elems, &times) - 3e-10).abs() < 1e-16);
+    }
+
+    #[test]
+    fn fit_all_round_trips_through_model() {
+        let truth = PerfCoefficients {
+            alpha: 2e-14,
+            beta: 1.5e-9,
+            gamma: 2e-10,
+            c: 1e-4,
+            d: 1e5,
+        };
+        let flops: Vec<f64> = (1..=8).map(|i| i as f64 * 1e12).collect();
+        let comp: Vec<f64> = flops.iter().map(|f| truth.t_comp(*f)).collect();
+        let elems: Vec<f64> = vec![1e3, 1e4, 2e5, 1e6, 4e6];
+        let comm: Vec<f64> = elems.iter().map(|e| truth.t_comm(*e)).collect();
+        let oelems = [1e5, 1e6, 1e7];
+        let over: Vec<f64> = oelems.iter().map(|e| truth.t_overhead(*e)).collect();
+        let fitted = fit_all(&flops, &comp, &elems, &comm, &oelems, &over, truth.d);
+        assert!((fitted.alpha - truth.alpha).abs() / truth.alpha < 1e-9);
+        assert!((fitted.beta - truth.beta).abs() / truth.beta < 1e-9);
+        assert!((fitted.gamma - truth.gamma).abs() / truth.gamma < 1e-9);
+        assert!((fitted.c - truth.c).abs() / truth.c < 1e-9);
+    }
+
+    #[test]
+    fn mre_zero_for_perfect_predictions() {
+        assert_eq!(mean_relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mean_relative_error(&[1.1], &[1.0]) - 0.1).abs() < 1e-9);
+    }
+}

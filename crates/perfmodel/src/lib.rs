@@ -1,0 +1,33 @@
+//! # actcomp-perfmodel
+//!
+//! The analytical performance model of the paper's §4.7, for the `actcomp`
+//! reproduction of *"Does Compressing Activations Help Model Parallel
+//! Training?"* (MLSys 2024).
+//!
+//! - [`model`]: Equations 1–3 — `T_comp = α·FLOPs`, piecewise `T_comm`,
+//!   AE overhead `γ·Bsh`, per-layer and cluster speedup,
+//! - [`fitting`]: the paper's fitting procedure (α at peak utilization,
+//!   piecewise communication regression, zero-intercept γ) plus fit-quality
+//!   metrics (Figure 5),
+//! - [`scaling`]: the Table 10 weak-scaling sweep over Megatron's
+//!   configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use actcomp_perfmodel::PerfCoefficients;
+//!
+//! let m = PerfCoefficients::paper();
+//! // AE speedup diminishes as hidden size grows on a fixed cluster.
+//! assert!(m.speedup(16, 128, 4096, 100) > m.speedup(16, 128, 16384, 100));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod crossover;
+pub mod fitting;
+pub mod model;
+pub mod scaling;
+
+pub use model::{layer_flops, PerfCoefficients};
+pub use scaling::{weak_scaling, ScalingConfig, ScalingRow};

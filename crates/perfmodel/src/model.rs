@@ -1,0 +1,196 @@
+//! The paper's §4.7 analytical cost model (Equations 1–3).
+
+use serde::{Deserialize, Serialize};
+
+/// Forward+backward FLOPs of one Transformer layer:
+/// `96·B·s·h² + 16·B·s²·h` (§4.7, after Narayanan et al. 2021).
+pub fn layer_flops(b: usize, s: usize, h: usize) -> f64 {
+    let (b, s, h) = (b as f64, s as f64, h as f64);
+    96.0 * b * s * h * h + 16.0 * b * s * s * h
+}
+
+/// Fitted coefficients of the cost model.
+///
+/// - `T_comp(F) = α · F` — compute time, linear in FLOPs, with α fitted at
+///   the *largest* hidden size (peak utilization; the paper found that
+///   fitting at small sizes mispredicts by up to 30×),
+/// - `T_comm(E) = c` if `E < d`, else `β · E` — all-reduce time, piecewise
+///   in message elements,
+/// - `T_overhead(E) = γ · E` — the auto-encoder's encode+decode matmuls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfCoefficients {
+    /// Seconds per FLOP across the tensor-parallel group.
+    pub alpha: f64,
+    /// Seconds per message element above the threshold.
+    pub beta: f64,
+    /// Seconds per element of auto-encoder overhead.
+    pub gamma: f64,
+    /// Constant communication time below the threshold (seconds).
+    pub c: f64,
+    /// Message-size threshold in elements (`d = 16·128·100 = 409600` in
+    /// the paper's experiments).
+    pub d: f64,
+}
+
+impl PerfCoefficients {
+    /// Coefficients matching the paper's §4.7 experimental fit: a TP=4
+    /// V100 group on the measured fabric, `c ≈ 0.2 ms`, `d = 409600`.
+    pub fn paper() -> Self {
+        PerfCoefficients {
+            alpha: 1.38e-14 / 4.0, // fine-tune V100 rate across TP=4
+            beta: 2.0e-9,
+            gamma: 1.0e-10,
+            c: 0.2e-3,
+            d: 409_600.0,
+        }
+    }
+
+    /// Compute time of `flops` floating-point operations (Eq. 1, first
+    /// term).
+    pub fn t_comp(&self, flops: f64) -> f64 {
+        self.alpha * flops
+    }
+
+    /// All-reduce time of a message of `elems` elements (Eq. 1, second
+    /// term; piecewise).
+    pub fn t_comm(&self, elems: f64) -> f64 {
+        if elems < self.d {
+            self.c
+        } else {
+            self.beta * elems
+        }
+    }
+
+    /// Auto-encoder encode+decode overhead for an activation of `elems`
+    /// elements.
+    pub fn t_overhead(&self, elems: f64) -> f64 {
+        self.gamma * elems
+    }
+
+    /// Uncompressed per-layer time (Eq. 1): `T = T_comp + T_comm(Bsh)`.
+    pub fn layer_time(&self, b: usize, s: usize, h: usize) -> f64 {
+        self.t_comp(layer_flops(b, s, h)) + self.t_comm((b * s * h) as f64)
+    }
+
+    /// AE-compressed per-layer time:
+    /// `T_AE = T_comp + T_comm(Bse) + T_overhead(Bsh)`.
+    pub fn layer_time_ae(&self, b: usize, s: usize, h: usize, e: usize) -> f64 {
+        self.t_comp(layer_flops(b, s, h))
+            + self.t_comm((b * s * e) as f64)
+            + self.t_overhead((b * s * h) as f64)
+    }
+
+    /// Single-node speedup `T / T_AE` (Eq. 2). Independent of layer count
+    /// because every layer is identical.
+    pub fn speedup(&self, b: usize, s: usize, h: usize, e: usize) -> f64 {
+        self.layer_time(b, s, h) / self.layer_time_ae(b, s, h, e)
+    }
+
+    /// Cluster speedup with pipeline parallelism across `n` nodes (Eq. 3):
+    ///
+    /// ```text
+    ///   ((m−1)/n + 1)·L·T    + (n−1)·Bsh/w
+    ///   ─────────────────────────────────────
+    ///   ((m−1)/n + 1)·L·T_AE + (n−1)·Bse/w
+    /// ```
+    ///
+    /// where `m` is the micro-batch size (the paper's Eq. 3 notation),
+    /// `L` the layer count and `w` the inter-node bandwidth in
+    /// elements/second.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cluster_speedup(
+        &self,
+        b: usize,
+        s: usize,
+        h: usize,
+        e: usize,
+        m: usize,
+        n: usize,
+        layers: usize,
+        w_elems_per_s: f64,
+    ) -> f64 {
+        let occupancy = (m as f64 - 1.0) / n as f64 + 1.0;
+        let l = layers as f64;
+        let pipe = (n as f64 - 1.0) / w_elems_per_s;
+        let num = occupancy * l * self.layer_time(b, s, h) + pipe * (b * s * h) as f64;
+        let den = occupancy * l * self.layer_time_ae(b, s, h, e) + pipe * (b * s * e) as f64;
+        num / den
+    }
+
+    /// Asymptotic speedup as `h → ∞` on a fixed cluster (Eq. 2 analysis):
+    /// compression benefits vanish (→ 1).
+    pub fn asymptotic_speedup(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_formula() {
+        // Matches the paper's arithmetic at the fine-tuning point.
+        let f = layer_flops(32, 512, 1024);
+        assert!((f - 1.787e12).abs() / 1.787e12 < 0.01);
+    }
+
+    #[test]
+    fn comm_is_piecewise() {
+        let p = PerfCoefficients::paper();
+        // Below threshold: constant c.
+        assert_eq!(p.t_comm(1000.0), p.c);
+        assert_eq!(p.t_comm(409_599.0), p.c);
+        // Above: linear.
+        assert!(p.t_comm(500_000.0) > p.c);
+        assert!((p.t_comm(2e6) / p.t_comm(1e6) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ae_message_usually_below_threshold() {
+        // The paper: Bse with e=100 is below d, so compressed comm ≈ c.
+        let p = PerfCoefficients::paper();
+        let elems = (16 * 128 * 100) as f64;
+        assert!(elems <= p.d);
+        assert_eq!(p.t_comm(elems - 1.0), p.c);
+    }
+
+    #[test]
+    fn speedup_above_one_and_diminishing_in_h() {
+        // Eq. 2's trend: benefits shrink as hidden size grows.
+        let p = PerfCoefficients::paper();
+        let s1 = p.speedup(16, 128, 4096, 100);
+        let s2 = p.speedup(16, 128, 8192, 100);
+        let s3 = p.speedup(16, 128, 25600, 100);
+        assert!(s1 > 1.0, "speedup {s1}");
+        assert!(s1 > s2 && s2 > s3, "{s1} {s2} {s3}");
+        assert!(s3 > 0.9, "speedup cannot collapse below ~1: {s3}");
+    }
+
+    #[test]
+    fn speedup_tends_to_one_asymptotically() {
+        let p = PerfCoefficients::paper();
+        let s = p.speedup(16, 128, 1 << 20, 100);
+        assert!((s - p.asymptotic_speedup()).abs() < 0.05, "h→∞ speedup {s}");
+    }
+
+    #[test]
+    fn cluster_speedup_recovers_eq2_at_one_node_one_microbatch() {
+        let p = PerfCoefficients::paper();
+        let a = p.cluster_speedup(16, 128, 6144, 100, 1, 1, 40, 1e9);
+        let b = p.speedup(16, 128, 6144, 100);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_nodes_with_hidden_retains_speedup() {
+        // The paper's conclusion: growing n alongside h keeps ~1.5×.
+        let p = PerfCoefficients::paper();
+        let fixed_nodes = p.cluster_speedup(16, 128, 25600, 100, 64, 1, 128, 0.4e9);
+        let scaled_nodes = p.cluster_speedup(16, 128, 25600, 100, 64, 64, 128, 0.4e9);
+        assert!(
+            scaled_nodes > fixed_nodes,
+            "scaling nodes should help: {scaled_nodes} vs {fixed_nodes}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Weak-scaling analysis (the paper's Table 10).
+//!
+//! The configurations follow Megatron's weak-scaling table (Narayanan et
+//! al. 2021, Table 1): hidden size, layer count, node count and global
+//! batch grow together; tensor parallelism stays at 4 and the micro-batch
+//! at 16. The paper evaluates Eq. 3 on each row with AE dimension `e=100`.
+
+use crate::model::PerfCoefficients;
+use serde::{Deserialize, Serialize};
+
+/// One weak-scaling configuration row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    /// Hidden size.
+    pub hidden: usize,
+    /// Number of Transformer layers.
+    pub layers: usize,
+    /// Number of nodes (pipeline stages).
+    pub nodes: usize,
+    /// Global batch size.
+    pub batch: usize,
+}
+
+/// A computed weak-scaling row: configuration plus predicted speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// The configuration.
+    pub config: ScalingConfig,
+    /// Predicted `T / T_AE` speedup under Eq. 3.
+    pub speedup: f64,
+}
+
+/// The micro-batch size the paper fixes (16).
+pub const MICRO_BATCH: usize = 16;
+/// The AE code dimension the paper fixes (`e = 100`).
+pub const AE_DIM: usize = 100;
+/// Sequence length of the scaling study.
+pub const SEQ: usize = 128;
+
+/// The seven configurations of the paper's Table 10 (after Megatron's
+/// Table 1).
+pub fn table10_configs() -> Vec<ScalingConfig> {
+    [
+        (6144, 40, 1, 1024),
+        (8192, 48, 2, 1536),
+        (10240, 60, 4, 1792),
+        (12288, 80, 8, 2304),
+        (16384, 96, 16, 2176),
+        (20480, 105, 35, 2528),
+        (25600, 128, 64, 3072),
+    ]
+    .into_iter()
+    .map(|(hidden, layers, nodes, batch)| ScalingConfig {
+        hidden,
+        layers,
+        nodes,
+        batch,
+    })
+    .collect()
+}
+
+/// The speedups the paper reports for those rows, in order.
+pub fn table10_paper_speedups() -> Vec<f64> {
+    vec![1.91, 1.75, 1.63, 1.55, 1.46, 1.46, 1.47]
+}
+
+/// Computes the weak-scaling table under the given coefficients and
+/// inter-node bandwidth (elements/second).
+pub fn weak_scaling(
+    coeffs: &PerfCoefficients,
+    configs: &[ScalingConfig],
+    w_elems_per_s: f64,
+) -> Vec<ScalingRow> {
+    configs
+        .iter()
+        .map(|&config| {
+            // Eq. 3 takes the micro-batch size as `m` (paper notation);
+            // the global batch column is carried from Megatron's table
+            // for reference but does not enter the formula.
+            let speedup = coeffs.cluster_speedup(
+                MICRO_BATCH,
+                SEQ,
+                config.hidden,
+                AE_DIM,
+                MICRO_BATCH,
+                config.nodes,
+                config.layers,
+                w_elems_per_s,
+            );
+            ScalingRow { config, speedup }
+        })
+        .collect()
+}
+
+/// The effective inter-node bandwidth (elements/second): 10 Gbps TCP at
+/// fp16 shared across the send/receive path, ~0.3 GB/s ÷ 2 B.
+pub fn paper_bandwidth_elems() -> f64 {
+    1.5e8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let rows = weak_scaling(
+            &PerfCoefficients::paper(),
+            &table10_configs(),
+            paper_bandwidth_elems(),
+        );
+        let paper = table10_paper_speedups();
+        assert_eq!(rows.len(), paper.len());
+
+        // Row 1 near 1.91; all rows > 1.3; trend decreasing then flat.
+        assert!(
+            (rows[0].speedup - paper[0]).abs() < 0.35,
+            "first row {} vs paper {}",
+            rows[0].speedup,
+            paper[0]
+        );
+        for (r, p) in rows.iter().zip(&paper) {
+            assert!(r.speedup > 1.25, "{:?}", r);
+            assert!(
+                (r.speedup - p).abs() / p < 0.25,
+                "row h={}: {} vs paper {p}",
+                r.config.hidden,
+                r.speedup
+            );
+        }
+        // Monotone non-increasing until the plateau.
+        for w in rows.windows(2).take(4) {
+            assert!(w[0].speedup >= w[1].speedup - 0.02);
+        }
+    }
+
+    #[test]
+    fn fixed_cluster_speedup_decays_without_node_scaling() {
+        // If nodes are NOT scaled up, the benefit diminishes with h —
+        // the paper's closing observation.
+        let p = PerfCoefficients::paper();
+        let mut configs = table10_configs();
+        for c in &mut configs {
+            c.nodes = 1;
+            c.batch = 1024;
+        }
+        let rows = weak_scaling(&p, &configs, paper_bandwidth_elems());
+        assert!(rows.first().unwrap().speedup > rows.last().unwrap().speedup + 0.2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Dense linear algebra used by the paper's low-rank analysis (Figure 2).
+//!
+//! The only nontrivial routine is a one-sided Jacobi SVD, which is simple,
+//! numerically robust, and fast enough for the activation/gradient matrices
+//! the analysis inspects (a few hundred rows/columns).
+
+use crate::Tensor;
+
+/// Singular values of a rank-2 tensor, sorted in descending order.
+///
+/// Computed with one-sided Jacobi rotations applied to the columns of the
+/// (possibly implicitly transposed) matrix; singular values are the column
+/// norms after convergence. Converges to a relative off-diagonal tolerance
+/// of `1e-10` or after 60 sweeps, whichever comes first.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2.
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_tensor::{Tensor, linalg::singular_values};
+///
+/// let a = Tensor::from_vec(vec![3.0, 0.0, 0.0, 4.0], [2, 2]);
+/// let sv = singular_values(&a);
+/// assert!((sv[0] - 4.0).abs() < 1e-5 && (sv[1] - 3.0).abs() < 1e-5);
+/// ```
+pub fn singular_values(a: &Tensor) -> Vec<f32> {
+    assert_eq!(a.rank(), 2, "singular_values requires rank 2, got {}", a.shape());
+    // Work on the orientation with fewer columns: SVD(A) == SVD(Aᵀ).
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let work = if n <= m { a.clone() } else { a.transpose2() };
+    let (m, n) = (work.dims()[0], work.dims()[1]);
+
+    // Column-major working copy in f64 for accumulation accuracy.
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| work.as_slice()[i * n + j] as f64).collect())
+        .collect();
+
+    let tol = 1e-10f64;
+    let frob: f64 = cols.iter().flat_map(|c| c.iter().map(|x| x * x)).sum();
+    let thresh = tol * frob.max(f64::MIN_POSITIVE);
+
+    for _sweep in 0..60 {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    app += cols[p][i] * cols[p][i];
+                    aqq += cols[q][i] * cols[q][i];
+                    apq += cols[p][i] * cols[q][i];
+                }
+                if apq * apq <= thresh * app.max(1e-300) * aqq.max(1e-300) {
+                    continue;
+                }
+                rotated = true;
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let vp = cols[p][i];
+                    let vq = cols[q][i];
+                    cols[p][i] = c * vp - s * vq;
+                    cols[q][i] = s * vp + c * vq;
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    let mut sv: Vec<f32> = cols
+        .iter()
+        .map(|c| (c.iter().map(|x| x * x).sum::<f64>()).sqrt() as f32)
+        .collect();
+    sv.sort_by(|a, b| b.partial_cmp(a).expect("singular values are finite"));
+    sv
+}
+
+/// Cumulative-energy curve of a singular-value spectrum.
+///
+/// Returns, for each prefix length `k`, the fraction
+/// `Σᵢ<ₖ σᵢ / Σᵢ σᵢ` — the "sigma value percentage" axis of the paper's
+/// Figure 2. A low-rank matrix saturates toward 1.0 with a small prefix; a
+/// full-rank matrix grows roughly linearly.
+///
+/// Returns an empty vector when the total spectrum mass is zero.
+pub fn cumulative_energy(singular_values: &[f32]) -> Vec<f32> {
+    let total: f32 = singular_values.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut acc = 0.0;
+    singular_values
+        .iter()
+        .map(|&s| {
+            acc += s;
+            acc / total
+        })
+        .collect()
+}
+
+/// The smallest rank whose [`cumulative_energy`] reaches `fraction`
+/// (e.g. `0.9` for "90% of spectral mass").
+///
+/// Returns `singular_values.len()` if the fraction is never reached (only
+/// possible for `fraction > 1`).
+pub fn effective_rank(singular_values: &[f32], fraction: f32) -> usize {
+    let curve = cumulative_energy(singular_values);
+    curve
+        .iter()
+        .position(|&e| e >= fraction)
+        .map(|p| p + 1)
+        .unwrap_or(singular_values.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let mut a = Tensor::zeros([3, 3]);
+        a.set(&[0, 0], 5.0);
+        a.set(&[1, 1], 2.0);
+        a.set(&[2, 2], 7.0);
+        let sv = singular_values(&a);
+        assert!((sv[0] - 7.0).abs() < 1e-5);
+        assert!((sv[1] - 5.0).abs() < 1e-5);
+        assert!((sv[2] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rectangular_orientations_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = init::randn(&mut rng, [8, 5], 1.0);
+        let s1 = singular_values(&a);
+        let s2 = singular_values(&a.transpose2());
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_preserved() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = init::randn(&mut rng, [10, 6], 2.0);
+        let sv = singular_values(&a);
+        let sv_norm: f32 = sv.iter().map(|s| s * s).sum::<f32>().sqrt();
+        assert!((sv_norm - a.norm()).abs() / a.norm() < 1e-4);
+    }
+
+    #[test]
+    fn rank_one_matrix_has_one_singular_value() {
+        let u = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3, 1]);
+        let v = Tensor::from_vec(vec![4.0, 5.0], [1, 2]);
+        let a = u.matmul(&v);
+        let sv = singular_values(&a);
+        assert!(sv[0] > 1.0);
+        assert!(sv[1].abs() < 1e-4);
+        assert_eq!(effective_rank(&sv, 0.99), 1);
+    }
+
+    #[test]
+    fn low_rank_vs_full_rank_energy_curves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // Rank-2 matrix: energy saturates immediately.
+        let u = init::randn(&mut rng, [20, 2], 1.0);
+        let v = init::randn(&mut rng, [2, 20], 1.0);
+        let low = u.matmul(&v);
+        // Dense Gaussian: energy grows ~linearly.
+        let full = init::randn(&mut rng, [20, 20], 1.0);
+        let low_curve = cumulative_energy(&singular_values(&low));
+        let full_curve = cumulative_energy(&singular_values(&full));
+        assert!(low_curve[1] > 0.99, "rank-2 energy at k=2: {}", low_curve[1]);
+        assert!(full_curve[1] < 0.4, "dense energy at k=2: {}", full_curve[1]);
+        assert!(effective_rank(&singular_values(&low), 0.9) <= 2);
+        assert!(effective_rank(&singular_values(&full), 0.9) > 10);
+    }
+
+    #[test]
+    fn cumulative_energy_of_zero_matrix_is_empty() {
+        assert!(cumulative_energy(&[0.0, 0.0]).is_empty());
+    }
+}

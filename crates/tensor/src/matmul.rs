@@ -1,0 +1,221 @@
+//! Matrix multiplication kernels.
+//!
+//! The kernels use an `i-k-j` loop order over contiguous row slices, which
+//! keeps the inner loop vectorizable and cache-friendly without the
+//! complexity of explicit blocking. That is plenty for the model scales the
+//! accuracy experiments run at (hidden sizes ≤ a few hundred); the paper-scale
+//! models are *costed* by `actcomp-distsim`, never executed.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product `self @ other` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or inner dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use actcomp_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+    /// assert_eq!(a.matmul(&b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul lhs");
+        let (k2, n) = dims2(other, "matmul rhs");
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix product `selfᵀ @ other` without materializing the transpose.
+    ///
+    /// `self` is `[k, m]`, `other` is `[k, n]`, result is `[m, n]`. This is
+    /// the shape that weight gradients take (`xᵀ @ dy`), so having it as a
+    /// primitive avoids a transpose copy in every backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or leading dimensions disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, m) = dims2(self, "matmul_tn lhs");
+        let (k2, n) = dims2(other, "matmul_tn rhs");
+        assert_eq!(k, k2, "matmul_tn leading dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix product `self @ otherᵀ` without materializing the transpose.
+    ///
+    /// `self` is `[m, k]`, `other` is `[n, k]`, result is `[m, n]`. This is
+    /// the shape of input gradients (`dy @ wᵀ`) and attention scores
+    /// (`q @ kᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or trailing dimensions disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul_nt lhs");
+        let (n, k2) = dims2(other, "matmul_nt rhs");
+        assert_eq!(k, k2, "matmul_nt trailing dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.as_slice();
+        let b = other.as_slice();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors `[b, m, k] @ [b, k, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 3 or batch/inner dims disagree.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
+        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {}", other.shape());
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(b, b2, "bmm batch dims {b} vs {b2}");
+        assert_eq!(k, k2, "bmm inner dims {k} vs {k2}");
+        let mut out = Vec::with_capacity(b * m * n);
+        for t in 0..b {
+            let lhs = Tensor::from_vec(
+                self.as_slice()[t * m * k..(t + 1) * m * k].to_vec(),
+                [m, k],
+            );
+            let rhs = Tensor::from_vec(
+                other.as_slice()[t * k * n..(t + 1) * k * n].to_vec(),
+                [k, n],
+            );
+            out.extend_from_slice(lhs.matmul(&rhs).as_slice());
+        }
+        Tensor::from_vec(out, [b, m, n])
+    }
+
+    /// Matrix–vector product `self @ v` for a rank-2 tensor and rank-1 vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matvec lhs");
+        assert_eq!(v.rank(), 1, "matvec rhs must be rank 1");
+        assert_eq!(v.len(), k, "matvec dims {k} vs {}", v.len());
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let out = (0..m)
+            .map(|i| a[i * k..(i + 1) * k].iter().zip(x).map(|(&p, &q)| p * q).sum())
+            .collect();
+        Tensor::from_vec(out, [m])
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) {
+        assert!(
+            a.max_abs_diff(b) < tol,
+            "tensors differ by {}",
+            a.max_abs_diff(b)
+        );
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
+        approx_eq(&a.matmul(&Tensor::eye(4)), &a, 1e-6);
+        approx_eq(&Tensor::eye(3).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32 * 0.5).collect(), [3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), [3, 4]);
+        approx_eq(&a.matmul_tn(&b), &a.transpose2().matmul(&b), 1e-5);
+
+        let c = Tensor::from_vec((0..8).map(|x| x as f32).collect(), [2, 4]);
+        let d = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
+        approx_eq(&c.matmul_nt(&d), &c.matmul(&d.transpose2()), 1e-5);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]);
+        let b = Tensor::from_vec((0..18).map(|x| x as f32 * 0.1).collect(), [2, 3, 3]);
+        let c = a.bmm(&b);
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        let a0 = Tensor::from_vec(a.as_slice()[..6].to_vec(), [2, 3]);
+        let b0 = Tensor::from_vec(b.as_slice()[..9].to_vec(), [3, 3]);
+        let c0 = a0.matmul(&b0);
+        assert_eq!(&c.as_slice()[..6], c0.as_slice());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        let v = Tensor::from_vec(vec![1.0, 0.5, 2.0], [3]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshaped([3, 1]));
+        assert_eq!(mv.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_checks_dims() {
+        Tensor::ones([2, 3]).matmul(&Tensor::ones([4, 2]));
+    }
+}

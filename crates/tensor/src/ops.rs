@@ -1,0 +1,195 @@
+//! Transformer-oriented numerical operations: softmax, GELU, layer
+//! normalization statistics, and their derivatives.
+
+use crate::Tensor;
+
+/// `sqrt(2/pi)` constant used by the tanh GELU approximation.
+const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+
+/// Gaussian error linear unit, tanh approximation (the variant used by BERT
+/// and Megatron-LM).
+///
+/// # Examples
+///
+/// ```
+/// use actcomp_tensor::ops::gelu;
+/// assert!(gelu(0.0).abs() < 1e-7);
+/// assert!((gelu(3.0) - 3.0).abs() < 0.01);
+/// ```
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    let x3 = 0.044715 * x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+impl Tensor {
+    /// Applies [`gelu`] elementwise.
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu)
+    }
+
+    /// Row-wise softmax of an `[m, n]` matrix, numerically stabilized by
+    /// subtracting each row's max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires rank 2, got {}", self.shape());
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.as_slice()[i * n..(i + 1) * n];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut z = 0.0;
+            for (o, &x) in orow.iter_mut().zip(row) {
+                *o = (x - mx).exp();
+                z += *o;
+            }
+            for o in orow.iter_mut() {
+                *o /= z;
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Backward pass of row-wise softmax: given `p = softmax(x)` and the
+    /// upstream gradient `dp`, returns `dx`.
+    ///
+    /// Uses the standard Jacobian-vector identity
+    /// `dx = p ⊙ (dp − (p · dp))` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or shape mismatch.
+    pub fn softmax_rows_backward(probs: &Tensor, dprobs: &Tensor) -> Tensor {
+        assert_eq!(probs.rank(), 2, "softmax backward requires rank 2");
+        assert!(probs.shape().same_as(dprobs.shape()), "softmax backward shape mismatch");
+        let (m, n) = (probs.dims()[0], probs.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let p = &probs.as_slice()[i * n..(i + 1) * n];
+            let dp = &dprobs.as_slice()[i * n..(i + 1) * n];
+            let dot: f32 = p.iter().zip(dp).map(|(&a, &b)| a * b).sum();
+            for j in 0..n {
+                out[i * n + j] = p[j] * (dp[j] - dot);
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Per-row mean and variance of an `[m, n]` matrix (population variance,
+    /// as used by layer normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn row_moments(&self) -> (Tensor, Tensor) {
+        assert_eq!(self.rank(), 2, "row_moments requires rank 2");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut means = vec![0.0f32; m];
+        let mut vars = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.as_slice()[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+            means[i] = mean;
+            vars[i] = var;
+        }
+        (Tensor::from_vec(means, [m]), Tensor::from_vec(vars, [m]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_reference_values() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu(1.0) - 0.841192).abs() < 1e-4);
+        assert!((gelu(-1.0) + 0.158808).abs() < 1e-4);
+        assert!(gelu(10.0) - 10.0 < 1e-4);
+        assert!(gelu(-10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-3,
+                "x={x}: analytic {} vs fd {fd}",
+                gelu_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let p = x.softmax_rows();
+        for i in 0..2 {
+            let row = &p.as_slice()[i * 3..(i + 1) * 3];
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let y = x.add_scalar(100.0);
+        assert!(x.softmax_rows().max_abs_diff(&y.softmax_rows()) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], [1, 4]);
+        let dp = Tensor::from_vec(vec![0.5, -1.0, 0.25, 2.0], [1, 4]);
+        let p = x.softmax_rows();
+        let dx = Tensor::softmax_rows_backward(&p, &dp);
+        let h = 1e-3;
+        for j in 0..4 {
+            let mut xp = x.clone();
+            xp[j] += h;
+            let mut xm = x.clone();
+            xm[j] -= h;
+            let fp: f32 = xp
+                .softmax_rows()
+                .as_slice()
+                .iter()
+                .zip(dp.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            let fm: f32 = xm
+                .softmax_rows()
+                .as_slice()
+                .iter()
+                .zip(dp.as_slice())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((dx[j] - fd).abs() < 1e-3, "j={j}: {} vs {fd}", dx[j]);
+        }
+    }
+
+    #[test]
+    fn row_moments_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 4.0, 4.0], [2, 3]);
+        let (mean, var) = x.row_moments();
+        assert_eq!(mean.as_slice(), &[2.0, 4.0]);
+        assert!((var[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(var[1], 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the tensor algebra invariants.
+
+use actcomp_tensor::{linalg, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a tensor of the given shape with bounded finite values.
+fn tensor_of(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, m * n)
+        .prop_map(move |v| Tensor::from_vec(v, [m, n]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor_of(3, 4), b in tensor_of(3, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_sub_round_trips(a in tensor_of(3, 4), b in tensor_of(3, 4)) {
+        let back = a.add(&b).sub(&b);
+        prop_assert!(back.max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_of(2, 5), b in tensor_of(2, 5), s in -4.0f32..4.0) {
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in tensor_of(3, 4), b in tensor_of(4, 2), c in tensor_of(4, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor_of(3, 4), b in tensor_of(4, 2)) {
+        // (AB)ᵀ == Bᵀ Aᵀ
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn tn_nt_consistent_with_matmul(a in tensor_of(4, 3), b in tensor_of(4, 2)) {
+        // Aᵀ B via the transpose-free kernel matches the explicit transpose.
+        let tn = a.matmul_tn(&b);
+        let explicit_tn = a.transpose2().matmul(&b);
+        prop_assert!(tn.max_abs_diff(&explicit_tn) < 1e-3);
+
+        // C Dᵀ via the transpose-free kernel matches the explicit transpose.
+        let c = a.transpose2(); // [3, 4]
+        let d = b.transpose2(); // [2, 4]
+        let nt = c.matmul_nt(&d);
+        let explicit_nt = c.matmul(&b);
+        prop_assert!(nt.max_abs_diff(&explicit_nt) < 1e-3);
+    }
+
+    #[test]
+    fn split_cols_concat_inverse(a in tensor_of(4, 6)) {
+        let parts = a.split_cols(3);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        prop_assert_eq!(Tensor::concat_cols(&refs), a);
+    }
+
+    #[test]
+    fn split_rows_concat_inverse(a in tensor_of(6, 4)) {
+        let parts = a.split_rows(2);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        prop_assert_eq!(Tensor::concat_rows(&refs), a);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_of(4, 8)) {
+        let p = a.softmax_rows();
+        for i in 0..4 {
+            let row: f32 = p.as_slice()[i * 8..(i + 1) * 8].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn svd_frobenius_preserved(a in tensor_of(6, 5)) {
+        let sv = linalg::singular_values(&a);
+        let sv_norm: f32 = sv.iter().map(|s| s * s).sum::<f32>().sqrt();
+        let tol = 1e-3 * a.norm().max(1.0);
+        prop_assert!((sv_norm - a.norm()).abs() <= tol);
+    }
+
+    #[test]
+    fn svd_values_nonnegative_sorted(a in tensor_of(5, 5)) {
+        let sv = linalg::singular_values(&a);
+        for w in sv.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-5);
+        }
+        prop_assert!(sv.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn cumulative_energy_monotone(a in tensor_of(5, 5)) {
+        let curve = linalg::cumulative_energy(&linalg::singular_values(&a));
+        for w in curve.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6);
+        }
+        if let Some(&last) = curve.last() {
+            prop_assert!((last - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in tensor_of(4, 6)) {
+        let data = a.as_slice().to_vec();
+        let b = a.reshape([6, 4]).reshape([2, 12]).reshape([24]);
+        prop_assert_eq!(b.as_slice(), &data[..]);
+    }
+}

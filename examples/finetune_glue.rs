@@ -1,0 +1,51 @@
+//! Fine-tune the scaled-down BERT on one synthetic GLUE task under three
+//! compression settings and compare dev scores — the paper's Table 5
+//! experiment in miniature.
+//!
+//! Run with: `cargo run --release --example finetune_glue [task] [steps]`
+//! where `task` is one of mnli/qqp/sst2/mrpc/cola/qnli/rte/stsb.
+
+use actcomp::compress::spec::CompressorSpec;
+use actcomp::core::{accuracy, AccuracyConfig};
+use actcomp::data::GlueTask;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let task = match args.get(1).map(String::as_str) {
+        Some("mnli") => GlueTask::Mnli,
+        Some("qqp") => GlueTask::Qqp,
+        Some("mrpc") => GlueTask::Mrpc,
+        Some("cola") => GlueTask::Cola,
+        Some("qnli") => GlueTask::Qnli,
+        Some("rte") => GlueTask::Rte,
+        Some("stsb") => GlueTask::StsB,
+        _ => GlueTask::Sst2,
+    };
+    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    println!(
+        "Fine-tuning on {} ({} train examples, metric {:?}), {} steps, TP=2 PP=2\n",
+        task.name(),
+        task.train_size(),
+        task.metric(),
+        steps
+    );
+
+    for spec in [CompressorSpec::Baseline, CompressorSpec::A2, CompressorSpec::T2, CompressorSpec::Q2] {
+        let mut cfg = AccuracyConfig::paper_default().with_spec(spec);
+        cfg.steps = steps;
+        let start = std::time::Instant::now();
+        let result = accuracy::finetune(&cfg, task);
+        println!(
+            "{:4}  score {:6.2}   final train loss {:.3}   ({:.1}s)",
+            spec.label(),
+            result.score,
+            result.final_loss,
+            start.elapsed().as_secs_f32()
+        );
+    }
+    println!(
+        "\nExpected shape (paper Table 5): baseline best; A2 and Q2 close \
+         behind; T2 (Top-K) clearly degraded."
+    );
+}

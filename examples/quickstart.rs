@@ -1,0 +1,72 @@
+//! Quickstart: compress an activation with each of the paper's algorithm
+//! families, then ask the cluster simulator whether each would speed up
+//! BERT-Large fine-tuning.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use actcomp::compress::spec::CompressorSpec;
+use actcomp::core::throughput::{finetune_breakdown, Machine};
+use actcomp::tensor::init;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. A realistic activation: [batch*seq, hidden] hidden states.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let h = 1024;
+    let x = init::randn(&mut rng, [64, h], 1.0);
+    let n = x.len();
+
+    println!("Compressing a [64, {h}] activation ({n} elements):\n");
+    println!(
+        "{:10} {:>12} {:>10} {:>14} {:>10}",
+        "setting", "wire bytes", "ratio", "recon error", "summable"
+    );
+    for spec in [
+        CompressorSpec::Baseline,
+        CompressorSpec::A1,
+        CompressorSpec::A2,
+        CompressorSpec::T1,
+        CompressorSpec::R1,
+        CompressorSpec::Q1,
+        CompressorSpec::Q2,
+    ] {
+        let mut c = spec.build(&mut rng, n, h);
+        let msg = c.compress(&x);
+        let y = c.decompress(&msg);
+        println!(
+            "{:10} {:>12} {:>9.1}x {:>14.4} {:>10}",
+            spec.label(),
+            msg.wire_bytes(2),
+            msg.ratio(2),
+            x.sub(&y).norm() / x.norm(),
+            c.summable()
+        );
+    }
+
+    println!(
+        "\n(The auto-encoder is untrained here — random Gaussian data has no \
+         structure to learn. In training it is optimized jointly with the \
+         model; see the finetune_glue example.)"
+    );
+
+    // 2. Does compression pay off end to end? Ask the simulator for the
+    //    paper's fine-tuning setup on both machines.
+    println!("\nSimulated BERT-Large fine-tune iteration (TP=2, PP=2, b=32, s=512):\n");
+    println!("{:16} {:>14} {:>14}", "machine", "w/o (ms)", "A1 (ms)");
+    for (name, machine) in [("NVLink", Machine::AwsP3), ("no NVLink", Machine::LocalPcie)] {
+        let base = finetune_breakdown(machine, 2, 2, 32, 512, CompressorSpec::Baseline);
+        let a1 = finetune_breakdown(machine, 2, 2, 32, 512, CompressorSpec::A1);
+        println!(
+            "{:16} {:>14.2} {:>14.2}   ({:+.1}%)",
+            name,
+            base.total_ms,
+            a1.total_ms,
+            100.0 * (base.total_ms - a1.total_ms) / base.total_ms
+        );
+    }
+    println!(
+        "\nThe paper's Takeaway 1 in two rows: learning-based compression \
+         helps on slow fabrics, not on NVLink."
+    );
+}

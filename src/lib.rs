@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the actcomp workspace.
+pub use actcomp_compress as compress;
+pub use actcomp_core as core;
+pub use actcomp_data as data;
+pub use actcomp_distsim as distsim;
+pub use actcomp_mp as mp;
+pub use actcomp_nn as nn;
+pub use actcomp_perfmodel as perfmodel;
+pub use actcomp_tensor as tensor;
