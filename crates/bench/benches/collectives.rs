@@ -22,10 +22,14 @@ fn bench_cost_models(c: &mut Criterion) {
 
 fn bench_real_reduce(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let partials: Vec<_> = (0..4).map(|_| init::randn(&mut rng, [64, 64], 1.0)).collect();
+    let partials: Vec<_> = (0..4)
+        .map(|_| init::randn(&mut rng, [64, 64], 1.0))
+        .collect();
 
     let mut id_reduce = CompressedAllReduce::new(
-        (0..4).map(|_| Box::new(Identity::new()) as Box<dyn Compressor>).collect(),
+        (0..4)
+            .map(|_| Box::new(Identity::new()) as Box<dyn Compressor>)
+            .collect(),
     );
     c.bench_function("reduce_identity_4x4096", |b| {
         b.iter(|| id_reduce.forward(&partials))
@@ -39,12 +43,18 @@ fn bench_real_reduce(c: &mut Criterion) {
             })
             .collect(),
     );
-    c.bench_function("reduce_ae_4x4096", |b| b.iter(|| ae_reduce.forward(&partials)));
+    c.bench_function("reduce_ae_4x4096", |b| {
+        b.iter(|| ae_reduce.forward(&partials))
+    });
 
     let mut tk_reduce = CompressedAllReduce::new(
-        (0..4).map(|_| Box::new(TopK::new(200)) as Box<dyn Compressor>).collect(),
+        (0..4)
+            .map(|_| Box::new(TopK::new(200)) as Box<dyn Compressor>)
+            .collect(),
     );
-    c.bench_function("reduce_topk_4x4096", |b| b.iter(|| tk_reduce.forward(&partials)));
+    c.bench_function("reduce_topk_4x4096", |b| {
+        b.iter(|| tk_reduce.forward(&partials))
+    });
 }
 
 criterion_group!(benches, bench_cost_models, bench_real_reduce);

@@ -12,12 +12,16 @@ fn bench_matmul(c: &mut Criterion) {
         let a = init::randn(&mut rng, [n, n], 1.0);
         let b = init::randn(&mut rng, [n, n], 1.0);
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::new("nn", n), &(a.clone(), b.clone()), |bch, (a, b)| {
-            bch.iter(|| a.matmul(b))
-        });
-        group.bench_with_input(BenchmarkId::new("tn", n), &(a.clone(), b.clone()), |bch, (a, b)| {
-            bch.iter(|| a.matmul_tn(b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nn", n),
+            &(a.clone(), b.clone()),
+            |bch, (a, b)| bch.iter(|| a.matmul(b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tn", n),
+            &(a.clone(), b.clone()),
+            |bch, (a, b)| bch.iter(|| a.matmul_tn(b)),
+        );
         group.bench_with_input(BenchmarkId::new("nt", n), &(a, b), |bch, (a, b)| {
             bch.iter(|| a.matmul_nt(b))
         });

@@ -7,8 +7,20 @@ use actcomp_distsim::pipeline::{simulate_gpipe, BoundaryTiming, StageTiming};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_gpipe(c: &mut Criterion) {
-    let stages = vec![StageTiming { fwd_s: 0.05, bwd_s: 0.06 }; 8];
-    let boundaries = vec![BoundaryTiming { fwd_s: 0.01, bwd_s: 0.01 }; 7];
+    let stages = vec![
+        StageTiming {
+            fwd_s: 0.05,
+            bwd_s: 0.06
+        };
+        8
+    ];
+    let boundaries = vec![
+        BoundaryTiming {
+            fwd_s: 0.01,
+            bwd_s: 0.01
+        };
+        7
+    ];
     c.bench_function("gpipe_8stages_64mb", |b| {
         b.iter(|| simulate_gpipe(&stages, &boundaries, 64))
     });

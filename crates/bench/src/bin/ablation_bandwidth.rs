@@ -13,8 +13,8 @@ use actcomp_compress::spec::CompressorSpec;
 use actcomp_core::report::Table;
 use actcomp_distsim::workload::ModelShape;
 use actcomp_distsim::{
-    calibration, simulate_iteration, ClusterSpec, CompressionPlan, LinkKind, LinkSpec,
-    MachineSpec, Parallelism, TrainSetup,
+    calibration, simulate_iteration, ClusterSpec, CompressionPlan, LinkKind, LinkSpec, MachineSpec,
+    Parallelism, TrainSetup,
 };
 
 fn iteration_ms(bandwidth: f64, spec: CompressorSpec) -> f64 {
@@ -27,7 +27,10 @@ fn iteration_ms(bandwidth: f64, spec: CompressorSpec) -> f64 {
     };
     let cluster = ClusterSpec {
         nodes: 1,
-        machine: MachineSpec { gpus: 4, intra: link },
+        machine: MachineSpec {
+            gpus: 4,
+            intra: link,
+        },
         inter: LinkSpec::ethernet_10g(),
     };
     let plan = if spec == CompressorSpec::Baseline {

@@ -40,8 +40,20 @@ fn main() {
                 format!("{plain:.1}"),
                 format!("{ef:.1}"),
             ]);
-            records.push(util::record("ablation_ef", format!("{spec} {} plain", task.name()), None, plain, "score"));
-            records.push(util::record("ablation_ef", format!("{spec} {} ef", task.name()), None, ef, "score"));
+            records.push(util::record(
+                "ablation_ef",
+                format!("{spec} {} plain", task.name()),
+                None,
+                plain,
+                "score",
+            ));
+            records.push(util::record(
+                "ablation_ef",
+                format!("{spec} {} ef", task.name()),
+                None,
+                ef,
+                "score",
+            ));
         }
     }
     util::emit(&opts, "ablation_ef", &table, &records);

@@ -37,8 +37,20 @@ fn main() {
             format!("{ge:.3}"),
             format!("{ae:.3}"),
         ]);
-        records.push(util::record("ablation_lowrank", format!("rank{rank} gradient"), None, ge, "rel_error"));
-        records.push(util::record("ablation_lowrank", format!("rank{rank} activation"), None, ae, "rel_error"));
+        records.push(util::record(
+            "ablation_lowrank",
+            format!("rank{rank} gradient"),
+            None,
+            ge,
+            "rel_error",
+        ));
+        records.push(util::record(
+            "ablation_lowrank",
+            format!("rank{rank} activation"),
+            None,
+            ae,
+            "rel_error",
+        ));
     }
     util::emit(&opts, "ablation_lowrank", &table, &records);
     println!(

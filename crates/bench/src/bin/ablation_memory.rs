@@ -16,16 +16,24 @@ fn main() {
     let par = Parallelism::new(4, 4);
     let mut table = Table::new(
         "Ablation — peak per-GPU activation memory (pre-train, TP=4 PP=4, m=8)",
-        ["schedule", "compression", "peak activation (GB)", "last-stage (GB)"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "schedule",
+            "compression",
+            "peak activation (GB)",
+            "last-stage (GB)",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let mut records = Vec::new();
     for (sched_name, sched) in [("GPipe", Schedule::GPipe), ("1F1B", Schedule::OneFOneB)] {
         for (plan_name, plan) in [
             ("w/o", CompressionPlan::none()),
-            ("A1 (last 12)", CompressionPlan::last_layers(CompressorSpec::A1, 24, 12)),
+            (
+                "A1 (last 12)",
+                CompressionPlan::last_layers(CompressorSpec::A1, 24, 12),
+            ),
         ] {
             let stages = activation_memory(&model, par, 128, 128, 8, sched, &plan);
             let peak = peak_activation_bytes(&stages) as f64 / 1e9;

@@ -14,10 +14,16 @@ fn main() {
     let cluster = ClusterSpec::p3_cluster(4);
     let mut table = Table::new(
         "Ablation — (TP, PP) placement on 4x4 GPUs (pre-train, uncompressed)",
-        ["setting", "TP spans nodes?", "total (ms)", "tensor comm (ms)", "wait & PP (ms)"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "setting",
+            "TP spans nodes?",
+            "total (ms)",
+            "tensor comm (ms)",
+            "wait & PP (ms)",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let mut records = Vec::new();
     for (tp, pp) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)] {

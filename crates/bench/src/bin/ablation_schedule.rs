@@ -19,14 +19,40 @@ fn main() {
     );
     let mut records = Vec::new();
     let cases = [
-        ("p=4 m=8 (pre-train shape)", 4usize, 8usize, 59.8e-3, 65.4e-3, 44.8e-3),
+        (
+            "p=4 m=8 (pre-train shape)",
+            4usize,
+            8usize,
+            59.8e-3,
+            65.4e-3,
+            44.8e-3,
+        ),
         ("p=4 m=32", 4, 32, 59.8e-3, 65.4e-3, 44.8e-3),
         ("p=8 m=8", 8, 8, 30.0e-3, 33.0e-3, 44.8e-3),
-        ("p=2 m=1 (fine-tune shape)", 2, 1, 150.0e-3, 200.0e-3, 3.0e-3),
+        (
+            "p=2 m=1 (fine-tune shape)",
+            2,
+            1,
+            150.0e-3,
+            200.0e-3,
+            3.0e-3,
+        ),
     ];
     for (label, p, m, tf, tb, comm) in cases {
-        let stages = vec![StageTiming { fwd_s: tf, bwd_s: tb }; p];
-        let bounds = vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1];
+        let stages = vec![
+            StageTiming {
+                fwd_s: tf,
+                bwd_s: tb
+            };
+            p
+        ];
+        let bounds = vec![
+            BoundaryTiming {
+                fwd_s: comm,
+                bwd_s: comm
+            };
+            p - 1
+        ];
         let g = simulate_gpipe(&stages, &bounds, m).makespan_s * 1e3;
         let f = simulate_1f1b(&stages, &bounds, m).makespan_s * 1e3;
         table.push_row(vec![
@@ -35,8 +61,20 @@ fn main() {
             format!("{f:.1}"),
             format!("{:+.2}%", 100.0 * (f - g) / g),
         ]);
-        records.push(util::record("ablation_schedule", format!("{label} gpipe"), None, g, "ms"));
-        records.push(util::record("ablation_schedule", format!("{label} 1f1b"), None, f, "ms"));
+        records.push(util::record(
+            "ablation_schedule",
+            format!("{label} gpipe"),
+            None,
+            g,
+            "ms",
+        ));
+        records.push(util::record(
+            "ablation_schedule",
+            format!("{label} 1f1b"),
+            None,
+            f,
+            "ms",
+        ));
     }
     util::emit(&opts, "ablation_schedule", &table, &records);
     println!(

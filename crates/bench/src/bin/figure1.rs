@@ -9,13 +9,29 @@ fn main() {
     let opts = util::Options::from_args();
     let mut table = Table::new(
         "Figure 1 — fraction of iteration time in model-parallel communication (TP=4)",
-        ["(batch, seq)", "comm fraction"].into_iter().map(String::from).collect(),
+        ["(batch, seq)", "comm fraction"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     );
     let mut records = Vec::new();
-    for (b, s) in [(8, 128), (8, 512), (16, 128), (16, 512), (32, 128), (32, 512)] {
+    for (b, s) in [
+        (8, 128),
+        (8, 512),
+        (16, 128),
+        (16, 512),
+        (32, 128),
+        (32, 512),
+    ] {
         let f = comm_overhead_fraction(b, s);
         table.push_row(vec![format!("({b}, {s})"), format!("{:.1}%", 100.0 * f)]);
-        records.push(util::record("figure1", format!("b={b},s={s}"), None, f, "fraction"));
+        records.push(util::record(
+            "figure1",
+            format!("b={b},s={s}"),
+            None,
+            f,
+            "fraction",
+        ));
     }
     util::emit(&opts, "figure1", &table, &records);
     println!(

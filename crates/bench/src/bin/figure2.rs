@@ -31,8 +31,20 @@ fn main() {
         ]);
     }
     let records = vec![
-        util::record("figure2", "gradient rank90", None, analysis.gradient.rank90 as f64, "rank"),
-        util::record("figure2", "activation rank90", None, analysis.activation.rank90 as f64, "rank"),
+        util::record(
+            "figure2",
+            "gradient rank90",
+            None,
+            analysis.gradient.rank90 as f64,
+            "rank",
+        ),
+        util::record(
+            "figure2",
+            "activation rank90",
+            None,
+            analysis.activation.rank90 as f64,
+            "rank",
+        ),
     ];
     util::emit(&opts, "figure2", &table, &records);
     println!(

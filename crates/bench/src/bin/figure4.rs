@@ -23,7 +23,10 @@ fn main() {
     };
     let mut ta = Table::new(
         "Figure 4a — accuracy vs number of (last) layers compressed (A2)",
-        ["layers compressed", "CoLA", "RTE"].into_iter().map(String::from).collect(),
+        ["layers compressed", "CoLA", "RTE"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     );
     for &k in &counts {
         let mut row = vec![k.to_string()];
@@ -58,7 +61,10 @@ fn main() {
     };
     let mut tb = Table::new(
         "Figure 4b — accuracy vs compression location (A2, fixed window)",
-        ["first layer compressed", "CoLA", "RTE"].into_iter().map(String::from).collect(),
+        ["first layer compressed", "CoLA", "RTE"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
     );
     for &start in &starts {
         let mut row = vec![start.to_string()];

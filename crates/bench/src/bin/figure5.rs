@@ -70,10 +70,19 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 5 — cost-model fit vs simulator (1 layer, TP=4, b=16 s=128)",
-        ["hidden", "comp real (ms)", "comp fit (ms)", "comm real (ms)", "comm fit (ms)", "AE ovh real (ms)", "AE ovh fit (ms)", "speedup T/T_AE"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "hidden",
+            "comp real (ms)",
+            "comp fit (ms)",
+            "comm real (ms)",
+            "comm fit (ms)",
+            "AE ovh real (ms)",
+            "AE ovh fit (ms)",
+            "speedup T/T_AE",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let mut records = Vec::new();
     let mut comp_pred = Vec::new();
@@ -96,11 +105,21 @@ fn main() {
             format!("{:.2}", ov * 1e3),
             format!("{speedup:.2}x"),
         ]);
-        records.push(util::record("figure5", format!("h={h} speedup"), None, speedup, "ratio"));
+        records.push(util::record(
+            "figure5",
+            format!("h={h} speedup"),
+            None,
+            speedup,
+            "ratio",
+        ));
     }
     let comp_mre = fitting::mean_relative_error(&comp_pred, &comp_times);
-    let comm_mre = fitting::mean_relative_error(&comm_pred, &comm_times[..hiddens.len()].to_vec());
+    let comm_mre = fitting::mean_relative_error(&comm_pred, &comm_times[..hiddens.len()]);
     util::emit(&opts, "figure5", &table, &records);
-    println!("fit quality: compute MRE {:.1}%, comm MRE {:.1}%", comp_mre * 100.0, comm_mre * 100.0);
+    println!(
+        "fit quality: compute MRE {:.1}%, comm MRE {:.1}%",
+        comp_mre * 100.0,
+        comm_mre * 100.0
+    );
     println!("Paper's trend: the speedup from AE compression diminishes as hidden size grows.");
 }

@@ -3,22 +3,53 @@
 //!
 //! Usage: `run_all [--quick] [--steps N] [--out DIR] [--throughput-only]`
 
+use actcomp_check::ExperimentConfig;
 use std::process::Command;
 
 fn main() {
+    // Pre-flight: statically validate the experiment configurations every
+    // harness below instantiates (fine-tuning and pre-training setups).
+    // A broken geometry dies here with the full diagnostic report instead
+    // of a mid-run panic in the fifth harness.
+    for (name, cfg) in [
+        ("paper_default", ExperimentConfig::paper_default()),
+        ("paper_pretrain", ExperimentConfig::paper_pretrain()),
+    ] {
+        if let Err(e) = actcomp_check::validate(&cfg) {
+            eprintln!("static check failed for the {name} configuration:\n{e}");
+            std::process::exit(1);
+        }
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let throughput_only = args.iter().any(|a| a == "--throughput-only");
-    let forwarded: Vec<&String> = args
-        .iter()
-        .filter(|a| *a != "--throughput-only")
-        .collect();
+    let forwarded: Vec<&String> = args.iter().filter(|a| *a != "--throughput-only").collect();
 
     let throughput = [
-        "figure1", "table2", "table3", "table4", "table6", "table7", "table9", "table10",
-        "table11_14", "figure5", "ablation_bandwidth", "ablation_schedule",
-        "ablation_placement", "ablation_memory",
+        "figure1",
+        "table2",
+        "table3",
+        "table4",
+        "table6",
+        "table7",
+        "table9",
+        "table10",
+        "table11_14",
+        "figure5",
+        "ablation_bandwidth",
+        "ablation_schedule",
+        "ablation_placement",
+        "ablation_memory",
     ];
-    let accuracy = ["figure2", "table5", "table8", "figure4", "table15_16", "ablation_lowrank", "ablation_ef"];
+    let accuracy = [
+        "figure2",
+        "table5",
+        "table8",
+        "figure4",
+        "table15_16",
+        "ablation_lowrank",
+        "ablation_ef",
+    ];
 
     let exe_dir = std::env::current_exe()
         .expect("current exe")

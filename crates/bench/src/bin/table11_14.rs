@@ -21,7 +21,11 @@ fn main() {
     ];
 
     for ((nvlink, batch, seq), baselines) in paper::tables11_14_baselines() {
-        let machine = if nvlink { Machine::AwsP3 } else { Machine::LocalPcie };
+        let machine = if nvlink {
+            Machine::AwsP3
+        } else {
+            Machine::LocalPcie
+        };
         let label = format!(
             "Tables 11–14 — fine-tune time (ms), {} b={batch} s={seq} [ours (paper baseline)]",
             if nvlink { "NVLink" } else { "no NVLink" }
@@ -34,8 +38,7 @@ fn main() {
             let mut row = vec![format!("TP={tp}, PP={pp}")];
             for spec in &specs {
                 let b = finetune_breakdown(machine, tp, pp, batch, seq, *spec);
-                let paper_val =
-                    (*spec == CompressorSpec::Baseline).then_some(paper_baseline);
+                let paper_val = (*spec == CompressorSpec::Baseline).then_some(paper_baseline);
                 row.push(util::vs(b.total_ms, paper_val));
                 records.push(util::record(
                     "table11_14",

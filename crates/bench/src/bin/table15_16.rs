@@ -15,7 +15,12 @@ fn main() {
     // model as (16, 12) and (8, 12): same relative reduction from the
     // default (16, 24).
     let settings = [
-        ("Table 15 (b=32→16, s=128→12)", 16usize, 12usize, paper::table15()),
+        (
+            "Table 15 (b=32→16, s=128→12)",
+            16usize,
+            12usize,
+            paper::table15(),
+        ),
         ("Table 16 (b=8, s=128→12)", 8, 12, paper::table16()),
     ];
 

@@ -27,7 +27,11 @@ fn main() {
         } else {
             Machine::LocalPcie
         };
-        let specs = [CompressorSpec::Baseline, CompressorSpec::A1, CompressorSpec::A2];
+        let specs = [
+            CompressorSpec::Baseline,
+            CompressorSpec::A1,
+            CompressorSpec::A2,
+        ];
         let ours: Vec<f64> = specs
             .iter()
             .map(|s| finetune_breakdown(machine, tp, pp, 32, 512, *s).total_ms)
@@ -35,7 +39,10 @@ fn main() {
         for ((spec, our), paper_val) in specs.iter().zip(&ours).zip(paper_vals) {
             records.push(util::record(
                 "table3",
-                format!("{} TP={tp},PP={pp} {spec}", if nvlink { "NVLink" } else { "PCIe" }),
+                format!(
+                    "{} TP={tp},PP={pp} {spec}",
+                    if nvlink { "NVLink" } else { "PCIe" }
+                ),
                 Some(paper_val),
                 *our,
                 "ms",
@@ -43,7 +50,12 @@ fn main() {
         }
         let speedup = ours[0] / ours[1].min(ours[2]);
         table.push_row(vec![
-            if nvlink { "With NVLink" } else { "Without NVLink" }.into(),
+            if nvlink {
+                "With NVLink"
+            } else {
+                "Without NVLink"
+            }
+            .into(),
             format!("TP={tp}, PP={pp}"),
             util::vs(ours[0], Some(paper_vals[0])),
             util::vs(ours[1], Some(paper_vals[1])),

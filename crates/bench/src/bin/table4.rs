@@ -10,10 +10,20 @@ fn main() {
     let opts = util::Options::from_args();
     let mut table = Table::new(
         "Table 4 — fine-tune breakdown (ms), TP=2 PP=2, no NVLink [ours (paper)]",
-        ["Algo", "Forward", "Backward", "Optimizer", "Wait&PP", "Total", "Enc", "Dec", "Comm"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "Algo",
+            "Forward",
+            "Backward",
+            "Optimizer",
+            "Wait&PP",
+            "Total",
+            "Enc",
+            "Dec",
+            "Comm",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let mut records = Vec::new();
 
@@ -30,7 +40,16 @@ fn main() {
             b.tensor_comm_ms,
         ];
         let mut row = vec![spec.label().to_string()];
-        let names = ["forward", "backward", "optimizer", "wait", "total", "enc", "dec", "comm"];
+        let names = [
+            "forward",
+            "backward",
+            "optimizer",
+            "wait",
+            "total",
+            "enc",
+            "dec",
+            "comm",
+        ];
         for ((our, paper_val), name) in ours.iter().zip(prow).zip(names) {
             row.push(util::vs(*our, paper_val));
             records.push(util::record(

@@ -9,7 +9,10 @@ use actcomp_data::GlueTask;
 
 fn main() {
     let opts = util::Options::from_args();
-    let mut specs: Vec<_> = paper::table5().into_iter().map(|(s, p)| (s, Some(p))).collect();
+    let mut specs: Vec<_> = paper::table5()
+        .into_iter()
+        .map(|(s, p)| (s, Some(p)))
+        .collect();
     if opts.quick {
         specs.truncate(4);
     }

@@ -8,10 +8,20 @@ fn main() {
     let opts = util::Options::from_args();
     let mut table = Table::new(
         "Table 7 — pre-train breakdown (ms), TP=4 PP=4 [ours (paper)]",
-        ["Algo", "Forward", "Backward", "Optimizer", "Wait&PP", "Total", "Enc", "Dec", "Comm"]
-            .into_iter()
-            .map(String::from)
-            .collect(),
+        [
+            "Algo",
+            "Forward",
+            "Backward",
+            "Optimizer",
+            "Wait&PP",
+            "Total",
+            "Enc",
+            "Dec",
+            "Comm",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
     );
     let mut records = Vec::new();
 
@@ -28,10 +38,25 @@ fn main() {
             b.tensor_comm_ms,
         ];
         let mut row = vec![spec.label().to_string()];
-        let names = ["forward", "backward", "optimizer", "wait", "total", "enc", "dec", "comm"];
+        let names = [
+            "forward",
+            "backward",
+            "optimizer",
+            "wait",
+            "total",
+            "enc",
+            "dec",
+            "comm",
+        ];
         for ((our, paper_val), name) in ours.iter().zip(prow).zip(names) {
             row.push(util::vs(*our, paper_val));
-            records.push(util::record("table7", format!("{spec} {name}"), paper_val, *our, "ms"));
+            records.push(util::record(
+                "table7",
+                format!("{spec} {name}"),
+                paper_val,
+                *our,
+                "ms",
+            ));
         }
         table.push_row(row);
     }

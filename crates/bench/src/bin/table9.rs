@@ -26,8 +26,20 @@ fn main() {
             util::vs(ours_wo, Some(paper_wo)),
             util::vs(ours_a2, Some(paper_a2)),
         ]);
-        records.push(util::record("table9", format!("boundary{b} w/o"), Some(paper_wo), ours_wo, "ms"));
-        records.push(util::record("table9", format!("boundary{b} A2"), Some(paper_a2), ours_a2, "ms"));
+        records.push(util::record(
+            "table9",
+            format!("boundary{b} w/o"),
+            Some(paper_wo),
+            ours_wo,
+            "ms",
+        ));
+        records.push(util::record(
+            "table9",
+            format!("boundary{b} A2"),
+            Some(paper_a2),
+            ours_a2,
+            "ms",
+        ));
     }
     util::emit(&opts, "table9", &table, &records);
     println!(

@@ -4,6 +4,14 @@
 
 use actcomp_compress::spec::CompressorSpec;
 
+/// One timing-table row: a `(TP, PP)` pair against the [`TIMING_SPECS`]
+/// columns (`None` marks cells the paper prints as `>100,000`).
+pub type TimingRow = ((usize, usize), Vec<Option<f64>>);
+
+/// One Tables 11-14 row: a workload key against its three best
+/// `((tp, pp), ms)` layouts.
+pub type BaselineRow = ((bool, usize, usize), [((usize, usize), f64); 3]);
+
 /// Column order of the timing tables.
 pub const TIMING_SPECS: [CompressorSpec; 13] = {
     use CompressorSpec::*;
@@ -12,11 +20,29 @@ pub const TIMING_SPECS: [CompressorSpec; 13] = {
 
 /// Table 2 — fine-tune iteration time (ms), NVLink, b=32 s=512.
 /// Rows: (TP, PP); values aligned with [`TIMING_SPECS`].
-pub fn table2() -> Vec<((usize, usize), Vec<Option<f64>>)> {
+pub fn table2() -> Vec<TimingRow> {
     vec![
-        ((1, 4), ok(&[591.96, 591.36, 591.47, 594.81, 595.53, 599.65, 605.05, 749.56, 1008.64, 1824.36, 5572.87, 595.29, 595.45])),
-        ((2, 2), ok(&[440.71, 437.98, 444.02, 465.73, 473.64, 493.16, 528.93, 3377.59, 6616.30, 17117.01, 71058.64, 489.27, 486.54])),
-        ((4, 1), ok(&[261.48, 270.22, 275.54, 314.37, 323.90, 356.57, 409.23, 3254.01, 6561.22, 16990.88, 65121.79, 347.68, 350.50])),
+        (
+            (1, 4),
+            ok(&[
+                591.96, 591.36, 591.47, 594.81, 595.53, 599.65, 605.05, 749.56, 1008.64, 1824.36,
+                5572.87, 595.29, 595.45,
+            ]),
+        ),
+        (
+            (2, 2),
+            ok(&[
+                440.71, 437.98, 444.02, 465.73, 473.64, 493.16, 528.93, 3377.59, 6616.30, 17117.01,
+                71058.64, 489.27, 486.54,
+            ]),
+        ),
+        (
+            (4, 1),
+            ok(&[
+                261.48, 270.22, 275.54, 314.37, 323.90, 356.57, 409.23, 3254.01, 6561.22, 16990.88,
+                65121.79, 347.68, 350.50,
+            ]),
+        ),
     ]
 }
 
@@ -42,14 +68,110 @@ pub type BreakdownRow = [Option<f64>; 8];
 pub fn table4() -> Vec<(CompressorSpec, BreakdownRow)> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [Some(276.34), Some(354.16), Some(5.80), Some(9.83), Some(646.14), None, None, Some(150.72)]),
-        (A1, [Some(213.83), Some(362.61), Some(6.16), Some(4.06), Some(586.65), Some(2.16), Some(3.12), Some(80.88)]),
-        (A2, [Some(219.01), Some(366.51), Some(5.67), Some(4.07), Some(595.25), Some(3.12), Some(4.56), Some(84.48)]),
-        (T1, [Some(298.93), Some(355.71), Some(6.79), Some(4.38), Some(665.81), Some(70.08), Some(13.68), Some(85.20)]),
-        (T4, [Some(376.72), Some(359.19), Some(5.89), Some(6.60), Some(748.41), Some(74.88), Some(45.36), Some(124.56)]),
-        (R1, [Some(2408.68), Some(357.02), Some(6.10), Some(7.68), Some(2779.49), Some(2040.24), Some(15.84), Some(104.16)]),
-        (Q1, [Some(274.03), Some(354.56), Some(5.88), Some(7.98), Some(642.46), Some(20.64), Some(32.16), Some(91.68)]),
-        (Q2, [Some(282.64), Some(354.55), Some(5.58), Some(7.58), Some(650.36), Some(19.92), Some(30.24), Some(104.64)]),
+        (
+            Baseline,
+            [
+                Some(276.34),
+                Some(354.16),
+                Some(5.80),
+                Some(9.83),
+                Some(646.14),
+                None,
+                None,
+                Some(150.72),
+            ],
+        ),
+        (
+            A1,
+            [
+                Some(213.83),
+                Some(362.61),
+                Some(6.16),
+                Some(4.06),
+                Some(586.65),
+                Some(2.16),
+                Some(3.12),
+                Some(80.88),
+            ],
+        ),
+        (
+            A2,
+            [
+                Some(219.01),
+                Some(366.51),
+                Some(5.67),
+                Some(4.07),
+                Some(595.25),
+                Some(3.12),
+                Some(4.56),
+                Some(84.48),
+            ],
+        ),
+        (
+            T1,
+            [
+                Some(298.93),
+                Some(355.71),
+                Some(6.79),
+                Some(4.38),
+                Some(665.81),
+                Some(70.08),
+                Some(13.68),
+                Some(85.20),
+            ],
+        ),
+        (
+            T4,
+            [
+                Some(376.72),
+                Some(359.19),
+                Some(5.89),
+                Some(6.60),
+                Some(748.41),
+                Some(74.88),
+                Some(45.36),
+                Some(124.56),
+            ],
+        ),
+        (
+            R1,
+            [
+                Some(2408.68),
+                Some(357.02),
+                Some(6.10),
+                Some(7.68),
+                Some(2779.49),
+                Some(2040.24),
+                Some(15.84),
+                Some(104.16),
+            ],
+        ),
+        (
+            Q1,
+            [
+                Some(274.03),
+                Some(354.56),
+                Some(5.88),
+                Some(7.98),
+                Some(642.46),
+                Some(20.64),
+                Some(32.16),
+                Some(91.68),
+            ],
+        ),
+        (
+            Q2,
+            [
+                Some(282.64),
+                Some(354.55),
+                Some(5.58),
+                Some(7.58),
+                Some(650.36),
+                Some(19.92),
+                Some(30.24),
+                Some(104.64),
+            ],
+        ),
     ]
 }
 
@@ -58,7 +180,10 @@ pub fn table4() -> Vec<(CompressorSpec, BreakdownRow)> {
 pub fn table5() -> Vec<(CompressorSpec, [f64; 8])> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [88.07, 92.02, 95.07, 88.46, 62.22, 93.39, 82.67, 89.16]),
+        (
+            Baseline,
+            [88.07, 92.02, 95.07, 88.46, 62.22, 93.39, 82.67, 89.16],
+        ),
         (A1, [85.42, 91.07, 92.09, 86.14, 54.18, 91.31, 70.04, 87.61]),
         (A2, [85.53, 91.24, 93.23, 85.86, 55.93, 91.01, 65.34, 87.76]),
         (T1, [32.05, 74.31, 83.60, 70.78, 0.00, 58.37, 51.99, 0.00]),
@@ -71,11 +196,62 @@ pub fn table5() -> Vec<(CompressorSpec, [f64; 8])> {
 }
 
 /// Table 6 — pre-train iteration time (ms), 4 nodes, mb=128, s=128.
-pub fn table6() -> Vec<((usize, usize), Vec<Option<f64>>)> {
+pub fn table6() -> Vec<TimingRow> {
     vec![
-        ((2, 8), ok(&[1625.16, 1550.18, 1579.70, 1508.34, 1503.54, 1593.37, 1682.87, 10308.03, 20814.20, 55925.28, f64::NAN, 1759.27, 1752.24])),
-        ((4, 4), ok(&[1422.40, 1242.97, 1223.20, 1360.37, 1352.61, 1410.47, 1721.87, 15433.12, 31565.19, 87421.46, f64::NAN, 2435.03, 2594.94])),
-        ((8, 2), ok(&[15642.30, 14577.29, 14073.45, 14308.12, 14543.81, 18919.92, 27152.07, 32522.47, 61049.87, f64::NAN, f64::NAN, 16414.57, 16517.44])),
+        (
+            (2, 8),
+            ok(&[
+                1625.16,
+                1550.18,
+                1579.70,
+                1508.34,
+                1503.54,
+                1593.37,
+                1682.87,
+                10308.03,
+                20814.20,
+                55925.28,
+                f64::NAN,
+                1759.27,
+                1752.24,
+            ]),
+        ),
+        (
+            (4, 4),
+            ok(&[
+                1422.40,
+                1242.97,
+                1223.20,
+                1360.37,
+                1352.61,
+                1410.47,
+                1721.87,
+                15433.12,
+                31565.19,
+                87421.46,
+                f64::NAN,
+                2435.03,
+                2594.94,
+            ]),
+        ),
+        (
+            (8, 2),
+            ok(&[
+                15642.30,
+                14577.29,
+                14073.45,
+                14308.12,
+                14543.81,
+                18919.92,
+                27152.07,
+                32522.47,
+                61049.87,
+                f64::NAN,
+                f64::NAN,
+                16414.57,
+                16517.44,
+            ]),
+        ),
     ]
 }
 
@@ -83,12 +259,84 @@ pub fn table6() -> Vec<((usize, usize), Vec<Option<f64>>)> {
 pub fn table7() -> Vec<(CompressorSpec, BreakdownRow)> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [Some(467.73), Some(419.26), Some(7.42), Some(527.99), Some(1422.40), None, None, Some(91.08)]),
-        (A1, [Some(546.95), Some(455.26), Some(7.29), Some(233.47), Some(1242.97), Some(8.64), Some(16.20), Some(32.76)]),
-        (A2, [Some(459.26), Some(467.51), Some(9.64), Some(286.78), Some(1223.20), Some(12.96), Some(20.52), Some(43.56)]),
-        (T1, [Some(712.22), Some(423.91), Some(7.21), Some(217.03), Some(1360.37), Some(73.44), Some(140.4), Some(80.28)]),
-        (Q1, [Some(803.63), Some(417.33), Some(8.61), Some(1205.46), Some(2435.03), Some(90.72), Some(304.56), Some(193.68)]),
-        (Q2, [Some(805.33), Some(417.74), Some(7.55), Some(1364.32), Some(2594.94), Some(85.32), Some(271.08), Some(111.60)]),
+        (
+            Baseline,
+            [
+                Some(467.73),
+                Some(419.26),
+                Some(7.42),
+                Some(527.99),
+                Some(1422.40),
+                None,
+                None,
+                Some(91.08),
+            ],
+        ),
+        (
+            A1,
+            [
+                Some(546.95),
+                Some(455.26),
+                Some(7.29),
+                Some(233.47),
+                Some(1242.97),
+                Some(8.64),
+                Some(16.20),
+                Some(32.76),
+            ],
+        ),
+        (
+            A2,
+            [
+                Some(459.26),
+                Some(467.51),
+                Some(9.64),
+                Some(286.78),
+                Some(1223.20),
+                Some(12.96),
+                Some(20.52),
+                Some(43.56),
+            ],
+        ),
+        (
+            T1,
+            [
+                Some(712.22),
+                Some(423.91),
+                Some(7.21),
+                Some(217.03),
+                Some(1360.37),
+                Some(73.44),
+                Some(140.4),
+                Some(80.28),
+            ],
+        ),
+        (
+            Q1,
+            [
+                Some(803.63),
+                Some(417.33),
+                Some(8.61),
+                Some(1205.46),
+                Some(2435.03),
+                Some(90.72),
+                Some(304.56),
+                Some(193.68),
+            ],
+        ),
+        (
+            Q2,
+            [
+                Some(805.33),
+                Some(417.74),
+                Some(7.55),
+                Some(1364.32),
+                Some(2594.94),
+                Some(85.32),
+                Some(271.08),
+                Some(111.60),
+            ],
+        ),
     ]
 }
 
@@ -96,7 +344,10 @@ pub fn table7() -> Vec<(CompressorSpec, BreakdownRow)> {
 pub fn table8() -> Vec<(CompressorSpec, [f64; 8])> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [84.87, 91.25, 92.43, 86.84, 56.36, 92.26, 70.40, 86.83]),
+        (
+            Baseline,
+            [84.87, 91.25, 92.43, 86.84, 56.36, 92.26, 70.40, 86.83],
+        ),
         (A2, [83.77, 91.14, 91.63, 86.55, 58.61, 91.96, 71.48, 87.16]),
         (T2, [61.06, 80.74, 80.16, 63.83, 10.01, 59.55, 47.29, 0.37]),
         (Q2, [84.47, 91.36, 93.23, 85.10, 58.84, 91.69, 71.84, 86.39]),
@@ -124,12 +375,24 @@ pub fn table10() -> [(usize, f64); 7] {
 
 /// Tables 11–14 — fine-tune total time (ms) at smaller batch/seq. Keyed by
 /// `(with_nvlink, batch, seq)`; rows as in [`table2`]'s layout but with Q3.
-pub fn tables11_14_baselines() -> Vec<((bool, usize, usize), [((usize, usize), f64); 3])> {
+pub fn tables11_14_baselines() -> Vec<BaselineRow> {
     vec![
-        ((true, 32, 128), [((1, 4), 151.82), ((2, 2), 145.58), ((4, 1), 136.66)]),
-        ((true, 8, 128), [((1, 4), 106.04), ((2, 2), 121.26), ((4, 1), 122.22)]),
-        ((false, 32, 128), [((1, 4), 154.82), ((2, 2), 184.48), ((4, 1), 212.76)]),
-        ((false, 8, 128), [((1, 4), 73.19), ((2, 2), 100.86), ((4, 1), 100.73)]),
+        (
+            (true, 32, 128),
+            [((1, 4), 151.82), ((2, 2), 145.58), ((4, 1), 136.66)],
+        ),
+        (
+            (true, 8, 128),
+            [((1, 4), 106.04), ((2, 2), 121.26), ((4, 1), 122.22)],
+        ),
+        (
+            (false, 32, 128),
+            [((1, 4), 154.82), ((2, 2), 184.48), ((4, 1), 212.76)],
+        ),
+        (
+            (false, 8, 128),
+            [((1, 4), 73.19), ((2, 2), 100.86), ((4, 1), 100.73)],
+        ),
     ]
 }
 
@@ -137,7 +400,10 @@ pub fn tables11_14_baselines() -> Vec<((bool, usize, usize), [((usize, usize), f
 pub fn table15() -> Vec<(CompressorSpec, [f64; 8])> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [87.87, 91.96, 95.18, 87.71, 59.40, 92.99, 76.90, 88.43]),
+        (
+            Baseline,
+            [87.87, 91.96, 95.18, 87.71, 59.40, 92.99, 76.90, 88.43],
+        ),
         (A1, [85.30, 91.28, 92.32, 84.58, 55.18, 90.87, 59.93, 87.92]),
         (A2, [85.25, 91.41, 93.23, 86.72, 57.02, 90.92, 64.26, 87.74]),
         (T4, [84.24, 89.17, 92.09, 81.68, 51.54, 91.71, 63.54, 84.80]),
@@ -150,7 +416,10 @@ pub fn table15() -> Vec<(CompressorSpec, [f64; 8])> {
 pub fn table16() -> Vec<(CompressorSpec, [f64; 8])> {
     use CompressorSpec::*;
     vec![
-        (Baseline, [86.23, 91.22, 91.74, 88.17, 59.02, 92.09, 78.70, 88.40]),
+        (
+            Baseline,
+            [86.23, 91.22, 91.74, 88.17, 59.02, 92.09, 78.70, 88.40],
+        ),
         (A1, [82.49, 89.93, 91.85, 82.43, 43.56, 89.84, 47.29, 87.03]),
         (A2, [82.18, 90.45, 90.52, 83.54, 0.00, 89.02, 62.82, 87.66]),
         (T4, [83.99, 35.78, 68.30, 83.54, 47.33, 60.52, 64.62, 86.72]),

@@ -1,0 +1,171 @@
+//! The stable diagnostic-code registry.
+//!
+//! Codes are grouped by check pass: `AC00xx` shape algebra, `AC01xx`
+//! compression-plan placement, `AC02xx` schedule/topology/memory. Codes
+//! are append-only — once published in a diagnostic they keep their
+//! meaning so scripts can match on them.
+
+/// Hidden width not divisible by the head count.
+pub const HIDDEN_NOT_DIVISIBLE_BY_HEADS: &str = "AC0001";
+/// Head count not divisible by the tensor-parallel degree.
+pub const HEADS_NOT_DIVISIBLE_BY_TP: &str = "AC0002";
+/// Feed-forward width not divisible by the tensor-parallel degree.
+pub const FF_NOT_DIVISIBLE_BY_TP: &str = "AC0003";
+/// Auto-encoder code dimension incompatible with the hidden width.
+pub const BAD_CODE_DIM: &str = "AC0004";
+/// Sequence length exceeds the model's position table.
+pub const SEQ_EXCEEDS_MAX_SEQ: &str = "AC0005";
+/// A structural dimension is zero.
+pub const ZERO_DIMENSION: &str = "AC0006";
+/// Vocabulary not divisible by the tensor-parallel degree (warning:
+/// the embedding shard must be padded).
+pub const VOCAB_NOT_DIVISIBLE_BY_TP: &str = "AC0007";
+
+/// Compression window reaches past the last layer.
+pub const PLAN_WINDOW_OUT_OF_BOUNDS: &str = "AC0101";
+/// Compressor spec label does not name a Table 1 entry.
+pub const UNRESOLVABLE_SPEC: &str = "AC0102";
+/// Claimed compression ratio disagrees with the wire-byte arithmetic.
+pub const RATIO_MISMATCH: &str = "AC0103";
+/// Error feedback requested for an unbiased (or absent) compressor.
+pub const ERROR_FEEDBACK_ON_UNBIASED: &str = "AC0104";
+/// An active compressor spec covers zero layers (warning).
+pub const PLAN_COVERS_NOTHING: &str = "AC0105";
+
+/// The pipeline schedule deadlocks (cyclic send/recv dependencies).
+pub const SCHEDULE_DEADLOCK: &str = "AC0201";
+/// `tp · pp` exceeds the cluster's GPU count.
+pub const TOO_FEW_GPUS: &str = "AC0202";
+/// More pipeline stages than layers.
+pub const PP_EXCEEDS_LAYERS: &str = "AC0203";
+/// Weights + peak activations exceed the device memory budget.
+pub const MEMORY_BUDGET_EXCEEDED: &str = "AC0204";
+/// A custom schedule's per-stage orders are malformed.
+pub const MALFORMED_CUSTOM_ORDER: &str = "AC0205";
+/// Tensor-parallel group spans nodes (warning: catastrophic bandwidth).
+pub const TP_SPANS_NODES: &str = "AC0206";
+/// Unknown cluster preset or schedule kind.
+pub const UNKNOWN_PRESET_OR_KIND: &str = "AC0207";
+
+/// One registry row: code, summary, whether it can only warn.
+pub struct CodeInfo {
+    /// The `ACxxxx` code.
+    pub code: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// True when the code is advisory (never fails validation).
+    pub warning_only: bool,
+}
+
+/// Every registered code, in numeric order.
+pub fn registry() -> Vec<CodeInfo> {
+    let row = |code, summary, warning_only| CodeInfo {
+        code,
+        summary,
+        warning_only,
+    };
+    vec![
+        row(
+            HIDDEN_NOT_DIVISIBLE_BY_HEADS,
+            "hidden width not divisible by head count",
+            false,
+        ),
+        row(
+            HEADS_NOT_DIVISIBLE_BY_TP,
+            "attention heads not divisible by tensor-parallel degree",
+            false,
+        ),
+        row(
+            FF_NOT_DIVISIBLE_BY_TP,
+            "feed-forward width not divisible by tensor-parallel degree",
+            false,
+        ),
+        row(
+            BAD_CODE_DIM,
+            "auto-encoder code dimension incompatible with hidden width",
+            false,
+        ),
+        row(
+            SEQ_EXCEEDS_MAX_SEQ,
+            "sequence length exceeds the position table",
+            false,
+        ),
+        row(ZERO_DIMENSION, "structural dimension is zero", false),
+        row(
+            VOCAB_NOT_DIVISIBLE_BY_TP,
+            "vocabulary not divisible by tensor-parallel degree (shard padding)",
+            true,
+        ),
+        row(
+            PLAN_WINDOW_OUT_OF_BOUNDS,
+            "compression window reaches past the last layer",
+            false,
+        ),
+        row(
+            UNRESOLVABLE_SPEC,
+            "compressor spec label does not name a Table 1 entry",
+            false,
+        ),
+        row(
+            RATIO_MISMATCH,
+            "claimed compression ratio disagrees with wire-byte arithmetic",
+            false,
+        ),
+        row(
+            ERROR_FEEDBACK_ON_UNBIASED,
+            "error feedback on an unbiased or absent compressor",
+            false,
+        ),
+        row(
+            PLAN_COVERS_NOTHING,
+            "active compressor spec covers zero layers",
+            true,
+        ),
+        row(
+            SCHEDULE_DEADLOCK,
+            "pipeline schedule has cyclic send/recv dependencies",
+            false,
+        ),
+        row(
+            TOO_FEW_GPUS,
+            "tp x pp exceeds the cluster's GPU count",
+            false,
+        ),
+        row(PP_EXCEEDS_LAYERS, "more pipeline stages than layers", false),
+        row(
+            MEMORY_BUDGET_EXCEEDED,
+            "weights + peak activations exceed the device budget",
+            false,
+        ),
+        row(
+            MALFORMED_CUSTOM_ORDER,
+            "custom schedule orders are malformed",
+            false,
+        ),
+        row(
+            TP_SPANS_NODES,
+            "tensor-parallel group spans nodes (severe slowdown)",
+            true,
+        ),
+        row(
+            UNKNOWN_PRESET_OR_KIND,
+            "unknown cluster preset or schedule kind",
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let codes: Vec<&str> = registry().iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "codes must be unique and in numeric order");
+        assert!(codes.iter().all(|c| c.starts_with("AC") && c.len() == 6));
+    }
+}

@@ -1,0 +1,216 @@
+//! The diagnostic data model and rustc-style rendering.
+//!
+//! Checks never fail fast: every violation in a configuration becomes one
+//! [`Diagnostic`], and the collector accumulates all of them so a user
+//! fixes a broken config in one round trip instead of replaying
+//! edit-run-fail loops.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable (e.g. a layout known to be catastrophically
+    /// slow). Does not fail validation.
+    Warning,
+    /// The configuration cannot run correctly. Fails validation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding against a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`AC0001`…; see [`crate::codes`]).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Dotted config path the finding anchors to (e.g. `parallelism.tp`).
+    pub span: String,
+    /// What is wrong, with the offending values inline.
+    pub message: String,
+    /// How to fix it, when a concrete suggestion exists.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, span: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: span.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(
+        code: &'static str,
+        span: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span: span.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders this diagnostic rustc-style.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}",
+            self.severity, self.code, self.message, self.span
+        );
+        if let Some(help) = &self.help {
+            out.push_str("\n  = help: ");
+            out.push_str(help);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Accumulates every violation found during a check pass.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// All findings, in discovery order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Consumes the collector, yielding the findings.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+/// Renders a batch of diagnostics followed by a rustc-style summary line.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push_str("\n\n");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let plural = |n: usize, w: &str| {
+        if n == 1 {
+            format!("1 {w}")
+        } else {
+            format!("{n} {w}s")
+        }
+    };
+    if errors > 0 {
+        out.push_str(&format!(
+            "error: configuration rejected: {}",
+            plural(errors, "error")
+        ));
+        if warnings > 0 {
+            out.push_str(&format!(", {}", plural(warnings, "warning")));
+        }
+    } else if warnings > 0 {
+        out.push_str(&format!(
+            "ok: configuration valid ({})",
+            plural(warnings, "warning")
+        ));
+    } else {
+        out.push_str("ok: configuration valid");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic::error(
+            "AC0001",
+            "model.hidden",
+            "hidden 10 not divisible by heads 3",
+        )
+        .with_help("choose heads dividing 10");
+        let r = d.render();
+        assert!(r.starts_with("error[AC0001]: hidden 10"));
+        assert!(r.contains("--> model.hidden"));
+        assert!(r.contains("= help: choose heads"));
+    }
+
+    #[test]
+    fn collector_counts_by_severity() {
+        let mut diags = Diagnostics::new();
+        assert!(!diags.has_errors());
+        diags.push(Diagnostic::warning("AC0206", "parallelism.tp", "slow"));
+        assert!(!diags.has_errors());
+        diags.push(Diagnostic::error("AC0202", "parallelism", "too big"));
+        assert!(diags.has_errors());
+        assert_eq!(diags.error_count(), 1);
+        assert_eq!(diags.items().len(), 2);
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let report = render_report(&[
+            Diagnostic::error("AC0001", "a", "x"),
+            Diagnostic::error("AC0002", "b", "y"),
+            Diagnostic::warning("AC0206", "c", "z"),
+        ]);
+        assert!(report.ends_with("error: configuration rejected: 2 errors, 1 warning"));
+        assert!(render_report(&[]).ends_with("ok: configuration valid"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Plan placement checks: spec resolution, window bounds, wire-math
+//! consistency, and error-feedback applicability (`AC0101`–`AC0105`).
+//!
+//! The compression ratio a config *claims* (Table 1 copies it around) is
+//! cross-checked against the actual arithmetic: a boundary activation is
+//! `n = b·s·h` fp16 elements (`2n` dense bytes), an AE sends
+//! `(n/h)·c` fp16 codes, a sparsifier sends `k` six-byte (value, index)
+//! pairs, a quantizer sends `n·bits/8` packed codes plus its scale/zero
+//! header — the `SPARSE_ELEM_BYTES`/`DENSE_ELEM_BYTES` wire model the
+//! simulator and the real codecs share.
+
+use crate::codes;
+use crate::config::ExperimentConfig;
+use crate::diagnostics::{Diagnostic, Diagnostics};
+use actcomp_compress::spec::{CompressorSpec, Family, DENSE_ELEM_BYTES, SPARSE_ELEM_BYTES};
+
+/// Relative tolerance when comparing a claimed ratio against the wire
+/// math: generous enough for Table 1's two-significant-figure rounding,
+/// tight enough to catch a ratio copied from the wrong row.
+pub const RATIO_TOLERANCE: f64 = 0.05;
+
+/// Wire bytes the configured plan actually sends for one boundary
+/// activation, honouring a `code_dim` override for AE-family specs.
+/// `None` when the spec label does not resolve.
+pub fn configured_wire_bytes(cfg: &ExperimentConfig) -> Option<usize> {
+    let spec = cfg.resolve_spec()?;
+    let m = &cfg.model;
+    let n = cfg.batch.micro_batch * cfg.batch.seq * m.hidden;
+    Some(match (spec.family(), cfg.plan.code_dim) {
+        (Family::AutoEncoder, Some(c)) if c > 0 => n / m.hidden * c * DENSE_ELEM_BYTES,
+        _ => spec.wire_bytes(n, m.hidden),
+    })
+}
+
+/// The compression ratio the configured plan actually achieves
+/// (dense bytes over wire bytes). `None` when the spec is unresolvable
+/// or the wire model degenerates (zero bytes).
+pub fn configured_ratio(cfg: &ExperimentConfig) -> Option<f64> {
+    let wire = configured_wire_bytes(cfg)?;
+    if wire == 0 {
+        return None;
+    }
+    let n = cfg.batch.micro_batch * cfg.batch.seq * cfg.model.hidden;
+    Some((n * DENSE_ELEM_BYTES) as f64 / wire as f64)
+}
+
+/// The plan pass.
+pub fn check_plan(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    let Some(spec) = cfg.resolve_spec() else {
+        let labels: Vec<&str> = CompressorSpec::all().iter().map(|s| s.label()).collect();
+        diags.push(
+            Diagnostic::error(
+                codes::UNRESOLVABLE_SPEC,
+                "plan.spec",
+                format!(
+                    "`{}` does not name a Table 1 compressor spec",
+                    cfg.plan.spec
+                ),
+            )
+            .with_help(format!("known specs: {}", labels.join(", "))),
+        );
+        // Every remaining plan check needs a resolved spec.
+        return;
+    };
+
+    // --- window bounds (AC0101 / AC0105) -----------------------------
+    let layers = cfg.model.layers;
+    let (start, num) = cfg.resolved_window();
+    if spec != CompressorSpec::Baseline {
+        if start >= layers || start + num > layers {
+            diags.push(
+                Diagnostic::error(
+                    codes::PLAN_WINDOW_OUT_OF_BOUNDS,
+                    "plan.start_layer",
+                    format!(
+                        "compression window [{start}, {}) reaches past the last layer \
+                         (model has {layers})",
+                        start + num
+                    ),
+                )
+                .with_help(format!(
+                    "the window must satisfy start + num_layers <= {layers}; \
+                     the paper compresses the last half: start_layer = {}, num_layers = {}",
+                    layers - layers / 2,
+                    layers / 2
+                )),
+            );
+        } else if num == 0 {
+            diags.push(
+                Diagnostic::warning(
+                    codes::PLAN_COVERS_NOTHING,
+                    "plan.num_layers",
+                    format!("spec {} is active but compresses zero layers", spec.label()),
+                )
+                .with_help("set num_layers > 0, or use spec `w/o` to disable compression"),
+            );
+        }
+    }
+
+    // --- claimed ratio vs wire math (AC0103) --------------------------
+    if let Some(claimed) = cfg.plan.claimed_ratio {
+        match configured_ratio(cfg) {
+            _ if claimed <= 0.0 => {
+                diags.push(
+                    Diagnostic::error(
+                        codes::RATIO_MISMATCH,
+                        "plan.claimed_ratio",
+                        format!("claimed compression ratio {claimed} is not positive"),
+                    )
+                    .with_help("ratios are dense bytes over wire bytes, so >= 1 in practice"),
+                );
+            }
+            Some(actual) if (claimed - actual).abs() / actual > RATIO_TOLERANCE => {
+                let n = cfg.batch.micro_batch * cfg.batch.seq * cfg.model.hidden;
+                let wire = configured_wire_bytes(cfg).unwrap_or(0);
+                diags.push(
+                    Diagnostic::error(
+                        codes::RATIO_MISMATCH,
+                        "plan.claimed_ratio",
+                        format!(
+                            "claimed ratio {claimed:.2} disagrees with the wire math: \
+                             {} sends {wire} bytes for a {}-byte dense activation \
+                             (ratio {actual:.2})",
+                            spec.label(),
+                            n * DENSE_ELEM_BYTES
+                        ),
+                    )
+                    .with_help(format!(
+                        "sparse elements cost {SPARSE_ELEM_BYTES} bytes and dense fp16 \
+                         elements {DENSE_ELEM_BYTES}; update claimed_ratio to {actual:.2} \
+                         or drop the field"
+                    )),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // --- error feedback needs a biased compressor (AC0104) ------------
+    if cfg.plan.error_feedback {
+        match spec.family() {
+            Family::None => {
+                diags.push(
+                    Diagnostic::error(
+                        codes::ERROR_FEEDBACK_ON_UNBIASED,
+                        "plan.error_feedback",
+                        "error feedback is enabled but no compressor is configured".to_string(),
+                    )
+                    .with_help(
+                        "error feedback accumulates a compressor's residual; \
+                                `w/o` has none",
+                    ),
+                );
+            }
+            Family::RandomK => {
+                diags.push(
+                    Diagnostic::error(
+                        codes::ERROR_FEEDBACK_ON_UNBIASED,
+                        "plan.error_feedback",
+                        format!(
+                            "error feedback is enabled for {}, but Random-K is unbiased",
+                            spec.label()
+                        ),
+                    )
+                    .with_help(
+                        "error feedback corrects systematic bias; applying it to an \
+                         unbiased sparsifier reintroduces correlation across steps \
+                         — use a Top-K or AE spec instead",
+                    ),
+                );
+            }
+            Family::AutoEncoder | Family::TopK | Family::Quantization => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
+        let mut diags = Diagnostics::new();
+        check_plan(cfg, &mut diags);
+        diags.into_vec()
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn paper_default_is_clean() {
+        assert!(run(&ExperimentConfig::paper_default()).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_spec() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.spec = "Z9".to_string();
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::UNRESOLVABLE_SPEC]);
+        assert!(diags[0].help.as_deref().unwrap().contains("A1"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_window() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.start_layer = Some(20);
+        cfg.plan.num_layers = Some(8);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::PLAN_WINDOW_OUT_OF_BOUNDS]);
+    }
+
+    #[test]
+    fn empty_window_is_warning() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.start_layer = Some(12);
+        cfg.plan.num_layers = Some(0);
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::PLAN_COVERS_NOTHING]);
+        assert_eq!(diags[0].severity, crate::diagnostics::Severity::Warning);
+    }
+
+    #[test]
+    fn accepts_table1_ratio_and_rejects_wrong_row() {
+        // A1 at h=1024 sends n/1024·50 fp16 codes: ratio 1024/50 = 20.48.
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.claimed_ratio = Some(20.48);
+        assert!(run(&cfg).is_empty());
+        // A2's ratio (10.24) claimed for an A1 plan is a wrong-row copy.
+        cfg.plan.claimed_ratio = Some(10.24);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::RATIO_MISMATCH]);
+    }
+
+    #[test]
+    fn ratio_math_per_family() {
+        let n = |cfg: &ExperimentConfig| cfg.batch.micro_batch * cfg.batch.seq * cfg.model.hidden;
+        // Ratio-matched sparsifier T3: k = n·50/1024, 6 bytes each.
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.spec = "T3".to_string();
+        let k = n(&cfg) * 50 / 1024;
+        assert_eq!(configured_wire_bytes(&cfg).unwrap(), k * SPARSE_ELEM_BYTES);
+        // Quantizer Q2: 4 bits/elem + 8-byte header.
+        cfg.plan.spec = "Q2".to_string();
+        assert_eq!(configured_wire_bytes(&cfg).unwrap(), n(&cfg) / 2 + 8);
+        // AE code-dim override changes the wire bytes proportionally.
+        cfg.plan.spec = "A1".to_string();
+        cfg.plan.code_dim = Some(100);
+        assert_eq!(
+            configured_wire_bytes(&cfg).unwrap(),
+            n(&cfg) / 1024 * 100 * DENSE_ELEM_BYTES
+        );
+    }
+
+    #[test]
+    fn rejects_error_feedback_on_unbiased() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.error_feedback = true;
+        // Biased compressors accept EF.
+        assert!(run(&cfg).is_empty());
+        cfg.plan.spec = "R1".to_string();
+        assert_eq!(
+            codes_of(&run(&cfg)),
+            vec![codes::ERROR_FEEDBACK_ON_UNBIASED]
+        );
+        cfg.plan.spec = "w/o".to_string();
+        assert_eq!(
+            codes_of(&run(&cfg)),
+            vec![codes::ERROR_FEEDBACK_ON_UNBIASED]
+        );
+    }
+}

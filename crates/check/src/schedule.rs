@@ -1,0 +1,542 @@
+//! Schedule, topology, and memory checks (`AC0201`–`AC0207`).
+//!
+//! A pipeline schedule is a per-stage order of forward/backward
+//! micro-batch ops. Execution is feasible iff the DAG formed by
+//! (intra-stage sequencing) ∪ (cross-stage transfer edges) is acyclic:
+//! `F(mb, s) → F(mb, s+1)` for activation sends, `B(mb, s+1) → B(mb, s)`
+//! for gradient sends, and `F(mb, last) → B(mb, last)` for the loss turn-
+//! around. Built-in schedules (GPipe, 1F1B) are constructed and verified
+//! through the same path a custom order takes, so the deadlock check is
+//! exercised — not assumed — on every run.
+
+use crate::codes;
+use crate::config::{ExperimentConfig, OpSpec};
+use crate::diagnostics::{Diagnostic, Diagnostics};
+use actcomp_distsim::memory::{activation_memory, peak_activation_bytes, Schedule};
+use actcomp_distsim::schedule::one_f_one_b_order;
+use actcomp_distsim::topology::Parallelism;
+use actcomp_distsim::workload::ModelShape;
+use std::collections::HashMap;
+
+/// Mixed-precision Adam training state per parameter: fp16 weight + grad,
+/// fp32 master weight + two moments (2 + 2 + 4 + 4 + 4 = 16), plus ~2
+/// bytes of allocator/comm slack — Megatron's usual ≈18 bytes/param rule.
+pub const BYTES_PER_PARAM: usize = 18;
+
+/// Builds each stage's op order for the configured schedule kind.
+/// `None` when the kind is unknown, or `custom` without orders.
+pub fn stage_orders(cfg: &ExperimentConfig) -> Option<Vec<Vec<OpSpec>>> {
+    let p = cfg.parallelism.pp;
+    let m = cfg.batch.num_micro_batches;
+    match cfg.schedule.kind.as_str() {
+        "gpipe" => Some(
+            (0..p)
+                .map(|stage| {
+                    let fwd = (0..m).map(|mb| OpSpec {
+                        mb,
+                        stage,
+                        backward: false,
+                    });
+                    let bwd = (0..m).rev().map(|mb| OpSpec {
+                        mb,
+                        stage,
+                        backward: true,
+                    });
+                    fwd.chain(bwd).collect()
+                })
+                .collect(),
+        ),
+        "1f1b" => Some(
+            (0..p)
+                .map(|stage| {
+                    one_f_one_b_order(p, m, stage)
+                        .into_iter()
+                        .map(|op| OpSpec {
+                            mb: op.mb,
+                            stage: op.stage,
+                            backward: op.backward,
+                        })
+                        .collect()
+                })
+                .collect(),
+        ),
+        "custom" => cfg.schedule.orders.clone(),
+        _ => None,
+    }
+}
+
+/// Checks each stage's order is a permutation of exactly its own
+/// `{F, B} × {0..m}` ops. Returns false (after reporting) when malformed —
+/// the deadlock check requires well-formed orders.
+fn check_order_multiset(orders: &[Vec<OpSpec>], m: usize, diags: &mut Diagnostics) -> bool {
+    let mut ok = true;
+    for (stage, order) in orders.iter().enumerate() {
+        let mut seen: HashMap<(usize, bool), usize> = HashMap::new();
+        for op in order {
+            if op.stage != stage {
+                diags.push(
+                    Diagnostic::error(
+                        codes::MALFORMED_CUSTOM_ORDER,
+                        format!("schedule.orders[{stage}]"),
+                        format!(
+                            "stage {stage}'s order contains an op for stage {}",
+                            op.stage
+                        ),
+                    )
+                    .with_help("orders[s] must list only stage s's own ops"),
+                );
+                ok = false;
+            }
+            *seen.entry((op.mb, op.backward)).or_insert(0) += 1;
+        }
+        for mb in 0..m {
+            for backward in [false, true] {
+                let count = seen.remove(&(mb, backward)).unwrap_or(0);
+                if count != 1 {
+                    let dir = if backward { "backward" } else { "forward" };
+                    diags.push(
+                        Diagnostic::error(
+                            codes::MALFORMED_CUSTOM_ORDER,
+                            format!("schedule.orders[{stage}]"),
+                            format!(
+                                "stage {stage} lists the {dir} of micro-batch {mb} \
+                                 {count} times (expected exactly once)"
+                            ),
+                        )
+                        .with_help(format!(
+                            "each stage must run every micro-batch's forward and \
+                             backward exactly once ({m} micro-batches configured)"
+                        )),
+                    );
+                    ok = false;
+                }
+            }
+        }
+        // Anything left in `seen` is an op outside 0..m (same-stage case;
+        // wrong-stage ops were reported above).
+        for ((mb, backward), _) in seen.iter().filter(|((mb, _), _)| *mb >= m) {
+            let dir = if *backward { "backward" } else { "forward" };
+            diags.push(
+                Diagnostic::error(
+                    codes::MALFORMED_CUSTOM_ORDER,
+                    format!("schedule.orders[{stage}]"),
+                    format!(
+                        "stage {stage} schedules the {dir} of micro-batch {mb}, \
+                         but only {m} micro-batches are configured"
+                    ),
+                )
+                .with_help("micro-batch indices must lie in 0..batch.num_micro_batches"),
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Kahn's algorithm over the schedule DAG. Returns `Err(op)` with one op
+/// on a cycle when the schedule deadlocks.
+fn toposort(orders: &[Vec<OpSpec>], m: usize) -> Result<(), OpSpec> {
+    let p = orders.len();
+    let id = |op: &OpSpec| (op.stage * m + op.mb) * 2 + usize::from(op.backward);
+    let n = p * m * 2;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let mut add = |from: usize, to: usize, indeg: &mut Vec<usize>| {
+        adj[from].push(to);
+        indeg[to] += 1;
+    };
+    // Intra-stage sequencing: each rank runs its order serially.
+    for order in orders {
+        for pair in order.windows(2) {
+            add(id(&pair[0]), id(&pair[1]), &mut indeg);
+        }
+    }
+    for mb in 0..m {
+        for stage in 0..p {
+            let f = |s| {
+                id(&OpSpec {
+                    mb,
+                    stage: s,
+                    backward: false,
+                })
+            };
+            let b = |s| {
+                id(&OpSpec {
+                    mb,
+                    stage: s,
+                    backward: true,
+                })
+            };
+            // Activation send F(mb, s) → F(mb, s+1); gradient send
+            // B(mb, s+1) → B(mb, s).
+            if stage + 1 < p {
+                add(f(stage), f(stage + 1), &mut indeg);
+                add(b(stage + 1), b(stage), &mut indeg);
+            }
+        }
+        // Loss turn-around on the last stage.
+        add(
+            id(&OpSpec {
+                mb,
+                stage: p - 1,
+                backward: false,
+            }),
+            id(&OpSpec {
+                mb,
+                stage: p - 1,
+                backward: true,
+            }),
+            &mut indeg,
+        );
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut done = 0usize;
+    while let Some(v) = ready.pop() {
+        done += 1;
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    if done == n {
+        Ok(())
+    } else {
+        // Report one op still waiting — it sits on (or behind) a cycle.
+        let v = (0..n).find(|&v| indeg[v] > 0).expect("a blocked op exists");
+        Err(OpSpec {
+            stage: v / 2 / m,
+            mb: v / 2 % m,
+            backward: v % 2 == 1,
+        })
+    }
+}
+
+/// The schedule/topology/memory pass.
+pub fn check_schedule(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    let tp = cfg.parallelism.tp;
+    let pp = cfg.parallelism.pp;
+    let m = cfg.batch.num_micro_batches;
+    // Zero degrees already carry AC0006 from the shape pass; everything
+    // below divides or indexes by them.
+    if tp == 0 || pp == 0 || m == 0 {
+        return;
+    }
+
+    // --- topology (AC0202 / AC0203 / AC0206 / AC0207) -----------------
+    let cluster = cfg.resolve_cluster();
+    match &cluster {
+        None => {
+            diags.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_PRESET_OR_KIND,
+                    "cluster.preset",
+                    format!("unknown cluster preset `{}`", cfg.cluster.preset),
+                )
+                .with_help("known presets: p3_8xlarge, local_no_nvlink, p3_cluster"),
+            );
+        }
+        Some(c) => {
+            if tp * pp > c.total_gpus() {
+                diags.push(
+                    Diagnostic::error(
+                        codes::TOO_FEW_GPUS,
+                        "parallelism",
+                        format!(
+                            "tp={tp} x pp={pp} needs {} GPUs but `{}` ({} node{}) has {}",
+                            tp * pp,
+                            cfg.cluster.preset,
+                            c.nodes,
+                            if c.nodes == 1 { "" } else { "s" },
+                            c.total_gpus()
+                        ),
+                    )
+                    .with_help("shrink the degrees or add nodes (cluster.nodes)"),
+                );
+            } else if tp > c.machine.gpus {
+                diags.push(
+                    Diagnostic::warning(
+                        codes::TP_SPANS_NODES,
+                        "parallelism.tp",
+                        format!(
+                            "tp={tp} exceeds the {} GPUs per node, so every all-reduce \
+                             crosses the inter-node network",
+                            c.machine.gpus
+                        ),
+                    )
+                    .with_help(
+                        "the paper's Table 6 shows TP across nodes is catastrophically \
+                         slow; prefer tp <= GPUs/node and put pp across nodes",
+                    ),
+                );
+            }
+        }
+    }
+    if pp > cfg.model.layers {
+        diags.push(
+            Diagnostic::error(
+                codes::PP_EXCEEDS_LAYERS,
+                "parallelism.pp",
+                format!(
+                    "pp={pp} pipeline stages but the model has only {} layers",
+                    cfg.model.layers
+                ),
+            )
+            .with_help("every stage needs at least one layer"),
+        );
+    }
+
+    // --- schedule feasibility (AC0201 / AC0205 / AC0207) ---------------
+    match stage_orders(cfg) {
+        None => {
+            let (code, msg, help): (_, String, _) = match cfg.schedule.kind.as_str() {
+                "custom" => (
+                    codes::MALFORMED_CUSTOM_ORDER,
+                    "schedule kind is `custom` but no orders are given".to_string(),
+                    "provide schedule.orders: one op list per stage",
+                ),
+                other => (
+                    codes::UNKNOWN_PRESET_OR_KIND,
+                    format!("unknown schedule kind `{other}`"),
+                    "known kinds: gpipe, 1f1b, custom",
+                ),
+            };
+            diags.push(Diagnostic::error(code, "schedule.kind", msg).with_help(help));
+        }
+        Some(orders) => {
+            let well_formed = if orders.len() != pp {
+                diags.push(
+                    Diagnostic::error(
+                        codes::MALFORMED_CUSTOM_ORDER,
+                        "schedule.orders",
+                        format!(
+                            "{} stage orders given but pp={pp} stages configured",
+                            orders.len()
+                        ),
+                    )
+                    .with_help("provide exactly one order per pipeline stage"),
+                );
+                false
+            } else {
+                check_order_multiset(&orders, m, diags)
+            };
+            if well_formed {
+                if let Err(op) = toposort(&orders, m) {
+                    let dir = if op.backward { "backward" } else { "forward" };
+                    diags.push(
+                        Diagnostic::error(
+                            codes::SCHEDULE_DEADLOCK,
+                            "schedule.orders",
+                            format!(
+                                "the schedule deadlocks: the {dir} of micro-batch {} on \
+                                 stage {} can never become ready",
+                                op.mb, op.stage
+                            ),
+                        )
+                        .with_help(
+                            "send/recv dependencies form a cycle; a stage is waiting for \
+                             an op that (transitively) waits on it — reorder so every \
+                             forward precedes later stages' needs",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- memory budget (AC0204) ----------------------------------------
+    // Needs a feasible layering and a resolved plan; those failures carry
+    // their own diagnostics above.
+    let Some(plan) = cfg.resolve_plan() else {
+        return;
+    };
+    if pp > cfg.model.layers || plan.end_layer() > cfg.model.layers {
+        return;
+    }
+    let shape = ModelShape {
+        layers: cfg.model.layers,
+        hidden: cfg.model.hidden,
+        vocab: cfg.model.vocab,
+        max_seq: cfg.model.max_seq,
+    };
+    let schedule = match cfg.schedule.kind.as_str() {
+        "1f1b" => Schedule::OneFOneB,
+        // GPipe's stash-everything discipline is the conservative bound
+        // for custom orders.
+        _ => Schedule::GPipe,
+    };
+    let stages = activation_memory(
+        &shape,
+        Parallelism::new(tp, pp),
+        cfg.batch.micro_batch,
+        cfg.batch.seq,
+        m,
+        schedule,
+        &plan,
+    );
+    let weight_bytes = shape.num_params() * BYTES_PER_PARAM / (tp * pp);
+    let activation = peak_activation_bytes(&stages);
+    let need = weight_bytes + activation;
+    let budget = cfg.device_bytes();
+    if need as f64 > budget {
+        diags.push(
+            Diagnostic::error(
+                codes::MEMORY_BUDGET_EXCEEDED,
+                "memory.device_gb",
+                format!(
+                    "peak per-GPU memory {:.2} GB (weights+optimizer {:.2} GB, stashed \
+                     activations {:.2} GB) exceeds the {:.1} GB device budget",
+                    need as f64 / 1e9,
+                    weight_bytes as f64 / 1e9,
+                    activation as f64 / 1e9,
+                    cfg.memory.device_gb
+                ),
+            )
+            .with_help(
+                "shrink micro_batch/seq, switch schedule to 1f1b, raise tp/pp, or \
+                 compress more layers (compressed stashes are smaller)",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
+        let mut diags = Diagnostics::new();
+        check_schedule(cfg, &mut diags);
+        diags.into_vec()
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    /// A 4-stage, 4-micro-batch base whose built-in schedules are clean.
+    fn base() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_pretrain();
+        cfg.batch.num_micro_batches = 4;
+        cfg
+    }
+
+    #[test]
+    fn paper_defaults_have_no_errors() {
+        assert!(run(&ExperimentConfig::paper_default()).is_empty());
+        // Pretrain carries only the vocab-padding warning (a shape-pass
+        // concern); the schedule pass itself is silent.
+        assert!(run(&ExperimentConfig::paper_pretrain()).is_empty());
+    }
+
+    #[test]
+    fn builtin_schedules_pass_the_deadlock_check() {
+        let mut cfg = base();
+        for kind in ["gpipe", "1f1b"] {
+            cfg.schedule.kind = kind.to_string();
+            assert!(run(&cfg).is_empty(), "{kind} should be clean");
+        }
+    }
+
+    #[test]
+    fn rejects_deadlocking_custom_schedule() {
+        // Start from valid GPipe orders, then make stage 0 demand its
+        // backward of micro-batch 0 *first* — which transitively waits on
+        // stage 0's own forward: a cycle.
+        let mut cfg = base();
+        let mut orders = stage_orders(&cfg).unwrap();
+        cfg.schedule.kind = "custom".to_string();
+        let b0 = orders[0]
+            .iter()
+            .position(|op| op.backward && op.mb == 0)
+            .unwrap();
+        let op = orders[0].remove(b0);
+        orders[0].insert(0, op);
+        cfg.schedule.orders = Some(orders);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::SCHEDULE_DEADLOCK]);
+    }
+
+    #[test]
+    fn rejects_malformed_custom_orders() {
+        let mut cfg = base();
+        cfg.schedule.kind = "custom".to_string();
+        cfg.schedule.orders = None;
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::MALFORMED_CUSTOM_ORDER]);
+
+        // Wrong stage count.
+        cfg.schedule.orders = Some(vec![Vec::new(); 2]);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::MALFORMED_CUSTOM_ORDER]);
+
+        // Duplicate one op, drop another: two multiset violations, and the
+        // deadlock check is skipped rather than fed garbage.
+        cfg.schedule.kind = "gpipe".to_string();
+        let mut orders = stage_orders(&cfg).unwrap();
+        cfg.schedule.kind = "custom".to_string();
+        let dup = orders[1][0];
+        orders[1][1] = dup;
+        cfg.schedule.orders = Some(orders);
+        let diags = run(&cfg);
+        assert!(diags.len() >= 2);
+        assert!(codes_of(&diags)
+            .iter()
+            .all(|c| *c == codes::MALFORMED_CUSTOM_ORDER));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_preset() {
+        let mut cfg = base();
+        cfg.schedule.kind = "interleaved-vpp".to_string();
+        cfg.cluster.preset = "dgx_h100".to_string();
+        let cs = codes_of(&run(&cfg));
+        assert_eq!(
+            cs,
+            vec![codes::UNKNOWN_PRESET_OR_KIND, codes::UNKNOWN_PRESET_OR_KIND]
+        );
+    }
+
+    #[test]
+    fn rejects_oversubscribed_cluster() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.parallelism = crate::config::ParallelismSection { tp: 4, pp: 4 };
+        // local_no_nvlink has 4 GPUs; 16 needed.
+        assert!(codes_of(&run(&cfg)).contains(&codes::TOO_FEW_GPUS));
+    }
+
+    #[test]
+    fn warns_when_tp_spans_nodes() {
+        let mut cfg = ExperimentConfig::paper_pretrain();
+        cfg.parallelism = crate::config::ParallelismSection { tp: 8, pp: 2 };
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::TP_SPANS_NODES]);
+        assert_eq!(diags[0].severity, crate::diagnostics::Severity::Warning);
+    }
+
+    #[test]
+    fn rejects_pp_exceeding_layers() {
+        let mut cfg = ExperimentConfig::paper_pretrain();
+        cfg.model.layers = 3;
+        assert!(codes_of(&run(&cfg)).contains(&codes::PP_EXCEEDS_LAYERS));
+    }
+
+    #[test]
+    fn rejects_memory_budget_overflow() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.memory.device_gb = 1.0;
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::MEMORY_BUDGET_EXCEEDED]);
+        assert!(diags[0].message.contains("1.0 GB device budget"));
+    }
+
+    #[test]
+    fn compression_and_1f1b_relieve_memory_pressure() {
+        // Find a budget the GPipe/baseline config busts but the paper's
+        // levers (1F1B stash discipline) fit within.
+        let mut cfg = ExperimentConfig::paper_pretrain();
+        cfg.plan.spec = "w/o".to_string();
+        cfg.memory.device_gb = 4.0;
+        assert!(codes_of(&run(&cfg)).contains(&codes::MEMORY_BUDGET_EXCEEDED));
+        cfg.schedule.kind = "1f1b".to_string();
+        assert!(run(&cfg).is_empty());
+    }
+}

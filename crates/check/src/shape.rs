@@ -1,0 +1,335 @@
+//! Shape algebra: propagate activation shapes through one TP-sharded
+//! transformer layer and reject geometries that cannot be sharded.
+//!
+//! Megatron-style tensor parallelism (the paper's §2.2) splits the fused
+//! QKV projection and the MLP up-projection column-wise and the attention
+//! output / MLP down-projections row-wise. That only works when the head
+//! count and the feed-forward width divide by the TP degree, and attention
+//! itself requires the hidden width to divide by the head count. This pass
+//! walks the symbolic shapes `[b, s, ·]` through one layer and reports
+//! every divisibility violation, plus the compressor bottleneck width when
+//! the plan inserts an auto-encoder at the layer boundary.
+
+use crate::codes;
+use crate::config::ExperimentConfig;
+use crate::diagnostics::{Diagnostic, Diagnostics};
+use actcomp_compress::spec::Family;
+
+/// One step of the symbolic shape walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeStep {
+    /// Which tensor this is (e.g. `qkv (column-parallel)`).
+    pub site: &'static str,
+    /// Its per-rank shape, `[b, s, width]` or `[b, heads/tp, s, s]`.
+    pub dims: Vec<usize>,
+}
+
+/// Propagates `[micro_batch, seq, hidden]` through one TP-sharded layer.
+///
+/// Returns the per-rank shape at each named site. Only call after the
+/// divisibility checks pass (the walk divides by `tp`, `heads`, …);
+/// [`check_shapes`] guards this itself.
+pub fn shape_trace(cfg: &ExperimentConfig) -> Vec<ShapeStep> {
+    let m = &cfg.model;
+    let b = cfg.batch.micro_batch;
+    let s = cfg.batch.seq;
+    let tp = cfg.parallelism.tp;
+    let head_dim = m.hidden / m.heads;
+    let heads_per_rank = m.heads / tp;
+
+    let mut trace = vec![
+        ShapeStep {
+            site: "embedding output",
+            dims: vec![b, s, m.hidden],
+        },
+        ShapeStep {
+            site: "qkv (column-parallel)",
+            dims: vec![b, s, 3 * heads_per_rank * head_dim],
+        },
+        ShapeStep {
+            site: "attention scores (per-rank heads)",
+            dims: vec![b, heads_per_rank, s, s],
+        },
+        ShapeStep {
+            site: "attention output (row-parallel, post all-reduce)",
+            dims: vec![b, s, m.hidden],
+        },
+        ShapeStep {
+            site: "mlp up (column-parallel)",
+            dims: vec![b, s, m.ff_hidden / tp],
+        },
+        ShapeStep {
+            site: "mlp down (row-parallel, post all-reduce)",
+            dims: vec![b, s, m.hidden],
+        },
+    ];
+    if let Some(spec) = cfg.resolve_spec() {
+        if spec.family() == Family::AutoEncoder {
+            let code = cfg.plan.code_dim.unwrap_or_else(|| spec.code_dim(m.hidden));
+            trace.push(ShapeStep {
+                site: "layer boundary (auto-encoder code)",
+                dims: vec![b, s, code],
+            });
+        }
+    }
+    trace.push(ShapeStep {
+        site: "layer boundary",
+        dims: vec![b, s, m.hidden],
+    });
+    trace
+}
+
+/// The shape pass: zero-dimension, divisibility, position-table, and
+/// compressor code-width checks (`AC0001`–`AC0007`).
+pub fn check_shapes(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    let m = &cfg.model;
+    let tp = cfg.parallelism.tp;
+
+    let zeros: [(&str, usize); 11] = [
+        ("model.layers", m.layers),
+        ("model.hidden", m.hidden),
+        ("model.heads", m.heads),
+        ("model.ff_hidden", m.ff_hidden),
+        ("model.vocab", m.vocab),
+        ("model.max_seq", m.max_seq),
+        ("parallelism.tp", tp),
+        ("parallelism.pp", cfg.parallelism.pp),
+        ("batch.micro_batch", cfg.batch.micro_batch),
+        ("batch.seq", cfg.batch.seq),
+        ("batch.num_micro_batches", cfg.batch.num_micro_batches),
+    ];
+    let mut any_zero = false;
+    for (span, v) in zeros {
+        if v == 0 {
+            any_zero = true;
+            diags.push(
+                Diagnostic::error(codes::ZERO_DIMENSION, span, format!("{span} is zero"))
+                    .with_help("every structural dimension must be positive"),
+            );
+        }
+    }
+    // The divisibility algebra below divides by these; a zero field already
+    // has its own diagnostic, so stop before dividing by it.
+    if any_zero {
+        return;
+    }
+
+    if !m.hidden.is_multiple_of(m.heads) {
+        diags.push(
+            Diagnostic::error(
+                codes::HIDDEN_NOT_DIVISIBLE_BY_HEADS,
+                "model.heads",
+                format!(
+                    "hidden width {} is not divisible by {} attention heads",
+                    m.hidden, m.heads
+                ),
+            )
+            .with_help(format!(
+                "attention splits the hidden width evenly across heads; \
+                 nearest working head counts are {} and {}",
+                nearest_divisor_below(m.hidden, m.heads),
+                nearest_divisor_above(m.hidden, m.heads)
+            )),
+        );
+    }
+    if !m.heads.is_multiple_of(tp) {
+        diags.push(
+            Diagnostic::error(
+                codes::HEADS_NOT_DIVISIBLE_BY_TP,
+                "parallelism.tp",
+                format!(
+                    "{} attention heads cannot be sharded across tp={} ranks",
+                    m.heads, tp
+                ),
+            )
+            .with_help(
+                "the column-parallel QKV projection assigns whole heads to ranks; \
+                 choose tp dividing the head count",
+            ),
+        );
+    }
+    if !m.ff_hidden.is_multiple_of(tp) {
+        diags.push(
+            Diagnostic::error(
+                codes::FF_NOT_DIVISIBLE_BY_TP,
+                "model.ff_hidden",
+                format!(
+                    "feed-forward width {} is not divisible by tp={}",
+                    m.ff_hidden, tp
+                ),
+            )
+            .with_help("the column-parallel MLP up-projection shards the inner width"),
+        );
+    }
+    if !m.vocab.is_multiple_of(tp) {
+        diags.push(
+            Diagnostic::warning(
+                codes::VOCAB_NOT_DIVISIBLE_BY_TP,
+                "model.vocab",
+                format!("vocabulary {} is not divisible by tp={}", m.vocab, tp),
+            )
+            .with_help(format!(
+                "the embedding shard will be padded to {} rows per rank",
+                m.vocab.div_ceil(tp)
+            )),
+        );
+    }
+    if cfg.batch.seq > m.max_seq {
+        diags.push(
+            Diagnostic::error(
+                codes::SEQ_EXCEEDS_MAX_SEQ,
+                "batch.seq",
+                format!(
+                    "sequence length {} exceeds the position table ({})",
+                    cfg.batch.seq, m.max_seq
+                ),
+            )
+            .with_help("shorten batch.seq or enlarge model.max_seq"),
+        );
+    }
+
+    // Compressor code-width compatibility (the plan pass owns placement;
+    // the *shape* constraint — code vs hidden — lives here).
+    if let (Some(spec), Some(code)) = (cfg.resolve_spec(), cfg.plan.code_dim) {
+        if spec.family() == Family::AutoEncoder {
+            if code == 0 || code >= m.hidden {
+                diags.push(
+                    Diagnostic::error(
+                        codes::BAD_CODE_DIM,
+                        "plan.code_dim",
+                        format!(
+                            "auto-encoder code dimension {} is incompatible with hidden width {}",
+                            code, m.hidden
+                        ),
+                    )
+                    .with_help(format!(
+                        "the code must satisfy 1 <= c < hidden to compress; \
+                         {} uses c = {} at h = {}",
+                        spec.label(),
+                        spec.code_dim(m.hidden),
+                        m.hidden
+                    )),
+                );
+            }
+        } else {
+            diags.push(
+                Diagnostic::warning(
+                    codes::BAD_CODE_DIM,
+                    "plan.code_dim",
+                    format!(
+                        "code_dim is set but spec {} is not an auto-encoder; it is ignored",
+                        spec.label()
+                    ),
+                )
+                .with_help("remove plan.code_dim or switch to an A-family spec"),
+            );
+        }
+    }
+}
+
+fn nearest_divisor_below(n: usize, from: usize) -> usize {
+    (1..=from.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
+}
+
+fn nearest_divisor_above(n: usize, from: usize) -> usize {
+    (from..=n).find(|d| n.is_multiple_of(*d)).unwrap_or(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    fn run(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
+        let mut diags = Diagnostics::new();
+        check_shapes(cfg, &mut diags);
+        diags.into_vec()
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn paper_default_is_clean() {
+        assert!(run(&ExperimentConfig::paper_default()).is_empty());
+    }
+
+    #[test]
+    fn rejects_indivisible_heads() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.model.heads = 13;
+        let diags = run(&cfg);
+        assert!(codes_of(&diags).contains(&codes::HIDDEN_NOT_DIVISIBLE_BY_HEADS));
+        // 13 heads across tp=2 also fails head sharding.
+        assert!(codes_of(&diags).contains(&codes::HEADS_NOT_DIVISIBLE_BY_TP));
+    }
+
+    #[test]
+    fn rejects_indivisible_tp_shard() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.parallelism.tp = 3;
+        let diags = run(&cfg);
+        let cs = codes_of(&diags);
+        assert!(cs.contains(&codes::HEADS_NOT_DIVISIBLE_BY_TP));
+        assert!(cs.contains(&codes::FF_NOT_DIVISIBLE_BY_TP));
+    }
+
+    #[test]
+    fn rejects_bad_code_dim() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.code_dim = Some(0);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::BAD_CODE_DIM]);
+        cfg.plan.code_dim = Some(1024);
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::BAD_CODE_DIM]);
+        cfg.plan.code_dim = Some(50);
+        assert!(run(&cfg).is_empty());
+    }
+
+    #[test]
+    fn code_dim_on_sparsifier_is_warning() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.spec = "T1".to_string();
+        cfg.plan.code_dim = Some(50);
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::BAD_CODE_DIM]);
+        assert_eq!(diags[0].severity, crate::diagnostics::Severity::Warning);
+    }
+
+    #[test]
+    fn rejects_seq_overflow_and_zero_dims() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.batch.seq = 1024;
+        assert!(codes_of(&run(&cfg)).contains(&codes::SEQ_EXCEEDS_MAX_SEQ));
+        cfg.model.hidden = 0;
+        // Zero-dim short-circuits the divisibility walk.
+        assert_eq!(codes_of(&run(&cfg)), vec![codes::ZERO_DIMENSION]);
+    }
+
+    #[test]
+    fn vocab_padding_is_warning_only() {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.parallelism.tp = 4;
+        let diags = run(&cfg);
+        assert_eq!(codes_of(&diags), vec![codes::VOCAB_NOT_DIVISIBLE_BY_TP]);
+        assert!(!diags
+            .iter()
+            .any(|d| d.severity == crate::diagnostics::Severity::Error));
+    }
+
+    #[test]
+    fn trace_walks_one_layer() {
+        let cfg = ExperimentConfig::paper_default();
+        let trace = shape_trace(&cfg);
+        // tp=2: QKV per-rank width 3·1024/2, MLP up 4096/2.
+        assert_eq!(trace[1].dims, vec![32, 512, 1536]);
+        assert_eq!(trace[4].dims, vec![32, 512, 2048]);
+        // A1 inserts a [b, s, 50] bottleneck before the boundary.
+        let ae = trace.iter().find(|s| s.site.contains("auto-encoder"));
+        assert_eq!(ae.unwrap().dims, vec![32, 512, 50]);
+        assert_eq!(trace.last().unwrap().dims, vec![32, 512, 1024]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Validator soundness: any configuration `actcomp-check` accepts must
+//! run one simulated training iteration without panicking, and the
+//! numbers it produces must be finite. This is the property that makes
+//! the static checker trustworthy — "no diagnostics" has to mean "safe
+//! to spend compute on".
+
+use actcomp_check::{check, ExperimentConfig, Severity};
+use actcomp_compress::cost::CostModel;
+use actcomp_distsim::calibration;
+use actcomp_distsim::iteration::{simulate_iteration, TrainSetup};
+use actcomp_distsim::topology::Parallelism;
+use actcomp_distsim::workload::ModelShape;
+use proptest::prelude::*;
+
+/// Builds the dynamic `TrainSetup` the simulator consumes from a config
+/// the checker has already accepted (so every `expect` here is backed by
+/// a diagnostic that would otherwise have fired).
+fn to_setup(cfg: &ExperimentConfig) -> TrainSetup {
+    TrainSetup {
+        model: ModelShape {
+            layers: cfg.model.layers,
+            hidden: cfg.model.hidden,
+            vocab: cfg.model.vocab,
+            max_seq: cfg.model.max_seq,
+        },
+        seq: cfg.batch.seq,
+        micro_batch: cfg.batch.micro_batch,
+        num_micro_batches: cfg.batch.num_micro_batches,
+        parallelism: Parallelism::new(cfg.parallelism.tp, cfg.parallelism.pp),
+        cluster: cfg.resolve_cluster().expect("accepted preset resolves"),
+        gpu: calibration::v100_finetune(),
+        plan: cfg.resolve_plan().expect("accepted spec resolves"),
+        cost: CostModel::v100(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accepted_configs_simulate_without_panicking(
+        layers in prop::sample::select(vec![2usize, 4, 8, 12, 24]),
+        hidden in prop::sample::select(vec![256usize, 512, 1024]),
+        heads in prop::sample::select(vec![4usize, 8, 16]),
+        tp in prop::sample::select(vec![1usize, 2, 4]),
+        pp in prop::sample::select(vec![1usize, 2, 4]),
+        preset in prop::sample::select(vec!["p3_8xlarge", "local_no_nvlink", "p3_cluster"]),
+        nodes in prop::sample::select(vec![1usize, 2, 4]),
+        spec in prop::sample::select(vec!["w/o", "A1", "A2", "T1", "T3", "R2", "Q1", "Q2", "Z9"]),
+        kind in prop::sample::select(vec!["gpipe", "1f1b"]),
+        micro_batch in prop::sample::select(vec![1usize, 8, 32]),
+        seq in prop::sample::select(vec![32usize, 128, 512]),
+        m in prop::sample::select(vec![1usize, 2, 4]),
+        error_feedback in prop::sample::select(vec![false, true]),
+    ) {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.model.layers = layers;
+        cfg.model.hidden = hidden;
+        cfg.model.heads = heads;
+        cfg.model.ff_hidden = 4 * hidden;
+        cfg.parallelism.tp = tp;
+        cfg.parallelism.pp = pp;
+        cfg.cluster.preset = preset.to_string();
+        cfg.cluster.nodes = nodes;
+        cfg.plan.spec = spec.to_string();
+        cfg.plan.error_feedback = error_feedback;
+        cfg.schedule.kind = kind.to_string();
+        cfg.batch.micro_batch = micro_batch;
+        cfg.batch.seq = seq;
+        cfg.batch.num_micro_batches = m;
+        cfg.memory.device_gb = 32.0;
+
+        let diags = check(&cfg);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            // Rejected configs are out of scope here; dedicated unit tests
+            // pin each rejection class.
+            return Ok(());
+        }
+
+        // The checker accepted it: the simulator must not panic, and the
+        // breakdown must be finite and positive.
+        let breakdown = simulate_iteration(&to_setup(&cfg));
+        prop_assert!(breakdown.total_ms.is_finite() && breakdown.total_ms > 0.0);
+        prop_assert!(breakdown.forward_ms.is_finite() && breakdown.forward_ms >= 0.0);
+        prop_assert!(breakdown.backward_ms.is_finite() && breakdown.backward_ms >= 0.0);
+        prop_assert!(breakdown.wait_pp_ms.is_finite() && breakdown.wait_pp_ms >= 0.0);
+        for b in &breakdown.boundary_per_mb_ms {
+            prop_assert!(b.is_finite() && *b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_defaults_stay_accepted_under_spec_swaps(
+        spec in prop::sample::select(vec!["w/o", "A1", "A2", "T1", "T2", "T3", "T4",
+                                          "R1", "R2", "R3", "R4", "Q1", "Q2", "Q3"]),
+    ) {
+        // Every Table 1 spec dropped into the paper-default geometry is a
+        // valid experiment; the simulator must accept all of them too.
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.plan.spec = spec.to_string();
+        let diags = check(&cfg);
+        prop_assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "spec {} rejected: {:?}", spec, diags
+        );
+        let breakdown = simulate_iteration(&to_setup(&cfg));
+        prop_assert!(breakdown.total_ms.is_finite() && breakdown.total_ms > 0.0);
+    }
+}

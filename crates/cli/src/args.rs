@@ -7,6 +7,8 @@ use std::collections::HashMap;
 pub struct Args {
     /// First positional argument.
     pub command: Option<String>,
+    /// Positional arguments after the subcommand (e.g. a config path).
+    pub positionals: Vec<String>,
     /// `--key value` pairs and bare `--flag`s (mapped to `"true"`).
     pub options: HashMap<String, String>,
 }
@@ -20,6 +22,7 @@ impl Args {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let tokens: Vec<String> = args.into_iter().collect();
         let mut command = None;
+        let mut positionals = Vec::new();
         let mut options = HashMap::new();
         let mut i = 0;
         while i < tokens.len() {
@@ -35,10 +38,16 @@ impl Args {
                 options.insert(key.to_string(), value);
             } else if command.is_none() {
                 command = Some(t.clone());
+            } else {
+                positionals.push(t.clone());
             }
             i += 1;
         }
-        Args { command, options }
+        Args {
+            command,
+            positionals,
+            options,
+        }
     }
 
     /// Parses from `std::env::args`.
@@ -113,5 +122,14 @@ mod tests {
         let a = parse("");
         assert_eq!(a.command, None);
         assert!(a.options.is_empty());
+        assert!(a.positionals.is_empty());
+    }
+
+    #[test]
+    fn positionals_follow_the_command() {
+        let a = parse("check config.json --json");
+        assert_eq!(a.command.as_deref(), Some("check"));
+        assert_eq!(a.positionals, vec!["config.json".to_string()]);
+        assert!(a.flag("json"));
     }
 }

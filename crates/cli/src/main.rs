@@ -2,6 +2,7 @@
 //! Compressing Activations Help Model Parallel Training?"* (MLSys 2024).
 //!
 //! ```text
+//! actcomp check experiment.json
 //! actcomp simulate --machine pcie --tp 2 --pp 2 --batch 32 --seq 512 --spec A1
 //! actcomp pretrain-sim --tp 4 --pp 4 --spec A2
 //! actcomp finetune --task cola --spec Q2 --steps 150
@@ -11,6 +12,7 @@
 
 mod args;
 
+use actcomp_check::{render_report, ExperimentConfig, Severity};
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_core::throughput::{finetune_breakdown, pretrain_breakdown, Machine};
 use actcomp_core::{accuracy, AccuracyConfig};
@@ -23,6 +25,7 @@ use args::Args;
 fn main() {
     let args = Args::from_env();
     match args.command.as_deref() {
+        Some("check") => check(&args),
         Some("simulate") => simulate(&args),
         Some("pretrain-sim") => pretrain_sim(&args),
         Some("finetune") => finetune(&args),
@@ -42,6 +45,7 @@ fn usage() {
         "actcomp — activation compression for model-parallel training (MLSys 2024 reproduction)
 
 USAGE:
+  actcomp check         <CONFIG.json> | --print-default | --print-pretrain
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -97,6 +101,54 @@ fn print_breakdown(b: &IterationBreakdown, json: bool) {
     }
 }
 
+/// `actcomp check <config.json>`: parse, validate, render the report, and
+/// exit 0 (clean/warnings) or 1 (errors).
+fn check(args: &Args) {
+    if args.flag("print-default") || args.flag("print-pretrain") {
+        let cfg = if args.flag("print-pretrain") {
+            ExperimentConfig::paper_pretrain()
+        } else {
+            ExperimentConfig::paper_default()
+        };
+        println!("{}", cfg.to_json());
+        return;
+    }
+    let Some(path) = args.positionals.first() else {
+        eprintln!("error: `actcomp check` needs a config path (or --print-default)");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let cfg = ExperimentConfig::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid experiment config: {e}");
+        std::process::exit(2);
+    });
+    let diags = actcomp_check::check(&cfg);
+    println!("{}", render_report(&diags));
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        std::process::exit(1);
+    }
+}
+
+/// Validates a config assembled from CLI flags before handing it to the
+/// simulator; errors print the full report and exit, warnings print and
+/// continue.
+fn validate_or_exit(cfg: &ExperimentConfig) {
+    match actcomp_check::validate(cfg) {
+        Ok(warnings) => {
+            if !warnings.is_empty() {
+                eprintln!("{}", render_report(&warnings));
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn simulate(args: &Args) {
     let machine = match args.get("machine", "nvlink") {
         "nvlink" => Machine::AwsP3,
@@ -107,6 +159,19 @@ fn simulate(args: &Args) {
         }
     };
     let spec = parse_spec(args.get("spec", "w/o"));
+
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.cluster.preset = match machine {
+        Machine::AwsP3 => "p3_8xlarge".to_string(),
+        _ => "local_no_nvlink".to_string(),
+    };
+    cfg.parallelism.tp = args.get_usize("tp", 2);
+    cfg.parallelism.pp = args.get_usize("pp", 2);
+    cfg.batch.micro_batch = args.get_usize("batch", 32);
+    cfg.batch.seq = args.get_usize("seq", 512);
+    cfg.plan.spec = spec.label().to_string();
+    validate_or_exit(&cfg);
+
     let b = finetune_breakdown(
         machine,
         args.get_usize("tp", 2),
@@ -120,7 +185,14 @@ fn simulate(args: &Args) {
 
 fn pretrain_sim(args: &Args) {
     let spec = parse_spec(args.get("spec", "w/o"));
-    let b = pretrain_breakdown(args.get_usize("tp", 4), args.get_usize("pp", 4), spec);
+
+    let mut cfg = ExperimentConfig::paper_pretrain();
+    cfg.parallelism.tp = args.get_usize("tp", 4);
+    cfg.parallelism.pp = args.get_usize("pp", 4);
+    cfg.plan.spec = spec.label().to_string();
+    validate_or_exit(&cfg);
+
+    let b = pretrain_breakdown(cfg.parallelism.tp, cfg.parallelism.pp, spec);
     print_breakdown(&b, args.flag("json"));
 }
 
@@ -153,10 +225,16 @@ fn scaling(args: &Args) {
         paper_bandwidth_elems(),
     );
     if args.flag("json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialize")
+        );
         return;
     }
-    println!("{:>8} {:>7} {:>6} {:>7} {:>9}", "hidden", "layers", "nodes", "batch", "speedup");
+    println!(
+        "{:>8} {:>7} {:>6} {:>7} {:>9}",
+        "hidden", "layers", "nodes", "batch", "speedup"
+    );
     for r in rows {
         println!(
             "{:>8} {:>7} {:>6} {:>7} {:>8.2}x",
@@ -166,7 +244,7 @@ fn scaling(args: &Args) {
 }
 
 fn specs() {
-    println!("{:6} {:14} {}", "id", "family", "meaning");
+    println!("{:6} {:14} meaning", "id", "family");
     for s in CompressorSpec::all() {
         let meaning = match s {
             CompressorSpec::Baseline => "no compression".to_string(),
@@ -181,6 +259,11 @@ fn specs() {
             }
             _ => format!("{}-bit uniform quantization", s.quant_bits()),
         };
-        println!("{:6} {:14} {}", s.label(), format!("{:?}", s.family()), meaning);
+        println!(
+            "{:6} {:14} {}",
+            s.label(),
+            format!("{:?}", s.family()),
+            meaning
+        );
     }
 }

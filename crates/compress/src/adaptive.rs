@@ -62,7 +62,12 @@ impl Compressor for RowTopK {
     }
 
     fn compress(&mut self, x: &Tensor) -> Compressed {
-        assert_eq!(x.rank(), 2, "RowTopK input must be rank 2, got {}", x.shape());
+        assert_eq!(
+            x.rank(),
+            2,
+            "RowTopK input must be rank 2, got {}",
+            x.shape()
+        );
         let (m, n) = (x.dims()[0], x.dims()[1]);
         let k = self.k_per_row.min(n);
         let data = x.as_slice();
@@ -121,7 +126,8 @@ mod tests {
         let mut c = RowTopK::new(3);
         let y = c.round_trip(&x);
         for i in 0..8 {
-            let kept = y.slice_rows(i, i + 1)
+            let kept = y
+                .slice_rows(i, i + 1)
                 .as_slice()
                 .iter()
                 .filter(|v| **v != 0.0)

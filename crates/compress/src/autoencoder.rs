@@ -81,7 +81,12 @@ impl Compressor for AutoEncoder {
     }
 
     fn compress(&mut self, x: &Tensor) -> Compressed {
-        assert_eq!(x.rank(), 2, "AutoEncoder input must be rank 2, got {}", x.shape());
+        assert_eq!(
+            x.rank(),
+            2,
+            "AutoEncoder input must be rank 2, got {}",
+            x.shape()
+        );
         assert_eq!(
             x.dims()[1],
             self.hidden(),

@@ -54,14 +54,15 @@ pub mod spec;
 
 pub use adaptive::RowTopK;
 pub use autoencoder::AutoEncoder;
-pub use plan::CompressionPlan;
 pub use error_feedback::ErrorFeedback;
 pub use identity::Identity;
 pub use lowrank::LowRank;
 pub use message::{Compressed, Payload};
+pub use plan::{CompressionPlan, PlanError};
 pub use quant::Quantizer;
 pub use quant_ext::{RowQuantizer, StochasticQuantizer};
 pub use randk::RandomK;
+pub use spec::SpecError;
 pub use topk::TopK;
 
 use actcomp_nn::Parameter;

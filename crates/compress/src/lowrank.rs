@@ -74,7 +74,12 @@ impl Compressor for LowRank {
     }
 
     fn compress(&mut self, x: &Tensor) -> Compressed {
-        assert_eq!(x.rank(), 2, "LowRank input must be rank 2, got {}", x.shape());
+        assert_eq!(
+            x.rank(),
+            2,
+            "LowRank input must be rank 2, got {}",
+            x.shape()
+        );
         let (m, n) = (x.dims()[0], x.dims()[1]);
         let r = self.rank.min(m).min(n);
 
@@ -125,19 +130,18 @@ fn orthonormalize(a: &Tensor) -> Tensor {
     for j in 0..r {
         for k in 0..j {
             let dot: f64 = (0..m).map(|i| cols[j][i] * cols[k][i]).sum();
-            for i in 0..m {
-                cols[j][i] -= dot * cols[k][i];
+            let (head, tail) = cols.split_at_mut(j);
+            for (cj, ck) in tail[0].iter_mut().zip(head[k].iter()) {
+                *cj -= dot * ck;
             }
         }
-        let norm: f64 = (0..m).map(|i| cols[j][i] * cols[j][i]).sum::<f64>().sqrt();
+        let norm: f64 = cols[j].iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm > 1e-12 {
-            for i in 0..m {
-                cols[j][i] /= norm;
+            for v in &mut cols[j] {
+                *v /= norm;
             }
         } else {
-            for i in 0..m {
-                cols[j][i] = 0.0;
-            }
+            cols[j].iter_mut().for_each(|v| *v = 0.0);
         }
     }
     let mut out = vec![0.0f32; m * r];

@@ -139,7 +139,12 @@ impl Compressor for RowQuantizer {
     }
 
     fn compress(&mut self, x: &Tensor) -> Compressed {
-        assert_eq!(x.rank(), 2, "RowQuantizer input must be rank 2, got {}", x.shape());
+        assert_eq!(
+            x.rank(),
+            2,
+            "RowQuantizer input must be rank 2, got {}",
+            x.shape()
+        );
         let (m, n) = (x.dims()[0], x.dims()[1]);
         self.cache_rows = Some(m);
         let levels = (1u32 << self.bits) - 1;
@@ -151,7 +156,11 @@ impl Compressor for RowQuantizer {
             let row = &x.as_slice()[i * n..(i + 1) * n];
             let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let scale = if hi > lo { (hi - lo) / levels as f32 } else { 1.0 };
+            let scale = if hi > lo {
+                (hi - lo) / levels as f32
+            } else {
+                1.0
+            };
             buf.extend_from_slice(&scale.to_le_bytes());
             buf.extend_from_slice(&lo.to_le_bytes());
             let mut packed = vec![0u8; codes_per_row];
@@ -251,7 +260,9 @@ mod tests {
         let x = Tensor::from_vec(data, [2, 32]);
         let per_tensor = crate::Quantizer::new(4).round_trip(&x);
         let per_row = RowQuantizer::new(4).round_trip(&x);
-        let small_row_err_tensor = x.slice_rows(0, 1).max_abs_diff(&per_tensor.slice_rows(0, 1));
+        let small_row_err_tensor = x
+            .slice_rows(0, 1)
+            .max_abs_diff(&per_tensor.slice_rows(0, 1));
         let small_row_err_row = x.slice_rows(0, 1).max_abs_diff(&per_row.slice_rows(0, 1));
         assert!(
             small_row_err_row < small_row_err_tensor / 100.0,

@@ -147,7 +147,12 @@ mod tests {
         let mut c = RandomK::new(5, 3);
         let _ = c.compress(&x);
         let dx = c.backward(&Tensor::ones([10]));
-        let nz: Vec<f32> = dx.as_slice().iter().copied().filter(|v| *v != 0.0).collect();
+        let nz: Vec<f32> = dx
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|v| *v != 0.0)
+            .collect();
         assert_eq!(nz.len(), 5);
         assert!(nz.iter().all(|&v| (v - 2.0).abs() < 1e-6));
     }

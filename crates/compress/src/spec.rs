@@ -23,6 +23,34 @@ pub const SPARSE_ELEM_BYTES: usize = 6;
 /// Wire bytes of one dense fp16 element.
 pub const DENSE_ELEM_BYTES: usize = 2;
 
+/// A spec was asked for a parameter its family does not define.
+///
+/// The typed counterpart of the panics in [`CompressorSpec::code_dim`],
+/// [`CompressorSpec::quant_bits`] and [`CompressorSpec::sparsifier_k`]:
+/// config-driven callers (e.g. the static checker) use the `try_*`
+/// variants and surface these as diagnostics instead of crashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecError {
+    /// The spec is not AE-relative, so it has no code dimension.
+    NoCodeDim(CompressorSpec),
+    /// The spec is not a quantizer, so it has no bit width.
+    NotQuantizer(CompressorSpec),
+    /// The spec is not a sparsifier, so it keeps no top/random elements.
+    NotSparsifier(CompressorSpec),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoCodeDim(s) => write!(f, "{} has no code dimension", s.label()),
+            SpecError::NotQuantizer(s) => write!(f, "{} has no quantization width", s.label()),
+            SpecError::NotSparsifier(s) => write!(f, "{} is not a sparsifier", s.label()),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// The algorithm family a spec belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Family {
@@ -116,16 +144,35 @@ impl CompressorSpec {
     }
 
     /// Auto-encoder code dimension at hidden size `h` (scaled from the
+    /// paper's `h = 1024` definition, minimum 1), or [`SpecError`] when
+    /// the spec is not AE-relative.
+    pub fn try_code_dim(&self, h: usize) -> Result<usize, SpecError> {
+        let c = self
+            .reference_code_dim()
+            .ok_or(SpecError::NoCodeDim(*self))?;
+        Ok((c * h / PAPER_HIDDEN).max(1))
+    }
+
+    /// Auto-encoder code dimension at hidden size `h` (scaled from the
     /// paper's `h = 1024` definition, minimum 1).
     ///
     /// # Panics
     ///
     /// Panics if the spec is not AE-relative.
     pub fn code_dim(&self, h: usize) -> usize {
-        let c = self
-            .reference_code_dim()
-            .unwrap_or_else(|| panic!("{} has no code dimension", self.label()));
-        (c * h / PAPER_HIDDEN).max(1)
+        self.try_code_dim(h).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Quantization width in bits, or [`SpecError`] when the spec is not
+    /// a quantizer.
+    pub fn try_quant_bits(&self) -> Result<u8, SpecError> {
+        use CompressorSpec::*;
+        match self {
+            Q1 => Ok(2),
+            Q2 => Ok(4),
+            Q3 => Ok(8),
+            _ => Err(SpecError::NotQuantizer(*self)),
+        }
     }
 
     /// Quantization width in bits.
@@ -134,13 +181,7 @@ impl CompressorSpec {
     ///
     /// Panics if the spec is not a quantizer.
     pub fn quant_bits(&self) -> u8 {
-        use CompressorSpec::*;
-        match self {
-            Q1 => 2,
-            Q2 => 4,
-            Q3 => 8,
-            _ => panic!("{} has no quantization width", self.label()),
-        }
+        self.try_quant_bits().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of kept elements for sparsifiers, for an activation of `n`
@@ -151,14 +192,16 @@ impl CompressorSpec {
     /// `k = n·c/(3h)`. `T3/T4/R3/R4` match the AE's *compression ratio*
     /// (`h/c`), so `k = n·c/h`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the spec is not a sparsifier.
-    pub fn sparsifier_k(&self, n: usize, h: usize) -> usize {
+    /// Typed variant of [`CompressorSpec::sparsifier_k`]: [`SpecError`]
+    /// when the spec is not a sparsifier.
+    pub fn try_sparsifier_k(&self, n: usize, h: usize) -> Result<usize, SpecError> {
         use CompressorSpec::*;
+        if !matches!(self.family(), Family::TopK | Family::RandomK) {
+            return Err(SpecError::NotSparsifier(*self));
+        }
         let c = self
             .reference_code_dim()
-            .unwrap_or_else(|| panic!("{} is not a sparsifier", self.label()));
+            .expect("sparsifiers are AE-relative");
         // The scaled code dim is c·h/1024, so k as a fraction of n depends
         // only on the reference c: k/n = c_scaled/h = c/1024 (and a third of
         // that when matching bytes instead of ratio). `h` is accepted for
@@ -166,10 +209,17 @@ impl CompressorSpec {
         let _ = h;
         let k = match self {
             T1 | T2 | R1 | R2 => n * c / PAPER_HIDDEN / (SPARSE_ELEM_BYTES / DENSE_ELEM_BYTES),
-            T3 | T4 | R3 | R4 => n * c / PAPER_HIDDEN,
-            _ => unreachable!(),
+            _ => n * c / PAPER_HIDDEN,
         };
-        k.max(1)
+        Ok(k.max(1))
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the spec is not a sparsifier.
+    pub fn sparsifier_k(&self, n: usize, h: usize) -> usize {
+        self.try_sparsifier_k(n, h)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Expected wire bytes for an activation of `n` elements at hidden
@@ -253,7 +303,9 @@ mod tests {
         assert!(Q1.wire_bytes(n, 1024) < Q2.wire_bytes(n, 1024));
         assert!(Q2.wire_bytes(n, 1024) < Q3.wire_bytes(n, 1024));
         // 2-bit quant is 8x smaller than fp16.
-        assert!((Baseline.wire_bytes(n, 1024) as f64 / Q1.wire_bytes(n, 1024) as f64 - 8.0).abs() < 0.2);
+        assert!(
+            (Baseline.wire_bytes(n, 1024) as f64 / Q1.wire_bytes(n, 1024) as f64 - 8.0).abs() < 0.2
+        );
     }
 
     #[test]

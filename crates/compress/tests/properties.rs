@@ -115,6 +115,37 @@ proptest! {
     }
 
     #[test]
+    fn codec_round_trip_preserves_shape_and_wire_bytes(
+        rows in prop::sample::select(vec![1usize, 2, 4]),
+        seed in 0u64..64,
+        v in proptest::collection::vec(-50.0f32..50.0, 4 * 1024),
+    ) {
+        // Encode → decode for every Table 1 spec: the reconstruction must
+        // come back in the activation's shape, and the message's measured
+        // wire size must match the spec's claimed byte arithmetic.
+        let h = 1024;
+        let n = rows * h;
+        let x = Tensor::from_vec(v[..n].to_vec(), [rows, h]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for spec in CompressorSpec::all() {
+            let mut c = spec.build(&mut rng, n, h);
+            let msg = c.compress(&x);
+            let y = c.decompress(&msg);
+            prop_assert_eq!(
+                y.shape().dims(), x.shape().dims(),
+                "{}: decode shape {:?} != input {:?}", spec, y.shape(), x.shape()
+            );
+            let predicted = spec.wire_bytes(n, h);
+            let actual = msg.wire_bytes(2);
+            let denom = predicted.max(1) as f64;
+            prop_assert!(
+                ((predicted as f64 - actual as f64).abs() / denom) < 0.05,
+                "{}: claimed {} wire bytes, measured {}", spec, predicted, actual
+            );
+        }
+    }
+
+    #[test]
     fn compressed_is_never_larger_than_dense_for_real_specs(rows in 1usize..4) {
         let h = 1024;
         let n = rows * h;

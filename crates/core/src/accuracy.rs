@@ -71,7 +71,10 @@ pub fn finetune_from(cfg: &AccuracyConfig, serial: &BertEncoder, task: GlueTask)
             .collect();
         cursor = (cursor + cfg.batch) % train.len();
 
-        let ids: Vec<usize> = batch.iter().flat_map(|e| e.tokens.iter().copied()).collect();
+        let ids: Vec<usize> = batch
+            .iter()
+            .flat_map(|e| e.tokens.iter().copied())
+            .collect();
         let hidden = model.forward(&ids, cfg.batch, cfg.seq);
         let logits = head.forward(&hidden, cfg.batch, cfg.seq);
 
@@ -128,7 +131,10 @@ fn evaluate(
     let mut class_preds = Vec::new();
     let mut score_preds = Vec::new();
     for chunk in dev.chunks(cfg.batch) {
-        let ids: Vec<usize> = chunk.iter().flat_map(|e| e.tokens.iter().copied()).collect();
+        let ids: Vec<usize> = chunk
+            .iter()
+            .flat_map(|e| e.tokens.iter().copied())
+            .collect();
         let hidden = model.forward(&ids, chunk.len(), cfg.seq);
         let logits = head.forward(&hidden, chunk.len(), cfg.seq);
         if task.is_regression() {

@@ -98,11 +98,7 @@ impl AccuracyConfig {
         }
         match self.window {
             Some((start, count)) => CompressionPlan::window(self.spec, start, count),
-            None => CompressionPlan::last_layers(
-                self.spec,
-                self.bert.layers,
-                self.bert.layers / 2,
-            ),
+            None => CompressionPlan::last_layers(self.spec, self.bert.layers, self.bert.layers / 2),
         }
     }
 
@@ -111,21 +107,69 @@ impl AccuracyConfig {
         self.batch * self.seq
     }
 
+    /// Typed variant of [`AccuracyConfig::validate`].
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        self.bert.try_validate().map_err(ConfigError::Bert)?;
+        if self.seq > self.bert.max_seq {
+            return Err(ConfigError::SeqExceedsMaxSeq);
+        }
+        if self.batch == 0 || self.steps == 0 {
+            return Err(ConfigError::ZeroBatchOrSteps);
+        }
+        if self.lr <= 0.0 {
+            return Err(ConfigError::NonPositiveLearningRate);
+        }
+        if self.plan().end_layer() > self.bert.layers {
+            return Err(ConfigError::WindowExceedsLayers);
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on inconsistent settings.
     pub fn validate(&self) {
-        self.bert.validate();
-        assert!(self.seq <= self.bert.max_seq, "seq exceeds max_seq");
-        assert!(self.batch > 0 && self.steps > 0);
-        assert!(self.lr > 0.0, "non-positive learning rate");
-        let plan = self.plan();
-        assert!(
-            plan.end_layer() <= self.bert.layers,
-            "window exceeds layer count"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// An inconsistent [`AccuracyConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigError {
+    /// The architecture itself is impossible.
+    Bert(actcomp_nn::BertConfigError),
+    /// Sequence length exceeds the position table.
+    SeqExceedsMaxSeq,
+    /// Batch size or step count is zero.
+    ZeroBatchOrSteps,
+    /// The learning rate is not positive.
+    NonPositiveLearningRate,
+    /// The compression window reaches past the last layer.
+    WindowExceedsLayers,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Bert(e) => write!(f, "{e}"),
+            ConfigError::SeqExceedsMaxSeq => f.write_str("seq exceeds max_seq"),
+            ConfigError::ZeroBatchOrSteps => f.write_str("batch and steps must be positive"),
+            ConfigError::NonPositiveLearningRate => f.write_str("non-positive learning rate"),
+            ConfigError::WindowExceedsLayers => f.write_str("window exceeds layer count"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Bert(e) => Some(e),
+            _ => None,
+        }
     }
 }
 

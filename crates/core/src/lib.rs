@@ -34,7 +34,7 @@ pub mod report;
 pub mod throughput;
 
 pub use accuracy::{finetune, finetune_from, glue_suite, pretrain, FinetuneResult};
-pub use config::{accuracy_model, AccuracyConfig};
+pub use config::{accuracy_model, AccuracyConfig, ConfigError};
 pub use lowrank::{analyze, LowRankAnalysis};
 pub use report::{Record, Table};
 pub use throughput::{finetune_breakdown, pretrain_breakdown, Machine};

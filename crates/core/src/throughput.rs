@@ -127,10 +127,7 @@ mod tests {
         let mut prev_abs = 0.0;
         for (b, s) in [(8, 128), (8, 512), (32, 128), (32, 512)] {
             let frac = comm_overhead_fraction(b, s);
-            assert!(
-                (0.15..0.85).contains(&frac),
-                "({b},{s}): fraction {frac}"
-            );
+            assert!((0.15..0.85).contains(&frac), "({b},{s}): fraction {frac}");
             let abs = finetune_breakdown(Machine::AwsP3, 4, 1, b, s, CompressorSpec::Baseline)
                 .tensor_comm_ms;
             assert!(abs > prev_abs * 0.9, "({b},{s}): abs comm {abs}");

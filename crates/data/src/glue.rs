@@ -235,8 +235,7 @@ impl GlueTask {
             Label::Class(c) => {
                 if rng.gen_bool(self.label_noise()) {
                     // Flip to a uniformly random *different* class.
-                    *c = (*c + 1 + rng.gen_range(0..self.num_classes() - 1))
-                        % self.num_classes();
+                    *c = (*c + 1 + rng.gen_range(0..self.num_classes() - 1)) % self.num_classes();
                 }
             }
             Label::Score(s) => {
@@ -517,8 +516,16 @@ mod tests {
         let preds: Vec<usize> = train
             .iter()
             .map(|e| {
-                let c0 = e.tokens.iter().filter(|t| class_pool(0).contains(t)).count();
-                let c1 = e.tokens.iter().filter(|t| class_pool(1).contains(t)).count();
+                let c0 = e
+                    .tokens
+                    .iter()
+                    .filter(|t| class_pool(0).contains(t))
+                    .count();
+                let c1 = e
+                    .tokens
+                    .iter()
+                    .filter(|t| class_pool(1).contains(t))
+                    .count();
                 (c1 > c0) as usize
             })
             .collect();
@@ -535,7 +542,11 @@ mod tests {
             .iter()
             .map(|e| {
                 assert!(e.tokens.contains(&SEP), "missing segment separator");
-                let hits = e.tokens.iter().filter(|t| class_pool(1).contains(t)).count();
+                let hits = e
+                    .tokens
+                    .iter()
+                    .filter(|t| class_pool(1).contains(t))
+                    .count();
                 (hits >= 2) as usize
             })
             .collect();

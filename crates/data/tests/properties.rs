@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn matthews_properties(labels in proptest::collection::vec(0usize..2, 8..64)) {
         // Need both classes present for a non-degenerate denominator.
-        prop_assume!(labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1));
+        prop_assume!(labels.contains(&0) && labels.contains(&1));
         let m_perfect = metrics::matthews(&labels, &labels);
         prop_assert!((m_perfect - 1.0).abs() < 1e-12);
         let inverted: Vec<usize> = labels.iter().map(|&l| 1 - l).collect();

@@ -195,12 +195,8 @@ mod tests {
     #[test]
     fn link_speed_ordering() {
         // NVLink > PCIe > Ethernet, as the paper's three fabrics.
-        assert!(
-            LinkSpec::nvlink().pair_bandwidth > LinkSpec::pcie_shared().pair_bandwidth
-        );
-        assert!(
-            LinkSpec::pcie_shared().pair_bandwidth > LinkSpec::ethernet_10g().pair_bandwidth
-        );
+        assert!(LinkSpec::nvlink().pair_bandwidth > LinkSpec::pcie_shared().pair_bandwidth);
+        assert!(LinkSpec::pcie_shared().pair_bandwidth > LinkSpec::ethernet_10g().pair_bandwidth);
     }
 
     #[test]

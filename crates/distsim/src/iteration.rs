@@ -227,7 +227,7 @@ pub fn simulate_iteration(setup: &TrainSetup) -> IterationBreakdown {
     let use_serial = serial >= m as f64 * (bn.fwd_s + bn.bwd_s);
     let critical = |f: &dyn Fn(&StageCosts) -> f64| -> f64 {
         if use_serial {
-            costs.iter().map(|c| f(c)).sum()
+            costs.iter().map(f).sum()
         } else {
             m as f64 * f(bn)
         }

@@ -61,6 +61,6 @@ pub mod workload;
 pub use hardware::{ClusterSpec, GpuSpec, LinkKind, LinkSpec, MachineSpec};
 pub use iteration::{simulate_iteration, IterationBreakdown, TrainSetup};
 pub use pipeline::{simulate_gpipe, PipelineResult};
-pub use schedule::simulate_1f1b;
 pub use plan::CompressionPlan;
-pub use topology::Parallelism;
+pub use schedule::simulate_1f1b;
+pub use topology::{Parallelism, TopologyError};

@@ -99,16 +99,16 @@ pub fn simulate_gpipe(
             } else {
                 bwd[i][s + 1] + boundaries[s].bwd_s
             };
-            let after_prev_mb = if i == 0 { all_fwd_done[s] } else { bwd[i - 1][s] };
+            let after_prev_mb = if i == 0 {
+                all_fwd_done[s]
+            } else {
+                bwd[i - 1][s]
+            };
             bwd[i][s] = after_next_stage.max(after_prev_mb) + stages[s].bwd_s;
         }
     }
 
-    let makespan = bwd[m - 1][0].max(
-        (0..p)
-            .map(|s| bwd[m - 1][s])
-            .fold(0.0f64, f64::max),
-    );
+    let makespan = bwd[m - 1][0].max((0..p).map(|s| bwd[m - 1][s]).fold(0.0f64, f64::max));
     let busy: Vec<f64> = stages
         .iter()
         .map(|st| m as f64 * (st.fwd_s + st.bwd_s))
@@ -133,8 +133,20 @@ mod tests {
 
     fn uniform(p: usize, fwd: f64, bwd: f64, comm: f64) -> (Vec<StageTiming>, Vec<BoundaryTiming>) {
         (
-            vec![StageTiming { fwd_s: fwd, bwd_s: bwd }; p],
-            vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1],
+            vec![
+                StageTiming {
+                    fwd_s: fwd,
+                    bwd_s: bwd
+                };
+                p
+            ],
+            vec![
+                BoundaryTiming {
+                    fwd_s: comm,
+                    bwd_s: comm
+                };
+                p - 1
+            ],
         )
     }
 
@@ -190,9 +202,24 @@ mod tests {
 
     #[test]
     fn straggler_stage_dominates() {
-        let mut stages = vec![StageTiming { fwd_s: 1.0, bwd_s: 1.0 }; 4];
-        stages[2] = StageTiming { fwd_s: 5.0, bwd_s: 5.0 };
-        let b = vec![BoundaryTiming { fwd_s: 0.0, bwd_s: 0.0 }; 3];
+        let mut stages = vec![
+            StageTiming {
+                fwd_s: 1.0,
+                bwd_s: 1.0
+            };
+            4
+        ];
+        stages[2] = StageTiming {
+            fwd_s: 5.0,
+            bwd_s: 5.0,
+        };
+        let b = vec![
+            BoundaryTiming {
+                fwd_s: 0.0,
+                bwd_s: 0.0
+            };
+            3
+        ];
         let m = 16;
         let r = simulate_gpipe(&stages, &b, m);
         // The slow stage's throughput bound: >= m * (tf + tb) of straggler.

@@ -142,10 +142,7 @@ pub fn simulate_schedule(
         }
     }
 
-    let makespan = finish
-        .values()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let makespan = finish.values().copied().fold(0.0f64, f64::max);
     assert!(makespan.is_finite(), "schedule did not resolve");
     let busy: Vec<f64> = stages
         .iter()
@@ -183,8 +180,20 @@ mod tests {
 
     fn uniform(p: usize, fwd: f64, bwd: f64, comm: f64) -> (Vec<StageTiming>, Vec<BoundaryTiming>) {
         (
-            vec![StageTiming { fwd_s: fwd, bwd_s: bwd }; p],
-            vec![BoundaryTiming { fwd_s: comm, bwd_s: comm }; p - 1],
+            vec![
+                StageTiming {
+                    fwd_s: fwd,
+                    bwd_s: bwd
+                };
+                p
+            ],
+            vec![
+                BoundaryTiming {
+                    fwd_s: comm,
+                    bwd_s: comm
+                };
+                p - 1
+            ],
         )
     }
 
@@ -209,10 +218,7 @@ mod tests {
             let (s, b) = uniform(p, 1.0, 2.0, 0.0);
             let g = simulate_gpipe(&s, &b, m).makespan_s;
             let f = simulate_1f1b(&s, &b, m).makespan_s;
-            assert!(
-                (g - f).abs() < 1e-9,
-                "p={p} m={m}: gpipe {g} vs 1f1b {f}"
-            );
+            assert!((g - f).abs() < 1e-9, "p={p} m={m}: gpipe {g} vs 1f1b {f}");
         }
     }
 
@@ -234,9 +240,24 @@ mod tests {
 
     #[test]
     fn nonuniform_stages_bound_by_straggler() {
-        let mut stages = vec![StageTiming { fwd_s: 1.0, bwd_s: 1.0 }; 4];
-        stages[1] = StageTiming { fwd_s: 3.0, bwd_s: 3.0 };
-        let b = vec![BoundaryTiming { fwd_s: 0.0, bwd_s: 0.0 }; 3];
+        let mut stages = vec![
+            StageTiming {
+                fwd_s: 1.0,
+                bwd_s: 1.0
+            };
+            4
+        ];
+        stages[1] = StageTiming {
+            fwd_s: 3.0,
+            bwd_s: 3.0,
+        };
+        let b = vec![
+            BoundaryTiming {
+                fwd_s: 0.0,
+                bwd_s: 0.0
+            };
+            3
+        ];
         let m = 8;
         let r = simulate_1f1b(&stages, &b, m);
         assert!(r.makespan_s >= m as f64 * 6.0);

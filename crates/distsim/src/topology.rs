@@ -8,6 +8,52 @@
 use crate::hardware::{ClusterSpec, LinkSpec};
 use serde::{Deserialize, Serialize};
 
+/// A parallel layout that cannot be realized.
+///
+/// Typed counterpart of the panics in [`Parallelism::new`],
+/// [`ClusterSpec::place`] and [`layers_per_stage`], for callers that
+/// assemble layouts from external configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TopologyError {
+    /// A parallel degree is zero.
+    ZeroDegree,
+    /// `tp · pp` exceeds the cluster's GPU count.
+    TooFewGpus {
+        /// The layout being placed.
+        parallelism: Parallelism,
+        /// GPUs the cluster provides.
+        available: usize,
+    },
+    /// More pipeline stages than layers.
+    TooManyStages {
+        /// Layers to split.
+        layers: usize,
+        /// Stage count requested.
+        pp: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::ZeroDegree => f.write_str("parallel degrees must be positive"),
+            TopologyError::TooFewGpus {
+                parallelism,
+                available,
+            } => write!(
+                f,
+                "{parallelism} needs {} GPUs but cluster has {available}",
+                parallelism.gpus()
+            ),
+            TopologyError::TooManyStages { layers, pp } => {
+                write!(f, "cannot split {layers} layers into {pp} stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// A (tensor-parallel, pipeline-parallel) degree pair — the paper's
 /// `(TP, PP)` tuples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -19,14 +65,22 @@ pub struct Parallelism {
 }
 
 impl Parallelism {
+    /// Typed variant of [`Parallelism::new`]: [`TopologyError::ZeroDegree`]
+    /// when either degree is zero.
+    pub fn try_new(tp: usize, pp: usize) -> Result<Self, TopologyError> {
+        if tp == 0 || pp == 0 {
+            return Err(TopologyError::ZeroDegree);
+        }
+        Ok(Parallelism { tp, pp })
+    }
+
     /// Creates a degree pair.
     ///
     /// # Panics
     ///
     /// Panics if either degree is zero.
     pub fn new(tp: usize, pp: usize) -> Self {
-        assert!(tp > 0 && pp > 0, "parallel degrees must be positive");
-        Parallelism { tp, pp }
+        Self::try_new(tp, pp).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Total GPUs required.
@@ -62,6 +116,18 @@ impl Placement {
 }
 
 impl ClusterSpec {
+    /// Typed variant of [`ClusterSpec::place`]:
+    /// [`TopologyError::TooFewGpus`] when the layout does not fit.
+    pub fn try_place(&self, parallelism: Parallelism) -> Result<Placement, TopologyError> {
+        if parallelism.gpus() > self.total_gpus() {
+            return Err(TopologyError::TooFewGpus {
+                parallelism,
+                available: self.total_gpus(),
+            });
+        }
+        Ok(self.place(parallelism))
+    }
+
     /// Places a parallelism layout on this cluster.
     ///
     /// # Panics
@@ -70,9 +136,11 @@ impl ClusterSpec {
     pub fn place(&self, parallelism: Parallelism) -> Placement {
         assert!(
             parallelism.gpus() <= self.total_gpus(),
-            "{parallelism} needs {} GPUs but cluster has {}",
-            parallelism.gpus(),
-            self.total_gpus()
+            "{}",
+            TopologyError::TooFewGpus {
+                parallelism,
+                available: self.total_gpus()
+            }
         );
         let gpn = self.machine.gpus;
         let tp_link = if parallelism.tp <= gpn {
@@ -108,10 +176,18 @@ impl ClusterSpec {
 ///
 /// Panics if `pp == 0` or `pp > layers`.
 pub fn layers_per_stage(layers: usize, pp: usize) -> Vec<usize> {
-    assert!(pp > 0 && pp <= layers, "cannot split {layers} layers into {pp} stages");
+    try_layers_per_stage(layers, pp).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Typed variant of [`layers_per_stage`]:
+/// [`TopologyError::TooManyStages`] when `pp == 0` or `pp > layers`.
+pub fn try_layers_per_stage(layers: usize, pp: usize) -> Result<Vec<usize>, TopologyError> {
+    if pp == 0 || pp > layers {
+        return Err(TopologyError::TooManyStages { layers, pp });
+    }
     let base = layers / pp;
     let extra = layers % pp;
-    (0..pp).map(|s| base + usize::from(s < extra)).collect()
+    Ok((0..pp).map(|s| base + usize::from(s < extra)).collect())
 }
 
 /// The first (global) layer index of each stage.
@@ -154,7 +230,10 @@ mod tests {
         let c = ClusterSpec::p3_cluster(4);
         let p = c.place(Parallelism::new(4, 4));
         assert_eq!(p.boundary_links.len(), 3);
-        assert!(p.boundary_links.iter().all(|l| l.kind == LinkKind::Ethernet));
+        assert!(p
+            .boundary_links
+            .iter()
+            .all(|l| l.kind == LinkKind::Ethernet));
 
         // TP=2, PP=2 on one node: boundary stays on NVLink.
         let c1 = ClusterSpec::p3_8xlarge();

@@ -6,10 +6,10 @@
 
 use actcomp_compress::cost::CostModel;
 use actcomp_compress::spec::CompressorSpec;
+use actcomp_distsim::workload::ModelShape;
 use actcomp_distsim::{
     calibration, simulate_iteration, ClusterSpec, CompressionPlan, Parallelism, TrainSetup,
 };
-use actcomp_distsim::workload::ModelShape;
 
 fn finetune(
     cluster: ClusterSpec,
@@ -72,7 +72,11 @@ fn print_main_table_rows() {
     for (tp, pp) in [(1, 4), (2, 2), (4, 1)] {
         print!("TP={tp} PP={pp}:");
         for s in [Baseline, A1, A2, T1, T4, R1, R4, Q1, Q2] {
-            print!(" {}={:.0}", s.label(), finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, s));
+            print!(
+                " {}={:.0}",
+                s.label(),
+                finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, s)
+            );
         }
         println!();
     }
@@ -80,7 +84,11 @@ fn print_main_table_rows() {
     for (tp, pp) in [(1, 4), (2, 2), (4, 1)] {
         print!("TP={tp} PP={pp}:");
         for s in [Baseline, A1, A2] {
-            print!(" {}={:.0}", s.label(), finetune(ClusterSpec::local_no_nvlink(), tp, pp, 32, 512, s));
+            print!(
+                " {}={:.0}",
+                s.label(),
+                finetune(ClusterSpec::local_no_nvlink(), tp, pp, 32, 512, s)
+            );
         }
         println!();
     }
@@ -99,9 +107,19 @@ fn table2_baselines_within_tolerance() {
     // Paper: 591.96, 440.71, 261.48.
     let cases = [((1, 4), 591.96), ((2, 2), 440.71), ((4, 1), 261.48)];
     for ((tp, pp), paper) in cases {
-        let ours = finetune(ClusterSpec::p3_8xlarge(), tp, pp, 32, 512, CompressorSpec::Baseline);
+        let ours = finetune(
+            ClusterSpec::p3_8xlarge(),
+            tp,
+            pp,
+            32,
+            512,
+            CompressorSpec::Baseline,
+        );
         let rel = (ours - paper).abs() / paper;
-        assert!(rel < 0.15, "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})");
+        assert!(
+            rel < 0.15,
+            "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})"
+        );
     }
 }
 
@@ -113,21 +131,52 @@ fn table3_no_nvlink_baselines_within_tolerance() {
     // asserted for that row, in `ae_speedup_shape_matches_paper`.)
     let cases = [((1, 4), 633.17), ((2, 2), 646.14)];
     for ((tp, pp), paper) in cases {
-        let ours = finetune(ClusterSpec::local_no_nvlink(), tp, pp, 32, 512, CompressorSpec::Baseline);
+        let ours = finetune(
+            ClusterSpec::local_no_nvlink(),
+            tp,
+            pp,
+            32,
+            512,
+            CompressorSpec::Baseline,
+        );
         let rel = (ours - paper).abs() / paper;
-        assert!(rel < 0.15, "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})");
+        assert!(
+            rel < 0.15,
+            "TP={tp},PP={pp}: {ours:.1} vs paper {paper} ({rel:.2})"
+        );
     }
 }
 
 #[test]
 fn ae_speedup_shape_matches_paper() {
     // No NVLink: AE wins (up to ~18% at TP=4); NVLink: no meaningful win.
-    let no_nv_base = finetune(ClusterSpec::local_no_nvlink(), 4, 1, 32, 512, CompressorSpec::Baseline);
-    let no_nv_a1 = finetune(ClusterSpec::local_no_nvlink(), 4, 1, 32, 512, CompressorSpec::A1);
+    let no_nv_base = finetune(
+        ClusterSpec::local_no_nvlink(),
+        4,
+        1,
+        32,
+        512,
+        CompressorSpec::Baseline,
+    );
+    let no_nv_a1 = finetune(
+        ClusterSpec::local_no_nvlink(),
+        4,
+        1,
+        32,
+        512,
+        CompressorSpec::A1,
+    );
     let speedup = no_nv_base / no_nv_a1;
     assert!(speedup > 1.08, "no-NVLink TP=4 AE speedup {speedup}");
 
-    let nv_base = finetune(ClusterSpec::p3_8xlarge(), 4, 1, 32, 512, CompressorSpec::Baseline);
+    let nv_base = finetune(
+        ClusterSpec::p3_8xlarge(),
+        4,
+        1,
+        32,
+        512,
+        CompressorSpec::Baseline,
+    );
     let nv_a1 = finetune(ClusterSpec::p3_8xlarge(), 4, 1, 32, 512, CompressorSpec::A1);
     assert!(
         nv_a1 > nv_base * 0.99,
@@ -168,5 +217,8 @@ fn pretrain_ae_and_topk_win_quant_loses() {
     assert!(q1 > base, "Q1 {q1} vs base {base}");
     // Takeaway 4: AE speedup up to ~16%.
     let speedup = base / a2;
-    assert!(speedup > 1.05 && speedup < 1.35, "pretrain AE speedup {speedup}");
+    assert!(
+        speedup > 1.05 && speedup < 1.35,
+        "pretrain AE speedup {speedup}"
+    );
 }

@@ -41,9 +41,12 @@ impl MpConfig {
     /// Panics if degrees don't divide the architecture.
     pub fn validate(&self) {
         self.bert.validate();
-        assert!(self.tp > 0 && self.pp > 0, "parallel degrees must be positive");
         assert!(
-            self.bert.heads % self.tp == 0,
+            self.tp > 0 && self.pp > 0,
+            "parallel degrees must be positive"
+        );
+        assert!(
+            self.bert.heads.is_multiple_of(self.tp),
             "{} heads not divisible by TP={}",
             self.bert.heads,
             self.tp
@@ -122,7 +125,10 @@ impl MpBert {
                         // weights) across workers; other compressors get
                         // independent streams.
                         let mut wrng = ChaCha8Rng::seed_from_u64(seed);
-                        wrap(spec.build(&mut wrng, n, h), spec != CompressorSpec::Baseline)
+                        wrap(
+                            spec.build(&mut wrng, n, h),
+                            spec != CompressorSpec::Baseline,
+                        )
                     })
                     .collect(),
             )
@@ -355,7 +361,11 @@ mod tests {
         let ids = [1usize; 8];
         let _ = mp.forward(&ids, 2, 4);
         let boundary_bytes = mp.boundaries[0].bytes();
-        assert!(boundary_bytes.ratio() > 2.0, "ratio {}", boundary_bytes.ratio());
+        assert!(
+            boundary_bytes.ratio() > 2.0,
+            "ratio {}",
+            boundary_bytes.ratio()
+        );
     }
 
     #[test]

@@ -185,14 +185,18 @@ mod tests {
 
     fn partials(seed: u64, world: usize, rows: usize, h: usize) -> Vec<Tensor> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..world).map(|_| init::randn(&mut rng, [rows, h], 1.0)).collect()
+        (0..world)
+            .map(|_| init::randn(&mut rng, [rows, h], 1.0))
+            .collect()
     }
 
     #[test]
     fn identity_reduce_is_exact_sum() {
         let ps = partials(0, 4, 3, 8);
         let mut reduce = CompressedAllReduce::new(
-            (0..4).map(|_| Box::new(Identity::new()) as Box<dyn Compressor>).collect(),
+            (0..4)
+                .map(|_| Box::new(Identity::new()) as Box<dyn Compressor>)
+                .collect(),
         );
         let (out, bytes) = reduce.forward(&ps);
         let mut expect = ps[0].clone();

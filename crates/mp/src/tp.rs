@@ -207,7 +207,7 @@ impl TpAttention {
     ) -> Self {
         assert_eq!(reduce.world(), world, "reduce world mismatch");
         assert!(
-            world > 0 && attn.heads() % world == 0,
+            world > 0 && attn.heads().is_multiple_of(world),
             "{} heads not divisible across {world} workers",
             attn.heads()
         );

@@ -58,7 +58,7 @@ impl MultiHeadAttention {
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn new(rng: &mut impl Rng, hidden: usize, heads: usize) -> Self {
         assert!(
-            heads > 0 && hidden % heads == 0,
+            heads > 0 && hidden.is_multiple_of(heads),
             "hidden {hidden} not divisible by {heads} heads"
         );
         MultiHeadAttention {
@@ -84,7 +84,10 @@ impl MultiHeadAttention {
             assert_eq!(l.fan_in(), h, "projection width mismatch");
             assert_eq!(l.fan_out(), h, "projection width mismatch");
         }
-        assert!(heads > 0 && h % heads == 0, "{h} not divisible by {heads} heads");
+        assert!(
+            heads > 0 && h.is_multiple_of(heads),
+            "{h} not divisible by {heads} heads"
+        );
         MultiHeadAttention {
             wq,
             wk,
@@ -347,18 +350,17 @@ mod tests {
         }
 
         let eps = 1e-2;
-        let num_tensors = grads.len();
-        for t in 0..num_tensors {
+        for (t, grad) in grads.iter().enumerate() {
             // Check a handful of entries per tensor to keep runtime modest.
-            let stride = (grads[t].len() / 4).max(1);
-            for j in (0..grads[t].len()).step_by(stride) {
+            let stride = (grad.len() / 4).max(1);
+            for j in (0..grad.len()).step_by(stride) {
                 bump(&mut attn, t, j, eps);
                 let lp = attn.forward(&x, 2, 2).mul(&dy).sum();
                 bump(&mut attn, t, j, -2.0 * eps);
                 let lm = attn.forward(&x, 2, 2).mul(&dy).sum();
                 bump(&mut attn, t, j, eps);
                 let fd = (lp - lm) / (2.0 * eps);
-                assert_close(grads[t][j], fd, 3e-2, &format!("attn param {t}[{j}]"));
+                assert_close(grad[j], fd, 3e-2, &format!("attn param {t}[{j}]"));
             }
         }
     }

@@ -178,8 +178,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.json");
 
-        Checkpoint::from_encoder(&mut original).save(&path).expect("save");
-        let mut restored = Checkpoint::load(&path).expect("load").into_encoder().expect("restore");
+        Checkpoint::from_encoder(&mut original)
+            .save(&path)
+            .expect("save");
+        let mut restored = Checkpoint::load(&path)
+            .expect("load")
+            .into_encoder()
+            .expect("restore");
         let ids = [5usize, 6, 7, 8];
         assert!(
             restored
@@ -196,10 +201,7 @@ mod tests {
         let mut original = BertEncoder::new(&mut rng, tiny());
         let mut ckpt = Checkpoint::from_encoder(&mut original);
         ckpt.params.pop();
-        assert!(matches!(
-            ckpt.into_encoder(),
-            Err(LoadError::Mismatch(_))
-        ));
+        assert!(matches!(ckpt.into_encoder(), Err(LoadError::Mismatch(_))));
     }
 
     #[test]

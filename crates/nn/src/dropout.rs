@@ -25,7 +25,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} not in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} not in [0, 1)"
+        );
         Dropout {
             p,
             training: true,

@@ -102,10 +102,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut emb = Embedding::new(&mut rng, 5, 3);
         let out = emb.forward(&[4, 0]);
-        assert_eq!(
-            &out.as_slice()[..3],
-            &emb.table.value.as_slice()[12..15]
-        );
+        assert_eq!(&out.as_slice()[..3], &emb.table.value.as_slice()[12..15]);
         assert_eq!(&out.as_slice()[3..], &emb.table.value.as_slice()[..3]);
     }
 

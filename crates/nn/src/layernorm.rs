@@ -52,9 +52,20 @@ impl LayerNorm {
 
 impl Layer for LayerNorm {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.rank(), 2, "LayerNorm input must be rank 2, got {}", x.shape());
+        assert_eq!(
+            x.rank(),
+            2,
+            "LayerNorm input must be rank 2, got {}",
+            x.shape()
+        );
         let n = self.features();
-        assert_eq!(x.dims()[1], n, "LayerNorm width {} != input width {}", n, x.dims()[1]);
+        assert_eq!(
+            x.dims()[1],
+            n,
+            "LayerNorm width {} != input width {}",
+            n,
+            x.dims()[1]
+        );
         let m = x.dims()[0];
         let (mean, var) = x.row_moments();
         let mut xhat = vec![0.0f32; m * n];
@@ -83,7 +94,10 @@ impl Layer for LayerNorm {
             .take()
             .expect("LayerNorm::backward called without forward");
         let (m, n) = (xhat.dims()[0], xhat.dims()[1]);
-        assert!(dy.shape().same_as(xhat.shape()), "LayerNorm dy shape mismatch");
+        assert!(
+            dy.shape().same_as(xhat.shape()),
+            "LayerNorm dy shape mismatch"
+        );
 
         // Parameter grads.
         self.gamma.grad.add_assign(&dy.mul(&xhat).sum_axis0());

@@ -53,11 +53,13 @@ pub mod transformer;
 
 pub use activation::{Gelu, Relu, Tanh};
 pub use attention::MultiHeadAttention;
+pub use checkpoint::Checkpoint;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
-pub use checkpoint::Checkpoint;
 pub use module::{Layer, Parameter};
 pub use schedule::LrSchedule;
-pub use transformer::{BertConfig, BertEncoder, ClassifierHead, EncoderLayer, FeedForward, MlmHead};
+pub use transformer::{
+    BertConfig, BertConfigError, BertEncoder, ClassifierHead, EncoderLayer, FeedForward, MlmHead,
+};

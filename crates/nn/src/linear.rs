@@ -82,7 +82,8 @@ impl Linear {
 
     /// Forward pass without caching (inference-only helper).
     pub fn apply(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 }
 

@@ -23,7 +23,12 @@ use actcomp_tensor::Tensor;
 /// assert!(loss < 1e-4); // confidently correct
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.rank(), 2, "logits must be rank 2, got {}", logits.shape());
+    assert_eq!(
+        logits.rank(),
+        2,
+        "logits must be rank 2, got {}",
+        logits.shape()
+    );
     let (n, c) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(labels.len(), n, "{} labels for {n} rows", labels.len());
     let probs = logits.softmax_rows();

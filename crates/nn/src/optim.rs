@@ -215,7 +215,10 @@ mod tests {
         a.grad = Tensor::from_vec(vec![3.0, 4.0], [2]);
         let norm = clip_global_norm(10.0, |f| f(&mut a));
         assert!((norm - 5.0).abs() < 1e-6);
-        assert!((a.grad.norm() - 5.0).abs() < 1e-6, "below threshold: untouched");
+        assert!(
+            (a.grad.norm() - 5.0).abs() < 1e-6,
+            "below threshold: untouched"
+        );
         let _ = clip_global_norm(1.0, |f| f(&mut a));
         assert!((a.grad.norm() - 1.0).abs() < 1e-5);
     }
@@ -258,7 +261,10 @@ mod tests {
             opt_plain.update(0, &mut plain);
             opt_mom.update(0, &mut mom);
         }
-        assert!(mom.value[0] < plain.value[0], "momentum should travel further");
+        assert!(
+            mom.value[0] < plain.value[0],
+            "momentum should travel further"
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn step_zero_is_step_one() {
-        let s = LrSchedule::Warmup { lr: 1.0, warmup: 10 };
+        let s = LrSchedule::Warmup {
+            lr: 1.0,
+            warmup: 10,
+        };
         assert_eq!(s.at(0), s.at(1));
     }
 

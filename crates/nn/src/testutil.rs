@@ -64,9 +64,8 @@ pub fn grad_check_layer<L: Layer>(
     let mut analytic: Vec<Tensor> = Vec::new();
     layer.visit_params(&mut |p| analytic.push(p.grad.clone()));
 
-    let num_tensors = analytic.len();
-    for t in 0..num_tensors {
-        for j in 0..analytic[t].len() {
+    for (t, grads) in analytic.iter().enumerate() {
+        for (j, &g) in grads.as_slice().iter().enumerate() {
             let fd = {
                 perturb(&mut layer, t, j, FD_EPS);
                 let lp = layer.forward(&x).mul(&dy).sum();
@@ -77,7 +76,7 @@ pub fn grad_check_layer<L: Layer>(
                 perturb(&mut layer, t, j, FD_EPS);
                 (lp - lm) / (2.0 * FD_EPS)
             };
-            assert_close(analytic[t][j], fd, tol, &format!("param {t} grad [{j}]"));
+            assert_close(g, fd, tol, &format!("param {t} grad [{j}]"));
         }
     }
 }

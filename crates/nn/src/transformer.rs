@@ -1,8 +1,39 @@
 //! BERT-style Transformer encoder built from the primitive layers.
 
-use crate::{Dropout, Embedding, Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Parameter, Tanh};
+use crate::{
+    Dropout, Embedding, Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Parameter, Tanh,
+};
 use actcomp_tensor::Tensor;
 use rand::Rng;
+
+/// An architecturally impossible [`BertConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BertConfigError {
+    /// Some hyper-parameter is zero.
+    ZeroField,
+    /// Attention cannot split the hidden width evenly across heads.
+    HiddenNotDivisibleByHeads {
+        /// Hidden width.
+        hidden: usize,
+        /// Head count.
+        heads: usize,
+    },
+}
+
+impl std::fmt::Display for BertConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BertConfigError::ZeroField => {
+                f.write_str("every architecture hyper-parameter must be positive")
+            }
+            BertConfigError::HiddenNotDivisibleByHeads { hidden, heads } => {
+                write!(f, "hidden {hidden} not divisible by heads {heads}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BertConfigError {}
 
 /// Hyper-parameters of a BERT-style encoder.
 ///
@@ -55,20 +86,37 @@ impl BertConfig {
         }
     }
 
+    /// Typed variant of [`BertConfig::validate`].
+    pub fn try_validate(&self) -> Result<(), BertConfigError> {
+        let fields = [
+            self.vocab,
+            self.hidden,
+            self.layers,
+            self.heads,
+            self.ff_hidden,
+            self.max_seq,
+        ];
+        if fields.contains(&0) {
+            return Err(BertConfigError::ZeroField);
+        }
+        if !self.hidden.is_multiple_of(self.heads) {
+            return Err(BertConfigError::HiddenNotDivisibleByHeads {
+                hidden: self.hidden,
+                heads: self.heads,
+            });
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
     /// Panics if `hidden` is not divisible by `heads` or any field is zero.
     pub fn validate(&self) {
-        assert!(self.vocab > 0 && self.hidden > 0 && self.layers > 0 && self.heads > 0);
-        assert!(
-            self.hidden % self.heads == 0,
-            "hidden {} not divisible by heads {}",
-            self.hidden,
-            self.heads
-        );
-        assert!(self.ff_hidden > 0 && self.max_seq > 0);
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 
     /// Approximate parameter count of the encoder (embeddings + layers).
@@ -111,7 +159,11 @@ impl FeedForward {
     ///
     /// Panics if the projections' widths don't chain.
     pub fn from_parts(fc1: Linear, fc2: Linear) -> Self {
-        assert_eq!(fc1.fan_out(), fc2.fan_in(), "feed-forward widths don't chain");
+        assert_eq!(
+            fc1.fan_out(),
+            fc2.fan_in(),
+            "feed-forward widths don't chain"
+        );
         FeedForward {
             fc1,
             fc2,
@@ -277,7 +329,12 @@ impl BertEncoder {
     /// Panics if `ids.len() != batch * seq` or `seq > max_seq`.
     pub fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
         assert_eq!(ids.len(), batch * seq, "ids length != batch*seq");
-        assert!(seq <= self.config.max_seq, "seq {} > max_seq {}", seq, self.config.max_seq);
+        assert!(
+            seq <= self.config.max_seq,
+            "seq {} > max_seq {}",
+            seq,
+            self.config.max_seq
+        );
         let tok = self.tok.forward(ids);
         let pos_ids: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
         let pos = self.pos.forward(&pos_ids);

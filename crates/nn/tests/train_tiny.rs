@@ -6,7 +6,12 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Label = whether token `7` appears in the sequence.
-fn make_batch(rng: &mut ChaCha8Rng, batch: usize, seq: usize, vocab: usize) -> (Vec<usize>, Vec<usize>) {
+fn make_batch(
+    rng: &mut ChaCha8Rng,
+    batch: usize,
+    seq: usize,
+    vocab: usize,
+) -> (Vec<usize>, Vec<usize>) {
     let mut ids = Vec::with_capacity(batch * seq);
     let mut labels = Vec::with_capacity(batch);
     for _ in 0..batch {
@@ -67,13 +72,6 @@ fn tiny_bert_learns_token_detection() {
     let hidden = model.forward(&ids, 64, seq);
     let logits = head.forward(&hidden, 64, seq);
     let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(&labels)
-        .filter(|(p, l)| p == l)
-        .count();
-    assert!(
-        correct >= 52,
-        "held-out accuracy too low: {correct}/64"
-    );
+    let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+    assert!(correct >= 52, "held-out accuracy too low: {correct}/64");
 }

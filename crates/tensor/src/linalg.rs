@@ -27,7 +27,12 @@ use crate::Tensor;
 /// assert!((sv[0] - 4.0).abs() < 1e-5 && (sv[1] - 3.0).abs() < 1e-5);
 /// ```
 pub fn singular_values(a: &Tensor) -> Vec<f32> {
-    assert_eq!(a.rank(), 2, "singular_values requires rank 2, got {}", a.shape());
+    assert_eq!(
+        a.rank(),
+        2,
+        "singular_values requires rank 2, got {}",
+        a.shape()
+    );
     // Work on the orientation with fewer columns: SVD(A) == SVD(Aᵀ).
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let work = if n <= m { a.clone() } else { a.transpose2() };
@@ -47,10 +52,10 @@ pub fn singular_values(a: &Tensor) -> Vec<f32> {
         for p in 0..n {
             for q in (p + 1)..n {
                 let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
-                for i in 0..m {
-                    app += cols[p][i] * cols[p][i];
-                    aqq += cols[q][i] * cols[q][i];
-                    apq += cols[p][i] * cols[q][i];
+                for (&vp, &vq) in cols[p].iter().zip(cols[q].iter()) {
+                    app += vp * vp;
+                    aqq += vq * vq;
+                    apq += vp * vq;
                 }
                 if apq * apq <= thresh * app.max(1e-300) * aqq.max(1e-300) {
                     continue;
@@ -60,11 +65,11 @@ pub fn singular_values(a: &Tensor) -> Vec<f32> {
                 let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
-                for i in 0..m {
-                    let vp = cols[p][i];
-                    let vq = cols[q][i];
-                    cols[p][i] = c * vp - s * vq;
-                    cols[q][i] = s * vp + c * vq;
+                let (head, tail) = cols.split_at_mut(q);
+                for (vp, vq) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                    let (a, b) = (*vp, *vq);
+                    *vp = c * a - s * b;
+                    *vq = s * a + c * b;
                 }
             }
         }
@@ -179,8 +184,16 @@ mod tests {
         let full = init::randn(&mut rng, [20, 20], 1.0);
         let low_curve = cumulative_energy(&singular_values(&low));
         let full_curve = cumulative_energy(&singular_values(&full));
-        assert!(low_curve[1] > 0.99, "rank-2 energy at k=2: {}", low_curve[1]);
-        assert!(full_curve[1] < 0.4, "dense energy at k=2: {}", full_curve[1]);
+        assert!(
+            low_curve[1] > 0.99,
+            "rank-2 energy at k=2: {}",
+            low_curve[1]
+        );
+        assert!(
+            full_curve[1] < 0.4,
+            "dense energy at k=2: {}",
+            full_curve[1]
+        );
         assert!(effective_rank(&singular_values(&low), 0.9) <= 2);
         assert!(effective_rank(&singular_values(&full), 0.9) > 10);
     }

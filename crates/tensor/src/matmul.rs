@@ -110,18 +110,26 @@ impl Tensor {
     ///
     /// Panics if either tensor is not rank 3 or batch/inner dims disagree.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 3, "bmm lhs must be rank 3, got {}", self.shape());
-        assert_eq!(other.rank(), 3, "bmm rhs must be rank 3, got {}", other.shape());
+        assert_eq!(
+            self.rank(),
+            3,
+            "bmm lhs must be rank 3, got {}",
+            self.shape()
+        );
+        assert_eq!(
+            other.rank(),
+            3,
+            "bmm rhs must be rank 3, got {}",
+            other.shape()
+        );
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
         assert_eq!(b, b2, "bmm batch dims {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims {k} vs {k2}");
         let mut out = Vec::with_capacity(b * m * n);
         for t in 0..b {
-            let lhs = Tensor::from_vec(
-                self.as_slice()[t * m * k..(t + 1) * m * k].to_vec(),
-                [m, k],
-            );
+            let lhs =
+                Tensor::from_vec(self.as_slice()[t * m * k..(t + 1) * m * k].to_vec(), [m, k]);
             let rhs = Tensor::from_vec(
                 other.as_slice()[t * k * n..(t + 1) * k * n].to_vec(),
                 [k, n],
@@ -143,7 +151,13 @@ impl Tensor {
         let a = self.as_slice();
         let x = v.as_slice();
         let out = (0..m)
-            .map(|i| a[i * k..(i + 1) * k].iter().zip(x).map(|(&p, &q)| p * q).sum())
+            .map(|i| {
+                a[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(x)
+                    .map(|(&p, &q)| p * q)
+                    .sum()
+            })
             .collect();
         Tensor::from_vec(out, [m])
     }

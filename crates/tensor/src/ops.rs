@@ -4,7 +4,7 @@
 use crate::Tensor;
 
 /// `sqrt(2/pi)` constant used by the tanh GELU approximation.
-const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
 
 /// Gaussian error linear unit, tanh approximation (the variant used by BERT
 /// and Megatron-LM).
@@ -42,7 +42,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn softmax_rows(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "softmax_rows requires rank 2, got {}", self.shape());
+        assert_eq!(
+            self.rank(),
+            2,
+            "softmax_rows requires rank 2, got {}",
+            self.shape()
+        );
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -72,7 +77,10 @@ impl Tensor {
     /// Panics on rank or shape mismatch.
     pub fn softmax_rows_backward(probs: &Tensor, dprobs: &Tensor) -> Tensor {
         assert_eq!(probs.rank(), 2, "softmax backward requires rank 2");
-        assert!(probs.shape().same_as(dprobs.shape()), "softmax backward shape mismatch");
+        assert!(
+            probs.shape().same_as(dprobs.shape()),
+            "softmax backward shape mismatch"
+        );
         let (m, n) = (probs.dims()[0], probs.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {

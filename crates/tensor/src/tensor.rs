@@ -95,9 +95,9 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at each flat index.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { data, shape }
     }
 
@@ -204,7 +204,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2.
     pub fn transpose2(&self) -> Self {
-        assert_eq!(self.rank(), 2, "transpose2 requires rank 2, got {}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose2 requires rank 2, got {}",
+            self.shape
+        );
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0; m * n];
         for i in 0..m {
@@ -292,7 +297,10 @@ impl Tensor {
     pub fn split_cols(&self, k: usize) -> Vec<Tensor> {
         assert_eq!(self.rank(), 2, "split_cols requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        assert!(k > 0 && n % k == 0, "{n} columns not divisible into {k} blocks");
+        assert!(
+            k > 0 && n % k == 0,
+            "{n} columns not divisible into {k} blocks"
+        );
         let w = n / k;
         (0..k)
             .map(|b| {
@@ -312,9 +320,14 @@ impl Tensor {
     /// Panics if the first dimension is not divisible by `k`.
     pub fn split_rows(&self, k: usize) -> Vec<Tensor> {
         let d0 = self.shape.dim(0);
-        assert!(k > 0 && d0 % k == 0, "{d0} rows not divisible into {k} blocks");
+        assert!(
+            k > 0 && d0.is_multiple_of(k),
+            "{d0} rows not divisible into {k} blocks"
+        );
         let h = d0 / k;
-        (0..k).map(|b| self.slice_rows(b * h, (b + 1) * h)).collect()
+        (0..k)
+            .map(|b| self.slice_rows(b * h, (b + 1) * h))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -538,8 +551,8 @@ impl Tensor {
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data[i * n + j];
+            for (j, acc) in out.iter_mut().enumerate() {
+                *acc += self.data[i * n + j];
             }
         }
         Tensor::from_vec(out, [n])
@@ -554,8 +567,8 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "sum_axis1 requires rank 2");
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0; m];
-        for i in 0..m {
-            out[i] = self.data[i * n..(i + 1) * n].iter().sum();
+        for (i, acc) in out.iter_mut().enumerate() {
+            *acc = self.data[i * n..(i + 1) * n].iter().sum();
         }
         Tensor::from_vec(out, [m])
     }

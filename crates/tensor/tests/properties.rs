@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy producing a tensor of the given shape with bounded finite values.
 fn tensor_of(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, m * n)
-        .prop_map(move |v| Tensor::from_vec(v, [m, n]))
+    proptest::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| Tensor::from_vec(v, [m, n]))
 }
 
 proptest! {

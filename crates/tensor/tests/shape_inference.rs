@@ -1,0 +1,113 @@
+//! Property tests pinning the shape algebra to the ops themselves: the
+//! output shape every `Shape`-level rule predicts must be the shape the
+//! kernel actually produces. This is the ground truth `actcomp-check`'s
+//! static shape pass relies on.
+
+use actcomp_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_of(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, m * n).prop_map(move |v| Tensor::from_vec(v, [m, n]))
+}
+
+fn dims_of(t: &Tensor) -> Vec<usize> {
+    t.shape().dims().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_output_shape_is_m_by_n(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                                     s in -2.0f32..2.0) {
+        let a = Tensor::ones([m, k]).scale(s);
+        let b = Tensor::ones([k, n]);
+        let ab = a.matmul(&b);
+        prop_assert_eq!(dims_of(&ab), vec![m, n]);
+    }
+
+    #[test]
+    fn matmul_tn_output_shape(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        // Aᵀ B with A: [k, m], B: [k, n] → [m, n].
+        let a = Tensor::ones([k, m]);
+        let b = Tensor::ones([k, n]);
+        let tn = a.matmul_tn(&b);
+        prop_assert_eq!(dims_of(&tn), vec![m, n]);
+    }
+
+    #[test]
+    fn matmul_nt_output_shape(m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        // A Bᵀ with A: [m, k], B: [n, k] → [m, n].
+        let a = Tensor::ones([m, k]);
+        let b = Tensor::ones([n, k]);
+        let nt = a.matmul_nt(&b);
+        prop_assert_eq!(dims_of(&nt), vec![m, n]);
+    }
+
+    #[test]
+    fn transpose_swaps_dims(a in tensor_of(3, 5)) {
+        let t = a.transpose2();
+        prop_assert_eq!(dims_of(&t), vec![5, 3]);
+    }
+
+    #[test]
+    fn elementwise_ops_preserve_shape(a in tensor_of(4, 6), b in tensor_of(4, 6),
+                                      s in -3.0f32..3.0) {
+        let dims = dims_of(&a);
+        let sum = a.add(&b);
+        let diff = a.sub(&b);
+        let scaled = a.scale(s);
+        let soft = a.softmax_rows();
+        prop_assert_eq!(dims_of(&sum), dims.clone());
+        prop_assert_eq!(dims_of(&diff), dims.clone());
+        prop_assert_eq!(dims_of(&scaled), dims.clone());
+        prop_assert_eq!(dims_of(&soft), dims);
+    }
+
+    #[test]
+    fn split_cols_shapes(parts in prop::sample::select(vec![1usize, 2, 3, 6]),
+                         a in tensor_of(4, 6)) {
+        let split = a.split_cols(parts);
+        prop_assert_eq!(split.len(), parts);
+        for part in &split {
+            prop_assert_eq!(dims_of(part), vec![4, 6 / parts]);
+        }
+        let refs: Vec<&Tensor> = split.iter().collect();
+        let joined = Tensor::concat_cols(&refs);
+        prop_assert_eq!(dims_of(&joined), dims_of(&a));
+    }
+
+    #[test]
+    fn split_rows_shapes(parts in prop::sample::select(vec![1usize, 2, 3, 6]),
+                         a in tensor_of(6, 4)) {
+        let split = a.split_rows(parts);
+        prop_assert_eq!(split.len(), parts);
+        for part in &split {
+            prop_assert_eq!(dims_of(part), vec![6 / parts, 4]);
+        }
+        let refs: Vec<&Tensor> = split.iter().collect();
+        let joined = Tensor::concat_rows(&refs);
+        prop_assert_eq!(dims_of(&joined), dims_of(&a));
+    }
+
+    #[test]
+    fn reshape_shape_and_len(a in tensor_of(4, 6)) {
+        let len = a.shape().len();
+        let b = a.reshape([2, 12]);
+        prop_assert_eq!(dims_of(&b), vec![2, 12]);
+        prop_assert_eq!(b.shape().len(), len);
+        let flat = b.reshape([24]);
+        prop_assert_eq!(dims_of(&flat), vec![24]);
+    }
+
+    #[test]
+    fn strides_and_offset_agree_with_len(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let s = Shape::new(vec![d0, d1, d2]);
+        // Walking every axis to its last index lands on the last element.
+        prop_assert_eq!(s.offset(&[d0 - 1, d1 - 1, d2 - 1]), s.len() - 1);
+        // The outermost stride spans everything below it.
+        let strides = s.strides();
+        prop_assert_eq!(strides[0] * d0, s.len());
+        prop_assert_eq!(strides[2], 1);
+    }
+}

@@ -31,7 +31,12 @@ fn main() {
         steps
     );
 
-    for spec in [CompressorSpec::Baseline, CompressorSpec::A2, CompressorSpec::T2, CompressorSpec::Q2] {
+    for spec in [
+        CompressorSpec::Baseline,
+        CompressorSpec::A2,
+        CompressorSpec::T2,
+        CompressorSpec::Q2,
+    ] {
         let mut cfg = AccuracyConfig::paper_default().with_spec(spec);
         cfg.steps = steps;
         let start = std::time::Instant::now();

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(300);
 
     for spec in [CompressorSpec::Baseline, CompressorSpec::A2] {
-        println!("=== pre-training with {} for {steps} steps ===", spec.label());
+        println!(
+            "=== pre-training with {} for {steps} steps ===",
+            spec.label()
+        );
         let mut pre_cfg = AccuracyConfig::paper_default().with_spec(spec);
         pre_cfg.lr = 5e-4;
         let start = std::time::Instant::now();

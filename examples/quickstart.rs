@@ -54,7 +54,10 @@ fn main() {
     //    paper's fine-tuning setup on both machines.
     println!("\nSimulated BERT-Large fine-tune iteration (TP=2, PP=2, b=32, s=512):\n");
     println!("{:16} {:>14} {:>14}", "machine", "w/o (ms)", "A1 (ms)");
-    for (name, machine) in [("NVLink", Machine::AwsP3), ("no NVLink", Machine::LocalPcie)] {
+    for (name, machine) in [
+        ("NVLink", Machine::AwsP3),
+        ("no NVLink", Machine::LocalPcie),
+    ] {
         let base = finetune_breakdown(machine, 2, 2, 32, 512, CompressorSpec::Baseline);
         let a1 = finetune_breakdown(machine, 2, 2, 32, 512, CompressorSpec::A1);
         println!(

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --release --example scaling_analysis`
 
-use actcomp::perfmodel::scaling::{paper_bandwidth_elems, table10_configs, AE_DIM, MICRO_BATCH, SEQ};
+use actcomp::perfmodel::scaling::{
+    paper_bandwidth_elems, table10_configs, AE_DIM, MICRO_BATCH, SEQ,
+};
 use actcomp::perfmodel::{weak_scaling, PerfCoefficients};
 
 fn main() {
@@ -12,7 +14,10 @@ fn main() {
     // 1. Fixed cluster: the speedup from compression decays as hidden
     //    size grows (Eq. 2's asymptotics).
     println!("Single tensor-parallel group (Eq. 2): speedup T / T_AE\n");
-    println!("{:>8} {:>10} {:>12} {:>10}", "hidden", "T (ms)", "T_AE (ms)", "speedup");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "hidden", "T (ms)", "T_AE (ms)", "speedup"
+    );
     for h in [1024usize, 2048, 4096, 8192, 16384, 32768] {
         let e = (AE_DIM * h / 1024).max(1);
         let t = coeffs.layer_time(MICRO_BATCH, SEQ, h);

@@ -1,4 +1,5 @@
 //! Facade crate re-exporting the actcomp workspace.
+pub use actcomp_check as check;
 pub use actcomp_compress as compress;
 pub use actcomp_core as core;
 pub use actcomp_data as data;

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests exercising the public API end to end at
 //! test-friendly scales.
 
-use actcomp::compress::spec::CompressorSpec;
 use actcomp::compress::plan::CompressionPlan;
+use actcomp::compress::spec::CompressorSpec;
 use actcomp::core::throughput::{finetune_breakdown, pretrain_breakdown, Machine};
 use actcomp::core::{accuracy, AccuracyConfig};
 use actcomp::data::GlueTask;
@@ -136,7 +136,9 @@ fn mp_model_statistics_match_serial() {
     let mut mp = MpBert::from_serial(&serial, cfg, &mut rng2);
     assert_eq!(mp.num_params(), serial.num_params());
     let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
-    let diff = mp.forward(&ids, 2, 4).max_abs_diff(&serial.forward(&ids, 2, 4));
+    let diff = mp
+        .forward(&ids, 2, 4)
+        .max_abs_diff(&serial.forward(&ids, 2, 4));
     assert!(diff < 1e-4, "serial/MP divergence {diff}");
 }
 

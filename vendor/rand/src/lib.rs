@@ -1,0 +1,333 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `rand` it actually uses: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits, uniform range and Bernoulli
+//! sampling, slice shuffling, and `seq::index::sample`. Algorithms are
+//! simple and deterministic; they do not reproduce upstream `rand`'s
+//! exact streams, which no test in this repository depends on.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from their "natural" domain
+/// (`rand`'s `Standard` distribution): full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value over the type's natural domain (see
+    /// [`StandardSample`]).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        <f64 as StandardSample>::sample(self) < p
+    }
+
+    /// Fills `dest` with random bytes (alias of
+    /// [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same scheme
+    /// `rand_core` uses) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sequence-related helpers (`rand::seq` subset).
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Index sampling without replacement (`rand::seq::index` subset).
+    pub mod index {
+        use super::super::Rng;
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterates over the indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length`, uniformly,
+        /// via a partial Fisher–Yates pass.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut idx: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                idx.swap(i, j);
+            }
+            idx.truncate(amount);
+            IndexVec(idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Lcg(7);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f32 = r.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let i: i64 = r.gen_range(-10i64..=10);
+            assert!((-10..=10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_unit() {
+        let mut r = Lcg(3);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let f: f32 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_returns_distinct_indices() {
+        let mut r = Lcg(11);
+        let got = seq::index::sample(&mut r, 10, 4).into_vec();
+        assert_eq!(got.len(), 4);
+        let set: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert!(got.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use seq::SliceRandom;
+        let mut r = Lcg(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

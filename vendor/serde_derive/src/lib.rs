@@ -1,0 +1,376 @@
+//! Offline vendored `derive(Serialize, Deserialize)` for the vendored
+//! `serde` value model.
+//!
+//! Parses the deriving item with a small hand-rolled token walker (no
+//! `syn`/`quote` available offline) and emits impls of
+//! `serde::Serialize::to_value` / `serde::Deserialize::from_value`. The
+//! encoding matches what real serde_json produces for the shapes this
+//! workspace uses: structs with named fields, and enums with unit,
+//! newtype/tuple, and struct variants — no generics, no `#[serde]`
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+/// A named field; `optional` fields (type `Option<...>`) read missing JSON
+/// keys as `null` instead of erroring.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    optional: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(crate)`), returning the next meaningful token.
+fn next_meaningful(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Option<TokenTree> {
+    loop {
+        match iter.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Swallow the bracket group of the attribute.
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute brackets after `#`, got {other:?}"),
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Swallow a possible restriction like `(crate)`.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            other => return Some(other),
+        }
+    }
+}
+
+/// Parses `name: Type,` sequences from the tokens of a brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut iter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    while let Some(tok) = next_meaningful(&mut iter) {
+        let name = match tok {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type — but note whether it starts with `Option` —
+        // consuming until a comma at angle-bracket depth 0.
+        let mut optional = false;
+        let mut first_type_token = true;
+        let mut depth: i32 = 0;
+        for t in iter.by_ref() {
+            match t {
+                TokenTree::Ident(ref id) if first_type_token => {
+                    optional = id.to_string() == "Option";
+                }
+                TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            first_type_token = false;
+        }
+        fields.push(Field { name, optional });
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated items in a paren group
+/// (tuple-variant field count).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_any = false;
+    let mut depth: i32 = 0;
+    for t in group {
+        saw_any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let keyword = match next_meaningful(&mut iter) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) on generic type `{name}` is not supported by the vendored serde");
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("tuple struct `{name}` is not supported by the vendored serde derive")
+        }
+        other => panic!("expected body of `{name}`, got {other:?}"),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut iter = body.into_iter().peekable();
+            while let Some(tok) = next_meaningful(&mut iter) {
+                let vname = match tok {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("expected variant name, got {other:?}"),
+                };
+                let kind = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        VariantKind::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        iter.next();
+                        VariantKind::Struct(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Swallow the trailing comma, if any.
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == ',' {
+                        iter.next();
+                    }
+                }
+                variants.push((vname, kind));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive Serialize/Deserialize for `{other}` item"),
+    }
+}
+
+fn binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let bs = binders(*n);
+                        let items: Vec<String> = bs
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Arr(vec![{}]))]),",
+                            bs.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(vec![{}]))]),",
+                            names.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Field initializer inside a deserialized struct literal. Optional fields
+/// fall back to `null` (→ `None`) when the key is missing.
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.optional {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(::serde::obj_get_opt(entries, \"{name}\"))?"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(::serde::obj_get(entries, \"{name}\")?)?"
+        )
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = v.as_obj().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&items[{i}])?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let items = payload.as_arr().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected array payload for variant {v}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::custom(\
+                                         format!(\"variant {v} expects {n} values, got {{}}\", items.len())));\n\
+                                 }}\n\
+                                 return Ok({name}::{v}({}));\n\
+                             }}",
+                            gets.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields.iter().map(field_init).collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let entries = payload.as_obj().ok_or_else(|| ::serde::Error::custom(\
+                                     \"expected object payload for variant {v}\"))?;\n\
+                                 return Ok({name}::{v} {{ {} }});\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{\n{unit}\n_ => {{}}\n}}\n\
+                             return Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{s}}`\")));\n\
+                         }}\n\
+                         if let Some(entries) = v.as_obj() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n{data}\n_ => {{}}\n}}\n\
+                                 return Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{tag}}`\")));\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(\
+                             format!(\"expected {name} variant, got {{}}\", v.kind())))\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
