@@ -1,9 +1,9 @@
 //! The stable diagnostic-code registry.
 //!
 //! Codes are grouped by check pass: `AC00xx` shape algebra, `AC01xx`
-//! compression-plan placement, `AC02xx` schedule/topology/memory. Codes
-//! are append-only — once published in a diagnostic they keep their
-//! meaning so scripts can match on them.
+//! compression-plan placement, `AC02xx` schedule/topology/memory,
+//! `AC03xx` execution runtime. Codes are append-only — once published
+//! in a diagnostic they keep their meaning so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
 pub const HIDDEN_NOT_DIVISIBLE_BY_HEADS: &str = "AC0001";
@@ -46,6 +46,15 @@ pub const MALFORMED_CUSTOM_ORDER: &str = "AC0205";
 pub const TP_SPANS_NODES: &str = "AC0206";
 /// Unknown cluster preset or schedule kind.
 pub const UNKNOWN_PRESET_OR_KIND: &str = "AC0207";
+
+/// Unknown execution backend (not `threads` or `serial`).
+pub const UNKNOWN_BACKEND: &str = "AC0301";
+/// Thread count disagrees with the model-parallel world size.
+pub const THREADS_NOT_WORLD: &str = "AC0302";
+/// Runtime micro-batch count does not divide the batch.
+pub const MICROBATCH_NOT_DIVIDING_BATCH: &str = "AC0303";
+/// Rank map is not a bijection over `0..tp*pp`.
+pub const RANK_MAP_NOT_BIJECTION: &str = "AC0304";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -150,6 +159,26 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             UNKNOWN_PRESET_OR_KIND,
             "unknown cluster preset or schedule kind",
+            false,
+        ),
+        row(
+            UNKNOWN_BACKEND,
+            "unknown execution backend (known: threads, serial)",
+            false,
+        ),
+        row(
+            THREADS_NOT_WORLD,
+            "thread count disagrees with tp x pp world size",
+            false,
+        ),
+        row(
+            MICROBATCH_NOT_DIVIDING_BATCH,
+            "runtime micro-batch count does not divide the batch",
+            false,
+        ),
+        row(
+            RANK_MAP_NOT_BIJECTION,
+            "rank map is not a bijection over 0..tp*pp",
             false,
         ),
     ]

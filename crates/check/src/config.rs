@@ -106,6 +106,43 @@ pub struct MemorySection {
     pub device_gb: f64,
 }
 
+/// Execution-backend selection for `actcomp-runtime`.
+///
+/// Absent means "serial executor, whole-batch steps" — the historical
+/// behaviour — so existing configs keep validating unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeSection {
+    /// Execution backend: `threads` (one OS thread per rank) or `serial`.
+    pub backend: String,
+    /// Worker-thread count; when given it must equal `tp * pp` (the
+    /// threaded engine spawns exactly one thread per rank).
+    pub threads: Option<usize>,
+    /// Micro-batches per engine step (omitted: 1); must divide
+    /// `batch.micro_batch`.
+    pub micro_batches: Option<usize>,
+    /// Optional rank→thread placement; must be a bijection over
+    /// `0..tp*pp`.
+    pub rank_map: Option<Vec<usize>>,
+}
+
+impl RuntimeSection {
+    /// The threaded-backend default: thread count inferred from the
+    /// parallelism degrees, one micro-batch, identity placement.
+    pub fn threads_default() -> Self {
+        RuntimeSection {
+            backend: "threads".to_string(),
+            threads: None,
+            micro_batches: None,
+            rank_map: None,
+        }
+    }
+
+    /// Micro-batches per engine step after defaulting (omitted means 1).
+    pub fn micro_batches(&self) -> usize {
+        self.micro_batches.unwrap_or(1)
+    }
+}
+
 /// A complete, statically checkable experiment description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -123,6 +160,8 @@ pub struct ExperimentConfig {
     pub plan: PlanSection,
     /// Device memory budget.
     pub memory: MemorySection,
+    /// Execution backend (absent: serial executor, whole-batch steps).
+    pub runtime: Option<RuntimeSection>,
 }
 
 impl ExperimentConfig {
@@ -161,6 +200,7 @@ impl ExperimentConfig {
                 error_feedback: false,
             },
             memory: MemorySection { device_gb: 16.0 },
+            runtime: None,
         }
     }
 
@@ -277,6 +317,25 @@ mod tests {
         assert_eq!(cfg, ExperimentConfig::paper_default());
         assert_eq!(cfg.plan.start_layer, None);
         assert_eq!(cfg.plan.claimed_ratio, None);
+    }
+
+    #[test]
+    fn runtime_section_defaults_and_round_trips() {
+        // Absent section: old documents keep parsing, field stays None.
+        let cfg = ExperimentConfig::paper_default();
+        assert_eq!(cfg.runtime, None);
+
+        let mut cfg = cfg;
+        cfg.runtime = Some(RuntimeSection::threads_default());
+        let back = ExperimentConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+
+        // micro_batches defaults to 1 when omitted from the document.
+        let json = r#"{"backend": "threads"}"#;
+        let section: RuntimeSection = serde_json::from_str(json).unwrap();
+        assert_eq!(section.micro_batches(), 1);
+        assert_eq!(section.threads, None);
+        assert_eq!(section.rank_map, None);
     }
 
     #[test]

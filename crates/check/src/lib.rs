@@ -24,12 +24,13 @@ pub mod codes;
 pub mod config;
 pub mod diagnostics;
 pub mod plan;
+pub mod runtime;
 pub mod schedule;
 pub mod shape;
 
 pub use config::{
     resolve_spec_label, BatchSection, ClusterSection, ExperimentConfig, MemorySection,
-    ModelSection, OpSpec, ParallelismSection, PlanSection, ScheduleSection,
+    ModelSection, OpSpec, ParallelismSection, PlanSection, RuntimeSection, ScheduleSection,
 };
 pub use diagnostics::{render_report, Diagnostic, Diagnostics, Severity};
 pub use shape::{shape_trace, ShapeStep};
@@ -50,12 +51,14 @@ impl std::fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// Runs every check pass, returning all findings in pass order
-/// (shape, plan, schedule). An empty vector means the config is clean.
+/// (shape, plan, schedule, runtime). An empty vector means the config
+/// is clean.
 pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     let mut diags = Diagnostics::new();
     shape::check_shapes(cfg, &mut diags);
     plan::check_plan(cfg, &mut diags);
     schedule::check_schedule(cfg, &mut diags);
+    runtime::check_runtime(cfg, &mut diags);
     diags.into_vec()
 }
 
@@ -106,9 +109,12 @@ mod tests {
         cfg.parallelism.tp = 3; // shape: AC0002 + AC0003 (+ AC0007 warning)
         cfg.plan.spec = "Z9".to_string(); // plan: AC0102
         cfg.cluster.preset = "dgx".to_string(); // schedule: AC0207
+        let mut rt = RuntimeSection::threads_default();
+        rt.backend = "mpi".to_string(); // runtime: AC0301
+        cfg.runtime = Some(rt);
         let diags = check(&cfg);
         let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
-        for expected in ["AC0002", "AC0003", "AC0102", "AC0207"] {
+        for expected in ["AC0002", "AC0003", "AC0102", "AC0207", "AC0301"] {
             assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
         }
         let err = validate(&cfg).unwrap_err();

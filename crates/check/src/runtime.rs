@@ -1,0 +1,262 @@
+//! Execution-backend checks (`AC0301`–`AC0304`).
+//!
+//! The threaded engine (`actcomp-runtime`) has its own structural
+//! invariants on top of the shape/plan/schedule algebra: the backend
+//! label must resolve, the thread count must equal the model-parallel
+//! world size `tp * pp` (one OS thread per rank), the engine's
+//! micro-batch count must divide the batch it slices, and any explicit
+//! rank placement must be a bijection so every rank runs exactly once.
+//! All of these die as mid-run panics (or deadlocks) in the engine; the
+//! checker turns them into diagnostics first.
+
+use crate::codes;
+use crate::config::ExperimentConfig;
+use crate::diagnostics::{Diagnostic, Diagnostics};
+
+/// Backend labels the `run` entry point accepts.
+pub const KNOWN_BACKENDS: [&str; 2] = ["threads", "serial"];
+
+/// The execution-runtime pass. A config without a `runtime` section is
+/// vacuously clean — it runs on the serial executor.
+pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    let Some(rt) = &cfg.runtime else {
+        return;
+    };
+    let tp = cfg.parallelism.tp;
+    let pp = cfg.parallelism.pp;
+    let world = tp * pp;
+
+    // --- backend label (AC0301) ----------------------------------------
+    if !KNOWN_BACKENDS.contains(&rt.backend.as_str()) {
+        diags.push(
+            Diagnostic::error(
+                codes::UNKNOWN_BACKEND,
+                "runtime.backend",
+                format!("unknown execution backend `{}`", rt.backend),
+            )
+            .with_help("known backends: threads, serial"),
+        );
+    }
+
+    // --- thread count (AC0302) -----------------------------------------
+    // The threaded engine spawns exactly one OS thread per rank, so an
+    // explicit count must match the world size. The serial backend runs
+    // everything on one thread; a mismatched count there is equally a
+    // config error (the field means "rank threads", not a thread pool).
+    if let Some(threads) = rt.threads {
+        if world > 0 && threads != world {
+            diags.push(
+                Diagnostic::error(
+                    codes::THREADS_NOT_WORLD,
+                    "runtime.threads",
+                    format!(
+                        "runtime.threads = {threads} but tp={tp} x pp={pp} \
+                         needs exactly {world} rank threads"
+                    ),
+                )
+                .with_help("omit runtime.threads to infer it from the degrees"),
+            );
+        }
+    }
+
+    // --- micro-batch divisibility (AC0303) -----------------------------
+    let m = rt.micro_batches();
+    let batch = cfg.batch.micro_batch;
+    if m == 0 {
+        diags.push(
+            Diagnostic::error(
+                codes::MICROBATCH_NOT_DIVIDING_BATCH,
+                "runtime.micro_batches",
+                "runtime.micro_batches is zero; the engine cannot slice the batch".to_string(),
+            )
+            .with_help("use at least 1 micro-batch per engine step"),
+        );
+    } else if batch > 0 && !batch.is_multiple_of(m) {
+        diags.push(
+            Diagnostic::error(
+                codes::MICROBATCH_NOT_DIVIDING_BATCH,
+                "runtime.micro_batches",
+                format!(
+                    "runtime.micro_batches = {m} does not divide the batch of \
+                     {batch} sequences; micro-batches would be ragged"
+                ),
+            )
+            .with_help(format!(
+                "pick a divisor of batch.micro_batch = {batch} (the engine \
+                 slices the batch into equal row blocks)"
+            )),
+        );
+    }
+
+    // --- rank map bijection (AC0304) -----------------------------------
+    if let Some(map) = &rt.rank_map {
+        if world == 0 {
+            return; // zero degrees already carry AC0006 from the shape pass
+        }
+        if map.len() != world {
+            diags.push(
+                Diagnostic::error(
+                    codes::RANK_MAP_NOT_BIJECTION,
+                    "runtime.rank_map",
+                    format!(
+                        "rank_map has {} entries but the world holds {world} ranks",
+                        map.len()
+                    ),
+                )
+                .with_help("provide exactly one placement per rank in 0..tp*pp"),
+            );
+            return;
+        }
+        let mut seen = vec![false; world];
+        for (rank, &slot) in map.iter().enumerate() {
+            if slot >= world {
+                diags.push(
+                    Diagnostic::error(
+                        codes::RANK_MAP_NOT_BIJECTION,
+                        "runtime.rank_map",
+                        format!("rank {rank} maps to slot {slot}, outside 0..{world}"),
+                    )
+                    .with_help("every slot must name a rank in 0..tp*pp"),
+                );
+            } else if seen[slot] {
+                diags.push(
+                    Diagnostic::error(
+                        codes::RANK_MAP_NOT_BIJECTION,
+                        "runtime.rank_map",
+                        format!(
+                            "slot {slot} is assigned twice (second time by rank {rank}); \
+                             some rank would never run"
+                        ),
+                    )
+                    .with_help("the map must be a permutation of 0..tp*pp"),
+                );
+            } else {
+                seen[slot] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeSection;
+
+    fn run(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
+        let mut diags = Diagnostics::new();
+        check_runtime(cfg, &mut diags);
+        diags.into_vec()
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn with_runtime(rt: RuntimeSection) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.runtime = Some(rt);
+        cfg
+    }
+
+    #[test]
+    fn absent_section_is_vacuously_clean() {
+        assert!(run(&ExperimentConfig::paper_default()).is_empty());
+    }
+
+    #[test]
+    fn threads_default_is_clean() {
+        assert!(run(&with_runtime(RuntimeSection::threads_default())).is_empty());
+    }
+
+    #[test]
+    fn explicit_matching_config_is_clean() {
+        // paper_default is tp=2 pp=2: 4 ranks, batch 32.
+        let mut rt = RuntimeSection::threads_default();
+        rt.threads = Some(4);
+        rt.micro_batches = Some(8);
+        rt.rank_map = Some(vec![3, 2, 1, 0]);
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_backend() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.backend = "cuda_graphs".to_string();
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::UNKNOWN_BACKEND]
+        );
+    }
+
+    #[test]
+    fn rejects_thread_count_mismatch() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.threads = Some(3); // world is 4
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::THREADS_NOT_WORLD]);
+        assert!(diags[0].message.contains("exactly 4 rank threads"));
+    }
+
+    #[test]
+    fn rejects_non_dividing_micro_batches() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.micro_batches = Some(5); // batch.micro_batch is 32
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::MICROBATCH_NOT_DIVIDING_BATCH]
+        );
+
+        let mut rt = RuntimeSection::threads_default();
+        rt.micro_batches = Some(0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::MICROBATCH_NOT_DIVIDING_BATCH]
+        );
+    }
+
+    #[test]
+    fn rejects_broken_rank_maps() {
+        // Wrong length.
+        let mut rt = RuntimeSection::threads_default();
+        rt.rank_map = Some(vec![0, 1, 2]);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::RANK_MAP_NOT_BIJECTION]
+        );
+
+        // Out-of-range slot.
+        let mut rt = RuntimeSection::threads_default();
+        rt.rank_map = Some(vec![0, 1, 2, 4]);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::RANK_MAP_NOT_BIJECTION]
+        );
+
+        // Duplicate slot: two findings (the dup and the orphan slot are
+        // one violation; every duplicate is reported).
+        let mut rt = RuntimeSection::threads_default();
+        rt.rank_map = Some(vec![0, 1, 1, 0]);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(diags.len(), 2);
+        assert!(codes_of(&diags)
+            .iter()
+            .all(|c| *c == codes::RANK_MAP_NOT_BIJECTION));
+    }
+
+    #[test]
+    fn multiple_violations_all_reported() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.backend = "mpi".to_string();
+        rt.threads = Some(16);
+        rt.micro_batches = Some(3);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(
+            codes_of(&diags),
+            vec![
+                codes::UNKNOWN_BACKEND,
+                codes::THREADS_NOT_WORLD,
+                codes::MICROBATCH_NOT_DIVIDING_BATCH,
+            ]
+        );
+    }
+}

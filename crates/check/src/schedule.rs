@@ -13,7 +13,7 @@ use crate::codes;
 use crate::config::{ExperimentConfig, OpSpec};
 use crate::diagnostics::{Diagnostic, Diagnostics};
 use actcomp_distsim::memory::{activation_memory, peak_activation_bytes, Schedule};
-use actcomp_distsim::schedule::one_f_one_b_order;
+use actcomp_distsim::schedule::{gpipe_order, one_f_one_b_order, Op};
 use actcomp_distsim::topology::Parallelism;
 use actcomp_distsim::workload::ModelShape;
 use std::collections::HashMap;
@@ -28,38 +28,23 @@ pub const BYTES_PER_PARAM: usize = 18;
 pub fn stage_orders(cfg: &ExperimentConfig) -> Option<Vec<Vec<OpSpec>>> {
     let p = cfg.parallelism.pp;
     let m = cfg.batch.num_micro_batches;
+    let from_builtin = |order: fn(usize, usize, usize) -> Vec<Op>| -> Vec<Vec<OpSpec>> {
+        (0..p)
+            .map(|stage| {
+                order(p, m, stage)
+                    .into_iter()
+                    .map(|op| OpSpec {
+                        mb: op.mb,
+                        stage: op.stage,
+                        backward: op.backward,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
     match cfg.schedule.kind.as_str() {
-        "gpipe" => Some(
-            (0..p)
-                .map(|stage| {
-                    let fwd = (0..m).map(|mb| OpSpec {
-                        mb,
-                        stage,
-                        backward: false,
-                    });
-                    let bwd = (0..m).rev().map(|mb| OpSpec {
-                        mb,
-                        stage,
-                        backward: true,
-                    });
-                    fwd.chain(bwd).collect()
-                })
-                .collect(),
-        ),
-        "1f1b" => Some(
-            (0..p)
-                .map(|stage| {
-                    one_f_one_b_order(p, m, stage)
-                        .into_iter()
-                        .map(|op| OpSpec {
-                            mb: op.mb,
-                            stage: op.stage,
-                            backward: op.backward,
-                        })
-                        .collect()
-                })
-                .collect(),
-        ),
+        "gpipe" => Some(from_builtin(gpipe_order)),
+        "1f1b" => Some(from_builtin(one_f_one_b_order)),
         "custom" => cfg.schedule.orders.clone(),
         _ => None,
     }

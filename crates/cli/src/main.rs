@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! actcomp check experiment.json
+//! actcomp run --backend threads --tp 2 --pp 2 --spec T2 --steps 3
 //! actcomp simulate --machine pcie --tp 2 --pp 2 --batch 32 --seq 512 --spec A1
 //! actcomp pretrain-sim --tp 4 --pp 4 --spec A2
 //! actcomp finetune --task cola --spec Q2 --steps 150
@@ -12,7 +13,7 @@
 
 mod args;
 
-use actcomp_check::{render_report, ExperimentConfig, Severity};
+use actcomp_check::{render_report, ExperimentConfig, RuntimeSection, Severity};
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_core::throughput::{finetune_breakdown, pretrain_breakdown, Machine};
 use actcomp_core::{accuracy, AccuracyConfig};
@@ -26,6 +27,7 @@ fn main() {
     let args = Args::from_env();
     match args.command.as_deref() {
         Some("check") => check(&args),
+        Some("run") => run(&args),
         Some("simulate") => simulate(&args),
         Some("pretrain-sim") => pretrain_sim(&args),
         Some("finetune") => finetune(&args),
@@ -46,6 +48,9 @@ fn usage() {
 
 USAGE:
   actcomp check         <CONFIG.json> | --print-default | --print-pretrain
+  actcomp run           [--backend threads|serial] [--tp N] [--pp N] [--spec ID] [--steps N]
+                        [--batch N] [--seq N] [--layers N] [--hidden N] [--heads N] [--ff N]
+                        [--vocab N] [--micro-batches N] [--error-feedback] [--seed N] [--out PATH]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -130,6 +135,195 @@ fn check(args: &Args) {
     if diags.iter().any(|d| d.severity == Severity::Error) {
         std::process::exit(1);
     }
+}
+
+/// `actcomp run`: execute real training steps on the threaded engine
+/// (`--backend threads`, one OS thread per rank) or the serial executor
+/// (`--backend serial`), print the measured per-phase breakdown, and —
+/// for the threaded engine — write it as `BENCH_runtime.json`.
+///
+/// The defaults are a deliberately tiny transformer so the command
+/// doubles as a fast smoke test; scale the shape flags up for real
+/// measurements.
+fn run(args: &Args) {
+    use rand::{Rng, SeedableRng};
+
+    let backend = args.get("backend", "threads").to_string();
+    let tp = args.get_usize("tp", 2);
+    let pp = args.get_usize("pp", 2);
+    let layers = args.get_usize("layers", 4);
+    let hidden = args.get_usize("hidden", 32);
+    let heads = args.get_usize("heads", 4);
+    let ff = args.get_usize("ff", 64);
+    let vocab = args.get_usize("vocab", 64);
+    let batch = args.get_usize("batch", 4);
+    let seq = args.get_usize("seq", 8);
+    let m = args.get_usize("micro-batches", 1);
+    let steps = args.get_usize("steps", 2);
+    let seed = args.get_usize("seed", 0) as u64;
+    let out = args.get("out", "BENCH_runtime.json");
+    let spec = parse_spec(args.get("spec", "w/o"));
+    let lr = 1e-2;
+
+    // Static validation first — the same checker path as `actcomp check`,
+    // including the AC03xx runtime pass — so a bad flag combination dies
+    // with a diagnosis instead of a mid-run panic in a worker thread.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.model.layers = layers;
+    cfg.model.hidden = hidden;
+    cfg.model.heads = heads;
+    cfg.model.ff_hidden = ff;
+    cfg.model.vocab = vocab;
+    cfg.model.max_seq = seq;
+    cfg.parallelism.tp = tp;
+    cfg.parallelism.pp = pp;
+    let world = tp * pp;
+    if world > 4 {
+        cfg.cluster.preset = "p3_cluster".to_string();
+        cfg.cluster.nodes = world.div_ceil(4);
+    }
+    cfg.batch.micro_batch = batch;
+    cfg.batch.seq = seq;
+    cfg.batch.num_micro_batches = m;
+    cfg.plan.spec = spec.label().to_string();
+    cfg.plan.error_feedback = args.flag("error-feedback");
+    cfg.runtime = Some(RuntimeSection {
+        backend: backend.clone(),
+        threads: None,
+        micro_batches: Some(m),
+        rank_map: None,
+    });
+    validate_or_exit(&cfg);
+
+    let plan = cfg.resolve_plan().expect("validated spec resolves");
+    let mp_cfg = actcomp_mp::MpConfig {
+        bert: actcomp_nn::BertConfig {
+            vocab,
+            hidden,
+            layers,
+            heads,
+            ff_hidden: ff,
+            max_seq: seq,
+        },
+        tp,
+        pp,
+        plan,
+        tokens: batch * seq,
+        error_feedback: cfg.plan.error_feedback,
+    };
+
+    let mut drng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x1d5);
+    let ids: Vec<usize> = (0..batch * seq)
+        .map(|_| (drng.gen::<u64>() % vocab as u64) as usize)
+        .collect();
+    println!(
+        "{backend}: {layers}L h{hidden} tp={tp} pp={pp} m={m} spec={} \
+         batch={batch} seq={seq} steps={steps}",
+        spec.label()
+    );
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    match backend.as_str() {
+        "threads" => {
+            let rt_cfg = actcomp_runtime::RuntimeConfig {
+                mp: mp_cfg,
+                micro_batches: m,
+            };
+            let mut rt =
+                actcomp_runtime::ThreadedRuntime::new(&mut rng, rt_cfg).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            for step in 0..steps {
+                let y = rt.forward(&ids, batch, seq);
+                let loss = 0.5 * y.sq_norm();
+                println!("step {step}: loss {loss:.4}");
+                rt.zero_grad();
+                rt.backward(&y);
+                rt.sgd_step(lr);
+            }
+            let report = rt.report();
+            print_phase_report(&report);
+            match std::fs::write(out, report.to_json()) {
+                Ok(()) => println!("[report written to {out}]"),
+                Err(e) => eprintln!("warning: could not write {out}: {e}"),
+            }
+        }
+        "serial" => {
+            if m > 1 {
+                println!("note: the serial executor runs the whole batch per step (m ignored)");
+            }
+            let mut mp = actcomp_mp::MpBert::try_new(&mut rng, mp_cfg).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let start = std::time::Instant::now();
+            for step in 0..steps {
+                let y = mp.forward(&ids, batch, seq);
+                let loss = 0.5 * y.sq_norm();
+                println!("step {step}: loss {loss:.4}");
+                mp.zero_grad();
+                mp.backward(&y);
+                mp.visit_all_params(&mut |p| p.value.axpy(-lr, &p.grad));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let bytes = mp.bytes();
+            println!("total          {:>10.3} ms (single thread)", elapsed * 1e3);
+            println!(
+                "tp reduces     {:>10} wire B {:>10} dense B ({:.2}x)",
+                bytes.wire,
+                bytes.dense,
+                bytes.ratio()
+            );
+            println!("(per-phase timers require --backend threads; nothing written)");
+        }
+        // Unknown backends were already rejected by the AC0301 check.
+        other => unreachable!("backend `{other}` passed validation"),
+    }
+}
+
+/// Prints a [`RuntimeReport`](actcomp_runtime::RuntimeReport)'s aggregate
+/// phase breakdown and traffic counters.
+fn print_phase_report(report: &actcomp_runtime::RuntimeReport) {
+    let t = &report.totals;
+    let total = t.total_s();
+    let pct = |x: f64| if total > 0.0 { 100.0 * x / total } else { 0.0 };
+    println!(
+        "phase breakdown ({} rank threads, summed wall-clock):",
+        report.ranks.len()
+    );
+    println!(
+        "  compute    {:>10.3} ms  ({:>5.1}%)",
+        t.compute_s * 1e3,
+        pct(t.compute_s)
+    );
+    println!(
+        "  encode     {:>10.3} ms  ({:>5.1}%)",
+        t.encode_s * 1e3,
+        pct(t.encode_s)
+    );
+    println!(
+        "  wire       {:>10.3} ms  ({:>5.1}%)",
+        t.wire_s * 1e3,
+        pct(t.wire_s)
+    );
+    println!(
+        "  decode     {:>10.3} ms  ({:>5.1}%)",
+        t.decode_s * 1e3,
+        pct(t.decode_s)
+    );
+    println!(
+        "tp reduces     {:>10} wire B {:>10} dense B ({:.2}x)",
+        report.reduce_bytes.wire,
+        report.reduce_bytes.dense,
+        report.reduce_bytes.ratio()
+    );
+    println!(
+        "pp boundaries  {:>10} wire B {:>10} dense B ({:.2}x)",
+        report.boundary_bytes.wire,
+        report.boundary_bytes.dense,
+        report.boundary_bytes.ratio()
+    );
 }
 
 /// Validates a config assembled from CLI flags before handing it to the

@@ -33,7 +33,8 @@ use actcomp_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct RowTopK {
     k_per_row: usize,
-    cache_mask: Option<Vec<u32>>,
+    /// LIFO stack of kept-index sets, one per unconsumed `compress`.
+    cache_masks: Vec<Vec<u32>>,
 }
 
 impl RowTopK {
@@ -46,7 +47,7 @@ impl RowTopK {
         assert!(k_per_row > 0, "RowTopK requires k > 0");
         RowTopK {
             k_per_row,
-            cache_mask: None,
+            cache_masks: Vec::new(),
         }
     }
 
@@ -87,7 +88,7 @@ impl Compressor for RowTopK {
             indices.extend(order.iter().map(|&j| (i * n) as u32 + j));
         }
         let values: Vec<f32> = indices.iter().map(|&i| data[i as usize]).collect();
-        self.cache_mask = Some(indices.clone());
+        self.cache_masks.push(indices.clone());
         Compressed::new(Payload::Sparse { values, indices }, x.shape().clone())
     }
 
@@ -100,8 +101,8 @@ impl Compressor for RowTopK {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let mask = self
-            .cache_mask
-            .take()
+            .cache_masks
+            .pop()
             .expect("RowTopK::backward called without compress");
         let mut dx = Tensor::zeros_like(dy);
         for &i in &mask {

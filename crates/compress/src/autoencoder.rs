@@ -37,7 +37,8 @@ pub struct AutoEncoder {
     pub encoder: Parameter,
     /// Decoder matrix `[c, h]`.
     pub decoder: Parameter,
-    cache: Option<AeCache>,
+    /// LIFO stack of (input, code) pairs, one per unconsumed `compress`.
+    caches: Vec<AeCache>,
 }
 
 #[derive(Debug, Clone)]
@@ -60,7 +61,7 @@ impl AutoEncoder {
         AutoEncoder {
             encoder: Parameter::new(init::xavier_uniform(rng, hidden, code_dim)),
             decoder: Parameter::new(init::xavier_uniform(rng, code_dim, hidden)),
-            cache: None,
+            caches: Vec::new(),
         }
     }
 
@@ -95,7 +96,7 @@ impl Compressor for AutoEncoder {
             x.dims()[1]
         );
         let code = x.matmul(&self.encoder.value);
-        self.cache = Some(AeCache {
+        self.caches.push(AeCache {
             x: x.clone(),
             code: code.clone(),
         });
@@ -111,8 +112,8 @@ impl Compressor for AutoEncoder {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let AeCache { x, code } = self
-            .cache
-            .take()
+            .caches
+            .pop()
             .expect("AutoEncoder::backward called without compress");
         // y = (x E) D
         // dD = codeᵀ dy ; dcode = dy Dᵀ ; dE = xᵀ dcode ; dx = dcode Eᵀ
@@ -221,6 +222,33 @@ mod tests {
             let fd = (lp - lm) / (2.0 * eps);
             assert_close(gdec[j], fd, 2e-2, &format!("ae dD[{j}]"));
         }
+    }
+
+    #[test]
+    fn cache_stack_supports_microbatched_backward() {
+        // Two compresses then two backwards (reverse order) must produce
+        // the same dx per micro-batch as paired compress/backward calls.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = init::randn(&mut rng, [2, 8], 1.0);
+        let b = init::randn(&mut rng, [2, 8], 1.0);
+        let dy = init::randn(&mut rng, [2, 8], 1.0);
+
+        let mut rng1 = ChaCha8Rng::seed_from_u64(6);
+        let mut stacked = AutoEncoder::new(&mut rng1, 8, 3);
+        let _ = stacked.compress(&a);
+        let _ = stacked.compress(&b);
+        let dxb = stacked.backward(&dy);
+        let dxa = stacked.backward(&dy);
+
+        let mut rng2 = ChaCha8Rng::seed_from_u64(6);
+        let mut paired = AutoEncoder::new(&mut rng2, 8, 3);
+        let _ = paired.compress(&b);
+        let want_b = paired.backward(&dy);
+        let _ = paired.compress(&a);
+        let want_a = paired.backward(&dy);
+
+        assert_eq!(dxb, want_b);
+        assert_eq!(dxa, want_a);
     }
 
     #[test]

@@ -73,8 +73,15 @@ use actcomp_tensor::Tensor;
 /// Implementations cache whatever they need during [`Compressor::compress`]
 /// so that [`Compressor::backward`] can route gradients through the
 /// (de)compression, because activation compression lives inside the
-/// training graph.
-pub trait Compressor {
+/// training graph. Caches are LIFO stacks: a microbatched pipeline calls
+/// `compress` once per micro-batch during the fill and `backward` in
+/// reverse micro-batch order during the drain, and each `backward` pops
+/// the cache of the most recent unconsumed `compress`.
+///
+/// The `Send` bound lets compressor instances move into per-rank worker
+/// threads (`actcomp-runtime` gives every model-parallel rank its own
+/// instance).
+pub trait Compressor: Send {
     /// Human-readable algorithm name (e.g. `"topk"`).
     fn name(&self) -> &'static str;
 

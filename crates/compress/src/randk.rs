@@ -30,7 +30,8 @@ use rand_chacha::ChaCha8Rng;
 pub struct RandomK {
     k: usize,
     rng: ChaCha8Rng,
-    cache_mask: Option<Vec<u32>>,
+    /// LIFO stack of kept-index sets, one per unconsumed `compress`.
+    cache_masks: Vec<Vec<u32>>,
 }
 
 impl RandomK {
@@ -45,7 +46,7 @@ impl RandomK {
         RandomK {
             k,
             rng: ChaCha8Rng::seed_from_u64(seed),
-            cache_mask: None,
+            cache_masks: Vec::new(),
         }
     }
 
@@ -73,7 +74,7 @@ impl Compressor for RandomK {
             .iter()
             .map(|&i| x.as_slice()[i as usize] * scale)
             .collect();
-        self.cache_mask = Some(indices.clone());
+        self.cache_masks.push(indices.clone());
         Compressed::new(Payload::Sparse { values, indices }, x.shape().clone())
     }
 
@@ -86,8 +87,8 @@ impl Compressor for RandomK {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let mask = self
-            .cache_mask
-            .take()
+            .cache_masks
+            .pop()
             .expect("RandomK::backward called without compress");
         let scale = dy.len() as f32 / mask.len() as f32;
         let mut dx = Tensor::zeros_like(dy);

@@ -22,7 +22,8 @@ use actcomp_tensor::Tensor;
 #[derive(Debug, Clone)]
 pub struct TopK {
     k: usize,
-    cache_mask: Option<Vec<u32>>,
+    /// LIFO stack of kept-index sets, one per unconsumed `compress`.
+    cache_masks: Vec<Vec<u32>>,
 }
 
 impl TopK {
@@ -35,7 +36,7 @@ impl TopK {
         assert!(k > 0, "TopK requires k > 0");
         TopK {
             k,
-            cache_mask: None,
+            cache_masks: Vec::new(),
         }
     }
 
@@ -80,7 +81,7 @@ impl Compressor for TopK {
         }
         order.sort_unstable();
         let values: Vec<f32> = order.iter().map(|&i| data[i as usize]).collect();
-        self.cache_mask = Some(order.clone());
+        self.cache_masks.push(order.clone());
         Compressed::new(
             Payload::Sparse {
                 values,
@@ -99,8 +100,8 @@ impl Compressor for TopK {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         let mask = self
-            .cache_mask
-            .take()
+            .cache_masks
+            .pop()
             .expect("TopK::backward called without compress");
         let mut dx = Tensor::zeros_like(dy);
         for &i in &mask {
@@ -158,6 +159,19 @@ mod tests {
         let dy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [4]);
         let dx = c.backward(&dy);
         assert_eq!(dx.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn cache_stack_pops_in_reverse_order() {
+        // Microbatched pipelines compress m times, then run backward in
+        // reverse micro-batch order: each backward must see the matching
+        // forward's mask (LIFO).
+        let mut c = TopK::new(1);
+        let _ = c.compress(&Tensor::from_vec(vec![9.0, 0.1], [2]));
+        let _ = c.compress(&Tensor::from_vec(vec![0.1, 7.0], [2]));
+        let dy = Tensor::ones([2]);
+        assert_eq!(c.backward(&dy).as_slice(), &[0.0, 1.0]);
+        assert_eq!(c.backward(&dy).as_slice(), &[1.0, 0.0]);
     }
 
     #[test]

@@ -61,6 +61,32 @@ pub fn one_f_one_b_order(p: usize, m: usize, stage: usize) -> Vec<Op> {
     ops
 }
 
+/// Builds each stage's GPipe (fill/drain) operation order: all `m`
+/// forwards in micro-batch order, then all `m` backwards in reverse.
+///
+/// The reverse backward order makes the schedule LIFO per stage, which is
+/// what lets executors keep activation caches as plain stacks — both the
+/// `actcomp-check` schedule pass and the threaded `actcomp-runtime`
+/// engine consume this order.
+pub fn gpipe_order(_p: usize, m: usize, stage: usize) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(2 * m);
+    for mb in 0..m {
+        ops.push(Op {
+            mb,
+            stage,
+            backward: false,
+        });
+    }
+    for mb in (0..m).rev() {
+        ops.push(Op {
+            mb,
+            stage,
+            backward: true,
+        });
+    }
+    ops
+}
+
 /// Simulates an arbitrary per-stage operation order, returning the same
 /// result shape as the GPipe simulator.
 ///
@@ -208,6 +234,39 @@ mod tests {
         // Last stage warms up with exactly 1 forward.
         let last = one_f_one_b_order(4, 8, 3);
         assert!(!last[0].backward && last[1].backward);
+    }
+
+    #[test]
+    fn gpipe_order_is_fill_then_drain() {
+        let order = gpipe_order(4, 3, 1);
+        assert_eq!(order.len(), 6);
+        let mbs: Vec<(usize, bool)> = order.iter().map(|o| (o.mb, o.backward)).collect();
+        assert_eq!(
+            mbs,
+            vec![
+                (0, false),
+                (1, false),
+                (2, false),
+                (2, true),
+                (1, true),
+                (0, true)
+            ]
+        );
+        assert!(order.iter().all(|o| o.stage == 1));
+    }
+
+    #[test]
+    fn gpipe_order_makespan_matches_closed_form_gpipe() {
+        for (p, m) in [(2usize, 4usize), (4, 8), (3, 5)] {
+            let (s, b) = uniform(p, 1.0, 2.0, 0.0);
+            let orders: Vec<Vec<Op>> = (0..p).map(|st| gpipe_order(p, m, st)).collect();
+            let sim = simulate_schedule(&s, &b, &orders, m).makespan_s;
+            let closed = simulate_gpipe(&s, &b, m).makespan_s;
+            assert!(
+                (sim - closed).abs() < 1e-9,
+                "p={p} m={m}: schedule {sim} vs closed-form {closed}"
+            );
+        }
     }
 
     #[test]

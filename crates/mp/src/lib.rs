@@ -15,10 +15,14 @@
 //! the paper studies.
 //!
 //! - [`reduce`]: compressed all-reduce / all-gather with byte accounting,
+//! - [`shard`]: single-worker shard primitives (also the building blocks
+//!   of the threaded `actcomp-runtime` engine),
 //! - [`tp`]: sharded attention, MLP, and encoder blocks,
 //! - [`pp`]: compressing stage boundaries,
 //! - [`model`]: [`MpBert`] — the full model with a per-layer
-//!   [`CompressionPlan`](actcomp_compress::CompressionPlan).
+//!   [`CompressionPlan`](actcomp_compress::CompressionPlan),
+//! - [`error`]: typed configuration errors ([`MpConfigError`],
+//!   [`ShardError`]).
 //!
 //! # Example
 //!
@@ -44,12 +48,16 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod model;
 pub mod pp;
 pub mod reduce;
+pub mod shard;
 pub mod tp;
 
-pub use model::{MpBert, MpConfig};
+pub use error::{MpConfigError, ShardError};
+pub use model::{stage_offsets, MpBert, MpConfig};
 pub use pp::PipelineBoundary;
 pub use reduce::{CommBytes, CompressedAllReduce};
+pub use shard::{ColumnShard, RowShard};
 pub use tp::{TpAttention, TpEncoderLayer, TpFeedForward};

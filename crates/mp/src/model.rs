@@ -2,6 +2,7 @@
 //! boundaries, and per-layer compression placement — the numerically-real
 //! counterpart of the system the paper builds on Megatron-LM.
 
+use crate::error::MpConfigError;
 use crate::pp::PipelineBoundary;
 use crate::reduce::{CommBytes, CompressedAllReduce};
 use crate::tp::TpEncoderLayer;
@@ -34,33 +35,39 @@ pub struct MpConfig {
 }
 
 impl MpConfig {
+    /// Typed variant of [`MpConfig::validate`].
+    pub fn try_validate(&self) -> Result<(), MpConfigError> {
+        self.bert.try_validate()?;
+        if self.tp == 0 || self.pp == 0 {
+            return Err(MpConfigError::NonPositiveDegrees);
+        }
+        if !self.bert.heads.is_multiple_of(self.tp) {
+            return Err(MpConfigError::HeadsNotDivisibleByTp {
+                heads: self.bert.heads,
+                tp: self.tp,
+            });
+        }
+        if self.bert.layers < self.pp {
+            return Err(MpConfigError::TooFewLayersForPp {
+                layers: self.bert.layers,
+                pp: self.pp,
+            });
+        }
+        if self.plan.end_layer() > self.bert.layers {
+            return Err(MpConfigError::PlanExceedsLayers);
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics if degrees don't divide the architecture.
     pub fn validate(&self) {
-        self.bert.validate();
-        assert!(
-            self.tp > 0 && self.pp > 0,
-            "parallel degrees must be positive"
-        );
-        assert!(
-            self.bert.heads.is_multiple_of(self.tp),
-            "{} heads not divisible by TP={}",
-            self.bert.heads,
-            self.tp
-        );
-        assert!(
-            self.bert.layers >= self.pp,
-            "{} layers < PP={}",
-            self.bert.layers,
-            self.pp
-        );
-        assert!(
-            self.plan.end_layer() <= self.bert.layers,
-            "compression plan exceeds layer count"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -89,17 +96,47 @@ pub struct MpBert {
 
 impl MpBert {
     /// Builds the model from a fresh serial initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`MpBert::try_new`] is the
+    /// non-panicking variant.
     pub fn new(rng: &mut ChaCha8Rng, config: MpConfig) -> Self {
-        config.validate();
+        match Self::try_new(rng, config) {
+            Ok(mp) => mp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Typed variant of [`MpBert::new`].
+    pub fn try_new(rng: &mut ChaCha8Rng, config: MpConfig) -> Result<Self, MpConfigError> {
+        config.try_validate()?;
         let serial = BertEncoder::new(rng, config.bert.clone());
-        Self::from_serial(&serial, config, rng)
+        Self::try_from_serial(&serial, config, rng)
     }
 
     /// Shards an existing serial encoder (used to compare compressed runs
     /// against an identically-initialized baseline, and to "load a
     /// checkpoint" into a different parallel layout as §4.4 does).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`MpBert::try_from_serial`] is
+    /// the non-panicking variant.
     pub fn from_serial(serial: &BertEncoder, config: MpConfig, rng: &mut ChaCha8Rng) -> Self {
-        config.validate();
+        match Self::try_from_serial(serial, config, rng) {
+            Ok(mp) => mp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Typed variant of [`MpBert::from_serial`].
+    pub fn try_from_serial(
+        serial: &BertEncoder,
+        config: MpConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Self, MpConfigError> {
+        config.try_validate()?;
         let h = config.bert.hidden;
         let n = config.tokens * h;
 
@@ -163,7 +200,7 @@ impl MpBert {
             })
             .collect();
 
-        MpBert {
+        Ok(MpBert {
             tok: serial.tok.clone(),
             pos: serial.pos.clone(),
             emb_ln: serial.emb_ln.clone(),
@@ -172,7 +209,7 @@ impl MpBert {
             stage_offsets,
             config,
             bytes: CommBytes::default(),
-        }
+        })
     }
 
     /// The run configuration.
@@ -293,7 +330,11 @@ impl MpBert {
 }
 
 /// First (global) layer index of each of `pp` stages over `layers` layers.
-fn stage_offsets(layers: usize, pp: usize) -> Vec<usize> {
+///
+/// Extra layers (when `pp` doesn't divide `layers`) are front-loaded onto
+/// the earliest stages. Shared with the threaded runtime so both
+/// executions agree on the stage → layer mapping.
+pub fn stage_offsets(layers: usize, pp: usize) -> Vec<usize> {
     let base = layers / pp;
     let extra = layers % pp;
     let mut offsets = Vec::with_capacity(pp);

@@ -18,7 +18,7 @@ use actcomp_nn::Parameter;
 use actcomp_tensor::Tensor;
 
 /// Byte counters for the traffic a compressed reduce generates.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CommBytes {
     /// Bytes this operation put on the wire.
     pub wire: usize,

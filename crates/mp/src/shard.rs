@@ -1,0 +1,266 @@
+//! Single-worker shard primitives.
+//!
+//! [`crate::TpAttention`] and [`crate::TpFeedForward`] simulate all
+//! tensor-parallel workers inside one struct; the threaded runtime
+//! (`actcomp-runtime`) instead gives each OS thread exactly one shard.
+//! Both build on the types here so the per-shard arithmetic — and
+//! therefore the floating-point result, which depends on operation
+//! order — is shared rather than duplicated.
+
+use actcomp_nn::Parameter;
+use actcomp_tensor::Tensor;
+
+/// One worker's shard of a column-parallel linear: full input, a
+/// `[in, out/world]` weight slice and its `[out/world]` bias slice.
+#[derive(Debug, Clone)]
+pub struct ColumnShard {
+    /// This worker's `[in, out/world]` weight columns.
+    pub weight: Parameter,
+    /// This worker's `[out/world]` bias slice.
+    pub bias: Parameter,
+}
+
+impl ColumnShard {
+    /// Splits a full `[in, out]` weight and `[out]` bias into `world`
+    /// column shards, one per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `world` divides the output width.
+    pub fn split(weight: &Tensor, bias: &Tensor, world: usize) -> Vec<ColumnShard> {
+        let weights = weight.split_cols(world);
+        let biases = bias.reshaped([1, bias.len()]).split_cols(world);
+        weights
+            .into_iter()
+            .zip(biases)
+            .map(|(w, b)| {
+                let width = b.len();
+                ColumnShard {
+                    weight: Parameter::new(w),
+                    bias: Parameter::new(b.reshape([width])),
+                }
+            })
+            .collect()
+    }
+
+    /// `x · W + b` for this worker's slice; `x` is the full (replicated)
+    /// input.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
+    }
+
+    /// Accumulates weight/bias gradients from `dout` against the forward
+    /// input `x`, returning this worker's *partial* input gradient (the
+    /// caller sums partials across workers).
+    pub fn backward(&mut self, x: &Tensor, dout: &Tensor) -> Tensor {
+        self.weight.grad.add_assign(&x.matmul_tn(dout));
+        self.bias.grad.add_assign(&dout.sum_axis0());
+        dout.matmul_nt(&self.weight.value)
+    }
+
+    /// Visits the weight then the bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// One worker's shard of a row-parallel linear: a `[in/world, out]`
+/// weight slice producing a *partial* output that must be all-reduced.
+///
+/// The shared output bias is owned by the caller (it is added once,
+/// after the reduce), so this type holds only the weight.
+#[derive(Debug, Clone)]
+pub struct RowShard {
+    /// This worker's `[in/world, out]` weight rows.
+    pub weight: Parameter,
+}
+
+impl RowShard {
+    /// Splits a full `[in, out]` weight into `world` row shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `world` divides the input width.
+    pub fn split(weight: &Tensor, world: usize) -> Vec<RowShard> {
+        weight
+            .split_rows(world)
+            .into_iter()
+            .map(|w| RowShard {
+                weight: Parameter::new(w),
+            })
+            .collect()
+    }
+
+    /// This worker's partial output `x · W` (pre-reduce, no bias).
+    pub fn partial(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight.value)
+    }
+
+    /// Accumulates the weight gradient from the (post-reduce) partial
+    /// gradient `dpartial` against the forward input shard `x`, returning
+    /// the input-shard gradient.
+    pub fn backward(&mut self, x: &Tensor, dpartial: &Tensor) -> Tensor {
+        self.weight.grad.add_assign(&x.matmul_tn(dpartial));
+        dpartial.matmul_nt(&self.weight.value)
+    }
+
+    /// Visits the weight.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+    }
+}
+
+/// Extracts the `[seq, d]` block of local head `hd`, batch `t` from a
+/// `[batch·seq, width]` worker tensor.
+pub fn head_block(x: &Tensor, t: usize, hd: usize, seq: usize, d: usize, width: usize) -> Tensor {
+    let mut out = Vec::with_capacity(seq * d);
+    let base = hd * d;
+    for r in 0..seq {
+        let row = (t * seq + r) * width + base;
+        out.extend_from_slice(&x.as_slice()[row..row + d]);
+    }
+    Tensor::from_vec(out, [seq, d])
+}
+
+/// Writes a `[seq, d]` block back into a `[batch·seq, width]` tensor.
+pub fn write_head_block(
+    out: &mut Tensor,
+    block: &Tensor,
+    t: usize,
+    hd: usize,
+    seq: usize,
+    d: usize,
+    width: usize,
+) {
+    let base = hd * d;
+    for r in 0..seq {
+        let row = (t * seq + r) * width + base;
+        out.as_mut_slice()[row..row + d].copy_from_slice(&block.as_slice()[r * d..(r + 1) * d]);
+    }
+}
+
+/// Scaled-dot-product attention over one worker's local heads: consumes
+/// the worker's `[batch·seq, local_heads·d]` query/key/value shards and
+/// returns the context plus per-`(batch, head)` softmax probabilities for
+/// the backward pass.
+pub fn attn_context_forward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    batch: usize,
+    seq: usize,
+    local_heads: usize,
+    d: usize,
+) -> (Tensor, Vec<Tensor>) {
+    let hw = local_heads * d;
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut ctx = Tensor::zeros([batch * seq, hw]);
+    let mut probs = Vec::with_capacity(batch * local_heads);
+    for t in 0..batch {
+        for hd in 0..local_heads {
+            let qb = head_block(q, t, hd, seq, d, hw);
+            let kb = head_block(k, t, hd, seq, d, hw);
+            let vb = head_block(v, t, hd, seq, d, hw);
+            let p = qb.matmul_nt(&kb).scale(scale).softmax_rows();
+            let c = p.matmul(&vb);
+            write_head_block(&mut ctx, &c, t, hd, seq, d, hw);
+            probs.push(p);
+        }
+    }
+    (ctx, probs)
+}
+
+/// Backward of [`attn_context_forward`]: returns the `(dq, dk, dv)` shard
+/// gradients from the context gradient `dctx` and the cached
+/// probabilities.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_context_backward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    probs: &[Tensor],
+    dctx: &Tensor,
+    batch: usize,
+    seq: usize,
+    local_heads: usize,
+    d: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let hw = local_heads * d;
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut dq = Tensor::zeros([batch * seq, hw]);
+    let mut dk = Tensor::zeros([batch * seq, hw]);
+    let mut dv = Tensor::zeros([batch * seq, hw]);
+    for t in 0..batch {
+        for hd in 0..local_heads {
+            let p = &probs[t * local_heads + hd];
+            let qb = head_block(q, t, hd, seq, d, hw);
+            let kb = head_block(k, t, hd, seq, d, hw);
+            let vb = head_block(v, t, hd, seq, d, hw);
+            let dc = head_block(dctx, t, hd, seq, d, hw);
+
+            let dp = dc.matmul_nt(&vb);
+            let dvb = p.matmul_tn(&dc);
+            let ds = Tensor::softmax_rows_backward(p, &dp).scale(scale);
+            let dqb = ds.matmul(&kb);
+            let dkb = ds.matmul_tn(&qb);
+
+            write_head_block(&mut dq, &dqb, t, hd, seq, d, hw);
+            write_head_block(&mut dk, &dkb, t, hd, seq, d, hw);
+            write_head_block(&mut dv, &dvb, t, hd, seq, d, hw);
+        }
+    }
+    (dq, dk, dv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn column_shards_concat_to_full_output() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = init::randn(&mut rng, [4, 6], 1.0);
+        let b = init::randn(&mut rng, [6], 1.0);
+        let x = init::randn(&mut rng, [3, 4], 1.0);
+        let full = x.matmul(&w).add_row_broadcast(&b);
+        let shards = ColumnShard::split(&w, &b, 2);
+        let outs: Vec<Tensor> = shards.iter().map(|s| s.forward(&x)).collect();
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        assert!(Tensor::concat_cols(&refs).max_abs_diff(&full) < 1e-6);
+    }
+
+    #[test]
+    fn row_shard_partials_sum_to_full_product() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = init::randn(&mut rng, [6, 4], 1.0);
+        let x = init::randn(&mut rng, [3, 6], 1.0);
+        let full = x.matmul(&w);
+        let shards = RowShard::split(&w, 2);
+        let xs = x.split_cols(2);
+        let mut sum = shards[0].partial(&xs[0]);
+        sum.add_assign(&shards[1].partial(&xs[1]));
+        assert!(sum.max_abs_diff(&full) < 1e-5);
+    }
+
+    #[test]
+    fn attn_context_round_trips_through_backward_shapes() {
+        let (batch, seq, lh, d) = (2, 3, 2, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let q = init::randn(&mut rng, [batch * seq, lh * d], 1.0);
+        let k = init::randn(&mut rng, [batch * seq, lh * d], 1.0);
+        let v = init::randn(&mut rng, [batch * seq, lh * d], 1.0);
+        let (ctx, probs) = attn_context_forward(&q, &k, &v, batch, seq, lh, d);
+        assert_eq!(ctx.dims(), &[batch * seq, lh * d]);
+        assert_eq!(probs.len(), batch * lh);
+        let dctx = init::randn(&mut rng, [batch * seq, lh * d], 1.0);
+        let (dq, dk, dv) = attn_context_backward(&q, &k, &v, &probs, &dctx, batch, seq, lh, d);
+        assert_eq!(dq.dims(), q.dims());
+        assert_eq!(dk.dims(), k.dims());
+        assert_eq!(dv.dims(), v.dims());
+    }
+}

@@ -10,50 +10,31 @@
 //! (verified by tests), so any accuracy change is attributable to the
 //! compressor alone.
 
+use crate::error::ShardError;
 use crate::reduce::{CommBytes, CompressedAllReduce};
+use crate::shard::{attn_context_backward, attn_context_forward, ColumnShard, RowShard};
 use actcomp_nn::{EncoderLayer, Layer, LayerNorm, Parameter};
 use actcomp_tensor::Tensor;
 
 /// Column-parallel linear: full input, per-worker output shards.
 #[derive(Debug)]
 struct ColumnShards {
-    /// Per-worker `[in, out/world]` weights.
-    weights: Vec<Parameter>,
-    /// Per-worker `[out/world]` biases.
-    biases: Vec<Parameter>,
+    /// One [`ColumnShard`] per worker.
+    shards: Vec<ColumnShard>,
     cache_x: Option<Tensor>,
 }
 
 impl ColumnShards {
     fn from_full(weight: &Tensor, bias: &Tensor, world: usize) -> Self {
-        let weights = weight
-            .split_cols(world)
-            .into_iter()
-            .map(Parameter::new)
-            .collect();
-        let biases = bias
-            .reshaped([1, bias.len()])
-            .split_cols(world)
-            .into_iter()
-            .map(|b| {
-                let w = b.len();
-                Parameter::new(b.reshape([w]))
-            })
-            .collect();
         ColumnShards {
-            weights,
-            biases,
+            shards: ColumnShard::split(weight, bias, world),
             cache_x: None,
         }
     }
 
     fn forward(&mut self, x: &Tensor) -> Vec<Tensor> {
         self.cache_x = Some(x.clone());
-        self.weights
-            .iter()
-            .zip(&self.biases)
-            .map(|(w, b)| x.matmul(&w.value).add_row_broadcast(&b.value))
-            .collect()
+        self.shards.iter().map(|s| s.forward(x)).collect()
     }
 
     /// Returns the summed input gradient.
@@ -63,10 +44,8 @@ impl ColumnShards {
             .take()
             .expect("ColumnShards::backward without forward");
         let mut dx: Option<Tensor> = None;
-        for ((w, b), dout) in self.weights.iter_mut().zip(&mut self.biases).zip(douts) {
-            w.grad.add_assign(&x.matmul_tn(dout));
-            b.grad.add_assign(&dout.sum_axis0());
-            let part = dout.matmul_nt(&w.value);
+        for (shard, dout) in self.shards.iter_mut().zip(douts) {
+            let part = shard.backward(&x, dout);
             match &mut dx {
                 Some(acc) => acc.add_assign(&part),
                 None => dx = Some(part),
@@ -76,19 +55,18 @@ impl ColumnShards {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
-        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
-            f(w);
-            f(b);
+        for shard in &mut self.shards {
+            shard.visit_params(f);
         }
     }
 
     /// Reassembles the full (weight, bias) pair from the shards.
     fn to_full(&self) -> (Tensor, Tensor) {
-        let ws: Vec<&Tensor> = self.weights.iter().map(|p| &p.value).collect();
+        let ws: Vec<&Tensor> = self.shards.iter().map(|s| &s.weight.value).collect();
         let weight = Tensor::concat_cols(&ws);
         let mut bias = Vec::new();
-        for b in &self.biases {
-            bias.extend_from_slice(b.value.as_slice());
+        for s in &self.shards {
+            bias.extend_from_slice(s.bias.value.as_slice());
         }
         let blen = bias.len();
         (weight, Tensor::from_vec(bias, [blen]))
@@ -100,8 +78,8 @@ impl ColumnShards {
 /// after the reduce.
 #[derive(Debug)]
 struct RowShards {
-    /// Per-worker `[in/world, out]` weights.
-    weights: Vec<Parameter>,
+    /// One [`RowShard`] per worker.
+    shards: Vec<RowShard>,
     /// Shared `[out]` bias.
     bias: Parameter,
     reduce: CompressedAllReduce,
@@ -112,11 +90,7 @@ impl RowShards {
     fn from_full(weight: &Tensor, bias: &Tensor, reduce: CompressedAllReduce) -> Self {
         let world = reduce.world();
         RowShards {
-            weights: weight
-                .split_rows(world)
-                .into_iter()
-                .map(Parameter::new)
-                .collect(),
+            shards: RowShard::split(weight, world),
             bias: Parameter::new(bias.clone()),
             reduce,
             cache_inputs: None,
@@ -127,8 +101,8 @@ impl RowShards {
     fn forward(&mut self, inputs: Vec<Tensor>) -> (Tensor, CommBytes) {
         let partials: Vec<Tensor> = inputs
             .iter()
-            .zip(&self.weights)
-            .map(|(x, w)| x.matmul(&w.value))
+            .zip(&self.shards)
+            .map(|(x, s)| s.partial(x))
             .collect();
         let (sum, bytes) = self.reduce.forward(&partials);
         let y = sum.add_row_broadcast(&self.bias.value);
@@ -146,25 +120,22 @@ impl RowShards {
         let dpartials = self.reduce.backward(dy);
         inputs
             .iter()
-            .zip(&mut self.weights)
+            .zip(&mut self.shards)
             .zip(&dpartials)
-            .map(|((x, w), dp)| {
-                w.grad.add_assign(&x.matmul_tn(dp));
-                dp.matmul_nt(&w.value)
-            })
+            .map(|((x, s), dp)| s.backward(x, dp))
             .collect()
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
-        for w in &mut self.weights {
-            f(w);
+        for s in &mut self.shards {
+            s.visit_params(f);
         }
         f(&mut self.bias);
     }
 
     /// Reassembles the full (weight, bias) pair from the shards.
     fn to_full(&self) -> (Tensor, Tensor) {
-        let ws: Vec<&Tensor> = self.weights.iter().map(|p| &p.value).collect();
+        let ws: Vec<&Tensor> = self.shards.iter().map(|s| &s.weight.value).collect();
         (Tensor::concat_rows(&ws), self.bias.value.clone())
     }
 }
@@ -205,13 +176,31 @@ impl TpAttention {
         world: usize,
         reduce: CompressedAllReduce,
     ) -> Self {
-        assert_eq!(reduce.world(), world, "reduce world mismatch");
-        assert!(
-            world > 0 && attn.heads().is_multiple_of(world),
-            "{} heads not divisible across {world} workers",
-            attn.heads()
-        );
-        TpAttention {
+        match Self::try_from_serial(attn, world, reduce) {
+            Ok(tp) => tp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Typed variant of [`TpAttention::from_serial`].
+    pub fn try_from_serial(
+        attn: &actcomp_nn::MultiHeadAttention,
+        world: usize,
+        reduce: CompressedAllReduce,
+    ) -> Result<Self, ShardError> {
+        if reduce.world() != world {
+            return Err(ShardError::ReduceWorldMismatch {
+                reduce_world: reduce.world(),
+                world,
+            });
+        }
+        if world == 0 || !attn.heads().is_multiple_of(world) {
+            return Err(ShardError::HeadsNotDivisible {
+                heads: attn.heads(),
+                world,
+            });
+        }
+        Ok(TpAttention {
             wq: ColumnShards::from_full(&attn.wq.weight.value, &attn.wq.bias.value, world),
             wk: ColumnShards::from_full(&attn.wk.weight.value, &attn.wk.bias.value, world),
             wv: ColumnShards::from_full(&attn.wv.weight.value, &attn.wv.bias.value, world),
@@ -220,7 +209,7 @@ impl TpAttention {
             world,
             hidden: attn.hidden(),
             cache: None,
-        }
+        })
     }
 
     fn local_heads(&self) -> usize {
@@ -235,8 +224,6 @@ impl TpAttention {
     pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, CommBytes) {
         let d = self.head_dim();
         let lh = self.local_heads();
-        let hw = lh * d; // per-worker width
-        let scale = 1.0 / (d as f32).sqrt();
 
         let q = self.wq.forward(x);
         let k = self.wk.forward(x);
@@ -245,19 +232,7 @@ impl TpAttention {
         let mut ctx: Vec<Tensor> = Vec::with_capacity(self.world);
         let mut probs: Vec<Vec<Tensor>> = Vec::with_capacity(self.world);
         for wkr in 0..self.world {
-            let mut wctx = Tensor::zeros([batch * seq, hw]);
-            let mut wprobs = Vec::with_capacity(batch * lh);
-            for t in 0..batch {
-                for hd in 0..lh {
-                    let qb = head_block(&q[wkr], t, hd, seq, d, hw);
-                    let kb = head_block(&k[wkr], t, hd, seq, d, hw);
-                    let vb = head_block(&v[wkr], t, hd, seq, d, hw);
-                    let p = qb.matmul_nt(&kb).scale(scale).softmax_rows();
-                    let c = p.matmul(&vb);
-                    write_head_block(&mut wctx, &c, t, hd, seq, d, hw);
-                    wprobs.push(p);
-                }
-            }
+            let (wctx, wprobs) = attn_context_forward(&q[wkr], &k[wkr], &v[wkr], batch, seq, lh, d);
             ctx.push(wctx);
             probs.push(wprobs);
         }
@@ -289,36 +264,23 @@ impl TpAttention {
             .expect("TpAttention::backward without forward");
         let d = self.head_dim();
         let lh = self.local_heads();
-        let hw = lh * d;
-        let scale = 1.0 / (d as f32).sqrt();
 
         let dctx = self.wo.backward(dy);
         let mut dq = Vec::with_capacity(self.world);
         let mut dk = Vec::with_capacity(self.world);
         let mut dv = Vec::with_capacity(self.world);
         for wkr in 0..self.world {
-            let mut dqw = Tensor::zeros([batch * seq, hw]);
-            let mut dkw = Tensor::zeros([batch * seq, hw]);
-            let mut dvw = Tensor::zeros([batch * seq, hw]);
-            for t in 0..batch {
-                for hd in 0..lh {
-                    let p = &probs[wkr][t * lh + hd];
-                    let qb = head_block(&q[wkr], t, hd, seq, d, hw);
-                    let kb = head_block(&k[wkr], t, hd, seq, d, hw);
-                    let vb = head_block(&v[wkr], t, hd, seq, d, hw);
-                    let dc = head_block(&dctx[wkr], t, hd, seq, d, hw);
-
-                    let dp = dc.matmul_nt(&vb);
-                    let dvb = p.matmul_tn(&dc);
-                    let ds = Tensor::softmax_rows_backward(p, &dp).scale(scale);
-                    let dqb = ds.matmul(&kb);
-                    let dkb = ds.matmul_tn(&qb);
-
-                    write_head_block(&mut dqw, &dqb, t, hd, seq, d, hw);
-                    write_head_block(&mut dkw, &dkb, t, hd, seq, d, hw);
-                    write_head_block(&mut dvw, &dvb, t, hd, seq, d, hw);
-                }
-            }
+            let (dqw, dkw, dvw) = attn_context_backward(
+                &q[wkr],
+                &k[wkr],
+                &v[wkr],
+                &probs[wkr],
+                &dctx[wkr],
+                batch,
+                seq,
+                lh,
+                d,
+            );
             dq.push(dqw);
             dk.push(dkw);
             dv.push(dvw);
@@ -371,17 +333,38 @@ pub struct TpFeedForward {
 
 impl TpFeedForward {
     /// Shards a serial feed-forward block across `world` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduce serves a different worker count.
     pub fn from_serial(
         ff: &actcomp_nn::FeedForward,
         world: usize,
         reduce: CompressedAllReduce,
     ) -> Self {
-        assert_eq!(reduce.world(), world, "reduce world mismatch");
-        TpFeedForward {
+        match Self::try_from_serial(ff, world, reduce) {
+            Ok(tp) => tp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Typed variant of [`TpFeedForward::from_serial`].
+    pub fn try_from_serial(
+        ff: &actcomp_nn::FeedForward,
+        world: usize,
+        reduce: CompressedAllReduce,
+    ) -> Result<Self, ShardError> {
+        if reduce.world() != world {
+            return Err(ShardError::ReduceWorldMismatch {
+                reduce_world: reduce.world(),
+                world,
+            });
+        }
+        Ok(TpFeedForward {
             fc1: ColumnShards::from_full(&ff.fc1.weight.value, &ff.fc1.bias.value, world),
             fc2: RowShards::from_full(&ff.fc2.weight.value, &ff.fc2.bias.value, reduce),
             cache_h: None,
-        }
+        })
     }
 
     /// Forward over `[tokens, hidden]`.
@@ -444,18 +427,36 @@ pub struct TpEncoderLayer {
 impl TpEncoderLayer {
     /// Shards a serial encoder layer across `world` workers, installing
     /// the two compressed reduces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` doesn't divide the head count or a reduce serves
+    /// a different worker count.
     pub fn from_serial(
         layer: &EncoderLayer,
         world: usize,
         attn_reduce: CompressedAllReduce,
         ff_reduce: CompressedAllReduce,
     ) -> Self {
-        TpEncoderLayer {
-            attn: TpAttention::from_serial(&layer.attn, world, attn_reduce),
-            ln1: layer.ln1.clone(),
-            ff: TpFeedForward::from_serial(&layer.ff, world, ff_reduce),
-            ln2: layer.ln2.clone(),
+        match Self::try_from_serial(layer, world, attn_reduce, ff_reduce) {
+            Ok(tp) => tp,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Typed variant of [`TpEncoderLayer::from_serial`].
+    pub fn try_from_serial(
+        layer: &EncoderLayer,
+        world: usize,
+        attn_reduce: CompressedAllReduce,
+        ff_reduce: CompressedAllReduce,
+    ) -> Result<Self, ShardError> {
+        Ok(TpEncoderLayer {
+            attn: TpAttention::try_from_serial(&layer.attn, world, attn_reduce)?,
+            ln1: layer.ln1.clone(),
+            ff: TpFeedForward::try_from_serial(&layer.ff, world, ff_reduce)?,
+            ln2: layer.ln2.clone(),
+        })
     }
 
     /// Forward over `[batch·seq, hidden]`; returns output plus the bytes
@@ -509,35 +510,6 @@ impl TpEncoderLayer {
             self.ff.to_serial(),
             self.ln2.clone(),
         )
-    }
-}
-
-/// Extracts the `[seq, d]` block of local head `hd`, batch `t` from a
-/// `[batch·seq, width]` worker tensor.
-fn head_block(x: &Tensor, t: usize, hd: usize, seq: usize, d: usize, width: usize) -> Tensor {
-    let mut out = Vec::with_capacity(seq * d);
-    let base = hd * d;
-    for r in 0..seq {
-        let row = (t * seq + r) * width + base;
-        out.extend_from_slice(&x.as_slice()[row..row + d]);
-    }
-    Tensor::from_vec(out, [seq, d])
-}
-
-/// Writes a `[seq, d]` block back into a `[batch·seq, width]` tensor.
-fn write_head_block(
-    out: &mut Tensor,
-    block: &Tensor,
-    t: usize,
-    hd: usize,
-    seq: usize,
-    d: usize,
-    width: usize,
-) {
-    let base = hd * d;
-    for r in 0..seq {
-        let row = (t * seq + r) * width + base;
-        out.as_mut_slice()[row..row + d].copy_from_slice(&block.as_slice()[r * d..(r + 1) * d]);
     }
 }
 

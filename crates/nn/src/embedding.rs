@@ -54,13 +54,25 @@ impl Embedding {
     ///
     /// Panics if any id is out of vocabulary.
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        let out = self.forward_cached(ids);
+        self.cache_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Gathers rows for `ids` without storing backward state; pair with
+    /// [`Embedding::backward_ids`] when several lookups are in flight
+    /// (e.g. one per pipeline micro-batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of vocabulary.
+    pub fn forward_cached(&self, ids: &[usize]) -> Tensor {
         let (v, d) = (self.vocab(), self.dim());
         let mut out = Vec::with_capacity(ids.len() * d);
         for &id in ids {
             assert!(id < v, "token id {id} out of vocabulary (size {v})");
             out.extend_from_slice(&self.table.value.as_slice()[id * d..(id + 1) * d]);
         }
-        self.cache_ids = Some(ids.to_vec());
         Tensor::from_vec(out, [ids.len(), d])
     }
 
@@ -75,6 +87,16 @@ impl Embedding {
             .cache_ids
             .take()
             .expect("Embedding::backward called without forward");
+        self.backward_ids(&ids, dy);
+    }
+
+    /// Scatter-adds `dy` rows into the table gradient for an explicit id
+    /// list (the caller-held counterpart of [`Embedding::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy` has the wrong shape.
+    pub fn backward_ids(&mut self, ids: &[usize], dy: &Tensor) {
         let d = self.dim();
         assert_eq!(dy.dims(), &[ids.len(), d], "embedding dy shape mismatch");
         let grad = self.table.grad.as_mut_slice();

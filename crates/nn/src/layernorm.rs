@@ -26,8 +26,15 @@ pub struct LayerNorm {
     cache: Option<LnCache>,
 }
 
+/// The state [`LayerNorm::backward_cached`] needs: the normalized input
+/// and per-row inverse standard deviations.
+///
+/// [`Layer::forward`] stores one of these internally; callers that
+/// interleave several in-flight activations (e.g. a microbatched pipeline
+/// stage) use [`LayerNorm::forward_cached`] and keep the caches
+/// themselves.
 #[derive(Debug, Clone)]
-struct LnCache {
+pub struct LnCache {
     xhat: Tensor,
     inv_std: Tensor,
 }
@@ -48,10 +55,14 @@ impl LayerNorm {
     pub fn features(&self) -> usize {
         self.gamma.value.len()
     }
-}
 
-impl Layer for LayerNorm {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// Forward pass returning the backward state explicitly instead of
+    /// storing it, so callers can keep several activations in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[tokens, features]`.
+    pub fn forward_cached(&self, x: &Tensor) -> (Tensor, LnCache) {
         assert_eq!(
             x.rank(),
             2,
@@ -81,18 +92,23 @@ impl Layer for LayerNorm {
         let y = xhat
             .mul_row_broadcast(&self.gamma.value)
             .add_row_broadcast(&self.beta.value);
-        self.cache = Some(LnCache {
-            xhat,
-            inv_std: Tensor::from_vec(inv_std, [m]),
-        });
-        y
+        (
+            y,
+            LnCache {
+                xhat,
+                inv_std: Tensor::from_vec(inv_std, [m]),
+            },
+        )
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let LnCache { xhat, inv_std } = self
-            .cache
-            .take()
-            .expect("LayerNorm::backward called without forward");
+    /// Backward pass from an explicit [`LnCache`], accumulating `γ`/`β`
+    /// gradients and returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape disagrees with the cached activation's.
+    pub fn backward_cached(&mut self, dy: &Tensor, cache: LnCache) -> Tensor {
+        let LnCache { xhat, inv_std } = cache;
         let (m, n) = (xhat.dims()[0], xhat.dims()[1]);
         assert!(
             dy.shape().same_as(xhat.shape()),
@@ -124,6 +140,22 @@ impl Layer for LayerNorm {
             }
         }
         Tensor::from_vec(dx, [m, n])
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (y, cache) = self.forward_cached(x);
+        self.cache = Some(cache);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward called without forward");
+        self.backward_cached(dy, cache)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {

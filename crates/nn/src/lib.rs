@@ -56,7 +56,7 @@ pub use attention::MultiHeadAttention;
 pub use checkpoint::Checkpoint;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
-pub use layernorm::LayerNorm;
+pub use layernorm::{LayerNorm, LnCache};
 pub use linear::Linear;
 pub use module::{Layer, Parameter};
 pub use schedule::LrSchedule;

@@ -1,0 +1,289 @@
+//! Channel-based collectives for one tensor-parallel group.
+//!
+//! Each rank owns a [`TpGroup`] endpoint of a ring over
+//! `std::sync::mpsc` channels. The compressed all-reduce runs the same
+//! compressor arithmetic as the serial
+//! [`actcomp_mp::CompressedAllReduce`] — summable codes (auto-encoder,
+//! identity) are summed in rank order and decoded once; non-summable
+//! messages (Top-K, Random-K, quantized) travel by all-gather and every
+//! rank decodes and sums them locally — so a threaded run with the
+//! identity compressor is bit-identical to the serial executor.
+
+use crate::report::{timed, PhaseTimers};
+use actcomp_compress::{Compressed, Compressor};
+use actcomp_mp::CommBytes;
+use actcomp_tensor::Tensor;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A message circulating on the tensor-parallel ring, tagged with the
+/// rank that originated it.
+#[derive(Debug, Clone)]
+enum RingPayload {
+    /// A compressed activation message.
+    Code(Compressed),
+    /// An uncompressed tensor (dense backward reduces).
+    Dense(Tensor),
+    /// Compressor-parameter gradients (auto-encoder sync).
+    Grads(Vec<Tensor>),
+}
+
+type RingMsg = (usize, RingPayload);
+
+/// One rank's endpoint of a tensor-parallel ring of `world` ranks.
+///
+/// All collectives are deterministic: gathered items are indexed by
+/// origin rank and reduced in rank order `0..world`, so the result is
+/// independent of thread scheduling.
+pub struct TpGroup {
+    /// This rank's index within the group.
+    pub rank: usize,
+    /// Group size.
+    pub world: usize,
+    next_tx: Option<Sender<RingMsg>>,
+    prev_rx: Option<Receiver<RingMsg>>,
+    /// Cumulative reduce traffic (per-rank accounting, matching the
+    /// serial executor's formulas).
+    pub bytes: CommBytes,
+}
+
+impl std::fmt::Debug for TpGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TpGroup({}/{})", self.rank, self.world)
+    }
+}
+
+impl TpGroup {
+    /// Builds the endpoints of a ring over `world` ranks; endpoint `t`
+    /// sends to `(t + 1) % world` and receives from `(t − 1) % world`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    pub fn ring(world: usize) -> Vec<TpGroup> {
+        assert!(world > 0, "ring needs at least one rank");
+        if world == 1 {
+            return vec![TpGroup::solo()];
+        }
+        let links: Vec<(Sender<RingMsg>, Receiver<RingMsg>)> =
+            (0..world).map(|_| channel()).collect();
+        let mut txs: Vec<Option<Sender<RingMsg>>> = Vec::with_capacity(world);
+        let mut rxs: Vec<Option<Receiver<RingMsg>>> = Vec::with_capacity(world);
+        for (tx, rx) in links {
+            txs.push(Some(tx));
+            rxs.push(Some(rx));
+        }
+        // Link `t` carries traffic from rank t to rank (t + 1) % world:
+        // rank t holds the sender of link t and the receiver of link
+        // (t − 1) % world.
+        (0..world)
+            .map(|t| TpGroup {
+                rank: t,
+                world,
+                next_tx: txs[t].take(),
+                prev_rx: rxs[(t + world - 1) % world].take(),
+                bytes: CommBytes::default(),
+            })
+            .collect()
+    }
+
+    /// A single-rank group: collectives degenerate to local arithmetic
+    /// (matching the serial executor at `tp = 1`).
+    pub fn solo() -> TpGroup {
+        TpGroup {
+            rank: 0,
+            world: 1,
+            next_tx: None,
+            prev_rx: None,
+            bytes: CommBytes::default(),
+        }
+    }
+
+    /// All-gathers one payload per rank around the ring, returning the
+    /// payloads indexed by origin rank. Blocking time is charged to the
+    /// `wire` phase.
+    fn all_gather(&mut self, own: RingPayload, timers: &mut PhaseTimers) -> Vec<RingPayload> {
+        let mut out: Vec<Option<RingPayload>> = (0..self.world).map(|_| None).collect();
+        out[self.rank] = Some(own.clone());
+        if self.world == 1 {
+            return out.into_iter().map(|o| o.expect("own payload")).collect();
+        }
+        timed(&mut timers.wire_s, || {
+            let tx = self.next_tx.as_ref().expect("ring sender");
+            let rx = self.prev_rx.as_ref().expect("ring receiver");
+            let mut carry: RingMsg = (self.rank, own);
+            for _ in 0..self.world - 1 {
+                tx.send(carry).expect("ring peer hung up");
+                let (origin, payload) = rx.recv().expect("ring peer hung up");
+                out[origin] = Some(payload.clone());
+                carry = (origin, payload);
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("all-gather visited every rank"))
+            .collect()
+    }
+
+    /// Compressed all-reduce of this rank's `partial` with the partials
+    /// the peer ranks are concurrently contributing.
+    ///
+    /// Exactly mirrors the serial [`actcomp_mp::CompressedAllReduce`]:
+    /// summable codes are summed in rank order and decoded once;
+    /// non-summable messages are each decoded locally and summed in
+    /// rank order. Byte accounting uses the same ring/all-gather
+    /// formulas as the serial executor and accumulates into
+    /// [`TpGroup::bytes`].
+    pub fn compressed_all_reduce(
+        &mut self,
+        comp: &mut dyn Compressor,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+    ) -> Tensor {
+        let p = self.world;
+        let per_rank_ar = |bytes: usize| 2 * (p - 1) * bytes / p.max(1);
+        let dense = per_rank_ar(partial.len() * 2);
+        let msg = timed(&mut timers.encode_s, || comp.compress(partial));
+        let summable = comp.summable();
+        let gathered = self.all_gather(RingPayload::Code(msg), timers);
+        let msgs: Vec<&Compressed> = gathered
+            .iter()
+            .map(|g| match g {
+                RingPayload::Code(c) => c,
+                _ => panic!("ring delivered a non-code payload to a reduce"),
+            })
+            .collect();
+        let (out, wire) = timed(&mut timers.decode_s, || {
+            if summable {
+                let mut total = msgs[0].clone();
+                for m in &msgs[1..] {
+                    total = total.sum(m);
+                }
+                let wire = per_rank_ar(msgs[0].wire_bytes(2));
+                (comp.decompress(&total), wire)
+            } else {
+                let mut gathered_bytes = 0;
+                let mut out: Option<Tensor> = None;
+                for m in &msgs {
+                    gathered_bytes += m.wire_bytes(2);
+                    let dec = comp.decompress(m);
+                    match &mut out {
+                        Some(acc) => acc.add_assign(&dec),
+                        None => out = Some(dec),
+                    }
+                }
+                let wire = gathered_bytes * (p - 1) / p.max(1);
+                (out.expect("at least one rank"), wire)
+            }
+        });
+        self.bytes.add(CommBytes { wire, dense });
+        out
+    }
+
+    /// Exact (uncompressed) all-reduce, used for the backward reductions
+    /// the serial executor performs as plain sums — no bytes counted, to
+    /// match its accounting.
+    pub fn dense_all_reduce(&mut self, partial: &Tensor, timers: &mut PhaseTimers) -> Tensor {
+        let gathered = self.all_gather(RingPayload::Dense(partial.clone()), timers);
+        timed(&mut timers.decode_s, || {
+            let mut total: Option<Tensor> = None;
+            for g in &gathered {
+                let t = match g {
+                    RingPayload::Dense(t) => t,
+                    _ => panic!("ring delivered a non-dense payload to a dense reduce"),
+                };
+                match &mut total {
+                    Some(acc) => acc.add_assign(t),
+                    None => total = Some(t.clone()),
+                }
+            }
+            total.expect("at least one rank")
+        })
+    }
+
+    /// All-reduces `comp`'s parameter gradients across the group and
+    /// installs the sum locally — the threaded counterpart of
+    /// [`actcomp_mp::CompressedAllReduce::sync_param_grads`]. Summation
+    /// runs in rank order, so replicated auto-encoder parameters stay
+    /// bit-identical across ranks.
+    pub fn sync_param_grads(&mut self, comp: &mut dyn Compressor, timers: &mut PhaseTimers) {
+        let mut own: Vec<Tensor> = Vec::new();
+        comp.visit_params(&mut |p| own.push(p.grad.clone()));
+        let gathered = self.all_gather(RingPayload::Grads(own), timers);
+        let sums = timed(&mut timers.decode_s, || {
+            let mut sums: Vec<Tensor> = Vec::new();
+            for g in &gathered {
+                let grads = match g {
+                    RingPayload::Grads(v) => v,
+                    _ => panic!("ring delivered a non-grad payload to a grad sync"),
+                };
+                for (i, grad) in grads.iter().enumerate() {
+                    if i == sums.len() {
+                        sums.push(grad.clone());
+                    } else {
+                        sums[i].add_assign(grad);
+                    }
+                }
+            }
+            sums
+        });
+        let mut i = 0;
+        comp.visit_params(&mut |p| {
+            p.grad = sums[i].clone();
+            i += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_compress::Identity;
+    use actcomp_tensor::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn solo_reduce_matches_serial_single_worker() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = init::randn(&mut rng, [3, 8], 1.0);
+        let mut g = TpGroup::solo();
+        let mut comp = Identity::new();
+        let mut timers = PhaseTimers::default();
+        let out = g.compressed_all_reduce(&mut comp, &x, &mut timers);
+        assert_eq!(out, x);
+        assert_eq!(g.bytes.wire, 0);
+    }
+
+    #[test]
+    fn threaded_identity_reduce_sums_in_rank_order() {
+        let world = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let parts: Vec<Tensor> = (0..world)
+            .map(|_| init::randn(&mut rng, [2, 8], 1.0))
+            .collect();
+        let mut expect = parts[0].clone();
+        for p in &parts[1..] {
+            expect.add_assign(p);
+        }
+        let groups = TpGroup::ring(world);
+        let handles: Vec<_> = groups
+            .into_iter()
+            .zip(parts)
+            .map(|(mut g, p)| {
+                std::thread::spawn(move || {
+                    let mut comp = Identity::new();
+                    let mut timers = PhaseTimers::default();
+                    let out = g.compressed_all_reduce(&mut comp, &p, &mut timers);
+                    (out, g.bytes)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank"))
+            .collect();
+        for (out, bytes) in &results {
+            assert_eq!(out.max_abs_diff(&expect), 0.0, "exact rank-order sum");
+            assert_eq!(bytes.wire, bytes.dense, "identity moves dense bytes");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Configuration and typed errors for the threaded execution engine.
+
+use actcomp_mp::{MpConfig, MpConfigError};
+
+/// Configuration of a threaded model-parallel run: the model-parallel
+/// layout plus the GPipe micro-batch count.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RuntimeConfig {
+    /// Model, parallel degrees, and compression plan (shared with the
+    /// serial [`actcomp_mp::MpBert`] executor).
+    pub mp: MpConfig,
+    /// GPipe micro-batches per step. Must divide the batch size passed
+    /// to `forward`. `1` reproduces the serial executor exactly.
+    pub micro_batches: usize,
+}
+
+impl RuntimeConfig {
+    /// Validates the configuration.
+    pub fn try_validate(&self) -> Result<(), RuntimeError> {
+        self.mp.try_validate()?;
+        if self.micro_batches == 0 {
+            return Err(RuntimeError::ZeroMicroBatches);
+        }
+        Ok(())
+    }
+
+    /// Total rank (thread) count: `tp · pp`.
+    pub fn world(&self) -> usize {
+        self.mp.tp * self.mp.pp
+    }
+}
+
+/// Errors constructing or driving the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The underlying model-parallel configuration is invalid.
+    Config(MpConfigError),
+    /// `micro_batches` must be at least 1.
+    ZeroMicroBatches,
+    /// The forward batch is not divisible by the micro-batch count.
+    BatchNotDivisible {
+        /// Batch size passed to `forward`.
+        batch: usize,
+        /// Configured micro-batch count.
+        micro_batches: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Config(e) => write!(f, "{e}"),
+            RuntimeError::ZeroMicroBatches => {
+                write!(f, "micro_batches must be at least 1")
+            }
+            RuntimeError::BatchNotDivisible {
+                batch,
+                micro_batches,
+            } => write!(
+                f,
+                "batch {batch} not divisible by {micro_batches} micro-batches"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MpConfigError> for RuntimeError {
+    fn from(e: MpConfigError) -> Self {
+        RuntimeError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_compress::plan::CompressionPlan;
+    use actcomp_nn::BertConfig;
+
+    fn cfg(tp: usize, pp: usize, micro_batches: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            mp: MpConfig {
+                bert: BertConfig {
+                    vocab: 32,
+                    hidden: 16,
+                    layers: 4,
+                    heads: 4,
+                    ff_hidden: 32,
+                    max_seq: 8,
+                },
+                tp,
+                pp,
+                plan: CompressionPlan::none(),
+                tokens: 8,
+                error_feedback: false,
+            },
+            micro_batches,
+        }
+    }
+
+    #[test]
+    fn validates_micro_batches_and_world() {
+        assert!(cfg(2, 2, 1).try_validate().is_ok());
+        assert_eq!(cfg(2, 2, 1).world(), 4);
+        assert_eq!(
+            cfg(2, 2, 0).try_validate(),
+            Err(RuntimeError::ZeroMicroBatches)
+        );
+        assert!(matches!(
+            cfg(3, 1, 1).try_validate(),
+            Err(RuntimeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! One rank's shard of an encoder layer, with channel-based collectives
+//! where the serial executor sums partials in-process.
+//!
+//! The arithmetic replicates [`actcomp_mp`]'s tensor-parallel layer op
+//! for op: the two row-parallel projections (attention output, MLP
+//! contraction) go through the compressed all-reduce; the backward
+//! reductions that the serial `ColumnShards` performs as plain sums run
+//! as dense all-reduces in the same rank order, so with the identity
+//! compressor a threaded step is bit-identical to the serial one.
+
+use crate::comm::TpGroup;
+use crate::report::{timed, PhaseTimers};
+use actcomp_compress::Compressor;
+use actcomp_mp::shard::{attn_context_backward, attn_context_forward};
+use actcomp_mp::{ColumnShard, RowShard};
+use actcomp_nn::{EncoderLayer, Layer, LayerNorm, LnCache, Parameter};
+use actcomp_tensor::{ops::gelu_grad, Tensor};
+
+/// Activations cached between a micro-batch's forward and backward.
+/// Pushed/popped LIFO, matching the GPipe fill/drain order.
+struct LayerCache {
+    x: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    probs: Vec<Tensor>,
+    ctx: Tensor,
+    h1: Tensor,
+    h: Tensor,
+    act: Tensor,
+    ln1c: LnCache,
+    ln2c: LnCache,
+    batch: usize,
+    seq: usize,
+}
+
+/// One rank's shard of one encoder layer: column shards of the QKV and
+/// MLP-expansion weights, row shards of the output projections,
+/// replicated layer norms and row biases, plus this rank's compressor
+/// instances for the two all-reduce points.
+pub struct RankLayer {
+    wq: ColumnShard,
+    wk: ColumnShard,
+    wv: ColumnShard,
+    wo: RowShard,
+    wo_bias: Parameter,
+    ln1: LayerNorm,
+    fc1: ColumnShard,
+    fc2: RowShard,
+    fc2_bias: Parameter,
+    ln2: LayerNorm,
+    attn_comp: Box<dyn Compressor>,
+    ff_comp: Box<dyn Compressor>,
+    heads: usize,
+    world: usize,
+    hidden: usize,
+    caches: Vec<LayerCache>,
+}
+
+impl RankLayer {
+    /// Builds rank `tpi`'s shard of a serial encoder layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` doesn't divide the head count (the runtime
+    /// validates this before spawning ranks).
+    pub fn from_serial(
+        layer: &EncoderLayer,
+        tpi: usize,
+        world: usize,
+        attn_comp: Box<dyn Compressor>,
+        ff_comp: Box<dyn Compressor>,
+    ) -> Self {
+        let attn = &layer.attn;
+        let heads = attn.heads();
+        assert!(
+            world > 0 && heads.is_multiple_of(world),
+            "{heads} heads not divisible across {world} workers"
+        );
+        let take = |mut shards: Vec<ColumnShard>| shards.swap_remove(tpi);
+        let take_row = |mut shards: Vec<RowShard>| shards.swap_remove(tpi);
+        RankLayer {
+            wq: take(ColumnShard::split(
+                &attn.wq.weight.value,
+                &attn.wq.bias.value,
+                world,
+            )),
+            wk: take(ColumnShard::split(
+                &attn.wk.weight.value,
+                &attn.wk.bias.value,
+                world,
+            )),
+            wv: take(ColumnShard::split(
+                &attn.wv.weight.value,
+                &attn.wv.bias.value,
+                world,
+            )),
+            wo: take_row(RowShard::split(&attn.wo.weight.value, world)),
+            wo_bias: Parameter::new(attn.wo.bias.value.clone()),
+            ln1: layer.ln1.clone(),
+            fc1: take(ColumnShard::split(
+                &layer.ff.fc1.weight.value,
+                &layer.ff.fc1.bias.value,
+                world,
+            )),
+            fc2: take_row(RowShard::split(&layer.ff.fc2.weight.value, world)),
+            fc2_bias: Parameter::new(layer.ff.fc2.bias.value.clone()),
+            ln2: layer.ln2.clone(),
+            attn_comp,
+            ff_comp,
+            heads,
+            world,
+            hidden: attn.hidden(),
+            caches: Vec::new(),
+        }
+    }
+
+    fn local_heads(&self) -> usize {
+        self.heads / self.world
+    }
+
+    fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Forward for one micro-batch over `[batch·seq, hidden]`, running
+    /// both compressed all-reduces through the group's ring.
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        tp: &mut TpGroup,
+        timers: &mut PhaseTimers,
+    ) -> Tensor {
+        let lh = self.local_heads();
+        let d = self.head_dim();
+        let (q, k, v, ctx, probs, partial) = timed(&mut timers.compute_s, || {
+            let q = self.wq.forward(x);
+            let k = self.wk.forward(x);
+            let v = self.wv.forward(x);
+            let (ctx, probs) = attn_context_forward(&q, &k, &v, batch, seq, lh, d);
+            let partial = self.wo.partial(&ctx);
+            (q, k, v, ctx, probs, partial)
+        });
+        let s = tp.compressed_all_reduce(self.attn_comp.as_mut(), &partial, timers);
+        let (h1, ln1c, h, act, partial2) = timed(&mut timers.compute_s, || {
+            let a = s.add_row_broadcast(&self.wo_bias.value);
+            let (h1, ln1c) = self.ln1.forward_cached(&x.add(&a));
+            let h = self.fc1.forward(&h1);
+            let act = h.gelu();
+            let partial2 = self.fc2.partial(&act);
+            (h1, ln1c, h, act, partial2)
+        });
+        let s2 = tp.compressed_all_reduce(self.ff_comp.as_mut(), &partial2, timers);
+        let (y, ln2c) = timed(&mut timers.compute_s, || {
+            let f = s2.add_row_broadcast(&self.fc2_bias.value);
+            self.ln2.forward_cached(&h1.add(&f))
+        });
+        self.caches.push(LayerCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            probs,
+            ctx,
+            h1,
+            h,
+            act,
+            ln1c,
+            ln2c,
+            batch,
+            seq,
+        });
+        y
+    }
+
+    /// Backward for the most recent un-backwarded micro-batch; returns
+    /// the input gradient.
+    pub fn backward(&mut self, dy: &Tensor, tp: &mut TpGroup, timers: &mut PhaseTimers) -> Tensor {
+        let LayerCache {
+            x,
+            q,
+            k,
+            v,
+            probs,
+            ctx,
+            h1,
+            h,
+            act,
+            ln1c,
+            ln2c,
+            batch,
+            seq,
+        } = self
+            .caches
+            .pop()
+            .expect("RankLayer::backward without forward");
+        let lh = self.local_heads();
+        let d = self.head_dim();
+
+        let d2 = timed(&mut timers.compute_s, || {
+            let d2 = self.ln2.backward_cached(dy, ln2c);
+            self.fc2_bias.grad.add_assign(&d2.sum_axis0());
+            d2
+        });
+        let dp = timed(&mut timers.encode_s, || self.ff_comp.backward(&d2));
+        let part = timed(&mut timers.compute_s, || {
+            let da = self.fc2.backward(&act, &dp);
+            let dh = h.map(gelu_grad).mul(&da);
+            self.fc1.backward(&h1, &dh)
+        });
+        let df = tp.dense_all_reduce(&part, timers);
+        let d1 = timed(&mut timers.compute_s, || {
+            let dh1 = d2.add(&df);
+            let d1 = self.ln1.backward_cached(&dh1, ln1c);
+            self.wo_bias.grad.add_assign(&d1.sum_axis0());
+            d1
+        });
+        let dpa = timed(&mut timers.encode_s, || self.attn_comp.backward(&d1));
+        let (pq, pk, pv) = timed(&mut timers.compute_s, || {
+            let dctx = self.wo.backward(&ctx, &dpa);
+            let (dq, dk, dv) = attn_context_backward(&q, &k, &v, &probs, &dctx, batch, seq, lh, d);
+            let pq = self.wq.backward(&x, &dq);
+            let pk = self.wk.backward(&x, &dk);
+            let pv = self.wv.backward(&x, &dv);
+            (pq, pk, pv)
+        });
+        let mut dx = tp.dense_all_reduce(&pq, timers);
+        dx.add_assign(&tp.dense_all_reduce(&pk, timers));
+        dx.add_assign(&tp.dense_all_reduce(&pv, timers));
+        timed(&mut timers.compute_s, || d1.add(&dx))
+    }
+
+    /// Ring-syncs this layer's compressor-parameter gradients (the
+    /// threaded counterpart of the serial `sync_compressor_grads`).
+    pub fn sync_compressor_grads(&mut self, tp: &mut TpGroup, timers: &mut PhaseTimers) {
+        tp.sync_param_grads(self.attn_comp.as_mut(), timers);
+        tp.sync_param_grads(self.ff_comp.as_mut(), timers);
+    }
+
+    /// Visits this rank's model parameters (shards, replicated norms and
+    /// row biases) in the rank-local canonical order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+        f(&mut self.wo_bias);
+        self.ln1.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+        f(&mut self.fc2_bias);
+        self.ln2.visit_params(f);
+    }
+
+    /// Visits this rank's compressor parameters (attention reduce, then
+    /// feed-forward reduce).
+    pub fn visit_compressor_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.attn_comp.visit_params(f);
+        self.ff_comp.visit_params(f);
+    }
+
+    /// Collects the structured gradient snapshot the driver reassembles
+    /// into the serial parameter order.
+    pub fn grads(&mut self) -> LayerGrads {
+        let grab = |p: &Parameter| p.grad.clone();
+        LayerGrads {
+            wq: vec![grab(&self.wq.weight), grab(&self.wq.bias)],
+            wk: vec![grab(&self.wk.weight), grab(&self.wk.bias)],
+            wv: vec![grab(&self.wv.weight), grab(&self.wv.bias)],
+            wo_weight: grab(&self.wo.weight),
+            wo_bias: grab(&self.wo_bias),
+            ln1: {
+                let mut v = Vec::new();
+                self.ln1.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            },
+            fc1: vec![grab(&self.fc1.weight), grab(&self.fc1.bias)],
+            fc2_weight: grab(&self.fc2.weight),
+            fc2_bias: grab(&self.fc2_bias),
+            ln2: {
+                let mut v = Vec::new();
+                self.ln2.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            },
+            attn_comp: {
+                let mut v = Vec::new();
+                self.attn_comp.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            },
+            ff_comp: {
+                let mut v = Vec::new();
+                self.ff_comp.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            },
+        }
+    }
+}
+
+/// One rank's gradient snapshot for one layer, in shard-local form.
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// Query column shard `[weight, bias]`.
+    pub wq: Vec<Tensor>,
+    /// Key column shard `[weight, bias]`.
+    pub wk: Vec<Tensor>,
+    /// Value column shard `[weight, bias]`.
+    pub wv: Vec<Tensor>,
+    /// Attention output row-shard weight.
+    pub wo_weight: Tensor,
+    /// Replicated attention output bias.
+    pub wo_bias: Tensor,
+    /// Replicated post-attention norm `[gain, bias]`.
+    pub ln1: Vec<Tensor>,
+    /// MLP expansion column shard `[weight, bias]`.
+    pub fc1: Vec<Tensor>,
+    /// MLP contraction row-shard weight.
+    pub fc2_weight: Tensor,
+    /// Replicated MLP contraction bias.
+    pub fc2_bias: Tensor,
+    /// Replicated post-MLP norm `[gain, bias]`.
+    pub ln2: Vec<Tensor>,
+    /// This rank's attention-reduce compressor parameter gradients.
+    pub attn_comp: Vec<Tensor>,
+    /// This rank's feed-forward-reduce compressor parameter gradients.
+    pub ff_comp: Vec<Tensor>,
+}

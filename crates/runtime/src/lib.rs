@@ -1,0 +1,73 @@
+//! # actcomp-runtime
+//!
+//! A real multi-threaded model-parallel execution engine for the
+//! `actcomp` reproduction of *"Does Compressing Activations Help Model
+//! Parallel Training?"* (MLSys 2024).
+//!
+//! Where `actcomp-mp` executes model parallelism as a single-threaded
+//! simulation (all workers' shards summed in-process) and
+//! `actcomp-distsim` only *costs* it, this crate runs one OS thread per
+//! model-parallel rank and moves activations between them as real
+//! messages over `std::sync::mpsc` channels:
+//!
+//! - each rank owns its tensor-parallel shard of its pipeline stage,
+//!   built from the same [`actcomp_mp`] shard primitives;
+//! - the compressed all-reduce (summable auto-encoder codes) and
+//!   compressed all-gather (Top-K / Random-K / quantized messages) run
+//!   over a reusable ring topology ([`TpGroup`]) with the same
+//!   compressor arithmetic as the serial
+//!   [`CompressedAllReduce`](actcomp_mp::CompressedAllReduce);
+//! - pipeline stages run the GPipe fill/drain micro-batch schedule,
+//!   shared with `actcomp-distsim`'s
+//!   [`gpipe_order`](actcomp_distsim::schedule::gpipe_order);
+//! - every rank keeps per-phase wall-clock timers
+//!   (compute/encode/wire/decode), aggregated into a [`RuntimeReport`]
+//!   and emitted as `BENCH_runtime.json`.
+//!
+//! The engine is deterministic given a seed — every collective reduces
+//! in rank order, per-rank RNGs are `ChaCha8` streams — and
+//! bit-identical to the serial [`MpBert`](actcomp_mp::MpBert) when
+//! compression is off (test-enforced).
+//!
+//! # Example
+//!
+//! ```
+//! use actcomp_runtime::{RuntimeConfig, ThreadedRuntime};
+//! use actcomp_mp::MpConfig;
+//! use actcomp_compress::plan::CompressionPlan;
+//! use actcomp_nn::BertConfig;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let cfg = RuntimeConfig {
+//!     mp: MpConfig {
+//!         bert: BertConfig { vocab: 32, hidden: 16, layers: 4, heads: 4, ff_hidden: 32, max_seq: 8 },
+//!         tp: 2,
+//!         pp: 2,
+//!         plan: CompressionPlan::none(),
+//!         tokens: 8,
+//!         error_feedback: false,
+//!     },
+//!     micro_batches: 2,
+//! };
+//! let mut rt = ThreadedRuntime::new(&mut rng, cfg).expect("valid config");
+//! let hidden = rt.forward(&[1, 2, 3, 4, 5, 6, 7, 8], 2, 4);
+//! assert_eq!(hidden.dims(), &[8, 16]);
+//! let report = rt.report();
+//! assert!(report.totals.total_s() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod config;
+pub mod layer;
+mod rank;
+pub mod report;
+mod runtime;
+
+pub use comm::TpGroup;
+pub use config::{RuntimeConfig, RuntimeError};
+pub use rank::RankGrads;
+pub use report::{PhaseTimers, RankReport, RuntimeReport};
+pub use runtime::ThreadedRuntime;

@@ -1,0 +1,451 @@
+//! The per-rank worker: one OS thread owning one tensor-parallel shard
+//! of one pipeline stage, driven by commands from the runtime and
+//! exchanging activations/gradients with its peers over channels.
+
+use crate::comm::TpGroup;
+use crate::layer::{LayerGrads, RankLayer};
+use crate::report::{timed, PhaseTimers, RankReport};
+use actcomp_compress::{Compressed, Compressor};
+use actcomp_distsim::schedule::gpipe_order;
+use actcomp_mp::CommBytes;
+use actcomp_nn::{Embedding, Layer, LayerNorm, LnCache, Parameter};
+use actcomp_tensor::Tensor;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Commands the runtime broadcasts to every rank.
+#[derive(Debug, Clone)]
+pub(crate) enum Command {
+    /// Run the GPipe fill (all micro-batch forwards for this stage).
+    Forward {
+        /// Token ids for the whole batch (stage 0 slices micro-batches).
+        ids: Vec<usize>,
+        /// Sequences in the batch.
+        batch: usize,
+        /// Tokens per sequence.
+        seq: usize,
+    },
+    /// Run the GPipe drain (all micro-batch backwards, reversed).
+    Backward {
+        /// Gradient of the final hidden states for the whole batch.
+        dhidden: Tensor,
+    },
+    /// Zero every owned gradient.
+    ZeroGrad,
+    /// Apply one SGD step to every owned parameter.
+    SgdStep {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Snapshot owned gradients for reassembly by the driver.
+    CollectGrads,
+    /// Snapshot timers and byte counters.
+    Report,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Responses ranks send back to the runtime.
+pub(crate) enum Response {
+    /// Command finished on this rank.
+    Done,
+    /// Final hidden states (sent by the last stage's rank 0 instead of
+    /// `Done` for a forward command).
+    Output { y: Tensor },
+    /// Gradient snapshot.
+    Grads { rank: usize, grads: RankGrads },
+    /// Timer/byte snapshot.
+    Report { report: Box<RankReport> },
+}
+
+/// A message crossing a pipeline boundary in the forward direction.
+pub(crate) enum FwdMsg {
+    /// A compressed micro-batch activation.
+    Activation(Compressed),
+    /// Boundary-compressor parameter gradients, sent after the drain so
+    /// the receiver's decode replica applies the identical SGD step.
+    GradSync(Vec<Tensor>),
+}
+
+/// Sending half of a pipeline boundary (owned by `tp_index == 0` of
+/// every non-final stage). Holds the authoritative compressor: it
+/// compresses forward activations and runs the compressor backward on
+/// the returning gradient, accumulating any compressor-parameter grads.
+pub(crate) struct BoundarySender {
+    pub comp: Box<dyn Compressor>,
+    pub bytes: CommBytes,
+    pub tx: Sender<FwdMsg>,
+    pub grad_rx: Receiver<Tensor>,
+}
+
+/// Receiving half of a pipeline boundary (owned by `tp_index == 0` of
+/// every non-first stage). Holds a decode-only replica built from the
+/// same seed as the sender's compressor and kept in lockstep via
+/// [`FwdMsg::GradSync`].
+pub(crate) struct BoundaryReceiver {
+    pub replica: Box<dyn Compressor>,
+    pub rx: Receiver<FwdMsg>,
+    pub grad_tx: Sender<Tensor>,
+}
+
+/// Replicated first-stage embeddings with per-micro-batch caches.
+pub(crate) struct EmbeddingStage {
+    pub tok: Embedding,
+    pub pos: Embedding,
+    pub emb_ln: LayerNorm,
+    caches: Vec<(Vec<usize>, Vec<usize>, LnCache)>,
+}
+
+impl EmbeddingStage {
+    pub fn new(tok: Embedding, pos: Embedding, emb_ln: LayerNorm) -> Self {
+        EmbeddingStage {
+            tok,
+            pos,
+            emb_ln,
+            caches: Vec::new(),
+        }
+    }
+
+    fn forward_mb(&mut self, ids: &[usize], mb_batch: usize, seq: usize) -> Tensor {
+        let t = self.tok.forward_cached(ids);
+        let pos_ids: Vec<usize> = (0..mb_batch).flat_map(|_| 0..seq).collect();
+        let p = self.pos.forward_cached(&pos_ids);
+        let (x, cache) = self.emb_ln.forward_cached(&t.add(&p));
+        self.caches.push((ids.to_vec(), pos_ids, cache));
+        x
+    }
+
+    fn backward_mb(&mut self, d: &Tensor) {
+        let (ids, pos_ids, cache) = self
+            .caches
+            .pop()
+            .expect("embedding backward without forward");
+        let demb = self.emb_ln.backward_cached(d, cache);
+        self.tok.backward_ids(&ids, &demb);
+        self.pos.backward_ids(&pos_ids, &demb);
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.tok.visit_params(f);
+        self.pos.visit_params(f);
+        self.emb_ln.visit_params(f);
+    }
+}
+
+/// One rank's gradient snapshot, reassembled by the driver into the
+/// serial `MpBert::visit_all_params` order.
+#[derive(Debug, Clone)]
+pub struct RankGrads {
+    /// `[tok, pos, emb_ln gain, emb_ln bias]` — stage-0 ranks only.
+    pub embedding: Vec<Tensor>,
+    /// Per owned layer, in stage order.
+    pub layers: Vec<LayerGrads>,
+    /// Boundary-compressor parameter grads (boundary senders only).
+    pub boundary_comp: Vec<Tensor>,
+}
+
+/// One model-parallel rank: an OS thread owning a TP shard of one
+/// pipeline stage.
+pub(crate) struct RankWorker {
+    pub rank: usize,
+    pub stage: usize,
+    pub tpi: usize,
+    pub pp: usize,
+    pub micro_batches: usize,
+    pub embedding: Option<EmbeddingStage>,
+    pub layers: Vec<RankLayer>,
+    pub tp: TpGroup,
+    /// Intra-stage broadcast: stage rank 0 fans decoded boundary
+    /// tensors out to its TP peers.
+    pub bcast_tx: Vec<Sender<Tensor>>,
+    pub bcast_rx: Option<Receiver<Tensor>>,
+    pub send_b: Option<BoundarySender>,
+    pub recv_b: Option<BoundaryReceiver>,
+    pub timers: PhaseTimers,
+    pub cmd_rx: Receiver<Command>,
+    pub resp_tx: Sender<Response>,
+    /// Per-micro-batch outputs buffered on the last stage.
+    fwd_out: Vec<Tensor>,
+}
+
+impl RankWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: usize,
+        stage: usize,
+        tpi: usize,
+        pp: usize,
+        micro_batches: usize,
+        embedding: Option<EmbeddingStage>,
+        layers: Vec<RankLayer>,
+        tp: TpGroup,
+        bcast_tx: Vec<Sender<Tensor>>,
+        bcast_rx: Option<Receiver<Tensor>>,
+        send_b: Option<BoundarySender>,
+        recv_b: Option<BoundaryReceiver>,
+        cmd_rx: Receiver<Command>,
+        resp_tx: Sender<Response>,
+    ) -> Self {
+        RankWorker {
+            rank,
+            stage,
+            tpi,
+            pp,
+            micro_batches,
+            embedding,
+            layers,
+            tp,
+            bcast_tx,
+            bcast_rx,
+            send_b,
+            recv_b,
+            timers: PhaseTimers::default(),
+            cmd_rx,
+            resp_tx,
+            fwd_out: Vec::new(),
+        }
+    }
+
+    fn is_last_stage(&self) -> bool {
+        self.stage + 1 == self.pp
+    }
+
+    /// The worker loop: block on commands until shutdown.
+    pub fn run(mut self) {
+        while let Ok(cmd) = self.cmd_rx.recv() {
+            match cmd {
+                Command::Forward { ids, batch, seq } => self.forward(&ids, batch, seq),
+                Command::Backward { dhidden } => self.backward(&dhidden),
+                Command::ZeroGrad => {
+                    self.visit_owned_params(&mut |p| p.zero_grad());
+                    self.done();
+                }
+                Command::SgdStep { lr } => {
+                    self.visit_owned_params(&mut |p| p.value.axpy(-lr, &p.grad));
+                    self.done();
+                }
+                Command::CollectGrads => self.collect_grads(),
+                Command::Report => {
+                    let report = RankReport {
+                        rank: self.rank,
+                        stage: self.stage,
+                        tp_index: self.tpi,
+                        timers: self.timers,
+                        reduce_bytes: self.tp.bytes,
+                        boundary_bytes: self.send_b.as_ref().map(|b| b.bytes).unwrap_or_default(),
+                    };
+                    self.respond(Response::Report {
+                        report: Box::new(report),
+                    });
+                }
+                Command::Shutdown => break,
+            }
+        }
+    }
+
+    fn done(&self) {
+        self.respond(Response::Done);
+    }
+
+    fn respond(&self, resp: Response) {
+        self.resp_tx.send(resp).expect("runtime hung up");
+    }
+
+    /// Broadcasts a tensor decoded on stage rank 0 to all TP peers, or
+    /// receives it on a peer rank.
+    fn stage_broadcast(&mut self, t: Option<Tensor>) -> Tensor {
+        if self.tpi == 0 {
+            let t = t.expect("stage rank 0 provides the broadcast value");
+            timed(&mut self.timers.wire_s, || {
+                for tx in &self.bcast_tx {
+                    tx.send(t.clone()).expect("stage peer hung up");
+                }
+            });
+            t
+        } else {
+            let rx = self.bcast_rx.as_ref().expect("peer broadcast receiver");
+            timed(&mut self.timers.wire_s, || {
+                rx.recv().expect("stage rank 0 hung up")
+            })
+        }
+    }
+
+    /// GPipe fill: run this stage's forwards in the shared schedule's
+    /// micro-batch order.
+    fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) {
+        let m = self.micro_batches;
+        let mb_batch = batch / m;
+        self.fwd_out.clear();
+        let order = gpipe_order(self.pp, m, self.stage);
+        for op in order.into_iter().filter(|o| !o.backward) {
+            let mut x = if let Some(emb) = self.embedding.as_mut() {
+                let lo = op.mb * mb_batch * seq;
+                let hi = lo + mb_batch * seq;
+                let t0 = std::time::Instant::now();
+                let x = emb.forward_mb(&ids[lo..hi], mb_batch, seq);
+                self.timers.compute_s += t0.elapsed().as_secs_f64();
+                x
+            } else {
+                let decoded = if self.tpi == 0 {
+                    let b = self.recv_b.as_mut().expect("non-first stage receiver");
+                    let msg = timed(&mut self.timers.wire_s, || {
+                        b.rx.recv().expect("upstream stage hung up")
+                    });
+                    let msg = match msg {
+                        FwdMsg::Activation(msg) => msg,
+                        FwdMsg::GradSync(_) => panic!("grad sync during forward"),
+                    };
+                    Some(timed(&mut self.timers.decode_s, || {
+                        b.replica.decompress(&msg)
+                    }))
+                } else {
+                    None
+                };
+                self.stage_broadcast(decoded)
+            };
+            for layer in &mut self.layers {
+                x = layer.forward(&x, mb_batch, seq, &mut self.tp, &mut self.timers);
+            }
+            if self.is_last_stage() {
+                self.fwd_out.push(x);
+            } else if self.tpi == 0 {
+                let b = self.send_b.as_mut().expect("non-final stage sender");
+                let msg = timed(&mut self.timers.encode_s, || b.comp.compress(&x));
+                b.bytes.add(CommBytes {
+                    wire: msg.wire_bytes(2),
+                    dense: x.len() * 2,
+                });
+                timed(&mut self.timers.wire_s, || {
+                    b.tx.send(FwdMsg::Activation(msg))
+                        .expect("downstream stage hung up")
+                });
+            }
+        }
+        if self.is_last_stage() && self.tpi == 0 {
+            let parts: Vec<&Tensor> = self.fwd_out.iter().collect();
+            self.respond(Response::Output {
+                y: Tensor::concat_rows(&parts),
+            });
+        } else {
+            self.done();
+        }
+    }
+
+    /// GPipe drain: run this stage's backwards in the shared schedule's
+    /// (reversed) micro-batch order, then ring-sync compressor grads and
+    /// forward the boundary grads to the decode replicas.
+    fn backward(&mut self, dhidden: &Tensor) {
+        let m = self.micro_batches;
+        let rows = dhidden.dims()[0];
+        let mb_rows = rows / m;
+        let order = gpipe_order(self.pp, m, self.stage);
+        for op in order.into_iter().filter(|o| o.backward) {
+            let mut d = if self.is_last_stage() {
+                timed(&mut self.timers.compute_s, || {
+                    dhidden.slice_rows(op.mb * mb_rows, (op.mb + 1) * mb_rows)
+                })
+            } else {
+                let grad = if self.tpi == 0 {
+                    let b = self.send_b.as_mut().expect("non-final stage sender");
+                    let dy = timed(&mut self.timers.wire_s, || {
+                        b.grad_rx.recv().expect("downstream stage hung up")
+                    });
+                    Some(timed(&mut self.timers.encode_s, || b.comp.backward(&dy)))
+                } else {
+                    None
+                };
+                self.stage_broadcast(grad)
+            };
+            for layer in self.layers.iter_mut().rev() {
+                d = layer.backward(&d, &mut self.tp, &mut self.timers);
+            }
+            if let Some(emb) = self.embedding.as_mut() {
+                let t0 = std::time::Instant::now();
+                emb.backward_mb(&d);
+                self.timers.compute_s += t0.elapsed().as_secs_f64();
+            } else if self.tpi == 0 {
+                let b = self.recv_b.as_mut().expect("non-first stage receiver");
+                timed(&mut self.timers.wire_s, || {
+                    b.grad_tx.send(d).expect("upstream stage hung up")
+                });
+            }
+        }
+        // Post-drain synchronization, in the serial executor's order:
+        // per-layer compressor grads first, then boundary replicas.
+        for layer in &mut self.layers {
+            layer.sync_compressor_grads(&mut self.tp, &mut self.timers);
+        }
+        if let Some(b) = self.send_b.as_mut() {
+            let mut grads = Vec::new();
+            b.comp.visit_params(&mut |p| grads.push(p.grad.clone()));
+            timed(&mut self.timers.wire_s, || {
+                b.tx.send(FwdMsg::GradSync(grads))
+                    .expect("downstream stage hung up")
+            });
+        }
+        if let Some(b) = self.recv_b.as_mut() {
+            let msg = timed(&mut self.timers.wire_s, || {
+                b.rx.recv().expect("upstream stage hung up")
+            });
+            match msg {
+                FwdMsg::GradSync(grads) => {
+                    let mut i = 0;
+                    b.replica.visit_params(&mut |p| {
+                        p.grad = grads[i].clone();
+                        i += 1;
+                    });
+                }
+                FwdMsg::Activation(_) => panic!("activation during grad sync"),
+            }
+        }
+        self.done();
+    }
+
+    /// Visits every parameter this rank owns and updates with SGD:
+    /// embeddings (stage 0), layer shards and replicas, layer
+    /// compressors, and both halves of adjacent pipeline boundaries.
+    fn visit_owned_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        if let Some(emb) = self.embedding.as_mut() {
+            emb.visit_params(f);
+        }
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+        for layer in &mut self.layers {
+            layer.visit_compressor_params(f);
+        }
+        if let Some(b) = self.send_b.as_mut() {
+            b.comp.visit_params(f);
+        }
+        if let Some(b) = self.recv_b.as_mut() {
+            b.replica.visit_params(f);
+        }
+    }
+
+    fn collect_grads(&mut self) {
+        let embedding = match self.embedding.as_mut() {
+            Some(emb) => {
+                let mut v = Vec::new();
+                emb.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            }
+            None => Vec::new(),
+        };
+        let layers: Vec<LayerGrads> = self.layers.iter_mut().map(|l| l.grads()).collect();
+        let boundary_comp = match self.send_b.as_mut() {
+            Some(b) => {
+                let mut v = Vec::new();
+                b.comp.visit_params(&mut |p| v.push(p.grad.clone()));
+                v
+            }
+            None => Vec::new(),
+        };
+        self.respond(Response::Grads {
+            rank: self.rank,
+            grads: RankGrads {
+                embedding,
+                layers,
+                boundary_comp,
+            },
+        });
+    }
+}

@@ -1,0 +1,444 @@
+//! The threaded execution engine: spawns one OS thread per model-parallel
+//! rank and drives them through command/response channels.
+//!
+//! Rank `r` owns tensor-parallel shard `r % tp` of pipeline stage
+//! `r / tp`. Compressors are constructed with exactly the same RNG draw
+//! order as the serial [`MpBert`](actcomp_mp::MpBert) builder, so a
+//! threaded run and a serial run built from the same serial encoder and
+//! seed hold bit-identical parameters.
+
+use crate::comm::TpGroup;
+use crate::config::{RuntimeConfig, RuntimeError};
+use crate::layer::RankLayer;
+use crate::rank::{
+    BoundaryReceiver, BoundarySender, Command, EmbeddingStage, FwdMsg, RankGrads, RankWorker,
+    Response,
+};
+use crate::report::{RankReport, RuntimeReport};
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_compress::{Compressor, Identity};
+use actcomp_mp::stage_offsets;
+use actcomp_nn::BertEncoder;
+use actcomp_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Per-layer compressor construction recipe, derived from the plan with
+/// the serial builder's RNG draw order.
+struct LayerSeeds {
+    attn: (CompressorSpec, u64),
+    ff: (CompressorSpec, u64),
+}
+
+/// A multi-threaded model-parallel execution engine: `tp · pp` OS
+/// threads exchanging compressed activations over channels.
+///
+/// With compression off ([`CompressionPlan::none`]) a step is
+/// bit-identical to the serial [`MpBert`](actcomp_mp::MpBert) executor
+/// (test-enforced); with compression on, runs are deterministic given
+/// the seed because every collective reduces in rank order.
+///
+/// [`CompressionPlan::none`]: actcomp_compress::plan::CompressionPlan::none
+pub struct ThreadedRuntime {
+    cmd_txs: Vec<Sender<Command>>,
+    resp_rx: Receiver<Response>,
+    handles: Vec<JoinHandle<()>>,
+    cfg: RuntimeConfig,
+}
+
+impl std::fmt::Debug for ThreadedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ThreadedRuntime(tp={}, pp={}, m={})",
+            self.cfg.mp.tp, self.cfg.mp.pp, self.cfg.micro_batches
+        )
+    }
+}
+
+impl ThreadedRuntime {
+    /// Builds the engine from a fresh serial initialization (drawing the
+    /// serial encoder from `rng` first, exactly like
+    /// [`MpBert::new`](actcomp_mp::MpBert::new)).
+    pub fn new(rng: &mut ChaCha8Rng, cfg: RuntimeConfig) -> Result<Self, RuntimeError> {
+        cfg.try_validate()?;
+        let serial = BertEncoder::new(rng, cfg.mp.bert.clone());
+        Self::from_serial(&serial, cfg, rng)
+    }
+
+    /// Shards an existing serial encoder across `tp · pp` rank threads.
+    ///
+    /// `rng` is consumed with the same draw order as
+    /// [`MpBert::from_serial`](actcomp_mp::MpBert::from_serial), so the
+    /// two executors build identical compressor stacks from the same
+    /// generator state.
+    pub fn from_serial(
+        serial: &BertEncoder,
+        cfg: RuntimeConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Self, RuntimeError> {
+        cfg.try_validate()?;
+        let tp = cfg.mp.tp;
+        let pp = cfg.mp.pp;
+        let m = cfg.micro_batches;
+        let world = tp * pp;
+        let h = cfg.mp.bert.hidden;
+        if !cfg.mp.tokens.is_multiple_of(m) {
+            return Err(RuntimeError::BatchNotDivisible {
+                batch: cfg.mp.tokens,
+                micro_batches: m,
+            });
+        }
+        // Compressors see per-micro-batch activations of
+        // `tokens/m · hidden` elements; at m = 1 this matches the serial
+        // executor's sizing exactly.
+        let n = (cfg.mp.tokens / m) * h;
+
+        // Replicate the serial builder's RNG draw order: one seed per
+        // reduce (attention then feed-forward, in layer order), then one
+        // per *compressed* boundary.
+        let layer_seeds: Vec<LayerSeeds> = (0..cfg.mp.bert.layers)
+            .map(|l| {
+                let covered = cfg.mp.plan.covers(l);
+                let spec = if covered && tp > 1 {
+                    cfg.mp.plan.spec
+                } else {
+                    CompressorSpec::Baseline
+                };
+                LayerSeeds {
+                    attn: (spec, rng.gen()),
+                    ff: (spec, rng.gen()),
+                }
+            })
+            .collect();
+        let offsets = stage_offsets(cfg.mp.bert.layers, pp);
+        let boundary_seeds: Vec<Option<u64>> = (0..pp.saturating_sub(1))
+            .map(|b| cfg.mp.plan.covers(offsets[b + 1]).then(|| rng.gen()))
+            .collect();
+
+        let build = |spec: CompressorSpec, seed: u64| -> Box<dyn Compressor> {
+            let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+            let c = spec.build(&mut wrng, n, h);
+            if cfg.mp.error_feedback && spec != CompressorSpec::Baseline {
+                Box::new(actcomp_compress::ErrorFeedback::new(c))
+            } else {
+                c
+            }
+        };
+        let build_boundary = |b: usize| -> Box<dyn Compressor> {
+            match boundary_seeds[b] {
+                Some(seed) => {
+                    let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+                    let c = cfg.mp.plan.spec.build(&mut wrng, n, h);
+                    if cfg.mp.error_feedback {
+                        Box::new(actcomp_compress::ErrorFeedback::new(c))
+                    } else {
+                        c
+                    }
+                }
+                None => Box::new(Identity::new()),
+            }
+        };
+
+        // Channel plumbing. All senders/receivers are created up front
+        // on the driver thread, then moved into the rank workers.
+        let (resp_tx, resp_rx) = channel::<Response>();
+        let mut cmd_txs = Vec::with_capacity(world);
+        let mut cmd_rxs = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = channel::<Command>();
+            cmd_txs.push(tx);
+            cmd_rxs.push(Some(rx));
+        }
+        let mut rings: Vec<Vec<Option<TpGroup>>> = (0..pp)
+            .map(|_| TpGroup::ring(tp).into_iter().map(Some).collect())
+            .collect();
+        // Intra-stage broadcast fan-out from each stage's rank 0.
+        let mut bcast_txs: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(pp);
+        let mut bcast_rxs: Vec<Vec<Option<Receiver<Tensor>>>> = Vec::with_capacity(pp);
+        for _ in 0..pp {
+            let mut txs = Vec::new();
+            let mut rxs: Vec<Option<Receiver<Tensor>>> = vec![None];
+            for _ in 1..tp {
+                let (tx, rx) = channel::<Tensor>();
+                txs.push(tx);
+                rxs.push(Some(rx));
+            }
+            bcast_txs.push(txs);
+            bcast_rxs.push(rxs);
+        }
+        // Pipeline boundary links between consecutive stages' rank 0s.
+        let mut senders: Vec<Option<BoundarySender>> = Vec::with_capacity(pp);
+        let mut receivers: Vec<Option<BoundaryReceiver>> = (0..pp).map(|_| None).collect();
+        for b in 0..pp.saturating_sub(1) {
+            let (fwd_tx, fwd_rx) = channel::<FwdMsg>();
+            let (grad_tx, grad_rx) = channel::<Tensor>();
+            senders.push(Some(BoundarySender {
+                comp: build_boundary(b),
+                bytes: actcomp_mp::CommBytes::default(),
+                tx: fwd_tx,
+                grad_rx,
+            }));
+            receivers[b + 1] = Some(BoundaryReceiver {
+                replica: build_boundary(b),
+                rx: fwd_rx,
+                grad_tx,
+            });
+        }
+        senders.push(None);
+
+        let mut handles = Vec::with_capacity(world);
+        for stage in 0..pp {
+            let lo = offsets[stage];
+            let hi = offsets
+                .get(stage + 1)
+                .copied()
+                .unwrap_or(cfg.mp.bert.layers);
+            for tpi in 0..tp {
+                let rank = stage * tp + tpi;
+                let layers: Vec<RankLayer> = (lo..hi)
+                    .map(|l| {
+                        let seeds = &layer_seeds[l];
+                        RankLayer::from_serial(
+                            &serial.layers[l],
+                            tpi,
+                            tp,
+                            build(seeds.attn.0, seeds.attn.1),
+                            build(seeds.ff.0, seeds.ff.1),
+                        )
+                    })
+                    .collect();
+                let embedding = (stage == 0).then(|| {
+                    EmbeddingStage::new(
+                        serial.tok.clone(),
+                        serial.pos.clone(),
+                        serial.emb_ln.clone(),
+                    )
+                });
+                let worker = RankWorker::new(
+                    rank,
+                    stage,
+                    tpi,
+                    pp,
+                    m,
+                    embedding,
+                    layers,
+                    rings[stage][tpi].take().expect("ring endpoint"),
+                    if tpi == 0 {
+                        std::mem::take(&mut bcast_txs[stage])
+                    } else {
+                        Vec::new()
+                    },
+                    bcast_rxs[stage][tpi].take(),
+                    if tpi == 0 {
+                        senders[stage].take()
+                    } else {
+                        None
+                    },
+                    if tpi == 0 {
+                        receivers[stage].take()
+                    } else {
+                        None
+                    },
+                    cmd_rxs[rank].take().expect("command receiver"),
+                    resp_tx.clone(),
+                );
+                let handle = std::thread::Builder::new()
+                    .name(format!("actcomp-rank-{rank}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn rank thread");
+                handles.push(handle);
+            }
+        }
+
+        Ok(ThreadedRuntime {
+            cmd_txs,
+            resp_rx,
+            handles,
+            cfg,
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Total rank (thread) count.
+    pub fn world(&self) -> usize {
+        self.cfg.world()
+    }
+
+    fn broadcast(&self, cmd: Command) {
+        for tx in &self.cmd_txs {
+            tx.send(cmd.clone()).expect("rank thread hung up");
+        }
+    }
+
+    /// Collects one response per rank, returning them unordered.
+    fn collect(&self) -> Vec<Response> {
+        (0..self.cmd_txs.len())
+            .map(|_| self.resp_rx.recv().expect("rank thread hung up"))
+            .collect()
+    }
+
+    /// Runs a pipelined forward pass over the whole batch, returning the
+    /// final hidden states `[batch · seq, hidden]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != batch * seq`, `seq` exceeds the model
+    /// maximum, or `batch` is not divisible by the micro-batch count.
+    pub fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
+        assert_eq!(ids.len(), batch * seq, "ids length != batch*seq");
+        assert!(seq <= self.cfg.mp.bert.max_seq, "sequence too long");
+        assert!(
+            batch.is_multiple_of(self.cfg.micro_batches),
+            "{}",
+            RuntimeError::BatchNotDivisible {
+                batch,
+                micro_batches: self.cfg.micro_batches
+            }
+        );
+        self.broadcast(Command::Forward {
+            ids: ids.to_vec(),
+            batch,
+            seq,
+        });
+        let mut out = None;
+        for resp in self.collect() {
+            if let Response::Output { y } = resp {
+                out = Some(y);
+            }
+        }
+        out.expect("last stage produced an output")
+    }
+
+    /// Runs the pipelined backward pass from the gradient of the final
+    /// hidden states.
+    pub fn backward(&mut self, dhidden: &Tensor) {
+        self.broadcast(Command::Backward {
+            dhidden: dhidden.clone(),
+        });
+        let _ = self.collect();
+    }
+
+    /// Zeroes every parameter gradient on every rank.
+    pub fn zero_grad(&mut self) {
+        self.broadcast(Command::ZeroGrad);
+        let _ = self.collect();
+    }
+
+    /// Applies one SGD step with learning rate `lr` on every rank.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.broadcast(Command::SgdStep { lr });
+        let _ = self.collect();
+    }
+
+    /// Gathers all parameter gradients, reassembled into the exact order
+    /// [`MpBert::visit_all_params`](actcomp_mp::MpBert::visit_all_params)
+    /// visits them — the bridge the determinism tests compare across
+    /// executors.
+    pub fn collect_grads(&mut self) -> Vec<Tensor> {
+        self.broadcast(Command::CollectGrads);
+        let mut per_rank: Vec<Option<RankGrads>> = (0..self.world()).map(|_| None).collect();
+        for resp in self.collect() {
+            if let Response::Grads { rank, grads } = resp {
+                per_rank[rank] = Some(grads);
+            }
+        }
+        let grads: Vec<RankGrads> = per_rank
+            .into_iter()
+            .map(|g| g.expect("every rank reported grads"))
+            .collect();
+
+        let tp = self.cfg.mp.tp;
+        let pp = self.cfg.mp.pp;
+        let offsets = stage_offsets(self.cfg.mp.bert.layers, pp);
+        let mut out: Vec<Tensor> = Vec::new();
+        out.extend(grads[0].embedding.iter().cloned());
+        let stage_of = |l: usize| -> (usize, usize) {
+            let stage = (0..pp)
+                .rev()
+                .find(|&s| offsets[s] <= l)
+                .expect("layer maps to a stage");
+            (stage, l - offsets[stage])
+        };
+        for l in 0..self.cfg.mp.bert.layers {
+            let (stage, li) = stage_of(l);
+            let at = |t: usize| &grads[stage * tp + t].layers[li];
+            for t in 0..tp {
+                out.extend(at(t).wq.iter().cloned());
+            }
+            for t in 0..tp {
+                out.extend(at(t).wk.iter().cloned());
+            }
+            for t in 0..tp {
+                out.extend(at(t).wv.iter().cloned());
+            }
+            for t in 0..tp {
+                out.push(at(t).wo_weight.clone());
+            }
+            out.push(at(0).wo_bias.clone());
+            out.extend(at(0).ln1.iter().cloned());
+            for t in 0..tp {
+                out.extend(at(t).fc1.iter().cloned());
+            }
+            for t in 0..tp {
+                out.push(at(t).fc2_weight.clone());
+            }
+            out.push(at(0).fc2_bias.clone());
+            out.extend(at(0).ln2.iter().cloned());
+        }
+        for l in 0..self.cfg.mp.bert.layers {
+            let (stage, li) = stage_of(l);
+            let at = |t: usize| &grads[stage * tp + t].layers[li];
+            for t in 0..tp {
+                out.extend(at(t).attn_comp.iter().cloned());
+            }
+            for t in 0..tp {
+                out.extend(at(t).ff_comp.iter().cloned());
+            }
+        }
+        for b in 0..pp.saturating_sub(1) {
+            out.extend(grads[b * tp].boundary_comp.iter().cloned());
+        }
+        out
+    }
+
+    /// Gathers per-rank timers and byte counters into the aggregated
+    /// report (the payload of `BENCH_runtime.json`).
+    pub fn report(&mut self) -> RuntimeReport {
+        self.broadcast(Command::Report);
+        let mut ranks: Vec<RankReport> = self
+            .collect()
+            .into_iter()
+            .filter_map(|r| match r {
+                Response::Report { report } => Some(*report),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_by_key(|r| r.rank);
+        RuntimeReport::from_ranks(
+            self.cfg.mp.tp,
+            self.cfg.mp.pp,
+            self.cfg.micro_batches,
+            ranks,
+        )
+    }
+}
+
+impl Drop for ThreadedRuntime {
+    fn drop(&mut self) {
+        for tx in &self.cmd_txs {
+            // A rank that already exited (or panicked) has dropped its
+            // receiver; that's fine during teardown.
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Determinism guarantees of the threaded engine:
+//!
+//! 1. With compression off, a threaded step is **bit-identical** to the
+//!    serial `MpBert` executor — forward outputs and every parameter
+//!    gradient — for every tp × pp layout.
+//! 2. With lossy compression (A2 auto-encoder, Top-K), two runs from the
+//!    same seed produce the same loss trajectory.
+//! 3. Traffic accounting matches the serial executor's byte counters.
+
+use actcomp_compress::plan::CompressionPlan;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_mp::{MpBert, MpConfig};
+use actcomp_nn::{BertConfig, BertEncoder};
+use actcomp_runtime::{RuntimeConfig, ThreadedRuntime};
+use actcomp_tensor::{init, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_bert() -> BertConfig {
+    BertConfig {
+        vocab: 32,
+        hidden: 16,
+        layers: 4,
+        heads: 4,
+        ff_hidden: 32,
+        max_seq: 8,
+    }
+}
+
+fn cfg(tp: usize, pp: usize, plan: CompressionPlan, micro_batches: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        mp: MpConfig {
+            bert: tiny_bert(),
+            tp,
+            pp,
+            plan,
+            tokens: 8,
+            error_feedback: false,
+        },
+        micro_batches,
+    }
+}
+
+const IDS: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+#[test]
+fn uncompressed_threaded_step_is_bit_identical_to_serial() {
+    for tp in [1usize, 2, 4] {
+        for pp in [1usize, 2] {
+            let c = cfg(tp, pp, CompressionPlan::none(), 1);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let serial = BertEncoder::new(&mut rng, tiny_bert());
+
+            let mut mp_rng = ChaCha8Rng::seed_from_u64(13);
+            let mut mp = MpBert::from_serial(&serial, c.mp.clone(), &mut mp_rng);
+            let mut rt_rng = ChaCha8Rng::seed_from_u64(13);
+            let mut rt = ThreadedRuntime::from_serial(&serial, c, &mut rt_rng).expect("valid");
+
+            let want = mp.forward(&IDS, 2, 4);
+            let got = rt.forward(&IDS, 2, 4);
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "tp={tp} pp={pp}: forward must be bit-identical"
+            );
+
+            let mut drng = ChaCha8Rng::seed_from_u64(99);
+            let dhidden = init::randn(&mut drng, [8, 16], 1.0);
+            mp.zero_grad();
+            mp.backward(&dhidden);
+            rt.zero_grad();
+            rt.backward(&dhidden);
+
+            let mut want_grads: Vec<Tensor> = Vec::new();
+            mp.visit_all_params(&mut |p| want_grads.push(p.grad.clone()));
+            let got_grads = rt.collect_grads();
+            assert_eq!(
+                want_grads.len(),
+                got_grads.len(),
+                "tp={tp} pp={pp}: parameter count"
+            );
+            for (i, (w, g)) in want_grads.iter().zip(&got_grads).enumerate() {
+                assert_eq!(
+                    g.as_slice(),
+                    w.as_slice(),
+                    "tp={tp} pp={pp}: grad {i} must be bit-identical"
+                );
+            }
+
+            // Same forward traffic as the serial executor.
+            assert_eq!(rt.report().reduce_bytes, mp.bytes(), "tp={tp} pp={pp}");
+        }
+    }
+}
+
+#[test]
+fn microbatched_run_matches_grad_accumulation_shape() {
+    // m = 2 splits the batch; outputs concatenate back to the full
+    // batch and gradients exist for every parameter.
+    let c = cfg(2, 2, CompressionPlan::none(), 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
+    let y = rt.forward(&IDS, 2, 4);
+    assert_eq!(y.dims(), &[8, 16]);
+    rt.zero_grad();
+    rt.backward(&Tensor::ones([8, 16]));
+    let grads = rt.collect_grads();
+    assert!(!grads.is_empty());
+    let mass: f32 = grads.iter().map(|g| g.sq_norm()).sum();
+    assert!(mass > 0.0, "gradients must flow through the pipeline");
+}
+
+fn loss_trajectory(spec: CompressorSpec, seed: u64, steps: usize) -> Vec<f32> {
+    let plan = CompressionPlan::last_layers(spec, 4, 2);
+    let c = cfg(2, 2, plan, 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let y = rt.forward(&IDS, 2, 4);
+        // Quadratic pull toward zero hidden states: L = ½‖y‖², dL/dy = y.
+        losses.push(0.5 * y.sq_norm());
+        rt.zero_grad();
+        rt.backward(&y);
+        rt.sgd_step(1e-2);
+    }
+    losses
+}
+
+#[test]
+fn compressed_runs_are_deterministic_across_identical_runs() {
+    for spec in [CompressorSpec::A2, CompressorSpec::T2] {
+        let a = loss_trajectory(spec, 21, 3);
+        let b = loss_trajectory(spec, 21, 3);
+        for (step, (x, y)) in a.iter().zip(&b).enumerate() {
+            let denom = x.abs().max(1.0);
+            assert!(
+                ((x - y) / denom).abs() < 1e-6,
+                "{spec:?} step {step}: {x} vs {y}"
+            );
+        }
+        assert!(
+            a[steps_last(&a)] < a[0],
+            "{spec:?}: training should reduce the loss ({a:?})"
+        );
+    }
+}
+
+fn steps_last(v: &[f32]) -> usize {
+    v.len() - 1
+}
+
+#[test]
+fn error_feedback_runs_are_deterministic() {
+    let run = || {
+        let plan = CompressionPlan::last_layers(CompressorSpec::T2, 4, 2);
+        let mut c = cfg(2, 2, plan, 1);
+        c.mp.error_feedback = true;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
+        let y1 = rt.forward(&IDS, 2, 4);
+        rt.zero_grad();
+        rt.backward(&y1);
+        rt.sgd_step(1e-2);
+        rt.forward(&IDS, 2, 4)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.as_slice(), b.as_slice());
+}
+
+#[test]
+fn report_has_nonzero_phase_timings() {
+    let c = cfg(
+        2,
+        2,
+        CompressionPlan::last_layers(CompressorSpec::T2, 4, 2),
+        2,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
+    let y = rt.forward(&IDS, 2, 4);
+    rt.zero_grad();
+    rt.backward(&y);
+    let report = rt.report();
+    assert_eq!(report.ranks.len(), 4);
+    assert!(report.totals.compute_s > 0.0, "{report:?}");
+    assert!(report.totals.encode_s > 0.0, "{report:?}");
+    assert!(report.totals.wire_s > 0.0, "{report:?}");
+    assert!(report.totals.decode_s > 0.0, "{report:?}");
+    assert!(report.reduce_bytes.wire > 0);
+    assert!(report.boundary_bytes.wire > 0);
+    assert!(report.reduce_bytes.ratio() > 1.0, "Top-K shrinks reduces");
+}
+
+#[test]
+fn rejects_invalid_configs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    assert!(ThreadedRuntime::new(&mut rng, cfg(3, 1, CompressionPlan::none(), 1)).is_err());
+    assert!(ThreadedRuntime::new(&mut rng, cfg(2, 1, CompressionPlan::none(), 0)).is_err());
+    // tokens = 8 not divisible by 3 micro-batches.
+    assert!(ThreadedRuntime::new(&mut rng, cfg(2, 1, CompressionPlan::none(), 3)).is_err());
+}

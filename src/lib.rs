@@ -7,4 +7,5 @@ pub use actcomp_distsim as distsim;
 pub use actcomp_mp as mp;
 pub use actcomp_nn as nn;
 pub use actcomp_perfmodel as perfmodel;
+pub use actcomp_runtime as runtime;
 pub use actcomp_tensor as tensor;
