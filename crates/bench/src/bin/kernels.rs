@@ -1,0 +1,285 @@
+//! Micro-benchmark for the blocked matmul kernels in `actcomp-tensor`.
+//!
+//! Measures GFLOP/s for each kernel variant (`A@B`, `Aᵀ@B`, `A@Bᵀ`) at
+//! the shapes the BERT configs actually exercise, single- vs
+//! multi-thread, and records the speedup over a faithful copy of the
+//! *seed* kernels (the pre-blocking `i-k-j` loops, skip-branch included)
+//! so the before/after is part of the artifact. Results land in
+//! `BENCH_kernels.json` at the repo root, next to `BENCH_runtime.json`;
+//! CI runs this bin with `--quick` and fails if the file is missing or
+//! malformed.
+
+use actcomp_bench::util;
+use actcomp_core::report::Table;
+use actcomp_tensor::{kernels, Workspace};
+use std::time::Instant;
+
+/// One row of `BENCH_kernels.json`.
+#[derive(serde::Serialize)]
+struct CaseResult {
+    label: String,
+    variant: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    seed_gflops: f64,
+    gflops_1t: f64,
+    gflops_multi: f64,
+    multi_threads: usize,
+    speedup_1t_vs_seed: f64,
+}
+
+/// Top-level `BENCH_kernels.json` document.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    bench: String,
+    quick: bool,
+    iters_per_case: usize,
+    cases: Vec<CaseResult>,
+}
+
+/// The seed crate's matmul kernels, copied verbatim (including the
+/// `av == 0.0` skip branch) so the "before" side of the speedup stays
+/// measurable after the real kernels replaced them.
+mod seed {
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        out
+    }
+}
+
+/// One benchmarked configuration.
+struct Case {
+    /// Human-readable provenance of the shape.
+    label: &'static str,
+    /// `nn`, `tn`, or `nt`.
+    variant: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// BERT-config shapes: BERT-Base projections/FFN at micro-batch 8 ×
+/// seq 128 rows, per-head attention score/context products, backward
+/// weight-gradient shapes — plus the 512³ headline shape the acceptance
+/// criterion is stated against.
+const CASES: &[Case] = &[
+    Case {
+        label: "headline 512^3",
+        variant: "nn",
+        m: 512,
+        k: 512,
+        n: 512,
+    },
+    Case {
+        label: "headline 512^3",
+        variant: "tn",
+        m: 512,
+        k: 512,
+        n: 512,
+    },
+    Case {
+        label: "headline 512^3",
+        variant: "nt",
+        m: 512,
+        k: 512,
+        n: 512,
+    },
+    Case {
+        label: "qkv/out proj fwd",
+        variant: "nn",
+        m: 1024,
+        k: 768,
+        n: 768,
+    },
+    Case {
+        label: "ffn up fwd",
+        variant: "nn",
+        m: 1024,
+        k: 768,
+        n: 3072,
+    },
+    Case {
+        label: "weight grad (xT dy)",
+        variant: "tn",
+        m: 768,
+        k: 1024,
+        n: 768,
+    },
+    Case {
+        label: "input grad (dy wT)",
+        variant: "nt",
+        m: 1024,
+        k: 768,
+        n: 768,
+    },
+    Case {
+        label: "attn scores (q kT)",
+        variant: "nt",
+        m: 128,
+        k: 64,
+        n: 128,
+    },
+];
+
+/// In `--quick` mode only the headline shapes run (CI smoke).
+fn active_cases(quick: bool) -> Vec<&'static Case> {
+    CASES
+        .iter()
+        .filter(|c| !quick || c.label.starts_with("headline"))
+        .collect()
+}
+
+/// Best-of-`iters` wall time of `f`, after one warmup call.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled(len: usize, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i * 13 + 5) % 31) as f32 - 15.0) * scale)
+        .collect()
+}
+
+fn main() {
+    let opts = util::Options::from_args();
+    let iters = if opts.quick { 2 } else { 5 };
+    let multi = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let mut ws = Workspace::new();
+    let mut table = Table::new(
+        "Blocked kernels vs seed kernels (GFLOP/s, best of several runs)",
+        [
+            "Shape",
+            "Variant",
+            "Seed",
+            "Blocked 1T",
+            &format!("Blocked {multi}T"),
+            "Speedup 1T",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
+    );
+    let mut entries = Vec::new();
+    for case in active_cases(opts.quick) {
+        let (m, k, n) = (case.m, case.k, case.n);
+        let flops = 2.0 * (m * k * n) as f64;
+        let gf = |secs: f64| flops / secs / 1e9;
+        let (a_len, b_len) = match case.variant {
+            "tn" => (k * m, k * n),
+            "nt" => (m * k, n * k),
+            _ => (m * k, k * n),
+        };
+        let a = filled(a_len, 0.03125);
+        let b = filled(b_len, 0.0625);
+        let mut out = vec![0.0f32; m * n];
+
+        let seed_s = time_best(iters, || {
+            let r = match case.variant {
+                "tn" => seed::matmul_tn(&a, &b, k, m, n),
+                "nt" => seed::matmul_nt(&a, &b, m, k, n),
+                _ => seed::matmul(&a, &b, m, k, n),
+            };
+            std::hint::black_box(&r);
+        });
+        let run_blocked = |threads: usize, ws: &mut Workspace, out: &mut [f32]| match case.variant {
+            "tn" => kernels::gemm_tn(out, false, &a, &b, k, m, n, threads, ws),
+            "nt" => kernels::gemm_nt(out, false, &a, &b, m, k, n, threads, ws),
+            _ => kernels::gemm_nn(out, false, &a, &b, m, k, n, threads, ws),
+        };
+        let one_s = time_best(iters, || {
+            run_blocked(1, &mut ws, &mut out);
+            std::hint::black_box(&out);
+        });
+        let multi_s = time_best(iters, || {
+            run_blocked(multi, &mut ws, &mut out);
+            std::hint::black_box(&out);
+        });
+
+        let speedup = seed_s / one_s;
+        table.push_row(vec![
+            format!("{}x{}x{} ({})", m, k, n, case.label),
+            case.variant.to_string(),
+            format!("{:.2}", gf(seed_s)),
+            format!("{:.2}", gf(one_s)),
+            format!("{:.2}", gf(multi_s)),
+            format!("{:.2}x", speedup),
+        ]);
+        entries.push(CaseResult {
+            label: case.label.to_string(),
+            variant: case.variant.to_string(),
+            m,
+            k,
+            n,
+            seed_gflops: gf(seed_s),
+            gflops_1t: gf(one_s),
+            gflops_multi: gf(multi_s),
+            multi_threads: multi,
+            speedup_1t_vs_seed: speedup,
+        });
+    }
+    println!("{table}");
+
+    let doc = BenchDoc {
+        bench: "kernels".to_string(),
+        quick: opts.quick,
+        iters_per_case: iters,
+        cases: entries,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("benchmark JSON serializes");
+    if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {
+        eprintln!("warning: could not write BENCH_kernels.json: {e}");
+    } else {
+        println!("[records written to BENCH_kernels.json]");
+    }
+}

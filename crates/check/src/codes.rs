@@ -2,7 +2,8 @@
 //!
 //! Codes are grouped by check pass: `AC00xx` shape algebra, `AC01xx`
 //! compression-plan placement, `AC02xx` schedule/topology/memory,
-//! `AC03xx` execution runtime. Codes are append-only — once published
+//! `AC03xx` execution runtime, `AC04xx` kernel thread-pool
+//! configuration. Codes are append-only — once published
 //! in a diagnostic they keep their meaning so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
@@ -55,6 +56,12 @@ pub const THREADS_NOT_WORLD: &str = "AC0302";
 pub const MICROBATCH_NOT_DIVIDING_BATCH: &str = "AC0303";
 /// Rank map is not a bijection over `0..tp*pp`.
 pub const RANK_MAP_NOT_BIJECTION: &str = "AC0304";
+
+/// `runtime.kernel_threads` is not a positive thread count.
+pub const KERNEL_THREADS_INVALID: &str = "AC0401";
+/// The `ACTCOMP_THREADS` environment variable does not parse as a
+/// positive thread count.
+pub const ENV_THREADS_INVALID: &str = "AC0402";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -179,6 +186,16 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             RANK_MAP_NOT_BIJECTION,
             "rank map is not a bijection over 0..tp*pp",
+            false,
+        ),
+        row(
+            KERNEL_THREADS_INVALID,
+            "runtime.kernel_threads is not a positive thread count",
+            false,
+        ),
+        row(
+            ENV_THREADS_INVALID,
+            "ACTCOMP_THREADS does not parse as a positive thread count",
             false,
         ),
     ]

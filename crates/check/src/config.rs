@@ -123,6 +123,11 @@ pub struct RuntimeSection {
     /// Optional rank→thread placement; must be a bijection over
     /// `0..tp*pp`.
     pub rank_map: Option<Vec<usize>>,
+    /// Compute-kernel pool size *per rank* (the GEMM worker count, not
+    /// the rank-thread count). Omitted: the engine resolves it from the
+    /// `ACTCOMP_THREADS` environment variable, then available
+    /// parallelism. Must be at least 1 when given.
+    pub kernel_threads: Option<usize>,
 }
 
 impl RuntimeSection {
@@ -134,6 +139,7 @@ impl RuntimeSection {
             threads: None,
             micro_batches: None,
             rank_map: None,
+            kernel_threads: None,
         }
     }
 
@@ -336,6 +342,7 @@ mod tests {
         assert_eq!(section.micro_batches(), 1);
         assert_eq!(section.threads, None);
         assert_eq!(section.rank_map, None);
+        assert_eq!(section.kernel_threads, None);
     }
 
     #[test]

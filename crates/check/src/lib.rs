@@ -23,6 +23,7 @@
 pub mod codes;
 pub mod config;
 pub mod diagnostics;
+pub mod kernels;
 pub mod plan;
 pub mod runtime;
 pub mod schedule;
@@ -51,14 +52,15 @@ impl std::fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// Runs every check pass, returning all findings in pass order
-/// (shape, plan, schedule, runtime). An empty vector means the config
-/// is clean.
+/// (shape, plan, schedule, runtime, kernels). An empty vector means the
+/// config is clean.
 pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     let mut diags = Diagnostics::new();
     shape::check_shapes(cfg, &mut diags);
     plan::check_plan(cfg, &mut diags);
     schedule::check_schedule(cfg, &mut diags);
     runtime::check_runtime(cfg, &mut diags);
+    kernels::check_kernels(cfg, &mut diags);
     diags.into_vec()
 }
 
@@ -111,10 +113,11 @@ mod tests {
         cfg.cluster.preset = "dgx".to_string(); // schedule: AC0207
         let mut rt = RuntimeSection::threads_default();
         rt.backend = "mpi".to_string(); // runtime: AC0301
+        rt.kernel_threads = Some(0); // kernels: AC0401
         cfg.runtime = Some(rt);
         let diags = check(&cfg);
         let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
-        for expected in ["AC0002", "AC0003", "AC0102", "AC0207", "AC0301"] {
+        for expected in ["AC0002", "AC0003", "AC0102", "AC0207", "AC0301", "AC0401"] {
             assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
         }
         let err = validate(&cfg).unwrap_err();

@@ -60,6 +60,11 @@ impl Args {
         self.options.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// String option without a default: `None` when the flag is absent.
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
     /// Numeric option with a default; exits with a message on a malformed
     /// value.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
@@ -108,6 +113,13 @@ mod tests {
         let a = parse("finetune --quick --task rte");
         assert!(a.flag("quick"));
         assert_eq!(a.get("task", "sst2"), "rte");
+    }
+
+    #[test]
+    fn raw_distinguishes_absent_from_given() {
+        let a = parse("run --kernel-threads 4");
+        assert_eq!(a.raw("kernel-threads"), Some("4"));
+        assert_eq!(a.raw("steps"), None);
     }
 
     #[test]

@@ -50,7 +50,8 @@ USAGE:
   actcomp check         <CONFIG.json> | --print-default | --print-pretrain
   actcomp run           [--backend threads|serial] [--tp N] [--pp N] [--spec ID] [--steps N]
                         [--batch N] [--seq N] [--layers N] [--hidden N] [--heads N] [--ff N]
-                        [--vocab N] [--micro-batches N] [--error-feedback] [--seed N] [--out PATH]
+                        [--vocab N] [--micro-batches N] [--kernel-threads N] [--error-feedback]
+                        [--seed N] [--out PATH]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -161,6 +162,12 @@ fn run(args: &Args) {
     let m = args.get_usize("micro-batches", 1);
     let steps = args.get_usize("steps", 2);
     let seed = args.get_usize("seed", 0) as u64;
+    let kernel_threads = args.raw("kernel-threads").map(|v| {
+        actcomp_tensor::pool::parse_thread_spec(v).unwrap_or_else(|e| {
+            eprintln!("error: --kernel-threads: {e}");
+            std::process::exit(2);
+        })
+    });
     let out = args.get("out", "BENCH_runtime.json");
     let spec = parse_spec(args.get("spec", "w/o"));
     let lr = 1e-2;
@@ -192,8 +199,12 @@ fn run(args: &Args) {
         threads: None,
         micro_batches: Some(m),
         rank_map: None,
+        kernel_threads,
     });
     validate_or_exit(&cfg);
+    if let Some(n) = kernel_threads {
+        actcomp_tensor::pool::set_threads(n);
+    }
 
     let plan = cfg.resolve_plan().expect("validated spec resolves");
     let mp_cfg = actcomp_mp::MpConfig {

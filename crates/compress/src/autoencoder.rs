@@ -117,9 +117,10 @@ impl Compressor for AutoEncoder {
             .expect("AutoEncoder::backward called without compress");
         // y = (x E) D
         // dD = codeᵀ dy ; dcode = dy Dᵀ ; dE = xᵀ dcode ; dx = dcode Eᵀ
-        self.decoder.grad.add_assign(&code.matmul_tn(dy));
+        // Parameter grads accumulate in place — no product temporary.
+        self.decoder.grad.add_matmul_tn(&code, dy);
         let dcode = dy.matmul_nt(&self.decoder.value);
-        self.encoder.grad.add_assign(&x.matmul_tn(&dcode));
+        self.encoder.grad.add_matmul_tn(&x, &dcode);
         dcode.matmul_nt(&self.encoder.value)
     }
 

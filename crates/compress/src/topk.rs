@@ -24,6 +24,9 @@ pub struct TopK {
     k: usize,
     /// LIFO stack of kept-index sets, one per unconsumed `compress`.
     cache_masks: Vec<Vec<u32>>,
+    /// Reusable index buffer for the selection pass; keeps its capacity
+    /// across `compress` calls so steady-state selection allocates nothing.
+    scratch: Vec<u32>,
 }
 
 impl TopK {
@@ -37,6 +40,7 @@ impl TopK {
         TopK {
             k,
             cache_masks: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -67,18 +71,21 @@ impl Compressor for TopK {
     fn compress(&mut self, x: &Tensor) -> Compressed {
         let k = self.k.min(x.len());
         // Select the k largest |values| in O(n) with select_nth, then sort
-        // the selected indices for a deterministic message layout.
-        let mut order: Vec<u32> = (0..x.len() as u32).collect();
+        // the selected indices for a deterministic message layout. The full
+        // index permutation lives in `self.scratch` so the O(n) buffer is
+        // reused across calls; only the k kept indices are copied out.
+        self.scratch.clear();
+        self.scratch.extend(0..x.len() as u32);
         let data = x.as_slice();
         if k < x.len() {
-            order.select_nth_unstable_by(k - 1, |&a, &b| {
+            self.scratch.select_nth_unstable_by(k - 1, |&a, &b| {
                 data[b as usize]
                     .abs()
                     .partial_cmp(&data[a as usize].abs())
                     .expect("activations are finite")
             });
-            order.truncate(k);
         }
+        let mut order = self.scratch[..k].to_vec();
         order.sort_unstable();
         let values: Vec<f32> = order.iter().map(|&i| data[i as usize]).collect();
         self.cache_masks.push(order.clone());

@@ -8,7 +8,7 @@
 //! order — is shared rather than duplicated.
 
 use actcomp_nn::Parameter;
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{workspace, Tensor, Workspace};
 
 /// One worker's shard of a column-parallel linear: full input, a
 /// `[in, out/world]` weight slice and its `[out/world]` bias slice.
@@ -46,7 +46,12 @@ impl ColumnShard {
     /// `x · W + b` for this worker's slice; `x` is the full (replicated)
     /// input.
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight.value)
+        workspace::with_thread_default(|ws| self.forward_ws(x, ws))
+    }
+
+    /// [`ColumnShard::forward`] with caller-provided scratch.
+    pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        x.matmul_ws(&self.weight.value, ws)
             .add_row_broadcast(&self.bias.value)
     }
 
@@ -54,9 +59,15 @@ impl ColumnShard {
     /// input `x`, returning this worker's *partial* input gradient (the
     /// caller sums partials across workers).
     pub fn backward(&mut self, x: &Tensor, dout: &Tensor) -> Tensor {
-        self.weight.grad.add_assign(&x.matmul_tn(dout));
+        workspace::with_thread_default(|ws| self.backward_ws(x, dout, ws))
+    }
+
+    /// [`ColumnShard::backward`] with caller-provided scratch; the weight
+    /// gradient accumulates in place (`grad += xᵀ dout`, no temporary).
+    pub fn backward_ws(&mut self, x: &Tensor, dout: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.weight.grad.add_matmul_tn_ws(x, dout, ws);
         self.bias.grad.add_assign(&dout.sum_axis0());
-        dout.matmul_nt(&self.weight.value)
+        dout.matmul_nt_ws(&self.weight.value, ws)
     }
 
     /// Visits the weight then the bias.
@@ -95,15 +106,26 @@ impl RowShard {
 
     /// This worker's partial output `x · W` (pre-reduce, no bias).
     pub fn partial(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight.value)
+        workspace::with_thread_default(|ws| self.partial_ws(x, ws))
+    }
+
+    /// [`RowShard::partial`] with caller-provided scratch.
+    pub fn partial_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        x.matmul_ws(&self.weight.value, ws)
     }
 
     /// Accumulates the weight gradient from the (post-reduce) partial
     /// gradient `dpartial` against the forward input shard `x`, returning
     /// the input-shard gradient.
     pub fn backward(&mut self, x: &Tensor, dpartial: &Tensor) -> Tensor {
-        self.weight.grad.add_assign(&x.matmul_tn(dpartial));
-        dpartial.matmul_nt(&self.weight.value)
+        workspace::with_thread_default(|ws| self.backward_ws(x, dpartial, ws))
+    }
+
+    /// [`RowShard::backward`] with caller-provided scratch; the weight
+    /// gradient accumulates in place.
+    pub fn backward_ws(&mut self, x: &Tensor, dpartial: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.weight.grad.add_matmul_tn_ws(x, dpartial, ws);
+        dpartial.matmul_nt_ws(&self.weight.value, ws)
     }
 
     /// Visits the weight.
@@ -115,11 +137,25 @@ impl RowShard {
 /// Extracts the `[seq, d]` block of local head `hd`, batch `t` from a
 /// `[batch·seq, width]` worker tensor.
 pub fn head_block(x: &Tensor, t: usize, hd: usize, seq: usize, d: usize, width: usize) -> Tensor {
-    let mut out = Vec::with_capacity(seq * d);
+    workspace::with_thread_default(|ws| head_block_ws(x, t, hd, seq, d, width, ws))
+}
+
+/// [`head_block`] into a buffer leased from `ws`.
+#[allow(clippy::too_many_arguments)]
+pub fn head_block_ws(
+    x: &Tensor,
+    t: usize,
+    hd: usize,
+    seq: usize,
+    d: usize,
+    width: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let mut out = ws.lease(seq * d);
     let base = hd * d;
     for r in 0..seq {
         let row = (t * seq + r) * width + base;
-        out.extend_from_slice(&x.as_slice()[row..row + d]);
+        out[r * d..(r + 1) * d].copy_from_slice(&x.as_slice()[row..row + d]);
     }
     Tensor::from_vec(out, [seq, d])
 }
@@ -154,18 +190,41 @@ pub fn attn_context_forward(
     local_heads: usize,
     d: usize,
 ) -> (Tensor, Vec<Tensor>) {
+    workspace::with_thread_default(|ws| {
+        attn_context_forward_ws(q, k, v, batch, seq, local_heads, d, ws)
+    })
+}
+
+/// [`attn_context_forward`] with caller-provided scratch: head blocks and
+/// score matrices are leased from `ws` and recycled per head.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_context_forward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    batch: usize,
+    seq: usize,
+    local_heads: usize,
+    d: usize,
+    ws: &mut Workspace,
+) -> (Tensor, Vec<Tensor>) {
     let hw = local_heads * d;
     let scale = 1.0 / (d as f32).sqrt();
-    let mut ctx = Tensor::zeros([batch * seq, hw]);
+    let mut ctx = ws.lease_tensor([batch * seq, hw]);
     let mut probs = Vec::with_capacity(batch * local_heads);
     for t in 0..batch {
         for hd in 0..local_heads {
-            let qb = head_block(q, t, hd, seq, d, hw);
-            let kb = head_block(k, t, hd, seq, d, hw);
-            let vb = head_block(v, t, hd, seq, d, hw);
-            let p = qb.matmul_nt(&kb).scale(scale).softmax_rows();
-            let c = p.matmul(&vb);
+            let qb = head_block_ws(q, t, hd, seq, d, hw, ws);
+            let kb = head_block_ws(k, t, hd, seq, d, hw, ws);
+            let vb = head_block_ws(v, t, hd, seq, d, hw, ws);
+            let mut scores = qb.matmul_nt_ws(&kb, ws);
+            scores.scale_assign(scale);
+            let p = scores.softmax_rows();
+            let c = p.matmul_ws(&vb, ws);
             write_head_block(&mut ctx, &c, t, hd, seq, d, hw);
+            for tmp in [qb, kb, vb, scores, c] {
+                ws.recycle_tensor(tmp);
+            }
             probs.push(p);
         }
     }
@@ -187,28 +246,51 @@ pub fn attn_context_backward(
     local_heads: usize,
     d: usize,
 ) -> (Tensor, Tensor, Tensor) {
+    workspace::with_thread_default(|ws| {
+        attn_context_backward_ws(q, k, v, probs, dctx, batch, seq, local_heads, d, ws)
+    })
+}
+
+/// [`attn_context_backward`] with caller-provided scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_context_backward_ws(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    probs: &[Tensor],
+    dctx: &Tensor,
+    batch: usize,
+    seq: usize,
+    local_heads: usize,
+    d: usize,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor, Tensor) {
     let hw = local_heads * d;
     let scale = 1.0 / (d as f32).sqrt();
-    let mut dq = Tensor::zeros([batch * seq, hw]);
-    let mut dk = Tensor::zeros([batch * seq, hw]);
-    let mut dv = Tensor::zeros([batch * seq, hw]);
+    let mut dq = ws.lease_tensor([batch * seq, hw]);
+    let mut dk = ws.lease_tensor([batch * seq, hw]);
+    let mut dv = ws.lease_tensor([batch * seq, hw]);
     for t in 0..batch {
         for hd in 0..local_heads {
             let p = &probs[t * local_heads + hd];
-            let qb = head_block(q, t, hd, seq, d, hw);
-            let kb = head_block(k, t, hd, seq, d, hw);
-            let vb = head_block(v, t, hd, seq, d, hw);
-            let dc = head_block(dctx, t, hd, seq, d, hw);
+            let qb = head_block_ws(q, t, hd, seq, d, hw, ws);
+            let kb = head_block_ws(k, t, hd, seq, d, hw, ws);
+            let vb = head_block_ws(v, t, hd, seq, d, hw, ws);
+            let dc = head_block_ws(dctx, t, hd, seq, d, hw, ws);
 
-            let dp = dc.matmul_nt(&vb);
-            let dvb = p.matmul_tn(&dc);
-            let ds = Tensor::softmax_rows_backward(p, &dp).scale(scale);
-            let dqb = ds.matmul(&kb);
-            let dkb = ds.matmul_tn(&qb);
+            let dp = dc.matmul_nt_ws(&vb, ws);
+            let dvb = p.matmul_tn_ws(&dc, ws);
+            let mut ds = Tensor::softmax_rows_backward(p, &dp);
+            ds.scale_assign(scale);
+            let dqb = ds.matmul_ws(&kb, ws);
+            let dkb = ds.matmul_tn_ws(&qb, ws);
 
             write_head_block(&mut dq, &dqb, t, hd, seq, d, hw);
             write_head_block(&mut dk, &dkb, t, hd, seq, d, hw);
             write_head_block(&mut dv, &dvb, t, hd, seq, d, hw);
+            for tmp in [qb, kb, vb, dc, dp, dvb, ds, dqb, dkb] {
+                ws.recycle_tensor(tmp);
+            }
         }
     }
     (dq, dk, dv)

@@ -1,7 +1,7 @@
 //! Multi-head self-attention with a full manual backward pass.
 
 use crate::{Layer, Linear, Parameter};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{workspace, Tensor, Workspace};
 use rand::Rng;
 
 /// Multi-head scaled-dot-product self-attention.
@@ -119,6 +119,23 @@ impl MultiHeadAttention {
     ///
     /// Panics if `x` is not `[batch·seq, hidden]`.
     pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        workspace::with_thread_default(|ws| self.forward_ws(x, batch, seq, ws))
+    }
+
+    /// [`MultiHeadAttention::forward`] with caller-provided scratch: head
+    /// blocks, score matrices and the context buffer are leased from `ws`
+    /// and recycled as soon as each head is done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[batch·seq, hidden]`.
+    pub fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let h = self.hidden();
         assert_eq!(
             x.dims(),
@@ -131,25 +148,30 @@ impl MultiHeadAttention {
         let d = self.head_dim();
         let scale = 1.0 / (d as f32).sqrt();
 
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        let q = self.wq.forward_ws(x, ws);
+        let k = self.wk.forward_ws(x, ws);
+        let v = self.wv.forward_ws(x, ws);
 
-        let mut ctx = Tensor::zeros([batch * seq, h]);
+        let mut ctx = ws.lease_tensor([batch * seq, h]);
         let mut probs = Vec::with_capacity(batch * self.heads);
         for t in 0..batch {
             for hd in 0..self.heads {
-                let qb = head_block(&q, t, hd, seq, d, h);
-                let kb = head_block(&k, t, hd, seq, d, h);
-                let vb = head_block(&v, t, hd, seq, d, h);
-                let scores = qb.matmul_nt(&kb).scale(scale);
+                let qb = head_block_ws(&q, t, hd, seq, d, h, ws);
+                let kb = head_block_ws(&k, t, hd, seq, d, h, ws);
+                let vb = head_block_ws(&v, t, hd, seq, d, h, ws);
+                let mut scores = qb.matmul_nt_ws(&kb, ws);
+                scores.scale_assign(scale);
                 let p = scores.softmax_rows();
-                let c = p.matmul(&vb);
+                let c = p.matmul_ws(&vb, ws);
                 write_head_block(&mut ctx, &c, t, hd, seq, d, h);
+                for tmp in [qb, kb, vb, scores, c] {
+                    ws.recycle_tensor(tmp);
+                }
                 probs.push(p);
             }
         }
-        let out = self.wo.forward(&ctx);
+        let out = self.wo.forward_ws(&ctx, ws);
+        ws.recycle_tensor(ctx);
         self.cache = Some(AttnCache {
             q,
             k,
@@ -167,6 +189,15 @@ impl MultiHeadAttention {
     ///
     /// Panics if called without a preceding [`MultiHeadAttention::forward`].
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.backward_ws(dy, ws))
+    }
+
+    /// [`MultiHeadAttention::backward`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`MultiHeadAttention::forward`].
+    pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let AttnCache {
             q,
             k,
@@ -182,36 +213,44 @@ impl MultiHeadAttention {
         let d = self.head_dim();
         let scale = 1.0 / (d as f32).sqrt();
 
-        let dctx = self.wo.backward(dy);
-        let mut dq = Tensor::zeros([batch * seq, h]);
-        let mut dk = Tensor::zeros([batch * seq, h]);
-        let mut dv = Tensor::zeros([batch * seq, h]);
+        let dctx = self.wo.backward_ws(dy, ws);
+        let mut dq = ws.lease_tensor([batch * seq, h]);
+        let mut dk = ws.lease_tensor([batch * seq, h]);
+        let mut dv = ws.lease_tensor([batch * seq, h]);
 
         for t in 0..batch {
             for hd in 0..self.heads {
                 let p = &probs[t * self.heads + hd];
-                let qb = head_block(&q, t, hd, seq, d, h);
-                let kb = head_block(&k, t, hd, seq, d, h);
-                let vb = head_block(&v, t, hd, seq, d, h);
-                let dc = head_block(&dctx, t, hd, seq, d, h);
+                let qb = head_block_ws(&q, t, hd, seq, d, h, ws);
+                let kb = head_block_ws(&k, t, hd, seq, d, h, ws);
+                let vb = head_block_ws(&v, t, hd, seq, d, h, ws);
+                let dc = head_block_ws(&dctx, t, hd, seq, d, h, ws);
 
                 // c = p v  →  dp = dc vᵀ ; dv = pᵀ dc
-                let dp = dc.matmul_nt(&vb);
-                let dvb = p.matmul_tn(&dc);
+                let dp = dc.matmul_nt_ws(&vb, ws);
+                let dvb = p.matmul_tn_ws(&dc, ws);
                 // p = softmax(s), s = α q kᵀ
-                let ds = Tensor::softmax_rows_backward(p, &dp).scale(scale);
-                let dqb = ds.matmul(&kb);
-                let dkb = ds.matmul_tn(&qb);
+                let mut ds = Tensor::softmax_rows_backward(p, &dp);
+                ds.scale_assign(scale);
+                let dqb = ds.matmul_ws(&kb, ws);
+                let dkb = ds.matmul_tn_ws(&qb, ws);
 
                 write_head_block(&mut dq, &dqb, t, hd, seq, d, h);
                 write_head_block(&mut dk, &dkb, t, hd, seq, d, h);
                 write_head_block(&mut dv, &dvb, t, hd, seq, d, h);
+                for tmp in [qb, kb, vb, dc, dp, dvb, ds, dqb, dkb] {
+                    ws.recycle_tensor(tmp);
+                }
             }
         }
+        ws.recycle_tensor(dctx);
 
-        let mut dx = self.wq.backward(&dq);
-        dx.add_assign(&self.wk.backward(&dk));
-        dx.add_assign(&self.wv.backward(&dv));
+        let mut dx = self.wq.backward_ws(&dq, ws);
+        dx.add_assign(&self.wk.backward_ws(&dk, ws));
+        dx.add_assign(&self.wv.backward_ws(&dv, ws));
+        for tmp in [dq, dk, dv] {
+            ws.recycle_tensor(tmp);
+        }
         dx
     }
 
@@ -226,12 +265,27 @@ impl MultiHeadAttention {
 
 /// Extracts the `[seq, d]` block of head `hd`, batch item `t` from a
 /// `[batch·seq, h]` tensor.
+#[cfg(test)]
 fn head_block(x: &Tensor, t: usize, hd: usize, seq: usize, d: usize, h: usize) -> Tensor {
-    let mut out = Vec::with_capacity(seq * d);
+    let mut ws = Workspace::new();
+    head_block_ws(x, t, hd, seq, d, h, &mut ws)
+}
+
+/// [`head_block`] into a buffer leased from `ws`.
+fn head_block_ws(
+    x: &Tensor,
+    t: usize,
+    hd: usize,
+    seq: usize,
+    d: usize,
+    h: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let mut out = ws.lease(seq * d);
     let base_col = hd * d;
     for r in 0..seq {
         let row = (t * seq + r) * h + base_col;
-        out.extend_from_slice(&x.as_slice()[row..row + d]);
+        out[r * d..(r + 1) * d].copy_from_slice(&x.as_slice()[row..row + d]);
     }
     Tensor::from_vec(out, [seq, d])
 }

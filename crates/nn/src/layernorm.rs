@@ -1,7 +1,7 @@
 //! Layer normalization.
 
 use crate::{Layer, Parameter};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{workspace, Tensor, Workspace};
 
 /// Layer normalization over the feature axis of `[tokens, features]`
 /// inputs: `y = γ ⊙ (x − μ)/√(σ² + ε) + β`.
@@ -63,6 +63,17 @@ impl LayerNorm {
     ///
     /// Panics if `x` is not `[tokens, features]`.
     pub fn forward_cached(&self, x: &Tensor) -> (Tensor, LnCache) {
+        workspace::with_thread_default(|ws| self.forward_cached_ws(x, ws))
+    }
+
+    /// [`LayerNorm::forward_cached`] with caller-provided scratch: the
+    /// normalize / scale / shift passes are fused into one loop writing
+    /// `x̂` and `y` (both leased from `ws`) together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[tokens, features]`.
+    pub fn forward_cached_ws(&self, x: &Tensor, ws: &mut Workspace) -> (Tensor, LnCache) {
         assert_eq!(
             x.rank(),
             2,
@@ -79,23 +90,24 @@ impl LayerNorm {
         );
         let m = x.dims()[0];
         let (mean, var) = x.row_moments();
-        let mut xhat = vec![0.0f32; m * n];
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let mut xhat = ws.lease(m * n);
+        let mut y = ws.lease(m * n);
         let mut inv_std = vec![0.0f32; m];
         for i in 0..m {
             let is = 1.0 / (var[i] + self.eps).sqrt();
             inv_std[i] = is;
             for j in 0..n {
-                xhat[i * n + j] = (x.as_slice()[i * n + j] - mean[i]) * is;
+                let xh = (x.as_slice()[i * n + j] - mean[i]) * is;
+                xhat[i * n + j] = xh;
+                y[i * n + j] = xh * g[j] + b[j];
             }
         }
-        let xhat = Tensor::from_vec(xhat, [m, n]);
-        let y = xhat
-            .mul_row_broadcast(&self.gamma.value)
-            .add_row_broadcast(&self.beta.value);
         (
-            y,
+            Tensor::from_vec(y, [m, n]),
             LnCache {
-                xhat,
+                xhat: Tensor::from_vec(xhat, [m, n]),
                 inv_std: Tensor::from_vec(inv_std, [m]),
             },
         )
@@ -108,6 +120,21 @@ impl LayerNorm {
     ///
     /// Panics if `dy`'s shape disagrees with the cached activation's.
     pub fn backward_cached(&mut self, dy: &Tensor, cache: LnCache) -> Tensor {
+        workspace::with_thread_default(|ws| self.backward_cached_ws(dy, cache, ws))
+    }
+
+    /// [`LayerNorm::backward_cached`] with caller-provided scratch; the
+    /// consumed cache's buffers are recycled into `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape disagrees with the cached activation's.
+    pub fn backward_cached_ws(
+        &mut self,
+        dy: &Tensor,
+        cache: LnCache,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let LnCache { xhat, inv_std } = cache;
         let (m, n) = (xhat.dims()[0], xhat.dims()[1]);
         assert!(
@@ -122,7 +149,7 @@ impl LayerNorm {
         // Input grad: dx = (γ·inv_std/n) * (n·dy − Σdy − x̂·Σ(dy⊙x̂)) per row
         // where the per-row sums are over dŷ = dy ⊙ γ.
         let g = self.gamma.value.as_slice();
-        let mut dx = vec![0.0f32; m * n];
+        let mut dx = ws.lease(m * n);
         for i in 0..m {
             let row_dy = &dy.as_slice()[i * n..(i + 1) * n];
             let row_xh = &xhat.as_slice()[i * n..(i + 1) * n];
@@ -139,6 +166,7 @@ impl LayerNorm {
                 dx[i * n + j] = is * (dyh - (s1 + row_xh[j] * s2) / n as f32);
             }
         }
+        ws.recycle_tensor(xhat);
         Tensor::from_vec(dx, [m, n])
     }
 }

@@ -1,7 +1,7 @@
 //! Fully-connected layer.
 
 use crate::{Layer, Parameter};
-use actcomp_tensor::{init, Tensor};
+use actcomp_tensor::{init, workspace, Tensor, Workspace};
 use rand::Rng;
 
 /// Affine transformation `y = x W + b` with cached input for backprop.
@@ -82,27 +82,45 @@ impl Linear {
 
     /// Forward pass without caching (inference-only helper).
     pub fn apply(&self, x: &Tensor) -> Tensor {
-        x.matmul(&self.weight.value)
+        workspace::with_thread_default(|ws| self.apply_ws(x, ws))
+    }
+
+    /// [`Linear::apply`] with caller-provided scratch (matmul packing
+    /// buffers and the output are leased from `ws`).
+    pub fn apply_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        x.matmul_ws(&self.weight.value, ws)
             .add_row_broadcast(&self.bias.value)
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = self.apply(x);
+    /// [`Layer::forward`] with caller-provided scratch.
+    pub fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let y = self.apply_ws(x, ws);
         self.cache_x = Some(x.clone());
         y
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    /// [`Layer::backward`] with caller-provided scratch. Accumulates the
+    /// weight gradient in place (`grad += xᵀ dy`, no product temporary).
+    pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cache_x
             .take()
             .expect("Linear::backward called without forward");
         // dW = xᵀ dy ; db = Σ_rows dy ; dx = dy Wᵀ
-        self.weight.grad.add_assign(&x.matmul_tn(dy));
+        self.weight.grad.add_matmul_tn_ws(&x, dy, ws);
         self.bias.grad.add_assign(&dy.sum_axis0());
-        dy.matmul_nt(&self.weight.value)
+        ws.recycle_tensor(x);
+        dy.matmul_nt_ws(&self.weight.value, ws)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.forward_ws(x, ws))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.backward_ws(dy, ws))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {

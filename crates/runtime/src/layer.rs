@@ -11,10 +11,10 @@
 use crate::comm::TpGroup;
 use crate::report::{timed, PhaseTimers};
 use actcomp_compress::Compressor;
-use actcomp_mp::shard::{attn_context_backward, attn_context_forward};
+use actcomp_mp::shard::{attn_context_backward_ws, attn_context_forward_ws};
 use actcomp_mp::{ColumnShard, RowShard};
 use actcomp_nn::{EncoderLayer, Layer, LayerNorm, LnCache, Parameter};
-use actcomp_tensor::{ops::gelu_grad, Tensor};
+use actcomp_tensor::{ops::gelu_grad, Tensor, Workspace};
 
 /// Activations cached between a micro-batch's forward and backward.
 /// Pushed/popped LIFO, matching the GPipe fill/drain order.
@@ -132,30 +132,33 @@ impl RankLayer {
         seq: usize,
         tp: &mut TpGroup,
         timers: &mut PhaseTimers,
+        ws: &mut Workspace,
     ) -> Tensor {
         let lh = self.local_heads();
         let d = self.head_dim();
         let (q, k, v, ctx, probs, partial) = timed(&mut timers.compute_s, || {
-            let q = self.wq.forward(x);
-            let k = self.wk.forward(x);
-            let v = self.wv.forward(x);
-            let (ctx, probs) = attn_context_forward(&q, &k, &v, batch, seq, lh, d);
-            let partial = self.wo.partial(&ctx);
+            let q = self.wq.forward_ws(x, ws);
+            let k = self.wk.forward_ws(x, ws);
+            let v = self.wv.forward_ws(x, ws);
+            let (ctx, probs) = attn_context_forward_ws(&q, &k, &v, batch, seq, lh, d, ws);
+            let partial = self.wo.partial_ws(&ctx, ws);
             (q, k, v, ctx, probs, partial)
         });
         let s = tp.compressed_all_reduce(self.attn_comp.as_mut(), &partial, timers);
+        ws.recycle_tensor(partial);
         let (h1, ln1c, h, act, partial2) = timed(&mut timers.compute_s, || {
             let a = s.add_row_broadcast(&self.wo_bias.value);
-            let (h1, ln1c) = self.ln1.forward_cached(&x.add(&a));
-            let h = self.fc1.forward(&h1);
+            let (h1, ln1c) = self.ln1.forward_cached_ws(&x.add(&a), ws);
+            let h = self.fc1.forward_ws(&h1, ws);
             let act = h.gelu();
-            let partial2 = self.fc2.partial(&act);
+            let partial2 = self.fc2.partial_ws(&act, ws);
             (h1, ln1c, h, act, partial2)
         });
         let s2 = tp.compressed_all_reduce(self.ff_comp.as_mut(), &partial2, timers);
+        ws.recycle_tensor(partial2);
         let (y, ln2c) = timed(&mut timers.compute_s, || {
             let f = s2.add_row_broadcast(&self.fc2_bias.value);
-            self.ln2.forward_cached(&h1.add(&f))
+            self.ln2.forward_cached_ws(&h1.add(&f), ws)
         });
         self.caches.push(LayerCache {
             x: x.clone(),
@@ -177,7 +180,13 @@ impl RankLayer {
 
     /// Backward for the most recent un-backwarded micro-batch; returns
     /// the input gradient.
-    pub fn backward(&mut self, dy: &Tensor, tp: &mut TpGroup, timers: &mut PhaseTimers) -> Tensor {
+    pub fn backward(
+        &mut self,
+        dy: &Tensor,
+        tp: &mut TpGroup,
+        timers: &mut PhaseTimers,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let LayerCache {
             x,
             q,
@@ -200,30 +209,41 @@ impl RankLayer {
         let d = self.head_dim();
 
         let d2 = timed(&mut timers.compute_s, || {
-            let d2 = self.ln2.backward_cached(dy, ln2c);
+            let d2 = self.ln2.backward_cached_ws(dy, ln2c, ws);
             self.fc2_bias.grad.add_assign(&d2.sum_axis0());
             d2
         });
         let dp = timed(&mut timers.encode_s, || self.ff_comp.backward(&d2));
         let part = timed(&mut timers.compute_s, || {
-            let da = self.fc2.backward(&act, &dp);
+            let da = self.fc2.backward_ws(&act, &dp, ws);
             let dh = h.map(gelu_grad).mul(&da);
-            self.fc1.backward(&h1, &dh)
+            ws.recycle_tensor(da);
+            let part = self.fc1.backward_ws(&h1, &dh, ws);
+            for tmp in [act, h, h1] {
+                ws.recycle_tensor(tmp);
+            }
+            part
         });
         let df = tp.dense_all_reduce(&part, timers);
+        ws.recycle_tensor(part);
         let d1 = timed(&mut timers.compute_s, || {
             let dh1 = d2.add(&df);
-            let d1 = self.ln1.backward_cached(&dh1, ln1c);
+            let d1 = self.ln1.backward_cached_ws(&dh1, ln1c, ws);
             self.wo_bias.grad.add_assign(&d1.sum_axis0());
             d1
         });
         let dpa = timed(&mut timers.encode_s, || self.attn_comp.backward(&d1));
         let (pq, pk, pv) = timed(&mut timers.compute_s, || {
-            let dctx = self.wo.backward(&ctx, &dpa);
-            let (dq, dk, dv) = attn_context_backward(&q, &k, &v, &probs, &dctx, batch, seq, lh, d);
-            let pq = self.wq.backward(&x, &dq);
-            let pk = self.wk.backward(&x, &dk);
-            let pv = self.wv.backward(&x, &dv);
+            let dctx = self.wo.backward_ws(&ctx, &dpa, ws);
+            let (dq, dk, dv) =
+                attn_context_backward_ws(&q, &k, &v, &probs, &dctx, batch, seq, lh, d, ws);
+            ws.recycle_tensor(dctx);
+            let pq = self.wq.backward_ws(&x, &dq, ws);
+            let pk = self.wk.backward_ws(&x, &dk, ws);
+            let pv = self.wv.backward_ws(&x, &dv, ws);
+            for tmp in [dq, dk, dv, ctx, q, k, v] {
+                ws.recycle_tensor(tmp);
+            }
             (pq, pk, pv)
         });
         let mut dx = tp.dense_all_reduce(&pq, timers);

@@ -9,7 +9,7 @@ use actcomp_compress::{Compressed, Compressor};
 use actcomp_distsim::schedule::gpipe_order;
 use actcomp_mp::CommBytes;
 use actcomp_nn::{Embedding, Layer, LayerNorm, LnCache, Parameter};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{Tensor, Workspace};
 use std::sync::mpsc::{Receiver, Sender};
 
 /// Commands the runtime broadcasts to every rank.
@@ -105,23 +105,30 @@ impl EmbeddingStage {
         }
     }
 
-    fn forward_mb(&mut self, ids: &[usize], mb_batch: usize, seq: usize) -> Tensor {
+    fn forward_mb(
+        &mut self,
+        ids: &[usize],
+        mb_batch: usize,
+        seq: usize,
+        ws: &mut Workspace,
+    ) -> Tensor {
         let t = self.tok.forward_cached(ids);
         let pos_ids: Vec<usize> = (0..mb_batch).flat_map(|_| 0..seq).collect();
         let p = self.pos.forward_cached(&pos_ids);
-        let (x, cache) = self.emb_ln.forward_cached(&t.add(&p));
+        let (x, cache) = self.emb_ln.forward_cached_ws(&t.add(&p), ws);
         self.caches.push((ids.to_vec(), pos_ids, cache));
         x
     }
 
-    fn backward_mb(&mut self, d: &Tensor) {
+    fn backward_mb(&mut self, d: &Tensor, ws: &mut Workspace) {
         let (ids, pos_ids, cache) = self
             .caches
             .pop()
             .expect("embedding backward without forward");
-        let demb = self.emb_ln.backward_cached(d, cache);
+        let demb = self.emb_ln.backward_cached_ws(d, cache, ws);
         self.tok.backward_ids(&ids, &demb);
         self.pos.backward_ids(&pos_ids, &demb);
+        ws.recycle_tensor(demb);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
@@ -165,6 +172,9 @@ pub(crate) struct RankWorker {
     pub resp_tx: Sender<Response>,
     /// Per-micro-batch outputs buffered on the last stage.
     fwd_out: Vec<Tensor>,
+    /// This rank's scratch arena: packing buffers, head blocks and
+    /// gradient temporaries are reused across micro-batches and steps.
+    ws: Workspace,
 }
 
 impl RankWorker {
@@ -202,6 +212,7 @@ impl RankWorker {
             cmd_rx,
             resp_tx,
             fwd_out: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -281,7 +292,7 @@ impl RankWorker {
                 let lo = op.mb * mb_batch * seq;
                 let hi = lo + mb_batch * seq;
                 let t0 = std::time::Instant::now();
-                let x = emb.forward_mb(&ids[lo..hi], mb_batch, seq);
+                let x = emb.forward_mb(&ids[lo..hi], mb_batch, seq, &mut self.ws);
                 self.timers.compute_s += t0.elapsed().as_secs_f64();
                 x
             } else {
@@ -303,7 +314,16 @@ impl RankWorker {
                 self.stage_broadcast(decoded)
             };
             for layer in &mut self.layers {
-                x = layer.forward(&x, mb_batch, seq, &mut self.tp, &mut self.timers);
+                let y = layer.forward(
+                    &x,
+                    mb_batch,
+                    seq,
+                    &mut self.tp,
+                    &mut self.timers,
+                    &mut self.ws,
+                );
+                self.ws.recycle_tensor(x);
+                x = y;
             }
             if self.is_last_stage() {
                 self.fwd_out.push(x);
@@ -356,11 +376,13 @@ impl RankWorker {
                 self.stage_broadcast(grad)
             };
             for layer in self.layers.iter_mut().rev() {
-                d = layer.backward(&d, &mut self.tp, &mut self.timers);
+                let nd = layer.backward(&d, &mut self.tp, &mut self.timers, &mut self.ws);
+                self.ws.recycle_tensor(d);
+                d = nd;
             }
             if let Some(emb) = self.embedding.as_mut() {
                 let t0 = std::time::Instant::now();
-                emb.backward_mb(&d);
+                emb.backward_mb(&d, &mut self.ws);
                 self.timers.compute_s += t0.elapsed().as_secs_f64();
             } else if self.tpi == 0 {
                 let b = self.recv_b.as_mut().expect("non-first stage receiver");

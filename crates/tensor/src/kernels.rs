@@ -1,0 +1,561 @@
+//! Cache-blocked, register-tiled GEMM kernels.
+//!
+//! All three matmul variants (`A@B`, `Aᵀ@B`, `A@Bᵀ`) funnel into one
+//! blocked core:
+//!
+//! - `B` is **packed** into column panels of [`NR`] columns, laid out
+//!   `[j_tile][p][NR]` and zero-padded on the ragged edge, so the inner
+//!   loop always reads one contiguous `NR`-wide row per `k` step. Panels
+//!   are 64-byte aligned inside their leased buffer — each panel row is
+//!   a whole number of cache lines, so full-width vector loads never
+//!   split a line (measured ≈10% on 512³).
+//! - `A` is **streamed directly** from the caller's tensor: the
+//!   micro-kernel reads its [`MR`] multipliers either from `MR` parallel
+//!   row streams (`A[m,k]`, the `nn`/`nt` case) or from one contiguous
+//!   `MR`-wide group per `k` step (`A[k,m]`, the `tn` case). An `MR`-row
+//!   tile of `A` is only ~`4·k` floats, L1-resident across all `j`
+//!   panels, so packing it would cost a full extra pass over `A` for no
+//!   locality gain. Only the ragged last row-tile (when `m % MR != 0`)
+//!   is staged into a small zero-padded scratch tile.
+//!
+//! The micro-kernel keeps an `MR × NR` accumulator block in registers;
+//! its inner loop is an explicit unrolled pass over one `NR`-wide panel
+//! row with a constant trip count, which the autovectorizer reliably
+//! turns into groups of 8-wide (AVX2/NEON) or 16-wide (AVX-512) SIMD
+//! fmadds (see [`fmadd`]'s cfg gate and `.cargo/config.toml`'s
+//! `target-cpu=native`).
+//!
+//! Threading parallelizes over *output row tiles*: the i-tile range is
+//! split into at most `threads` contiguous chunks (see
+//! [`crate::pool::plan_chunks`]) and each chunk is computed by one scoped
+//! thread against the caller's `A` and the shared read-only packed `B`.
+//!
+//! # Determinism contract
+//!
+//! Every output element is produced by exactly one micro-kernel call that
+//! accumulates over `p = 0..k` in strictly increasing order, and the tile
+//! decomposition depends only on the matrix shape — never on the thread
+//! count or runtime load. Results are therefore **bit-identical for every
+//! pool size** (1, 2, 8, ...). They are *not* bit-identical to the naive
+//! reference kernels in [`reference`] on FMA hardware, because fused
+//! multiply-adds round once instead of twice; tests compare against the
+//! reference with a tolerance and across pool sizes exactly.
+
+use crate::pool;
+use crate::workspace::Workspace;
+
+/// Rows per register tile of `A` / the output.
+pub const MR: usize = 4;
+/// Columns per packed panel of `B` / register tile of the output.
+pub const NR: usize = 32;
+/// `f32`s per 64-byte cache line; packed `B` panels are aligned to this.
+const LINE_F32S: usize = 16;
+/// Spawn threads only when each chunk gets at least this many flops.
+const GRAIN_FLOPS: usize = 1 << 20;
+
+/// How the micro-kernel reads its `A` operand.
+#[derive(Clone, Copy)]
+enum ASrc<'a> {
+    /// `A[m, k]` row-major: element `(i, p)` at `a[i * k + p]`.
+    RowMajor(&'a [f32]),
+    /// `A[k, m]` (logical `Aᵀ`): element `(i, p)` at `a[p * m + i]`.
+    ColMajor(&'a [f32]),
+}
+
+/// Fused multiply-add where the hardware has it, plain `a * b + c`
+/// elsewhere — `f32::mul_add` without an FMA unit lowers to a libm call,
+/// which is catastrophically slow in an inner loop.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(any(target_arch = "aarch64", target_feature = "fma"))]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(any(target_arch = "aarch64", target_feature = "fma")))]
+    {
+        a * b + c
+    }
+}
+
+/// Accumulates one `MR × NR` output tile over the full `k` range, reading
+/// `A` from `MR` parallel row streams starting at row `i0`.
+///
+/// Two codegen constraints shape this function, both found the hard way:
+///
+/// - The constant-trip inner loop must stay index-based over fixed-size
+///   arrays: this exact shape is what LLVM's SLP vectorizer turns into
+///   packed FMAs — iterator/`split_at` formulations of the same math
+///   have been observed to compile to *scalar* fmadds (≈20× slower).
+/// - The loop body must be **panic-free**. A single indexed access such
+///   as `rows[r][p]` plants a bounds-check side exit in the hot loop, and
+///   because `acc` is reachable through `&mut` on the unwind path, LLVM
+///   then spills all `MR × NR / 8` accumulator registers to the stack
+///   after *every* FMA (observed ≈3× slowdown). The `zip`s below iterate
+///   all four row streams in lockstep with the panel without any
+///   panicking operation, so the accumulators live in registers for the
+///   whole `k` loop.
+#[inline(always)]
+fn micro_rows(k: usize, a: &[f32], i0: usize, b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    const { assert!(MR == 4, "the zip below streams exactly four rows") };
+    let row = |r: usize| &a[(i0 + r) * k..][..k];
+    let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+    let panels = b_panel.chunks_exact(NR);
+    for ((((bp, &a0), &a1), &a2), &a3) in panels.zip(r0).zip(r1).zip(r2).zip(r3) {
+        let av = [a0, a1, a2, a3];
+        for r in 0..MR {
+            for c in 0..NR {
+                acc[r][c] = fmadd(av[r], bp[c], acc[r][c]);
+            }
+        }
+    }
+}
+
+/// As [`micro_rows`], but reading `A[k, m]` column-tiles: one contiguous
+/// `MR`-wide group per `k` step.
+///
+/// The loop must stay single-exit and panic-free for the same register
+/// allocation reasons as [`micro_rows`]: the `i0 + MR <= arow.len()`
+/// bound below is loop-invariant, so after the up-front `assert!` LLVM
+/// hoists the slice check and the body carries no side exits.
+#[inline(always)]
+fn micro_cols(a: &[f32], m: usize, i0: usize, b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    assert!(i0 + MR <= m, "column tile must fit inside the row width");
+    for (bp, arow) in b_panel.chunks_exact(NR).zip(a.chunks_exact(m)) {
+        let ag = &arow[i0..i0 + MR];
+        for r in 0..MR {
+            let av = ag[r];
+            for c in 0..NR {
+                acc[r][c] = fmadd(av, bp[c], acc[r][c]);
+            }
+        }
+    }
+}
+
+/// Writes (or adds) one accumulator row into the output, trimming the
+/// ragged column edge.
+#[inline(always)]
+fn store_row(orow: &mut [f32], acc_row: &[f32; NR], accumulate: bool) {
+    if accumulate {
+        for (o, &v) in orow.iter_mut().zip(acc_row) {
+            *o += v;
+        }
+    } else {
+        for (o, &v) in orow.iter_mut().zip(acc_row) {
+            *o = v;
+        }
+    }
+}
+
+/// Leases a buffer with `len` usable elements starting at a 64-byte-aligned
+/// offset; returns the buffer and that offset. Panel strides are whole
+/// cache lines (`NR` is a multiple of [`LINE_F32S`]), so aligning the base
+/// aligns every panel row.
+fn lease_aligned(ws: &mut Workspace, len: usize) -> (Vec<f32>, usize) {
+    let buf = ws.lease(len + LINE_F32S);
+    let addr = buf.as_ptr() as usize;
+    let off = (addr.wrapping_neg() % (LINE_F32S * 4)) / 4;
+    (buf, off)
+}
+
+/// Packs `b[k, n]` into `[j_tile][p][NR]` panels (destination pre-zeroed).
+fn pack_b_nn(bp: &mut [f32], b: &[f32], k: usize, n: usize) {
+    let jtiles = n.div_ceil(NR);
+    for (p, brow) in b.chunks_exact(n).enumerate() {
+        for jt in 0..jtiles {
+            let cols = NR.min(n - jt * NR);
+            bp[jt * k * NR + p * NR..][..cols].copy_from_slice(&brow[jt * NR..][..cols]);
+        }
+    }
+}
+
+/// Packs `b[n, k]` (logical `Bᵀ`) into `[j_tile][p][NR]` panels.
+fn pack_b_nt(bp: &mut [f32], b: &[f32], n: usize, k: usize) {
+    debug_assert_eq!(b.len(), n * k);
+    for (j, brow) in b.chunks_exact(k).enumerate() {
+        let panel = &mut bp[(j / NR) * k * NR..][..k * NR];
+        let c = j % NR;
+        for (p, &v) in brow.iter().enumerate() {
+            panel[p * NR + c] = v;
+        }
+    }
+}
+
+/// Stages the ragged last row-tile of `A` (when `m % MR != 0`) into a
+/// zero-padded `[MR][k]` row-major scratch tile the row-stream
+/// micro-kernel can use directly.
+fn pad_last_tile(ws: &mut Workspace, a: ASrc<'_>, m: usize, k: usize) -> Option<Vec<f32>> {
+    let ragged = m % MR;
+    if ragged == 0 {
+        return None;
+    }
+    let i0 = m - ragged;
+    let mut pad = ws.lease(MR * k);
+    match a {
+        ASrc::RowMajor(a) => {
+            pad[..ragged * k].copy_from_slice(&a[i0 * k..][..ragged * k]);
+        }
+        ASrc::ColMajor(a) => {
+            for (p, arow) in a.chunks_exact(m).enumerate() {
+                for r in 0..ragged {
+                    pad[r * k + p] = arow[i0 + r];
+                }
+            }
+        }
+    }
+    Some(pad)
+}
+
+/// The blocked core: `out (+)= A @ packed_b`, parallelized over i-tile
+/// chunks. `pad` is the zero-padded ragged tile from [`pad_last_tile`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_core(
+    out: &mut [f32],
+    accumulate: bool,
+    a: ASrc<'_>,
+    bp: &[f32],
+    pad: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let itiles = m.div_ceil(MR);
+    let jtiles = n.div_ceil(NR);
+    let last_rows = m - (itiles - 1) * MR;
+    let tile_flops = 2 * MR * n * k;
+    let min_tiles = (GRAIN_FLOPS / tile_flops.max(1)).max(1);
+    let plan = pool::plan_chunks(itiles, MR, last_rows, threads, min_tiles);
+    pool::run_row_chunks(out, n, &plan, |row0, chunk| {
+        let chunk_rows = chunk.len() / n;
+        for t in 0..chunk_rows.div_ceil(MR) {
+            let i0 = row0 + t * MR;
+            let rows = MR.min(chunk_rows - t * MR);
+            for jt in 0..jtiles {
+                let cols = NR.min(n - jt * NR);
+                let panel = &bp[jt * k * NR..][..k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                if rows == MR {
+                    match a {
+                        ASrc::RowMajor(a) => micro_rows(k, a, i0, panel, &mut acc),
+                        ASrc::ColMajor(a) => micro_cols(a, m, i0, panel, &mut acc),
+                    }
+                } else {
+                    let pad = pad.expect("ragged tile requires a pad buffer");
+                    micro_rows(k, pad, 0, panel, &mut acc);
+                }
+                for r in 0..rows {
+                    let orow = &mut chunk[(t * MR + r) * n + jt * NR..][..cols];
+                    store_row(orow, &acc[r], accumulate);
+                }
+            }
+        }
+    });
+}
+
+/// Packs `B`, stages the ragged `A` tile, runs the core, and returns the
+/// scratch to `ws`.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    out: &mut [f32],
+    accumulate: bool,
+    a: ASrc<'_>,
+    pack: impl FnOnce(&mut [f32]),
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    let blen = n.div_ceil(NR) * k * NR;
+    let (mut bp, boff) = lease_aligned(ws, blen);
+    pack(&mut bp[boff..boff + blen]);
+    let pad = pad_last_tile(ws, a, m, k);
+    gemm_core(
+        out,
+        accumulate,
+        a,
+        &bp[boff..boff + blen],
+        pad.as_deref(),
+        m,
+        k,
+        n,
+        threads,
+    );
+    if let Some(pad) = pad {
+        ws.recycle(pad);
+    }
+    ws.recycle(bp);
+}
+
+/// `out (+)= a[m,k] @ b[k,n]` with `threads` workers; scratch for the
+/// packed panels is leased from (and returned to) `ws`.
+///
+/// With `accumulate == false` every output element is overwritten; with
+/// `true` the product is added to the existing contents.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn lhs len");
+    assert_eq!(b.len(), k * n, "gemm_nn rhs len");
+    assert_eq!(out.len(), m * n, "gemm_nn out len");
+    gemm(
+        out,
+        accumulate,
+        ASrc::RowMajor(a),
+        |dst| pack_b_nn(dst, b, k, n),
+        m,
+        k,
+        n,
+        threads,
+        ws,
+    );
+}
+
+/// `out (+)= aᵀ @ b` for `a[k,m]`, `b[k,n]` — the weight-gradient shape.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs len");
+    assert_eq!(b.len(), k * n, "gemm_tn rhs len");
+    assert_eq!(out.len(), m * n, "gemm_tn out len");
+    gemm(
+        out,
+        accumulate,
+        ASrc::ColMajor(a),
+        |dst| pack_b_nn(dst, b, k, n),
+        m,
+        k,
+        n,
+        threads,
+        ws,
+    );
+}
+
+/// `out (+)= a @ bᵀ` for `a[m,k]`, `b[n,k]` — the input-gradient and
+/// attention-score shape.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs len");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs len");
+    assert_eq!(out.len(), m * n, "gemm_nt out len");
+    gemm(
+        out,
+        accumulate,
+        ASrc::RowMajor(a),
+        |dst| pack_b_nt(dst, b, n, k),
+        m,
+        k,
+        n,
+        threads,
+        ws,
+    );
+}
+
+/// Naive single-pass reference kernels, used by proptests and the kernel
+/// benchmark as ground truth. Unlike the seed implementation these have
+/// **no** `av == 0.0` skip branch (see the `matmul` module header).
+pub mod reference {
+    /// `a[m,k] @ b[k,n]` in plain `i-k-j` order.
+    #[must_use]
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..][..k];
+            let orow = &mut out[i * n..][..n];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b[p * n..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `aᵀ @ b` for `a[k,m]`, `b[k,n]`.
+    #[must_use]
+    pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..][..m];
+            let brow = &b[p * n..][..n];
+            for (i, &av) in arow.iter().enumerate() {
+                let orow = &mut out[i * n..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `a @ bᵀ` for `a[m,k]`, `b[n,k]`.
+    #[must_use]
+    pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..][..k];
+            for j in 0..n {
+                let brow = &b[j * k..][..k];
+                out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        // Deterministic non-trivial values; sign flips avoid all-positive
+        // cancellation blind spots.
+        (0..len)
+            .map(|i| {
+                let v = ((i * 7 + 3) % 23) as f32 - 11.0;
+                v * scale
+            })
+            .collect()
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], tol: f32) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= tol * (1.0 + w.abs()),
+                "element {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_on_ragged_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 16, 32), (5, 17, 33), (13, 9, 70)] {
+            let a = seq(m * k, 0.25);
+            let b = seq(k * n, 0.5);
+            let want = reference::matmul(&a, &b, m, k, n);
+            let mut ws = Workspace::new();
+            let mut out = vec![0.0; m * n];
+            gemm_nn(&mut out, false, &a, &b, m, k, n, 1, &mut ws);
+            assert_close(&out, &want, 1e-5);
+        }
+    }
+
+    #[test]
+    fn tn_and_nt_match_reference() {
+        let (m, k, n) = (11, 19, 37);
+        let a_tn = seq(k * m, 0.25);
+        let b = seq(k * n, 0.5);
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0; m * n];
+        gemm_tn(&mut out, false, &a_tn, &b, k, m, n, 2, &mut ws);
+        assert_close(&out, &reference::matmul_tn(&a_tn, &b, k, m, n), 1e-5);
+
+        let a = seq(m * k, 0.25);
+        let b_nt = seq(n * k, 0.5);
+        let mut out = vec![0.0; m * n];
+        gemm_nt(&mut out, false, &a, &b_nt, m, k, n, 2, &mut ws);
+        assert_close(&out, &reference::matmul_nt(&a, &b_nt, m, k, n), 1e-5);
+    }
+
+    #[test]
+    fn results_bit_identical_across_pool_sizes() {
+        let (m, k, n) = (37, 29, 53);
+        let a = seq(m * k, 0.125);
+        let b = seq(k * n, 0.375);
+        let mut ws = Workspace::new();
+        let mut serial = vec![0.0; m * n];
+        gemm_nn(&mut serial, false, &a, &b, m, k, n, 1, &mut ws);
+        for threads in [2, 3, 8] {
+            let mut out = vec![0.0; m * n];
+            gemm_nn(&mut out, false, &a, &b, m, k, n, threads, &mut ws);
+            assert_eq!(
+                serial, out,
+                "threads={threads} must be bit-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing_contents() {
+        let (m, k, n) = (6, 10, 34);
+        let a = seq(m * k, 0.5);
+        let b = seq(k * n, 0.25);
+        let mut ws = Workspace::new();
+        let mut out = seq(m * n, 1.0);
+        let base = out.clone();
+        gemm_nn(&mut out, true, &a, &b, m, k, n, 1, &mut ws);
+        let mut fresh = vec![0.0; m * n];
+        gemm_nn(&mut fresh, false, &a, &b, m, k, n, 1, &mut ws);
+        for i in 0..m * n {
+            assert!((out[i] - (base[i] + fresh[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn overwrite_clobbers_stale_contents() {
+        let (m, k, n) = (5, 4, 9);
+        let a = seq(m * k, 0.5);
+        let b = seq(k * n, 0.5);
+        let mut ws = Workspace::new();
+        let mut out = vec![42.0; m * n];
+        gemm_nn(&mut out, false, &a, &b, m, k, n, 1, &mut ws);
+        assert_close(&out, &reference::matmul(&a, &b, m, k, n), 1e-5);
+    }
+
+    #[test]
+    fn reused_workspace_stays_correct() {
+        // Recycled (dirty) scratch must not leak into later results: the
+        // zero-padded pad tile and panel edges are re-zeroed by `lease`.
+        let mut ws = Workspace::new();
+        for trial in 0..3 {
+            let (m, k, n) = (7 + trial, 13, 35 + trial);
+            let a = seq(m * k, 0.5);
+            let b = seq(k * n, 0.25);
+            let mut out = vec![0.0; m * n];
+            gemm_nn(&mut out, false, &a, &b, m, k, n, 1, &mut ws);
+            assert_close(&out, &reference::matmul(&a, &b, m, k, n), 1e-5);
+        }
+    }
+}

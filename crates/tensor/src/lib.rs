@@ -12,8 +12,10 @@
 //! - [`Tensor`]: contiguous storage, elementwise algebra, reductions,
 //!   slicing/concatenation along rows and columns (the tensor-parallel
 //!   sharding primitives),
-//! - matmul kernels including transpose-free `AᵀB` / `ABᵀ` variants
-//!   ([`Tensor::matmul_tn`], [`Tensor::matmul_nt`]) for backprop,
+//! - blocked, register-tiled matmul kernels ([`kernels`]) including
+//!   transpose-free `AᵀB` / `ABᵀ` variants ([`Tensor::matmul_tn`],
+//!   [`Tensor::matmul_nt`]) for backprop, threaded via [`pool`]
+//!   (`ACTCOMP_THREADS`) and fed scratch by a reusable [`Workspace`],
 //! - [`ops`]: softmax / GELU / layer-norm statistics with derivatives,
 //! - [`linalg`]: a Jacobi SVD for the paper's Figure 2 low-rank analysis,
 //! - [`init`]: seeded initializers so every experiment is reproducible.
@@ -37,10 +39,14 @@ mod shape;
 mod tensor;
 
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
+pub mod workspace;
 
 mod matmul;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

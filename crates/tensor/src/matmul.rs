@@ -1,12 +1,27 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication methods on [`Tensor`], backed by the blocked
+//! kernels in [`crate::kernels`].
 //!
-//! The kernels use an `i-k-j` loop order over contiguous row slices, which
-//! keeps the inner loop vectorizable and cache-friendly without the
-//! complexity of explicit blocking. That is plenty for the model scales the
-//! accuracy experiments run at (hidden sizes ≤ a few hundred); the paper-scale
-//! models are *costed* by `actcomp-distsim`, never executed.
+//! All variants pack their operands and run the register-tiled core from
+//! `kernels`, with the pool size taken from [`crate::pool`] and scratch
+//! leased from a [`Workspace`] — the thread-local default for the plain
+//! methods, or a caller-owned one for the `_ws` variants used on hot
+//! paths (each runtime rank keeps its own).
+//!
+//! ## Why there is no `av == 0.0` skip branch
+//!
+//! The seed kernels skipped the inner loop when the current `A` element
+//! was zero — a win only for *sparse* operands. Activations and weights
+//! in this codebase are dense essentially always (GELU outputs, attention
+//! probabilities, Xavier-initialized weights), so the branch was pure
+//! overhead: it cost a compare-and-branch per multiplier, defeated the
+//! autovectorizer's ability to keep the pipeline full, and made runtime
+//! data-dependent (bad for benchmarking). Dense code paths must pay for
+//! the dense case only; the blocked kernels therefore multiply
+//! unconditionally. (Top-K-compressed activations *are* sparse, but they
+//! travel as index/value pairs, never through dense matmul.)
 
-use crate::Tensor;
+use crate::workspace::{self, Workspace};
+use crate::{kernels, pool, Tensor};
 
 impl Tensor {
     /// Matrix product `self @ other` for rank-2 tensors.
@@ -24,25 +39,33 @@ impl Tensor {
     /// assert_eq!(a.matmul(&b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.matmul_ws(other, ws))
+    }
+
+    /// [`Tensor::matmul`] with caller-provided scratch. The output buffer
+    /// is leased from `ws` too, so recycling the result
+    /// ([`Workspace::recycle_tensor`]) makes repeated same-shape calls
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or inner dimensions disagree.
+    pub fn matmul_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (m, k) = dims2(self, "matmul lhs");
         let (k2, n) = dims2(other, "matmul rhs");
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.as_slice();
-        let b = other.as_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        let mut out = ws.lease(m * n);
+        kernels::gemm_nn(
+            &mut out,
+            false,
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            pool::configured_threads(),
+            ws,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
@@ -56,26 +79,68 @@ impl Tensor {
     ///
     /// Panics if either tensor is not rank 2 or leading dimensions disagree.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.matmul_tn_ws(other, ws))
+    }
+
+    /// [`Tensor::matmul_tn`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or leading dimensions disagree.
+    pub fn matmul_tn_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (k, m) = dims2(self, "matmul_tn lhs");
         let (k2, n) = dims2(other, "matmul_tn rhs");
         assert_eq!(k, k2, "matmul_tn leading dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.as_slice();
-        let b = other.as_slice();
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        let mut out = ws.lease(m * n);
+        kernels::gemm_tn(
+            &mut out,
+            false,
+            self.as_slice(),
+            other.as_slice(),
+            k,
+            m,
+            n,
+            pool::configured_threads(),
+            ws,
+        );
         Tensor::from_vec(out, [m, n])
+    }
+
+    /// Accumulates `self += aᵀ @ b` in place — the gradient-accumulation
+    /// primitive (`w.grad += xᵀ @ dy`) that saves both the temporary
+    /// product tensor and the extra add pass.
+    ///
+    /// `a` is `[k, m]`, `b` is `[k, n]`, `self` is `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn add_matmul_tn(&mut self, a: &Tensor, b: &Tensor) {
+        workspace::with_thread_default(|ws| self.add_matmul_tn_ws(a, b, ws));
+    }
+
+    /// [`Tensor::add_matmul_tn`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn add_matmul_tn_ws(&mut self, a: &Tensor, b: &Tensor, ws: &mut Workspace) {
+        let (k, m) = dims2(a, "add_matmul_tn lhs");
+        let (k2, n) = dims2(b, "add_matmul_tn rhs");
+        assert_eq!(k, k2, "add_matmul_tn leading dims {k} vs {k2}");
+        let (sm, sn) = dims2(self, "add_matmul_tn out");
+        assert_eq!((sm, sn), (m, n), "add_matmul_tn out dims");
+        kernels::gemm_tn(
+            self.as_mut_slice(),
+            true,
+            a.as_slice(),
+            b.as_slice(),
+            k,
+            m,
+            n,
+            pool::configured_threads(),
+            ws,
+        );
     }
 
     /// Matrix product `self @ otherᵀ` without materializing the transpose.
@@ -88,28 +153,51 @@ impl Tensor {
     ///
     /// Panics if either tensor is not rank 2 or trailing dimensions disagree.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.matmul_nt_ws(other, ws))
+    }
+
+    /// [`Tensor::matmul_nt`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or trailing dimensions disagree.
+    pub fn matmul_nt_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         let (m, k) = dims2(self, "matmul_nt lhs");
         let (n, k2) = dims2(other, "matmul_nt rhs");
         assert_eq!(k, k2, "matmul_nt trailing dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.as_slice();
-        let b = other.as_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-            }
-        }
+        let mut out = ws.lease(m * n);
+        kernels::gemm_nt(
+            &mut out,
+            false,
+            self.as_slice(),
+            other.as_slice(),
+            m,
+            k,
+            n,
+            pool::configured_threads(),
+            ws,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
     /// Batched matrix product of two rank-3 tensors `[b, m, k] @ [b, k, n]`.
     ///
+    /// Each batch runs the blocked kernel directly on borrowed subslices of
+    /// the operands — no per-batch copies are made.
+    ///
     /// # Panics
     ///
     /// Panics if either tensor is not rank 3 or batch/inner dims disagree.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
+        workspace::with_thread_default(|ws| self.bmm_ws(other, ws))
+    }
+
+    /// [`Tensor::bmm`] with caller-provided scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 3 or batch/inner dims disagree.
+    pub fn bmm_ws(&self, other: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             self.rank(),
             3,
@@ -126,15 +214,22 @@ impl Tensor {
         let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
         assert_eq!(b, b2, "bmm batch dims {b} vs {b2}");
         assert_eq!(k, k2, "bmm inner dims {k} vs {k2}");
-        let mut out = Vec::with_capacity(b * m * n);
+        let threads = pool::configured_threads();
+        let mut out = ws.lease(b * m * n);
+        let lhs = self.as_slice();
+        let rhs = other.as_slice();
         for t in 0..b {
-            let lhs =
-                Tensor::from_vec(self.as_slice()[t * m * k..(t + 1) * m * k].to_vec(), [m, k]);
-            let rhs = Tensor::from_vec(
-                other.as_slice()[t * k * n..(t + 1) * k * n].to_vec(),
-                [k, n],
+            kernels::gemm_nn(
+                &mut out[t * m * n..][..m * n],
+                false,
+                &lhs[t * m * k..][..m * k],
+                &rhs[t * k * n..][..k * n],
+                m,
+                k,
+                n,
+                threads,
+                ws,
             );
-            out.extend_from_slice(lhs.matmul(&rhs).as_slice());
         }
         Tensor::from_vec(out, [b, m, n])
     }
@@ -207,6 +302,17 @@ mod tests {
     }
 
     #[test]
+    fn add_matmul_tn_accumulates() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32 * 0.5).collect(), [3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.25).collect(), [3, 4]);
+        let mut grad = Tensor::ones([2, 4]);
+        grad.add_matmul_tn(&a, &b);
+        let mut want = Tensor::ones([2, 4]);
+        want.add_assign(&a.matmul_tn(&b));
+        approx_eq(&grad, &want, 1e-6);
+    }
+
+    #[test]
     fn bmm_matches_per_batch_matmul() {
         let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]);
         let b = Tensor::from_vec((0..18).map(|x| x as f32 * 0.1).collect(), [2, 3, 3]);
@@ -225,6 +331,21 @@ mod tests {
         let mv = a.matvec(&v);
         let mm = a.matmul(&v.reshaped([3, 1]));
         assert_eq!(mv.as_slice(), mm.as_slice());
+    }
+
+    #[test]
+    fn ws_variants_match_plain_and_reuse_buffers() {
+        let a = Tensor::from_vec((0..20).map(|x| x as f32 * 0.3).collect(), [4, 5]);
+        let b = Tensor::from_vec((0..30).map(|x| x as f32 * 0.7).collect(), [5, 6]);
+        let mut ws = Workspace::new();
+        let c1 = a.matmul_ws(&b, &mut ws);
+        assert_eq!(c1.as_slice(), a.matmul(&b).as_slice());
+        ws.recycle_tensor(c1);
+        let cached = ws.cached();
+        assert!(cached > 0, "packing scratch should be cached");
+        let c2 = a.matmul_ws(&b, &mut ws);
+        assert_eq!(ws.cached(), cached - 1, "repeat call reuses cached buffers");
+        assert_eq!(c2.as_slice(), a.matmul(&b).as_slice());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Kernel thread-pool configuration and the chunked fork-join helper the
+//! blocked kernels parallelize with.
+//!
+//! The "pool" is deliberately work-stealing-free: a parallel kernel call
+//! splits its output rows into one contiguous chunk per worker, spawns
+//! scoped OS threads (`std::thread::scope`) for every chunk but the first,
+//! and computes the first chunk on the calling thread. Scoped threads make
+//! the helper safe to call from anywhere — including from inside
+//! `actcomp-runtime`'s per-rank threads — because borrowed tensor data
+//! never has to be `'static` and no global queue is shared between ranks.
+//!
+//! The pool size comes from, in priority order:
+//!
+//! 1. [`set_threads`] (the CLI's `--kernel-threads` override),
+//! 2. the `ACTCOMP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Invalid `ACTCOMP_THREADS` values (zero, empty, non-numeric) fall back
+//! to the default with a one-time warning; `actcomp check` rejects them
+//! statically as `AC0402` before a run gets this far.
+//!
+//! Chunk boundaries are always aligned to kernel row-tile boundaries (the
+//! caller passes tile-aligned chunk sizes), and every output element is
+//! accumulated by exactly one thread in a thread-count-independent order,
+//! so results are bit-identical for every pool size — the determinism
+//! contract `actcomp-runtime`'s serial-vs-threads tests rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit override (0 = unset); takes precedence over the environment.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily-resolved environment/default pool size.
+static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Parses a thread-count spec (the `ACTCOMP_THREADS` format): a positive
+/// decimal integer.
+///
+/// # Errors
+///
+/// Returns a description of the violation for zero, empty, or
+/// non-numeric input — the same predicate `actcomp-check` uses for its
+/// `AC0402` diagnostic.
+pub fn parse_thread_spec(s: &str) -> Result<usize, String> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Err("thread count is empty".to_string());
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("thread count `{t}` is not a positive integer")),
+    }
+}
+
+fn env_default() -> usize {
+    let fallback = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("ACTCOMP_THREADS") {
+        Ok(v) => match parse_thread_spec(&v) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring invalid ACTCOMP_THREADS ({e}); \
+                     using available parallelism"
+                );
+                fallback()
+            }
+        },
+        Err(_) => fallback(),
+    }
+}
+
+/// The kernel pool size currently in effect.
+pub fn configured_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => *ENV_DEFAULT.get_or_init(env_default),
+        n => n,
+    }
+}
+
+/// Overrides the kernel pool size for the rest of the process (the CLI's
+/// `--kernel-threads` flag lands here after validation).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn set_threads(threads: usize) {
+    assert!(threads > 0, "kernel pool size must be at least 1");
+    OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Runs `f(first_row, chunk)` over contiguous row chunks of `out`, one
+/// scoped thread per chunk beyond the first (which runs on the caller).
+///
+/// `chunk_rows[i]` is the number of rows (each `row_width` elements wide)
+/// in chunk `i`; the caller guarantees they sum to `out.len() / row_width`
+/// and are aligned to whatever tile size its kernel needs.
+///
+/// # Panics
+///
+/// Panics if the chunk sizes do not tile `out` exactly.
+pub(crate) fn run_row_chunks<F>(out: &mut [f32], row_width: usize, chunk_rows: &[usize], f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        chunk_rows.iter().sum::<usize>() * row_width,
+        out.len(),
+        "chunk plan does not tile the output"
+    );
+    if chunk_rows.len() <= 1 {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row0 = 0;
+        let mut first: Option<(usize, &mut [f32])> = None;
+        for (ci, &rows) in chunk_rows.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(rows * row_width);
+            rest = tail;
+            if ci == 0 {
+                first = Some((row0, chunk));
+            } else {
+                let fr = &f;
+                let start = row0;
+                scope.spawn(move || fr(start, chunk));
+            }
+            row0 += rows;
+        }
+        // The caller's thread is worker 0 — it computes instead of idling
+        // on the scope join.
+        let (start, chunk) = first.expect("at least one chunk");
+        f(start, chunk);
+    });
+}
+
+/// Splits `tiles` row-tiles into at most `threads` contiguous chunks of
+/// whole tiles, each chunk carrying at least `min_tiles` of work, and
+/// returns per-chunk *row* counts (`tile_rows` rows per full tile, with
+/// the final tile possibly ragged at `last_tile_rows`).
+///
+/// The split depends only on `(tiles, threads, min_tiles)` — never on
+/// runtime load — so the tile-to-chunk assignment is reproducible.
+pub(crate) fn plan_chunks(
+    tiles: usize,
+    tile_rows: usize,
+    last_tile_rows: usize,
+    threads: usize,
+    min_tiles: usize,
+) -> Vec<usize> {
+    if tiles == 0 {
+        return Vec::new();
+    }
+    let chunks = threads
+        .min(tiles.div_ceil(min_tiles.max(1)))
+        .clamp(1, tiles);
+    let base = tiles / chunks;
+    let extra = tiles % chunks;
+    let mut plan = Vec::with_capacity(chunks);
+    let mut used = 0;
+    for c in 0..chunks {
+        let t = base + usize::from(c < extra);
+        used += t;
+        let rows = if used == tiles {
+            (t - 1) * tile_rows + last_tile_rows
+        } else {
+            t * tile_rows
+        };
+        plan.push(rows);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_positive_integers() {
+        assert_eq!(parse_thread_spec("1"), Ok(1));
+        assert_eq!(parse_thread_spec(" 8 "), Ok(8));
+        assert!(parse_thread_spec("0").is_err());
+        assert!(parse_thread_spec("").is_err());
+        assert!(parse_thread_spec("two").is_err());
+        assert!(parse_thread_spec("-3").is_err());
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_plans_tile_exactly() {
+        // 10 tiles of 4 rows, last tile ragged at 3 rows: 39 rows total.
+        for threads in 1..=12 {
+            let plan = plan_chunks(10, 4, 3, threads, 1);
+            assert!(plan.len() <= threads.min(10));
+            assert_eq!(plan.iter().sum::<usize>(), 39, "threads={threads}");
+        }
+        // min_tiles throttles the fan-out for small work.
+        assert_eq!(plan_chunks(4, 4, 4, 8, 4).len(), 1);
+        assert!(plan_chunks(0, 4, 4, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn run_row_chunks_covers_every_row() {
+        let mut out = vec![0.0f32; 39 * 5];
+        let plan = plan_chunks(13, 3, 3, 4, 1);
+        run_row_chunks(&mut out, 5, &plan, |row0, chunk| {
+            for (r, row) in chunk.chunks_mut(5).enumerate() {
+                for v in row {
+                    *v = (row0 + r) as f32;
+                }
+            }
+        });
+        for (r, row) in out.chunks(5).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Reusable scratch-buffer arena for hot kernel callers.
+//!
+//! The training loop calls the same matmuls with the same shapes every
+//! step, so per-call `Vec` allocation is pure churn. A [`Workspace`] is a
+//! freelist of previously-used buffers: [`Workspace::lease`] hands out a
+//! zeroed `Vec<f32>` (recycled when one of sufficient capacity is
+//! available), and [`Workspace::recycle`] returns it for the next call.
+//!
+//! Ownership rules (also documented in `DESIGN.md`):
+//!
+//! - A workspace is **per-owner, not shared**: each runtime rank thread
+//!   owns its own `Workspace`; nothing is synchronized.
+//! - Leased buffers are plain owned `Vec<f32>`s — forgetting to recycle
+//!   one is a missed reuse, never unsoundness or a leak beyond that call.
+//! - Buffers come back **zeroed**, so kernels can accumulate into them
+//!   directly.
+//! - Convenience [`Tensor`] wrappers ([`Workspace::lease_tensor`],
+//!   [`Workspace::recycle_tensor`]) move the buffer in and out of tensor
+//!   form without copying.
+//!
+//! Plain `Tensor::matmul`-style methods that have no caller-provided
+//! workspace use a thread-local one via [`with_thread_default`], so even
+//! "workspace-oblivious" code stops allocating per call after warm-up.
+
+use crate::{Shape, Tensor};
+use std::cell::RefCell;
+
+/// Retain at most this many free buffers; beyond that, drop the smallest.
+const MAX_CACHED: usize = 32;
+
+/// A freelist arena of reusable `f32` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a zeroed buffer of exactly `len` elements, reusing a cached
+    /// allocation when one is large enough.
+    #[must_use]
+    pub fn lease(&mut self, len: usize) -> Vec<f32> {
+        // Pick the smallest cached buffer whose capacity fits, so big
+        // buffers stay available for big requests.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= len && best.is_none_or(|(_, bc)| cap < bc) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the freelist for later reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.push(buf);
+        if self.free.len() > MAX_CACHED {
+            // Evict the smallest buffer: the large ones are the expensive
+            // allocations worth keeping.
+            if let Some((i, _)) = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+            {
+                self.free.swap_remove(i);
+            }
+        }
+    }
+
+    /// Leases a zeroed [`Tensor`] with the given shape.
+    #[must_use]
+    pub fn lease_tensor(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let buf = self.lease(shape.len());
+        Tensor::from_vec(buf, shape)
+    }
+
+    /// Recycles a tensor's backing buffer into the freelist.
+    pub fn recycle_tensor(&mut self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+
+    /// Number of buffers currently cached (for tests and diagnostics).
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.free.len()
+    }
+}
+
+thread_local! {
+    static THREAD_WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with this thread's default workspace.
+///
+/// Used by the workspace-oblivious `Tensor` methods; explicit `_ws`
+/// variants take precedence in hot paths so ranks keep their scratch
+/// local.
+///
+/// Re-entrant calls (a plain method invoked while the thread default is
+/// already borrowed) fall back to a fresh temporary workspace: correct,
+/// just without reuse for that inner call.
+pub fn with_thread_default<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycles_capacity() {
+        let mut ws = Workspace::new();
+        let mut a = ws.lease(100);
+        a[0] = 7.0;
+        let ptr = a.as_ptr();
+        ws.recycle(a);
+        let b = ws.lease(64);
+        assert_eq!(b.as_ptr(), ptr, "smaller lease reuses cached buffer");
+        assert!(b.iter().all(|&v| v == 0.0), "leased buffer is zeroed");
+        assert_eq!(b.len(), 64);
+    }
+
+    #[test]
+    fn prefers_smallest_fitting_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.lease(1000);
+        let small = ws.lease(10);
+        let small_ptr = small.as_ptr();
+        ws.recycle(big);
+        ws.recycle(small);
+        let got = ws.lease(8);
+        assert_eq!(got.as_ptr(), small_ptr);
+    }
+
+    #[test]
+    fn eviction_keeps_large_buffers() {
+        let mut ws = Workspace::new();
+        for i in 0..(MAX_CACHED + 5) {
+            ws.recycle(vec![0.0; i + 1]);
+        }
+        assert_eq!(ws.cached(), MAX_CACHED);
+        let max_cap = ws.free.iter().map(Vec::capacity).max().unwrap();
+        assert!(max_cap >= MAX_CACHED + 5);
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let mut ws = Workspace::new();
+        let t = ws.lease_tensor([3, 4]);
+        assert_eq!(t.dims(), &[3, 4]);
+        ws.recycle_tensor(t);
+        assert_eq!(ws.cached(), 1);
+    }
+}
