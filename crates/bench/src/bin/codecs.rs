@@ -1,0 +1,376 @@
+//! Codec kernel throughput: pooled hot loops vs the seed scalar loops.
+//!
+//! PR 5 lifted the compressor hot loops (top-k selection, quantizer
+//! bit-packing) onto the shared thread pool and rewrote their inner
+//! loops (integer-key selection, byte-major branchless packing). This
+//! harness times the public codec API at a multi-thread pool size
+//! against faithful copies of the seed's serial loops (`mod seed`
+//! below), so the "before" side of the speedup stays measurable after
+//! the real kernels replaced it. It also races the new ring
+//! `dense_all_reduce` against the retained gather collective at tp=4,
+//! reporting wall time and per-rank wire bytes.
+//!
+//! Writes `BENCH_codecs.json` at the repo root, next to
+//! `BENCH_kernels.json`; `--quick` trims sizes and iterations for CI.
+
+use actcomp_bench::util;
+use actcomp_compress::{AutoEncoder, Compressor, Quantizer, TopK};
+use actcomp_core::report::Table;
+use actcomp_mp::CommBytes;
+use actcomp_runtime::{PhaseTimers, TpGroup};
+use actcomp_tensor::{pool, Tensor, Workspace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One codec row of `BENCH_codecs.json`.
+#[derive(serde::Serialize)]
+struct CaseResult {
+    label: String,
+    elems: usize,
+    pooled_threads: usize,
+    gbps_serial: f64,
+    gbps_pooled: f64,
+    speedup: f64,
+}
+
+/// The ring-vs-gather collective comparison in `BENCH_codecs.json`.
+#[derive(serde::Serialize)]
+struct CollectiveResult {
+    world: usize,
+    rows: usize,
+    width: usize,
+    rounds: usize,
+    gather_s: f64,
+    ring_s: f64,
+    /// Wire bytes one rank ships per all-reduce on the ring path.
+    ring_wire_bytes_per_rank: usize,
+    /// Wire bytes one rank ships per all-reduce on the gather path.
+    gather_wire_bytes_per_rank: usize,
+}
+
+/// Top-level `BENCH_codecs.json` document.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    bench: String,
+    quick: bool,
+    iters_per_case: usize,
+    pooled_threads: usize,
+    cases: Vec<CaseResult>,
+    collective: CollectiveResult,
+}
+
+/// The seed compress crate's codec hot loops, copied verbatim (modulo
+/// message wrapping) from the pre-ring `topk.rs` / `quant.rs`, so the
+/// serial baseline stays measurable after the pooled kernels replaced
+/// them in the crate proper.
+mod seed {
+    /// The seed `TopK::compress` selection: `select_nth_unstable_by`
+    /// over a `u32` index permutation with a `partial_cmp` comparator
+    /// on `|value|`, then an index sort and a value gather.
+    pub fn topk_select(data: &[f32], k: usize, scratch: &mut Vec<u32>) -> (Vec<f32>, Vec<u32>) {
+        let k = k.min(data.len());
+        scratch.clear();
+        scratch.extend(0..data.len() as u32);
+        if k < data.len() {
+            scratch.select_nth_unstable_by(k - 1, |&a, &b| {
+                data[b as usize]
+                    .abs()
+                    .partial_cmp(&data[a as usize].abs())
+                    .expect("activations are finite")
+            });
+        }
+        let mut order = scratch[..k].to_vec();
+        order.sort_unstable();
+        let values: Vec<f32> = order.iter().map(|&i| data[i as usize]).collect();
+        (values, order)
+    }
+
+    /// The seed `Quantizer::compress` packing loop: element-major with a
+    /// per-element `i / per_byte` split and a read-modify-write `|=`.
+    pub fn pack_uniform(x: &[f32], lo: f32, scale: f32, levels: u32, bits: usize) -> Vec<u8> {
+        let per_byte = 8 / bits;
+        let mut codes = vec![0u8; x.len().div_ceil(per_byte)];
+        for (i, &v) in x.iter().enumerate() {
+            let q = (((v - lo) / scale).round() as u32).min(levels) as u8;
+            codes[i / per_byte] |= q << ((i % per_byte) * bits);
+        }
+        codes
+    }
+
+    /// The seed `Quantizer::decompress` unpacking loop.
+    pub fn unpack_uniform(codes: &[u8], zero: f32, scale: f32, bits: usize, n: usize) -> Vec<f32> {
+        let per_byte = 8 / bits;
+        let mask = ((1u16 << bits) - 1) as u8;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let byte = codes[i / per_byte];
+            let code = (byte >> ((i % per_byte) * bits)) & mask;
+            out.push(zero + code as f32 * scale);
+        }
+        out
+    }
+
+    /// The seed tensor crate's `matmul` (the auto-encoder's `X @ W`
+    /// encode), copied verbatim from the pre-blocked kernel.
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, after one warmup call.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled(len: usize, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i * 13 + 5) % 31) as f32 - 15.0) * scale)
+        .collect()
+}
+
+/// Runs `rounds` dense all-reduces on every rank of a `world`-wide ring,
+/// returning the wall time and each rank's accumulated `ring_bytes`.
+fn run_collective(
+    world: usize,
+    rows: usize,
+    width: usize,
+    rounds: usize,
+    use_ring: bool,
+) -> (f64, Vec<CommBytes>) {
+    let groups = TpGroup::ring(world);
+    let t0 = Instant::now();
+    let handles: Vec<_> = groups
+        .into_iter()
+        .enumerate()
+        .map(|(r, mut g)| {
+            std::thread::spawn(move || {
+                let part =
+                    Tensor::from_vec(filled(rows * width, 0.01 * (r + 1) as f32), [rows, width]);
+                let mut timers = PhaseTimers::default();
+                let mut ws = Workspace::new();
+                for _ in 0..rounds {
+                    let out = if use_ring {
+                        g.dense_all_reduce(&part, &mut timers, &mut ws)
+                    } else {
+                        g.dense_all_reduce_gather(&part, &mut timers)
+                    };
+                    std::hint::black_box(&out);
+                    ws.recycle_tensor(out);
+                }
+                g.ring_bytes
+            })
+        })
+        .collect();
+    let bytes = handles
+        .into_iter()
+        .map(|h| h.join().expect("collective rank panicked"))
+        .collect();
+    (t0.elapsed().as_secs_f64(), bytes)
+}
+
+fn main() {
+    let opts = util::Options::from_args();
+    let iters = if opts.quick { 2 } else { 5 };
+    let elems: usize = if opts.quick { 1 << 18 } else { 1 << 21 };
+    let pooled_threads = 8;
+
+    let xs = filled(elems, 0.0625);
+    let x = Tensor::from_vec(xs.clone(), [elems]);
+    let gbps = |bytes: f64, secs: f64| bytes / secs / 1e9;
+
+    let mut table = Table::new(
+        "Pooled codec kernels vs seed loops (GB/s of dense input, best of several runs)",
+        [
+            "Codec",
+            "Elems",
+            "Seed GB/s",
+            &format!("Pooled {pooled_threads}T GB/s"),
+            "Speedup",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect(),
+    );
+    let mut entries = Vec::new();
+    let mut push = |table: &mut Table, label: &str, bytes: f64, serial_s: f64, pooled_s: f64| {
+        let speedup = serial_s / pooled_s;
+        table.push_row(vec![
+            label.to_string(),
+            elems.to_string(),
+            format!("{:.2}", gbps(bytes, serial_s)),
+            format!("{:.2}", gbps(bytes, pooled_s)),
+            format!("{:.2}x", speedup),
+        ]);
+        entries.push(CaseResult {
+            label: label.to_string(),
+            elems,
+            pooled_threads,
+            gbps_serial: gbps(bytes, serial_s),
+            gbps_pooled: gbps(bytes, pooled_s),
+            speedup,
+        });
+    };
+
+    pool::set_threads(pooled_threads);
+
+    // Top-k selection at the paper's 5% keep rate: the seed copy runs
+    // its full selection (the message wrapper it skips is O(k)
+    // bookkeeping), the pooled side goes through the public compress
+    // call.
+    let k = elems / 20;
+    let mut scratch: Vec<u32> = Vec::new();
+    let serial_s = time_best(iters, || {
+        std::hint::black_box(&seed::topk_select(&xs, k, &mut scratch));
+    });
+    let mut topk = TopK::new(k);
+    let pooled_s = time_best(iters, || {
+        std::hint::black_box(&topk.compress(&x));
+    });
+    push(
+        &mut table,
+        "topk (keep 5%)",
+        (elems * 4) as f64,
+        serial_s,
+        pooled_s,
+    );
+
+    // Quantizer pack and unpack, separately. The seed pack scans min
+    // and max in two passes exactly as the seed compress did via
+    // `x.min()` / `x.max()`.
+    for bits in [2usize, 4, 8] {
+        let levels = (1u32 << bits) - 1;
+        let serial_s = time_best(iters, || {
+            let lo = xs.iter().fold(f32::INFINITY, |lo, &v| lo.min(v));
+            let hi = xs.iter().fold(f32::NEG_INFINITY, |hi, &v| hi.max(v));
+            let scale = if hi > lo {
+                (hi - lo) / levels as f32
+            } else {
+                1.0
+            };
+            std::hint::black_box(&seed::pack_uniform(&xs, lo, scale, levels, bits));
+        });
+        let mut q = Quantizer::new(bits as u8);
+        let pooled_s = time_best(iters, || {
+            std::hint::black_box(&q.compress(&x));
+        });
+        push(
+            &mut table,
+            &format!("quant{bits} pack"),
+            (elems * 4) as f64,
+            serial_s,
+            pooled_s,
+        );
+
+        let msg = q.compress(&x);
+        let (codes, scale, zero) = match msg.payload() {
+            actcomp_compress::Payload::Quantized {
+                codes, scale, zero, ..
+            } => (codes.clone(), *scale, *zero),
+            _ => unreachable!("quantizer emits quantized payloads"),
+        };
+        let serial_s = time_best(iters, || {
+            std::hint::black_box(&seed::unpack_uniform(&codes, zero, scale, bits, elems));
+        });
+        let pooled_s = time_best(iters, || {
+            std::hint::black_box(&q.decompress(&msg));
+        });
+        push(
+            &mut table,
+            &format!("quant{bits} unpack"),
+            (elems * 4) as f64,
+            serial_s,
+            pooled_s,
+        );
+    }
+
+    // Auto-encoder encode (`X @ W`, the codec's hot loop): seed naive
+    // matmul vs the blocked pooled GEMM behind the public compress call
+    // (which additionally clones its backward caches).
+    let (hidden, code_dim) = (256, 64);
+    let rows = elems / hidden;
+    let x2 = Tensor::from_vec(xs.clone(), [rows, hidden]);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut ae = AutoEncoder::new(&mut rng, hidden, code_dim);
+    let enc = ae.encoder.value.as_slice().to_vec();
+    let serial_s = time_best(iters, || {
+        std::hint::black_box(&seed::matmul(&xs, &enc, rows, hidden, code_dim));
+    });
+    let pooled_s = time_best(iters, || {
+        std::hint::black_box(&ae.compress(&x2));
+    });
+    push(
+        &mut table,
+        &format!("autoencoder encode ({hidden}->{code_dim})"),
+        (elems * 4) as f64,
+        serial_s,
+        pooled_s,
+    );
+    println!("{table}");
+
+    // Ring vs gather dense all-reduce at tp=4. Bytes come from the ring
+    // byte counters accumulated over the measured rounds.
+    let world = 4;
+    let (rows, width) = if opts.quick { (128, 128) } else { (512, 256) };
+    let rounds = if opts.quick { 4 } else { 16 };
+    let gather_s = time_best(iters, || {
+        std::hint::black_box(run_collective(world, rows, width, rounds, false));
+    });
+    let ring_s = time_best(iters, || {
+        std::hint::black_box(run_collective(world, rows, width, rounds, true));
+    });
+    let (_, ring_bytes) = run_collective(world, rows, width, 1, true);
+    let (_, gather_bytes) = run_collective(world, rows, width, 1, false);
+    let ring_wire = ring_bytes.iter().map(|b| b.wire).max().unwrap_or(0);
+    let gather_wire = gather_bytes.iter().map(|b| b.wire).max().unwrap_or(0);
+    println!(
+        "dense all-reduce tp={world} [{rows}x{width}] x{rounds}: \
+         gather {gather_s:.4}s, ring {ring_s:.4}s; \
+         wire bytes/rank: ring {ring_wire}, gather {gather_wire}"
+    );
+
+    let doc = BenchDoc {
+        bench: "codecs".to_string(),
+        quick: opts.quick,
+        iters_per_case: iters,
+        pooled_threads,
+        cases: entries,
+        collective: CollectiveResult {
+            world,
+            rows,
+            width,
+            rounds,
+            gather_s,
+            ring_s,
+            ring_wire_bytes_per_rank: ring_wire,
+            gather_wire_bytes_per_rank: gather_wire,
+        },
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("benchmark JSON serializes");
+    if let Err(e) = std::fs::write("BENCH_codecs.json", &json) {
+        eprintln!("warning: could not write BENCH_codecs.json: {e}");
+    } else {
+        println!("[records written to BENCH_codecs.json]");
+    }
+}

@@ -3,7 +3,8 @@
 //! Codes are grouped by check pass: `AC00xx` shape algebra, `AC01xx`
 //! compression-plan placement, `AC02xx` schedule/topology/memory,
 //! `AC03xx` execution runtime, `AC04xx` kernel thread-pool
-//! configuration. Codes are append-only — once published
+//! configuration, `AC05xx` ring-collective chunking. Codes are
+//! append-only — once published
 //! in a diagnostic they keep their meaning so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
@@ -62,6 +63,14 @@ pub const KERNEL_THREADS_INVALID: &str = "AC0401";
 /// The `ACTCOMP_THREADS` environment variable does not parse as a
 /// positive thread count.
 pub const ENV_THREADS_INVALID: &str = "AC0402";
+
+/// `runtime.chunk_rows` is not a positive row count.
+pub const CHUNK_ROWS_INVALID: &str = "AC0501";
+/// `runtime.pipeline_depth` is not a positive chunk count.
+pub const PIPELINE_DEPTH_INVALID: &str = "AC0502";
+/// The `ACTCOMP_CHUNK_ROWS` environment variable does not parse as a
+/// positive row count.
+pub const ENV_CHUNK_ROWS_INVALID: &str = "AC0503";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -196,6 +205,21 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             ENV_THREADS_INVALID,
             "ACTCOMP_THREADS does not parse as a positive thread count",
+            false,
+        ),
+        row(
+            CHUNK_ROWS_INVALID,
+            "runtime.chunk_rows is not a positive row count",
+            false,
+        ),
+        row(
+            PIPELINE_DEPTH_INVALID,
+            "runtime.pipeline_depth is not a positive chunk count",
+            false,
+        ),
+        row(
+            ENV_CHUNK_ROWS_INVALID,
+            "ACTCOMP_CHUNK_ROWS does not parse as a positive row count",
             false,
         ),
     ]

@@ -1,0 +1,152 @@
+//! Ring-collective chunking checks (`AC0501`–`AC0503`).
+//!
+//! The threaded runtime's ring collectives split tensors into row
+//! chunks and pipeline them (`actcomp-runtime`'s `RingTuning`). Both
+//! knobs are "at least one" quantities: zero rows per chunk or a
+//! zero-deep pipeline would make the schedule degenerate, and the
+//! engine panics on either. This pass rejects the config spellings
+//! (`runtime.chunk_rows` = 0 → `AC0501`, `runtime.pipeline_depth` = 0
+//! → `AC0502`) and the environment spelling (`ACTCOMP_CHUNK_ROWS`,
+//! `AC0503`) — the latter via the exact predicate the runtime uses,
+//! [`actcomp_tensor::pool::parse_count_spec`], so the checker and the
+//! engine can never disagree on what parses.
+
+use crate::codes;
+use crate::config::ExperimentConfig;
+use crate::diagnostics::{Diagnostic, Diagnostics};
+use actcomp_tensor::pool::parse_count_spec;
+
+/// The ring-collective pass: validates `runtime.chunk_rows`,
+/// `runtime.pipeline_depth`, and the `ACTCOMP_CHUNK_ROWS` environment
+/// variable.
+pub fn check_collectives(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    if let Some(rt) = &cfg.runtime {
+        check_chunk_rows_field(rt.chunk_rows, diags);
+        check_pipeline_depth_field(rt.pipeline_depth, diags);
+    }
+    if let Ok(v) = std::env::var("ACTCOMP_CHUNK_ROWS") {
+        check_env_spec(&v, diags);
+    }
+}
+
+/// Validates the `runtime.chunk_rows` field (`AC0501`).
+fn check_chunk_rows_field(chunk_rows: Option<usize>, diags: &mut Diagnostics) {
+    if chunk_rows == Some(0) {
+        diags.push(
+            Diagnostic::error(
+                codes::CHUNK_ROWS_INVALID,
+                "runtime.chunk_rows",
+                "runtime.chunk_rows = 0: a ring collective chunk needs at least one row"
+                    .to_string(),
+            )
+            .with_help(
+                "use a positive row count, or omit the field to resolve it from \
+                 ACTCOMP_CHUNK_ROWS / automatic chunking",
+            ),
+        );
+    }
+}
+
+/// Validates the `runtime.pipeline_depth` field (`AC0502`).
+fn check_pipeline_depth_field(pipeline_depth: Option<usize>, diags: &mut Diagnostics) {
+    if pipeline_depth == Some(0) {
+        diags.push(
+            Diagnostic::error(
+                codes::PIPELINE_DEPTH_INVALID,
+                "runtime.pipeline_depth",
+                "runtime.pipeline_depth = 0: the ring pipeline needs at least one chunk \
+                 in flight"
+                    .to_string(),
+            )
+            .with_help("use a positive depth, or omit the field for the default of 4"),
+        );
+    }
+}
+
+/// Validates an `ACTCOMP_CHUNK_ROWS` value (`AC0503`). Split from the
+/// environment read so tests can exercise it without mutating the
+/// process environment.
+fn check_env_spec(value: &str, diags: &mut Diagnostics) {
+    if let Err(e) = parse_count_spec(value, "chunk row count") {
+        diags.push(
+            Diagnostic::error(
+                codes::ENV_CHUNK_ROWS_INVALID,
+                "env.ACTCOMP_CHUNK_ROWS",
+                format!("ACTCOMP_CHUNK_ROWS={value:?} is invalid: {e}"),
+            )
+            .with_help(
+                "set a positive integer row count, or unset the variable to use \
+                 automatic chunking",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeSection;
+
+    fn codes_of(diags: Diagnostics) -> Vec<&'static str> {
+        diags.into_vec().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn absent_fields_are_clean() {
+        let mut diags = Diagnostics::new();
+        check_chunk_rows_field(None, &mut diags);
+        check_pipeline_depth_field(None, &mut diags);
+        assert!(diags.into_vec().is_empty());
+    }
+
+    #[test]
+    fn positive_fields_are_clean() {
+        let mut diags = Diagnostics::new();
+        check_chunk_rows_field(Some(16), &mut diags);
+        check_pipeline_depth_field(Some(2), &mut diags);
+        assert!(diags.into_vec().is_empty());
+    }
+
+    #[test]
+    fn zero_fields_are_rejected() {
+        let mut diags = Diagnostics::new();
+        check_chunk_rows_field(Some(0), &mut diags);
+        check_pipeline_depth_field(Some(0), &mut diags);
+        assert_eq!(
+            codes_of(diags),
+            vec![codes::CHUNK_ROWS_INVALID, codes::PIPELINE_DEPTH_INVALID]
+        );
+    }
+
+    #[test]
+    fn config_section_feeds_the_pass() {
+        let mut cfg = ExperimentConfig::paper_default();
+        let mut rt = RuntimeSection::threads_default();
+        rt.chunk_rows = Some(0);
+        rt.pipeline_depth = Some(0);
+        cfg.runtime = Some(rt);
+        let mut diags = Diagnostics::new();
+        check_collectives(&cfg, &mut diags);
+        let got = codes_of(diags);
+        assert!(got.contains(&codes::CHUNK_ROWS_INVALID));
+        assert!(got.contains(&codes::PIPELINE_DEPTH_INVALID));
+    }
+
+    #[test]
+    fn env_specs_share_the_runtime_predicate() {
+        for bad in ["0", "", "  ", "four", "-8", "2.5"] {
+            let mut diags = Diagnostics::new();
+            check_env_spec(bad, &mut diags);
+            assert_eq!(
+                codes_of(diags),
+                vec![codes::ENV_CHUNK_ROWS_INVALID],
+                "expected {bad:?} to be rejected"
+            );
+        }
+        for good in ["1", "64", " 16 "] {
+            let mut diags = Diagnostics::new();
+            check_env_spec(good, &mut diags);
+            assert!(diags.into_vec().is_empty(), "expected {good:?} to pass");
+        }
+    }
+}

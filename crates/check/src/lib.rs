@@ -21,6 +21,7 @@
 //! ```
 
 pub mod codes;
+pub mod collectives;
 pub mod config;
 pub mod diagnostics;
 pub mod kernels;
@@ -52,8 +53,8 @@ impl std::fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// Runs every check pass, returning all findings in pass order
-/// (shape, plan, schedule, runtime, kernels). An empty vector means the
-/// config is clean.
+/// (shape, plan, schedule, runtime, kernels, collectives). An empty
+/// vector means the config is clean.
 pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     let mut diags = Diagnostics::new();
     shape::check_shapes(cfg, &mut diags);
@@ -61,6 +62,7 @@ pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     schedule::check_schedule(cfg, &mut diags);
     runtime::check_runtime(cfg, &mut diags);
     kernels::check_kernels(cfg, &mut diags);
+    collectives::check_collectives(cfg, &mut diags);
     diags.into_vec()
 }
 
@@ -114,10 +116,14 @@ mod tests {
         let mut rt = RuntimeSection::threads_default();
         rt.backend = "mpi".to_string(); // runtime: AC0301
         rt.kernel_threads = Some(0); // kernels: AC0401
+        rt.chunk_rows = Some(0); // collectives: AC0501
+        rt.pipeline_depth = Some(0); // collectives: AC0502
         cfg.runtime = Some(rt);
         let diags = check(&cfg);
         let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
-        for expected in ["AC0002", "AC0003", "AC0102", "AC0207", "AC0301", "AC0401"] {
+        for expected in [
+            "AC0002", "AC0003", "AC0102", "AC0207", "AC0301", "AC0401", "AC0501", "AC0502",
+        ] {
             assert!(codes.contains(&expected), "missing {expected} in {codes:?}");
         }
         let err = validate(&cfg).unwrap_err();

@@ -50,8 +50,8 @@ USAGE:
   actcomp check         <CONFIG.json> | --print-default | --print-pretrain
   actcomp run           [--backend threads|serial] [--tp N] [--pp N] [--spec ID] [--steps N]
                         [--batch N] [--seq N] [--layers N] [--hidden N] [--heads N] [--ff N]
-                        [--vocab N] [--micro-batches N] [--kernel-threads N] [--error-feedback]
-                        [--seed N] [--out PATH]
+                        [--vocab N] [--micro-batches N] [--kernel-threads N] [--chunk-rows N]
+                        [--pipeline-depth N] [--error-feedback] [--seed N] [--out PATH]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -168,6 +168,18 @@ fn run(args: &Args) {
             std::process::exit(2);
         })
     });
+    let chunk_rows = args.raw("chunk-rows").map(|v| {
+        actcomp_tensor::pool::parse_count_spec(v, "chunk row count").unwrap_or_else(|e| {
+            eprintln!("error: --chunk-rows: {e}");
+            std::process::exit(2);
+        })
+    });
+    let pipeline_depth = args.raw("pipeline-depth").map(|v| {
+        actcomp_tensor::pool::parse_count_spec(v, "pipeline depth").unwrap_or_else(|e| {
+            eprintln!("error: --pipeline-depth: {e}");
+            std::process::exit(2);
+        })
+    });
     let out = args.get("out", "BENCH_runtime.json");
     let spec = parse_spec(args.get("spec", "w/o"));
     let lr = 1e-2;
@@ -200,10 +212,18 @@ fn run(args: &Args) {
         micro_batches: Some(m),
         rank_map: None,
         kernel_threads,
+        chunk_rows,
+        pipeline_depth,
     });
     validate_or_exit(&cfg);
     if let Some(n) = kernel_threads {
         actcomp_tensor::pool::set_threads(n);
+    }
+    if let Some(n) = chunk_rows {
+        actcomp_runtime::set_chunk_rows(n);
+    }
+    if let Some(n) = pipeline_depth {
+        actcomp_runtime::set_pipeline_depth(n);
     }
 
     let plan = cfg.resolve_plan().expect("validated spec resolves");

@@ -110,6 +110,20 @@ pub trait Compressor: Send {
         false
     }
 
+    /// Whether this codec may be applied independently to contiguous row
+    /// chunks of a rank-2 activation with results bitwise identical to
+    /// compressing the whole tensor at once. True only for codecs whose
+    /// per-row output depends on nothing outside the row: identity (per
+    /// element) and the auto-encoder (the code's row `r` is `x[r] @ E`).
+    /// False for anything with whole-tensor semantics — Top-K's global
+    /// selection, per-tensor quantization ranges, error-feedback
+    /// residuals — which `actcomp-runtime` therefore ships as a single
+    /// chunk. Chunked callers must also run [`Compressor::backward`] once
+    /// per chunk in reverse chunk order (the caches are LIFO).
+    fn chunkable(&self) -> bool {
+        false
+    }
+
     /// Visits learnable compressor parameters (the auto-encoder's encoder
     /// and decoder matrices). Default: none.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
@@ -141,6 +155,10 @@ impl Compressor for Box<dyn Compressor> {
 
     fn summable(&self) -> bool {
         (**self).summable()
+    }
+
+    fn chunkable(&self) -> bool {
+        (**self).chunkable()
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {

@@ -98,12 +98,32 @@ impl Compressed {
 }
 
 /// Reconstructs a dense tensor from a sparse payload.
+///
+/// When the index list is sorted (Top-K and Random-K both sort before
+/// shipping) the scatter chunks over the kernel pool: each worker owns a
+/// contiguous span of the *output* and binary-searches the index list for
+/// its span's entries, so writes stay disjoint and the result is
+/// chunk-plan independent. Unsorted indices fall back to the serial loop
+/// (last write wins, as before).
 pub(crate) fn scatter_sparse(values: &[f32], indices: &[u32], shape: &Shape) -> Tensor {
     let mut out = Tensor::zeros(shape.clone());
     let buf = out.as_mut_slice();
-    for (&v, &i) in values.iter().zip(indices) {
-        buf[i as usize] = v;
+    let threads = actcomp_tensor::pool::configured_threads();
+    if threads <= 1 || buf.len() < 4096 || !indices.windows(2).all(|w| w[0] <= w[1]) {
+        for (&v, &i) in values.iter().zip(indices) {
+            buf[i as usize] = v;
+        }
+        return out;
     }
+    let plan = actcomp_tensor::pool::plan_unit_chunks(buf.len(), threads, 4096);
+    actcomp_tensor::pool::run_on_chunks(buf, &plan, |start, chunk| {
+        let end = start + chunk.len();
+        let lo = indices.partition_point(|&i| (i as usize) < start);
+        let hi = indices.partition_point(|&i| (i as usize) < end);
+        for (&v, &i) in values[lo..hi].iter().zip(&indices[lo..hi]) {
+            chunk[i as usize - start] = v;
+        }
+    });
     out
 }
 

@@ -10,10 +10,85 @@
 //! the gradient-compression literature applied to activations.
 
 use crate::{Compressed, Compressor, Payload};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{pool, Tensor};
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Minimum rows per chunk when parallelizing the per-row quantizer.
+const MIN_CHUNK_ROWS: usize = 8;
+
+/// Packs an `[m, n]` tensor into the per-row wire layout
+/// (`[scale f32][zero f32][codes]` per row), chunked over `threads`.
+///
+/// Rows are fully independent — range, metadata, and codes all live
+/// inside the row's own stride — so the pool splits the buffer on row
+/// boundaries and every byte's value is chunk-plan independent; within a
+/// row everything runs in the serial order.
+fn pack_rows(xs: &[f32], m: usize, n: usize, bits: usize, levels: u32, threads: usize) -> Vec<u8> {
+    let per_byte = 8 / bits;
+    let stride = 8 + n.div_ceil(per_byte);
+    let mut buf = vec![0u8; m * stride];
+    let rplan = pool::plan_unit_chunks(m, threads, MIN_CHUNK_ROWS);
+    let blens: Vec<usize> = rplan.iter().map(|&r| r * stride).collect();
+    pool::run_on_chunks(&mut buf, &blens, |b0, chunk| {
+        let row0 = b0 / stride;
+        for (r, rowbuf) in chunk.chunks_mut(stride).enumerate() {
+            let row = &xs[(row0 + r) * n..(row0 + r + 1) * n];
+            let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let scale = if hi > lo {
+                (hi - lo) / levels as f32
+            } else {
+                1.0
+            };
+            rowbuf[0..4].copy_from_slice(&scale.to_le_bytes());
+            rowbuf[4..8].copy_from_slice(&lo.to_le_bytes());
+            for (bi, byte) in rowbuf[8..].iter_mut().enumerate() {
+                let e0 = bi * per_byte;
+                let e1 = (e0 + per_byte).min(n);
+                let mut b = 0u8;
+                for (s, &v) in row[e0..e1].iter().enumerate() {
+                    let q = (((v - lo) / scale).round() as u32).min(levels) as u8;
+                    b |= q << (s * bits);
+                }
+                *byte = b;
+            }
+        }
+    });
+    buf
+}
+
+/// Inverse of [`pack_rows`]: reconstructs the `[m, n]` dense values from
+/// the per-row wire layout, chunked over `threads` on row boundaries.
+fn unpack_rows(codes: &[u8], m: usize, n: usize, bits: usize, threads: usize) -> Vec<f32> {
+    let per_byte = 8 / bits;
+    let stride = 8 + n.div_ceil(per_byte);
+    let mask = ((1u16 << bits) - 1) as u8;
+    let mut out = vec![0.0f32; m * n];
+    if n == 0 {
+        return out;
+    }
+    let rplan = pool::plan_unit_chunks(m, threads, MIN_CHUNK_ROWS);
+    let elens: Vec<usize> = rplan.iter().map(|&r| r * n).collect();
+    pool::run_on_chunks(&mut out, &elens, |e0, chunk| {
+        let row0 = e0 / n;
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let row = &codes[(row0 + r) * stride..(row0 + r + 1) * stride];
+            let scale = f32::from_le_bytes(row[0..4].try_into().expect("scale bytes"));
+            let zero = f32::from_le_bytes(row[4..8].try_into().expect("zero bytes"));
+            for (bi, &byte) in row[8..].iter().enumerate() {
+                let e0 = bi * per_byte;
+                let e1 = (e0 + per_byte).min(n);
+                for (s, slot) in orow[e0..e1].iter_mut().enumerate() {
+                    let code = (byte >> (s * bits)) & mask;
+                    *slot = zero + code as f32 * scale;
+                }
+            }
+        }
+    });
+    out
+}
 
 /// Uniform quantizer with *stochastic rounding*: each value rounds up with
 /// probability equal to its fractional position between levels, making the
@@ -74,6 +149,10 @@ impl Compressor for StochasticQuantizer {
         };
         let per_byte = 8 / self.bits as usize;
         let mut codes = vec![0u8; x.len().div_ceil(per_byte)];
+        // Deliberately serial, unlike the deterministic quantizer's pooled
+        // pack: the ChaCha8 stream advances once per element in index
+        // order, and that draw order *is* the seeded-determinism contract.
+        // (Decompression shares the pooled unpack path below.)
         for (i, &v) in x.as_slice().iter().enumerate() {
             let t = (v - lo) / scale;
             let floor = t.floor();
@@ -148,28 +227,15 @@ impl Compressor for RowQuantizer {
         let (m, n) = (x.dims()[0], x.dims()[1]);
         self.cache_rows = Some(m);
         let levels = (1u32 << self.bits) - 1;
-        let per_byte = 8 / self.bits as usize;
-        let codes_per_row = n.div_ceil(per_byte);
         // Layout: per row, [scale f32][zero f32][packed codes].
-        let mut buf = Vec::with_capacity(m * (8 + codes_per_row));
-        for i in 0..m {
-            let row = &x.as_slice()[i * n..(i + 1) * n];
-            let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
-            let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let scale = if hi > lo {
-                (hi - lo) / levels as f32
-            } else {
-                1.0
-            };
-            buf.extend_from_slice(&scale.to_le_bytes());
-            buf.extend_from_slice(&lo.to_le_bytes());
-            let mut packed = vec![0u8; codes_per_row];
-            for (j, &v) in row.iter().enumerate() {
-                let q = (((v - lo) / scale).round() as u32).min(levels) as u8;
-                packed[j / per_byte] |= q << ((j % per_byte) * self.bits as usize);
-            }
-            buf.extend_from_slice(&packed);
-        }
+        let buf = pack_rows(
+            x.as_slice(),
+            m,
+            n,
+            self.bits as usize,
+            levels,
+            pool::configured_threads(),
+        );
         Compressed::new(
             Payload::Quantized {
                 codes: Bytes::from(buf),
@@ -185,22 +251,7 @@ impl Compressor for RowQuantizer {
         let (m, n) = (msg.shape().dim(0), msg.shape().dim(1));
         match msg.payload() {
             Payload::Quantized { codes, bits, .. } => {
-                let bits = *bits as usize;
-                let per_byte = 8 / bits;
-                let codes_per_row = n.div_ceil(per_byte);
-                let stride = 8 + codes_per_row;
-                let mask = ((1u16 << bits) - 1) as u8;
-                let mut out = Vec::with_capacity(m * n);
-                for i in 0..m {
-                    let row = &codes[i * stride..(i + 1) * stride];
-                    let scale = f32::from_le_bytes(row[0..4].try_into().expect("scale bytes"));
-                    let zero = f32::from_le_bytes(row[4..8].try_into().expect("zero bytes"));
-                    for j in 0..n {
-                        let byte = row[8 + j / per_byte];
-                        let code = (byte >> ((j % per_byte) * bits)) & mask;
-                        out.push(zero + code as f32 * scale);
-                    }
-                }
+                let out = unpack_rows(codes, m, n, *bits as usize, pool::configured_threads());
                 Tensor::from_vec(out, [m, n])
             }
             _ => panic!("RowQuantizer received a non-quantized message"),
@@ -284,6 +335,39 @@ mod tests {
                     xr.max_abs_diff(&yr) <= step / 2.0 + 1e-5,
                     "row {i} bits {bits}"
                 );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Per-row pack/unpack is bit-identical for pools {1, 2, 8} on
+        /// arbitrary row/column counts (including ragged last code bytes).
+        #[test]
+        fn row_pack_unpack_is_pool_size_invariant(
+            m in 1usize..64,
+            n in 1usize..70,
+            bits_ix in 0usize..3,
+            seed in 0u64..1000,
+        ) {
+            let bits = [2usize, 4, 8][bits_ix];
+            let levels = (1u32 << bits) - 1;
+            let data: Vec<f32> = (0..m * n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                    ((h >> 33) % 37) as f32 * 0.21 - 4.0
+                })
+                .collect();
+            let serial = pack_rows(&data, m, n, bits, levels, 1);
+            let out_serial = unpack_rows(&serial, m, n, bits, 1);
+            for threads in [2usize, 8] {
+                let pooled = pack_rows(&data, m, n, bits, levels, threads);
+                proptest::prop_assert_eq!(&pooled, &serial, "pack threads={}", threads);
+                let out = unpack_rows(&pooled, m, n, bits, threads);
+                let same = out
+                    .iter()
+                    .zip(&out_serial)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                proptest::prop_assert!(same, "unpack threads={}", threads);
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use crate::message::scatter_sparse;
 use crate::{Compressed, Compressor, Payload};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{pool, Tensor};
 use rand::seq::index::sample;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -69,11 +69,18 @@ impl Compressor for RandomK {
             .map(|i| i as u32)
             .collect();
         indices.sort_unstable();
+        // Index *sampling* stays serial — the rng stream order is the
+        // seeded-determinism contract — but the value gather+scale is a
+        // pure per-position map, so it chunks over the pool.
         let scale = n as f32 / k as f32;
-        let values: Vec<f32> = indices
-            .iter()
-            .map(|&i| x.as_slice()[i as usize] * scale)
-            .collect();
+        let data = x.as_slice();
+        let mut values = vec![0.0f32; k];
+        let plan = pool::plan_unit_chunks(k, pool::configured_threads(), 2048);
+        pool::run_on_chunks(&mut values, &plan, |v0, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = data[indices[v0 + j] as usize] * scale;
+            }
+        });
         self.cache_masks.push(indices.clone());
         Compressed::new(Payload::Sparse { values, indices }, x.shape().clone())
     }

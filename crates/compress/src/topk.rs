@@ -2,7 +2,72 @@
 
 use crate::message::scatter_sparse;
 use crate::{Compressed, Compressor, Payload};
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{pool, Tensor};
+
+/// Minimum elements per selection chunk; below `threads *` this, the
+/// fork-join overhead of extra chunks outweighs the parallel select.
+const MIN_CHUNK: usize = 2048;
+
+/// Selection key for element `i`: `(|v| bits, !i)` packed into a `u64`.
+///
+/// The IEEE bit pattern of `|v|` is monotone in `|v|` for non-negative
+/// finite floats, so plain integer comparison orders by magnitude — no
+/// `partial_cmp` Option plumbing in the hot comparator — and the inverted
+/// index breaks magnitude ties toward the *smaller* index. Every key is
+/// distinct, so "the k largest keys" is a unique set: the selection result
+/// cannot depend on how the array was chunked or on `select_nth`'s
+/// internal pivot choices.
+#[inline]
+fn sel_key(v: f32, i: usize) -> u64 {
+    ((v.abs().to_bits() as u64) << 32) | u64::from(!(i as u32))
+}
+
+/// Returns the indices of the `k` largest-|value| elements of `data`
+/// (ties toward the smaller index), sorted ascending, selecting over
+/// `threads` row chunks. `keys` is a reusable scratch buffer.
+///
+/// Each chunk keeps its local top-`min(k, chunk_len)` as a candidate
+/// prefix — any global top-k member that lives in a chunk is necessarily
+/// in that chunk's local top-k — then one final select over the
+/// concatenated candidates picks the global winners. Because the key
+/// order is total, the result is bit-identical for every `threads`.
+pub(crate) fn select_top_k(
+    data: &[f32],
+    k: usize,
+    keys: &mut Vec<u64>,
+    threads: usize,
+) -> Vec<u32> {
+    let n = data.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    keys.clear();
+    keys.resize(n, 0);
+    let plan = pool::plan_unit_chunks(n, threads, MIN_CHUNK);
+    pool::run_on_chunks(keys, &plan, |start, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let i = start + j;
+            *slot = sel_key(data[i], i);
+        }
+        let kc = k.min(chunk.len());
+        if kc < chunk.len() {
+            chunk.select_nth_unstable_by(kc - 1, |a, b| b.cmp(a));
+        }
+    });
+    let mut cands: Vec<u64> = Vec::with_capacity(plan.len() * k);
+    let mut start = 0;
+    for &len in &plan {
+        cands.extend_from_slice(&keys[start..start + k.min(len)]);
+        start += len;
+    }
+    if k < cands.len() {
+        cands.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    }
+    let mut order: Vec<u32> = cands[..k].iter().map(|&key| !(key as u32)).collect();
+    order.sort_unstable();
+    order
+}
 
 /// Keeps the `k` entries of largest absolute value, zeroing the rest
 /// (the paper's `torch.topk` baseline, §3.2).
@@ -24,9 +89,9 @@ pub struct TopK {
     k: usize,
     /// LIFO stack of kept-index sets, one per unconsumed `compress`.
     cache_masks: Vec<Vec<u32>>,
-    /// Reusable index buffer for the selection pass; keeps its capacity
-    /// across `compress` calls so steady-state selection allocates nothing.
-    scratch: Vec<u32>,
+    /// Reusable selection-key buffer; keeps its capacity across
+    /// `compress` calls so steady-state selection allocates little.
+    scratch: Vec<u64>,
 }
 
 impl TopK {
@@ -69,24 +134,11 @@ impl Compressor for TopK {
     }
 
     fn compress(&mut self, x: &Tensor) -> Compressed {
-        let k = self.k.min(x.len());
-        // Select the k largest |values| in O(n) with select_nth, then sort
-        // the selected indices for a deterministic message layout. The full
-        // index permutation lives in `self.scratch` so the O(n) buffer is
-        // reused across calls; only the k kept indices are copied out.
-        self.scratch.clear();
-        self.scratch.extend(0..x.len() as u32);
+        // Chunked O(n) selection over the kernel pool; indices come back
+        // sorted for a deterministic message layout. The O(n) key buffer
+        // lives in `self.scratch` and is reused across calls.
         let data = x.as_slice();
-        if k < x.len() {
-            self.scratch.select_nth_unstable_by(k - 1, |&a, &b| {
-                data[b as usize]
-                    .abs()
-                    .partial_cmp(&data[a as usize].abs())
-                    .expect("activations are finite")
-            });
-        }
-        let mut order = self.scratch[..k].to_vec();
-        order.sort_unstable();
+        let order = select_top_k(data, self.k, &mut self.scratch, pool::configured_threads());
         let values: Vec<f32> = order.iter().map(|&i| data[i as usize]).collect();
         self.cache_masks.push(order.clone());
         Compressed::new(
@@ -199,5 +251,47 @@ mod tests {
     #[test]
     fn not_summable() {
         assert!(!TopK::new(1).summable());
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        // Four equal magnitudes: the total selection order must keep the
+        // two smallest indices, for every pool size.
+        let x = [2.0f32, -2.0, 2.0, -2.0, 0.5];
+        let mut keys = Vec::new();
+        for threads in [1, 2, 8] {
+            assert_eq!(select_top_k(&x, 2, &mut keys, threads), vec![0, 1]);
+        }
+    }
+
+    proptest::proptest! {
+        /// The chunked selection is bit-identical for pools {1, 2, 8} and
+        /// matches a brute-force sort under the same total order — on
+        /// inputs both above and below the parallel chunking threshold,
+        /// with tie-heavy value distributions.
+        #[test]
+        fn selection_is_pool_size_invariant(
+            n in 1usize..6000,
+            k in 1usize..600,
+            seed in 0u64..1000,
+        ) {
+            let data: Vec<f32> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                    ((h >> 33) % 23) as f32 - 11.0
+                })
+                .collect();
+            let mut keys = Vec::new();
+            let serial = select_top_k(&data, k, &mut keys, 1);
+            for threads in [2usize, 8] {
+                let pooled = select_top_k(&data, k, &mut keys, threads);
+                proptest::prop_assert_eq!(&pooled, &serial, "threads={}", threads);
+            }
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by_key(|&i| std::cmp::Reverse(sel_key(data[i as usize], i as usize)));
+            let mut want = idx[..k.min(n)].to_vec();
+            want.sort_unstable();
+            proptest::prop_assert_eq!(serial, want);
+        }
     }
 }

@@ -1,39 +1,316 @@
-//! Channel-based collectives for one tensor-parallel group.
+//! Channel-based ring collectives for one tensor-parallel group.
 //!
 //! Each rank owns a [`TpGroup`] endpoint of a ring over
-//! `std::sync::mpsc` channels. The compressed all-reduce runs the same
-//! compressor arithmetic as the serial
-//! [`actcomp_mp::CompressedAllReduce`] — summable codes (auto-encoder,
-//! identity) are summed in rank order and decoded once; non-summable
-//! messages (Top-K, Random-K, quantized) travel by all-gather and every
-//! rank decodes and sums them locally — so a threaded run with the
-//! identity compressor is bit-identical to the serial executor.
+//! `std::sync::mpsc` channels. Collectives run the same compressor
+//! arithmetic as the serial [`actcomp_mp::CompressedAllReduce`], so a
+//! threaded run with the identity compressor is bit-identical to the
+//! serial executor.
+//!
+//! # Ring algorithm
+//!
+//! Dense reduces and summable-code reduces use a **pipelined chain
+//! reduce plus ring broadcast** over row chunks:
+//!
+//! 1. *Chain reduce* (rank order `0 → 1 → … → p−1`): rank 0 ships each
+//!    chunk of its partial; every rank in between adds its own rows to
+//!    the buffer it received and forwards it. The buffer arriving at
+//!    rank `p−1` holds `((x₀ + x₁) + x₂) + …` — exactly the serial
+//!    executor's left fold in rank order, which is what keeps the
+//!    threaded runtime bitwise equal to serial.
+//! 2. *Broadcast* (`p−1 → 0 → 1 → … → p−2`): the root forwards each
+//!    finished chunk around the ring; every rank copies it into its
+//!    output.
+//!
+//! A textbook reduce-scatter + all-gather would be cheaper in maximum
+//! per-rank traffic, but it reduces every chunk along a *different* rank
+//! walk, so its floating-point association depends on the chunk's owner
+//! — it cannot reproduce the serial left fold bit for bit. The chain
+//! form keeps the fold while still moving at most `2N` elements per rank
+//! (versus the gather-based `(p−1)N`, strictly fewer for `p ≥ 3`) and
+//! `2(p−1)N` in aggregate across links, which is bandwidth-optimal for
+//! an all-reduce.
+//!
+//! # Chunking and overlap
+//!
+//! Tensors are split into row chunks ([`RingTuning`]); chunk `i+1` is
+//! being encoded/copied while chunk `i` is on the wire and chunk `i−1`
+//! is being summed/decoded downstream. Rank 0 paces the pipeline: it
+//! keeps at most `pipeline_depth` reduce chunks in flight beyond the
+//! broadcasts it has consumed, so memory stays bounded without any
+//! blocking sends (channels are unbounded; the lookahead cap is the only
+//! back-pressure needed). Because every rank sends its reduce-phase
+//! chunks in index order and broadcast forwards in index order, each
+//! link's FIFO matches the receiver's processing order up to the
+//! reduce/broadcast interleave, which a small stash absorbs.
+//!
+//! Summable codecs that declare [`Compressor::chunkable`] (identity,
+//! auto-encoder) are encoded per chunk and their codes chain-reduced
+//! with [`Compressed::sum`] — per-element rank-order folds, bitwise
+//! equal to the unchunked message. Non-chunkable codecs travel as a
+//! single chunk, preserving their whole-tensor semantics (global Top-K
+//! selection, per-tensor quantization ranges, error-feedback residuals).
+//! Non-summable messages still all-gather, but each message is decoded
+//! as it arrives so decode overlaps the remaining wire hops; the final
+//! summation stays in rank order.
 
 use crate::report::{timed, PhaseTimers};
 use actcomp_compress::{Compressed, Compressor};
 use actcomp_mp::CommBytes;
-use actcomp_tensor::Tensor;
+use actcomp_tensor::{pool, Tensor, Workspace};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::OnceLock;
+use std::time::Instant;
 
-/// A message circulating on the tensor-parallel ring, tagged with the
-/// rank that originated it.
+/// Rows-per-chunk target when no explicit chunk size is configured:
+/// split into this many chunks.
+const DEFAULT_CHUNKS: usize = 4;
+
+/// Default sender lookahead, in chunks, for the pipeline head (rank 0).
+const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
+/// Process-wide `--chunk-rows` override (0 = unset).
+static CHUNK_ROWS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide `--pipeline-depth` override (0 = unset).
+static PIPELINE_DEPTH: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily-parsed `ACTCOMP_CHUNK_ROWS` environment value.
+static ENV_CHUNK_ROWS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Overrides the ring-collective chunk size (rows per chunk) for the
+/// rest of the process — the CLI's `--chunk-rows` flag lands here after
+/// validation. Takes precedence over `ACTCOMP_CHUNK_ROWS`.
+///
+/// # Panics
+///
+/// Panics if `rows` is zero (`actcomp check` rejects this statically as
+/// `AC0501`).
+pub fn set_chunk_rows(rows: usize) {
+    assert!(rows > 0, "chunk row count must be at least 1");
+    CHUNK_ROWS.store(rows, Ordering::Relaxed);
+}
+
+/// Overrides the ring pipeline depth (maximum reduce chunks in flight
+/// ahead of the broadcast) for the rest of the process — the CLI's
+/// `--pipeline-depth` flag lands here after validation.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero (`AC0502`).
+pub fn set_pipeline_depth(depth: usize) {
+    assert!(depth > 0, "pipeline depth must be at least 1");
+    PIPELINE_DEPTH.store(depth, Ordering::Relaxed);
+}
+
+fn env_chunk_rows() -> Option<usize> {
+    *ENV_CHUNK_ROWS.get_or_init(|| match std::env::var("ACTCOMP_CHUNK_ROWS") {
+        Ok(v) => match pool::parse_count_spec(&v, "chunk row count") {
+            Ok(n) => Some(n),
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring invalid ACTCOMP_CHUNK_ROWS ({e}); \
+                     using automatic chunking"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// Chunking/pipelining knobs for ring collectives.
+///
+/// Every endpoint of a ring captures the process-wide configuration at
+/// [`TpGroup::ring`] time; tests may override the copy on each endpoint,
+/// as long as all endpoints of one ring agree (the chunk plan must be
+/// identical on every rank).
+#[derive(Debug, Clone, Copy)]
+pub struct RingTuning {
+    /// Rows per chunk; `None` picks `ceil(rows / 4)` per collective.
+    pub chunk_rows: Option<usize>,
+    /// Maximum reduce chunks rank 0 keeps in flight ahead of the
+    /// broadcasts it has consumed (≥ 1).
+    pub pipeline_depth: usize,
+}
+
+impl RingTuning {
+    /// Resolves the process-wide configuration: [`set_chunk_rows`] /
+    /// [`set_pipeline_depth`] first, then `ACTCOMP_CHUNK_ROWS`, then
+    /// automatic chunking at depth [`DEFAULT_PIPELINE_DEPTH`].
+    pub fn configured() -> RingTuning {
+        let chunk_rows = match CHUNK_ROWS.load(Ordering::Relaxed) {
+            0 => env_chunk_rows(),
+            n => Some(n),
+        };
+        let pipeline_depth = match PIPELINE_DEPTH.load(Ordering::Relaxed) {
+            0 => DEFAULT_PIPELINE_DEPTH,
+            n => n,
+        };
+        RingTuning {
+            chunk_rows,
+            pipeline_depth,
+        }
+    }
+
+    /// The per-chunk row counts for a `rows`-row collective. Depends
+    /// only on `(self, rows)` — never on runtime state — so every rank
+    /// of a ring derives the same plan independently.
+    fn plan(&self, rows: usize) -> Vec<usize> {
+        if rows == 0 {
+            return vec![0];
+        }
+        let per = self
+            .chunk_rows
+            .unwrap_or_else(|| rows.div_ceil(DEFAULT_CHUNKS))
+            .max(1);
+        let mut plan = Vec::with_capacity(rows.div_ceil(per));
+        let mut left = rows;
+        while left > 0 {
+            let c = per.min(left);
+            plan.push(c);
+            left -= c;
+        }
+        plan
+    }
+}
+
+impl Default for RingTuning {
+    fn default() -> Self {
+        RingTuning {
+            chunk_rows: None,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+        }
+    }
+}
+
+/// An item travelling a whole-message all-gather, tagged with origin.
 #[derive(Debug, Clone)]
-enum RingPayload {
-    /// A compressed activation message.
+enum GatherPayload {
+    /// A compressed activation message (non-summable reduce).
     Code(Compressed),
-    /// An uncompressed tensor (dense backward reduces).
+    /// An uncompressed tensor (the gather-based dense reference path).
     Dense(Tensor),
     /// Compressor-parameter gradients (auto-encoder sync).
     Grads(Vec<Tensor>),
 }
 
-type RingMsg = (usize, RingPayload);
+/// One row chunk of a chain-reduce / broadcast collective.
+#[derive(Debug)]
+enum ChunkData {
+    /// Raw rows of a dense reduce (owned, recycled via `Workspace`).
+    Dense(Vec<f32>),
+    /// A per-chunk code of a summable compressed reduce.
+    Code(Compressed),
+}
+
+impl ChunkData {
+    /// fp16-equivalent bytes this chunk occupies on the wire.
+    fn wire_bytes(&self) -> usize {
+        match self {
+            ChunkData::Dense(v) => v.len() * 2,
+            ChunkData::Code(c) => c.wire_bytes(2),
+        }
+    }
+}
+
+/// A chunk message: reduce-phase (`bcast = false`) or broadcast-phase.
+#[derive(Debug)]
+struct ChunkMsg {
+    bcast: bool,
+    idx: usize,
+    data: ChunkData,
+}
+
+/// Everything a ring link can carry.
+#[derive(Debug)]
+enum RingMsg {
+    Gather(usize, GatherPayload),
+    Chunk(ChunkMsg),
+}
+
+/// Treats any tensor as `[rows, width]` for chunking purposes (rank-1
+/// tensors chunk per element).
+fn rows_width(t: &Tensor) -> (usize, usize) {
+    let len = t.len();
+    if len == 0 {
+        return (1, 0);
+    }
+    let rows = if t.rank() >= 1 { t.dims()[0].max(1) } else { 1 };
+    (rows, len / rows)
+}
+
+/// Cumulative `(start, end)` element ranges for a row-chunk plan.
+fn elem_bounds(plan: &[usize], width: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(plan.len());
+    let mut at = 0;
+    for &rows in plan {
+        bounds.push((at * width, (at + rows) * width));
+        at += rows;
+    }
+    bounds
+}
+
+/// Cumulative `(start, end)` row ranges for a row-chunk plan.
+fn row_bounds(plan: &[usize]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(plan.len());
+    let mut at = 0;
+    for &rows in plan {
+        bounds.push((at, at + rows));
+        at += rows;
+    }
+    bounds
+}
+
+/// Encodes chunk `idx` of `partial` (the whole tensor when the plan is a
+/// single chunk), charging the compressor to `encode_s` and adding the
+/// code's wire size to `own_wire`.
+fn encode_chunk(
+    comp: &mut dyn Compressor,
+    partial: &Tensor,
+    bounds: &[(usize, usize)],
+    idx: usize,
+    timers: &mut PhaseTimers,
+    own_wire: &mut usize,
+) -> Compressed {
+    let code = if bounds.len() == 1 {
+        timed(&mut timers.encode_s, || comp.compress(partial))
+    } else {
+        let (r0, r1) = bounds[idx];
+        let chunk = partial.slice_rows(r0, r1);
+        timed(&mut timers.encode_s, || comp.compress(&chunk))
+    };
+    *own_wire += code.wire_bytes(2);
+    code
+}
+
+/// Decodes a summed chunk code into rows `ebounds[idx]` of `out` (or
+/// into `single` when the collective is unchunked, avoiding the copy).
+fn consume_total(
+    comp: &dyn Compressor,
+    code: &Compressed,
+    idx: usize,
+    ebounds: &[(usize, usize)],
+    out: &mut Option<Tensor>,
+    single: &mut Option<Tensor>,
+    timers: &mut PhaseTimers,
+) {
+    let dec = timed(&mut timers.decode_s, || comp.decompress(code));
+    match out {
+        Some(o) => {
+            let (s, e) = ebounds[idx];
+            o.as_mut_slice()[s..e].copy_from_slice(dec.as_slice());
+        }
+        None => *single = Some(dec),
+    }
+}
 
 /// One rank's endpoint of a tensor-parallel ring of `world` ranks.
 ///
-/// All collectives are deterministic: gathered items are indexed by
-/// origin rank and reduced in rank order `0..world`, so the result is
-/// independent of thread scheduling.
+/// All collectives are deterministic: reductions always fold in rank
+/// order `0..world` with a chunk plan derived purely from shapes and
+/// [`RingTuning`], so the result is independent of thread scheduling and
+/// of the chunk plan itself (for dense and chunkable-codec reduces).
 pub struct TpGroup {
     /// This rank's index within the group.
     pub rank: usize,
@@ -42,8 +319,19 @@ pub struct TpGroup {
     next_tx: Option<Sender<RingMsg>>,
     prev_rx: Option<Receiver<RingMsg>>,
     /// Cumulative reduce traffic (per-rank accounting, matching the
-    /// serial executor's formulas).
+    /// serial executor's formulas — dense backward reduces count
+    /// nothing here, exactly as in serial).
     pub bytes: CommBytes,
+    /// Ring-vs-gather accounting: `wire` is the fp16-equivalent bytes
+    /// this rank *actually sent* in collectives; `dense` is what the
+    /// gather-based implementation of the same collectives would have
+    /// sent per rank. For the gather reference path the two are equal;
+    /// for ring collectives `wire ≤ dense`, strictly less for `p ≥ 3`.
+    pub ring_bytes: CommBytes,
+    /// Chunking/pipelining knobs, captured from the process-wide
+    /// configuration at ring construction. Tests may override, but all
+    /// endpoints of one ring must agree.
+    pub tuning: RingTuning,
 }
 
 impl std::fmt::Debug for TpGroup {
@@ -64,6 +352,7 @@ impl TpGroup {
         if world == 1 {
             return vec![TpGroup::solo()];
         }
+        let tuning = RingTuning::configured();
         let links: Vec<(Sender<RingMsg>, Receiver<RingMsg>)> =
             (0..world).map(|_| channel()).collect();
         let mut txs: Vec<Option<Sender<RingMsg>>> = Vec::with_capacity(world);
@@ -82,6 +371,8 @@ impl TpGroup {
                 next_tx: txs[t].take(),
                 prev_rx: rxs[(t + world - 1) % world].take(),
                 bytes: CommBytes::default(),
+                ring_bytes: CommBytes::default(),
+                tuning,
             })
             .collect()
     }
@@ -95,14 +386,80 @@ impl TpGroup {
             next_tx: None,
             prev_rx: None,
             bytes: CommBytes::default(),
+            ring_bytes: CommBytes::default(),
+            tuning: RingTuning::configured(),
+        }
+    }
+
+    /// Sends one chunk message to the next rank, counting its actual
+    /// wire bytes.
+    fn send_chunk(&mut self, bcast: bool, idx: usize, data: ChunkData, timers: &mut PhaseTimers) {
+        self.ring_bytes.wire += data.wire_bytes();
+        let msg = RingMsg::Chunk(ChunkMsg { bcast, idx, data });
+        let tx = self.next_tx.as_ref().expect("ring sender");
+        timed(&mut timers.wire_s, || {
+            tx.send(msg).expect("ring peer hung up");
+        });
+    }
+
+    /// Receives the chunk message `(bcast, idx)`, stashing any other
+    /// chunk that arrives first (the reduce/broadcast interleave on a
+    /// link can run at most `pipeline_depth` messages ahead).
+    fn recv_chunk(
+        &self,
+        bcast: bool,
+        idx: usize,
+        stash: &mut Vec<ChunkMsg>,
+        timers: &mut PhaseTimers,
+    ) -> ChunkData {
+        if let Some(pos) = stash.iter().position(|m| m.bcast == bcast && m.idx == idx) {
+            return stash.swap_remove(pos).data;
+        }
+        let rx = self.prev_rx.as_ref().expect("ring receiver");
+        timed(&mut timers.wire_s, || loop {
+            match rx.recv().expect("ring peer hung up") {
+                RingMsg::Chunk(m) if m.bcast == bcast && m.idx == idx => return m.data,
+                RingMsg::Chunk(m) => stash.push(m),
+                RingMsg::Gather(..) => {
+                    panic!("ring delivered a gather message to a chunked collective")
+                }
+            }
+        })
+    }
+
+    /// Receives a chunk that must be dense rows.
+    fn recv_dense_chunk(
+        &self,
+        bcast: bool,
+        idx: usize,
+        stash: &mut Vec<ChunkMsg>,
+        timers: &mut PhaseTimers,
+    ) -> Vec<f32> {
+        match self.recv_chunk(bcast, idx, stash, timers) {
+            ChunkData::Dense(b) => b,
+            ChunkData::Code(_) => panic!("dense reduce received a code chunk"),
+        }
+    }
+
+    /// Receives a chunk that must be a code.
+    fn recv_code_chunk(
+        &self,
+        bcast: bool,
+        idx: usize,
+        stash: &mut Vec<ChunkMsg>,
+        timers: &mut PhaseTimers,
+    ) -> Compressed {
+        match self.recv_chunk(bcast, idx, stash, timers) {
+            ChunkData::Code(c) => c,
+            ChunkData::Dense(_) => panic!("code reduce received a dense chunk"),
         }
     }
 
     /// All-gathers one payload per rank around the ring, returning the
     /// payloads indexed by origin rank. Blocking time is charged to the
     /// `wire` phase.
-    fn all_gather(&mut self, own: RingPayload, timers: &mut PhaseTimers) -> Vec<RingPayload> {
-        let mut out: Vec<Option<RingPayload>> = (0..self.world).map(|_| None).collect();
+    fn all_gather(&mut self, own: GatherPayload, timers: &mut PhaseTimers) -> Vec<GatherPayload> {
+        let mut out: Vec<Option<GatherPayload>> = (0..self.world).map(|_| None).collect();
         out[self.rank] = Some(own.clone());
         if self.world == 1 {
             return out.into_iter().map(|o| o.expect("own payload")).collect();
@@ -110,10 +467,16 @@ impl TpGroup {
         timed(&mut timers.wire_s, || {
             let tx = self.next_tx.as_ref().expect("ring sender");
             let rx = self.prev_rx.as_ref().expect("ring receiver");
-            let mut carry: RingMsg = (self.rank, own);
+            let mut carry = (self.rank, own);
             for _ in 0..self.world - 1 {
-                tx.send(carry).expect("ring peer hung up");
-                let (origin, payload) = rx.recv().expect("ring peer hung up");
+                tx.send(RingMsg::Gather(carry.0, carry.1))
+                    .expect("ring peer hung up");
+                let (origin, payload) = match rx.recv().expect("ring peer hung up") {
+                    RingMsg::Gather(origin, payload) => (origin, payload),
+                    RingMsg::Chunk(_) => {
+                        panic!("ring delivered a chunk message to an all-gather")
+                    }
+                };
                 out[origin] = Some(payload.clone());
                 carry = (origin, payload);
             }
@@ -123,71 +486,328 @@ impl TpGroup {
             .collect()
     }
 
+    /// The row-chunk plan `compressed_all_reduce` uses for `t`: a real
+    /// plan only when the codec is chunkable, the input is rank 2, and
+    /// the group has peers; a single whole-tensor chunk otherwise.
+    /// [`TpGroup::compressed_backward`] derives the same plan from the
+    /// gradient's (identical) shape to pop the per-chunk caches.
+    fn codec_plan(&self, comp: &dyn Compressor, t: &Tensor) -> Vec<usize> {
+        if self.world > 1 && comp.chunkable() && t.rank() == 2 && t.dims()[0] > 0 {
+            self.tuning.plan(t.dims()[0])
+        } else {
+            vec![rows_width(t).0]
+        }
+    }
+
     /// Compressed all-reduce of this rank's `partial` with the partials
     /// the peer ranks are concurrently contributing.
     ///
-    /// Exactly mirrors the serial [`actcomp_mp::CompressedAllReduce`]:
-    /// summable codes are summed in rank order and decoded once;
-    /// non-summable messages are each decoded locally and summed in
-    /// rank order. Byte accounting uses the same ring/all-gather
-    /// formulas as the serial executor and accumulates into
-    /// [`TpGroup::bytes`].
+    /// Mirrors the serial [`actcomp_mp::CompressedAllReduce`] bit for
+    /// bit: summable codes are chain-reduced in rank order and decoded
+    /// once (per chunk, for chunkable codecs); non-summable messages are
+    /// all-gathered, decoded as they arrive, and summed in rank order.
+    /// Byte accounting uses the same formulas as the serial executor and
+    /// accumulates into [`TpGroup::bytes`]; the whole call is also
+    /// timed into `collective_s` (which overlaps the encode/wire/decode
+    /// attribution rather than adding to it).
     pub fn compressed_all_reduce(
+        &mut self,
+        comp: &mut dyn Compressor,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let t0 = Instant::now();
+        let out = if self.world == 1 {
+            // Solo: compress/decompress locally, zero bytes — identical
+            // to the serial executor at tp = 1.
+            let msg = timed(&mut timers.encode_s, || comp.compress(partial));
+            timed(&mut timers.decode_s, || comp.decompress(&msg))
+        } else if comp.summable() {
+            self.summable_ring(comp, partial, timers, ws)
+        } else {
+            self.gathered_reduce(comp, partial, timers)
+        };
+        timers.collective_s += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Chain-reduce + broadcast over per-chunk codes of a summable
+    /// compressor (see the module docs for the schedule).
+    fn summable_ring(
+        &mut self,
+        comp: &mut dyn Compressor,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let plan = self.codec_plan(comp, partial);
+        let total = plan.len();
+        let bounds = row_bounds(&plan);
+        let (_, width) = rows_width(partial);
+        let ebounds = elem_bounds(&plan, width);
+        let (r, p) = (self.rank, self.world);
+        let depth = self.tuning.pipeline_depth.max(1);
+        let mut stash: Vec<ChunkMsg> = Vec::new();
+        let mut own_wire = 0usize;
+        // Unchunked collectives return the decoded tensor directly
+        // (`single`); chunked ones assemble rows into a leased `out`.
+        let mut out = (total > 1).then(|| ws.lease_tensor(partial.shape().clone()));
+        let mut single: Option<Tensor> = None;
+
+        if r == 0 {
+            let mut sent = 0;
+            while sent < depth.min(total) {
+                let code = encode_chunk(comp, partial, &bounds, sent, timers, &mut own_wire);
+                self.send_chunk(false, sent, ChunkData::Code(code), timers);
+                sent += 1;
+            }
+            for idx in 0..total {
+                let code = self.recv_code_chunk(true, idx, &mut stash, timers);
+                consume_total(&*comp, &code, idx, &ebounds, &mut out, &mut single, timers);
+                if p > 2 {
+                    self.send_chunk(true, idx, ChunkData::Code(code), timers);
+                }
+                if sent < total {
+                    let code = encode_chunk(comp, partial, &bounds, sent, timers, &mut own_wire);
+                    self.send_chunk(false, sent, ChunkData::Code(code), timers);
+                    sent += 1;
+                }
+            }
+        } else if r < p - 1 {
+            for idx in 0..total {
+                // Encoding before the blocking receive overlaps this
+                // rank's encode with the upstream chain work.
+                let own = encode_chunk(comp, partial, &bounds, idx, timers, &mut own_wire);
+                let prev = self.recv_code_chunk(false, idx, &mut stash, timers);
+                let summed = timed(&mut timers.decode_s, || prev.sum(&own));
+                self.send_chunk(false, idx, ChunkData::Code(summed), timers);
+            }
+            for idx in 0..total {
+                let code = self.recv_code_chunk(true, idx, &mut stash, timers);
+                consume_total(&*comp, &code, idx, &ebounds, &mut out, &mut single, timers);
+                if r != p - 2 {
+                    self.send_chunk(true, idx, ChunkData::Code(code), timers);
+                }
+            }
+        } else {
+            for idx in 0..total {
+                let own = encode_chunk(comp, partial, &bounds, idx, timers, &mut own_wire);
+                let prev = self.recv_code_chunk(false, idx, &mut stash, timers);
+                let summed = timed(&mut timers.decode_s, || prev.sum(&own));
+                // Ship the total downstream before decoding locally so
+                // peers' decodes overlap ours.
+                self.send_chunk(true, idx, ChunkData::Code(summed.clone()), timers);
+                consume_total(
+                    &*comp,
+                    &summed,
+                    idx,
+                    &ebounds,
+                    &mut out,
+                    &mut single,
+                    timers,
+                );
+            }
+        }
+        debug_assert!(stash.is_empty(), "collective left chunks in the stash");
+
+        // Serial-matching accounting: an all-reduce of `b` own bytes
+        // costs `2 (p−1) b / p` per rank.
+        let per_rank_ar = |bytes: usize| 2 * (p - 1) * bytes / p;
+        self.bytes.add(CommBytes {
+            wire: per_rank_ar(own_wire),
+            dense: per_rank_ar(partial.len() * 2),
+        });
+        // Gather-equivalent baseline for the ring-vs-gather comparison.
+        self.ring_bytes.dense += (p - 1) * own_wire;
+        match out {
+            Some(o) => o,
+            None => single.expect("unchunked collective decoded once"),
+        }
+    }
+
+    /// All-gather reduce for non-summable codecs, decoding each message
+    /// as it arrives so decode overlaps the remaining wire hops.
+    fn gathered_reduce(
         &mut self,
         comp: &mut dyn Compressor,
         partial: &Tensor,
         timers: &mut PhaseTimers,
     ) -> Tensor {
         let p = self.world;
-        let per_rank_ar = |bytes: usize| 2 * (p - 1) * bytes / p.max(1);
-        let dense = per_rank_ar(partial.len() * 2);
         let msg = timed(&mut timers.encode_s, || comp.compress(partial));
-        let summable = comp.summable();
-        let gathered = self.all_gather(RingPayload::Code(msg), timers);
-        let msgs: Vec<&Compressed> = gathered
-            .iter()
-            .map(|g| match g {
-                RingPayload::Code(c) => c,
-                _ => panic!("ring delivered a non-code payload to a reduce"),
-            })
-            .collect();
-        let (out, wire) = timed(&mut timers.decode_s, || {
-            if summable {
-                let mut total = msgs[0].clone();
-                for m in &msgs[1..] {
-                    total = total.sum(m);
-                }
-                let wire = per_rank_ar(msgs[0].wire_bytes(2));
-                (comp.decompress(&total), wire)
-            } else {
-                let mut gathered_bytes = 0;
-                let mut out: Option<Tensor> = None;
-                for m in &msgs {
-                    gathered_bytes += m.wire_bytes(2);
-                    let dec = comp.decompress(m);
-                    match &mut out {
-                        Some(acc) => acc.add_assign(&dec),
-                        None => out = Some(dec),
+        let mut gathered_bytes = msg.wire_bytes(2);
+        let mut sent_bytes = msg.wire_bytes(2);
+        let mut decs: Vec<Option<Tensor>> = (0..p).map(|_| None).collect();
+        {
+            let tx = self.next_tx.as_ref().expect("ring sender");
+            let rx = self.prev_rx.as_ref().expect("ring receiver");
+            timed(&mut timers.wire_s, || {
+                tx.send(RingMsg::Gather(self.rank, GatherPayload::Code(msg.clone())))
+                    .expect("ring peer hung up");
+            });
+            // Own decode runs while peers encode and ship.
+            decs[self.rank] = Some(timed(&mut timers.decode_s, || comp.decompress(&msg)));
+            for hop in 0..p - 1 {
+                let (origin, code) = timed(&mut timers.wire_s, || {
+                    match rx.recv().expect("ring peer hung up") {
+                        RingMsg::Gather(origin, GatherPayload::Code(code)) => (origin, code),
+                        _ => panic!("gathered reduce received a non-code message"),
                     }
+                });
+                gathered_bytes += code.wire_bytes(2);
+                if hop + 1 < p - 1 {
+                    sent_bytes += code.wire_bytes(2);
+                    timed(&mut timers.wire_s, || {
+                        tx.send(RingMsg::Gather(origin, GatherPayload::Code(code.clone())))
+                            .expect("ring peer hung up");
+                    });
                 }
-                let wire = gathered_bytes * (p - 1) / p.max(1);
-                (out.expect("at least one rank"), wire)
+                decs[origin] = Some(timed(&mut timers.decode_s, || comp.decompress(&code)));
             }
+        }
+        let out = timed(&mut timers.decode_s, || {
+            let mut it = decs
+                .into_iter()
+                .map(|d| d.expect("gather visited every rank"));
+            let mut acc = it.next().expect("at least one rank");
+            for t in it {
+                acc.add_assign(&t);
+            }
+            acc
         });
-        self.bytes.add(CommBytes { wire, dense });
+        self.bytes.add(CommBytes {
+            wire: gathered_bytes * (p - 1) / p,
+            dense: 2 * (p - 1) * (partial.len() * 2) / p,
+        });
+        // This path *is* a gather: actual equals the gather baseline.
+        self.ring_bytes.add(CommBytes {
+            wire: sent_bytes,
+            dense: sent_bytes,
+        });
         out
     }
 
-    /// Exact (uncompressed) all-reduce, used for the backward reductions
-    /// the serial executor performs as plain sums — no bytes counted, to
-    /// match its accounting.
-    pub fn dense_all_reduce(&mut self, partial: &Tensor, timers: &mut PhaseTimers) -> Tensor {
-        let gathered = self.all_gather(RingPayload::Dense(partial.clone()), timers);
-        timed(&mut timers.decode_s, || {
+    /// Exact (uncompressed) ring all-reduce over row chunks, used for
+    /// the backward reductions the serial executor performs as plain
+    /// sums — no bytes counted into [`TpGroup::bytes`], to match its
+    /// accounting; actual traffic lands in [`TpGroup::ring_bytes`].
+    ///
+    /// Received chunk buffers are reused in place along the chain (no
+    /// full-tensor clone per hop) and recycled into `ws` when consumed.
+    pub fn dense_all_reduce(
+        &mut self,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        if self.world == 1 || partial.is_empty() {
+            return partial.clone();
+        }
+        let t0 = Instant::now();
+        let out = self.dense_ring(partial, timers, ws);
+        timers.collective_s += t0.elapsed().as_secs_f64();
+        self.ring_bytes.dense += (self.world - 1) * partial.len() * 2;
+        out
+    }
+
+    /// The chunked chain-reduce + broadcast schedule for dense rows.
+    fn dense_ring(
+        &mut self,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let (rows, width) = rows_width(partial);
+        let plan = self.tuning.plan(rows);
+        let total = plan.len();
+        let bounds = elem_bounds(&plan, width);
+        let data = partial.as_slice();
+        let mut out = ws.lease_tensor(partial.shape().clone());
+        let (r, p) = (self.rank, self.world);
+        let depth = self.tuning.pipeline_depth.max(1);
+        let mut stash: Vec<ChunkMsg> = Vec::new();
+
+        if r == 0 {
+            let mut sent = 0;
+            let ship = |g: &mut Self, ws: &mut Workspace, idx: usize, timers: &mut PhaseTimers| {
+                let (s, e) = bounds[idx];
+                let mut buf = ws.lease(e - s);
+                buf.copy_from_slice(&data[s..e]);
+                g.send_chunk(false, idx, ChunkData::Dense(buf), timers);
+            };
+            while sent < depth.min(total) {
+                ship(self, ws, sent, timers);
+                sent += 1;
+            }
+            for (idx, &(s, e)) in bounds.iter().enumerate() {
+                let buf = self.recv_dense_chunk(true, idx, &mut stash, timers);
+                timed(&mut timers.decode_s, || {
+                    out.as_mut_slice()[s..e].copy_from_slice(&buf);
+                });
+                if p > 2 {
+                    self.send_chunk(true, idx, ChunkData::Dense(buf), timers);
+                } else {
+                    ws.recycle(buf);
+                }
+                if sent < total {
+                    ship(self, ws, sent, timers);
+                    sent += 1;
+                }
+            }
+        } else if r < p - 1 {
+            for (idx, &(s, e)) in bounds.iter().enumerate() {
+                let mut buf = self.recv_dense_chunk(false, idx, &mut stash, timers);
+                timed(&mut timers.decode_s, || {
+                    for (b, &v) in buf.iter_mut().zip(&data[s..e]) {
+                        *b += v;
+                    }
+                });
+                self.send_chunk(false, idx, ChunkData::Dense(buf), timers);
+            }
+            for (idx, &(s, e)) in bounds.iter().enumerate() {
+                let buf = self.recv_dense_chunk(true, idx, &mut stash, timers);
+                timed(&mut timers.decode_s, || {
+                    out.as_mut_slice()[s..e].copy_from_slice(&buf);
+                });
+                if r != p - 2 {
+                    self.send_chunk(true, idx, ChunkData::Dense(buf), timers);
+                } else {
+                    ws.recycle(buf);
+                }
+            }
+        } else {
+            for (idx, &(s, e)) in bounds.iter().enumerate() {
+                let mut buf = self.recv_dense_chunk(false, idx, &mut stash, timers);
+                timed(&mut timers.decode_s, || {
+                    for (b, &v) in buf.iter_mut().zip(&data[s..e]) {
+                        *b += v;
+                    }
+                    out.as_mut_slice()[s..e].copy_from_slice(&buf);
+                });
+                self.send_chunk(true, idx, ChunkData::Dense(buf), timers);
+            }
+        }
+        debug_assert!(stash.is_empty(), "collective left chunks in the stash");
+        out
+    }
+
+    /// Reference gather-based dense all-reduce — the pre-ring
+    /// implementation, kept as the bitwise oracle for the ring path and
+    /// as the "before" side of the collectives benchmark. Clones the
+    /// full tensor per hop, sums gathered tensors in rank order.
+    pub fn dense_all_reduce_gather(
+        &mut self,
+        partial: &Tensor,
+        timers: &mut PhaseTimers,
+    ) -> Tensor {
+        let t0 = Instant::now();
+        let gathered = self.all_gather(GatherPayload::Dense(partial.clone()), timers);
+        let out = timed(&mut timers.decode_s, || {
             let mut total: Option<Tensor> = None;
             for g in &gathered {
                 let t = match g {
-                    RingPayload::Dense(t) => t,
+                    GatherPayload::Dense(t) => t,
                     _ => panic!("ring delivered a non-dense payload to a dense reduce"),
                 };
                 match &mut total {
@@ -196,6 +816,46 @@ impl TpGroup {
                 }
             }
             total.expect("at least one rank")
+        });
+        timers.collective_s += t0.elapsed().as_secs_f64();
+        if self.world > 1 {
+            let moved = (self.world - 1) * partial.len() * 2;
+            self.ring_bytes.add(CommBytes {
+                wire: moved,
+                dense: moved,
+            });
+        }
+        out
+    }
+
+    /// Runs the codec backward for a collective that
+    /// [`TpGroup::compressed_all_reduce`] chunked: slices `dy` with the
+    /// same shape-only plan, pops the per-chunk LIFO caches in *reverse*
+    /// chunk order, and reassembles the per-chunk gradients in forward
+    /// order. For unchunked codecs this is exactly `comp.backward(dy)`.
+    pub fn compressed_backward(
+        &self,
+        comp: &mut dyn Compressor,
+        dy: &Tensor,
+        timers: &mut PhaseTimers,
+    ) -> Tensor {
+        let plan = self.codec_plan(comp, dy);
+        if plan.len() <= 1 {
+            return timed(&mut timers.encode_s, || comp.backward(dy));
+        }
+        timed(&mut timers.encode_s, || {
+            let bounds = row_bounds(&plan);
+            let mut parts: Vec<Option<Tensor>> = (0..plan.len()).map(|_| None).collect();
+            for idx in (0..plan.len()).rev() {
+                let (r0, r1) = bounds[idx];
+                parts[idx] = Some(comp.backward(&dy.slice_rows(r0, r1)));
+            }
+            let owned: Vec<Tensor> = parts
+                .into_iter()
+                .map(|p| p.expect("every chunk ran backward"))
+                .collect();
+            let refs: Vec<&Tensor> = owned.iter().collect();
+            Tensor::concat_rows(&refs)
         })
     }
 
@@ -207,12 +867,12 @@ impl TpGroup {
     pub fn sync_param_grads(&mut self, comp: &mut dyn Compressor, timers: &mut PhaseTimers) {
         let mut own: Vec<Tensor> = Vec::new();
         comp.visit_params(&mut |p| own.push(p.grad.clone()));
-        let gathered = self.all_gather(RingPayload::Grads(own), timers);
+        let gathered = self.all_gather(GatherPayload::Grads(own), timers);
         let sums = timed(&mut timers.decode_s, || {
             let mut sums: Vec<Tensor> = Vec::new();
             for g in &gathered {
                 let grads = match g {
-                    RingPayload::Grads(v) => v,
+                    GatherPayload::Grads(v) => v,
                     _ => panic!("ring delivered a non-grad payload to a grad sync"),
                 };
                 for (i, grad) in grads.iter().enumerate() {
@@ -248,7 +908,8 @@ mod tests {
         let mut g = TpGroup::solo();
         let mut comp = Identity::new();
         let mut timers = PhaseTimers::default();
-        let out = g.compressed_all_reduce(&mut comp, &x, &mut timers);
+        let mut ws = Workspace::new();
+        let out = g.compressed_all_reduce(&mut comp, &x, &mut timers, &mut ws);
         assert_eq!(out, x);
         assert_eq!(g.bytes.wire, 0);
     }
@@ -272,7 +933,8 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut comp = Identity::new();
                     let mut timers = PhaseTimers::default();
-                    let out = g.compressed_all_reduce(&mut comp, &p, &mut timers);
+                    let mut ws = Workspace::new();
+                    let out = g.compressed_all_reduce(&mut comp, &p, &mut timers, &mut ws);
                     (out, g.bytes)
                 })
             })
@@ -284,6 +946,21 @@ mod tests {
         for (out, bytes) in &results {
             assert_eq!(out.max_abs_diff(&expect), 0.0, "exact rank-order sum");
             assert_eq!(bytes.wire, bytes.dense, "identity moves dense bytes");
+        }
+    }
+
+    #[test]
+    fn ring_plan_tiles_rows_for_any_chunk_size() {
+        for rows in [1usize, 3, 4, 7, 64, 65] {
+            for chunk_rows in [None, Some(1), Some(3), Some(64), Some(1000)] {
+                let tuning = RingTuning {
+                    chunk_rows,
+                    pipeline_depth: 4,
+                };
+                let plan = tuning.plan(rows);
+                assert_eq!(plan.iter().sum::<usize>(), rows, "{rows} {chunk_rows:?}");
+                assert!(plan.iter().all(|&c| c > 0));
+            }
         }
     }
 }

@@ -144,7 +144,7 @@ impl RankLayer {
             let partial = self.wo.partial_ws(&ctx, ws);
             (q, k, v, ctx, probs, partial)
         });
-        let s = tp.compressed_all_reduce(self.attn_comp.as_mut(), &partial, timers);
+        let s = tp.compressed_all_reduce(self.attn_comp.as_mut(), &partial, timers, ws);
         ws.recycle_tensor(partial);
         let (h1, ln1c, h, act, partial2) = timed(&mut timers.compute_s, || {
             let a = s.add_row_broadcast(&self.wo_bias.value);
@@ -154,7 +154,7 @@ impl RankLayer {
             let partial2 = self.fc2.partial_ws(&act, ws);
             (h1, ln1c, h, act, partial2)
         });
-        let s2 = tp.compressed_all_reduce(self.ff_comp.as_mut(), &partial2, timers);
+        let s2 = tp.compressed_all_reduce(self.ff_comp.as_mut(), &partial2, timers, ws);
         ws.recycle_tensor(partial2);
         let (y, ln2c) = timed(&mut timers.compute_s, || {
             let f = s2.add_row_broadcast(&self.fc2_bias.value);
@@ -213,7 +213,7 @@ impl RankLayer {
             self.fc2_bias.grad.add_assign(&d2.sum_axis0());
             d2
         });
-        let dp = timed(&mut timers.encode_s, || self.ff_comp.backward(&d2));
+        let dp = tp.compressed_backward(self.ff_comp.as_mut(), &d2, timers);
         let part = timed(&mut timers.compute_s, || {
             let da = self.fc2.backward_ws(&act, &dp, ws);
             let dh = h.map(gelu_grad).mul(&da);
@@ -224,7 +224,7 @@ impl RankLayer {
             }
             part
         });
-        let df = tp.dense_all_reduce(&part, timers);
+        let df = tp.dense_all_reduce(&part, timers, ws);
         ws.recycle_tensor(part);
         let d1 = timed(&mut timers.compute_s, || {
             let dh1 = d2.add(&df);
@@ -232,7 +232,7 @@ impl RankLayer {
             self.wo_bias.grad.add_assign(&d1.sum_axis0());
             d1
         });
-        let dpa = timed(&mut timers.encode_s, || self.attn_comp.backward(&d1));
+        let dpa = tp.compressed_backward(self.attn_comp.as_mut(), &d1, timers);
         let (pq, pk, pv) = timed(&mut timers.compute_s, || {
             let dctx = self.wo.backward_ws(&ctx, &dpa, ws);
             let (dq, dk, dv) =
@@ -246,10 +246,28 @@ impl RankLayer {
             }
             (pq, pk, pv)
         });
-        let mut dx = tp.dense_all_reduce(&pq, timers);
-        dx.add_assign(&tp.dense_all_reduce(&pk, timers));
-        dx.add_assign(&tp.dense_all_reduce(&pv, timers));
-        timed(&mut timers.compute_s, || d1.add(&dx))
+        // One fused collective instead of three: the reduce is
+        // elementwise, so concat → reduce → split gives each block the
+        // same rank-order fold, and summing the blocks afterwards keeps
+        // the serial `(Σdq + Σdk) + Σdv` association bit for bit —
+        // while paying one ring latency instead of three.
+        let fused = timed(&mut timers.compute_s, || {
+            Tensor::concat_rows(&[&pq, &pk, &pv])
+        });
+        let n = pq.dims()[0];
+        for tmp in [pq, pk, pv] {
+            ws.recycle_tensor(tmp);
+        }
+        let red = tp.dense_all_reduce(&fused, timers, ws);
+        ws.recycle_tensor(fused);
+        let dx = timed(&mut timers.compute_s, || {
+            let mut dx = red.slice_rows(0, n);
+            dx.add_assign(&red.slice_rows(n, 2 * n));
+            dx.add_assign(&red.slice_rows(2 * n, 3 * n));
+            d1.add(&dx)
+        });
+        ws.recycle_tensor(red);
+        dx
     }
 
     /// Ring-syncs this layer's compressor-parameter gradients (the

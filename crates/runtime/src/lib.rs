@@ -66,7 +66,7 @@ mod rank;
 pub mod report;
 mod runtime;
 
-pub use comm::TpGroup;
+pub use comm::{set_chunk_rows, set_pipeline_depth, RingTuning, TpGroup};
 pub use config::{RuntimeConfig, RuntimeError};
 pub use rank::RankGrads;
 pub use report::{PhaseTimers, RankReport, RuntimeReport};

@@ -242,6 +242,7 @@ impl RankWorker {
                         tp_index: self.tpi,
                         timers: self.timers,
                         reduce_bytes: self.tp.bytes,
+                        ring_bytes: self.tp.ring_bytes,
                         boundary_bytes: self.send_b.as_ref().map(|b| b.bytes).unwrap_or_default(),
                     };
                     self.respond(Response::Report {

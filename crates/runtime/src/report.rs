@@ -21,6 +21,14 @@ pub struct PhaseTimers {
     pub wire_s: f64,
     /// Decompression and summation of gathered messages.
     pub decode_s: f64,
+    /// Wall-clock time inside whole collectives (ring reduces and
+    /// gathers), measured end to end. This *overlaps* the `encode_s` /
+    /// `wire_s` / `decode_s` attribution of the same work — the chunked
+    /// pipeline encodes chunk `i+1` while chunk `i` is on the wire — so
+    /// it is excluded from [`PhaseTimers::total_s`]. Comparing
+    /// `collective_s` against `encode_s + wire_s + decode_s` measures
+    /// how much of the codec work the pipeline hides.
+    pub collective_s: f64,
 }
 
 impl PhaseTimers {
@@ -30,6 +38,7 @@ impl PhaseTimers {
         self.encode_s += other.encode_s;
         self.wire_s += other.wire_s;
         self.decode_s += other.decode_s;
+        self.collective_s += other.collective_s;
     }
 
     /// Total time across all phases.
@@ -59,6 +68,10 @@ pub struct RankReport {
     pub timers: PhaseTimers,
     /// Bytes this rank's tensor-parallel reduces moved.
     pub reduce_bytes: CommBytes,
+    /// Ring-vs-gather traffic for this rank's collectives: `wire` is
+    /// what the ring implementation actually sent, `dense` is what the
+    /// gather-based implementation would have sent.
+    pub ring_bytes: CommBytes,
     /// Bytes the pipeline boundary this rank *sends* moved (zero unless
     /// the rank is a boundary owner, i.e. `tp_index == 0` on a
     /// non-final stage).
@@ -85,6 +98,11 @@ pub struct RuntimeReport {
     pub reduce_bytes: CommBytes,
     /// Pipeline-boundary traffic summed over boundary owners.
     pub boundary_bytes: CommBytes,
+    /// Ring-vs-gather collective traffic summed over *all* ranks:
+    /// `wire` is what the ring collectives actually sent, `dense` the
+    /// gather-equivalent baseline. `wire < dense` whenever a ring
+    /// collective ran with `tp ≥ 3`.
+    pub ring_bytes: CommBytes,
 }
 
 impl RuntimeReport {
@@ -93,12 +111,14 @@ impl RuntimeReport {
         let mut totals = PhaseTimers::default();
         let mut reduce_bytes = CommBytes::default();
         let mut boundary_bytes = CommBytes::default();
+        let mut ring_bytes = CommBytes::default();
         for r in &ranks {
             totals.add(&r.timers);
             if r.tp_index == 0 {
                 reduce_bytes.add(r.reduce_bytes);
             }
             boundary_bytes.add(r.boundary_bytes);
+            ring_bytes.add(r.ring_bytes);
         }
         RuntimeReport {
             tp,
@@ -108,6 +128,7 @@ impl RuntimeReport {
             totals,
             reduce_bytes,
             boundary_bytes,
+            ring_bytes,
         }
     }
 
@@ -131,10 +152,15 @@ mod tests {
                 encode_s: 0.5,
                 wire_s: 0.25,
                 decode_s: 0.25,
+                collective_s: 0.5,
             },
             reduce_bytes: CommBytes {
                 wire,
                 dense: 2 * wire,
+            },
+            ring_bytes: CommBytes {
+                wire: wire / 2,
+                dense: wire,
             },
             boundary_bytes: CommBytes::default(),
         }
@@ -151,6 +177,12 @@ mod tests {
         let report = RuntimeReport::from_ranks(2, 2, 1, ranks);
         assert_eq!(report.reduce_bytes.wire, 160);
         assert_eq!(report.reduce_bytes.dense, 320);
+        // Ring traffic is summed over every rank, not once per stage.
+        assert_eq!(report.ring_bytes.wire, 160);
+        assert_eq!(report.ring_bytes.dense, 320);
+        // collective_s overlaps the other phases, so it is tracked
+        // (summed into totals) but excluded from total_s.
+        assert!((report.totals.collective_s - 2.0).abs() < 1e-12);
         assert!((report.totals.total_s() - 8.0).abs() < 1e-12);
     }
 

@@ -1,0 +1,224 @@
+//! Ring-collective equivalence and byte-accounting tests.
+//!
+//! The chunked chain-reduce + broadcast collectives must be bitwise
+//! interchangeable with the gather-based reference for every group size
+//! and chunk plan — determinism is the runtime's core contract — and
+//! must move strictly fewer bytes per rank than the gather once the
+//! group has three or more ranks.
+
+use actcomp_compress::{AutoEncoder, Identity};
+use actcomp_mp::CommBytes;
+use actcomp_runtime::{PhaseTimers, RingTuning, TpGroup};
+use actcomp_tensor::{init, Tensor, Workspace};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs one collective per rank on its own thread and returns
+/// `(output, ring_bytes)` per rank in rank order. `tuning = None`
+/// keeps the process-default configuration.
+fn run_ranks<F>(
+    world: usize,
+    tuning: Option<RingTuning>,
+    parts: &[Tensor],
+    f: F,
+) -> Vec<(Tensor, CommBytes)>
+where
+    F: Fn(&mut TpGroup, &Tensor, &mut PhaseTimers, &mut Workspace) -> Tensor
+        + Send
+        + Sync
+        + Copy
+        + 'static,
+{
+    let mut groups = TpGroup::ring(world);
+    if let Some(t) = tuning {
+        // Every endpoint of a ring must agree on the chunk plan.
+        for g in &mut groups {
+            g.tuning = t;
+        }
+    }
+    let handles: Vec<_> = groups
+        .into_iter()
+        .zip(parts.to_vec())
+        .map(|(mut g, p)| {
+            std::thread::spawn(move || {
+                let mut timers = PhaseTimers::default();
+                let mut ws = Workspace::new();
+                let out = f(&mut g, &p, &mut timers, &mut ws);
+                (out, g.ring_bytes)
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread"))
+        .collect()
+}
+
+fn randn_parts(world: usize, rows: usize, width: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..world)
+        .map(|_| init::randn(&mut rng, [rows, width], 1.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chunked ring dense all-reduce is bit-identical to the
+    /// gather-based reference for tp ∈ {1, 2, 4}, for row counts that
+    /// are not a multiple of the chunk size, and for every pipeline
+    /// depth — the chunk plan must never change the fold.
+    #[test]
+    fn ring_dense_matches_gather_bitwise(
+        world_ix in 0usize..3,
+        rows in 1usize..9,
+        width in 1usize..12,
+        chunk_sel in 0usize..5,
+        depth in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let world = [1, 2, 4][world_ix];
+        let parts = randn_parts(world, rows, width, seed);
+        // 0 selects automatic chunking; n pins n rows per chunk.
+        let chunk_rows = (chunk_sel > 0).then_some(chunk_sel);
+        let tuning = RingTuning { chunk_rows, pipeline_depth: depth };
+        let ring = run_ranks(world, Some(tuning), &parts, |g, p, t, ws| {
+            g.dense_all_reduce(p, t, ws)
+        });
+        let gather = run_ranks(world, None, &parts, |g, p, t, _| {
+            g.dense_all_reduce_gather(p, t)
+        });
+        for (rank, (r, g)) in ring.iter().zip(&gather).enumerate() {
+            prop_assert!(bitwise_eq(&r.0, &g.0), "rank {rank} diverged");
+        }
+    }
+
+    /// The chunked identity compressed reduce reproduces the serial
+    /// executor's left fold bit for bit on every rank, for tp ∈ {1, 2, 4}
+    /// and arbitrary chunk plans.
+    #[test]
+    fn chunked_identity_reduce_matches_serial_fold(
+        world_ix in 0usize..3,
+        rows in 1usize..9,
+        width in 1usize..12,
+        chunk_sel in 0usize..5,
+        depth in 1usize..5,
+        seed in 1000u64..2000,
+    ) {
+        let world = [1, 2, 4][world_ix];
+        let parts = randn_parts(world, rows, width, seed);
+        let mut expect = parts[0].clone();
+        for p in &parts[1..] {
+            expect.add_assign(p);
+        }
+        let chunk_rows = (chunk_sel > 0).then_some(chunk_sel);
+        let tuning = RingTuning { chunk_rows, pipeline_depth: depth };
+        let outs = run_ranks(world, Some(tuning), &parts, |g, p, t, ws| {
+            let mut comp = Identity::new();
+            g.compressed_all_reduce(&mut comp, p, t, ws)
+        });
+        for (rank, (out, _)) in outs.iter().enumerate() {
+            prop_assert!(bitwise_eq(out, &expect), "rank {rank} diverged from serial fold");
+        }
+    }
+}
+
+/// Chunking an auto-encoder collective must not change its output: the
+/// encoder/decoder act row-wise, so per-chunk codes summed in rank
+/// order decode to the same rows as the whole-tensor code.
+#[test]
+fn chunked_autoencoder_reduce_matches_unchunked() {
+    let world = 4;
+    let parts = randn_parts(world, 6, 16, 42);
+    let reduce = |g: &mut TpGroup, p: &Tensor, t: &mut PhaseTimers, ws: &mut Workspace| {
+        // Same seed on every rank: the auto-encoder weights are
+        // replicated, exactly as the runtime builds them.
+        let mut wrng = ChaCha8Rng::seed_from_u64(7);
+        let mut ae = AutoEncoder::new(&mut wrng, 16, 4);
+        g.compressed_all_reduce(&mut ae, p, t, ws)
+    };
+    let chunked = run_ranks(
+        world,
+        Some(RingTuning {
+            chunk_rows: Some(1),
+            pipeline_depth: 2,
+        }),
+        &parts,
+        reduce,
+    );
+    let whole = run_ranks(
+        world,
+        Some(RingTuning {
+            chunk_rows: Some(1_000_000),
+            pipeline_depth: 2,
+        }),
+        &parts,
+        reduce,
+    );
+    for (rank, (c, w)) in chunked.iter().zip(&whole).enumerate() {
+        assert!(
+            bitwise_eq(&c.0, &w.0),
+            "rank {rank}: chunked AE reduce diverged from unchunked"
+        );
+    }
+}
+
+/// At tp = 4 every rank of a ring collective sends strictly fewer bytes
+/// than the gather-based implementation of the same collective (which
+/// ships `(p−1)` full payloads per rank), for both the dense reduce and
+/// the summable compressed reduce. The gather reference itself reports
+/// actual == baseline.
+#[test]
+fn ring_moves_fewer_bytes_per_rank_than_gather_at_tp4() {
+    let world = 4;
+    let parts = randn_parts(world, 8, 16, 9);
+
+    let dense = run_ranks(world, None, &parts, |g, p, t, ws| {
+        g.dense_all_reduce(p, t, ws)
+    });
+    for (rank, (_, ring_bytes)) in dense.iter().enumerate() {
+        assert!(ring_bytes.dense > 0);
+        assert!(
+            ring_bytes.wire < ring_bytes.dense,
+            "rank {rank}: dense ring sent {} bytes, gather baseline {}",
+            ring_bytes.wire,
+            ring_bytes.dense
+        );
+    }
+
+    let compressed = run_ranks(world, None, &parts, |g, p, t, ws| {
+        let mut comp = Identity::new();
+        g.compressed_all_reduce(&mut comp, p, t, ws)
+    });
+    for (rank, (_, ring_bytes)) in compressed.iter().enumerate() {
+        assert!(
+            ring_bytes.wire < ring_bytes.dense,
+            "rank {rank}: compressed ring sent {} bytes, gather baseline {}",
+            ring_bytes.wire,
+            ring_bytes.dense
+        );
+    }
+
+    let gather = run_ranks(world, None, &parts, |g, p, t, _| {
+        g.dense_all_reduce_gather(p, t)
+    });
+    for (_, ring_bytes) in &gather {
+        assert_eq!(
+            ring_bytes.wire, ring_bytes.dense,
+            "gather is its own baseline"
+        );
+    }
+    // And the ring totals beat the gather totals in aggregate too.
+    let ring_total: usize = dense.iter().map(|(_, b)| b.wire).sum();
+    let gather_total: usize = gather.iter().map(|(_, b)| b.wire).sum();
+    assert!(ring_total < gather_total);
+}

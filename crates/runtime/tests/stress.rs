@@ -5,7 +5,7 @@
 
 use actcomp_compress::{Compressor, Identity, TopK};
 use actcomp_runtime::{PhaseTimers, TpGroup};
-use actcomp_tensor::{init, Tensor};
+use actcomp_tensor::{init, Tensor, Workspace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,14 +26,17 @@ fn hundred_collective_rounds_at_tp4_stay_consistent() {
                 let mut topk: Box<dyn Compressor> = Box::new(TopK::new(8));
                 let mut ident: Box<dyn Compressor> = Box::new(Identity::new());
                 let mut timers = PhaseTimers::default();
+                let mut ws = Workspace::new();
                 let mut sums = Vec::with_capacity(ITERS);
                 let mut per_round_bytes = Vec::with_capacity(ITERS);
                 for _ in 0..ITERS {
                     let part = init::randn(&mut rng, [4, 16], 1.0);
                     let before = g.bytes;
-                    let compressed = g.compressed_all_reduce(topk.as_mut(), &part, &mut timers);
-                    let exact = g.compressed_all_reduce(ident.as_mut(), &part, &mut timers);
-                    let dense = g.dense_all_reduce(&part, &mut timers);
+                    let compressed =
+                        g.compressed_all_reduce(topk.as_mut(), &part, &mut timers, &mut ws);
+                    let exact =
+                        g.compressed_all_reduce(ident.as_mut(), &part, &mut timers, &mut ws);
+                    let dense = g.dense_all_reduce(&part, &mut timers, &mut ws);
                     // The identity "compressed" reduce and the dense
                     // reduce are the same sum, computed two ways.
                     assert_eq!(exact.as_slice(), dense.as_slice());

@@ -43,14 +43,27 @@ static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
 /// non-numeric input — the same predicate `actcomp-check` uses for its
 /// `AC0402` diagnostic.
 pub fn parse_thread_spec(s: &str) -> Result<usize, String> {
+    parse_count_spec(s, "thread count")
+}
+
+/// Parses a positive-decimal-integer spec, describing violations in
+/// terms of `what` (e.g. `"thread count"`, `"chunk row count"`). The
+/// shared predicate behind [`parse_thread_spec`] and the
+/// `ACTCOMP_CHUNK_ROWS` collective-chunking knob (`AC0503`).
+///
+/// # Errors
+///
+/// Returns a description of the violation for zero, empty, or
+/// non-numeric input.
+pub fn parse_count_spec(s: &str, what: &str) -> Result<usize, String> {
     let t = s.trim();
     if t.is_empty() {
-        return Err("thread count is empty".to_string());
+        return Err(format!("{what} is empty"));
     }
     match t.parse::<usize>() {
-        Ok(0) => Err("thread count must be at least 1, got 0".to_string()),
+        Ok(0) => Err(format!("{what} must be at least 1, got 0")),
         Ok(n) => Ok(n),
-        Err(_) => Err(format!("thread count `{t}` is not a positive integer")),
+        Err(_) => Err(format!("{what} `{t}` is not a positive integer")),
     }
 }
 
@@ -104,36 +117,71 @@ pub(crate) fn run_row_chunks<F>(out: &mut [f32], row_width: usize, chunk_rows: &
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
+    if row_width == 0 {
+        assert!(out.is_empty(), "chunk plan does not tile the output");
+        return;
+    }
+    let lens: Vec<usize> = chunk_rows.iter().map(|&r| r * row_width).collect();
+    run_on_chunks(out, &lens, |start, chunk| {
+        debug_assert_eq!(start % row_width, 0);
+        f(start / row_width, chunk);
+    });
+}
+
+/// Runs `f(first_index, chunk)` over contiguous chunks of `out`, one
+/// scoped thread per chunk beyond the first (which runs on the calling
+/// thread, so the caller is worker 0 instead of idling on the join).
+///
+/// `chunk_lens[i]` is the element length of chunk `i`; the caller
+/// guarantees the lengths sum to `out.len()`. This is the generic
+/// fork-join primitive behind the row-chunked kernels; `actcomp-compress`
+/// uses it directly for byte- and index-typed codec buffers.
+///
+/// # Panics
+///
+/// Panics if the chunk lengths do not tile `out` exactly.
+pub fn run_on_chunks<T, F>(out: &mut [T], chunk_lens: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert_eq!(
-        chunk_rows.iter().sum::<usize>() * row_width,
+        chunk_lens.iter().sum::<usize>(),
         out.len(),
         "chunk plan does not tile the output"
     );
-    if chunk_rows.len() <= 1 {
+    if chunk_lens.len() <= 1 {
         f(0, out);
         return;
     }
     std::thread::scope(|scope| {
         let mut rest = out;
-        let mut row0 = 0;
-        let mut first: Option<(usize, &mut [f32])> = None;
-        for (ci, &rows) in chunk_rows.iter().enumerate() {
-            let (chunk, tail) = rest.split_at_mut(rows * row_width);
+        let mut start = 0;
+        let mut first: Option<(usize, &mut [T])> = None;
+        for (ci, &len) in chunk_lens.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(len);
             rest = tail;
             if ci == 0 {
-                first = Some((row0, chunk));
+                first = Some((start, chunk));
             } else {
                 let fr = &f;
-                let start = row0;
-                scope.spawn(move || fr(start, chunk));
+                let at = start;
+                scope.spawn(move || fr(at, chunk));
             }
-            row0 += rows;
+            start += len;
         }
-        // The caller's thread is worker 0 — it computes instead of idling
-        // on the scope join.
-        let (start, chunk) = first.expect("at least one chunk");
-        f(start, chunk);
+        let (at, chunk) = first.expect("at least one chunk");
+        f(at, chunk);
     });
+}
+
+/// Splits `units` work units into at most `threads` contiguous chunks of
+/// at least `min_units` each, returning per-chunk unit counts. The split
+/// depends only on the arguments — never on runtime load — so chunk
+/// boundaries (and therefore any per-chunk computation order) are
+/// reproducible for a given `(units, threads, min_units)`.
+pub fn plan_unit_chunks(units: usize, threads: usize, min_units: usize) -> Vec<usize> {
+    plan_chunks(units, 1, 1, threads, min_units)
 }
 
 /// Splits `tiles` row-tiles into at most `threads` contiguous chunks of
