@@ -58,8 +58,10 @@ fn main() {
     }
     util::emit(&opts, "ablation_ef", &table, &records);
     println!(
-        "Error feedback telescopes per-step compression error; it helps \
-         repeated-direction losses (quantization bias) more than the \
-         information loss of aggressive sparsification."
+        "Error feedback helps quantization (telescoping repeated bias) but \
+         hurts aggressive sparsification: the Top-K residual is most of a \
+         stale batch's activation, and re-injecting it perturbs the current \
+         forward pass — EF's gradient-sum guarantee does not transfer to \
+         activations."
     );
 }
