@@ -29,6 +29,11 @@ struct CaseResult {
     label: String,
     elems: usize,
     pooled_threads: usize,
+    /// Which kernel path the "pooled" column actually exercised:
+    /// `"pooled"` when the chunked parallel loop runs, `"serial"` when
+    /// the benefit gate routes the call to the single-chunk loop (e.g.
+    /// top-k at keep rates whose candidate merge would dominate).
+    path: String,
     gbps_serial: f64,
     gbps_pooled: f64,
     speedup: f64,
@@ -214,24 +219,26 @@ fn main() {
         .collect(),
     );
     let mut entries = Vec::new();
-    let mut push = |table: &mut Table, label: &str, bytes: f64, serial_s: f64, pooled_s: f64| {
-        let speedup = serial_s / pooled_s;
-        table.push_row(vec![
-            label.to_string(),
-            elems.to_string(),
-            format!("{:.2}", gbps(bytes, serial_s)),
-            format!("{:.2}", gbps(bytes, pooled_s)),
-            format!("{:.2}x", speedup),
-        ]);
-        entries.push(CaseResult {
-            label: label.to_string(),
-            elems,
-            pooled_threads,
-            gbps_serial: gbps(bytes, serial_s),
-            gbps_pooled: gbps(bytes, pooled_s),
-            speedup,
-        });
-    };
+    let mut push =
+        |table: &mut Table, label: &str, path: &str, bytes: f64, serial_s: f64, pooled_s: f64| {
+            let speedup = serial_s / pooled_s;
+            table.push_row(vec![
+                label.to_string(),
+                elems.to_string(),
+                format!("{:.2}", gbps(bytes, serial_s)),
+                format!("{:.2} [{path}]", gbps(bytes, pooled_s)),
+                format!("{:.2}x", speedup),
+            ]);
+            entries.push(CaseResult {
+                label: label.to_string(),
+                elems,
+                pooled_threads,
+                path: path.to_string(),
+                gbps_serial: gbps(bytes, serial_s),
+                gbps_pooled: gbps(bytes, pooled_s),
+                speedup,
+            });
+        };
 
     pool::set_threads(pooled_threads);
 
@@ -248,9 +255,17 @@ fn main() {
     let pooled_s = time_best(iters, || {
         std::hint::black_box(&topk.compress(&x));
     });
+    // At a 5% keep rate the benefit gate routes the selection to the
+    // single-chunk loop; record which path actually ran.
+    let topk_path = if actcomp_compress::pooled_select_beneficial(elems, k, pooled_threads) {
+        "pooled"
+    } else {
+        "serial"
+    };
     push(
         &mut table,
         "topk (keep 5%)",
+        topk_path,
         (elems * 4) as f64,
         serial_s,
         pooled_s,
@@ -278,6 +293,7 @@ fn main() {
         push(
             &mut table,
             &format!("quant{bits} pack"),
+            "pooled",
             (elems * 4) as f64,
             serial_s,
             pooled_s,
@@ -299,6 +315,7 @@ fn main() {
         push(
             &mut table,
             &format!("quant{bits} unpack"),
+            "pooled",
             (elems * 4) as f64,
             serial_s,
             pooled_s,
@@ -323,6 +340,7 @@ fn main() {
     push(
         &mut table,
         &format!("autoencoder encode ({hidden}->{code_dim})"),
+        "pooled",
         (elems * 4) as f64,
         serial_s,
         pooled_s,

@@ -97,6 +97,8 @@ fn measured(spec: CompressorSpec, steps: usize) -> Shares {
             error_feedback: false,
         },
         micro_batches: 1,
+        tuning: None,
+        trace: false,
     };
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let mut rt = ThreadedRuntime::new(&mut rng, cfg).expect("valid benchmark config");
@@ -105,9 +107,9 @@ fn measured(spec: CompressorSpec, steps: usize) -> Shares {
         .map(|_| (drng.gen::<u64>() % 128) as usize)
         .collect();
     for _ in 0..steps {
-        let y = rt.forward(&ids, batch, seq);
+        let y = rt.forward(&ids, batch, seq).expect("valid benchmark step");
         rt.zero_grad();
-        rt.backward(&y);
+        rt.backward(&y).expect("valid benchmark grad");
         rt.sgd_step(1e-2);
     }
     let report = rt.report();

@@ -3,8 +3,9 @@
 //! Codes are grouped by check pass: `AC00xx` shape algebra, `AC01xx`
 //! compression-plan placement, `AC02xx` schedule/topology/memory,
 //! `AC03xx` execution runtime, `AC04xx` kernel thread-pool
-//! configuration, `AC05xx` ring-collective chunking. Codes are
-//! append-only — once published
+//! configuration, `AC05xx` ring-collective chunking, `AC06xx`
+//! comm-protocol analysis (message-flow graph, deadlock-freedom,
+//! trace conformance). Codes are append-only — once published
 //! in a diagnostic they keep their meaning so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
@@ -71,6 +72,21 @@ pub const PIPELINE_DEPTH_INVALID: &str = "AC0502";
 /// The `ACTCOMP_CHUNK_ROWS` environment variable does not parse as a
 /// positive row count.
 pub const ENV_CHUNK_ROWS_INVALID: &str = "AC0503";
+
+/// A message is sent but no rank ever receives it.
+pub const COMM_ORPHAN_SEND: &str = "AC0601";
+/// A rank blocks receiving a message no rank ever sends.
+pub const COMM_STARVED_RECV: &str = "AC0602";
+/// The blocking-dependency graph of the comm protocol has a cycle.
+pub const COMM_DEADLOCK_CYCLE: &str = "AC0603";
+/// Event-sum wire bytes disagree with the closed-form `ring_bytes`
+/// accounting the runtime counters implement.
+pub const COMM_BYTE_MISMATCH: &str = "AC0604";
+/// A recorded runtime trace does not conform to the static graph.
+pub const COMM_TRACE_NONCONFORMANT: &str = "AC0605";
+/// Two in-flight messages on one channel are indistinguishable to the
+/// receiver's selective-receive stash (duplicate message identity).
+pub const COMM_AMBIGUOUS_MESSAGE: &str = "AC0606";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -222,6 +238,36 @@ pub fn registry() -> Vec<CodeInfo> {
             "ACTCOMP_CHUNK_ROWS does not parse as a positive row count",
             false,
         ),
+        row(
+            COMM_ORPHAN_SEND,
+            "comm graph has a send no rank ever receives",
+            false,
+        ),
+        row(
+            COMM_STARVED_RECV,
+            "comm graph has a recv no rank ever sends",
+            false,
+        ),
+        row(
+            COMM_DEADLOCK_CYCLE,
+            "comm blocking-dependency graph has a cycle (deadlock)",
+            false,
+        ),
+        row(
+            COMM_BYTE_MISMATCH,
+            "event-sum wire bytes disagree with ring_bytes accounting",
+            false,
+        ),
+        row(
+            COMM_TRACE_NONCONFORMANT,
+            "recorded runtime trace deviates from the static comm graph",
+            false,
+        ),
+        row(
+            COMM_AMBIGUOUS_MESSAGE,
+            "two concurrent messages share one selective-receive identity",
+            false,
+        ),
     ]
 }
 
@@ -237,5 +283,86 @@ mod tests {
         sorted.dedup();
         assert_eq!(codes, sorted, "codes must be unique and in numeric order");
         assert!(codes.iter().all(|c| c.starts_with("AC") && c.len() == 6));
+    }
+
+    #[test]
+    fn registry_families_are_contiguous() {
+        // Within a family `ACffnn`, the two-digit indices must run
+        // 1..=max with no holes.
+        use std::collections::BTreeMap;
+        let mut families: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for info in registry() {
+            let family = info.code[2..4].to_string();
+            let idx: u32 = info.code[4..6].parse().expect("numeric code suffix");
+            families.entry(family).or_default().push(idx);
+        }
+        for (family, mut indices) in families {
+            indices.sort_unstable();
+            let want: Vec<u32> = (1..=indices.len() as u32).collect();
+            assert_eq!(indices, want, "family AC{family}xx has holes");
+        }
+    }
+
+    fn scan_dir(dir: &std::path::Path, found: &mut std::collections::BTreeSet<String>) {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != "vendor" && !name.starts_with('.') {
+                    scan_dir(&path, found);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    scan_text(&text, found);
+                }
+            }
+        }
+    }
+
+    fn scan_text(text: &str, found: &mut std::collections::BTreeSet<String>) {
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while i + 6 <= bytes.len() {
+            if bytes[i] == b'A'
+                && bytes[i + 1] == b'C'
+                && bytes[i + 2..i + 6].iter().all(u8::is_ascii_digit)
+                && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric())
+                && (i + 6 == bytes.len() || !bytes[i + 6].is_ascii_alphanumeric())
+            {
+                found.insert(text[i..i + 6].to_string());
+                i += 6;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Scans every workspace `.rs` file for `ACnnnn` literals and
+    /// asserts each one is registered — a code emitted by any pass can
+    /// never drift away from the registry table the docs and CLI print.
+    #[test]
+    fn every_emitted_code_is_registered() {
+        use std::collections::BTreeSet;
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let mut found: BTreeSet<String> = BTreeSet::new();
+        scan_dir(&root.join("crates"), &mut found);
+        let registered: BTreeSet<String> = registry().iter().map(|r| r.code.to_string()).collect();
+        assert!(
+            found.len() >= 20,
+            "scanner should see most of the registry, found {found:?}"
+        );
+        for code in &found {
+            assert!(
+                registered.contains(code),
+                "{code} appears in the workspace but is not in codes::registry()"
+            );
+        }
     }
 }

@@ -16,6 +16,52 @@ use crate::config::ExperimentConfig;
 use crate::diagnostics::{Diagnostic, Diagnostics};
 use actcomp_tensor::pool::parse_count_spec;
 
+/// Chunk count used when no explicit row count is configured — mirrors
+/// the runtime's `DEFAULT_CHUNKS`.
+pub const DEFAULT_CHUNKS: usize = 4;
+
+/// Default reduce chunks in flight — mirrors the runtime's
+/// `DEFAULT_PIPELINE_DEPTH`.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
+
+/// The exact chunk plan the runtime's ring collectives use for a tensor
+/// with `rows` rows: greedy row tiling at the configured chunk size, or
+/// an even four-way split when unset. Mirrors `RingTuning::plan` in
+/// `actcomp-runtime`; a cross-crate test over a tuning grid pins the
+/// two implementations together.
+pub fn ring_chunk_plan(chunk_rows: Option<usize>, rows: usize) -> Vec<usize> {
+    if rows == 0 {
+        return vec![0];
+    }
+    let per = chunk_rows.unwrap_or(rows.div_ceil(DEFAULT_CHUNKS)).max(1);
+    let mut plan = Vec::with_capacity(rows.div_ceil(per));
+    let mut done = 0;
+    while done < rows {
+        let take = per.min(rows - done);
+        plan.push(take);
+        done += take;
+    }
+    plan
+}
+
+/// Resolves `(chunk_rows, pipeline_depth)` for a config the way the
+/// engine does: explicit `runtime` fields first, then the
+/// `ACTCOMP_CHUNK_ROWS` environment variable (chunk rows only), then
+/// automatic chunking and the default depth. An unparsable environment
+/// value is ignored here — `check_collectives` reports it as `AC0503`.
+pub fn resolved_ring_tuning(cfg: &ExperimentConfig) -> (Option<usize>, usize) {
+    let rt = cfg.runtime.as_ref();
+    let chunk = rt.and_then(|r| r.chunk_rows).or_else(|| {
+        std::env::var("ACTCOMP_CHUNK_ROWS")
+            .ok()
+            .and_then(|v| parse_count_spec(&v, "chunk row count").ok())
+    });
+    let depth = rt
+        .and_then(|r| r.pipeline_depth)
+        .unwrap_or(DEFAULT_PIPELINE_DEPTH);
+    (chunk, depth)
+}
+
 /// The ring-collective pass: validates `runtime.chunk_rows`,
 /// `runtime.pipeline_depth`, and the `ACTCOMP_CHUNK_ROWS` environment
 /// variable.
@@ -130,6 +176,36 @@ mod tests {
         let got = codes_of(diags);
         assert!(got.contains(&codes::CHUNK_ROWS_INVALID));
         assert!(got.contains(&codes::PIPELINE_DEPTH_INVALID));
+    }
+
+    #[test]
+    fn ring_chunk_plan_tiles_exactly() {
+        assert_eq!(ring_chunk_plan(None, 0), vec![0]);
+        assert_eq!(ring_chunk_plan(None, 8), vec![2, 2, 2, 2]);
+        assert_eq!(ring_chunk_plan(None, 9), vec![3, 3, 3]);
+        assert_eq!(ring_chunk_plan(Some(4), 10), vec![4, 4, 2]);
+        assert_eq!(ring_chunk_plan(Some(100), 10), vec![10]);
+        for rows in 1..64usize {
+            for chunk in [None, Some(1), Some(3), Some(7), Some(64)] {
+                let plan = ring_chunk_plan(chunk, rows);
+                assert_eq!(plan.iter().sum::<usize>(), rows, "{chunk:?} rows={rows}");
+                assert!(plan.iter().all(|&c| c > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn tuning_resolves_fields_before_defaults() {
+        let mut cfg = ExperimentConfig::paper_default();
+        // No runtime section: automatic chunking, default depth. The
+        // chunk side may still pick up ACTCOMP_CHUNK_ROWS from the test
+        // environment, so only the depth is pinned here.
+        assert_eq!(resolved_ring_tuning(&cfg).1, DEFAULT_PIPELINE_DEPTH);
+        let mut rt = RuntimeSection::threads_default();
+        rt.chunk_rows = Some(16);
+        rt.pipeline_depth = Some(2);
+        cfg.runtime = Some(rt);
+        assert_eq!(resolved_ring_tuning(&cfg), (Some(16), 2));
     }
 
     #[test]

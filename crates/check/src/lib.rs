@@ -22,6 +22,7 @@
 
 pub mod codes;
 pub mod collectives;
+pub mod comm_graph;
 pub mod config;
 pub mod diagnostics;
 pub mod kernels;
@@ -30,6 +31,10 @@ pub mod runtime;
 pub mod schedule;
 pub mod shape;
 
+pub use comm_graph::{
+    analyze, audit_trace, build_comm_graph, check_comm_protocol, ChannelId, CommEvent, CommGraph,
+    Dir, ExpectedCounters, MsgId, Phase, TraceEvent,
+};
 pub use config::{
     resolve_spec_label, BatchSection, ClusterSection, ExperimentConfig, MemorySection,
     ModelSection, OpSpec, ParallelismSection, PlanSection, RuntimeSection, ScheduleSection,

@@ -16,6 +16,14 @@ use crate::diagnostics::{Diagnostic, Diagnostics};
 /// Backend labels the `run` entry point accepts.
 pub const KNOWN_BACKENDS: [&str; 2] = ["threads", "serial"];
 
+/// True when the config selects the threaded rank engine — the only
+/// backend the comm-protocol analyzer models.
+pub fn uses_threads_backend(cfg: &ExperimentConfig) -> bool {
+    cfg.runtime
+        .as_ref()
+        .is_some_and(|rt| rt.backend == "threads")
+}
+
 /// The execution-runtime pass. A config without a `runtime` section is
 /// vacuously clean — it runs on the serial executor.
 pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {

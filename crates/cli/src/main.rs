@@ -47,11 +47,11 @@ fn usage() {
         "actcomp — activation compression for model-parallel training (MLSys 2024 reproduction)
 
 USAGE:
-  actcomp check         <CONFIG.json> | --print-default | --print-pretrain
+  actcomp check         <CONFIG.json> [--comm] | --print-default | --print-pretrain
   actcomp run           [--backend threads|serial] [--tp N] [--pp N] [--spec ID] [--steps N]
                         [--batch N] [--seq N] [--layers N] [--hidden N] [--heads N] [--ff N]
                         [--vocab N] [--micro-batches N] [--kernel-threads N] [--chunk-rows N]
-                        [--pipeline-depth N] [--error-feedback] [--seed N] [--out PATH]
+                        [--pipeline-depth N] [--error-feedback] [--audit] [--seed N] [--out PATH]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -108,7 +108,9 @@ fn print_breakdown(b: &IterationBreakdown, json: bool) {
 }
 
 /// `actcomp check <config.json>`: parse, validate, render the report, and
-/// exit 0 (clean/warnings) or 1 (errors).
+/// exit 0 (clean/warnings) or 1 (errors). With `--comm`, additionally
+/// build the static message-flow graph for the threaded engine and prove
+/// send/recv matching, byte accounting, and deadlock freedom (AC06xx).
 fn check(args: &Args) {
     if args.flag("print-default") || args.flag("print-pretrain") {
         let cfg = if args.flag("print-pretrain") {
@@ -119,7 +121,13 @@ fn check(args: &Args) {
         println!("{}", cfg.to_json());
         return;
     }
-    let Some(path) = args.positionals.first() else {
+    // `--comm` is a bare flag, but the parser grammar hands it the next
+    // token as a value — so `check --comm cfg.json` parks the path under
+    // the flag. Accept both orders.
+    let comm_val = args.raw("comm");
+    let comm = comm_val.is_some();
+    let positional = args.positionals.first().map(String::as_str);
+    let Some(path) = positional.or_else(|| comm_val.filter(|v| *v != "true")) else {
         eprintln!("error: `actcomp check` needs a config path (or --print-default)");
         std::process::exit(2);
     };
@@ -135,6 +143,39 @@ fn check(args: &Args) {
     println!("{}", render_report(&diags));
     if diags.iter().any(|d| d.severity == Severity::Error) {
         std::process::exit(1);
+    }
+    if comm {
+        comm_check(&cfg);
+    }
+}
+
+/// The `--comm` half of `actcomp check`: static comm-protocol analysis.
+fn comm_check(cfg: &ExperimentConfig) {
+    let Some(graph) = actcomp_check::build_comm_graph(cfg) else {
+        println!(
+            "comm: skipped — protocol analysis applies to `runtime.backend = \"threads\"` plans"
+        );
+        return;
+    };
+    let diags = actcomp_check::analyze(&graph);
+    if diags.is_empty() {
+        println!(
+            "comm: OK — {} ranks (tp={} pp={} m={}), {} events, {} messages over {} channels; \
+             every send is received, byte accounting closes, and the blocking-dependency \
+             graph is acyclic (deadlock-free).",
+            graph.world(),
+            graph.tp,
+            graph.pp,
+            graph.micro_batches,
+            graph.event_count(),
+            graph.message_count(),
+            graph.channel_count()
+        );
+    } else {
+        println!("{}", render_report(&diags));
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -182,7 +223,12 @@ fn run(args: &Args) {
     });
     let out = args.get("out", "BENCH_runtime.json");
     let spec = parse_spec(args.get("spec", "w/o"));
+    let audit = args.flag("audit");
     let lr = 1e-2;
+    if audit && backend != "threads" {
+        eprintln!("error: --audit requires --backend threads (it replays the rank engine's trace)");
+        std::process::exit(2);
+    }
 
     // Static validation first — the same checker path as `actcomp check`,
     // including the AC03xx runtime pass — so a bad flag combination dies
@@ -256,22 +302,63 @@ fn run(args: &Args) {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     match backend.as_str() {
         "threads" => {
+            // With --audit the static graph is the reference the recorded
+            // trace must replay exactly; build it from the same validated
+            // config so tuning resolution matches the engine's.
+            let graph = audit.then(|| {
+                actcomp_check::build_comm_graph(&cfg).unwrap_or_else(|| {
+                    eprintln!("error: --audit: no static comm graph for this plan");
+                    std::process::exit(1);
+                })
+            });
             let rt_cfg = actcomp_runtime::RuntimeConfig {
                 mp: mp_cfg,
                 micro_batches: m,
+                tuning: None,
+                trace: audit,
             };
             let mut rt =
                 actcomp_runtime::ThreadedRuntime::new(&mut rng, rt_cfg).unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);
                 });
+            let mut last_trace = None;
             for step in 0..steps {
-                let y = rt.forward(&ids, batch, seq);
+                let y = rt.forward(&ids, batch, seq).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
                 let loss = 0.5 * y.sq_norm();
                 println!("step {step}: loss {loss:.4}");
                 rt.zero_grad();
-                rt.backward(&y);
+                if let Err(e) = rt.backward(&y) {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
                 rt.sgd_step(lr);
+                if let Some(graph) = &graph {
+                    let trace = rt.take_trace().expect("trace mode is on");
+                    let diags = actcomp_check::audit_trace(graph, &trace);
+                    if diags.is_empty() {
+                        let events: usize = trace.iter().map(Vec::len).sum();
+                        println!("step {step}: audit OK ({events} events conform)");
+                    } else {
+                        eprintln!("{}", render_report(&diags));
+                        eprintln!("error: step {step} trace does not conform to the static graph");
+                        std::process::exit(1);
+                    }
+                    last_trace = Some(trace);
+                }
+            }
+            if let Some(trace) = last_trace {
+                let path = "AUDIT_trace.json";
+                match std::fs::write(
+                    path,
+                    serde_json::to_string_pretty(&trace).expect("serialize"),
+                ) {
+                    Ok(()) => println!("[audited trace written to {path}]"),
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
+                }
             }
             let report = rt.report();
             print_phase_report(&report);

@@ -63,7 +63,7 @@ pub use quant::Quantizer;
 pub use quant_ext::{RowQuantizer, StochasticQuantizer};
 pub use randk::RandomK;
 pub use spec::SpecError;
-pub use topk::TopK;
+pub use topk::{pooled_select_beneficial, TopK};
 
 use actcomp_nn::Parameter;
 use actcomp_tensor::Tensor;

@@ -8,6 +8,28 @@ use actcomp_tensor::{pool, Tensor};
 /// fork-join overhead of extra chunks outweighs the parallel select.
 const MIN_CHUNK: usize = 2048;
 
+/// Decides whether the chunked parallel selection is expected to beat a
+/// single serial select for an `n`-element input keeping `k`.
+///
+/// After the parallel per-chunk selects, the pooled path pays a *serial*
+/// merge over up to `chunks * k` candidate keys; once that merge
+/// approaches the input size the chunking is pure overhead (measured
+/// 0.77x against the serial loop at 8 threads and the paper's 5% keep
+/// rate on 2^21 elements — see `BENCH_codecs.json`). The gate admits the
+/// pooled path only when the candidate set stays under a quarter of the
+/// input and the planner actually produces more than one chunk.
+///
+/// Gating is a pure routing decision: the selection's total key order
+/// makes both paths bit-identical (test-enforced), so this only ever
+/// changes speed, never results.
+pub fn pooled_select_beneficial(n: usize, k: usize, threads: usize) -> bool {
+    if threads <= 1 || n < 2 * MIN_CHUNK {
+        return false;
+    }
+    let chunks = pool::plan_unit_chunks(n, threads, MIN_CHUNK).len();
+    chunks > 1 && chunks.saturating_mul(k.min(n)) <= n / 4
+}
+
 /// Selection key for element `i`: `(|v| bits, !i)` packed into a `u64`.
 ///
 /// The IEEE bit pattern of `|v|` is monotone in `|v|` for non-negative
@@ -44,6 +66,13 @@ pub(crate) fn select_top_k(
     }
     keys.clear();
     keys.resize(n, 0);
+    // Route large-k selections to the single-chunk path: their candidate
+    // merge would redo most of the work serially anyway.
+    let threads = if pooled_select_beneficial(n, k, threads) {
+        threads
+    } else {
+        1
+    };
     let plan = pool::plan_unit_chunks(n, threads, MIN_CHUNK);
     pool::run_on_chunks(keys, &plan, |start, chunk| {
         for (j, slot) in chunk.iter_mut().enumerate() {
@@ -251,6 +280,19 @@ mod tests {
     #[test]
     fn not_summable() {
         assert!(!TopK::new(1).summable());
+    }
+
+    #[test]
+    fn pooled_gate_admits_small_k_only() {
+        // One thread or sub-threshold inputs: never pooled.
+        assert!(!pooled_select_beneficial(1 << 21, 100, 1));
+        assert!(!pooled_select_beneficial(1000, 10, 8));
+        let n = 1 << 21;
+        // The measured losing case: 8 threads at the paper's 5% keep
+        // rate (candidate merge = 40% of the input).
+        assert!(!pooled_select_beneficial(n, n / 20, 8));
+        // A sparse keep rate leaves the merge small: pooled admitted.
+        assert!(pooled_select_beneficial(n, n / 1000, 8));
     }
 
     #[test]

@@ -54,6 +54,8 @@
 //! summation stays in rank order.
 
 use crate::report::{timed, PhaseTimers};
+use crate::trace::TraceHandle;
+use actcomp_check::{ChannelId, Dir, MsgId};
 use actcomp_compress::{Compressed, Compressor};
 use actcomp_mp::CommBytes;
 use actcomp_tensor::{pool, Tensor, Workspace};
@@ -85,10 +87,21 @@ static ENV_CHUNK_ROWS: OnceLock<Option<usize>> = OnceLock::new();
 /// # Panics
 ///
 /// Panics if `rows` is zero (`actcomp check` rejects this statically as
-/// `AC0501`).
+/// `AC0501`); [`try_set_chunk_rows`] reports the same condition as a
+/// typed error instead.
 pub fn set_chunk_rows(rows: usize) {
-    assert!(rows > 0, "chunk row count must be at least 1");
+    try_set_chunk_rows(rows).expect("chunk row count must be at least 1");
+}
+
+/// Fallible form of [`set_chunk_rows`]: rejects a zero row count as
+/// [`RuntimeError::ZeroChunkRows`](crate::config::RuntimeError::ZeroChunkRows)
+/// instead of panicking.
+pub fn try_set_chunk_rows(rows: usize) -> Result<(), crate::config::RuntimeError> {
+    if rows == 0 {
+        return Err(crate::config::RuntimeError::ZeroChunkRows);
+    }
     CHUNK_ROWS.store(rows, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Overrides the ring pipeline depth (maximum reduce chunks in flight
@@ -97,10 +110,21 @@ pub fn set_chunk_rows(rows: usize) {
 ///
 /// # Panics
 ///
-/// Panics if `depth` is zero (`AC0502`).
+/// Panics if `depth` is zero (`AC0502`); [`try_set_pipeline_depth`]
+/// reports the same condition as a typed error instead.
 pub fn set_pipeline_depth(depth: usize) {
-    assert!(depth > 0, "pipeline depth must be at least 1");
+    try_set_pipeline_depth(depth).expect("pipeline depth must be at least 1");
+}
+
+/// Fallible form of [`set_pipeline_depth`]: rejects a zero depth as
+/// [`RuntimeError::ZeroPipelineDepth`](crate::config::RuntimeError::ZeroPipelineDepth)
+/// instead of panicking.
+pub fn try_set_pipeline_depth(depth: usize) -> Result<(), crate::config::RuntimeError> {
+    if depth == 0 {
+        return Err(crate::config::RuntimeError::ZeroPipelineDepth);
+    }
     PIPELINE_DEPTH.store(depth, Ordering::Relaxed);
+    Ok(())
 }
 
 fn env_chunk_rows() -> Option<usize> {
@@ -125,7 +149,7 @@ fn env_chunk_rows() -> Option<usize> {
 /// [`TpGroup::ring`] time; tests may override the copy on each endpoint,
 /// as long as all endpoints of one ring agree (the chunk plan must be
 /// identical on every rank).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RingTuning {
     /// Rows per chunk; `None` picks `ceil(rows / 4)` per collective.
     pub chunk_rows: Option<usize>,
@@ -137,7 +161,7 @@ pub struct RingTuning {
 impl RingTuning {
     /// Resolves the process-wide configuration: [`set_chunk_rows`] /
     /// [`set_pipeline_depth`] first, then `ACTCOMP_CHUNK_ROWS`, then
-    /// automatic chunking at depth [`DEFAULT_PIPELINE_DEPTH`].
+    /// automatic chunking at the default pipeline depth (4).
     pub fn configured() -> RingTuning {
         let chunk_rows = match CHUNK_ROWS.load(Ordering::Relaxed) {
             0 => env_chunk_rows(),
@@ -155,8 +179,11 @@ impl RingTuning {
 
     /// The per-chunk row counts for a `rows`-row collective. Depends
     /// only on `(self, rows)` — never on runtime state — so every rank
-    /// of a ring derives the same plan independently.
-    fn plan(&self, rows: usize) -> Vec<usize> {
+    /// of a ring derives the same plan independently. Public so the
+    /// static comm-protocol analyzer can pin its mirror
+    /// (`actcomp_check::collectives::ring_chunk_plan`) against the
+    /// engine's plan in cross-crate tests.
+    pub fn plan(&self, rows: usize) -> Vec<usize> {
         if rows == 0 {
             return vec![0];
         }
@@ -332,6 +359,13 @@ pub struct TpGroup {
     /// configuration at ring construction. Tests may override, but all
     /// endpoints of one ring must agree.
     pub tuning: RingTuning,
+    /// Audit-trace handle; `None` (the default) records nothing.
+    trace: Option<TraceHandle>,
+    /// Ordinal of the next collective on this ring, reset per step —
+    /// the `coll` component of traced chunk/gather message identities.
+    coll: usize,
+    /// Ordinal of the collective currently in flight.
+    active_coll: usize,
 }
 
 impl std::fmt::Debug for TpGroup {
@@ -373,6 +407,9 @@ impl TpGroup {
                 bytes: CommBytes::default(),
                 ring_bytes: CommBytes::default(),
                 tuning,
+                trace: None,
+                coll: 0,
+                active_coll: 0,
             })
             .collect()
     }
@@ -388,6 +425,44 @@ impl TpGroup {
             bytes: CommBytes::default(),
             ring_bytes: CommBytes::default(),
             tuning: RingTuning::configured(),
+            trace: None,
+            coll: 0,
+            active_coll: 0,
+        }
+    }
+
+    /// Attaches an audit-trace handle: every subsequent ring send/recv
+    /// is recorded in the static analyzer's event vocabulary.
+    pub(crate) fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Restarts collective numbering — the worker calls this at the top
+    /// of each step so traced ordinals match the per-step static graph.
+    pub(crate) fn reset_step(&mut self) {
+        self.coll = 0;
+    }
+
+    /// Opens the next collective on this ring, fixing the ordinal that
+    /// tags its traced messages.
+    fn begin_collective(&mut self) {
+        self.active_coll = self.coll;
+        self.coll += 1;
+    }
+
+    /// The traced channel for this rank's outgoing ring link.
+    fn trace_send_channel(&self, trace: &TraceHandle) -> ChannelId {
+        ChannelId::Ring {
+            stage: trace.stage(),
+            link: self.rank,
+        }
+    }
+
+    /// The traced channel for this rank's incoming ring link.
+    fn trace_recv_channel(&self, trace: &TraceHandle) -> ChannelId {
+        ChannelId::Ring {
+            stage: trace.stage(),
+            link: (self.rank + self.world - 1) % self.world,
         }
     }
 
@@ -395,6 +470,18 @@ impl TpGroup {
     /// wire bytes.
     fn send_chunk(&mut self, bcast: bool, idx: usize, data: ChunkData, timers: &mut PhaseTimers) {
         self.ring_bytes.wire += data.wire_bytes();
+        if let Some(trace) = &self.trace {
+            trace.record(
+                Dir::Send,
+                self.trace_send_channel(trace),
+                MsgId::Chunk {
+                    coll: self.active_coll,
+                    bcast,
+                    idx,
+                },
+                Some(data.wire_bytes()),
+            );
+        }
         let msg = RingMsg::Chunk(ChunkMsg { bcast, idx, data });
         let tx = self.next_tx.as_ref().expect("ring sender");
         timed(&mut timers.wire_s, || {
@@ -412,6 +499,20 @@ impl TpGroup {
         stash: &mut Vec<ChunkMsg>,
         timers: &mut PhaseTimers,
     ) -> ChunkData {
+        // Consumption — not channel arrival — is the traced event, so
+        // a stash hit records exactly like a direct receive.
+        if let Some(trace) = &self.trace {
+            trace.record(
+                Dir::Recv,
+                self.trace_recv_channel(trace),
+                MsgId::Chunk {
+                    coll: self.active_coll,
+                    bcast,
+                    idx,
+                },
+                None,
+            );
+        }
         if let Some(pos) = stash.iter().position(|m| m.bcast == bcast && m.idx == idx) {
             return stash.swap_remove(pos).data;
         }
@@ -464,11 +565,23 @@ impl TpGroup {
         if self.world == 1 {
             return out.into_iter().map(|o| o.expect("own payload")).collect();
         }
+        self.begin_collective();
         timed(&mut timers.wire_s, || {
             let tx = self.next_tx.as_ref().expect("ring sender");
             let rx = self.prev_rx.as_ref().expect("ring receiver");
             let mut carry = (self.rank, own);
             for _ in 0..self.world - 1 {
+                if let Some(trace) = &self.trace {
+                    trace.record(
+                        Dir::Send,
+                        self.trace_send_channel(trace),
+                        MsgId::Gather {
+                            coll: self.active_coll,
+                            origin: carry.0,
+                        },
+                        None,
+                    );
+                }
                 tx.send(RingMsg::Gather(carry.0, carry.1))
                     .expect("ring peer hung up");
                 let (origin, payload) = match rx.recv().expect("ring peer hung up") {
@@ -477,6 +590,17 @@ impl TpGroup {
                         panic!("ring delivered a chunk message to an all-gather")
                     }
                 };
+                if let Some(trace) = &self.trace {
+                    trace.record(
+                        Dir::Recv,
+                        self.trace_recv_channel(trace),
+                        MsgId::Gather {
+                            coll: self.active_coll,
+                            origin,
+                        },
+                        None,
+                    );
+                }
                 out[origin] = Some(payload.clone());
                 carry = (origin, payload);
             }
@@ -541,6 +665,7 @@ impl TpGroup {
         timers: &mut PhaseTimers,
         ws: &mut Workspace,
     ) -> Tensor {
+        self.begin_collective();
         let plan = self.codec_plan(comp, partial);
         let total = plan.len();
         let bounds = row_bounds(&plan);
@@ -634,6 +759,7 @@ impl TpGroup {
         partial: &Tensor,
         timers: &mut PhaseTimers,
     ) -> Tensor {
+        self.begin_collective();
         let p = self.world;
         let msg = timed(&mut timers.encode_s, || comp.compress(partial));
         let mut gathered_bytes = msg.wire_bytes(2);
@@ -642,6 +768,17 @@ impl TpGroup {
         {
             let tx = self.next_tx.as_ref().expect("ring sender");
             let rx = self.prev_rx.as_ref().expect("ring receiver");
+            if let Some(trace) = &self.trace {
+                trace.record(
+                    Dir::Send,
+                    self.trace_send_channel(trace),
+                    MsgId::Gather {
+                        coll: self.active_coll,
+                        origin: self.rank,
+                    },
+                    Some(msg.wire_bytes(2)),
+                );
+            }
             timed(&mut timers.wire_s, || {
                 tx.send(RingMsg::Gather(self.rank, GatherPayload::Code(msg.clone())))
                     .expect("ring peer hung up");
@@ -655,9 +792,31 @@ impl TpGroup {
                         _ => panic!("gathered reduce received a non-code message"),
                     }
                 });
+                if let Some(trace) = &self.trace {
+                    trace.record(
+                        Dir::Recv,
+                        self.trace_recv_channel(trace),
+                        MsgId::Gather {
+                            coll: self.active_coll,
+                            origin,
+                        },
+                        None,
+                    );
+                }
                 gathered_bytes += code.wire_bytes(2);
                 if hop + 1 < p - 1 {
                     sent_bytes += code.wire_bytes(2);
+                    if let Some(trace) = &self.trace {
+                        trace.record(
+                            Dir::Send,
+                            self.trace_send_channel(trace),
+                            MsgId::Gather {
+                                coll: self.active_coll,
+                                origin,
+                            },
+                            Some(code.wire_bytes(2)),
+                        );
+                    }
                     timed(&mut timers.wire_s, || {
                         tx.send(RingMsg::Gather(origin, GatherPayload::Code(code.clone())))
                             .expect("ring peer hung up");
@@ -718,6 +877,7 @@ impl TpGroup {
         timers: &mut PhaseTimers,
         ws: &mut Workspace,
     ) -> Tensor {
+        self.begin_collective();
         let (rows, width) = rows_width(partial);
         let plan = self.tuning.plan(rows);
         let total = plan.len();

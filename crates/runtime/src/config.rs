@@ -1,5 +1,6 @@
 //! Configuration and typed errors for the threaded execution engine.
 
+use crate::comm::RingTuning;
 use actcomp_mp::{MpConfig, MpConfigError};
 
 /// Configuration of a threaded model-parallel run: the model-parallel
@@ -12,6 +13,16 @@ pub struct RuntimeConfig {
     /// GPipe micro-batches per step. Must divide the batch size passed
     /// to `forward`. `1` reproduces the serial executor exactly.
     pub micro_batches: usize,
+    /// Explicit ring chunking/pipelining knobs for this engine instance.
+    /// `None` (the default) captures the process-wide configuration
+    /// ([`crate::set_chunk_rows`] / `ACTCOMP_CHUNK_ROWS` / defaults) at
+    /// construction; `Some` overrides it per engine, without touching
+    /// process-global state. Optional in serialized form.
+    pub tuning: Option<RingTuning>,
+    /// Record every rank's comm events for conformance auditing against
+    /// the static message-flow graph (`actcomp check --comm`). Off by
+    /// default; tracing adds one vector push per send/recv.
+    pub trace: bool,
 }
 
 impl RuntimeConfig {
@@ -20,6 +31,14 @@ impl RuntimeConfig {
         self.mp.try_validate()?;
         if self.micro_batches == 0 {
             return Err(RuntimeError::ZeroMicroBatches);
+        }
+        if let Some(t) = &self.tuning {
+            if t.chunk_rows == Some(0) {
+                return Err(RuntimeError::ZeroChunkRows);
+            }
+            if t.pipeline_depth == 0 {
+                return Err(RuntimeError::ZeroPipelineDepth);
+            }
         }
         Ok(())
     }
@@ -44,6 +63,35 @@ pub enum RuntimeError {
         /// Configured micro-batch count.
         micro_batches: usize,
     },
+    /// The token-id slice passed to `forward` does not hold exactly
+    /// `batch * seq` ids.
+    IdsLengthMismatch {
+        /// Length of the id slice.
+        len: usize,
+        /// Sequences in the batch.
+        batch: usize,
+        /// Tokens per sequence.
+        seq: usize,
+    },
+    /// The sequence length exceeds the model's positional table.
+    SeqTooLong {
+        /// Requested tokens per sequence.
+        seq: usize,
+        /// The model's maximum sequence length.
+        max_seq: usize,
+    },
+    /// The backward gradient's rows are not divisible by the
+    /// micro-batch count.
+    GradRowsNotDivisible {
+        /// Rows of the gradient tensor.
+        rows: usize,
+        /// Configured micro-batch count.
+        micro_batches: usize,
+    },
+    /// A ring-collective chunk needs at least one row (`AC0501`).
+    ZeroChunkRows,
+    /// The ring pipeline needs at least one chunk in flight (`AC0502`).
+    ZeroPipelineDepth,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -60,6 +108,28 @@ impl std::fmt::Display for RuntimeError {
                 f,
                 "batch {batch} not divisible by {micro_batches} micro-batches"
             ),
+            RuntimeError::IdsLengthMismatch { len, batch, seq } => write!(
+                f,
+                "{len} token ids for batch {batch} x seq {seq} (need {})",
+                batch * seq
+            ),
+            RuntimeError::SeqTooLong { seq, max_seq } => write!(
+                f,
+                "sequence length {seq} exceeds the model maximum of {max_seq}"
+            ),
+            RuntimeError::GradRowsNotDivisible {
+                rows,
+                micro_batches,
+            } => write!(
+                f,
+                "gradient of {rows} rows not divisible by {micro_batches} micro-batches"
+            ),
+            RuntimeError::ZeroChunkRows => {
+                write!(f, "chunk_rows must be at least 1")
+            }
+            RuntimeError::ZeroPipelineDepth => {
+                write!(f, "pipeline_depth must be at least 1")
+            }
         }
     }
 }
@@ -103,6 +173,8 @@ mod tests {
                 error_feedback: false,
             },
             micro_batches,
+            tuning: None,
+            trace: false,
         }
     }
 
@@ -118,5 +190,38 @@ mod tests {
             cfg(3, 1, 1).try_validate(),
             Err(RuntimeError::Config(_))
         ));
+    }
+
+    #[test]
+    fn validates_explicit_tuning() {
+        let mut c = cfg(2, 2, 1);
+        c.tuning = Some(RingTuning {
+            chunk_rows: Some(2),
+            pipeline_depth: 1,
+        });
+        assert!(c.try_validate().is_ok());
+        c.tuning = Some(RingTuning {
+            chunk_rows: Some(0),
+            pipeline_depth: 1,
+        });
+        assert_eq!(c.try_validate(), Err(RuntimeError::ZeroChunkRows));
+        c.tuning = Some(RingTuning {
+            chunk_rows: None,
+            pipeline_depth: 0,
+        });
+        assert_eq!(c.try_validate(), Err(RuntimeError::ZeroPipelineDepth));
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let mut c = cfg(2, 2, 1);
+        c.tuning = Some(RingTuning {
+            chunk_rows: Some(3),
+            pipeline_depth: 2,
+        });
+        c.trace = true;
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: RuntimeConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
     }
 }

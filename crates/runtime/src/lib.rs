@@ -49,13 +49,23 @@
 //!         error_feedback: false,
 //!     },
 //!     micro_batches: 2,
+//!     tuning: None,
+//!     trace: false,
 //! };
 //! let mut rt = ThreadedRuntime::new(&mut rng, cfg).expect("valid config");
-//! let hidden = rt.forward(&[1, 2, 3, 4, 5, 6, 7, 8], 2, 4);
+//! let hidden = rt.forward(&[1, 2, 3, 4, 5, 6, 7, 8], 2, 4).expect("valid step");
 //! assert_eq!(hidden.dims(), &[8, 16]);
 //! let report = rt.report();
 //! assert!(report.totals.total_s() > 0.0);
 //! ```
+//!
+//! # Conformance auditing
+//!
+//! With [`RuntimeConfig::trace`] set, every rank records its sends and
+//! receives in the vocabulary of `actcomp-check`'s static message-flow
+//! graph; [`ThreadedRuntime::take_trace`] drains the per-rank sequences
+//! and [`actcomp_check::audit_trace`] replays them against the graph,
+//! proving the run performed exactly the statically verified protocol.
 
 #![warn(missing_docs)]
 
@@ -65,8 +75,12 @@ pub mod layer;
 mod rank;
 pub mod report;
 mod runtime;
+mod trace;
 
-pub use comm::{set_chunk_rows, set_pipeline_depth, RingTuning, TpGroup};
+pub use comm::{
+    set_chunk_rows, set_pipeline_depth, try_set_chunk_rows, try_set_pipeline_depth, RingTuning,
+    TpGroup,
+};
 pub use config::{RuntimeConfig, RuntimeError};
 pub use rank::RankGrads;
 pub use report::{PhaseTimers, RankReport, RuntimeReport};

@@ -5,6 +5,8 @@
 use crate::comm::TpGroup;
 use crate::layer::{LayerGrads, RankLayer};
 use crate::report::{timed, PhaseTimers, RankReport};
+use crate::trace::TraceHandle;
+use actcomp_check::{ChannelId, Dir, MsgId, TraceEvent};
 use actcomp_compress::{Compressed, Compressor};
 use actcomp_distsim::schedule::gpipe_order;
 use actcomp_mp::CommBytes;
@@ -40,6 +42,8 @@ pub(crate) enum Command {
     CollectGrads,
     /// Snapshot timers and byte counters.
     Report,
+    /// Drain the rank's recorded audit-trace events.
+    TakeTrace,
     /// Exit the worker loop.
     Shutdown,
 }
@@ -55,6 +59,11 @@ pub(crate) enum Response {
     Grads { rank: usize, grads: RankGrads },
     /// Timer/byte snapshot.
     Report { report: Box<RankReport> },
+    /// Recorded audit-trace events (empty when tracing is off).
+    Trace {
+        rank: usize,
+        events: Vec<TraceEvent>,
+    },
 }
 
 /// A message crossing a pipeline boundary in the forward direction.
@@ -170,6 +179,12 @@ pub(crate) struct RankWorker {
     pub timers: PhaseTimers,
     pub cmd_rx: Receiver<Command>,
     pub resp_tx: Sender<Response>,
+    /// Audit-trace handle (same cell as this rank's `tp` group) for
+    /// boundary and broadcast events; `None` records nothing.
+    trace: Option<TraceHandle>,
+    /// Stage-broadcast ordinal, reset per step; advances at every
+    /// broadcast point even when `tp == 1` (mirrors the static graph).
+    bcast_seq: usize,
     /// Per-micro-batch outputs buffered on the last stage.
     fwd_out: Vec<Tensor>,
     /// This rank's scratch arena: packing buffers, head blocks and
@@ -194,6 +209,7 @@ impl RankWorker {
         recv_b: Option<BoundaryReceiver>,
         cmd_rx: Receiver<Command>,
         resp_tx: Sender<Response>,
+        trace: Option<TraceHandle>,
     ) -> Self {
         RankWorker {
             rank,
@@ -211,8 +227,17 @@ impl RankWorker {
             timers: PhaseTimers::default(),
             cmd_rx,
             resp_tx,
+            trace,
+            bcast_seq: 0,
             fwd_out: Vec::new(),
             ws: Workspace::new(),
+        }
+    }
+
+    /// Records one boundary/broadcast event when tracing is on.
+    fn trace_event(&self, dir: Dir, channel: ChannelId, msg: MsgId, bytes: Option<usize>) {
+        if let Some(trace) = &self.trace {
+            trace.record(dir, channel, msg, bytes);
         }
     }
 
@@ -249,6 +274,13 @@ impl RankWorker {
                         report: Box::new(report),
                     });
                 }
+                Command::TakeTrace => {
+                    let events = self.trace.as_ref().map(|t| t.take()).unwrap_or_default();
+                    self.respond(Response::Trace {
+                        rank: self.rank,
+                        events,
+                    });
+                }
                 Command::Shutdown => break,
             }
         }
@@ -263,18 +295,42 @@ impl RankWorker {
     }
 
     /// Broadcasts a tensor decoded on stage rank 0 to all TP peers, or
-    /// receives it on a peer rank.
+    /// receives it on a peer rank. The broadcast ordinal advances on
+    /// every rank at every call — even solo ranks with nothing to send —
+    /// so traced sequences stay aligned with the static graph.
     fn stage_broadcast(&mut self, t: Option<Tensor>) -> Tensor {
+        let seq = self.bcast_seq;
+        self.bcast_seq += 1;
         if self.tpi == 0 {
             let t = t.expect("stage rank 0 provides the broadcast value");
             timed(&mut self.timers.wire_s, || {
-                for tx in &self.bcast_tx {
+                for (i, tx) in self.bcast_tx.iter().enumerate() {
+                    if let Some(trace) = &self.trace {
+                        trace.record(
+                            Dir::Send,
+                            ChannelId::Bcast {
+                                stage: self.stage,
+                                peer: i + 1,
+                            },
+                            MsgId::Bcast { seq },
+                            None,
+                        );
+                    }
                     tx.send(t.clone()).expect("stage peer hung up");
                 }
             });
             t
         } else {
             let rx = self.bcast_rx.as_ref().expect("peer broadcast receiver");
+            self.trace_event(
+                Dir::Recv,
+                ChannelId::Bcast {
+                    stage: self.stage,
+                    peer: self.tpi,
+                },
+                MsgId::Bcast { seq },
+                None,
+            );
             timed(&mut self.timers.wire_s, || {
                 rx.recv().expect("stage rank 0 hung up")
             })
@@ -284,6 +340,10 @@ impl RankWorker {
     /// GPipe fill: run this stage's forwards in the shared schedule's
     /// micro-batch order.
     fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) {
+        // A forward command starts a new step: collective and broadcast
+        // ordinals restart so traces match the per-step static graph.
+        self.tp.reset_step();
+        self.bcast_seq = 0;
         let m = self.micro_batches;
         let mb_batch = batch / m;
         self.fwd_out.clear();
@@ -298,6 +358,14 @@ impl RankWorker {
                 x
             } else {
                 let decoded = if self.tpi == 0 {
+                    self.trace_event(
+                        Dir::Recv,
+                        ChannelId::BoundaryFwd {
+                            boundary: self.stage - 1,
+                        },
+                        MsgId::Activation { mb: op.mb },
+                        None,
+                    );
                     let b = self.recv_b.as_mut().expect("non-first stage receiver");
                     let msg = timed(&mut self.timers.wire_s, || {
                         b.rx.recv().expect("upstream stage hung up")
@@ -335,6 +403,16 @@ impl RankWorker {
                     wire: msg.wire_bytes(2),
                     dense: x.len() * 2,
                 });
+                if let Some(trace) = &self.trace {
+                    trace.record(
+                        Dir::Send,
+                        ChannelId::BoundaryFwd {
+                            boundary: self.stage,
+                        },
+                        MsgId::Activation { mb: op.mb },
+                        Some(msg.wire_bytes(2)),
+                    );
+                }
                 timed(&mut self.timers.wire_s, || {
                     b.tx.send(FwdMsg::Activation(msg))
                         .expect("downstream stage hung up")
@@ -366,6 +444,14 @@ impl RankWorker {
                 })
             } else {
                 let grad = if self.tpi == 0 {
+                    self.trace_event(
+                        Dir::Recv,
+                        ChannelId::BoundaryGrad {
+                            boundary: self.stage,
+                        },
+                        MsgId::Grad { mb: op.mb },
+                        None,
+                    );
                     let b = self.send_b.as_mut().expect("non-final stage sender");
                     let dy = timed(&mut self.timers.wire_s, || {
                         b.grad_rx.recv().expect("downstream stage hung up")
@@ -386,6 +472,14 @@ impl RankWorker {
                 emb.backward_mb(&d, &mut self.ws);
                 self.timers.compute_s += t0.elapsed().as_secs_f64();
             } else if self.tpi == 0 {
+                self.trace_event(
+                    Dir::Send,
+                    ChannelId::BoundaryGrad {
+                        boundary: self.stage - 1,
+                    },
+                    MsgId::Grad { mb: op.mb },
+                    None,
+                );
                 let b = self.recv_b.as_mut().expect("non-first stage receiver");
                 timed(&mut self.timers.wire_s, || {
                     b.grad_tx.send(d).expect("upstream stage hung up")
@@ -397,6 +491,16 @@ impl RankWorker {
         for layer in &mut self.layers {
             layer.sync_compressor_grads(&mut self.tp, &mut self.timers);
         }
+        if self.send_b.is_some() {
+            self.trace_event(
+                Dir::Send,
+                ChannelId::BoundaryFwd {
+                    boundary: self.stage,
+                },
+                MsgId::GradSync,
+                None,
+            );
+        }
         if let Some(b) = self.send_b.as_mut() {
             let mut grads = Vec::new();
             b.comp.visit_params(&mut |p| grads.push(p.grad.clone()));
@@ -404,6 +508,16 @@ impl RankWorker {
                 b.tx.send(FwdMsg::GradSync(grads))
                     .expect("downstream stage hung up")
             });
+        }
+        if self.recv_b.is_some() {
+            self.trace_event(
+                Dir::Recv,
+                ChannelId::BoundaryFwd {
+                    boundary: self.stage - 1,
+                },
+                MsgId::GradSync,
+                None,
+            );
         }
         if let Some(b) = self.recv_b.as_mut() {
             let msg = timed(&mut self.timers.wire_s, || {

@@ -15,6 +15,8 @@ use crate::rank::{
     Response,
 };
 use crate::report::{RankReport, RuntimeReport};
+use crate::trace::{TraceCell, TraceHandle};
+use actcomp_check::TraceEvent;
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_compress::{Compressor, Identity};
 use actcomp_mp::stage_offsets;
@@ -23,6 +25,7 @@ use actcomp_tensor::Tensor;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Per-layer compressor construction recipe, derived from the plan with
@@ -155,6 +158,16 @@ impl ThreadedRuntime {
         let mut rings: Vec<Vec<Option<TpGroup>>> = (0..pp)
             .map(|_| TpGroup::ring(tp).into_iter().map(Some).collect())
             .collect();
+        // An explicit per-engine tuning overrides what the endpoints
+        // captured from process-global state — every endpoint of every
+        // ring, so all ranks derive identical chunk plans.
+        if let Some(tuning) = cfg.tuning {
+            for ring in &mut rings {
+                for ep in ring.iter_mut().flatten() {
+                    ep.tuning = tuning;
+                }
+            }
+        }
         // Intra-stage broadcast fan-out from each stage's rank 0.
         let mut bcast_txs: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(pp);
         let mut bcast_rxs: Vec<Vec<Option<Receiver<Tensor>>>> = Vec::with_capacity(pp);
@@ -217,6 +230,17 @@ impl ThreadedRuntime {
                         serial.emb_ln.clone(),
                     )
                 });
+                let mut ring_ep = rings[stage][tpi].take().expect("ring endpoint");
+                // One trace cell per rank, shared between its ring
+                // endpoint and its worker so ring, broadcast, and
+                // boundary events interleave in program order.
+                let trace = cfg.trace.then(|| {
+                    let cell: TraceCell = Arc::new(Mutex::new(Vec::new()));
+                    TraceHandle::new(stage, cell)
+                });
+                if let Some(t) = &trace {
+                    ring_ep.set_trace(t.clone());
+                }
                 let worker = RankWorker::new(
                     rank,
                     stage,
@@ -225,7 +249,7 @@ impl ThreadedRuntime {
                     m,
                     embedding,
                     layers,
-                    rings[stage][tpi].take().expect("ring endpoint"),
+                    ring_ep,
                     if tpi == 0 {
                         std::mem::take(&mut bcast_txs[stage])
                     } else {
@@ -244,6 +268,7 @@ impl ThreadedRuntime {
                     },
                     cmd_rxs[rank].take().expect("command receiver"),
                     resp_tx.clone(),
+                    trace,
                 );
                 let handle = std::thread::Builder::new()
                     .name(format!("actcomp-rank-{rank}"))
@@ -287,21 +312,38 @@ impl ThreadedRuntime {
     /// Runs a pipelined forward pass over the whole batch, returning the
     /// final hidden states `[batch · seq, hidden]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `ids.len() != batch * seq`, `seq` exceeds the model
-    /// maximum, or `batch` is not divisible by the micro-batch count.
-    pub fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) -> Tensor {
-        assert_eq!(ids.len(), batch * seq, "ids length != batch*seq");
-        assert!(seq <= self.cfg.mp.bert.max_seq, "sequence too long");
-        assert!(
-            batch.is_multiple_of(self.cfg.micro_batches),
-            "{}",
-            RuntimeError::BatchNotDivisible {
+    /// [`RuntimeError::IdsLengthMismatch`] if `ids.len() != batch * seq`,
+    /// [`RuntimeError::SeqTooLong`] if `seq` exceeds the model maximum,
+    /// [`RuntimeError::BatchNotDivisible`] if `batch` is not divisible
+    /// by the micro-batch count. Nothing is dispatched to the ranks on
+    /// any error.
+    pub fn forward(
+        &mut self,
+        ids: &[usize],
+        batch: usize,
+        seq: usize,
+    ) -> Result<Tensor, RuntimeError> {
+        if ids.len() != batch * seq {
+            return Err(RuntimeError::IdsLengthMismatch {
+                len: ids.len(),
                 batch,
-                micro_batches: self.cfg.micro_batches
-            }
-        );
+                seq,
+            });
+        }
+        if seq > self.cfg.mp.bert.max_seq {
+            return Err(RuntimeError::SeqTooLong {
+                seq,
+                max_seq: self.cfg.mp.bert.max_seq,
+            });
+        }
+        if !batch.is_multiple_of(self.cfg.micro_batches) {
+            return Err(RuntimeError::BatchNotDivisible {
+                batch,
+                micro_batches: self.cfg.micro_batches,
+            });
+        }
         self.broadcast(Command::Forward {
             ids: ids.to_vec(),
             batch,
@@ -313,16 +355,52 @@ impl ThreadedRuntime {
                 out = Some(y);
             }
         }
-        out.expect("last stage produced an output")
+        Ok(out.expect("last stage produced an output"))
     }
 
     /// Runs the pipelined backward pass from the gradient of the final
     /// hidden states.
-    pub fn backward(&mut self, dhidden: &Tensor) {
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::GradRowsNotDivisible`] if the gradient's rows are
+    /// not divisible by the micro-batch count; nothing is dispatched.
+    pub fn backward(&mut self, dhidden: &Tensor) -> Result<(), RuntimeError> {
+        let rows = if dhidden.rank() >= 1 {
+            dhidden.dims()[0]
+        } else {
+            0
+        };
+        if !rows.is_multiple_of(self.cfg.micro_batches) {
+            return Err(RuntimeError::GradRowsNotDivisible {
+                rows,
+                micro_batches: self.cfg.micro_batches,
+            });
+        }
         self.broadcast(Command::Backward {
             dhidden: dhidden.clone(),
         });
         let _ = self.collect();
+        Ok(())
+    }
+
+    /// Drains every rank's recorded comm events, ordered by rank —
+    /// `None` when the engine was built without `trace`. Events
+    /// accumulate until taken: drain once per step for sequences that
+    /// conform to the per-step static graph
+    /// ([`actcomp_check::audit_trace`]).
+    pub fn take_trace(&mut self) -> Option<Vec<Vec<TraceEvent>>> {
+        if !self.cfg.trace {
+            return None;
+        }
+        self.broadcast(Command::TakeTrace);
+        let mut per_rank: Vec<Vec<TraceEvent>> = (0..self.world()).map(|_| Vec::new()).collect();
+        for resp in self.collect() {
+            if let Response::Trace { rank, events } = resp {
+                per_rank[rank] = events;
+            }
+        }
+        Some(per_rank)
     }
 
     /// Zeroes every parameter gradient on every rank.

@@ -1,0 +1,62 @@
+//! Flag-gated comm-event tracing for conformance auditing.
+//!
+//! When [`RuntimeConfig::trace`](crate::RuntimeConfig) is set, every
+//! rank records each send/recv it performs — ring chunks, gather hops,
+//! stage broadcasts, and pipeline-boundary messages — as an
+//! [`actcomp_check::TraceEvent`] in the exact vocabulary of the static
+//! message-flow graph (`actcomp-check`'s `comm_graph` module). The
+//! recorded per-rank sequences can then be replayed against the graph
+//! with [`actcomp_check::audit_trace`] to prove a real run conformed to
+//! the statically verified protocol.
+//!
+//! Recording is low-overhead by construction: each rank owns its cell
+//! and is the only writer, so the mutex is uncontended; with tracing
+//! off, no handle exists and every recording site is a `None` check.
+
+use actcomp_check::{ChannelId, Dir, MsgId, TraceEvent};
+use std::sync::{Arc, Mutex};
+
+/// Shared storage for one rank's recorded events. The rank thread is
+/// the only writer; the driver drains it via `Command::TakeTrace`.
+pub(crate) type TraceCell = Arc<Mutex<Vec<TraceEvent>>>;
+
+/// One rank's recording handle: the rank's pipeline stage (needed to
+/// name ring channels) plus the shared event cell. Cloned between the
+/// rank's [`TpGroup`](crate::TpGroup) (ring events) and its worker
+/// (boundary and broadcast events) so all events land in one sequence
+/// in program order.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceHandle {
+    stage: usize,
+    cell: TraceCell,
+}
+
+impl TraceHandle {
+    /// Creates a handle for a rank on `stage` writing into `cell`.
+    pub(crate) fn new(stage: usize, cell: TraceCell) -> Self {
+        TraceHandle { stage, cell }
+    }
+
+    /// The pipeline stage this handle records for.
+    pub(crate) fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Appends one event to the rank's sequence.
+    pub(crate) fn record(&self, dir: Dir, channel: ChannelId, msg: MsgId, bytes: Option<usize>) {
+        self.cell
+            .lock()
+            .expect("trace cell poisoned")
+            .push(TraceEvent {
+                dir,
+                channel,
+                msg,
+                bytes,
+            });
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub(crate) fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.cell.lock().expect("trace cell poisoned"))
+    }
+}

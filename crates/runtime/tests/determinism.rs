@@ -38,6 +38,8 @@ fn cfg(tp: usize, pp: usize, plan: CompressionPlan, micro_batches: usize) -> Run
             error_feedback: false,
         },
         micro_batches,
+        tuning: None,
+        trace: false,
     }
 }
 
@@ -57,7 +59,7 @@ fn uncompressed_threaded_step_is_bit_identical_to_serial() {
             let mut rt = ThreadedRuntime::from_serial(&serial, c, &mut rt_rng).expect("valid");
 
             let want = mp.forward(&IDS, 2, 4);
-            let got = rt.forward(&IDS, 2, 4);
+            let got = rt.forward(&IDS, 2, 4).expect("valid step");
             assert_eq!(
                 got.as_slice(),
                 want.as_slice(),
@@ -69,7 +71,7 @@ fn uncompressed_threaded_step_is_bit_identical_to_serial() {
             mp.zero_grad();
             mp.backward(&dhidden);
             rt.zero_grad();
-            rt.backward(&dhidden);
+            rt.backward(&dhidden).expect("valid grad");
 
             let mut want_grads: Vec<Tensor> = Vec::new();
             mp.visit_all_params(&mut |p| want_grads.push(p.grad.clone()));
@@ -100,10 +102,10 @@ fn microbatched_run_matches_grad_accumulation_shape() {
     let c = cfg(2, 2, CompressionPlan::none(), 2);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
-    let y = rt.forward(&IDS, 2, 4);
+    let y = rt.forward(&IDS, 2, 4).expect("valid step");
     assert_eq!(y.dims(), &[8, 16]);
     rt.zero_grad();
-    rt.backward(&Tensor::ones([8, 16]));
+    rt.backward(&Tensor::ones([8, 16])).expect("valid grad");
     let grads = rt.collect_grads();
     assert!(!grads.is_empty());
     let mass: f32 = grads.iter().map(|g| g.sq_norm()).sum();
@@ -117,11 +119,11 @@ fn loss_trajectory(spec: CompressorSpec, seed: u64, steps: usize) -> Vec<f32> {
     let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
     let mut losses = Vec::with_capacity(steps);
     for _ in 0..steps {
-        let y = rt.forward(&IDS, 2, 4);
+        let y = rt.forward(&IDS, 2, 4).expect("valid step");
         // Quadratic pull toward zero hidden states: L = ½‖y‖², dL/dy = y.
         losses.push(0.5 * y.sq_norm());
         rt.zero_grad();
-        rt.backward(&y);
+        rt.backward(&y).expect("valid grad");
         rt.sgd_step(1e-2);
     }
     losses
@@ -158,11 +160,11 @@ fn error_feedback_runs_are_deterministic() {
         c.mp.error_feedback = true;
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
-        let y1 = rt.forward(&IDS, 2, 4);
+        let y1 = rt.forward(&IDS, 2, 4).expect("valid step");
         rt.zero_grad();
-        rt.backward(&y1);
+        rt.backward(&y1).expect("valid grad");
         rt.sgd_step(1e-2);
-        rt.forward(&IDS, 2, 4)
+        rt.forward(&IDS, 2, 4).expect("valid step")
     };
     let a = run();
     let b = run();
@@ -179,9 +181,9 @@ fn report_has_nonzero_phase_timings() {
     );
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let mut rt = ThreadedRuntime::new(&mut rng, c).expect("valid");
-    let y = rt.forward(&IDS, 2, 4);
+    let y = rt.forward(&IDS, 2, 4).expect("valid step");
     rt.zero_grad();
-    rt.backward(&y);
+    rt.backward(&y).expect("valid grad");
     let report = rt.report();
     assert_eq!(report.ranks.len(), 4);
     assert!(report.totals.compute_s > 0.0, "{report:?}");

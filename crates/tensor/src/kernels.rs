@@ -22,13 +22,13 @@
 //! its inner loop is an explicit unrolled pass over one `NR`-wide panel
 //! row with a constant trip count, which the autovectorizer reliably
 //! turns into groups of 8-wide (AVX2/NEON) or 16-wide (AVX-512) SIMD
-//! fmadds (see [`fmadd`]'s cfg gate and `.cargo/config.toml`'s
-//! `target-cpu=native`).
+//! fmadds (see the private `fmadd` helper's cfg gate and
+//! `.cargo/config.toml`'s `target-cpu=native`).
 //!
 //! Threading parallelizes over *output row tiles*: the i-tile range is
-//! split into at most `threads` contiguous chunks (see
-//! [`crate::pool::plan_chunks`]) and each chunk is computed by one scoped
-//! thread against the caller's `A` and the shared read-only packed `B`.
+//! split into at most `threads` contiguous chunks (the pool's private
+//! `plan_chunks`) and each chunk is computed by one scoped thread
+//! against the caller's `A` and the shared read-only packed `B`.
 //!
 //! # Determinism contract
 //!
@@ -37,7 +37,7 @@
 //! decomposition depends only on the matrix shape — never on the thread
 //! count or runtime load. Results are therefore **bit-identical for every
 //! pool size** (1, 2, 8, ...). They are *not* bit-identical to the naive
-//! reference kernels in [`reference`] on FMA hardware, because fused
+//! reference kernels in [`reference`](mod@reference) on FMA hardware, because fused
 //! multiply-adds round once instead of twice; tests compare against the
 //! reference with a tolerance and across pool sizes exactly.
 

@@ -143,7 +143,10 @@ impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(Error::custom(format!("expected bool, got {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -361,12 +364,7 @@ macro_rules! impl_tuple {
         }
     )+};
 }
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 #[cfg(test)]
 mod tests {

@@ -40,7 +40,9 @@ enum VariantKind {
 
 /// Skips attributes (`#[...]`, including doc comments) and visibility
 /// (`pub`, `pub(crate)`), returning the next meaningful token.
-fn next_meaningful(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Option<TokenTree> {
+fn next_meaningful(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<TokenTree> {
     loop {
         match iter.next()? {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -264,9 +266,7 @@ fn field_init(f: &Field) -> String {
             "{name}: ::serde::Deserialize::from_value(::serde::obj_get_opt(entries, \"{name}\"))?"
         )
     } else {
-        format!(
-            "{name}: ::serde::Deserialize::from_value(::serde::obj_get(entries, \"{name}\")?)?"
-        )
+        format!("{name}: ::serde::Deserialize::from_value(::serde::obj_get(entries, \"{name}\")?)?")
     }
 }
 
