@@ -5,7 +5,8 @@
 //! `AC03xx` execution runtime, `AC04xx` kernel thread-pool
 //! configuration, `AC05xx` ring-collective chunking, `AC06xx`
 //! comm-protocol analysis (message-flow graph, deadlock-freedom,
-//! trace conformance). Codes are append-only — once published
+//! trace conformance), `AC07xx` multi-process transport
+//! configuration. Codes are append-only — once published
 //! in a diagnostic they keep their meaning so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
@@ -87,6 +88,24 @@ pub const COMM_TRACE_NONCONFORMANT: &str = "AC0605";
 /// Two in-flight messages on one channel are indistinguishable to the
 /// receiver's selective-receive stash (duplicate message identity).
 pub const COMM_AMBIGUOUS_MESSAGE: &str = "AC0606";
+
+/// `runtime.transport` does not name a known wire (`mpsc`, `uds`,
+/// `tcp`), or names one the backend cannot use (`mpsc` with `procs`).
+pub const TRANSPORT_UNKNOWN: &str = "AC0701";
+/// A transport option is set for a backend that never opens a
+/// transport.
+pub const TRANSPORT_WRONG_BACKEND: &str = "AC0702";
+/// `runtime.link_mbps` without the TCP transport, or not a positive
+/// finite bandwidth.
+pub const THROTTLE_WITHOUT_TCP: &str = "AC0703";
+/// Two ranks listen on the same port or socket path (or the address
+/// list does not cover the world).
+pub const LISTEN_ADDR_COLLISION: &str = "AC0704";
+/// Comm tracing/auditing with the `procs` backend (trace events cannot
+/// cross process boundaries).
+pub const PROCS_TRACE_UNSUPPORTED: &str = "AC0705";
+/// `runtime.world_size` disagrees with `tp * pp` in procs mode.
+pub const PROCS_WORLD_MISMATCH: &str = "AC0706";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -266,6 +285,36 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             COMM_AMBIGUOUS_MESSAGE,
             "two concurrent messages share one selective-receive identity",
+            false,
+        ),
+        row(
+            TRANSPORT_UNKNOWN,
+            "runtime.transport is not a usable wire for the backend",
+            false,
+        ),
+        row(
+            TRANSPORT_WRONG_BACKEND,
+            "transport options set for a backend that opens no transport",
+            false,
+        ),
+        row(
+            THROTTLE_WITHOUT_TCP,
+            "link_mbps throttle without the tcp transport, or not positive",
+            false,
+        ),
+        row(
+            LISTEN_ADDR_COLLISION,
+            "listen addresses collide or do not cover the world",
+            false,
+        ),
+        row(
+            PROCS_TRACE_UNSUPPORTED,
+            "comm tracing cannot cross process boundaries (procs backend)",
+            false,
+        ),
+        row(
+            PROCS_WORLD_MISMATCH,
+            "runtime.world_size disagrees with tp x pp in procs mode",
             false,
         ),
     ]

@@ -110,9 +110,10 @@ pub struct MemorySection {
 ///
 /// Absent means "serial executor, whole-batch steps" — the historical
 /// behaviour — so existing configs keep validating unchanged.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeSection {
-    /// Execution backend: `threads` (one OS thread per rank) or `serial`.
+    /// Execution backend: `threads` (one OS thread per rank), `serial`,
+    /// or `procs` (one OS process per rank over sockets).
     pub backend: String,
     /// Worker-thread count; when given it must equal `tp * pp` (the
     /// threaded engine spawns exactly one thread per rank).
@@ -136,6 +137,26 @@ pub struct RuntimeSection {
     /// the broadcasts it has consumed. Omitted: 4. Must be at least 1
     /// when given.
     pub pipeline_depth: Option<usize>,
+    /// Data-plane wire for the `procs` backend: `uds` (default) or
+    /// `tcp`; `mpsc` is the in-process trait backend and cannot cross
+    /// processes. Meaningless for other backends.
+    pub transport: Option<String>,
+    /// Outgoing per-rank bandwidth cap in Mbit/s; requires the `tcp`
+    /// transport (the token bucket models a NIC, and only TCP runs on
+    /// one).
+    pub link_mbps: Option<f64>,
+    /// Worker-process count for the `procs` backend; when given it must
+    /// equal `tp * pp` (one process per rank).
+    pub world_size: Option<usize>,
+    /// Explicit per-rank listen addresses (`host:port` for `tcp`,
+    /// filesystem paths for `uds`). Omitted: every rank binds an
+    /// ephemeral address. When given, one address per rank, no
+    /// collisions.
+    pub listen: Option<Vec<String>>,
+    /// Record comm events for conformance auditing (`actcomp run
+    /// --audit`). Only the in-process backends can trace; the `procs`
+    /// backend rejects it.
+    pub trace: Option<bool>,
 }
 
 impl RuntimeSection {
@@ -150,6 +171,11 @@ impl RuntimeSection {
             kernel_threads: None,
             chunk_rows: None,
             pipeline_depth: None,
+            transport: None,
+            link_mbps: None,
+            world_size: None,
+            listen: None,
+            trace: None,
         }
     }
 

@@ -1,4 +1,5 @@
-//! Execution-backend checks (`AC0301`–`AC0304`).
+//! Execution-backend checks (`AC0301`–`AC0304`) and multi-process
+//! transport checks (`AC0701`–`AC0706`).
 //!
 //! The threaded engine (`actcomp-runtime`) has its own structural
 //! invariants on top of the shape/plan/schedule algebra: the backend
@@ -6,15 +7,22 @@
 //! world size `tp * pp` (one OS thread per rank), the engine's
 //! micro-batch count must divide the batch it slices, and any explicit
 //! rank placement must be a bijection so every rank runs exactly once.
-//! All of these die as mid-run panics (or deadlocks) in the engine; the
-//! checker turns them into diagnostics first.
+//! The `procs` backend adds a transport layer with its own failure
+//! modes: an unknown or in-process-only wire, a bandwidth throttle on a
+//! wire that has no NIC, colliding listen addresses, tracing across
+//! process boundaries, a world size that disagrees with the degrees.
+//! All of these die as mid-run panics (or connect/handshake errors) in
+//! the engine; the checker turns them into diagnostics first.
 
 use crate::codes;
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, RuntimeSection};
 use crate::diagnostics::{Diagnostic, Diagnostics};
 
 /// Backend labels the `run` entry point accepts.
-pub const KNOWN_BACKENDS: [&str; 2] = ["threads", "serial"];
+pub const KNOWN_BACKENDS: [&str; 3] = ["threads", "serial", "procs"];
+
+/// Transport labels the net layer accepts.
+pub const KNOWN_TRANSPORTS: [&str; 3] = ["mpsc", "uds", "tcp"];
 
 /// True when the config selects the threaded rank engine — the only
 /// backend the comm-protocol analyzer models.
@@ -42,9 +50,11 @@ pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
                 "runtime.backend",
                 format!("unknown execution backend `{}`", rt.backend),
             )
-            .with_help("known backends: threads, serial"),
+            .with_help("known backends: threads, serial, procs"),
         );
     }
+
+    check_transport(cfg, rt, diags);
 
     // --- thread count (AC0302) -----------------------------------------
     // The threaded engine spawns exactly one OS thread per rank, so an
@@ -141,6 +151,162 @@ pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
             } else {
                 seen[slot] = true;
             }
+        }
+    }
+}
+
+/// The multi-process transport pass (`AC0701`–`AC0706`).
+fn check_transport(cfg: &ExperimentConfig, rt: &RuntimeSection, diags: &mut Diagnostics) {
+    let procs = rt.backend == "procs";
+    let world = cfg.parallelism.tp * cfg.parallelism.pp;
+    // The procs default wire; explicit labels override it below.
+    let transport = rt.transport.as_deref().unwrap_or("uds");
+
+    // --- transport label (AC0701) --------------------------------------
+    if let Some(label) = &rt.transport {
+        if !KNOWN_TRANSPORTS.contains(&label.as_str()) {
+            diags.push(
+                Diagnostic::error(
+                    codes::TRANSPORT_UNKNOWN,
+                    "runtime.transport",
+                    format!("unknown transport `{label}`"),
+                )
+                .with_help("known transports: mpsc, uds, tcp"),
+            );
+        } else if procs && label == "mpsc" {
+            diags.push(
+                Diagnostic::error(
+                    codes::TRANSPORT_UNKNOWN,
+                    "runtime.transport",
+                    "the mpsc transport is in-process and cannot connect separate worker \
+                     processes"
+                        .to_string(),
+                )
+                .with_help("use `uds` (same host) or `tcp` for the procs backend"),
+            );
+        }
+    }
+
+    // --- transport options on transport-less backends (AC0702) ---------
+    if !procs {
+        for (field, set) in [
+            ("runtime.transport", rt.transport.is_some()),
+            ("runtime.world_size", rt.world_size.is_some()),
+            ("runtime.listen", rt.listen.is_some()),
+        ] {
+            if set {
+                diags.push(
+                    Diagnostic::error(
+                        codes::TRANSPORT_WRONG_BACKEND,
+                        field,
+                        format!(
+                            "{field} is set but backend `{}` opens no transport",
+                            rt.backend
+                        ),
+                    )
+                    .with_help("transport options belong to `backend = \"procs\"`"),
+                );
+            }
+        }
+    }
+
+    // --- bandwidth throttle (AC0703) -----------------------------------
+    if let Some(mbps) = rt.link_mbps {
+        if !(mbps.is_finite() && mbps > 0.0) {
+            diags.push(
+                Diagnostic::error(
+                    codes::THROTTLE_WITHOUT_TCP,
+                    "runtime.link_mbps",
+                    format!("link_mbps = {mbps} is not a positive finite bandwidth"),
+                )
+                .with_help("give the cap in Mbit/s, e.g. link_mbps = 1000.0"),
+            );
+        } else if !procs || transport != "tcp" {
+            diags.push(
+                Diagnostic::error(
+                    codes::THROTTLE_WITHOUT_TCP,
+                    "runtime.link_mbps",
+                    format!(
+                        "link_mbps models a NIC, but backend `{}` with transport `{transport}` \
+                         never sends on one",
+                        rt.backend
+                    ),
+                )
+                .with_help("throttling requires `backend = \"procs\"` with `transport = \"tcp\"`"),
+            );
+        }
+    }
+
+    // --- listen-address collisions (AC0704) ----------------------------
+    if let Some(listen) = &rt.listen {
+        if procs && world > 0 && listen.len() != world {
+            diags.push(
+                Diagnostic::error(
+                    codes::LISTEN_ADDR_COLLISION,
+                    "runtime.listen",
+                    format!(
+                        "{} listen addresses for a world of {world} ranks",
+                        listen.len()
+                    ),
+                )
+                .with_help("give exactly one address per rank, or omit for ephemeral binds"),
+            );
+        }
+        // A collision is the same (normalized) endpoint twice: for TCP
+        // the same host:port, for UDS the same filesystem path.
+        let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (rank, addr) in listen.iter().enumerate() {
+            let key = addr.trim();
+            if let Some(&first) = seen.get(key) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::LISTEN_ADDR_COLLISION,
+                        "runtime.listen",
+                        format!(
+                            "ranks {first} and {rank} both listen on `{key}`; the second bind \
+                             fails at startup"
+                        ),
+                    )
+                    .with_help(match transport {
+                        "tcp" => "every rank needs its own port",
+                        _ => "every rank needs its own socket path",
+                    }),
+                );
+            } else {
+                seen.insert(key, rank);
+            }
+        }
+    }
+
+    // --- tracing across processes (AC0705) -----------------------------
+    if procs && rt.trace == Some(true) {
+        diags.push(
+            Diagnostic::error(
+                codes::PROCS_TRACE_UNSUPPORTED,
+                "runtime.trace",
+                "comm tracing needs in-process event cells; trace events cannot cross \
+                 process boundaries"
+                    .to_string(),
+            )
+            .with_help("audit with `backend = \"threads\"`; the protocol is identical"),
+        );
+    }
+
+    // --- world size (AC0706) -------------------------------------------
+    if let Some(ws) = rt.world_size {
+        if procs && world > 0 && ws != world {
+            diags.push(
+                Diagnostic::error(
+                    codes::PROCS_WORLD_MISMATCH,
+                    "runtime.world_size",
+                    format!(
+                        "runtime.world_size = {ws} but tp={} x pp={} needs exactly {world} \
+                         worker processes",
+                        cfg.parallelism.tp, cfg.parallelism.pp
+                    ),
+                )
+                .with_help("omit runtime.world_size to infer it from the degrees"),
+            );
         }
     }
 }
@@ -266,5 +432,152 @@ mod tests {
                 codes::MICROBATCH_NOT_DIVIDING_BATCH,
             ]
         );
+    }
+
+    fn procs_default() -> RuntimeSection {
+        let mut rt = RuntimeSection::threads_default();
+        rt.backend = "procs".to_string();
+        rt
+    }
+
+    #[test]
+    fn clean_procs_configs_pass() {
+        assert!(run(&with_runtime(procs_default())).is_empty());
+
+        let mut rt = procs_default();
+        rt.transport = Some("tcp".to_string());
+        rt.link_mbps = Some(1000.0);
+        rt.world_size = Some(4);
+        rt.listen = Some(vec![
+            "127.0.0.1:9001".to_string(),
+            "127.0.0.1:9002".to_string(),
+            "127.0.0.1:9003".to_string(),
+            "127.0.0.1:9004".to_string(),
+        ]);
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_and_inprocess_transports() {
+        let mut rt = procs_default();
+        rt.transport = Some("rdma".to_string());
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::TRANSPORT_UNKNOWN]
+        );
+
+        // mpsc is a real transport label, but it cannot cross processes.
+        let mut rt = procs_default();
+        rt.transport = Some("mpsc".to_string());
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::TRANSPORT_UNKNOWN]);
+        assert!(diags[0].message.contains("in-process"));
+    }
+
+    #[test]
+    fn rejects_transport_options_on_transportless_backends() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.transport = Some("uds".to_string());
+        rt.world_size = Some(4);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(
+            codes_of(&diags),
+            vec![
+                codes::TRANSPORT_WRONG_BACKEND,
+                codes::TRANSPORT_WRONG_BACKEND
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_throttle_without_tcp() {
+        // procs + uds: no NIC to throttle.
+        let mut rt = procs_default();
+        rt.link_mbps = Some(1000.0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::THROTTLE_WITHOUT_TCP]
+        );
+
+        // threads backend: no transport at all.
+        let mut rt = RuntimeSection::threads_default();
+        rt.link_mbps = Some(1000.0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::THROTTLE_WITHOUT_TCP]
+        );
+
+        // Nonsense bandwidths are rejected even on tcp.
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut rt = procs_default();
+            rt.transport = Some("tcp".to_string());
+            rt.link_mbps = Some(bad);
+            assert_eq!(
+                codes_of(&run(&with_runtime(rt))),
+                vec![codes::THROTTLE_WITHOUT_TCP],
+                "link_mbps = {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_listen_collisions_and_bad_counts() {
+        // Duplicate port.
+        let mut rt = procs_default();
+        rt.transport = Some("tcp".to_string());
+        rt.listen = Some(vec![
+            "127.0.0.1:9001".to_string(),
+            "127.0.0.1:9002".to_string(),
+            "127.0.0.1:9001".to_string(),
+            "127.0.0.1:9004".to_string(),
+        ]);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::LISTEN_ADDR_COLLISION]);
+        assert!(diags[0].message.contains("ranks 0 and 2"));
+
+        // Duplicate socket path on uds.
+        let mut rt = procs_default();
+        rt.listen = Some(vec![
+            "/tmp/a.sock".to_string(),
+            "/tmp/a.sock".to_string(),
+            "/tmp/c.sock".to_string(),
+            "/tmp/d.sock".to_string(),
+        ]);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::LISTEN_ADDR_COLLISION]
+        );
+
+        // Wrong count: world is 4.
+        let mut rt = procs_default();
+        rt.listen = Some(vec!["/tmp/a.sock".to_string()]);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::LISTEN_ADDR_COLLISION]
+        );
+    }
+
+    #[test]
+    fn rejects_tracing_across_processes() {
+        let mut rt = procs_default();
+        rt.trace = Some(true);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::PROCS_TRACE_UNSUPPORTED]
+        );
+
+        // Tracing on threads stays fine.
+        let mut rt = RuntimeSection::threads_default();
+        rt.trace = Some(true);
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_world_size_mismatch() {
+        let mut rt = procs_default();
+        rt.world_size = Some(3); // world is 4
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::PROCS_WORLD_MISMATCH]);
+        assert!(diags[0].message.contains("exactly 4 worker processes"));
     }
 }

@@ -33,6 +33,8 @@ fn main() {
         Some("finetune") => finetune(&args),
         Some("scaling") => scaling(&args),
         Some("specs") => specs(),
+        // Hidden: re-exec'd by `run --backend procs` for each rank.
+        Some("worker") => worker(&args),
         Some(other) => {
             eprintln!("error: unknown command '{other}'\n");
             usage();
@@ -48,10 +50,11 @@ fn usage() {
 
 USAGE:
   actcomp check         <CONFIG.json> [--comm] | --print-default | --print-pretrain
-  actcomp run           [--backend threads|serial] [--tp N] [--pp N] [--spec ID] [--steps N]
+  actcomp run           [--backend threads|serial|procs] [--tp N] [--pp N] [--spec ID] [--steps N]
                         [--batch N] [--seq N] [--layers N] [--hidden N] [--heads N] [--ff N]
                         [--vocab N] [--micro-batches N] [--kernel-threads N] [--chunk-rows N]
                         [--pipeline-depth N] [--error-feedback] [--audit] [--seed N] [--out PATH]
+                        [--transport uds|tcp] [--link-mbps X] [--grad-hash]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -224,11 +227,34 @@ fn run(args: &Args) {
     let out = args.get("out", "BENCH_runtime.json");
     let spec = parse_spec(args.get("spec", "w/o"));
     let audit = args.flag("audit");
+    let grad_hash = args.flag("grad-hash");
     let lr = 1e-2;
     if audit && backend != "threads" {
         eprintln!("error: --audit requires --backend threads (it replays the rank engine's trace)");
         std::process::exit(2);
     }
+    // Transport options only mean something for the multi-process
+    // launcher; the checker (AC0702/AC0703) rejects stray uses.
+    let transport = match args.raw("transport") {
+        Some(t) => Some(t.to_string()),
+        None if backend == "procs" => Some("uds".to_string()),
+        None => None,
+    };
+    let link_mbps = args.raw("link-mbps").map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("error: --link-mbps expects a number, got '{v}'");
+            std::process::exit(2);
+        })
+    });
+    // Test hook: make one worker exit right after rendezvous so the
+    // typed-failure path (`WorkerLost`, not a hang) can be exercised
+    // end-to-end. Deliberately undocumented.
+    let fail_rank = args.raw("fail-rank").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: --fail-rank expects a rank index, got '{v}'");
+            std::process::exit(2);
+        })
+    });
 
     // Static validation first — the same checker path as `actcomp check`,
     // including the AC03xx runtime pass — so a bad flag combination dies
@@ -260,6 +286,11 @@ fn run(args: &Args) {
         kernel_threads,
         chunk_rows,
         pipeline_depth,
+        transport: transport.clone(),
+        link_mbps,
+        world_size: None,
+        listen: None,
+        trace: Some(audit),
     });
     validate_or_exit(&cfg);
     if let Some(n) = kernel_threads {
@@ -360,11 +391,78 @@ fn run(args: &Args) {
                     Err(e) => eprintln!("warning: could not write {path}: {e}"),
                 }
             }
+            if grad_hash {
+                println!("grad-hash {:016x}", grads_fnv(&rt.collect_grads()));
+            }
             let report = rt.report();
             print_phase_report(&report);
             match std::fs::write(out, report.to_json()) {
                 Ok(()) => println!("[report written to {out}]"),
                 Err(e) => eprintln!("warning: could not write {out}: {e}"),
+            }
+        }
+        "procs" => {
+            let kind = actcomp_net::TransportKind::parse(transport.as_deref().unwrap_or("uds"))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                });
+            let rt_cfg = actcomp_runtime::RuntimeConfig {
+                mp: mp_cfg,
+                micro_batches: m,
+                tuning: None,
+                trace: false,
+            };
+            let mut rt = actcomp_runtime::ProcsRuntime::launch(actcomp_runtime::ProcsOptions {
+                cfg: rt_cfg,
+                seed,
+                kind,
+                link_mbps,
+                worker_exe: None,
+                fail_rank,
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            for step in 0..steps {
+                let y = rt.forward(&ids, batch, seq).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+                let loss = 0.5 * y.sq_norm();
+                println!("step {step}: loss {loss:.4}");
+                let stepped = rt
+                    .zero_grad()
+                    .and_then(|()| rt.backward(&y))
+                    .and_then(|()| rt.sgd_step(lr));
+                if let Err(e) = stepped {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if grad_hash {
+                let grads = rt.collect_grads().unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+                println!("grad-hash {:016x}", grads_fnv(&grads));
+            }
+            match rt.report() {
+                Ok(report) => {
+                    print_phase_report(&report);
+                    match std::fs::write(out, report.to_json()) {
+                        Ok(()) => println!("[report written to {out}]"),
+                        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = rt.shutdown() {
+                eprintln!("warning: shutdown: {e}");
             }
         }
         "serial" => {
@@ -385,6 +483,11 @@ fn run(args: &Args) {
                 mp.visit_all_params(&mut |p| p.value.axpy(-lr, &p.grad));
             }
             let elapsed = start.elapsed().as_secs_f64();
+            if grad_hash {
+                let mut grads = Vec::new();
+                mp.visit_all_params(&mut |p| grads.push(p.grad.clone()));
+                println!("grad-hash {:016x}", grads_fnv(&grads));
+            }
             let bytes = mp.bytes();
             println!("total          {:>10.3} ms (single thread)", elapsed * 1e3);
             println!(
@@ -397,6 +500,75 @@ fn run(args: &Args) {
         }
         // Unknown backends were already rejected by the AC0301 check.
         other => unreachable!("backend `{other}` passed validation"),
+    }
+}
+
+/// FNV-1a 64 over the little-endian `f32` bytes of every gradient, in
+/// the serial executor's parameter visit order.
+///
+/// Backends are conformance-tested to produce bit-identical gradients
+/// with compression off, so printing this hash (`--grad-hash`) lets a
+/// shell test compare a threads run against a multi-process run without
+/// shipping full tensors through stdout.
+fn grads_fnv(grads: &[actcomp_tensor::Tensor]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for g in grads {
+        for x in g.as_slice() {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Hidden `actcomp worker` subcommand: one rank of a `--backend procs`
+/// run. Spawned by the launcher (never by hand); the run configuration
+/// arrives via the `ACTCOMP_WORKER_CFG` environment variable, the seed
+/// and topology via flags so `u64` values never round-trip through JSON.
+fn worker(args: &Args) {
+    let required = |key: &str| -> &str {
+        args.raw(key).unwrap_or_else(|| {
+            eprintln!("error: worker needs --{key} (spawned by `run --backend procs`)");
+            std::process::exit(2);
+        })
+    };
+    let parse_usize = |key: &str| -> usize {
+        required(key).parse().unwrap_or_else(|_| {
+            eprintln!("error: --{key} expects an integer");
+            std::process::exit(2);
+        })
+    };
+    let rank = parse_usize("rank");
+    let world = parse_usize("world");
+    let coord = required("coord").to_string();
+    let kind = actcomp_net::TransportKind::parse(required("transport")).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let seed: u64 = required("seed").parse().unwrap_or_else(|_| {
+        eprintln!("error: --seed expects an unsigned integer");
+        std::process::exit(2);
+    });
+    let link_mbps = args.raw("link-mbps").map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("error: --link-mbps expects a number");
+            std::process::exit(2);
+        })
+    });
+    let worker_args = actcomp_runtime::WorkerArgs {
+        rank,
+        world,
+        coord,
+        kind,
+        seed,
+        link_mbps,
+        fail_after_rendezvous: args.flag("fail-after-rendezvous"),
+    };
+    if let Err(e) = actcomp_runtime::run_worker(worker_args) {
+        eprintln!("worker rank {rank}: error: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,138 @@
+//! End-to-end tests for `actcomp run --backend procs`: real OS
+//! processes, real sockets, compared against the threads backend via
+//! `--grad-hash` (an FNV-1a over every gradient's bytes in serial
+//! visit order — equal hashes mean bit-identical training state).
+
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_actcomp");
+
+/// Shape flags small enough that a 4-process run finishes in seconds.
+const SHAPE: &[&str] = &[
+    "--tp",
+    "2",
+    "--pp",
+    "2",
+    "--layers",
+    "4",
+    "--hidden",
+    "32",
+    "--batch",
+    "4",
+    "--seq",
+    "8",
+    "--micro-batches",
+    "2",
+    "--steps",
+    "2",
+    "--seed",
+    "7",
+    "--grad-hash",
+];
+
+fn run(extra: &[&str], out_name: &str) -> Output {
+    let dir = std::env::temp_dir();
+    let out = dir.join(format!(
+        "actcomp-e2e-{}-{out_name}.json",
+        std::process::id()
+    ));
+    Command::new(BIN)
+        .arg("run")
+        .args(SHAPE)
+        .args(extra)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn actcomp")
+}
+
+fn grad_hash(output: &Output) -> String {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "run failed\nstdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("grad-hash "))
+        .unwrap_or_else(|| panic!("no grad-hash line in:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn procs_uds_and_tcp_match_threads_bitwise() {
+    let threads = grad_hash(&run(&["--backend", "threads"], "threads"));
+    let uds = grad_hash(&run(
+        &["--backend", "procs", "--transport", "uds"],
+        "procs-uds",
+    ));
+    let tcp = grad_hash(&run(
+        &["--backend", "procs", "--transport", "tcp"],
+        "procs-tcp",
+    ));
+    assert_eq!(threads, uds, "UDS workers must match the threads backend");
+    assert_eq!(threads, tcp, "TCP workers must match the threads backend");
+}
+
+#[test]
+fn throttled_tcp_is_still_bit_identical() {
+    let threads = grad_hash(&run(&["--backend", "threads"], "threads-thr"));
+    let throttled = grad_hash(&run(
+        &[
+            "--backend",
+            "procs",
+            "--transport",
+            "tcp",
+            "--link-mbps",
+            "50",
+        ],
+        "procs-tcp-thr",
+    ));
+    assert_eq!(threads, throttled, "a bandwidth cap must not change bits");
+}
+
+#[test]
+fn killed_worker_surfaces_a_typed_error_not_a_hang() {
+    let start = Instant::now();
+    let output = run(
+        &[
+            "--backend",
+            "procs",
+            "--transport",
+            "tcp",
+            "--fail-rank",
+            "1",
+        ],
+        "procs-kill",
+    );
+    let elapsed = start.elapsed();
+    assert!(
+        !output.status.success(),
+        "a run with a dead worker must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("lost") || stderr.contains("peer closed"),
+        "stderr should carry the typed worker-loss error, got:\n{stderr}"
+    );
+    // Typed failure, not a timeout: well under the rendezvous/step
+    // timeouts (the dead peer's sockets close immediately).
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "failure took {elapsed:?}; the launcher must not hang"
+    );
+}
+
+#[test]
+fn mpsc_transport_is_rejected_for_procs() {
+    let output = run(&["--backend", "procs", "--transport", "mpsc"], "procs-mpsc");
+    assert!(!output.status.success());
+    let all = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(all.contains("AC0701"), "checker should flag mpsc: {all}");
+}

@@ -1,0 +1,133 @@
+//! Typed errors for every user-reachable transport path.
+
+use std::time::Duration;
+
+/// Anything that can go wrong connecting, handshaking, or moving
+/// frames. All I/O failures are converted into this type — the
+/// transport layer never panics on a socket error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// An OS-level I/O failure, with the operation that hit it.
+    Io {
+        /// What the transport was doing (e.g. `"bind 127.0.0.1:0"`).
+        context: String,
+        /// The rendered `std::io::Error`.
+        error: String,
+    },
+    /// The two ends of a handshake disagree on a run parameter.
+    HandshakeMismatch {
+        /// Which field disagreed (`"magic"`, `"version"`, `"world"`,
+        /// `"config_hash"`, `"rank"`).
+        field: &'static str,
+        /// This side's value.
+        ours: u64,
+        /// The peer's value.
+        theirs: u64,
+    },
+    /// The acceptor refused the connection.
+    HandshakeRejected {
+        /// The acceptor's rendered reason.
+        reason: String,
+    },
+    /// An operation did not complete within its deadline.
+    Timeout {
+        /// What timed out (e.g. `"connect to rank 2"`).
+        what: String,
+        /// The deadline that elapsed.
+        after: Duration,
+    },
+    /// The peer's connection is gone (process exited, socket closed).
+    PeerClosed {
+        /// The peer rank, when the transport knows it.
+        rank: Option<usize>,
+        /// What was being waited on.
+        what: String,
+    },
+    /// A frame violated the wire format (bad length, bad handshake
+    /// payload, unexpected channel).
+    BadFrame {
+        /// What was malformed.
+        what: String,
+    },
+    /// A peer address is missing or unusable.
+    BadAddress {
+        /// The offending address (empty when missing entirely).
+        addr: String,
+        /// Why it is unusable.
+        reason: String,
+    },
+    /// A channel endpoint was opened twice (mpsc backend: each side of
+    /// a channel can be taken exactly once).
+    ChannelInUse {
+        /// The peer rank of the doubly-opened channel.
+        peer: usize,
+        /// The channel id.
+        chan: u16,
+    },
+    /// An unrecognized `--transport` spelling.
+    UnknownTransport(String),
+}
+
+impl TransportError {
+    /// Wraps an `std::io::Error` with the operation that hit it.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> TransportError {
+        TransportError::Io {
+            context: context.into(),
+            error: error.to_string(),
+        }
+    }
+
+    /// Whether this error is the peer-gone case (as opposed to a
+    /// config/protocol problem on this side).
+    pub fn is_peer_closed(&self) -> bool {
+        matches!(self, TransportError::PeerClosed { .. })
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io { context, error } => {
+                write!(f, "i/o error while {context}: {error}")
+            }
+            TransportError::HandshakeMismatch {
+                field,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "handshake mismatch on {field}: ours {ours:#x}, peer sent {theirs:#x}"
+            ),
+            TransportError::HandshakeRejected { reason } => {
+                write!(f, "peer rejected handshake: {reason}")
+            }
+            TransportError::Timeout { what, after } => {
+                write!(
+                    f,
+                    "timed out after {:.1}s waiting for {what}",
+                    after.as_secs_f64()
+                )
+            }
+            TransportError::PeerClosed { rank, what } => match rank {
+                Some(r) => write!(f, "peer rank {r} closed the connection while {what}"),
+                None => write!(f, "peer closed the connection while {what}"),
+            },
+            TransportError::BadFrame { what } => write!(f, "malformed frame: {what}"),
+            TransportError::BadAddress { addr, reason } => {
+                if addr.is_empty() {
+                    write!(f, "missing peer address: {reason}")
+                } else {
+                    write!(f, "bad peer address `{addr}`: {reason}")
+                }
+            }
+            TransportError::ChannelInUse { peer, chan } => {
+                write!(f, "channel {chan} to rank {peer} already opened")
+            }
+            TransportError::UnknownTransport(s) => {
+                write!(f, "unknown transport `{s}` (expected mpsc, uds, or tcp)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}

@@ -1,0 +1,162 @@
+//! The wire format: length-prefixed frames and the connection
+//! handshake.
+
+use crate::error::TransportError;
+use std::io::{Read, Write};
+
+/// The reserved handshake channel; application channels must be below
+/// this.
+pub const HS_CHAN: u16 = u16::MAX;
+
+/// Wire protocol version carried in every handshake.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// `"ACNT"` — first bytes of every handshake payload.
+const MAGIC: u32 = 0x4143_4E54;
+
+/// Upper bound on a frame payload (1 GiB): anything larger is treated
+/// as stream corruption rather than an allocation request.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Writes one `[chan u16 LE][len u32 LE][payload]` frame.
+pub(crate) fn write_frame(w: &mut impl Write, chan: u16, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload over 4 GiB")
+    })?;
+    w.write_all(&chan.to_le_bytes())?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame, returning `(chan, payload)`.
+pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut hdr = [0u8; 6];
+    r.read_exact(&mut hdr)?;
+    let chan = u16::from_le_bytes([hdr[0], hdr[1]]);
+    let len = u32::from_le_bytes([hdr[2], hdr[3], hdr[4], hdr[5]]) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the 1 GiB cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((chan, payload))
+}
+
+/// The first frame on every data connection: proves both ends belong
+/// to the same run before any application frame moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Total ranks the connecting side believes are in the run.
+    pub world: u32,
+    /// The connecting side's rank.
+    pub from: u32,
+    /// Hash of the run configuration (computed by the launcher); both
+    /// ends must agree.
+    pub config_hash: u64,
+}
+
+impl Handshake {
+    /// Serializes to the fixed 22-byte handshake payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(22);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.world.to_le_bytes());
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&self.config_hash.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a handshake payload: magic and version
+    /// must match this build; `world`/`config_hash`/`from` are
+    /// returned for the acceptor to check against its own run.
+    pub fn decode(buf: &[u8]) -> Result<Handshake, TransportError> {
+        if buf.len() != 22 {
+            return Err(TransportError::BadFrame {
+                what: format!("handshake payload of {} bytes (expected 22)", buf.len()),
+            });
+        }
+        let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if magic != MAGIC {
+            return Err(TransportError::HandshakeMismatch {
+                field: "magic",
+                ours: u64::from(MAGIC),
+                theirs: u64::from(magic),
+            });
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != PROTOCOL_VERSION {
+            return Err(TransportError::HandshakeMismatch {
+                field: "version",
+                ours: u64::from(PROTOCOL_VERSION),
+                theirs: u64::from(version),
+            });
+        }
+        let world = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+        let from = u32::from_le_bytes([buf[10], buf[11], buf[12], buf[13]]);
+        let config_hash = u64::from_le_bytes([
+            buf[14], buf[15], buf[16], buf[17], buf[18], buf[19], buf[20], buf[21],
+        ]);
+        Ok(Handshake {
+            world,
+            from,
+            config_hash,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrips() {
+        let hs = Handshake {
+            world: 4,
+            from: 2,
+            config_hash: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let enc = hs.encode();
+        assert_eq!(enc.len(), 22);
+        assert_eq!(Handshake::decode(&enc).expect("decode"), hs);
+    }
+
+    #[test]
+    fn handshake_rejects_bad_magic_and_version() {
+        let hs = Handshake {
+            world: 1,
+            from: 0,
+            config_hash: 1,
+        };
+        let mut enc = hs.encode();
+        enc[0] ^= 0xFF;
+        assert!(matches!(
+            Handshake::decode(&enc),
+            Err(TransportError::HandshakeMismatch { field: "magic", .. })
+        ));
+        let mut enc = hs.encode();
+        enc[4] ^= 0xFF;
+        assert!(matches!(
+            Handshake::decode(&enc),
+            Err(TransportError::HandshakeMismatch {
+                field: "version",
+                ..
+            })
+        ));
+        assert!(Handshake::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"hello").expect("write");
+        write_frame(&mut buf, 9, b"").expect("write");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("read"), (7, b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).expect("read"), (9, Vec::new()));
+    }
+}

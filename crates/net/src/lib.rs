@@ -1,0 +1,158 @@
+//! # actcomp-net
+//!
+//! The transport layer that lets the `actcomp-runtime` ranks live in
+//! separate OS processes: a [`Transport`] trait moving length-prefixed
+//! framed messages between ranks, with three backends —
+//!
+//! - [`MpscTransport`] — in-process `std::sync::mpsc` channels behind
+//!   the same trait, so the threaded runtime and the socket runtimes
+//!   share one code path;
+//! - [`SocketTransport`] over **Unix domain sockets** — cheap local
+//!   multi-process runs;
+//! - [`SocketTransport`] over **TCP** (loopback or real NICs), with an
+//!   optional token-bucket bandwidth throttle so the paper's
+//!   slow-network regime can be measured instead of simulated.
+//!
+//! # Framing
+//!
+//! Every message on a socket is one frame:
+//!
+//! ```text
+//! [chan: u16 LE][len: u32 LE][payload: len bytes]
+//! ```
+//!
+//! `chan` multiplexes independent logical channels (ring link,
+//! broadcast, pipeline boundary, …) over one connection per directed
+//! rank pair. Channel `0xFFFF` is reserved for the handshake.
+//!
+//! # Rendezvous and handshake
+//!
+//! Each rank binds one listener and learns its peers' addresses out of
+//! band (the launcher's peer table). Data connections are opened
+//! lazily by the *sender*; the first frame on a new connection is a
+//! handshake carrying a magic number, protocol version, world size,
+//! configuration hash, and the sender's rank. The acceptor verifies
+//! all of it against its own run and replies with an accept/reject
+//! frame, so two runs that differ in topology or config fail fast with
+//! a typed [`TransportError`] instead of corrupting each other.
+//!
+//! # Failure semantics
+//!
+//! Every user-reachable connect/handshake/receive path returns a typed
+//! [`TransportError`] — no panics on I/O. A peer that disappears turns
+//! into [`TransportError::PeerClosed`] on the next receive (the demux
+//! drops that peer's queues on EOF), and handshake/receive timeouts
+//! surface as [`TransportError::Timeout`] rather than hanging forever.
+
+#![warn(missing_docs)]
+
+mod ctrl;
+mod error;
+mod frame;
+mod mpsc;
+mod socket;
+mod throttle;
+
+pub use ctrl::{CtrlConn, CtrlListener};
+pub use error::TransportError;
+pub use frame::{Handshake, HS_CHAN, PROTOCOL_VERSION};
+pub use mpsc::{mpsc_world, MpscTransport};
+pub use socket::{SocketOptions, SocketTransport};
+pub use throttle::TokenBucket;
+
+use std::time::Duration;
+
+/// Which wire a [`Transport`] runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// In-process `std::sync::mpsc` channels (single-process runs).
+    Mpsc,
+    /// Unix domain sockets (multi-process, same host).
+    Uds,
+    /// TCP sockets (multi-process, loopback or real network).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses a CLI spelling (`mpsc` | `uds` | `tcp`).
+    pub fn parse(s: &str) -> Result<TransportKind, TransportError> {
+        match s {
+            "mpsc" => Ok(TransportKind::Mpsc),
+            "uds" | "unix" => Ok(TransportKind::Uds),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(TransportError::UnknownTransport(other.to_string())),
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Mpsc => "mpsc",
+            TransportKind::Uds => "uds",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The sending end of one logical channel to one peer rank.
+///
+/// Frames sent on one `FrameTx` arrive on the matching receiver in
+/// order; distinct channels to the same peer may interleave on the
+/// wire but never reorder within a channel.
+pub trait FrameTx: Send {
+    /// Ships one frame. Blocks only for flow control (socket buffers,
+    /// bandwidth throttle), never for a matching receiver.
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+}
+
+/// The receiving end of one logical channel from one peer rank.
+pub trait FrameRx: Send {
+    /// Blocks until the next frame on this channel arrives.
+    ///
+    /// Returns [`TransportError::PeerClosed`] once the peer's
+    /// connection is gone and every buffered frame has been drained.
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+
+    /// Like [`FrameRx::recv`] but gives up after `timeout` with
+    /// [`TransportError::Timeout`].
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
+}
+
+/// One rank's endpoint of a fully-connected message fabric over
+/// `world` ranks.
+///
+/// A channel is addressed by `(peer rank, chan id)`; opening the send
+/// side on one rank and the receive side on the other yields an
+/// ordered, reliable frame stream. Channel ids below [`HS_CHAN`] are
+/// free for the application.
+pub trait Transport: Send {
+    /// The backend this endpoint runs over.
+    fn kind(&self) -> TransportKind;
+
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Total ranks in the fabric.
+    fn world(&self) -> usize;
+
+    /// Opens the sending end of channel `chan` towards rank `to`,
+    /// establishing (and handshaking) the underlying connection if
+    /// this is the first channel to that peer.
+    fn open_send(&mut self, to: usize, chan: u16) -> Result<Box<dyn FrameTx>, TransportError>;
+
+    /// Opens the receiving end of channel `chan` from rank `from`.
+    /// Frames that arrived before the channel was opened are buffered
+    /// and delivered first.
+    fn open_recv(&mut self, from: usize, chan: u16) -> Result<Box<dyn FrameRx>, TransportError>;
+
+    /// Gracefully shuts the endpoint down: stops accepting, closes
+    /// this side's connections, and releases OS resources (sockets,
+    /// socket files). Idempotent; also runs on drop.
+    fn shutdown(&mut self);
+}

@@ -1,0 +1,215 @@
+//! The in-process backend: `std::sync::mpsc` channels behind the
+//! [`Transport`] trait.
+//!
+//! All endpoints of one world share a map of `(from, to, chan)` →
+//! channel pair; whichever side opens its end first creates the pair,
+//! the other side takes the remaining half. There are no threads and
+//! no copies beyond the payload `Vec` itself, so the threaded runtime
+//! keeps its in-process performance while exercising the exact same
+//! trait surface as the socket backends.
+
+use crate::error::TransportError;
+use crate::{FrameRx, FrameTx, Transport, TransportKind};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One directed channel's two halves, each taken at most once.
+struct Pair {
+    tx: Option<Sender<Vec<u8>>>,
+    rx: Option<Receiver<Vec<u8>>>,
+}
+
+type Shared = Arc<Mutex<HashMap<(usize, usize, u16), Pair>>>;
+
+/// Builds the `world` endpoints of an in-process fabric. Endpoint `r`
+/// is rank `r`; hand each to its rank thread.
+pub fn mpsc_world(world: usize) -> Vec<MpscTransport> {
+    let shared: Shared = Arc::new(Mutex::new(HashMap::new()));
+    (0..world)
+        .map(|rank| MpscTransport {
+            rank,
+            world,
+            shared: Arc::clone(&shared),
+        })
+        .collect()
+}
+
+/// One rank's endpoint of the in-process mpsc fabric (see
+/// [`mpsc_world`]).
+pub struct MpscTransport {
+    rank: usize,
+    world: usize,
+    shared: Shared,
+}
+
+impl std::fmt::Debug for MpscTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MpscTransport({}/{})", self.rank, self.world)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Transport for MpscTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Mpsc
+    }
+
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn open_send(&mut self, to: usize, chan: u16) -> Result<Box<dyn FrameTx>, TransportError> {
+        if to >= self.world {
+            return Err(TransportError::BadAddress {
+                addr: to.to_string(),
+                reason: format!("rank out of range (world {})", self.world),
+            });
+        }
+        let mut map = lock(&self.shared);
+        let pair = map.entry((self.rank, to, chan)).or_insert_with(|| {
+            let (tx, rx) = channel();
+            Pair {
+                tx: Some(tx),
+                rx: Some(rx),
+            }
+        });
+        let tx = pair
+            .tx
+            .take()
+            .ok_or(TransportError::ChannelInUse { peer: to, chan })?;
+        Ok(Box::new(MpscTx { tx, to }))
+    }
+
+    fn open_recv(&mut self, from: usize, chan: u16) -> Result<Box<dyn FrameRx>, TransportError> {
+        if from >= self.world {
+            return Err(TransportError::BadAddress {
+                addr: from.to_string(),
+                reason: format!("rank out of range (world {})", self.world),
+            });
+        }
+        let mut map = lock(&self.shared);
+        let pair = map.entry((from, self.rank, chan)).or_insert_with(|| {
+            let (tx, rx) = channel();
+            Pair {
+                tx: Some(tx),
+                rx: Some(rx),
+            }
+        });
+        let rx = pair
+            .rx
+            .take()
+            .ok_or(TransportError::ChannelInUse { peer: from, chan })?;
+        Ok(Box::new(MpscRx { rx, from }))
+    }
+
+    fn shutdown(&mut self) {
+        // Nothing to release: channels close when their halves drop.
+    }
+}
+
+struct MpscTx {
+    tx: Sender<Vec<u8>>,
+    to: usize,
+}
+
+impl FrameTx for MpscTx {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| TransportError::PeerClosed {
+                rank: Some(self.to),
+                what: "sending a frame".to_string(),
+            })
+    }
+}
+
+struct MpscRx {
+    rx: Receiver<Vec<u8>>,
+    from: usize,
+}
+
+impl FrameRx for MpscRx {
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::PeerClosed {
+            rank: Some(self.from),
+            what: "receiving a frame".to_string(),
+        })
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout {
+                what: format!("a frame from rank {}", self.from),
+                after: timeout,
+            },
+            RecvTimeoutError::Disconnected => TransportError::PeerClosed {
+                rank: Some(self.from),
+                what: "receiving a frame".to_string(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_between_endpoints() {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let mut a = world.pop().expect("rank 0");
+        let mut tx = a.open_send(1, 3).expect("send side");
+        let mut rx = b.open_recv(0, 3).expect("recv side");
+        tx.send(b"ping").expect("send");
+        assert_eq!(rx.recv().expect("recv"), b"ping");
+    }
+
+    #[test]
+    fn double_open_is_a_typed_error() {
+        let mut world = mpsc_world(2);
+        let mut a = world.swap_remove(0);
+        let _tx = a.open_send(1, 3).expect("first open");
+        assert!(matches!(
+            a.open_send(1, 3),
+            Err(TransportError::ChannelInUse { peer: 1, chan: 3 })
+        ));
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_as_peer_closed() {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let mut a = world.pop().expect("rank 0");
+        let tx = a.open_send(1, 0).expect("send side");
+        let mut rx = b.open_recv(0, 0).expect("recv side");
+        drop(tx);
+        assert!(rx.recv().expect_err("closed").is_peer_closed());
+        let err = rx
+            .recv_timeout(Duration::from_millis(10))
+            .expect_err("closed");
+        assert!(err.is_peer_closed());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let mut a = world.pop().expect("rank 0");
+        let _tx = a.open_send(1, 0).expect("send side");
+        let mut rx = b.open_recv(0, 0).expect("recv side");
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(TransportError::Timeout { .. })
+        ));
+    }
+}

@@ -53,14 +53,16 @@
 //! as it arrives so decode overlaps the remaining wire hops; the final
 //! summation stays in rank order.
 
+use crate::link::{typed_pair, MsgRx, MsgTx, CHAN_RING};
 use crate::report::{timed, PhaseTimers};
 use crate::trace::TraceHandle;
+use crate::wire::{put_f32_slice, put_u8, put_usize, Reader, WireError, WireMsg};
 use actcomp_check::{ChannelId, Dir, MsgId};
 use actcomp_compress::{Compressed, Compressor};
 use actcomp_mp::CommBytes;
+use actcomp_net::{Transport, TransportError};
 use actcomp_tensor::{pool, Tensor, Workspace};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -213,7 +215,7 @@ impl Default for RingTuning {
 
 /// An item travelling a whole-message all-gather, tagged with origin.
 #[derive(Debug, Clone)]
-enum GatherPayload {
+pub(crate) enum GatherPayload {
     /// A compressed activation message (non-summable reduce).
     Code(Compressed),
     /// An uncompressed tensor (the gather-based dense reference path).
@@ -224,7 +226,7 @@ enum GatherPayload {
 
 /// One row chunk of a chain-reduce / broadcast collective.
 #[derive(Debug)]
-enum ChunkData {
+pub(crate) enum ChunkData {
     /// Raw rows of a dense reduce (owned, recycled via `Workspace`).
     Dense(Vec<f32>),
     /// A per-chunk code of a summable compressed reduce.
@@ -243,7 +245,7 @@ impl ChunkData {
 
 /// A chunk message: reduce-phase (`bcast = false`) or broadcast-phase.
 #[derive(Debug)]
-struct ChunkMsg {
+pub(crate) struct ChunkMsg {
     bcast: bool,
     idx: usize,
     data: ChunkData,
@@ -251,9 +253,92 @@ struct ChunkMsg {
 
 /// Everything a ring link can carry.
 #[derive(Debug)]
-enum RingMsg {
+pub(crate) enum RingMsg {
     Gather(usize, GatherPayload),
     Chunk(ChunkMsg),
+}
+
+impl WireMsg for RingMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RingMsg::Gather(origin, payload) => {
+                put_u8(out, 0);
+                put_usize(out, *origin);
+                match payload {
+                    GatherPayload::Code(c) => {
+                        put_u8(out, 0);
+                        c.encode(out);
+                    }
+                    GatherPayload::Dense(t) => {
+                        put_u8(out, 1);
+                        t.encode(out);
+                    }
+                    GatherPayload::Grads(v) => {
+                        put_u8(out, 2);
+                        v.encode(out);
+                    }
+                }
+            }
+            RingMsg::Chunk(m) => {
+                put_u8(out, 1);
+                put_u8(out, m.bcast as u8);
+                put_usize(out, m.idx);
+                match &m.data {
+                    ChunkData::Dense(rows) => {
+                        put_u8(out, 0);
+                        put_f32_slice(out, rows);
+                    }
+                    ChunkData::Code(c) => {
+                        put_u8(out, 1);
+                        c.encode(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8("ring message tag")? {
+            0 => {
+                let origin = r.read_usize("gather origin")?;
+                let payload = match r.read_u8("gather payload tag")? {
+                    0 => GatherPayload::Code(Compressed::decode(r)?),
+                    1 => GatherPayload::Dense(Tensor::decode(r)?),
+                    2 => GatherPayload::Grads(Vec::<Tensor>::decode(r)?),
+                    _ => {
+                        return Err(WireError {
+                            what: "gather payload tag",
+                        })
+                    }
+                };
+                Ok(RingMsg::Gather(origin, payload))
+            }
+            1 => {
+                let bcast = r.read_u8("chunk bcast flag")? != 0;
+                let idx = r.read_usize("chunk index")?;
+                let data = match r.read_u8("chunk data tag")? {
+                    0 => {
+                        let n = r.read_usize("dense chunk length")?;
+                        let mut rows = Vec::with_capacity(n.min(1 << 24));
+                        for _ in 0..n {
+                            rows.push(r.read_f32("dense chunk row")?);
+                        }
+                        ChunkData::Dense(rows)
+                    }
+                    1 => ChunkData::Code(Compressed::decode(r)?),
+                    _ => {
+                        return Err(WireError {
+                            what: "chunk data tag",
+                        })
+                    }
+                };
+                Ok(RingMsg::Chunk(ChunkMsg { bcast, idx, data }))
+            }
+            _ => Err(WireError {
+                what: "ring message tag",
+            }),
+        }
+    }
 }
 
 /// Treats any tensor as `[rows, width]` for chunking purposes (rank-1
@@ -343,8 +428,8 @@ pub struct TpGroup {
     pub rank: usize,
     /// Group size.
     pub world: usize,
-    next_tx: Option<Sender<RingMsg>>,
-    prev_rx: Option<Receiver<RingMsg>>,
+    next_tx: Option<MsgTx<RingMsg>>,
+    prev_rx: Option<MsgRx<RingMsg>>,
     /// Cumulative reduce traffic (per-rank accounting, matching the
     /// serial executor's formulas — dense backward reduces count
     /// nothing here, exactly as in serial).
@@ -386,11 +471,10 @@ impl TpGroup {
         if world == 1 {
             return vec![TpGroup::solo()];
         }
-        let tuning = RingTuning::configured();
-        let links: Vec<(Sender<RingMsg>, Receiver<RingMsg>)> =
-            (0..world).map(|_| channel()).collect();
-        let mut txs: Vec<Option<Sender<RingMsg>>> = Vec::with_capacity(world);
-        let mut rxs: Vec<Option<Receiver<RingMsg>>> = Vec::with_capacity(world);
+        let links: Vec<(MsgTx<RingMsg>, MsgRx<RingMsg>)> =
+            (0..world).map(|_| typed_pair()).collect();
+        let mut txs: Vec<Option<MsgTx<RingMsg>>> = Vec::with_capacity(world);
+        let mut rxs: Vec<Option<MsgRx<RingMsg>>> = Vec::with_capacity(world);
         for (tx, rx) in links {
             txs.push(Some(tx));
             rxs.push(Some(rx));
@@ -399,19 +483,53 @@ impl TpGroup {
         // rank t holds the sender of link t and the receiver of link
         // (t − 1) % world.
         (0..world)
-            .map(|t| TpGroup {
-                rank: t,
-                world,
-                next_tx: txs[t].take(),
-                prev_rx: rxs[(t + world - 1) % world].take(),
-                bytes: CommBytes::default(),
-                ring_bytes: CommBytes::default(),
-                tuning,
-                trace: None,
-                coll: 0,
-                active_coll: 0,
+            .map(|t| {
+                TpGroup::from_links(t, world, txs[t].take(), rxs[(t + world - 1) % world].take())
             })
             .collect()
+    }
+
+    /// Builds one endpoint from pre-opened links (typed channels or
+    /// framed transport channels). `tx`/`rx` must be `Some` whenever
+    /// `world > 1`.
+    pub(crate) fn from_links(
+        rank: usize,
+        world: usize,
+        tx: Option<MsgTx<RingMsg>>,
+        rx: Option<MsgRx<RingMsg>>,
+    ) -> TpGroup {
+        TpGroup {
+            rank,
+            world,
+            next_tx: tx,
+            prev_rx: rx,
+            bytes: CommBytes::default(),
+            ring_bytes: CommBytes::default(),
+            tuning: RingTuning::configured(),
+            trace: None,
+            coll: 0,
+            active_coll: 0,
+        }
+    }
+
+    /// Builds one endpoint of a ring spanning a transport's whole world:
+    /// rank `r` sends to `(r + 1) % world` and receives from
+    /// `(r − 1) % world` on the ring channel. Every rank of the
+    /// transport's world must call this (the collectives benchmark's
+    /// entry point for measuring rings over sockets).
+    pub fn over_transport(transport: &mut dyn Transport) -> Result<TpGroup, TransportError> {
+        let (rank, world) = (transport.rank(), transport.world());
+        if world == 1 {
+            return Ok(TpGroup::solo());
+        }
+        let tx = transport.open_send((rank + 1) % world, CHAN_RING)?;
+        let rx = transport.open_recv((rank + world - 1) % world, CHAN_RING)?;
+        Ok(TpGroup::from_links(
+            rank,
+            world,
+            Some(MsgTx::Framed(std::sync::Mutex::new(tx))),
+            Some(MsgRx::Framed(std::sync::Mutex::new(rx))),
+        ))
     }
 
     /// A single-rank group: collectives degenerate to local arithmetic

@@ -92,6 +92,19 @@ pub enum RuntimeError {
     ZeroChunkRows,
     /// The ring pipeline needs at least one chunk in flight (`AC0502`).
     ZeroPipelineDepth,
+    /// Opening transport links between ranks failed.
+    Transport {
+        /// The transport-layer error rendering.
+        detail: String,
+    },
+    /// A transport world was supplied whose size or rank set does not
+    /// match `tp · pp`.
+    WorldMismatch {
+        /// Ranks the transports cover.
+        got: usize,
+        /// Ranks the configuration needs.
+        need: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -129,6 +142,12 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::ZeroPipelineDepth => {
                 write!(f, "pipeline_depth must be at least 1")
+            }
+            RuntimeError::Transport { detail } => {
+                write!(f, "transport: {detail}")
+            }
+            RuntimeError::WorldMismatch { got, need } => {
+                write!(f, "transport world covers {got} ranks but tp x pp = {need}")
             }
         }
     }

@@ -72,16 +72,20 @@
 pub mod comm;
 pub mod config;
 pub mod layer;
+mod link;
+pub mod procs;
 mod rank;
 pub mod report;
 mod runtime;
 mod trace;
+mod wire;
 
 pub use comm::{
     set_chunk_rows, set_pipeline_depth, try_set_chunk_rows, try_set_pipeline_depth, RingTuning,
     TpGroup,
 };
 pub use config::{RuntimeConfig, RuntimeError};
+pub use procs::{run_worker, ProcsError, ProcsOptions, ProcsRuntime, WorkerArgs};
 pub use rank::RankGrads;
 pub use report::{PhaseTimers, RankReport, RuntimeReport};
 pub use runtime::ThreadedRuntime;

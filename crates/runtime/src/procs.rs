@@ -1,0 +1,770 @@
+//! Multi-process execution: a launcher that spawns one OS process per
+//! model-parallel rank and drives them over a control-plane connection,
+//! plus the worker side that each spawned process runs.
+//!
+//! # Rendezvous protocol
+//!
+//! The launcher (rank 0's process, `actcomp run --backend procs`) binds
+//! a [`CtrlListener`] and spawns `tp · pp` workers
+//! (`actcomp worker --rank N --world W --coord ADDR …`), passing the
+//! run configuration as JSON in the `ACTCOMP_WORKER_CFG` environment
+//! variable and the seed as a flag (the seed must not cross JSON: the
+//! vendored parser is `f64`-backed). Each worker then:
+//!
+//! 1. dials the coordinator and binds its data-plane
+//!    [`SocketTransport`], sending `Hello { rank, data_addr }`;
+//! 2. receives the full `PeerTable` once every worker has reported,
+//!    opens its data links (`build_rank_links`), rebuilds the model
+//!    from the shared seed with the exact RNG draw order of the
+//!    threaded engine, and replies `Ready`;
+//! 3. loops: receive a `Command` frame, hand it to its rank worker
+//!    (an ordinary `RankWorker` on its own thread), and return the
+//!    `Response` — until `Shutdown`.
+//!
+//! All processes derive the same `config_hash` (FNV-1a over the config
+//! JSON and the seed), which the data-plane handshake verifies, so a
+//! stray worker from a different run is rejected with a typed error.
+//!
+//! # Failure semantics
+//!
+//! A worker that dies mid-run closes its control connection and its
+//! data connections. Data-plane peers observe
+//! [`TransportError::PeerClosed`], fail their own step, and exit; the
+//! launcher observes the control-plane close (or a timeout) and
+//! surfaces [`ProcsError::WorkerLost`] instead of hanging. Remaining
+//! children are killed on drop.
+
+use crate::config::{RuntimeConfig, RuntimeError};
+use crate::link::build_rank_links;
+use crate::rank::{Command, Response};
+use crate::report::{RankReport, RuntimeReport};
+use crate::runtime::{assemble_grads, Seeds, WorkerBuilder};
+use crate::wire::{
+    decode_msg, encode_msg, put_string, put_u8, put_usize, Reader, WireError, WireMsg,
+};
+use actcomp_net::{
+    CtrlConn, CtrlListener, SocketOptions, SocketTransport, Transport, TransportError,
+    TransportKind,
+};
+use actcomp_nn::BertEncoder;
+use actcomp_tensor::Tensor;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::process::Child;
+use std::time::Duration;
+
+/// Environment variable carrying the run configuration JSON to workers.
+pub const WORKER_CFG_ENV: &str = "ACTCOMP_WORKER_CFG";
+
+/// How long the launcher waits for workers to dial in and report ready
+/// (covers model construction in the workers).
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(120);
+/// How long the launcher waits for a step response. Generous: a full
+/// BERT-Large step on a loaded machine is minutes, and a dead worker is
+/// detected much earlier by its closed connection.
+const STEP_TIMEOUT: Duration = Duration::from_secs(600);
+/// How long a worker waits for the coordinator during rendezvous.
+const WORKER_DIAL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Errors launching or driving a multi-process run.
+#[derive(Debug)]
+pub enum ProcsError {
+    /// The run configuration is invalid.
+    Config(RuntimeError),
+    /// The control or data plane failed.
+    Transport(TransportError),
+    /// Audit tracing needs in-process event cells; procs mode rejects
+    /// it up front (`actcomp check` reports this as `AC0705`).
+    TraceUnsupported,
+    /// `mpsc` cannot cross process boundaries.
+    MpscUnsupported,
+    /// Spawning a worker process failed.
+    Spawn {
+        /// Rank being spawned.
+        rank: usize,
+        /// OS error rendering.
+        detail: String,
+    },
+    /// A worker's control connection closed or timed out mid-run.
+    WorkerLost {
+        /// The lost worker's rank (`None` before ranks are known).
+        rank: Option<usize>,
+        /// What the launcher was doing.
+        detail: String,
+    },
+    /// A control frame arrived that does not fit the protocol.
+    Protocol {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ProcsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcsError::Config(e) => write!(f, "{e}"),
+            ProcsError::Transport(e) => write!(f, "{e}"),
+            ProcsError::TraceUnsupported => {
+                write!(f, "comm tracing is not supported in procs mode")
+            }
+            ProcsError::MpscUnsupported => {
+                write!(f, "the mpsc transport cannot cross process boundaries")
+            }
+            ProcsError::Spawn { rank, detail } => {
+                write!(f, "spawning worker {rank}: {detail}")
+            }
+            ProcsError::WorkerLost { rank, detail } => match rank {
+                Some(r) => write!(f, "worker {r} lost: {detail}"),
+                None => write!(f, "worker lost: {detail}"),
+            },
+            ProcsError::Protocol { detail } => {
+                write!(f, "control protocol violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcsError::Config(e) => Some(e),
+            ProcsError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ProcsError {
+    fn from(e: RuntimeError) -> Self {
+        ProcsError::Config(e)
+    }
+}
+
+impl From<TransportError> for ProcsError {
+    fn from(e: TransportError) -> Self {
+        ProcsError::Transport(e)
+    }
+}
+
+/// FNV-1a 64 over the config JSON and the run seed — the value every
+/// process must agree on for the data-plane handshake to accept.
+pub fn config_hash(cfg_json: &str, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cfg_json.bytes().chain(seed.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Control-plane frames between launcher and workers.
+enum CtrlMsg {
+    /// Worker → launcher: here I am, my data plane listens at `addr`.
+    Hello { rank: usize, data_addr: String },
+    /// Launcher → worker: every rank's data-plane address, by index.
+    PeerTable { addrs: Vec<String> },
+    /// Worker → launcher: links open, model built, command loop armed.
+    Ready,
+    /// Launcher → worker: one runtime command.
+    Cmd(Command),
+    /// Worker → launcher: the command's response.
+    Resp(Response),
+}
+
+impl WireMsg for CtrlMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtrlMsg::Hello { rank, data_addr } => {
+                put_u8(out, 1);
+                put_usize(out, *rank);
+                put_string(out, data_addr);
+            }
+            CtrlMsg::PeerTable { addrs } => {
+                put_u8(out, 2);
+                put_usize(out, addrs.len());
+                for a in addrs {
+                    put_string(out, a);
+                }
+            }
+            CtrlMsg::Ready => put_u8(out, 3),
+            CtrlMsg::Cmd(cmd) => {
+                put_u8(out, 4);
+                cmd.encode(out);
+            }
+            CtrlMsg::Resp(resp) => {
+                put_u8(out, 5);
+                resp.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8("control tag")? {
+            1 => CtrlMsg::Hello {
+                rank: r.read_usize("hello rank")?,
+                data_addr: r.read_string("hello addr")?,
+            },
+            2 => {
+                let n = r.read_usize("peer table size")?;
+                if n > 1 << 16 {
+                    return Err(WireError {
+                        what: "peer table size",
+                    });
+                }
+                let mut addrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    addrs.push(r.read_string("peer address")?);
+                }
+                CtrlMsg::PeerTable { addrs }
+            }
+            3 => CtrlMsg::Ready,
+            4 => CtrlMsg::Cmd(Command::decode(r)?),
+            5 => CtrlMsg::Resp(Response::decode(r)?),
+            _ => {
+                return Err(WireError {
+                    what: "control tag",
+                })
+            }
+        })
+    }
+}
+
+fn send_ctrl(conn: &mut CtrlConn, msg: &CtrlMsg) -> Result<(), TransportError> {
+    conn.send(&encode_msg(msg))
+}
+
+fn recv_ctrl(conn: &mut CtrlConn, timeout: Duration) -> Result<CtrlMsg, ProcsError> {
+    let frame = conn.recv(timeout)?;
+    decode_msg(&frame).map_err(|e| ProcsError::Protocol {
+        detail: e.to_string(),
+    })
+}
+
+/// How to launch a multi-process run.
+pub struct ProcsOptions {
+    /// The run configuration (shared verbatim with every worker).
+    pub cfg: RuntimeConfig,
+    /// Seed for model and compressor construction; all processes draw
+    /// the identical parameter and compressor state from it.
+    pub seed: u64,
+    /// Data-plane wire: [`TransportKind::Uds`] or [`TransportKind::Tcp`].
+    pub kind: TransportKind,
+    /// Outgoing per-rank bandwidth cap in Mbit/s (TCP only).
+    pub link_mbps: Option<f64>,
+    /// The worker executable; `None` re-executes the current binary
+    /// (the CLI's hidden `worker` subcommand).
+    pub worker_exe: Option<PathBuf>,
+    /// Test hook: this rank exits right after rendezvous, simulating a
+    /// mid-run crash.
+    pub fail_rank: Option<usize>,
+}
+
+/// One spawned worker as the launcher sees it.
+struct WorkerHandle {
+    child: Child,
+    ctrl: CtrlConn,
+}
+
+/// The launcher's handle on a multi-process run: the process-mode
+/// equivalent of [`ThreadedRuntime`](crate::ThreadedRuntime), with the
+/// same step operations but every rank in its own OS process.
+pub struct ProcsRuntime {
+    workers: Vec<WorkerHandle>,
+    cfg: RuntimeConfig,
+}
+
+impl std::fmt::Debug for ProcsRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ProcsRuntime(tp={}, pp={}, workers={})",
+            self.cfg.mp.tp,
+            self.cfg.mp.pp,
+            self.workers.len()
+        )
+    }
+}
+
+impl ProcsRuntime {
+    /// Spawns the worker processes and runs the rendezvous to a fully
+    /// connected, ready world.
+    ///
+    /// # Errors
+    ///
+    /// Typed errors for invalid configs ([`ProcsError::Config`],
+    /// [`ProcsError::TraceUnsupported`], [`ProcsError::MpscUnsupported`]),
+    /// spawn failures, and any worker that dies or times out during
+    /// rendezvous ([`ProcsError::WorkerLost`]). Never hangs: every
+    /// control-plane wait has a deadline.
+    pub fn launch(opts: ProcsOptions) -> Result<ProcsRuntime, ProcsError> {
+        opts.cfg.try_validate()?;
+        if opts.cfg.trace {
+            return Err(ProcsError::TraceUnsupported);
+        }
+        if opts.kind == TransportKind::Mpsc {
+            return Err(ProcsError::MpscUnsupported);
+        }
+        let world = opts.cfg.world();
+        let cfg_json = serde_json::to_string(&opts.cfg).expect("config serializes");
+        let exe = match &opts.worker_exe {
+            Some(p) => p.clone(),
+            None => std::env::current_exe().map_err(|e| ProcsError::Spawn {
+                rank: 0,
+                detail: format!("resolving the worker executable: {e}"),
+            })?,
+        };
+        let listener = CtrlListener::bind(opts.kind)?;
+
+        // Spawn all workers, then rendezvous. Children are killed on
+        // any error path via the handles collected so far.
+        let mut children: Vec<Child> = Vec::with_capacity(world);
+        let spawn_all = (0..world).try_for_each(|rank| -> Result<(), ProcsError> {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("worker")
+                .arg("--rank")
+                .arg(rank.to_string())
+                .arg("--world")
+                .arg(world.to_string())
+                .arg("--coord")
+                .arg(listener.addr())
+                .arg("--transport")
+                .arg(opts.kind.name())
+                .arg("--seed")
+                .arg(opts.seed.to_string())
+                .env(WORKER_CFG_ENV, &cfg_json);
+            if let Some(mbps) = opts.link_mbps {
+                cmd.arg("--link-mbps").arg(mbps.to_string());
+            }
+            if opts.fail_rank == Some(rank) {
+                cmd.arg("--fail-after-rendezvous");
+            }
+            let child = cmd.spawn().map_err(|e| ProcsError::Spawn {
+                rank,
+                detail: e.to_string(),
+            })?;
+            children.push(child);
+            Ok(())
+        });
+        if let Err(e) = spawn_all {
+            for c in &mut children {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(e);
+        }
+
+        match Self::rendezvous(&listener, children, world, &opts.cfg) {
+            Ok(rt) => Ok(rt),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Accepts every worker's dial-in, distributes the peer table, and
+    /// waits for all ranks to report ready. Kills the children on any
+    /// failure.
+    fn rendezvous(
+        listener: &CtrlListener,
+        mut children: Vec<Child>,
+        world: usize,
+        cfg: &RuntimeConfig,
+    ) -> Result<ProcsRuntime, ProcsError> {
+        let kill_all = |children: &mut Vec<Child>| {
+            for c in children.iter_mut() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        };
+        let result = || -> Result<(Vec<Option<CtrlConn>>, Vec<String>), ProcsError> {
+            let mut conns: Vec<Option<CtrlConn>> = (0..world).map(|_| None).collect();
+            let mut addrs: Vec<String> = vec![String::new(); world];
+            for _ in 0..world {
+                let mut conn = listener.accept(RENDEZVOUS_TIMEOUT)?;
+                match recv_ctrl(&mut conn, RENDEZVOUS_TIMEOUT)? {
+                    CtrlMsg::Hello { rank, data_addr } => {
+                        if rank >= world || conns[rank].is_some() {
+                            return Err(ProcsError::Protocol {
+                                detail: format!("duplicate or out-of-range hello from rank {rank}"),
+                            });
+                        }
+                        addrs[rank] = data_addr;
+                        conns[rank] = Some(conn);
+                    }
+                    _ => {
+                        return Err(ProcsError::Protocol {
+                            detail: "expected a hello frame".to_string(),
+                        })
+                    }
+                }
+            }
+            Ok((conns, addrs))
+        };
+        let (mut conns, addrs) = match result() {
+            Ok(v) => v,
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(e);
+            }
+        };
+
+        let table = CtrlMsg::PeerTable { addrs };
+        for (rank, conn) in conns.iter_mut().enumerate() {
+            let conn = conn.as_mut().expect("all ranks said hello");
+            if let Err(e) = send_ctrl(conn, &table) {
+                kill_all(&mut children);
+                return Err(ProcsError::WorkerLost {
+                    rank: Some(rank),
+                    detail: format!("sending the peer table: {e}"),
+                });
+            }
+        }
+        for (rank, conn) in conns.iter_mut().enumerate() {
+            let conn = conn.as_mut().expect("all ranks said hello");
+            match recv_ctrl(conn, RENDEZVOUS_TIMEOUT) {
+                Ok(CtrlMsg::Ready) => {}
+                Ok(_) => {
+                    kill_all(&mut children);
+                    return Err(ProcsError::Protocol {
+                        detail: format!("expected ready from rank {rank}"),
+                    });
+                }
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(ProcsError::WorkerLost {
+                        rank: Some(rank),
+                        detail: format!("waiting for ready: {e}"),
+                    });
+                }
+            }
+        }
+
+        let workers = children
+            .into_iter()
+            .zip(conns)
+            .map(|(child, ctrl)| WorkerHandle {
+                child,
+                ctrl: ctrl.expect("all ranks said hello"),
+            })
+            .collect();
+        Ok(ProcsRuntime {
+            workers,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Total rank (process) count.
+    pub fn world(&self) -> usize {
+        self.cfg.world()
+    }
+
+    /// Sends one command to every worker.
+    fn broadcast(&mut self, cmd: &Command) -> Result<(), ProcsError> {
+        let frame = CtrlMsg::Cmd(cmd.clone());
+        for (rank, w) in self.workers.iter_mut().enumerate() {
+            send_ctrl(&mut w.ctrl, &frame).map_err(|e| ProcsError::WorkerLost {
+                rank: Some(rank),
+                detail: format!("sending a command: {e}"),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Collects one response per worker, in rank order.
+    fn collect(&mut self) -> Result<Vec<Response>, ProcsError> {
+        let mut out = Vec::with_capacity(self.workers.len());
+        for (rank, w) in self.workers.iter_mut().enumerate() {
+            match recv_ctrl(&mut w.ctrl, STEP_TIMEOUT) {
+                Ok(CtrlMsg::Resp(resp)) => out.push(resp),
+                Ok(_) => {
+                    return Err(ProcsError::Protocol {
+                        detail: format!("expected a response from rank {rank}"),
+                    })
+                }
+                Err(ProcsError::Transport(e)) => {
+                    return Err(ProcsError::WorkerLost {
+                        rank: Some(rank),
+                        detail: format!("waiting for a response: {e}"),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a pipelined forward pass over the whole batch, returning
+    /// the final hidden states `[batch · seq, hidden]`.
+    pub fn forward(
+        &mut self,
+        ids: &[usize],
+        batch: usize,
+        seq: usize,
+    ) -> Result<Tensor, ProcsError> {
+        self.broadcast(&Command::Forward {
+            ids: ids.to_vec(),
+            batch,
+            seq,
+        })?;
+        let mut out = None;
+        for resp in self.collect()? {
+            if let Response::Output { y } = resp {
+                out = Some(y);
+            }
+        }
+        out.ok_or_else(|| ProcsError::Protocol {
+            detail: "no rank produced a forward output".to_string(),
+        })
+    }
+
+    /// Runs the pipelined backward pass from the gradient of the final
+    /// hidden states.
+    pub fn backward(&mut self, dhidden: &Tensor) -> Result<(), ProcsError> {
+        self.broadcast(&Command::Backward {
+            dhidden: dhidden.clone(),
+        })?;
+        self.collect()?;
+        Ok(())
+    }
+
+    /// Zeroes every parameter gradient on every rank.
+    pub fn zero_grad(&mut self) -> Result<(), ProcsError> {
+        self.broadcast(&Command::ZeroGrad)?;
+        self.collect()?;
+        Ok(())
+    }
+
+    /// Applies one SGD step with learning rate `lr` on every rank.
+    pub fn sgd_step(&mut self, lr: f32) -> Result<(), ProcsError> {
+        self.broadcast(&Command::SgdStep { lr })?;
+        self.collect()?;
+        Ok(())
+    }
+
+    /// Gathers all parameter gradients, reassembled into the serial
+    /// executor's visit order — byte-for-byte the same list the threads
+    /// backend returns (conformance-test enforced).
+    pub fn collect_grads(&mut self) -> Result<Vec<Tensor>, ProcsError> {
+        self.broadcast(&Command::CollectGrads)?;
+        let mut per_rank: Vec<Option<crate::rank::RankGrads>> =
+            (0..self.world()).map(|_| None).collect();
+        for resp in self.collect()? {
+            if let Response::Grads { rank, grads } = resp {
+                if rank < per_rank.len() {
+                    per_rank[rank] = Some(grads);
+                }
+            }
+        }
+        let grads: Vec<crate::rank::RankGrads> = per_rank
+            .into_iter()
+            .enumerate()
+            .map(|(r, g)| {
+                g.ok_or_else(|| ProcsError::Protocol {
+                    detail: format!("rank {r} did not report grads"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(assemble_grads(&self.cfg, &grads))
+    }
+
+    /// Gathers per-rank timers and byte counters into the aggregated
+    /// report.
+    pub fn report(&mut self) -> Result<RuntimeReport, ProcsError> {
+        self.broadcast(&Command::Report)?;
+        let mut ranks: Vec<RankReport> = self
+            .collect()?
+            .into_iter()
+            .filter_map(|r| match r {
+                Response::Report { report } => Some(*report),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_by_key(|r| r.rank);
+        Ok(RuntimeReport::from_ranks(
+            self.cfg.mp.tp,
+            self.cfg.mp.pp,
+            self.cfg.micro_batches,
+            ranks,
+        ))
+    }
+
+    /// Graceful teardown: shuts every worker down and reaps it.
+    pub fn shutdown(mut self) -> Result<(), ProcsError> {
+        let _ = self.broadcast(&Command::Shutdown);
+        for w in self.workers.iter_mut() {
+            let _ = w.child.wait();
+        }
+        self.workers.clear();
+        Ok(())
+    }
+}
+
+impl Drop for ProcsRuntime {
+    fn drop(&mut self) {
+        // Best-effort: ask nicely, then make sure nothing lingers.
+        let _ = self.broadcast(&Command::Shutdown);
+        for w in self.workers.iter_mut() {
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+/// Parsed `actcomp worker …` arguments (the hidden subcommand the
+/// launcher spawns; not part of the user-facing CLI surface).
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// This worker's rank.
+    pub rank: usize,
+    /// Total ranks in the run.
+    pub world: usize,
+    /// The launcher's control-plane address.
+    pub coord: String,
+    /// Data-plane wire.
+    pub kind: TransportKind,
+    /// Shared run seed.
+    pub seed: u64,
+    /// Outgoing bandwidth cap in Mbit/s (TCP only).
+    pub link_mbps: Option<f64>,
+    /// Test hook: exit right after rendezvous to simulate a crash.
+    pub fail_after_rendezvous: bool,
+}
+
+/// The worker process body: rendezvous, rebuild the model, run the
+/// command loop until shutdown. Returns typed errors so the CLI can
+/// render them and exit nonzero; a clean shutdown returns `Ok`.
+pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
+    let cfg_json = std::env::var(WORKER_CFG_ENV).map_err(|_| ProcsError::Protocol {
+        detail: format!("{WORKER_CFG_ENV} is not set"),
+    })?;
+    let cfg: RuntimeConfig = serde_json::from_str(&cfg_json).map_err(|e| ProcsError::Protocol {
+        detail: format!("parsing {WORKER_CFG_ENV}: {e}"),
+    })?;
+    cfg.try_validate()?;
+    if cfg.trace {
+        return Err(ProcsError::TraceUnsupported);
+    }
+    if cfg.world() != args.world {
+        return Err(ProcsError::Protocol {
+            detail: format!(
+                "world {} does not match tp x pp = {}",
+                args.world,
+                cfg.world()
+            ),
+        });
+    }
+    let hash = config_hash(&cfg_json, args.seed);
+
+    let mut ctrl = CtrlConn::connect(args.kind, &args.coord, WORKER_DIAL_TIMEOUT)?;
+    let mut transport = SocketTransport::bind(
+        args.kind,
+        args.rank,
+        args.world,
+        hash,
+        SocketOptions {
+            link_mbps: args.link_mbps,
+            ..SocketOptions::default()
+        },
+    )?;
+    send_ctrl(
+        &mut ctrl,
+        &CtrlMsg::Hello {
+            rank: args.rank,
+            data_addr: transport.local_addr().to_string(),
+        },
+    )?;
+    let addrs = match recv_ctrl(&mut ctrl, RENDEZVOUS_TIMEOUT)? {
+        CtrlMsg::PeerTable { addrs } => addrs,
+        _ => {
+            return Err(ProcsError::Protocol {
+                detail: "expected the peer table".to_string(),
+            })
+        }
+    };
+    if addrs.len() != args.world {
+        return Err(ProcsError::Protocol {
+            detail: format!("peer table covers {} of {} ranks", addrs.len(), args.world),
+        });
+    }
+    for (peer, addr) in addrs.into_iter().enumerate() {
+        transport.set_peer(peer, addr);
+    }
+    let links = build_rank_links(&mut transport, cfg.mp.tp, cfg.mp.pp)?;
+
+    // Rebuild the identical model and compressor stack every process
+    // shares: same seed, same draw order as the threaded engine.
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let serial = BertEncoder::new(&mut rng, cfg.mp.bert.clone());
+    let seeds = Seeds::draw(&cfg, &mut rng);
+    let builder = WorkerBuilder::new(&serial, &cfg, seeds);
+    let (cmd_tx, cmd_rx) = std::sync::mpsc::channel::<Command>();
+    let (resp_tx, resp_rx) = std::sync::mpsc::channel::<Response>();
+    let worker = builder.build(args.rank, links, cmd_rx, resp_tx);
+    let rank_thread = std::thread::Builder::new()
+        .name(format!("actcomp-rank-{}", args.rank))
+        .spawn(move || worker.run())
+        .expect("spawn rank thread");
+
+    send_ctrl(&mut ctrl, &CtrlMsg::Ready)?;
+    if args.fail_after_rendezvous {
+        // Simulated crash for the failure-propagation tests: vanish
+        // without shutdown, exactly like a SIGKILLed worker.
+        std::process::exit(3);
+    }
+
+    // Bridge loop: every command yields exactly one response, except
+    // Shutdown which ends the run.
+    let loop_result = loop {
+        let frame = match ctrl.recv_blocking() {
+            Ok(f) => f,
+            Err(e) => break Err(ProcsError::from(e)),
+        };
+        let msg = match decode_msg::<CtrlMsg>(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                break Err(ProcsError::Protocol {
+                    detail: e.to_string(),
+                })
+            }
+        };
+        let cmd = match msg {
+            CtrlMsg::Cmd(cmd) => cmd,
+            _ => {
+                break Err(ProcsError::Protocol {
+                    detail: "expected a command frame".to_string(),
+                })
+            }
+        };
+        let is_shutdown = matches!(cmd, Command::Shutdown);
+        if cmd_tx.send(cmd).is_err() {
+            break Err(ProcsError::Protocol {
+                detail: "rank worker exited unexpectedly".to_string(),
+            });
+        }
+        if is_shutdown {
+            break Ok(());
+        }
+        let resp = match resp_rx.recv() {
+            Ok(r) => r,
+            // The rank thread panicked (e.g. a data-plane peer died);
+            // exit with a typed error so the launcher sees the close.
+            Err(_) => {
+                break Err(ProcsError::Protocol {
+                    detail: "rank worker failed mid-command".to_string(),
+                })
+            }
+        };
+        if let Err(e) = send_ctrl(&mut ctrl, &CtrlMsg::Resp(resp)) {
+            break Err(ProcsError::from(e));
+        }
+    };
+
+    drop(cmd_tx);
+    let _ = rank_thread.join();
+    transport.shutdown();
+    loop_result
+}

@@ -1,18 +1,22 @@
 //! The per-rank worker: one OS thread owning one tensor-parallel shard
 //! of one pipeline stage, driven by commands from the runtime and
-//! exchanging activations/gradients with its peers over channels.
+//! exchanging activations/gradients with its peers over [`MsgTx`] /
+//! [`MsgRx`] links (typed channels in the threads backend, framed
+//! transport channels for sockets and process mode).
 
 use crate::comm::TpGroup;
 use crate::layer::{LayerGrads, RankLayer};
+use crate::link::{MsgRx, MsgTx};
 use crate::report::{timed, PhaseTimers, RankReport};
 use crate::trace::TraceHandle;
+use crate::wire::{put_f32, put_string, put_u8, put_usize, Reader, WireError, WireMsg};
 use actcomp_check::{ChannelId, Dir, MsgId, TraceEvent};
 use actcomp_compress::{Compressed, Compressor};
 use actcomp_distsim::schedule::gpipe_order;
 use actcomp_mp::CommBytes;
 use actcomp_nn::{Embedding, Layer, LayerNorm, LnCache, Parameter};
 use actcomp_tensor::{Tensor, Workspace};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Commands the runtime broadcasts to every rank.
 #[derive(Debug, Clone)]
@@ -48,6 +52,73 @@ pub(crate) enum Command {
     Shutdown,
 }
 
+impl WireMsg for Command {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Command::Forward { ids, batch, seq } => {
+                put_u8(out, 0);
+                put_usize(out, ids.len());
+                for &id in ids {
+                    put_usize(out, id);
+                }
+                put_usize(out, *batch);
+                put_usize(out, *seq);
+            }
+            Command::Backward { dhidden } => {
+                put_u8(out, 1);
+                dhidden.encode(out);
+            }
+            Command::ZeroGrad => put_u8(out, 2),
+            Command::SgdStep { lr } => {
+                put_u8(out, 3);
+                put_f32(out, *lr);
+            }
+            Command::CollectGrads => put_u8(out, 4),
+            Command::Report => put_u8(out, 5),
+            Command::TakeTrace => put_u8(out, 6),
+            Command::Shutdown => put_u8(out, 7),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8("command tag")? {
+            0 => {
+                let n = r.read_usize("forward id count")?;
+                if n > 1 << 28 {
+                    return Err(WireError {
+                        what: "forward id count",
+                    });
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.read_usize("forward id")?);
+                }
+                Command::Forward {
+                    ids,
+                    batch: r.read_usize("forward batch")?,
+                    seq: r.read_usize("forward seq")?,
+                }
+            }
+            1 => Command::Backward {
+                dhidden: Tensor::decode(r)?,
+            },
+            2 => Command::ZeroGrad,
+            3 => Command::SgdStep {
+                lr: r.read_f32("sgd lr")?,
+            },
+            4 => Command::CollectGrads,
+            5 => Command::Report,
+            6 => Command::TakeTrace,
+            7 => Command::Shutdown,
+            _ => {
+                return Err(WireError {
+                    what: "command tag",
+                })
+            }
+        })
+    }
+}
+
 /// Responses ranks send back to the runtime.
 pub(crate) enum Response {
     /// Command finished on this rank.
@@ -66,6 +137,71 @@ pub(crate) enum Response {
     },
 }
 
+impl WireMsg for Response {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Done => put_u8(out, 0),
+            Response::Output { y } => {
+                put_u8(out, 1);
+                y.encode(out);
+            }
+            Response::Grads { rank, grads } => {
+                put_u8(out, 2);
+                put_usize(out, *rank);
+                grads.encode(out);
+            }
+            Response::Report { report } => {
+                put_u8(out, 3);
+                // Timers carry no bit-exactness requirement; JSON keeps
+                // the codec in one place with the report's disk format.
+                put_string(
+                    out,
+                    &serde_json::to_string(report.as_ref()).expect("report serializes"),
+                );
+            }
+            Response::Trace { rank, events } => {
+                // Process mode rejects tracing up front (the audit needs
+                // in-process program order), so events are always empty
+                // on the wire.
+                debug_assert!(events.is_empty(), "trace events cannot cross processes");
+                put_u8(out, 4);
+                put_usize(out, *rank);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8("response tag")? {
+            0 => Response::Done,
+            1 => Response::Output {
+                y: Tensor::decode(r)?,
+            },
+            2 => Response::Grads {
+                rank: r.read_usize("grads rank")?,
+                grads: RankGrads::decode(r)?,
+            },
+            3 => {
+                let json = r.read_string("report json")?;
+                let report: RankReport = serde_json::from_str(&json).map_err(|_| WireError {
+                    what: "report json",
+                })?;
+                Response::Report {
+                    report: Box::new(report),
+                }
+            }
+            4 => Response::Trace {
+                rank: r.read_usize("trace rank")?,
+                events: Vec::new(),
+            },
+            _ => {
+                return Err(WireError {
+                    what: "response tag",
+                })
+            }
+        })
+    }
+}
+
 /// A message crossing a pipeline boundary in the forward direction.
 pub(crate) enum FwdMsg {
     /// A compressed micro-batch activation.
@@ -75,6 +211,33 @@ pub(crate) enum FwdMsg {
     GradSync(Vec<Tensor>),
 }
 
+impl WireMsg for FwdMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FwdMsg::Activation(c) => {
+                put_u8(out, 0);
+                c.encode(out);
+            }
+            FwdMsg::GradSync(v) => {
+                put_u8(out, 1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read_u8("boundary message tag")? {
+            0 => FwdMsg::Activation(Compressed::decode(r)?),
+            1 => FwdMsg::GradSync(Vec::<Tensor>::decode(r)?),
+            _ => {
+                return Err(WireError {
+                    what: "boundary message tag",
+                })
+            }
+        })
+    }
+}
+
 /// Sending half of a pipeline boundary (owned by `tp_index == 0` of
 /// every non-final stage). Holds the authoritative compressor: it
 /// compresses forward activations and runs the compressor backward on
@@ -82,8 +245,8 @@ pub(crate) enum FwdMsg {
 pub(crate) struct BoundarySender {
     pub comp: Box<dyn Compressor>,
     pub bytes: CommBytes,
-    pub tx: Sender<FwdMsg>,
-    pub grad_rx: Receiver<Tensor>,
+    pub tx: MsgTx<FwdMsg>,
+    pub grad_rx: MsgRx<Tensor>,
 }
 
 /// Receiving half of a pipeline boundary (owned by `tp_index == 0` of
@@ -92,8 +255,8 @@ pub(crate) struct BoundarySender {
 /// [`FwdMsg::GradSync`].
 pub(crate) struct BoundaryReceiver {
     pub replica: Box<dyn Compressor>,
-    pub rx: Receiver<FwdMsg>,
-    pub grad_tx: Sender<Tensor>,
+    pub rx: MsgRx<FwdMsg>,
+    pub grad_tx: MsgTx<Tensor>,
 }
 
 /// Replicated first-stage embeddings with per-micro-batch caches.
@@ -172,8 +335,8 @@ pub(crate) struct RankWorker {
     pub tp: TpGroup,
     /// Intra-stage broadcast: stage rank 0 fans decoded boundary
     /// tensors out to its TP peers.
-    pub bcast_tx: Vec<Sender<Tensor>>,
-    pub bcast_rx: Option<Receiver<Tensor>>,
+    pub bcast_tx: Vec<MsgTx<Tensor>>,
+    pub bcast_rx: Option<MsgRx<Tensor>>,
     pub send_b: Option<BoundarySender>,
     pub recv_b: Option<BoundaryReceiver>,
     pub timers: PhaseTimers,
@@ -203,8 +366,8 @@ impl RankWorker {
         embedding: Option<EmbeddingStage>,
         layers: Vec<RankLayer>,
         tp: TpGroup,
-        bcast_tx: Vec<Sender<Tensor>>,
-        bcast_rx: Option<Receiver<Tensor>>,
+        bcast_tx: Vec<MsgTx<Tensor>>,
+        bcast_rx: Option<MsgRx<Tensor>>,
         send_b: Option<BoundarySender>,
         recv_b: Option<BoundaryReceiver>,
         cmd_rx: Receiver<Command>,
@@ -243,6 +406,14 @@ impl RankWorker {
 
     fn is_last_stage(&self) -> bool {
         self.stage + 1 == self.pp
+    }
+
+    /// Whether this step's boundary traffic runs on helper threads that
+    /// overlap ship/prefetch with the layer compute loop. Tracing forces
+    /// the inline path: the audit compares against program-order event
+    /// sequences, which overlap would reorder.
+    fn overlap_boundaries(&self) -> bool {
+        self.trace.is_none() && (self.send_b.is_some() || self.recv_b.is_some())
     }
 
     /// The worker loop: block on commands until shutdown.
@@ -344,80 +515,11 @@ impl RankWorker {
         // ordinals restart so traces match the per-step static graph.
         self.tp.reset_step();
         self.bcast_seq = 0;
-        let m = self.micro_batches;
-        let mb_batch = batch / m;
         self.fwd_out.clear();
-        let order = gpipe_order(self.pp, m, self.stage);
-        for op in order.into_iter().filter(|o| !o.backward) {
-            let mut x = if let Some(emb) = self.embedding.as_mut() {
-                let lo = op.mb * mb_batch * seq;
-                let hi = lo + mb_batch * seq;
-                let t0 = std::time::Instant::now();
-                let x = emb.forward_mb(&ids[lo..hi], mb_batch, seq, &mut self.ws);
-                self.timers.compute_s += t0.elapsed().as_secs_f64();
-                x
-            } else {
-                let decoded = if self.tpi == 0 {
-                    self.trace_event(
-                        Dir::Recv,
-                        ChannelId::BoundaryFwd {
-                            boundary: self.stage - 1,
-                        },
-                        MsgId::Activation { mb: op.mb },
-                        None,
-                    );
-                    let b = self.recv_b.as_mut().expect("non-first stage receiver");
-                    let msg = timed(&mut self.timers.wire_s, || {
-                        b.rx.recv().expect("upstream stage hung up")
-                    });
-                    let msg = match msg {
-                        FwdMsg::Activation(msg) => msg,
-                        FwdMsg::GradSync(_) => panic!("grad sync during forward"),
-                    };
-                    Some(timed(&mut self.timers.decode_s, || {
-                        b.replica.decompress(&msg)
-                    }))
-                } else {
-                    None
-                };
-                self.stage_broadcast(decoded)
-            };
-            for layer in &mut self.layers {
-                let y = layer.forward(
-                    &x,
-                    mb_batch,
-                    seq,
-                    &mut self.tp,
-                    &mut self.timers,
-                    &mut self.ws,
-                );
-                self.ws.recycle_tensor(x);
-                x = y;
-            }
-            if self.is_last_stage() {
-                self.fwd_out.push(x);
-            } else if self.tpi == 0 {
-                let b = self.send_b.as_mut().expect("non-final stage sender");
-                let msg = timed(&mut self.timers.encode_s, || b.comp.compress(&x));
-                b.bytes.add(CommBytes {
-                    wire: msg.wire_bytes(2),
-                    dense: x.len() * 2,
-                });
-                if let Some(trace) = &self.trace {
-                    trace.record(
-                        Dir::Send,
-                        ChannelId::BoundaryFwd {
-                            boundary: self.stage,
-                        },
-                        MsgId::Activation { mb: op.mb },
-                        Some(msg.wire_bytes(2)),
-                    );
-                }
-                timed(&mut self.timers.wire_s, || {
-                    b.tx.send(FwdMsg::Activation(msg))
-                        .expect("downstream stage hung up")
-                });
-            }
+        if self.overlap_boundaries() {
+            self.forward_overlapped(ids, batch, seq);
+        } else {
+            self.forward_inline(ids, batch, seq);
         }
         if self.is_last_stage() && self.tpi == 0 {
             let parts: Vec<&Tensor> = self.fwd_out.iter().collect();
@@ -429,65 +531,389 @@ impl RankWorker {
         }
     }
 
+    /// The compute body of one forward micro-batch: embed or take the
+    /// boundary activation (`decoded`, already decompressed on stage
+    /// rank 0), broadcast it across the stage, run the owned layers, and
+    /// hand the result to `emit` (buffering on the last stage, shipping
+    /// across the boundary otherwise).
+    fn forward_mb_body(
+        &mut self,
+        ids: &[usize],
+        mb: usize,
+        mb_batch: usize,
+        seq: usize,
+        decoded: Option<Tensor>,
+        emit: &mut dyn FnMut(&mut Self, Tensor),
+    ) {
+        let mut x = if let Some(emb) = self.embedding.as_mut() {
+            let lo = mb * mb_batch * seq;
+            let hi = lo + mb_batch * seq;
+            let t0 = std::time::Instant::now();
+            let x = emb.forward_mb(&ids[lo..hi], mb_batch, seq, &mut self.ws);
+            self.timers.compute_s += t0.elapsed().as_secs_f64();
+            x
+        } else {
+            self.stage_broadcast(decoded)
+        };
+        for i in 0..self.layers.len() {
+            // Split the borrow: the layer needs &mut self.tp/timers/ws.
+            let (layers, tp, timers, ws) = (
+                &mut self.layers,
+                &mut self.tp,
+                &mut self.timers,
+                &mut self.ws,
+            );
+            let y = layers[i].forward(&x, mb_batch, seq, tp, timers, ws);
+            self.ws.recycle_tensor(x);
+            x = y;
+        }
+        if self.is_last_stage() {
+            self.fwd_out.push(x);
+        } else if self.tpi == 0 {
+            emit(self, x);
+        }
+    }
+
+    /// Inline forward path: boundary receives/decodes and encode/sends
+    /// run on this thread, interleaved with compute (required under
+    /// tracing, and what every non-boundary rank runs).
+    fn forward_inline(&mut self, ids: &[usize], batch: usize, seq: usize) {
+        let m = self.micro_batches;
+        let mb_batch = batch / m;
+        let order = gpipe_order(self.pp, m, self.stage);
+        for op in order.into_iter().filter(|o| !o.backward) {
+            let decoded = if self.embedding.is_none() && self.tpi == 0 {
+                self.trace_event(
+                    Dir::Recv,
+                    ChannelId::BoundaryFwd {
+                        boundary: self.stage - 1,
+                    },
+                    MsgId::Activation { mb: op.mb },
+                    None,
+                );
+                let b = self.recv_b.as_mut().expect("non-first stage receiver");
+                let msg = timed(&mut self.timers.wire_s, || {
+                    b.rx.recv().expect("upstream stage hung up")
+                });
+                let msg = match msg {
+                    FwdMsg::Activation(msg) => msg,
+                    FwdMsg::GradSync(_) => panic!("grad sync during forward"),
+                };
+                Some(timed(&mut self.timers.decode_s, || {
+                    b.replica.decompress(&msg)
+                }))
+            } else {
+                None
+            };
+            let stage = self.stage;
+            let trace = self.trace.clone();
+            self.forward_mb_body(ids, op.mb, mb_batch, seq, decoded, &mut |me, x| {
+                let b = me.send_b.as_mut().expect("non-final stage sender");
+                let msg = timed(&mut me.timers.encode_s, || b.comp.compress(&x));
+                b.bytes.add(CommBytes {
+                    wire: msg.wire_bytes(2),
+                    dense: x.len() * 2,
+                });
+                if let Some(trace) = &trace {
+                    trace.record(
+                        Dir::Send,
+                        ChannelId::BoundaryFwd { boundary: stage },
+                        MsgId::Activation { mb: op.mb },
+                        Some(msg.wire_bytes(2)),
+                    );
+                }
+                timed(&mut me.timers.wire_s, || {
+                    b.tx.send(FwdMsg::Activation(msg))
+                        .expect("downstream stage hung up")
+                });
+            });
+        }
+    }
+
+    /// Overlapped forward path (untraced boundary ranks): a prefetch
+    /// thread owns the receiving boundary half and decodes activations
+    /// ahead of the compute loop; a ship thread owns the sending half
+    /// and encodes/sends behind it. Compressor call order is unchanged
+    /// (both hand-offs are FIFO in micro-batch order), so results are
+    /// bitwise identical to the inline path.
+    fn forward_overlapped(&mut self, ids: &[usize], batch: usize, seq: usize) {
+        let m = self.micro_batches;
+        let mb_batch = batch / m;
+        let order = gpipe_order(self.pp, m, self.stage);
+        let fwd_mbs: Vec<usize> = order
+            .into_iter()
+            .filter(|o| !o.backward)
+            .map(|o| o.mb)
+            .collect();
+        let n_fwd = fwd_mbs.len();
+        let send_b = self.send_b.take();
+        let recv_b = self.recv_b.take();
+        let (ship_tx, ship_rx) = channel::<Tensor>();
+        let (dec_tx, dec_rx) = channel::<Tensor>();
+
+        let (send_b, recv_b) = std::thread::scope(|s| {
+            let ship = send_b.map(|mut b| {
+                s.spawn(move || {
+                    let mut timers = PhaseTimers::default();
+                    for x in ship_rx {
+                        let msg = timed(&mut timers.encode_s, || b.comp.compress(&x));
+                        b.bytes.add(CommBytes {
+                            wire: msg.wire_bytes(2),
+                            dense: x.len() * 2,
+                        });
+                        timed(&mut timers.wire_s, || {
+                            b.tx.send(FwdMsg::Activation(msg))
+                                .expect("downstream stage hung up")
+                        });
+                    }
+                    (b, timers)
+                })
+            });
+            let prefetch = recv_b.map(|b| {
+                s.spawn(move || {
+                    let mut timers = PhaseTimers::default();
+                    for _ in 0..n_fwd {
+                        let msg = timed(&mut timers.wire_s, || {
+                            b.rx.recv().expect("upstream stage hung up")
+                        });
+                        let msg = match msg {
+                            FwdMsg::Activation(msg) => msg,
+                            FwdMsg::GradSync(_) => panic!("grad sync during forward"),
+                        };
+                        let dec = timed(&mut timers.decode_s, || b.replica.decompress(&msg));
+                        if dec_tx.send(dec).is_err() {
+                            break;
+                        }
+                    }
+                    (b, timers)
+                })
+            });
+
+            for &mb in &fwd_mbs {
+                let decoded = if self.embedding.is_none() && self.tpi == 0 {
+                    Some(timed(&mut self.timers.wire_s, || {
+                        dec_rx.recv().expect("upstream stage hung up")
+                    }))
+                } else {
+                    None
+                };
+                self.forward_mb_body(ids, mb, mb_batch, seq, decoded, &mut |_, x| {
+                    ship_tx.send(x).expect("boundary ship thread hung up");
+                });
+            }
+            drop(ship_tx);
+            let mut merge = |j: Option<std::thread::ScopedJoinHandle<'_, (_, PhaseTimers)>>| match j
+            {
+                Some(h) => {
+                    let (b, t) = h.join().expect("boundary helper thread");
+                    self.timers.add(&t);
+                    Some(b)
+                }
+                None => None,
+            };
+            let send_b = merge(ship);
+            let recv_b = match prefetch {
+                Some(h) => {
+                    let (b, t) = h.join().expect("boundary helper thread");
+                    self.timers.add(&t);
+                    Some(b)
+                }
+                None => None,
+            };
+            (send_b, recv_b)
+        });
+        self.send_b = send_b;
+        self.recv_b = recv_b;
+    }
+
     /// GPipe drain: run this stage's backwards in the shared schedule's
     /// (reversed) micro-batch order, then ring-sync compressor grads and
     /// forward the boundary grads to the decode replicas.
     fn backward(&mut self, dhidden: &Tensor) {
+        if self.overlap_boundaries() {
+            self.backward_overlapped(dhidden);
+        } else {
+            self.backward_inline(dhidden);
+        }
+        self.post_drain_sync();
+        self.done();
+    }
+
+    /// The compute body of one backward micro-batch: seed the gradient
+    /// (output slice on the last stage, `incoming` elsewhere), broadcast
+    /// across the stage, run the owned layers in reverse, and hand the
+    /// upstream-bound gradient to `emit` (embedding backward on stage 0,
+    /// boundary ship otherwise).
+    fn backward_mb_body(
+        &mut self,
+        dhidden: &Tensor,
+        mb: usize,
+        mb_rows: usize,
+        incoming: Option<Tensor>,
+        emit: &mut dyn FnMut(&mut Self, Tensor),
+    ) {
+        let mut d = if self.is_last_stage() {
+            timed(&mut self.timers.compute_s, || {
+                dhidden.slice_rows(mb * mb_rows, (mb + 1) * mb_rows)
+            })
+        } else {
+            self.stage_broadcast(incoming)
+        };
+        for i in (0..self.layers.len()).rev() {
+            let (layers, tp, timers, ws) = (
+                &mut self.layers,
+                &mut self.tp,
+                &mut self.timers,
+                &mut self.ws,
+            );
+            let nd = layers[i].backward(&d, tp, timers, ws);
+            self.ws.recycle_tensor(d);
+            d = nd;
+        }
+        if let Some(emb) = self.embedding.as_mut() {
+            let t0 = std::time::Instant::now();
+            let (d_ref, ws) = (&d, &mut self.ws);
+            emb.backward_mb(d_ref, ws);
+            self.timers.compute_s += t0.elapsed().as_secs_f64();
+        } else if self.tpi == 0 {
+            emit(self, d);
+        }
+    }
+
+    /// Inline drain path (required under tracing; what non-boundary
+    /// ranks always run).
+    fn backward_inline(&mut self, dhidden: &Tensor) {
         let m = self.micro_batches;
         let rows = dhidden.dims()[0];
         let mb_rows = rows / m;
         let order = gpipe_order(self.pp, m, self.stage);
         for op in order.into_iter().filter(|o| o.backward) {
-            let mut d = if self.is_last_stage() {
-                timed(&mut self.timers.compute_s, || {
-                    dhidden.slice_rows(op.mb * mb_rows, (op.mb + 1) * mb_rows)
-                })
-            } else {
-                let grad = if self.tpi == 0 {
-                    self.trace_event(
-                        Dir::Recv,
-                        ChannelId::BoundaryGrad {
-                            boundary: self.stage,
-                        },
-                        MsgId::Grad { mb: op.mb },
-                        None,
-                    );
-                    let b = self.send_b.as_mut().expect("non-final stage sender");
-                    let dy = timed(&mut self.timers.wire_s, || {
-                        b.grad_rx.recv().expect("downstream stage hung up")
-                    });
-                    Some(timed(&mut self.timers.encode_s, || b.comp.backward(&dy)))
-                } else {
-                    None
-                };
-                self.stage_broadcast(grad)
-            };
-            for layer in self.layers.iter_mut().rev() {
-                let nd = layer.backward(&d, &mut self.tp, &mut self.timers, &mut self.ws);
-                self.ws.recycle_tensor(d);
-                d = nd;
-            }
-            if let Some(emb) = self.embedding.as_mut() {
-                let t0 = std::time::Instant::now();
-                emb.backward_mb(&d, &mut self.ws);
-                self.timers.compute_s += t0.elapsed().as_secs_f64();
-            } else if self.tpi == 0 {
+            let incoming = if !self.is_last_stage() && self.tpi == 0 {
                 self.trace_event(
-                    Dir::Send,
+                    Dir::Recv,
                     ChannelId::BoundaryGrad {
-                        boundary: self.stage - 1,
+                        boundary: self.stage,
                     },
                     MsgId::Grad { mb: op.mb },
                     None,
                 );
-                let b = self.recv_b.as_mut().expect("non-first stage receiver");
-                timed(&mut self.timers.wire_s, || {
+                let b = self.send_b.as_mut().expect("non-final stage sender");
+                let dy = timed(&mut self.timers.wire_s, || {
+                    b.grad_rx.recv().expect("downstream stage hung up")
+                });
+                Some(timed(&mut self.timers.encode_s, || b.comp.backward(&dy)))
+            } else {
+                None
+            };
+            let stage = self.stage;
+            let trace = self.trace.clone();
+            self.backward_mb_body(dhidden, op.mb, mb_rows, incoming, &mut |me, d| {
+                if let Some(trace) = &trace {
+                    trace.record(
+                        Dir::Send,
+                        ChannelId::BoundaryGrad {
+                            boundary: stage - 1,
+                        },
+                        MsgId::Grad { mb: op.mb },
+                        None,
+                    );
+                }
+                let b = me.recv_b.as_mut().expect("non-first stage receiver");
+                timed(&mut me.timers.wire_s, || {
                     b.grad_tx.send(d).expect("upstream stage hung up")
                 });
-            }
+            });
         }
-        // Post-drain synchronization, in the serial executor's order:
-        // per-layer compressor grads first, then boundary replicas.
+    }
+
+    /// Overlapped drain path: a prefetch thread owns the sending
+    /// boundary half, receiving downstream gradients and running the
+    /// compressor backward ahead of the compute loop; a ship thread owns
+    /// the receiving half and sends upstream gradients behind it. FIFO
+    /// hand-offs keep the compressor call order identical to inline.
+    fn backward_overlapped(&mut self, dhidden: &Tensor) {
+        let m = self.micro_batches;
+        let rows = dhidden.dims()[0];
+        let mb_rows = rows / m;
+        let order = gpipe_order(self.pp, m, self.stage);
+        let bwd_mbs: Vec<usize> = order
+            .into_iter()
+            .filter(|o| o.backward)
+            .map(|o| o.mb)
+            .collect();
+        let n_bwd = bwd_mbs.len();
+        let send_b = self.send_b.take();
+        let recv_b = self.recv_b.take();
+        let (grad_out_tx, grad_out_rx) = channel::<Tensor>();
+        let (grad_in_tx, grad_in_rx) = channel::<Tensor>();
+
+        let (send_b, recv_b) = std::thread::scope(|s| {
+            let prefetch = send_b.map(|mut b| {
+                s.spawn(move || {
+                    let mut timers = PhaseTimers::default();
+                    for _ in 0..n_bwd {
+                        let dy = timed(&mut timers.wire_s, || {
+                            b.grad_rx.recv().expect("downstream stage hung up")
+                        });
+                        let d = timed(&mut timers.encode_s, || b.comp.backward(&dy));
+                        if grad_in_tx.send(d).is_err() {
+                            break;
+                        }
+                    }
+                    (b, timers)
+                })
+            });
+            let ship = recv_b.map(|b| {
+                s.spawn(move || {
+                    let mut timers = PhaseTimers::default();
+                    for d in grad_out_rx {
+                        timed(&mut timers.wire_s, || {
+                            b.grad_tx.send(d).expect("upstream stage hung up")
+                        });
+                    }
+                    (b, timers)
+                })
+            });
+
+            for &mb in &bwd_mbs {
+                let incoming = if !self.is_last_stage() && self.tpi == 0 {
+                    Some(timed(&mut self.timers.wire_s, || {
+                        grad_in_rx.recv().expect("downstream stage hung up")
+                    }))
+                } else {
+                    None
+                };
+                self.backward_mb_body(dhidden, mb, mb_rows, incoming, &mut |_, d| {
+                    grad_out_tx.send(d).expect("boundary ship thread hung up");
+                });
+            }
+            drop(grad_out_tx);
+            let send_b = match prefetch {
+                Some(h) => {
+                    let (b, t) = h.join().expect("boundary helper thread");
+                    self.timers.add(&t);
+                    Some(b)
+                }
+                None => None,
+            };
+            let recv_b = match ship {
+                Some(h) => {
+                    let (b, t) = h.join().expect("boundary helper thread");
+                    self.timers.add(&t);
+                    Some(b)
+                }
+                None => None,
+            };
+            (send_b, recv_b)
+        });
+        self.send_b = send_b;
+        self.recv_b = recv_b;
+    }
+
+    /// Post-drain synchronization, in the serial executor's order:
+    /// per-layer compressor grads first, then boundary replicas. Runs
+    /// with both boundary halves restored to this thread.
+    fn post_drain_sync(&mut self) {
         for layer in &mut self.layers {
             layer.sync_compressor_grads(&mut self.tp, &mut self.timers);
         }
@@ -534,7 +960,6 @@ impl RankWorker {
                 FwdMsg::Activation(_) => panic!("activation during grad sync"),
             }
         }
-        self.done();
     }
 
     /// Visits every parameter this rank owns and updates with SGD:

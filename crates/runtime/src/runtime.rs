@@ -6,13 +6,20 @@
 //! order as the serial [`MpBert`](actcomp_mp::MpBert) builder, so a
 //! threaded run and a serial run built from the same serial encoder and
 //! seed hold bit-identical parameters.
+//!
+//! The rank workers speak [`MsgTx`](crate::link::MsgTx) /
+//! [`MsgRx`](crate::link::MsgRx) links, so the same engine runs over
+//! plain typed channels ([`ThreadedRuntime::from_serial`]) or over any
+//! [`Transport`](actcomp_net::Transport) — in-process mpsc, Unix domain
+//! sockets, loopback TCP — via [`ThreadedRuntime::with_transports`],
+//! with bitwise identical results.
 
 use crate::comm::TpGroup;
 use crate::config::{RuntimeConfig, RuntimeError};
 use crate::layer::RankLayer;
+use crate::link::{build_rank_links, typed_world_links, RankLinks};
 use crate::rank::{
-    BoundaryReceiver, BoundarySender, Command, EmbeddingStage, FwdMsg, RankGrads, RankWorker,
-    Response,
+    BoundaryReceiver, BoundarySender, Command, EmbeddingStage, RankGrads, RankWorker, Response,
 };
 use crate::report::{RankReport, RuntimeReport};
 use crate::trace::{TraceCell, TraceHandle};
@@ -20,6 +27,7 @@ use actcomp_check::TraceEvent;
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_compress::{Compressor, Identity};
 use actcomp_mp::stage_offsets;
+use actcomp_net::Transport;
 use actcomp_nn::BertEncoder;
 use actcomp_tensor::Tensor;
 use rand::{Rng, SeedableRng};
@@ -33,6 +41,189 @@ use std::thread::JoinHandle;
 struct LayerSeeds {
     attn: (CompressorSpec, u64),
     ff: (CompressorSpec, u64),
+}
+
+/// Every compressor seed one run needs, drawn from the driver RNG with
+/// the serial builder's exact draw order. Process mode re-draws the
+/// identical set in every worker from the shared run seed, so all
+/// processes build bit-identical compressor stacks.
+pub(crate) struct Seeds {
+    layers: Vec<LayerSeeds>,
+    boundaries: Vec<Option<u64>>,
+}
+
+impl Seeds {
+    /// Replicates the serial builder's RNG draw order: one seed per
+    /// reduce (attention then feed-forward, in layer order), then one
+    /// per *compressed* pipeline boundary.
+    pub(crate) fn draw(cfg: &RuntimeConfig, rng: &mut ChaCha8Rng) -> Seeds {
+        let tp = cfg.mp.tp;
+        let layers = (0..cfg.mp.bert.layers)
+            .map(|l| {
+                let covered = cfg.mp.plan.covers(l);
+                let spec = if covered && tp > 1 {
+                    cfg.mp.plan.spec
+                } else {
+                    CompressorSpec::Baseline
+                };
+                LayerSeeds {
+                    attn: (spec, rng.gen()),
+                    ff: (spec, rng.gen()),
+                }
+            })
+            .collect();
+        let offsets = stage_offsets(cfg.mp.bert.layers, cfg.mp.pp);
+        let boundaries = (0..cfg.mp.pp.saturating_sub(1))
+            .map(|b| cfg.mp.plan.covers(offsets[b + 1]).then(|| rng.gen()))
+            .collect();
+        Seeds { layers, boundaries }
+    }
+}
+
+/// Builds one rank's worker — shards, compressors, links — identically
+/// whether the rank lives on a thread of this process (threads backend,
+/// transport conformance harness) or is the sole rank of a worker
+/// process (procs backend).
+pub(crate) struct WorkerBuilder<'a> {
+    serial: &'a BertEncoder,
+    cfg: &'a RuntimeConfig,
+    seeds: Seeds,
+    offsets: Vec<usize>,
+}
+
+impl<'a> WorkerBuilder<'a> {
+    pub(crate) fn new(serial: &'a BertEncoder, cfg: &'a RuntimeConfig, seeds: Seeds) -> Self {
+        let offsets = stage_offsets(cfg.mp.bert.layers, cfg.mp.pp);
+        WorkerBuilder {
+            serial,
+            cfg,
+            seeds,
+            offsets,
+        }
+    }
+
+    /// Per-micro-batch activation element count — what the compressors
+    /// are sized for. At `m = 1` this matches the serial executor.
+    fn n(&self) -> usize {
+        (self.cfg.mp.tokens / self.cfg.micro_batches) * self.cfg.mp.bert.hidden
+    }
+
+    fn build_compressor(&self, spec: CompressorSpec, seed: u64) -> Box<dyn Compressor> {
+        let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+        let c = spec.build(&mut wrng, self.n(), self.cfg.mp.bert.hidden);
+        if self.cfg.mp.error_feedback && spec != CompressorSpec::Baseline {
+            Box::new(actcomp_compress::ErrorFeedback::new(c))
+        } else {
+            c
+        }
+    }
+
+    /// The boundary-`b` compressor. Called once on the sending side and
+    /// once on the receiving side with the same seed, yielding the
+    /// lockstep replica pair.
+    fn build_boundary(&self, b: usize) -> Box<dyn Compressor> {
+        match self.seeds.boundaries[b] {
+            Some(seed) => {
+                let mut wrng = ChaCha8Rng::seed_from_u64(seed);
+                let c = self
+                    .cfg
+                    .mp
+                    .plan
+                    .spec
+                    .build(&mut wrng, self.n(), self.cfg.mp.bert.hidden);
+                if self.cfg.mp.error_feedback {
+                    Box::new(actcomp_compress::ErrorFeedback::new(c))
+                } else {
+                    c
+                }
+            }
+            None => Box::new(Identity::new()),
+        }
+    }
+
+    /// Assembles rank `rank`'s worker around its opened links.
+    pub(crate) fn build(
+        &self,
+        rank: usize,
+        links: RankLinks,
+        cmd_rx: Receiver<Command>,
+        resp_tx: Sender<Response>,
+    ) -> RankWorker {
+        let tp = self.cfg.mp.tp;
+        let pp = self.cfg.mp.pp;
+        let stage = rank / tp;
+        let tpi = rank % tp;
+        let lo = self.offsets[stage];
+        let hi = self
+            .offsets
+            .get(stage + 1)
+            .copied()
+            .unwrap_or(self.cfg.mp.bert.layers);
+        let layers: Vec<RankLayer> = (lo..hi)
+            .map(|l| {
+                let seeds = &self.seeds.layers[l];
+                RankLayer::from_serial(
+                    &self.serial.layers[l],
+                    tpi,
+                    tp,
+                    self.build_compressor(seeds.attn.0, seeds.attn.1),
+                    self.build_compressor(seeds.ff.0, seeds.ff.1),
+                )
+            })
+            .collect();
+        let embedding = (stage == 0).then(|| {
+            EmbeddingStage::new(
+                self.serial.tok.clone(),
+                self.serial.pos.clone(),
+                self.serial.emb_ln.clone(),
+            )
+        });
+        let mut ring_ep = TpGroup::from_links(tpi, tp, links.ring_tx, links.ring_rx);
+        // An explicit per-run tuning overrides what the endpoint
+        // captured from process-global state; all ranks of a ring must
+        // agree so they derive identical chunk plans.
+        if let Some(tuning) = self.cfg.tuning {
+            ring_ep.tuning = tuning;
+        }
+        // One trace cell per rank, shared between its ring endpoint and
+        // its worker so ring, broadcast, and boundary events interleave
+        // in program order.
+        let trace = self.cfg.trace.then(|| {
+            let cell: TraceCell = Arc::new(Mutex::new(Vec::new()));
+            TraceHandle::new(stage, cell)
+        });
+        if let Some(t) = &trace {
+            ring_ep.set_trace(t.clone());
+        }
+        let send_b = links.fwd_tx.map(|fwd_tx| BoundarySender {
+            comp: self.build_boundary(stage),
+            bytes: actcomp_mp::CommBytes::default(),
+            tx: fwd_tx,
+            grad_rx: links.grad_rx.expect("sender links come in pairs"),
+        });
+        let recv_b = links.fwd_rx.map(|fwd_rx| BoundaryReceiver {
+            replica: self.build_boundary(stage - 1),
+            rx: fwd_rx,
+            grad_tx: links.grad_tx.expect("receiver links come in pairs"),
+        });
+        RankWorker::new(
+            rank,
+            stage,
+            tpi,
+            pp,
+            self.cfg.micro_batches,
+            embedding,
+            layers,
+            ring_ep,
+            links.bcast_tx,
+            links.bcast_rx,
+            send_b,
+            recv_b,
+            cmd_rx,
+            resp_tx,
+            trace,
+        )
+    }
 }
 
 /// A multi-threaded model-parallel execution engine: `tp · pp` OS
@@ -49,6 +240,10 @@ pub struct ThreadedRuntime {
     resp_rx: Receiver<Response>,
     handles: Vec<JoinHandle<()>>,
     cfg: RuntimeConfig,
+    /// Transports backing the rank links in [`Self::with_transports`]
+    /// runs; kept alive (acceptor threads, sockets) until after the rank
+    /// threads join.
+    transports: Vec<Box<dyn Transport>>,
 }
 
 impl std::fmt::Debug for ThreadedRuntime {
@@ -71,7 +266,8 @@ impl ThreadedRuntime {
         Self::from_serial(&serial, cfg, rng)
     }
 
-    /// Shards an existing serial encoder across `tp · pp` rank threads.
+    /// Shards an existing serial encoder across `tp · pp` rank threads
+    /// wired with in-process typed channels — the fast path.
     ///
     /// `rng` is consumed with the same draw order as
     /// [`MpBert::from_serial`](actcomp_mp::MpBert::from_serial), so the
@@ -82,200 +278,89 @@ impl ThreadedRuntime {
         cfg: RuntimeConfig,
         rng: &mut ChaCha8Rng,
     ) -> Result<Self, RuntimeError> {
+        let links = typed_world_links(cfg.mp.tp, cfg.mp.pp);
+        Self::spawn(serial, cfg, rng, links, Vec::new())
+    }
+
+    /// Shards an existing serial encoder across `tp · pp` rank threads
+    /// whose every inter-rank message crosses the given transports —
+    /// one per rank, `transports[r].rank() == r` — instead of typed
+    /// channels. The transport-conformance suite uses this to prove
+    /// sockets and channels produce bitwise identical training steps.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WorldMismatch`] if the transport set does not
+    /// cover exactly ranks `0..tp·pp` in order;
+    /// [`RuntimeError::Transport`] if opening any link fails. Validation
+    /// errors as in [`Self::from_serial`].
+    pub fn with_transports(
+        serial: &BertEncoder,
+        cfg: RuntimeConfig,
+        rng: &mut ChaCha8Rng,
+        mut transports: Vec<Box<dyn Transport>>,
+    ) -> Result<Self, RuntimeError> {
         cfg.try_validate()?;
-        let tp = cfg.mp.tp;
-        let pp = cfg.mp.pp;
+        let world = cfg.world();
+        if transports.len() != world {
+            return Err(RuntimeError::WorldMismatch {
+                got: transports.len(),
+                need: world,
+            });
+        }
+        for (r, t) in transports.iter().enumerate() {
+            if t.rank() != r || t.world() != world {
+                return Err(RuntimeError::WorldMismatch {
+                    got: t.world(),
+                    need: world,
+                });
+            }
+        }
+        let mut links = Vec::with_capacity(world);
+        for t in transports.iter_mut() {
+            let l = build_rank_links(t.as_mut(), cfg.mp.tp, cfg.mp.pp).map_err(|e| {
+                RuntimeError::Transport {
+                    detail: e.to_string(),
+                }
+            })?;
+            links.push(l);
+        }
+        Self::spawn(serial, cfg, rng, links, transports)
+    }
+
+    /// Common spawn path: draw seeds, build each rank's worker around
+    /// its links, and start the rank threads.
+    fn spawn(
+        serial: &BertEncoder,
+        cfg: RuntimeConfig,
+        rng: &mut ChaCha8Rng,
+        links: Vec<RankLinks>,
+        transports: Vec<Box<dyn Transport>>,
+    ) -> Result<Self, RuntimeError> {
+        cfg.try_validate()?;
         let m = cfg.micro_batches;
-        let world = tp * pp;
-        let h = cfg.mp.bert.hidden;
         if !cfg.mp.tokens.is_multiple_of(m) {
             return Err(RuntimeError::BatchNotDivisible {
                 batch: cfg.mp.tokens,
                 micro_batches: m,
             });
         }
-        // Compressors see per-micro-batch activations of
-        // `tokens/m · hidden` elements; at m = 1 this matches the serial
-        // executor's sizing exactly.
-        let n = (cfg.mp.tokens / m) * h;
+        let world = cfg.world();
+        let seeds = Seeds::draw(&cfg, rng);
+        let builder = WorkerBuilder::new(serial, &cfg, seeds);
 
-        // Replicate the serial builder's RNG draw order: one seed per
-        // reduce (attention then feed-forward, in layer order), then one
-        // per *compressed* boundary.
-        let layer_seeds: Vec<LayerSeeds> = (0..cfg.mp.bert.layers)
-            .map(|l| {
-                let covered = cfg.mp.plan.covers(l);
-                let spec = if covered && tp > 1 {
-                    cfg.mp.plan.spec
-                } else {
-                    CompressorSpec::Baseline
-                };
-                LayerSeeds {
-                    attn: (spec, rng.gen()),
-                    ff: (spec, rng.gen()),
-                }
-            })
-            .collect();
-        let offsets = stage_offsets(cfg.mp.bert.layers, pp);
-        let boundary_seeds: Vec<Option<u64>> = (0..pp.saturating_sub(1))
-            .map(|b| cfg.mp.plan.covers(offsets[b + 1]).then(|| rng.gen()))
-            .collect();
-
-        let build = |spec: CompressorSpec, seed: u64| -> Box<dyn Compressor> {
-            let mut wrng = ChaCha8Rng::seed_from_u64(seed);
-            let c = spec.build(&mut wrng, n, h);
-            if cfg.mp.error_feedback && spec != CompressorSpec::Baseline {
-                Box::new(actcomp_compress::ErrorFeedback::new(c))
-            } else {
-                c
-            }
-        };
-        let build_boundary = |b: usize| -> Box<dyn Compressor> {
-            match boundary_seeds[b] {
-                Some(seed) => {
-                    let mut wrng = ChaCha8Rng::seed_from_u64(seed);
-                    let c = cfg.mp.plan.spec.build(&mut wrng, n, h);
-                    if cfg.mp.error_feedback {
-                        Box::new(actcomp_compress::ErrorFeedback::new(c))
-                    } else {
-                        c
-                    }
-                }
-                None => Box::new(Identity::new()),
-            }
-        };
-
-        // Channel plumbing. All senders/receivers are created up front
-        // on the driver thread, then moved into the rank workers.
         let (resp_tx, resp_rx) = channel::<Response>();
         let mut cmd_txs = Vec::with_capacity(world);
-        let mut cmd_rxs = Vec::with_capacity(world);
-        for _ in 0..world {
-            let (tx, rx) = channel::<Command>();
-            cmd_txs.push(tx);
-            cmd_rxs.push(Some(rx));
-        }
-        let mut rings: Vec<Vec<Option<TpGroup>>> = (0..pp)
-            .map(|_| TpGroup::ring(tp).into_iter().map(Some).collect())
-            .collect();
-        // An explicit per-engine tuning overrides what the endpoints
-        // captured from process-global state — every endpoint of every
-        // ring, so all ranks derive identical chunk plans.
-        if let Some(tuning) = cfg.tuning {
-            for ring in &mut rings {
-                for ep in ring.iter_mut().flatten() {
-                    ep.tuning = tuning;
-                }
-            }
-        }
-        // Intra-stage broadcast fan-out from each stage's rank 0.
-        let mut bcast_txs: Vec<Vec<Sender<Tensor>>> = Vec::with_capacity(pp);
-        let mut bcast_rxs: Vec<Vec<Option<Receiver<Tensor>>>> = Vec::with_capacity(pp);
-        for _ in 0..pp {
-            let mut txs = Vec::new();
-            let mut rxs: Vec<Option<Receiver<Tensor>>> = vec![None];
-            for _ in 1..tp {
-                let (tx, rx) = channel::<Tensor>();
-                txs.push(tx);
-                rxs.push(Some(rx));
-            }
-            bcast_txs.push(txs);
-            bcast_rxs.push(rxs);
-        }
-        // Pipeline boundary links between consecutive stages' rank 0s.
-        let mut senders: Vec<Option<BoundarySender>> = Vec::with_capacity(pp);
-        let mut receivers: Vec<Option<BoundaryReceiver>> = (0..pp).map(|_| None).collect();
-        for b in 0..pp.saturating_sub(1) {
-            let (fwd_tx, fwd_rx) = channel::<FwdMsg>();
-            let (grad_tx, grad_rx) = channel::<Tensor>();
-            senders.push(Some(BoundarySender {
-                comp: build_boundary(b),
-                bytes: actcomp_mp::CommBytes::default(),
-                tx: fwd_tx,
-                grad_rx,
-            }));
-            receivers[b + 1] = Some(BoundaryReceiver {
-                replica: build_boundary(b),
-                rx: fwd_rx,
-                grad_tx,
-            });
-        }
-        senders.push(None);
-
         let mut handles = Vec::with_capacity(world);
-        for stage in 0..pp {
-            let lo = offsets[stage];
-            let hi = offsets
-                .get(stage + 1)
-                .copied()
-                .unwrap_or(cfg.mp.bert.layers);
-            for tpi in 0..tp {
-                let rank = stage * tp + tpi;
-                let layers: Vec<RankLayer> = (lo..hi)
-                    .map(|l| {
-                        let seeds = &layer_seeds[l];
-                        RankLayer::from_serial(
-                            &serial.layers[l],
-                            tpi,
-                            tp,
-                            build(seeds.attn.0, seeds.attn.1),
-                            build(seeds.ff.0, seeds.ff.1),
-                        )
-                    })
-                    .collect();
-                let embedding = (stage == 0).then(|| {
-                    EmbeddingStage::new(
-                        serial.tok.clone(),
-                        serial.pos.clone(),
-                        serial.emb_ln.clone(),
-                    )
-                });
-                let mut ring_ep = rings[stage][tpi].take().expect("ring endpoint");
-                // One trace cell per rank, shared between its ring
-                // endpoint and its worker so ring, broadcast, and
-                // boundary events interleave in program order.
-                let trace = cfg.trace.then(|| {
-                    let cell: TraceCell = Arc::new(Mutex::new(Vec::new()));
-                    TraceHandle::new(stage, cell)
-                });
-                if let Some(t) = &trace {
-                    ring_ep.set_trace(t.clone());
-                }
-                let worker = RankWorker::new(
-                    rank,
-                    stage,
-                    tpi,
-                    pp,
-                    m,
-                    embedding,
-                    layers,
-                    ring_ep,
-                    if tpi == 0 {
-                        std::mem::take(&mut bcast_txs[stage])
-                    } else {
-                        Vec::new()
-                    },
-                    bcast_rxs[stage][tpi].take(),
-                    if tpi == 0 {
-                        senders[stage].take()
-                    } else {
-                        None
-                    },
-                    if tpi == 0 {
-                        receivers[stage].take()
-                    } else {
-                        None
-                    },
-                    cmd_rxs[rank].take().expect("command receiver"),
-                    resp_tx.clone(),
-                    trace,
-                );
-                let handle = std::thread::Builder::new()
-                    .name(format!("actcomp-rank-{rank}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn rank thread");
-                handles.push(handle);
-            }
+        for (rank, rank_links) in links.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = channel::<Command>();
+            cmd_txs.push(cmd_tx);
+            let worker = builder.build(rank, rank_links, cmd_rx, resp_tx.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("actcomp-rank-{rank}"))
+                .spawn(move || worker.run())
+                .expect("spawn rank thread");
+            handles.push(handle);
         }
 
         Ok(ThreadedRuntime {
@@ -283,6 +368,7 @@ impl ThreadedRuntime {
             resp_rx,
             handles,
             cfg,
+            transports,
         })
     }
 
@@ -431,59 +517,7 @@ impl ThreadedRuntime {
             .into_iter()
             .map(|g| g.expect("every rank reported grads"))
             .collect();
-
-        let tp = self.cfg.mp.tp;
-        let pp = self.cfg.mp.pp;
-        let offsets = stage_offsets(self.cfg.mp.bert.layers, pp);
-        let mut out: Vec<Tensor> = Vec::new();
-        out.extend(grads[0].embedding.iter().cloned());
-        let stage_of = |l: usize| -> (usize, usize) {
-            let stage = (0..pp)
-                .rev()
-                .find(|&s| offsets[s] <= l)
-                .expect("layer maps to a stage");
-            (stage, l - offsets[stage])
-        };
-        for l in 0..self.cfg.mp.bert.layers {
-            let (stage, li) = stage_of(l);
-            let at = |t: usize| &grads[stage * tp + t].layers[li];
-            for t in 0..tp {
-                out.extend(at(t).wq.iter().cloned());
-            }
-            for t in 0..tp {
-                out.extend(at(t).wk.iter().cloned());
-            }
-            for t in 0..tp {
-                out.extend(at(t).wv.iter().cloned());
-            }
-            for t in 0..tp {
-                out.push(at(t).wo_weight.clone());
-            }
-            out.push(at(0).wo_bias.clone());
-            out.extend(at(0).ln1.iter().cloned());
-            for t in 0..tp {
-                out.extend(at(t).fc1.iter().cloned());
-            }
-            for t in 0..tp {
-                out.push(at(t).fc2_weight.clone());
-            }
-            out.push(at(0).fc2_bias.clone());
-            out.extend(at(0).ln2.iter().cloned());
-        }
-        for l in 0..self.cfg.mp.bert.layers {
-            let (stage, li) = stage_of(l);
-            let at = |t: usize| &grads[stage * tp + t].layers[li];
-            for t in 0..tp {
-                out.extend(at(t).attn_comp.iter().cloned());
-            }
-            for t in 0..tp {
-                out.extend(at(t).ff_comp.iter().cloned());
-            }
-        }
-        for b in 0..pp.saturating_sub(1) {
-            out.extend(grads[b * tp].boundary_comp.iter().cloned());
-        }
-        out
+        assemble_grads(&self.cfg, &grads)
     }
 
     /// Gathers per-rank timers and byte counters into the aggregated
@@ -508,6 +542,65 @@ impl ThreadedRuntime {
     }
 }
 
+/// Reassembles per-rank gradient snapshots (indexed by rank) into the
+/// exact order
+/// [`MpBert::visit_all_params`](actcomp_mp::MpBert::visit_all_params)
+/// visits them. Shared by the threads and procs drivers.
+pub(crate) fn assemble_grads(cfg: &RuntimeConfig, grads: &[RankGrads]) -> Vec<Tensor> {
+    let tp = cfg.mp.tp;
+    let pp = cfg.mp.pp;
+    let offsets = stage_offsets(cfg.mp.bert.layers, pp);
+    let mut out: Vec<Tensor> = Vec::new();
+    out.extend(grads[0].embedding.iter().cloned());
+    let stage_of = |l: usize| -> (usize, usize) {
+        let stage = (0..pp)
+            .rev()
+            .find(|&s| offsets[s] <= l)
+            .expect("layer maps to a stage");
+        (stage, l - offsets[stage])
+    };
+    for l in 0..cfg.mp.bert.layers {
+        let (stage, li) = stage_of(l);
+        let at = |t: usize| &grads[stage * tp + t].layers[li];
+        for t in 0..tp {
+            out.extend(at(t).wq.iter().cloned());
+        }
+        for t in 0..tp {
+            out.extend(at(t).wk.iter().cloned());
+        }
+        for t in 0..tp {
+            out.extend(at(t).wv.iter().cloned());
+        }
+        for t in 0..tp {
+            out.push(at(t).wo_weight.clone());
+        }
+        out.push(at(0).wo_bias.clone());
+        out.extend(at(0).ln1.iter().cloned());
+        for t in 0..tp {
+            out.extend(at(t).fc1.iter().cloned());
+        }
+        for t in 0..tp {
+            out.push(at(t).fc2_weight.clone());
+        }
+        out.push(at(0).fc2_bias.clone());
+        out.extend(at(0).ln2.iter().cloned());
+    }
+    for l in 0..cfg.mp.bert.layers {
+        let (stage, li) = stage_of(l);
+        let at = |t: usize| &grads[stage * tp + t].layers[li];
+        for t in 0..tp {
+            out.extend(at(t).attn_comp.iter().cloned());
+        }
+        for t in 0..tp {
+            out.extend(at(t).ff_comp.iter().cloned());
+        }
+    }
+    for b in 0..pp.saturating_sub(1) {
+        out.extend(grads[b * tp].boundary_comp.iter().cloned());
+    }
+    out
+}
+
 impl Drop for ThreadedRuntime {
     fn drop(&mut self) {
         for tx in &self.cmd_txs {
@@ -517,6 +610,9 @@ impl Drop for ThreadedRuntime {
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        for t in self.transports.iter_mut() {
+            t.shutdown();
         }
     }
 }

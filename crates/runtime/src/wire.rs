@@ -1,0 +1,474 @@
+//! Bit-exact binary serialization for every message the runtime moves
+//! over a framed transport.
+//!
+//! The codec is hand-rolled little-endian rather than JSON because the
+//! transport-conformance invariant is *bitwise*: an `f32` must cross
+//! the wire as its exact bit pattern (`to_le_bytes`/`from_le_bytes`),
+//! never through a decimal round-trip. Layout is positional with a
+//! one-byte tag for enums — exactly what the in-process typed channels
+//! carry, flattened.
+//!
+//! Decoding returns typed errors; the data-plane callers treat a
+//! malformed frame the same way they treat a hung-up channel (the
+//! worker aborts), while control-plane callers surface it.
+
+use crate::layer::LayerGrads;
+use crate::rank::RankGrads;
+use actcomp_compress::{Compressed, Payload};
+use actcomp_tensor::{Shape, Tensor};
+use bytes::Bytes;
+
+/// A decode failure: what was being parsed and why it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What the decoder was reading.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire payload while decoding {}", self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fail<T>(what: &'static str) -> Result<T, WireError> {
+    Err(WireError { what })
+}
+
+/// A cursor over a received payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.at + n > self.buf.len() {
+            return fail(what);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, WireError> {
+        Ok(self.u64(what)? as usize)
+    }
+
+    fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let n = self.usize(what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+
+    fn f32_vec(&mut self, what: &'static str) -> Result<Vec<f32>, WireError> {
+        let n = self.usize(what)?;
+        let raw = self.take(n.checked_mul(4).ok_or(WireError { what })?, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn u32_vec(&mut self, what: &'static str) -> Result<Vec<u32>, WireError> {
+        let n = self.usize(what)?;
+        let raw = self.take(n.checked_mul(4).ok_or(WireError { what })?, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, WireError> {
+        let raw = self.bytes(what)?;
+        String::from_utf8(raw).or(fail(what))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+pub(crate) fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_usize(out, v.len());
+    out.extend_from_slice(v);
+}
+
+pub(crate) fn put_f32_slice(out: &mut Vec<u8>, v: &[f32]) {
+    put_usize(out, v.len());
+    out.reserve(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+pub(crate) fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_usize(out, v.len());
+    out.reserve(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// The message trait
+// ---------------------------------------------------------------------
+
+/// A message with a flat little-endian wire form. Encoding then
+/// decoding yields a bitwise-identical value (f32 payloads included).
+pub trait WireMsg: Sized + Send {
+    /// Appends this value's wire form to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Parses one value from the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a full message into a fresh payload buffer.
+pub fn encode_msg<T: WireMsg>(msg: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    msg.encode(&mut out);
+    out
+}
+
+/// Decodes a full payload, requiring every byte to be consumed.
+pub fn decode_msg<T: WireMsg>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(buf);
+    let v = T::decode(&mut r)?;
+    if !r.done() {
+        return fail("trailing bytes");
+    }
+    Ok(v)
+}
+
+impl WireMsg for Tensor {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let dims = self.dims();
+        put_usize(out, dims.len());
+        for &d in dims {
+            put_usize(out, d);
+        }
+        put_f32_slice(out, self.as_slice());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let rank = r.usize("tensor rank")?;
+        if rank > 8 {
+            return fail("tensor rank");
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(r.usize("tensor dim")?);
+        }
+        if dims.contains(&0) {
+            return fail("tensor dim");
+        }
+        let data = r.f32_vec("tensor data")?;
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return fail("tensor data length");
+        }
+        Ok(Tensor::from_vec(data, shape))
+    }
+}
+
+impl WireMsg for Vec<Tensor> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.len());
+        for t in self {
+            t.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.usize("tensor list length")?;
+        if n > 1 << 24 {
+            return fail("tensor list length");
+        }
+        (0..n).map(|_| Tensor::decode(r)).collect()
+    }
+}
+
+impl WireMsg for Compressed {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let dims = self.shape().dims();
+        put_usize(out, dims.len());
+        for &d in dims {
+            put_usize(out, d);
+        }
+        match self.payload() {
+            Payload::Dense(t) => {
+                put_u8(out, 0);
+                t.encode(out);
+            }
+            Payload::Sparse { values, indices } => {
+                put_u8(out, 1);
+                put_f32_slice(out, values);
+                put_u32_slice(out, indices);
+            }
+            Payload::Quantized {
+                codes,
+                bits,
+                scale,
+                zero,
+            } => {
+                put_u8(out, 2);
+                put_bytes(out, &codes.to_vec());
+                put_u8(out, *bits);
+                put_f32(out, *scale);
+                put_f32(out, *zero);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let rank = r.usize("compressed shape rank")?;
+        if rank > 8 {
+            return fail("compressed shape rank");
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(r.usize("compressed shape dim")?);
+        }
+        if dims.contains(&0) {
+            return fail("compressed shape dim");
+        }
+        let shape = Shape::new(dims);
+        let payload = match r.u8("compressed payload tag")? {
+            0 => Payload::Dense(Tensor::decode(r)?),
+            1 => Payload::Sparse {
+                values: r.f32_vec("sparse values")?,
+                indices: r.u32_vec("sparse indices")?,
+            },
+            2 => Payload::Quantized {
+                codes: Bytes::copy_from_slice(&r.bytes("quantized codes")?),
+                bits: r.u8("quantized bits")?,
+                scale: r.f32("quantized scale")?,
+                zero: r.f32("quantized zero")?,
+            },
+            _ => return fail("compressed payload tag"),
+        };
+        Ok(Compressed::new(payload, shape))
+    }
+}
+
+impl WireMsg for LayerGrads {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.wq.encode(out);
+        self.wk.encode(out);
+        self.wv.encode(out);
+        self.wo_weight.encode(out);
+        self.wo_bias.encode(out);
+        self.ln1.encode(out);
+        self.fc1.encode(out);
+        self.fc2_weight.encode(out);
+        self.fc2_bias.encode(out);
+        self.ln2.encode(out);
+        self.attn_comp.encode(out);
+        self.ff_comp.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LayerGrads {
+            wq: Vec::<Tensor>::decode(r)?,
+            wk: Vec::<Tensor>::decode(r)?,
+            wv: Vec::<Tensor>::decode(r)?,
+            wo_weight: Tensor::decode(r)?,
+            wo_bias: Tensor::decode(r)?,
+            ln1: Vec::<Tensor>::decode(r)?,
+            fc1: Vec::<Tensor>::decode(r)?,
+            fc2_weight: Tensor::decode(r)?,
+            fc2_bias: Tensor::decode(r)?,
+            ln2: Vec::<Tensor>::decode(r)?,
+            attn_comp: Vec::<Tensor>::decode(r)?,
+            ff_comp: Vec::<Tensor>::decode(r)?,
+        })
+    }
+}
+
+impl WireMsg for RankGrads {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.embedding.encode(out);
+        put_usize(out, self.layers.len());
+        for l in &self.layers {
+            l.encode(out);
+        }
+        self.boundary_comp.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let embedding = Vec::<Tensor>::decode(r)?;
+        let n = r.usize("layer grads length")?;
+        if n > 1 << 16 {
+            return fail("layer grads length");
+        }
+        let layers = (0..n)
+            .map(|_| LayerGrads::decode(r))
+            .collect::<Result<_, _>>()?;
+        let boundary_comp = Vec::<Tensor>::decode(r)?;
+        Ok(RankGrads {
+            embedding,
+            layers,
+            boundary_comp,
+        })
+    }
+}
+
+// Re-exported reader helpers for the control-plane codecs in
+// `procs.rs` (Hello/PeerTable frames use strings and scalars).
+impl Reader<'_> {
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_string(&mut self, what: &'static str) -> Result<String, WireError> {
+        self.string(what)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        self.u8(what)
+    }
+
+    /// Reads a `u64` length/count as `usize`.
+    pub fn read_usize(&mut self, what: &'static str) -> Result<usize, WireError> {
+        self.usize(what)
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        self.f32(what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireMsg + PartialEq + std::fmt::Debug>(v: &T) {
+        let buf = encode_msg(v);
+        let back: T = decode_msg(&buf).expect("decode");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn tensors_roundtrip_bitwise() {
+        roundtrip(&Tensor::from_vec(
+            vec![1.0f32, -0.0, f32::MIN_POSITIVE, 3.5e-39, 1.0e38],
+            vec![5],
+        ));
+        roundtrip(&Tensor::from_vec(
+            (0..24).map(|i| i as f32 * 0.1).collect(),
+            vec![2, 3, 4],
+        ));
+    }
+
+    #[test]
+    fn compressed_payloads_roundtrip() {
+        let dense = Compressed::new(
+            Payload::Dense(Tensor::from_vec(vec![0.25f32, -1.5], vec![2])),
+            Shape::new(vec![2]),
+        );
+        let buf = encode_msg(&dense);
+        let back: Compressed = decode_msg(&buf).expect("decode");
+        assert_eq!(back.shape(), dense.shape());
+        match (back.payload(), dense.payload()) {
+            (Payload::Dense(a), Payload::Dense(b)) => assert_eq!(a, b),
+            _ => panic!("payload variant changed"),
+        }
+
+        let sparse = Compressed::new(
+            Payload::Sparse {
+                values: vec![1.0, 2.5],
+                indices: vec![3, 7],
+            },
+            Shape::new(vec![4, 2]),
+        );
+        let back: Compressed = decode_msg(&encode_msg(&sparse)).expect("decode");
+        match back.payload() {
+            Payload::Sparse { values, indices } => {
+                assert_eq!(values, &[1.0, 2.5]);
+                assert_eq!(indices, &[3, 7]);
+            }
+            _ => panic!("payload variant changed"),
+        }
+
+        let quant = Compressed::new(
+            Payload::Quantized {
+                codes: Bytes::copy_from_slice(&[0xAB, 0xCD]),
+                bits: 4,
+                scale: 0.125,
+                zero: -1.0,
+            },
+            Shape::new(vec![2, 2]),
+        );
+        let back: Compressed = decode_msg(&encode_msg(&quant)).expect("decode");
+        match back.payload() {
+            Payload::Quantized {
+                codes,
+                bits,
+                scale,
+                zero,
+            } => {
+                assert_eq!(codes.to_vec(), vec![0xAB, 0xCD]);
+                assert_eq!(*bits, 4);
+                assert_eq!(*scale, 0.125);
+                assert_eq!(*zero, -1.0);
+            }
+            _ => panic!("payload variant changed"),
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let t = Tensor::from_vec(vec![1.0f32; 6], vec![2, 3]);
+        let buf = encode_msg(&t);
+        assert!(decode_msg::<Tensor>(&buf[..buf.len() - 1]).is_err());
+        let mut extra = buf.clone();
+        extra.push(0);
+        assert!(decode_msg::<Tensor>(&extra).is_err());
+    }
+}

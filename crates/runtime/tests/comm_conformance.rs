@@ -61,6 +61,11 @@ fn experiment(
         kernel_threads: None,
         chunk_rows,
         pipeline_depth: Some(depth),
+        transport: None,
+        link_mbps: None,
+        world_size: None,
+        listen: None,
+        trace: None,
     });
     cfg
 }
