@@ -107,6 +107,21 @@ pub const PROCS_TRACE_UNSUPPORTED: &str = "AC0705";
 /// `runtime.world_size` disagrees with `tp * pp` in procs mode.
 pub const PROCS_WORLD_MISMATCH: &str = "AC0706";
 
+/// `runtime.fault` does not parse under the fault-spec grammar.
+pub const FAULT_SPEC_INVALID: &str = "AC0801";
+/// Fault-injection or recovery options on a backend that is not
+/// `procs` (in-process backends have no processes to kill or respawn).
+pub const FAULT_WRONG_BACKEND: &str = "AC0802";
+/// `runtime.step_timeout_s` or `runtime.rendezvous_timeout_s` is not a
+/// positive finite duration.
+pub const TIMEOUT_INVALID: &str = "AC0803";
+/// A `kill` fault names a rank outside `0..tp*pp` (it would never
+/// fire).
+pub const FAULT_RANK_OUT_OF_WORLD: &str = "AC0804";
+/// `runtime.checkpoint_every` is zero (checkpoints must be at least
+/// one step apart).
+pub const CHECKPOINT_INTERVAL_INVALID: &str = "AC0805";
+
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
     /// The `ACxxxx` code.
@@ -315,6 +330,31 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             PROCS_WORLD_MISMATCH,
             "runtime.world_size disagrees with tp x pp in procs mode",
+            false,
+        ),
+        row(
+            FAULT_SPEC_INVALID,
+            "runtime.fault does not parse under the fault-spec grammar",
+            false,
+        ),
+        row(
+            FAULT_WRONG_BACKEND,
+            "fault/recovery options on a backend without processes",
+            false,
+        ),
+        row(
+            TIMEOUT_INVALID,
+            "step/rendezvous timeout is not a positive finite duration",
+            false,
+        ),
+        row(
+            FAULT_RANK_OUT_OF_WORLD,
+            "kill fault names a rank outside the world (never fires)",
+            false,
+        ),
+        row(
+            CHECKPOINT_INTERVAL_INVALID,
+            "checkpoint interval is zero",
             false,
         ),
     ]

@@ -157,6 +157,24 @@ pub struct RuntimeSection {
     /// --audit`). Only the in-process backends can trace; the `procs`
     /// backend rejects it.
     pub trace: Option<bool>,
+    /// Per-step response deadline in seconds for the `procs` launcher
+    /// (omitted: 600). Must be positive and finite.
+    pub step_timeout_s: Option<f64>,
+    /// Worker rendezvous deadline in seconds for the `procs` launcher
+    /// (omitted: 120). Must be positive and finite.
+    pub rendezvous_timeout_s: Option<f64>,
+    /// Deterministic fault-injection spec (`actcomp run --fault`
+    /// grammar, e.g. `kill:rank=1@step=3` or `corrupt:frame=2,seed=7`).
+    /// Only the `procs` backend injects faults.
+    pub fault: Option<String>,
+    /// Take a distributed checkpoint every N steps (`procs` backend
+    /// only). Must be at least 1 when given.
+    pub checkpoint_every: Option<usize>,
+    /// Directory for checkpoint shards and the recovery manifest.
+    pub checkpoint_dir: Option<String>,
+    /// Worker-generation restarts the supervisor may attempt before
+    /// giving up (`procs` backend only).
+    pub max_restarts: Option<usize>,
 }
 
 impl RuntimeSection {
@@ -176,6 +194,12 @@ impl RuntimeSection {
             world_size: None,
             listen: None,
             trace: None,
+            step_timeout_s: None,
+            rendezvous_timeout_s: None,
+            fault: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            max_restarts: None,
         }
     }
 

@@ -1,5 +1,6 @@
-//! Execution-backend checks (`AC0301`–`AC0304`) and multi-process
-//! transport checks (`AC0701`–`AC0706`).
+//! Execution-backend checks (`AC0301`–`AC0304`), multi-process
+//! transport checks (`AC0701`–`AC0706`), and fault-injection /
+//! recovery checks (`AC0801`–`AC0805`).
 //!
 //! The threaded engine (`actcomp-runtime`) has its own structural
 //! invariants on top of the shape/plan/schedule algebra: the backend
@@ -55,6 +56,7 @@ pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
     }
 
     check_transport(cfg, rt, diags);
+    check_fault(cfg, rt, diags);
 
     // --- thread count (AC0302) -----------------------------------------
     // The threaded engine spawns exactly one OS thread per rank, so an
@@ -308,6 +310,115 @@ fn check_transport(cfg: &ExperimentConfig, rt: &RuntimeSection, diags: &mut Diag
                 .with_help("omit runtime.world_size to infer it from the degrees"),
             );
         }
+    }
+}
+
+/// The fault-injection / recovery pass (`AC0801`–`AC0805`). Every field
+/// it checks configures the `procs` launcher's fault-tolerance
+/// machinery: injection specs, checkpoint cadence, restart budget, and
+/// the detection timeouts. The engine validates the same things at
+/// launch (a bad spec or zero interval is a typed `ProcsError`); the
+/// checker surfaces them before any process spawns.
+fn check_fault(cfg: &ExperimentConfig, rt: &RuntimeSection, diags: &mut Diagnostics) {
+    let procs = rt.backend == "procs";
+    let world = cfg.parallelism.tp * cfg.parallelism.pp;
+
+    // --- fault/recovery options on in-process backends (AC0802) --------
+    if !procs {
+        for (field, set) in [
+            ("runtime.fault", rt.fault.is_some()),
+            ("runtime.checkpoint_every", rt.checkpoint_every.is_some()),
+            ("runtime.checkpoint_dir", rt.checkpoint_dir.is_some()),
+            ("runtime.max_restarts", rt.max_restarts.is_some()),
+            ("runtime.step_timeout_s", rt.step_timeout_s.is_some()),
+            (
+                "runtime.rendezvous_timeout_s",
+                rt.rendezvous_timeout_s.is_some(),
+            ),
+        ] {
+            if set {
+                diags.push(
+                    Diagnostic::error(
+                        codes::FAULT_WRONG_BACKEND,
+                        field,
+                        format!(
+                            "{field} is set but backend `{}` has no worker processes to \
+                             kill, time out, or respawn",
+                            rt.backend
+                        ),
+                    )
+                    .with_help("fault injection and recovery belong to `backend = \"procs\"`"),
+                );
+            }
+        }
+    }
+
+    // --- fault spec grammar (AC0801) + kill target (AC0804) ------------
+    if let Some(spec) = &rt.fault {
+        match actcomp_net::FaultPlan::parse(spec) {
+            Err(e) => {
+                diags.push(
+                    Diagnostic::error(
+                        codes::FAULT_SPEC_INVALID,
+                        "runtime.fault",
+                        format!("fault spec `{spec}` does not parse: {e}"),
+                    )
+                    .with_help(
+                        "grammar: kill:rank=R@step=K | drop|dup|corrupt|sever:frame=N[,rank=R] \
+                         | delay:frame=N,ms=M | <kind>:p=P[,seed=S]",
+                    ),
+                );
+            }
+            Ok(plan) => {
+                if let Some(kill) = plan.kill() {
+                    if world > 0 && kill.rank >= world {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::FAULT_RANK_OUT_OF_WORLD,
+                                "runtime.fault",
+                                format!(
+                                    "kill fault targets rank {} but the world holds ranks \
+                                     0..{world}; it would never fire",
+                                    kill.rank
+                                ),
+                            )
+                            .with_help("target a rank inside 0..tp*pp"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- detection timeouts (AC0803) -----------------------------------
+    for (field, val) in [
+        ("runtime.step_timeout_s", rt.step_timeout_s),
+        ("runtime.rendezvous_timeout_s", rt.rendezvous_timeout_s),
+    ] {
+        if let Some(secs) = val {
+            if !(secs.is_finite() && secs > 0.0) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::TIMEOUT_INVALID,
+                        field,
+                        format!("{field} = {secs} is not a positive finite duration"),
+                    )
+                    .with_help("give the deadline in seconds, e.g. step_timeout_s = 60.0"),
+                );
+            }
+        }
+    }
+
+    // --- checkpoint interval (AC0805) ----------------------------------
+    if rt.checkpoint_every == Some(0) {
+        diags.push(
+            Diagnostic::error(
+                codes::CHECKPOINT_INTERVAL_INVALID,
+                "runtime.checkpoint_every",
+                "checkpoint_every is zero; checkpoints must be at least one step apart".to_string(),
+            )
+            .with_help("use checkpoint_every >= 1, or omit it to disable checkpointing"),
+        );
     }
 }
 
@@ -579,5 +690,81 @@ mod tests {
         let diags = run(&with_runtime(rt));
         assert_eq!(codes_of(&diags), vec![codes::PROCS_WORLD_MISMATCH]);
         assert!(diags[0].message.contains("exactly 4 worker processes"));
+    }
+
+    #[test]
+    fn clean_fault_and_recovery_configs_pass() {
+        let mut rt = procs_default();
+        rt.fault = Some("kill:rank=1@step=3".to_string());
+        rt.checkpoint_every = Some(2);
+        rt.checkpoint_dir = Some("/tmp/ckpt".to_string());
+        rt.max_restarts = Some(2);
+        rt.step_timeout_s = Some(60.0);
+        rt.rendezvous_timeout_s = Some(30.0);
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_fault_specs() {
+        let mut rt = procs_default();
+        rt.fault = Some("explode:rank=1".to_string());
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::FAULT_SPEC_INVALID]);
+        assert!(diags[0].message.contains("does not parse"));
+    }
+
+    #[test]
+    fn rejects_fault_options_on_in_process_backends() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.fault = Some("kill:rank=1@step=3".to_string());
+        rt.max_restarts = Some(1);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(diags.len(), 2);
+        assert!(codes_of(&diags)
+            .iter()
+            .all(|c| *c == codes::FAULT_WRONG_BACKEND));
+    }
+
+    #[test]
+    fn rejects_nonsense_timeouts() {
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let mut rt = procs_default();
+            rt.step_timeout_s = Some(bad);
+            assert_eq!(
+                codes_of(&run(&with_runtime(rt))),
+                vec![codes::TIMEOUT_INVALID],
+                "step_timeout_s = {bad}"
+            );
+        }
+        let mut rt = procs_default();
+        rt.rendezvous_timeout_s = Some(-1.0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::TIMEOUT_INVALID]
+        );
+    }
+
+    #[test]
+    fn rejects_kill_rank_outside_world() {
+        let mut rt = procs_default();
+        rt.fault = Some("kill:rank=7@step=1".to_string()); // world is 4
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::FAULT_RANK_OUT_OF_WORLD]);
+        assert!(diags[0].message.contains("never fire"));
+
+        // In-world kill targets are fine.
+        let mut rt = procs_default();
+        rt.fault = Some("kill:rank=3@step=1".to_string());
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_checkpoint_interval() {
+        let mut rt = procs_default();
+        rt.checkpoint_every = Some(0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::CHECKPOINT_INTERVAL_INVALID]
+        );
     }
 }

@@ -55,6 +55,8 @@ USAGE:
                         [--vocab N] [--micro-batches N] [--kernel-threads N] [--chunk-rows N]
                         [--pipeline-depth N] [--error-feedback] [--audit] [--seed N] [--out PATH]
                         [--transport uds|tcp] [--link-mbps X] [--grad-hash]
+                        [--fault SPEC] [--checkpoint-every N] [--checkpoint-dir PATH]
+                        [--max-restarts N] [--step-timeout SECS] [--rendezvous-timeout SECS]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -62,7 +64,11 @@ USAGE:
   actcomp specs
 
 Spec IDs follow the paper's Table 1: w/o A1 A2 T1-T4 R1-R4 Q1-Q3.
-Tasks: mnli qqp sst2 mrpc cola qnli rte stsb."
+Tasks: mnli qqp sst2 mrpc cola qnli rte stsb.
+
+Fault specs (--fault, procs backend): kill:rank=R@step=K, drop|dup|corrupt|sever:frame=N[,rank=R],
+delay:frame=N,ms=M, <kind>:p=P[,seed=S]. With --checkpoint-every, a killed rank's generation is
+fenced off and the world restarts from the last checkpoint (see DESIGN.md, Fault tolerance)."
     );
 }
 
@@ -255,6 +261,36 @@ fn run(args: &Args) {
             std::process::exit(2);
         })
     });
+    // Fault-injection and recovery options (procs backend; the checker's
+    // AC08xx pass rejects them elsewhere and validates the values).
+    let fault = args.raw("fault").map(str::to_string);
+    let checkpoint_every = args.raw("checkpoint-every").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: --checkpoint-every expects a step count, got '{v}'");
+            std::process::exit(2);
+        })
+    });
+    let checkpoint_dir = args.get("checkpoint-dir", "CKPT_actcomp").to_string();
+    // Restarts default on (2) as soon as the run opts into the
+    // fault-tolerance machinery; plain runs keep fail-fast semantics.
+    let max_restarts = match args.raw("max-restarts") {
+        Some(v) => v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: --max-restarts expects a count, got '{v}'");
+            std::process::exit(2);
+        }),
+        None if fault.is_some() || checkpoint_every.is_some() => 2,
+        None => 0,
+    };
+    let parse_secs = |key: &str| {
+        args.raw(key).map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("error: --{key} expects seconds, got '{v}'");
+                std::process::exit(2);
+            })
+        })
+    };
+    let step_timeout_s = parse_secs("step-timeout");
+    let rendezvous_timeout_s = parse_secs("rendezvous-timeout");
 
     // Static validation first — the same checker path as `actcomp check`,
     // including the AC03xx runtime pass — so a bad flag combination dies
@@ -291,6 +327,14 @@ fn run(args: &Args) {
         world_size: None,
         listen: None,
         trace: Some(audit),
+        step_timeout_s,
+        rendezvous_timeout_s,
+        fault: fault.clone(),
+        checkpoint_every,
+        // Only the explicit flag goes through validation; the CLI's
+        // default directory is not a config statement.
+        checkpoint_dir: args.raw("checkpoint-dir").map(str::to_string),
+        max_restarts: args.raw("max-restarts").and(Some(max_restarts)),
     });
     validate_or_exit(&cfg);
     if let Some(n) = kernel_threads {
@@ -413,32 +457,57 @@ fn run(args: &Args) {
                 tuning: None,
                 trace: false,
             };
-            let mut rt = actcomp_runtime::ProcsRuntime::launch(actcomp_runtime::ProcsOptions {
-                cfg: rt_cfg,
-                seed,
-                kind,
-                link_mbps,
-                worker_exe: None,
-                fail_rank,
+            let mut procs = actcomp_runtime::ProcsOptions::new(rt_cfg, seed, kind);
+            procs.link_mbps = link_mbps;
+            procs.fail_rank = fail_rank;
+            procs.fault = fault.clone();
+            if let Some(secs) = step_timeout_s {
+                procs.step_timeout = std::time::Duration::from_secs_f64(secs);
+            }
+            if let Some(secs) = rendezvous_timeout_s {
+                procs.rendezvous_timeout = std::time::Duration::from_secs_f64(secs);
+            }
+            let chaos = fault.is_some() || checkpoint_every.is_some();
+            let sup = actcomp_runtime::SuperviseOptions {
+                procs,
+                steps,
+                lr,
+                ids: ids.clone(),
+                batch,
+                seq,
+                checkpoint_every,
+                checkpoint_dir: std::path::PathBuf::from(&checkpoint_dir),
+                max_restarts,
+            };
+            let (mut rt, recovery) = actcomp_runtime::supervise(sup, &mut |step, y| {
+                let loss = 0.5 * y.sq_norm();
+                println!("step {step}: loss {loss:.4}");
             })
             .unwrap_or_else(|e| {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             });
-            for step in 0..steps {
-                let y = rt.forward(&ids, batch, seq).unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                });
-                let loss = 0.5 * y.sq_norm();
-                println!("step {step}: loss {loss:.4}");
-                let stepped = rt
-                    .zero_grad()
-                    .and_then(|()| rt.backward(&y))
-                    .and_then(|()| rt.sgd_step(lr));
-                if let Err(e) = stepped {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
+            for ev in &recovery.events {
+                println!(
+                    "recovery: epoch {} failed at step {} ({}); resumed from step {} \
+                     after {} ms backoff",
+                    ev.epoch, ev.step, ev.detail, ev.resumed_from, ev.backoff_ms
+                );
+            }
+            if recovery.restarts > 0 {
+                println!(
+                    "recovery: run completed after {} restart(s)",
+                    recovery.restarts
+                );
+            }
+            if chaos {
+                let path = "RECOVERY_trace.json";
+                match std::fs::write(
+                    path,
+                    serde_json::to_string_pretty(&recovery).expect("serialize"),
+                ) {
+                    Ok(()) => println!("[recovery trace written to {path}]"),
+                    Err(e) => eprintln!("warning: could not write {path}: {e}"),
                 }
             }
             if grad_hash {
@@ -557,6 +626,25 @@ fn worker(args: &Args) {
             std::process::exit(2);
         })
     });
+    let epoch: u32 = args
+        .raw("epoch")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --epoch expects an unsigned integer");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
+    let rendezvous_timeout = args
+        .raw("rendezvous-timeout-ms")
+        .map(|v| {
+            let ms: u64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --rendezvous-timeout-ms expects milliseconds");
+                std::process::exit(2);
+            });
+            std::time::Duration::from_millis(ms)
+        })
+        .unwrap_or(actcomp_runtime::procs::DEFAULT_RENDEZVOUS_TIMEOUT);
     let worker_args = actcomp_runtime::WorkerArgs {
         rank,
         world,
@@ -565,6 +653,9 @@ fn worker(args: &Args) {
         seed,
         link_mbps,
         fail_after_rendezvous: args.flag("fail-after-rendezvous"),
+        epoch,
+        fault: args.raw("fault").map(str::to_string),
+        rendezvous_timeout,
     };
     if let Err(e) = actcomp_runtime::run_worker(worker_args) {
         eprintln!("worker rank {rank}: error: {e}");

@@ -2,15 +2,16 @@
 //! framed byte stream with accept/receive timeouts.
 //!
 //! The launcher binds a [`CtrlListener`]; each worker dials back with
-//! [`CtrlConn::connect`]. Frames use the same `[chan][len][payload]`
-//! format as the data plane (on channel 0), so the wire format has a
-//! single definition. Receives take an explicit timeout; a timeout is
+//! [`CtrlConn::connect`]. Frames use the same CRC-trailed
+//! `[chan][len][payload][crc]` format as the data plane (on the
+//! reserved control channel), so the wire format has a single
+//! definition. Receives take an explicit timeout; a timeout is
 //! *fatal for the connection* (a partially-read frame cannot be
 //! resynchronized), which matches how the launcher uses it: any
 //! control-plane timeout aborts the run with a typed error.
 
 use crate::error::TransportError;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, FrameError, CTRL_CHAN};
 use crate::socket::ctrl_stream::{CtrlListenerInner, CtrlStream};
 use crate::TransportKind;
 use std::io::Write;
@@ -63,7 +64,7 @@ impl CtrlConn {
     /// Ships one control frame.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
         self.stream
-            .with_write(|w| write_frame(w, 0, payload).and_then(|()| w.flush()))
+            .with_write(|w| write_frame(w, CTRL_CHAN, payload).and_then(|()| w.flush()))
             .map_err(|e| map_conn_err(e, "sending a control frame"))
     }
 
@@ -77,7 +78,7 @@ impl CtrlConn {
         let res = self.stream.with_read(read_frame);
         match res {
             Ok((_, payload)) => Ok(payload),
-            Err(e)
+            Err(FrameError::Io(e))
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -89,7 +90,8 @@ impl CtrlConn {
                     after: timeout,
                 })
             }
-            Err(e) => Err(map_conn_err(e, "receiving a control frame")),
+            Err(FrameError::Io(e)) => Err(map_conn_err(e, "receiving a control frame")),
+            Err(corrupt) => Err(corrupt.into_transport("receiving a control frame")),
         }
     }
 
@@ -101,10 +103,11 @@ impl CtrlConn {
         self.stream
             .set_read_timeout(None)
             .map_err(|e| TransportError::io("clearing a control read timeout", &e))?;
-        self.stream
-            .with_read(read_frame)
-            .map(|(_, payload)| payload)
-            .map_err(|e| map_conn_err(e, "receiving a control frame"))
+        match self.stream.with_read(read_frame) {
+            Ok((_, payload)) => Ok(payload),
+            Err(FrameError::Io(e)) => Err(map_conn_err(e, "receiving a control frame")),
+            Err(corrupt) => Err(corrupt.into_transport("receiving a control frame")),
+        }
     }
 }
 

@@ -49,6 +49,13 @@ pub enum TransportError {
         /// What was malformed.
         what: String,
     },
+    /// A frame failed its CRC32 integrity trailer (or carried a header
+    /// no honest sender produces). The connection it arrived on is
+    /// unrecoverable: a corrupt length prefix loses frame alignment.
+    FrameCorrupt {
+        /// What the integrity check caught.
+        what: String,
+    },
     /// A peer address is missing or unusable.
     BadAddress {
         /// The offending address (empty when missing entirely).
@@ -113,6 +120,7 @@ impl std::fmt::Display for TransportError {
                 None => write!(f, "peer closed the connection while {what}"),
             },
             TransportError::BadFrame { what } => write!(f, "malformed frame: {what}"),
+            TransportError::FrameCorrupt { what } => write!(f, "corrupt frame: {what}"),
             TransportError::BadAddress { addr, reason } => {
                 if addr.is_empty() {
                     write!(f, "missing peer address: {reason}")

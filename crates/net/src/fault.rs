@@ -1,0 +1,462 @@
+//! Deterministic fault injection: a parsed [`FaultPlan`] drives a
+//! [`FaultyTransport`] wrapper that drops, duplicates, corrupts,
+//! delays, or severs outgoing frames at precise points — so the
+//! runtime's detection and recovery paths can be exercised
+//! reproducibly instead of waiting for a flaky network to oblige.
+//!
+//! # Spec grammar
+//!
+//! A spec is one or more `;`-separated clauses:
+//!
+//! ```text
+//! kill:rank=R@step=K          exit the worker process of rank R when it
+//!                             receives its K-th (0-based) forward command
+//! drop:frame=N[,rank=R]       swallow the N-th frame of each stream
+//! dup:frame=N[,rank=R]        send the N-th frame twice
+//! corrupt:frame=N[,rank=R]    send the N-th frame with a broken CRC
+//! delay:frame=N,ms=M[,rank=R] sleep M ms before the N-th frame
+//! sever:frame=N[,rank=R]      hard-close the connection at the N-th frame
+//! drop:p=P[,rank=R]           drop each frame with probability P
+//!                             (also dup/corrupt/sever; delay adds ms=M)
+//! seed=S                      seed for the probabilistic clauses
+//! ```
+//!
+//! Frame indices are 0-based and count the frames of each `(peer,
+//! channel)` stream independently, which keeps injection deterministic
+//! even when rank threads interleave sends across channels. `rank=R`
+//! restricts a clause to the *sending* rank `R` (every worker parses
+//! the same spec). Probabilistic clauses hash `(seed, sender rank,
+//! frame index)` with SplitMix64, so a given seed reproduces the same
+//! fault pattern run after run.
+//!
+//! Injection is sender-side only: the receive path stays honest, which
+//! is exactly what makes a corrupt frame exercise the receiver's CRC
+//! check end to end.
+
+use crate::error::TransportError;
+use crate::{FrameRx, FrameTx, Transport, TransportKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a matched clause does to the frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Swallow the frame (it is never written).
+    Drop,
+    /// Send the frame twice.
+    Duplicate,
+    /// Send the frame with a deliberately broken CRC trailer.
+    Corrupt,
+    /// Sleep for the given duration, then send normally.
+    Delay(Duration),
+    /// Hard-close the underlying connection, then attempt the send
+    /// (which surfaces the peer-closed error a real cut produces).
+    Sever,
+}
+
+/// When a clause fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// On the frame with this 0-based per-stream index.
+    Frame(u64),
+    /// On each frame independently with this probability, decided by
+    /// the plan's seed (deterministic per seed).
+    Prob(f64),
+}
+
+/// One frame-level fault clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameFault {
+    /// What to do to the matched frame.
+    pub kind: FaultKind,
+    /// Which frames it matches.
+    pub trigger: FaultTrigger,
+    /// Restrict to this *sending* rank (`None`: every rank).
+    pub rank: Option<usize>,
+}
+
+/// The process-kill clause: rank `rank` exits when it receives its
+/// `step`-th (0-based) forward command. Enforced by the runtime, not
+/// the transport — a process death is not a frame event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillFault {
+    /// The worker rank that dies.
+    pub rank: usize,
+    /// The 0-based training step at which it dies.
+    pub step: usize,
+}
+
+/// A parsed, seeded fault-injection plan (see the module docs for the
+/// spec grammar).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    frame_faults: Vec<FrameFault>,
+    kill: Option<KillFault>,
+}
+
+impl FaultPlan {
+    /// Parses a fault spec. Errors are human-readable strings naming
+    /// the offending clause (the checker surfaces them as `AC0801`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(seed) = clause.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| format!("bad seed `{seed}` (expected an unsigned integer)"))?;
+                continue;
+            }
+            let (kind, params) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause `{clause}` is missing `:` (e.g. drop:frame=0)"))?;
+            if kind == "kill" {
+                if plan.kill.is_some() {
+                    return Err("at most one kill clause is allowed".to_string());
+                }
+                plan.kill = Some(parse_kill(params)?);
+                continue;
+            }
+            plan.frame_faults.push(parse_frame_fault(kind, params)?);
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan does anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.frame_faults.is_empty() && self.kill.is_none()
+    }
+
+    /// Whether the plan injects any frame-level fault for `rank` (so a
+    /// worker can skip the wrapper entirely when it has none).
+    pub fn has_frame_faults(&self, rank: usize) -> bool {
+        self.frame_faults
+            .iter()
+            .any(|f| f.rank.is_none_or(|r| r == rank))
+    }
+
+    /// The kill clause, if any.
+    pub fn kill(&self) -> Option<KillFault> {
+        self.kill
+    }
+
+    /// The step at which `rank` should kill itself, if the plan says
+    /// so.
+    pub fn kill_at(&self, rank: usize) -> Option<usize> {
+        self.kill.filter(|k| k.rank == rank).map(|k| k.step)
+    }
+
+    /// The fault (if any) to apply to frame `idx` of a stream sent by
+    /// `rank`. First matching clause wins.
+    fn fault_for(&self, rank: usize, idx: u64) -> Option<FaultKind> {
+        self.frame_faults
+            .iter()
+            .filter(|f| f.rank.is_none_or(|r| r == rank))
+            .find(|f| match f.trigger {
+                FaultTrigger::Frame(n) => n == idx,
+                FaultTrigger::Prob(p) => unit_hash(self.seed, rank as u64, idx) < p,
+            })
+            .map(|f| f.kind)
+    }
+}
+
+/// SplitMix64 over `(seed, rank, idx)`, mapped to `[0, 1)`.
+fn unit_hash(seed: u64, rank: u64, idx: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(idx.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn parse_kill(params: &str) -> Result<KillFault, String> {
+    let (rank_kv, step_kv) = params
+        .split_once('@')
+        .ok_or_else(|| format!("kill clause `{params}` must look like rank=R@step=K"))?;
+    let rank = parse_kv(rank_kv, "rank")?;
+    let step = parse_kv(step_kv, "step")?;
+    Ok(KillFault { rank, step })
+}
+
+fn parse_kv(kv: &str, key: &str) -> Result<usize, String> {
+    let (k, v) = kv
+        .split_once('=')
+        .ok_or_else(|| format!("expected {key}=<n>, got `{kv}`"))?;
+    if k != key {
+        return Err(format!("expected {key}=<n>, got `{kv}`"));
+    }
+    v.parse()
+        .map_err(|_| format!("bad {key} value `{v}` (expected an unsigned integer)"))
+}
+
+fn parse_frame_fault(kind: &str, params: &str) -> Result<FrameFault, String> {
+    let mut frame: Option<u64> = None;
+    let mut prob: Option<f64> = None;
+    let mut ms: Option<u64> = None;
+    let mut rank: Option<usize> = None;
+    for kv in params.split(',') {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value in `{kind}:{params}`, got `{kv}`"))?;
+        match k {
+            "frame" => {
+                frame = Some(v.parse().map_err(|_| format!("bad frame index `{v}`"))?);
+            }
+            "p" => {
+                let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} outside [0, 1]"));
+                }
+                prob = Some(p);
+            }
+            "ms" => {
+                ms = Some(v.parse().map_err(|_| format!("bad delay `{v}` ms"))?);
+            }
+            "rank" => {
+                rank = Some(v.parse().map_err(|_| format!("bad rank `{v}`"))?);
+            }
+            other => return Err(format!("unknown key `{other}` in `{kind}:{params}`")),
+        }
+    }
+    let trigger = match (frame, prob) {
+        (Some(n), None) => FaultTrigger::Frame(n),
+        (None, Some(p)) => FaultTrigger::Prob(p),
+        (Some(_), Some(_)) => {
+            return Err(format!(
+                "`{kind}:{params}` sets both frame= and p=; pick one trigger"
+            ))
+        }
+        (None, None) => {
+            return Err(format!(
+                "`{kind}:{params}` needs a trigger (frame=<n> or p=<prob>)"
+            ))
+        }
+    };
+    let kind = match kind {
+        "drop" => FaultKind::Drop,
+        "dup" | "duplicate" => FaultKind::Duplicate,
+        "corrupt" => FaultKind::Corrupt,
+        "sever" => FaultKind::Sever,
+        "delay" => {
+            let ms = ms.ok_or_else(|| "delay clause needs ms=<millis>".to_string())?;
+            FaultKind::Delay(Duration::from_millis(ms))
+        }
+        other => {
+            return Err(format!(
+                "unknown fault `{other}` (expected kill, drop, dup, corrupt, delay, or sever)"
+            ))
+        }
+    };
+    if !matches!(kind, FaultKind::Delay(_)) && ms.is_some() {
+        return Err("ms= only applies to delay clauses".to_string());
+    }
+    Ok(FrameFault {
+        kind,
+        trigger,
+        rank,
+    })
+}
+
+/// A [`Transport`] wrapper that applies a [`FaultPlan`] to every
+/// outgoing frame. Receives pass through untouched.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` so its sends obey `plan`.
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan) -> FaultyTransport {
+        FaultyTransport {
+            inner,
+            plan: Arc::new(plan),
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world(&self) -> usize {
+        self.inner.world()
+    }
+
+    fn open_send(&mut self, to: usize, chan: u16) -> Result<Box<dyn FrameTx>, TransportError> {
+        let rank = self.inner.rank();
+        let tx = self.inner.open_send(to, chan)?;
+        Ok(Box::new(FaultyTx {
+            inner: tx,
+            plan: Arc::clone(&self.plan),
+            rank,
+            idx: 0,
+        }))
+    }
+
+    fn open_recv(&mut self, from: usize, chan: u16) -> Result<Box<dyn FrameRx>, TransportError> {
+        self.inner.open_recv(from, chan)
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+/// The fault-applying send end of one stream; `idx` counts this
+/// stream's frames so injection points are deterministic per stream.
+struct FaultyTx {
+    inner: Box<dyn FrameTx>,
+    plan: Arc<FaultPlan>,
+    rank: usize,
+    idx: u64,
+}
+
+impl FrameTx for FaultyTx {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let idx = self.idx;
+        self.idx += 1;
+        match self.plan.fault_for(self.rank, idx) {
+            None => self.inner.send(payload),
+            Some(FaultKind::Drop) => Ok(()),
+            Some(FaultKind::Duplicate) => {
+                self.inner.send(payload)?;
+                self.inner.send(payload)
+            }
+            Some(FaultKind::Corrupt) => self.inner.send_corrupt(payload),
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.send(payload)
+            }
+            Some(FaultKind::Sever) => {
+                self.inner.sever()?;
+                self.inner.send(payload)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpsc_world;
+
+    #[test]
+    fn specs_parse() {
+        let plan = FaultPlan::parse("kill:rank=1@step=3").expect("kill");
+        assert_eq!(plan.kill_at(1), Some(3));
+        assert_eq!(plan.kill_at(0), None);
+        assert!(!plan.has_frame_faults(0));
+
+        let plan = FaultPlan::parse("seed=7;drop:frame=2,rank=0;delay:frame=1,ms=5;corrupt:p=0.5")
+            .expect("multi");
+        assert!(plan.has_frame_faults(0));
+        assert!(plan.has_frame_faults(1)); // the probabilistic clause is unfiltered
+        assert_eq!(plan.fault_for(0, 2), Some(FaultKind::Drop));
+        assert_eq!(
+            plan.fault_for(1, 1),
+            Some(FaultKind::Delay(Duration::from_millis(5)))
+        );
+
+        assert!(FaultPlan::parse("").expect("empty").is_empty());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (spec, needle) in [
+            ("explode:frame=1", "unknown fault"),
+            ("drop", "missing `:`"),
+            ("drop:frames=1", "unknown key"),
+            ("drop:frame=x", "bad frame index"),
+            ("drop:p=1.5", "outside [0, 1]"),
+            ("drop:frame=1,p=0.5", "pick one trigger"),
+            ("drop:rank=1", "needs a trigger"),
+            ("delay:frame=1", "needs ms"),
+            ("dup:frame=1,ms=4", "ms= only applies"),
+            ("kill:rank=1", "rank=R@step=K"),
+            ("kill:rank=1@step=2;kill:rank=0@step=1", "at most one kill"),
+            ("seed=minus", "bad seed"),
+        ] {
+            let err = FaultPlan::parse(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn probabilistic_triggers_are_seeded_and_deterministic() {
+        let all = FaultPlan::parse("drop:p=1.0").expect("p=1");
+        let none = FaultPlan::parse("drop:p=0.0").expect("p=0");
+        for idx in 0..32 {
+            assert_eq!(all.fault_for(0, idx), Some(FaultKind::Drop));
+            assert_eq!(none.fault_for(0, idx), None);
+        }
+        let a = FaultPlan::parse("seed=11;drop:p=0.5").expect("a");
+        let b = FaultPlan::parse("seed=11;drop:p=0.5").expect("b");
+        let pattern_a: Vec<bool> = (0..64).map(|i| a.fault_for(1, i).is_some()).collect();
+        let pattern_b: Vec<bool> = (0..64).map(|i| b.fault_for(1, i).is_some()).collect();
+        assert_eq!(pattern_a, pattern_b, "same seed, same pattern");
+        assert!(pattern_a.iter().any(|&d| d) && !pattern_a.iter().all(|&d| d));
+    }
+
+    fn faulty_pair(spec: &str) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let a = world.pop().expect("rank 0");
+        let plan = FaultPlan::parse(spec).expect("parse");
+        let mut faulty = FaultyTransport::new(Box::new(a), plan);
+        let tx = faulty.open_send(1, 1).expect("send side");
+        let rx = b.open_recv(0, 1).expect("recv side");
+        // Keep the endpoints alive for the duration of the test.
+        std::mem::forget(faulty);
+        std::mem::forget(b);
+        (tx, rx)
+    }
+
+    #[test]
+    fn drop_swallows_exactly_the_matched_frame() {
+        let (mut tx, mut rx) = faulty_pair("drop:frame=1");
+        for p in [b"f0", b"f1", b"f2"] {
+            tx.send(p).expect("send");
+        }
+        assert_eq!(rx.recv().expect("frame"), b"f0");
+        assert_eq!(rx.recv().expect("frame"), b"f2");
+    }
+
+    #[test]
+    fn duplicate_sends_the_matched_frame_twice() {
+        let (mut tx, mut rx) = faulty_pair("dup:frame=0");
+        tx.send(b"twin").expect("send");
+        tx.send(b"solo").expect("send");
+        assert_eq!(rx.recv().expect("frame"), b"twin");
+        assert_eq!(rx.recv().expect("frame"), b"twin");
+        assert_eq!(rx.recv().expect("frame"), b"solo");
+    }
+
+    #[test]
+    fn corrupt_surfaces_typed_at_the_receiver() {
+        let (mut tx, mut rx) = faulty_pair("corrupt:frame=0");
+        tx.send(b"poisoned").expect("send");
+        assert!(matches!(
+            rx.recv(),
+            Err(TransportError::FrameCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_filter_spares_other_ranks() {
+        let (mut tx, mut rx) = faulty_pair("drop:frame=0,rank=5");
+        tx.send(b"kept").expect("send");
+        assert_eq!(rx.recv().expect("frame"), b"kept");
+    }
+}

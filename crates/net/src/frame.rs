@@ -1,5 +1,11 @@
-//! The wire format: length-prefixed frames and the connection
-//! handshake.
+//! The wire format: length-prefixed, CRC-trailed frames and the
+//! connection handshake.
+//!
+//! Every frame carries a CRC32 trailer over its header and payload, so
+//! wire corruption surfaces as a typed [`FrameError::Corrupt`] instead
+//! of a garbage decode downstream. The header is validated *before*
+//! any allocation: a hostile length prefix (over the 1 GiB cap) or a
+//! frame on the reserved channel 0 is rejected without trusting it.
 
 use crate::error::TransportError;
 use std::io::{Read, Write};
@@ -8,8 +14,13 @@ use std::io::{Read, Write};
 /// this.
 pub const HS_CHAN: u16 = u16::MAX;
 
-/// Wire protocol version carried in every handshake.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The reserved control-plane channel (launcher ↔ worker frames).
+pub(crate) const CTRL_CHAN: u16 = u16::MAX - 1;
+
+/// Wire protocol version carried in every handshake. Version 2 added
+/// the CRC32 frame trailer and the generation `epoch` to the
+/// handshake.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// `"ACNT"` — first bytes of every handshake payload.
 const MAGIC: u32 = 0x4143_4E54;
@@ -18,36 +29,122 @@ const MAGIC: u32 = 0x4143_4E54;
 /// as stream corruption rather than an allocation request.
 const MAX_FRAME: usize = 1 << 30;
 
-/// Writes one `[chan u16 LE][len u32 LE][payload]` frame.
+/// Bytes a frame adds around its payload: 6-byte header + 4-byte CRC
+/// trailer.
+pub const FRAME_OVERHEAD: usize = 10;
+
+/// IEEE CRC32 (reflected, polynomial `0xEDB88320`) over `bytes`,
+/// continuing from `seed` (start with `0` for a fresh checksum).
+///
+/// Public so checkpoint shards can reuse the exact wire checksum.
+pub fn crc32(seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What can go wrong reading a frame: a plain I/O failure, or a frame
+/// that fails validation (bad CRC, hostile length, reserved channel).
+/// The distinction matters because corruption poisons the *stream*
+/// (frame alignment is lost), not just the frame.
+#[derive(Debug)]
+pub(crate) enum FrameError {
+    /// The underlying read failed (EOF, reset, timeout, …).
+    Io(std::io::Error),
+    /// The frame failed an integrity check; `what` says which.
+    Corrupt(String),
+}
+
+impl FrameError {
+    /// Converts into the public error type, tagging I/O failures with
+    /// `context`.
+    pub(crate) fn into_transport(self, context: &str) -> TransportError {
+        match self {
+            FrameError::Io(e) => TransportError::io(context, &e),
+            FrameError::Corrupt(what) => TransportError::FrameCorrupt { what },
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one `[chan u16 LE][len u32 LE][payload][crc32 u32 LE]`
+/// frame. The CRC covers the header and the payload.
 pub(crate) fn write_frame(w: &mut impl Write, chan: u16, payload: &[u8]) -> std::io::Result<()> {
+    write_frame_with(w, chan, payload, 0)
+}
+
+/// Like [`write_frame`] but XORs `crc_flip` into the trailer — the
+/// fault-injection hook that makes a receiver's CRC check fail
+/// deterministically (pass `0` for an honest frame).
+pub(crate) fn write_frame_with(
+    w: &mut impl Write,
+    chan: u16,
+    payload: &[u8],
+    crc_flip: u32,
+) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload over 4 GiB")
     })?;
-    w.write_all(&chan.to_le_bytes())?;
-    w.write_all(&len.to_le_bytes())?;
+    let mut hdr = [0u8; 6];
+    hdr[..2].copy_from_slice(&chan.to_le_bytes());
+    hdr[2..].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32(crc32(0, &hdr), payload) ^ crc_flip;
+    w.write_all(&hdr)?;
     w.write_all(payload)?;
+    w.write_all(&crc.to_le_bytes())?;
     Ok(())
 }
 
 /// Reads one frame, returning `(chan, payload)`.
-pub(crate) fn read_frame(r: &mut impl Read) -> std::io::Result<(u16, Vec<u8>)> {
+///
+/// Hostile headers are rejected *before* the payload allocation: a
+/// length over the 1 GiB cap or a frame on the reserved channel 0
+/// (no honest sender emits either) is [`FrameError::Corrupt`]. A CRC
+/// trailer mismatch is equally `Corrupt` — the payload bytes are
+/// discarded, never handed to a decoder.
+pub(crate) fn read_frame(r: &mut impl Read) -> Result<(u16, Vec<u8>), FrameError> {
     let mut hdr = [0u8; 6];
     r.read_exact(&mut hdr)?;
     let chan = u16::from_le_bytes([hdr[0], hdr[1]]);
     let len = u32::from_le_bytes([hdr[2], hdr[3], hdr[4], hdr[5]]) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the 1 GiB cap"),
+    if chan == 0 {
+        return Err(FrameError::Corrupt(
+            "frame on reserved channel 0 (corrupt or hostile header)".to_string(),
         ));
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::Corrupt(format!(
+            "frame length {len} exceeds the 1 GiB cap"
+        )));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    let want = u32::from_le_bytes(trailer);
+    let got = crc32(crc32(0, &hdr), &payload);
+    if want != got {
+        return Err(FrameError::Corrupt(format!(
+            "CRC mismatch on channel {chan} ({len} bytes): computed {got:#010x}, trailer {want:#010x}"
+        )));
+    }
     Ok((chan, payload))
 }
 
 /// The first frame on every data connection: proves both ends belong
-/// to the same run before any application frame moves.
+/// to the same run — and the same *generation* of it — before any
+/// application frame moves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Handshake {
     /// Total ranks the connecting side believes are in the run.
@@ -57,27 +154,33 @@ pub struct Handshake {
     /// Hash of the run configuration (computed by the launcher); both
     /// ends must agree.
     pub config_hash: u64,
+    /// Restart generation of the run. The launcher bumps it on every
+    /// recovery, so a stale worker from a fenced-off generation is
+    /// rejected at handshake instead of feeding old frames into the
+    /// new run.
+    pub epoch: u32,
 }
 
 impl Handshake {
-    /// Serializes to the fixed 22-byte handshake payload.
+    /// Serializes to the fixed 26-byte handshake payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(22);
+        let mut out = Vec::with_capacity(26);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
         out.extend_from_slice(&self.world.to_le_bytes());
         out.extend_from_slice(&self.from.to_le_bytes());
         out.extend_from_slice(&self.config_hash.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
         out
     }
 
     /// Parses and validates a handshake payload: magic and version
-    /// must match this build; `world`/`config_hash`/`from` are
+    /// must match this build; `world`/`config_hash`/`from`/`epoch` are
     /// returned for the acceptor to check against its own run.
     pub fn decode(buf: &[u8]) -> Result<Handshake, TransportError> {
-        if buf.len() != 22 {
+        if buf.len() != 26 {
             return Err(TransportError::BadFrame {
-                what: format!("handshake payload of {} bytes (expected 22)", buf.len()),
+                what: format!("handshake payload of {} bytes (expected 26)", buf.len()),
             });
         }
         let magic = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
@@ -101,10 +204,12 @@ impl Handshake {
         let config_hash = u64::from_le_bytes([
             buf[14], buf[15], buf[16], buf[17], buf[18], buf[19], buf[20], buf[21],
         ]);
+        let epoch = u32::from_le_bytes([buf[22], buf[23], buf[24], buf[25]]);
         Ok(Handshake {
             world,
             from,
             config_hash,
+            epoch,
         })
     }
 }
@@ -114,14 +219,24 @@ mod tests {
     use super::*;
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(0, b""), 0);
+        // Incremental == one-shot.
+        assert_eq!(crc32(crc32(0, b"1234"), b"56789"), 0xCBF4_3926);
+    }
+
+    #[test]
     fn handshake_roundtrips() {
         let hs = Handshake {
             world: 4,
             from: 2,
             config_hash: 0xDEAD_BEEF_CAFE_F00D,
+            epoch: 3,
         };
         let enc = hs.encode();
-        assert_eq!(enc.len(), 22);
+        assert_eq!(enc.len(), 26);
         assert_eq!(Handshake::decode(&enc).expect("decode"), hs);
     }
 
@@ -131,6 +246,7 @@ mod tests {
             world: 1,
             from: 0,
             config_hash: 1,
+            epoch: 0,
         };
         let mut enc = hs.encode();
         enc[0] ^= 0xFF;
@@ -158,5 +274,87 @@ mod tests {
         let mut r = &buf[..];
         assert_eq!(read_frame(&mut r).expect("read"), (7, b"hello".to_vec()));
         assert_eq!(read_frame(&mut r).expect("read"), (9, Vec::new()));
+    }
+
+    #[test]
+    fn a_flipped_payload_bit_is_caught_by_the_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"hello world").expect("write");
+        // Flip one payload bit; the trailer no longer matches.
+        buf[8] ^= 0x01;
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(FrameError::Corrupt(what)) => assert!(what.contains("CRC"), "{what}"),
+            other => panic!("expected a CRC failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_deliberately_miswritten_trailer_is_caught() {
+        let mut buf = Vec::new();
+        write_frame_with(&mut buf, 3, b"payload", 0xFFFF_FFFF).expect("write");
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        // chan 1, len = u32::MAX: an honest peer never sends this; the
+        // reader must refuse without attempting a 4 GiB allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(FrameError::Corrupt(what)) => assert!(what.contains("1 GiB"), "{what}"),
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_channel_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(b"data");
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(FrameError::Corrupt(what)) => assert!(what.contains("channel 0"), "{what}"),
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_streams_surface_as_io_errors() {
+        let mut full = Vec::new();
+        write_frame(&mut full, 5, b"truncate me").expect("write");
+        // Every strict prefix must fail as EOF (I/O), never panic and
+        // never return a partial frame.
+        for cut in 0..full.len() {
+            let mut r = &full[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}")
+                }
+                other => panic!("cut {cut}: expected EOF, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_headers_never_decode_to_a_frame() {
+        // Fuzz-style sweep over deterministic pseudo-random byte soups:
+        // whatever the header claims, the reader must end in a typed
+        // error (corrupt or EOF), not a successful decode of garbage.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..64 {
+            let mut buf = vec![0u8; 32];
+            for b in buf.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 33) as u8;
+            }
+            let mut r = &buf[..];
+            assert!(read_frame(&mut r).is_err(), "garbage decoded: {buf:?}");
+        }
     }
 }

@@ -18,12 +18,18 @@
 //! Every message on a socket is one frame:
 //!
 //! ```text
-//! [chan: u16 LE][len: u32 LE][payload: len bytes]
+//! [chan: u16 LE][len: u32 LE][payload: len bytes][crc32: u32 LE]
 //! ```
 //!
 //! `chan` multiplexes independent logical channels (ring link,
 //! broadcast, pipeline boundary, …) over one connection per directed
-//! rank pair. Channel `0xFFFF` is reserved for the handshake.
+//! rank pair. Channel `0xFFFF` is reserved for the handshake, `0xFFFE`
+//! for the launcher's control plane, and `0` is illegal on the wire
+//! (a frame claiming it is treated as corruption). The trailer is an
+//! IEEE CRC32 over header and payload: a flipped bit anywhere in the
+//! frame surfaces as a typed [`TransportError::FrameCorrupt`] instead
+//! of a garbage decode, and a hostile length prefix is rejected before
+//! any allocation.
 //!
 //! # Rendezvous and handshake
 //!
@@ -31,23 +37,37 @@
 //! band (the launcher's peer table). Data connections are opened
 //! lazily by the *sender*; the first frame on a new connection is a
 //! handshake carrying a magic number, protocol version, world size,
-//! configuration hash, and the sender's rank. The acceptor verifies
-//! all of it against its own run and replies with an accept/reject
-//! frame, so two runs that differ in topology or config fail fast with
-//! a typed [`TransportError`] instead of corrupting each other.
+//! configuration hash, restart epoch, and the sender's rank. The
+//! acceptor verifies all of it against its own run and replies with an
+//! accept/reject frame, so two runs that differ in topology, config,
+//! or generation fail fast with a typed [`TransportError`] instead of
+//! corrupting each other. The epoch is the recovery fence: after a
+//! worker loss the launcher relaunches the world under `epoch + 1`,
+//! and anything a fenced-off survivor still says is refused at
+//! handshake.
 //!
 //! # Failure semantics
 //!
 //! Every user-reachable connect/handshake/receive path returns a typed
 //! [`TransportError`] — no panics on I/O. A peer that disappears turns
 //! into [`TransportError::PeerClosed`] on the next receive (the demux
-//! drops that peer's queues on EOF), and handshake/receive timeouts
-//! surface as [`TransportError::Timeout`] rather than hanging forever.
+//! drops that peer's queues on EOF), a connection killed by a CRC
+//! failure yields [`TransportError::FrameCorrupt`], and
+//! handshake/receive timeouts surface as [`TransportError::Timeout`]
+//! rather than hanging forever.
+//!
+//! # Fault injection
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and applies a seeded,
+//! deterministic [`FaultPlan`] (drop / duplicate / corrupt / delay /
+//! sever specific frames) to outgoing traffic — the chaos-testing
+//! entry point used by `actcomp run --fault <spec>`.
 
 #![warn(missing_docs)]
 
 mod ctrl;
 mod error;
+mod fault;
 mod frame;
 mod mpsc;
 mod socket;
@@ -55,7 +75,8 @@ mod throttle;
 
 pub use ctrl::{CtrlConn, CtrlListener};
 pub use error::TransportError;
-pub use frame::{Handshake, HS_CHAN, PROTOCOL_VERSION};
+pub use fault::{FaultKind, FaultPlan, FaultTrigger, FaultyTransport, FrameFault, KillFault};
+pub use frame::{crc32, Handshake, FRAME_OVERHEAD, HS_CHAN, PROTOCOL_VERSION};
 pub use mpsc::{mpsc_world, MpscTransport};
 pub use socket::{SocketOptions, SocketTransport};
 pub use throttle::TokenBucket;
@@ -109,6 +130,24 @@ pub trait FrameTx: Send {
     /// Ships one frame. Blocks only for flow control (socket buffers,
     /// bandwidth throttle), never for a matching receiver.
     fn send(&mut self, payload: &[u8]) -> Result<(), TransportError>;
+
+    /// Fault-injection hook: ships one frame whose integrity check
+    /// fails at the receiver (a broken CRC trailer on the socket
+    /// backends, a corrupt marker in-process), so the receive path's
+    /// [`TransportError::FrameCorrupt`] handling can be exercised end
+    /// to end. Backends without an integrity layer deliver the frame
+    /// unchanged (the default).
+    fn send_corrupt(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send(payload)
+    }
+
+    /// Fault-injection hook: hard-closes the underlying connection, as
+    /// a cut cable would — subsequent sends fail and the peer's
+    /// receivers wake with [`TransportError::PeerClosed`]. Backends
+    /// with nothing to cut do nothing (the default).
+    fn sever(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// The receiving end of one logical channel from one peer rank.

@@ -6,7 +6,10 @@
 //! the other side takes the remaining half. There are no threads and
 //! no copies beyond the payload `Vec` itself, so the threaded runtime
 //! keeps its in-process performance while exercising the exact same
-//! trait surface as the socket backends.
+//! trait surface as the socket backends — including the fault hooks:
+//! a "corrupt" item crosses the channel as a marker and surfaces as
+//! [`TransportError::FrameCorrupt`] on the receiver, mirroring what a
+//! CRC failure does on a real wire.
 
 use crate::error::TransportError;
 use crate::{FrameRx, FrameTx, Transport, TransportKind};
@@ -15,10 +18,17 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// What crosses an in-process channel: an honest frame, or the marker
+/// a corrupt wire frame would have become.
+enum Item {
+    Frame(Vec<u8>),
+    Corrupt,
+}
+
 /// One directed channel's two halves, each taken at most once.
 struct Pair {
-    tx: Option<Sender<Vec<u8>>>,
-    rx: Option<Receiver<Vec<u8>>>,
+    tx: Option<Sender<Item>>,
+    rx: Option<Receiver<Item>>,
 }
 
 type Shared = Arc<Mutex<HashMap<(usize, usize, u16), Pair>>>;
@@ -86,7 +96,7 @@ impl Transport for MpscTransport {
             .tx
             .take()
             .ok_or(TransportError::ChannelInUse { peer: to, chan })?;
-        Ok(Box::new(MpscTx { tx, to }))
+        Ok(Box::new(MpscTx { tx: Some(tx), to }))
     }
 
     fn open_recv(&mut self, from: usize, chan: u16) -> Result<Box<dyn FrameRx>, TransportError> {
@@ -117,36 +127,69 @@ impl Transport for MpscTransport {
 }
 
 struct MpscTx {
-    tx: Sender<Vec<u8>>,
+    /// `None` after a `sever`: the channel half is gone, exactly as if
+    /// the connection carrying it had died.
+    tx: Option<Sender<Item>>,
     to: usize,
+}
+
+impl MpscTx {
+    fn push(&mut self, item: Item) -> Result<(), TransportError> {
+        let closed = || TransportError::PeerClosed {
+            rank: Some(self.to),
+            what: "sending a frame".to_string(),
+        };
+        self.tx
+            .as_ref()
+            .ok_or_else(closed)?
+            .send(item)
+            .map_err(|_| closed())
+    }
 }
 
 impl FrameTx for MpscTx {
     fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-        self.tx
-            .send(payload.to_vec())
-            .map_err(|_| TransportError::PeerClosed {
-                rank: Some(self.to),
-                what: "sending a frame".to_string(),
-            })
+        self.push(Item::Frame(payload.to_vec()))
+    }
+
+    fn send_corrupt(&mut self, _payload: &[u8]) -> Result<(), TransportError> {
+        // No wire, no CRC: the marker itself is "the corrupt frame".
+        self.push(Item::Corrupt)
+    }
+
+    fn sever(&mut self) -> Result<(), TransportError> {
+        self.tx = None;
+        Ok(())
     }
 }
 
 struct MpscRx {
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Item>,
     from: usize,
+}
+
+impl MpscRx {
+    fn accept(&self, item: Item) -> Result<Vec<u8>, TransportError> {
+        match item {
+            Item::Frame(payload) => Ok(payload),
+            Item::Corrupt => Err(TransportError::FrameCorrupt {
+                what: format!("injected corrupt frame from rank {}", self.from),
+            }),
+        }
+    }
 }
 
 impl FrameRx for MpscRx {
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::PeerClosed {
+        let item = self.rx.recv().map_err(|_| TransportError::PeerClosed {
             rank: Some(self.from),
             what: "receiving a frame".to_string(),
-        })
+        })?;
+        self.accept(item)
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let item = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout {
                 what: format!("a frame from rank {}", self.from),
                 after: timeout,
@@ -155,7 +198,8 @@ impl FrameRx for MpscRx {
                 rank: Some(self.from),
                 what: "receiving a frame".to_string(),
             },
-        })
+        })?;
+        self.accept(item)
     }
 }
 
@@ -190,8 +234,8 @@ mod tests {
         let mut world = mpsc_world(2);
         let mut b = world.pop().expect("rank 1");
         let mut a = world.pop().expect("rank 0");
-        let tx = a.open_send(1, 0).expect("send side");
-        let mut rx = b.open_recv(0, 0).expect("recv side");
+        let tx = a.open_send(1, 1).expect("send side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
         drop(tx);
         assert!(rx.recv().expect_err("closed").is_peer_closed());
         let err = rx
@@ -205,11 +249,39 @@ mod tests {
         let mut world = mpsc_world(2);
         let mut b = world.pop().expect("rank 1");
         let mut a = world.pop().expect("rank 0");
-        let _tx = a.open_send(1, 0).expect("send side");
-        let mut rx = b.open_recv(0, 0).expect("recv side");
+        let _tx = a.open_send(1, 1).expect("send side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
         assert!(matches!(
             rx.recv_timeout(Duration::from_millis(5)),
             Err(TransportError::Timeout { .. })
         ));
+    }
+
+    #[test]
+    fn injected_corruption_is_typed_and_later_frames_still_flow() {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let mut a = world.pop().expect("rank 0");
+        let mut tx = a.open_send(1, 1).expect("send side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
+        tx.send_corrupt(b"mangled").expect("send corrupt");
+        tx.send(b"clean").expect("send");
+        assert!(matches!(
+            rx.recv(),
+            Err(TransportError::FrameCorrupt { .. })
+        ));
+        assert_eq!(rx.recv().expect("clean frame"), b"clean");
+    }
+
+    #[test]
+    fn severed_sender_surfaces_as_peer_closed() {
+        let mut world = mpsc_world(2);
+        let mut b = world.pop().expect("rank 1");
+        let mut a = world.pop().expect("rank 0");
+        let mut tx = a.open_send(1, 1).expect("send side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
+        tx.sever().expect("sever");
+        assert!(tx.send(b"after").expect_err("severed").is_peer_closed());
+        assert!(rx.recv().expect_err("severed").is_peer_closed());
     }
 }

@@ -11,12 +11,15 @@
 //! with [`TransportError::PeerClosed`] instead of hanging.
 
 use crate::error::TransportError;
-use crate::frame::{read_frame, write_frame, Handshake, HS_CHAN};
+use crate::frame::{
+    read_frame, write_frame, write_frame_with, FrameError, Handshake, CTRL_CHAN, FRAME_OVERHEAD,
+    HS_CHAN,
+};
 use crate::throttle::TokenBucket;
 use crate::{FrameRx, FrameTx, Transport, TransportKind};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -38,6 +41,10 @@ pub struct SocketOptions {
     /// checker rejects it elsewhere as `AC0703`). The cap models the
     /// rank's NIC: all connections of the endpoint share one bucket.
     pub link_mbps: Option<f64>,
+    /// Restart generation of the run. Carried in every handshake and
+    /// enforced by the acceptor, so a worker left over from a fenced
+    /// generation cannot feed stale frames into a recovered run.
+    pub epoch: u32,
 }
 
 impl Default for SocketOptions {
@@ -46,6 +53,7 @@ impl Default for SocketOptions {
             connect_timeout: Duration::from_secs(10),
             handshake_timeout: Duration::from_secs(10),
             link_mbps: None,
+            epoch: 0,
         }
     }
 }
@@ -70,6 +78,15 @@ impl Stream {
             Stream::Tcp(s) => s.set_read_timeout(t),
             #[cfg(unix)]
             Stream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Hard-closes both directions — the fault-injection `sever` hook.
+    fn shutdown_both(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.shutdown(Shutdown::Both),
         }
     }
 }
@@ -111,6 +128,10 @@ struct DemuxState {
     pending: HashMap<(usize, u16), VecDeque<Vec<u8>>>,
     /// Peers whose inbound connection hit EOF or an error.
     closed: HashSet<usize>,
+    /// Peers whose connection died on a corrupt frame, with the CRC
+    /// failure that killed it. Receivers report [`TransportError::
+    /// FrameCorrupt`] instead of `PeerClosed` for these.
+    corrupt: HashMap<usize, String>,
 }
 
 type Demux = Arc<Mutex<DemuxState>>;
@@ -121,6 +142,38 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Monotonic suffix for Unix socket paths within one process.
 static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Owns a bound Unix-socket path and unlinks it on drop, so a worker
+/// that panics (or a transport dropped on any error path) never leaks
+/// a stale socket file for the next run to trip over.
+struct UdsPathGuard(PathBuf);
+
+impl Drop for UdsPathGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Binds a Unix listener at `path`, reclaiming a stale path left by an
+/// abnormally killed process: if the bind hits `AddrInUse` but nobody
+/// answers a probe connect, the file is a leftover — unlink and retry.
+/// A live listener on the path keeps the original error.
+#[cfg(unix)]
+fn bind_uds(path: &std::path::Path) -> std::io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            match UnixStream::connect(path) {
+                // Someone is actually listening: a genuine collision.
+                Ok(_) => Err(e),
+                Err(_) => {
+                    std::fs::remove_file(path)?;
+                    UnixListener::bind(path)
+                }
+            }
+        }
+        other => other,
+    }
+}
 
 /// One rank's socket endpoint (TCP or Unix domain).
 ///
@@ -140,7 +193,7 @@ pub struct SocketTransport {
     bucket: Option<Arc<Mutex<TokenBucket>>>,
     accept_handle: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
-    uds_path: Option<PathBuf>,
+    uds_path: Option<UdsPathGuard>,
 }
 
 impl std::fmt::Debug for SocketTransport {
@@ -183,11 +236,11 @@ impl SocketTransport {
                     rank,
                     UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
                 ));
-                let l = UnixListener::bind(&path).map_err(|e| {
+                let l = bind_uds(&path).map_err(|e| {
                     TransportError::io(format!("binding unix socket {}", path.display()), &e)
                 })?;
                 let a = path.display().to_string();
-                (ListenerInner::Uds(l), a, Some(path))
+                (ListenerInner::Uds(l), a, Some(UdsPathGuard(path)))
             }
             #[cfg(not(unix))]
             TransportKind::Uds => {
@@ -210,6 +263,7 @@ impl SocketTransport {
             Arc::clone(&stop),
             world,
             config_hash,
+            opts.epoch,
             opts.handshake_timeout,
         );
         Ok(SocketTransport {
@@ -258,11 +312,13 @@ impl SocketTransport {
             }
         })?;
         let mut stream = connect_retry(self.kind, &addr, to, self.opts.connect_timeout)?;
-        // Handshake: prove both ends run the same world and config.
+        // Handshake: prove both ends run the same world, config, and
+        // restart generation.
         let hs = Handshake {
             world: self.world as u32,
             from: self.rank as u32,
             config_hash: self.config_hash,
+            epoch: self.opts.epoch,
         };
         write_frame(&mut stream, HS_CHAN, &hs.encode())
             .and_then(|()| stream.flush())
@@ -270,15 +326,15 @@ impl SocketTransport {
         stream
             .set_read_timeout(Some(self.opts.handshake_timeout))
             .map_err(|e| TransportError::io("arming the handshake timeout", &e))?;
-        let (chan, ack) = read_frame(&mut stream).map_err(|e| {
-            if is_timeout(&e) {
-                TransportError::Timeout {
-                    what: format!("handshake ack from rank {to}"),
-                    after: self.opts.handshake_timeout,
-                }
-            } else {
+        let (chan, ack) = read_frame(&mut stream).map_err(|e| match e {
+            FrameError::Io(e) if is_timeout(&e) => TransportError::Timeout {
+                what: format!("handshake ack from rank {to}"),
+                after: self.opts.handshake_timeout,
+            },
+            FrameError::Io(e) => {
                 TransportError::io(format!("reading handshake ack from rank {to}"), &e)
             }
+            corrupt => corrupt.into_transport("reading a handshake ack"),
         })?;
         if chan != HS_CHAN || ack.is_empty() {
             return Err(TransportError::BadFrame {
@@ -313,9 +369,14 @@ impl Transport for SocketTransport {
     }
 
     fn open_send(&mut self, to: usize, chan: u16) -> Result<Box<dyn FrameTx>, TransportError> {
-        if chan == HS_CHAN {
+        if chan >= CTRL_CHAN {
             return Err(TransportError::BadFrame {
-                what: format!("application channel {chan} collides with the handshake channel"),
+                what: format!("application channel {chan} collides with a reserved channel"),
+            });
+        }
+        if chan == 0 {
+            return Err(TransportError::BadFrame {
+                what: "channel 0 is reserved (corrupt-header sentinel)".to_string(),
             });
         }
         let conn = self.ensure_conn(to)?;
@@ -346,8 +407,14 @@ impl Transport for SocketTransport {
             st.queues.insert((from, chan), tx);
         }
         // When `from` is already closed the sender is dropped here, so
-        // the receiver yields the buffered frames then PeerClosed.
-        Ok(Box::new(SocketRx { rx, from }))
+        // the receiver yields the buffered frames then PeerClosed (or
+        // FrameCorrupt when corruption is what killed the connection).
+        drop(st);
+        Ok(Box::new(SocketRx {
+            rx,
+            from,
+            demux: Arc::clone(&self.demux),
+        }))
     }
 
     fn shutdown(&mut self) {
@@ -369,11 +436,10 @@ impl Transport for SocketTransport {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // Closing our write sides EOFs the peers' reader threads.
+        // Closing our write sides EOFs the peers' reader threads; the
+        // path guard unlinks the socket file.
         self.conns.clear();
-        if let Some(path) = self.uds_path.take() {
-            let _ = std::fs::remove_file(path);
-        }
+        self.uds_path = None;
     }
 }
 
@@ -392,8 +458,9 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-/// Connects to `addr`, retrying connection-refused / not-found until
-/// the deadline (the peer may not have bound its listener yet).
+/// Connects to `addr`, retrying connection-refused / not-found with
+/// bounded exponential backoff until the deadline (the peer may not
+/// have bound its listener yet, or may be restarting after a fault).
 fn connect_retry(
     kind: TransportKind,
     addr: &str,
@@ -407,6 +474,7 @@ fn connect_retry(
         format!("rank {to}")
     };
     let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(2);
     loop {
         let attempt: std::io::Result<Stream> = match kind {
             TransportKind::Tcp => TcpStream::connect(addr).map(|s| {
@@ -436,13 +504,17 @@ fn connect_retry(
                         &e,
                     ));
                 }
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     return Err(TransportError::Timeout {
                         what: format!("connecting to {who} at {addr}"),
                         after: timeout,
                     });
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                // Bounded exponential backoff: fast while the peer is
+                // milliseconds from binding, polite while it restarts.
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(Duration::from_millis(250));
             }
         }
     }
@@ -456,6 +528,7 @@ fn spawn_acceptor(
     stop: Arc<AtomicBool>,
     world: usize,
     config_hash: u64,
+    epoch: u32,
     handshake_timeout: Duration,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -486,25 +559,26 @@ fn spawn_acceptor(
             let _ = std::thread::Builder::new()
                 .name("actcomp-net-read".to_string())
                 .spawn(move || {
-                    serve_conn(stream, demux, world, config_hash, handshake_timeout);
+                    serve_conn(stream, demux, world, config_hash, epoch, handshake_timeout);
                 });
         })
         .expect("spawn acceptor thread")
 }
 
 /// Handshakes one inbound connection and pumps its frames into the
-/// demux until EOF.
+/// demux until EOF or a corrupt frame.
 fn serve_conn(
     mut stream: Stream,
     demux: Demux,
     world: usize,
     config_hash: u64,
+    epoch: u32,
     handshake_timeout: Duration,
 ) {
     if stream.set_read_timeout(Some(handshake_timeout)).is_err() {
         return;
     }
-    let from = match accept_handshake(&mut stream, world, config_hash) {
+    let from = match accept_handshake(&mut stream, world, config_hash, epoch) {
         Ok(from) => from,
         Err(reason) => {
             // Best-effort rejection; the connector surfaces it as
@@ -522,24 +596,37 @@ fn serve_conn(
     {
         return;
     }
-    while let Ok((chan, payload)) = read_frame(&mut stream) {
-        let mut st = lock(&demux);
-        match st.queues.get(&(from, chan)) {
-            Some(tx) => {
-                if tx.send(payload).is_err() {
-                    // Receiver dropped; stop routing this chan.
-                    st.queues.remove(&(from, chan));
+    loop {
+        match read_frame(&mut stream) {
+            Ok((chan, payload)) => {
+                let mut st = lock(&demux);
+                match st.queues.get(&(from, chan)) {
+                    Some(tx) => {
+                        if tx.send(payload).is_err() {
+                            // Receiver dropped; stop routing this chan.
+                            st.queues.remove(&(from, chan));
+                        }
+                    }
+                    None => st
+                        .pending
+                        .entry((from, chan))
+                        .or_default()
+                        .push_back(payload),
                 }
             }
-            None => st
-                .pending
-                .entry((from, chan))
-                .or_default()
-                .push_back(payload),
+            Err(FrameError::Corrupt(what)) => {
+                // Frame alignment is lost; the connection is dead.
+                // Remember why, so receivers report FrameCorrupt
+                // instead of a bare PeerClosed.
+                lock(&demux).corrupt.insert(from, what);
+                let _ = stream.shutdown_both();
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
         }
     }
     // EOF or error: tear down this peer's queues so blocked receivers
-    // wake with PeerClosed instead of hanging.
+    // wake with PeerClosed/FrameCorrupt instead of hanging.
     let mut st = lock(&demux);
     st.closed.insert(from);
     st.queues.retain(|(f, _), _| *f != from);
@@ -550,9 +637,10 @@ fn accept_handshake(
     stream: &mut Stream,
     world: usize,
     config_hash: u64,
+    epoch: u32,
 ) -> Result<usize, TransportError> {
     let (chan, payload) =
-        read_frame(stream).map_err(|e| TransportError::io("reading a handshake", &e))?;
+        read_frame(stream).map_err(|e| e.into_transport("reading a handshake"))?;
     if chan != HS_CHAN {
         return Err(TransportError::BadFrame {
             what: format!("first frame on channel {chan} (expected the handshake channel)"),
@@ -573,6 +661,16 @@ fn accept_handshake(
             theirs: hs.config_hash,
         });
     }
+    if hs.epoch != epoch {
+        // The fencing check: a peer from another restart generation
+        // (usually a stale worker the supervisor already replaced) is
+        // refused before any of its frames can reach the demux.
+        return Err(TransportError::HandshakeMismatch {
+            field: "epoch",
+            ours: u64::from(epoch),
+            theirs: u64::from(hs.epoch),
+        });
+    }
     if hs.from as usize >= world {
         return Err(TransportError::HandshakeMismatch {
             field: "rank",
@@ -591,18 +689,20 @@ struct SocketTx {
     bucket: Option<Arc<Mutex<TokenBucket>>>,
 }
 
-impl FrameTx for SocketTx {
-    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+impl SocketTx {
+    /// Writes one frame, optionally with a deliberately broken CRC
+    /// trailer (`crc_flip != 0` — the fault-injection path).
+    fn send_with(&mut self, payload: &[u8], crc_flip: u32) -> Result<(), TransportError> {
         if let Some(bucket) = &self.bucket {
             // Debit under the lock, sleep outside it so concurrent
             // senders are shaped collectively without serializing.
-            let wait = lock(bucket).debit(payload.len() + 6);
+            let wait = lock(bucket).debit(payload.len() + FRAME_OVERHEAD);
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
         }
         let mut w = lock(&self.conn);
-        write_frame(&mut *w, self.chan, payload)
+        write_frame_with(&mut *w, self.chan, payload, crc_flip)
             .and_then(|()| w.flush())
             .map_err(|e| match e.kind() {
                 std::io::ErrorKind::BrokenPipe
@@ -616,18 +716,47 @@ impl FrameTx for SocketTx {
     }
 }
 
+impl FrameTx for SocketTx {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_with(payload, 0)
+    }
+
+    fn send_corrupt(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_with(payload, 0xA5A5_A5A5)
+    }
+
+    fn sever(&mut self) -> Result<(), TransportError> {
+        let w = lock(&self.conn);
+        w.get_ref()
+            .shutdown_both()
+            .map_err(|e| TransportError::io(format!("severing the link to rank {}", self.to), &e))
+    }
+}
+
 /// The receiving end of one channel, fed by the peer's reader thread.
 struct SocketRx {
     rx: Receiver<Vec<u8>>,
     from: usize,
+    /// Consulted when the queue disconnects, to distinguish a corrupt
+    /// connection from a plainly closed one.
+    demux: Demux,
+}
+
+impl SocketRx {
+    fn disconnected(&self) -> TransportError {
+        if let Some(what) = lock(&self.demux).corrupt.get(&self.from) {
+            return TransportError::FrameCorrupt { what: what.clone() };
+        }
+        TransportError::PeerClosed {
+            rank: Some(self.from),
+            what: "receiving a frame".to_string(),
+        }
+    }
 }
 
 impl FrameRx for SocketRx {
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::PeerClosed {
-            rank: Some(self.from),
-            what: "receiving a frame".to_string(),
-        })
+        self.rx.recv().map_err(|_| self.disconnected())
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
@@ -636,10 +765,7 @@ impl FrameRx for SocketRx {
                 what: format!("a frame from rank {}", self.from),
                 after: timeout,
             },
-            RecvTimeoutError::Disconnected => TransportError::PeerClosed {
-                rank: Some(self.from),
-                what: "receiving a frame".to_string(),
-            },
+            RecvTimeoutError::Disconnected => self.disconnected(),
         })
     }
 }
@@ -652,7 +778,8 @@ pub(crate) mod ctrl_stream {
     /// A control listener (nonblocking, polled with a deadline).
     pub(crate) struct CtrlListenerInner {
         listener: ListenerInner,
-        uds_path: Option<PathBuf>,
+        /// Held only for its Drop (unlinks the socket file).
+        _uds_path: Option<UdsPathGuard>,
     }
 
     impl CtrlListenerInner {
@@ -676,13 +803,13 @@ pub(crate) mod ctrl_stream {
                         std::process::id(),
                         UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
                     ));
-                    let l = UnixListener::bind(&path).map_err(|e| {
+                    let l = bind_uds(&path).map_err(|e| {
                         TransportError::io(format!("binding control socket {}", path.display()), &e)
                     })?;
                     l.set_nonblocking(true)
                         .map_err(|e| TransportError::io("arming nonblocking accept", &e))?;
                     let a = path.display().to_string();
-                    (ListenerInner::Uds(l), a, Some(path))
+                    (ListenerInner::Uds(l), a, Some(UdsPathGuard(path)))
                 }
                 #[cfg(not(unix))]
                 TransportKind::Uds => {
@@ -697,7 +824,13 @@ pub(crate) mod ctrl_stream {
                     ))
                 }
             };
-            Ok((CtrlListenerInner { listener, uds_path }, addr))
+            Ok((
+                CtrlListenerInner {
+                    listener,
+                    _uds_path: uds_path,
+                },
+                addr,
+            ))
         }
 
         /// Polls for one inbound connection until `timeout`.
@@ -733,13 +866,8 @@ pub(crate) mod ctrl_stream {
         }
     }
 
-    impl Drop for CtrlListenerInner {
-        fn drop(&mut self) {
-            if let Some(path) = self.uds_path.take() {
-                let _ = std::fs::remove_file(path);
-            }
-        }
-    }
+    // No Drop impl needed: the UdsPathGuard member unlinks the socket
+    // file when the listener drops.
 
     /// One established control stream. Used strictly sequentially
     /// (send then receive from one thread), so a single stream serves
@@ -763,10 +891,7 @@ pub(crate) mod ctrl_stream {
             self.stream.set_read_timeout(t)
         }
 
-        pub(crate) fn with_read<R>(
-            &mut self,
-            f: impl FnOnce(&mut Stream) -> std::io::Result<R>,
-        ) -> std::io::Result<R> {
+        pub(crate) fn with_read<R>(&mut self, f: impl FnOnce(&mut Stream) -> R) -> R {
             f(&mut self.stream)
         }
 
@@ -788,6 +913,7 @@ mod tests {
             connect_timeout: Duration::from_secs(5),
             handshake_timeout: Duration::from_secs(5),
             link_mbps: None,
+            epoch: 0,
         };
         let mut a = SocketTransport::bind(kind, 0, 2, 42, opts).expect("bind rank 0");
         let mut b = SocketTransport::bind(kind, 1, 2, 42, opts).expect("bind rank 1");
@@ -829,7 +955,7 @@ mod tests {
         let mut a = SocketTransport::bind(TransportKind::Tcp, 0, 2, 1, opts).expect("bind");
         let b = SocketTransport::bind(TransportKind::Tcp, 1, 2, 2, opts).expect("bind");
         a.set_peer(1, b.local_addr().to_string());
-        match a.open_send(1, 0) {
+        match a.open_send(1, 1) {
             Err(TransportError::HandshakeRejected { reason }) => {
                 assert!(reason.contains("config_hash"), "reason: {reason}");
             }
@@ -839,11 +965,124 @@ mod tests {
     }
 
     #[test]
+    fn epoch_mismatch_is_fenced_off() {
+        // A "stale" epoch-0 endpoint dialing an epoch-1 world: the
+        // acceptor must refuse at handshake so no stale frame can ever
+        // reach the recovered generation.
+        let stale = SocketOptions::default();
+        let fresh = SocketOptions {
+            epoch: 1,
+            ..SocketOptions::default()
+        };
+        let mut a = SocketTransport::bind(TransportKind::Tcp, 0, 2, 42, stale).expect("bind");
+        let b = SocketTransport::bind(TransportKind::Tcp, 1, 2, 42, fresh).expect("bind");
+        a.set_peer(1, b.local_addr().to_string());
+        match a.open_send(1, 1) {
+            Err(TransportError::HandshakeRejected { reason }) => {
+                assert!(reason.contains("epoch"), "reason: {reason}");
+            }
+            Err(other) => panic!("expected an epoch rejection, got {other:?}"),
+            Ok(_) => panic!("expected an epoch rejection, got a connection"),
+        }
+    }
+
+    #[test]
+    fn reserved_channels_cannot_be_opened() {
+        let (mut a, _b) = pair(TransportKind::Tcp);
+        assert!(matches!(
+            a.open_send(1, 0),
+            Err(TransportError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            a.open_send(1, HS_CHAN),
+            Err(TransportError::BadFrame { .. })
+        ));
+        assert!(matches!(
+            a.open_send(1, CTRL_CHAN),
+            Err(TransportError::BadFrame { .. })
+        ));
+    }
+
+    fn corrupt_frames_are_typed(kind: TransportKind) {
+        let (mut a, mut b) = pair(kind);
+        let mut tx = a.open_send(1, 3).expect("send side");
+        let mut rx = b.open_recv(0, 3).expect("recv side");
+        tx.send(b"good").expect("send");
+        assert_eq!(rx.recv().expect("good frame"), b"good");
+        tx.send_corrupt(b"mangled").expect("send corrupt");
+        let err = rx.recv_timeout(Duration::from_secs(10)).expect_err("bad");
+        assert!(
+            matches!(err, TransportError::FrameCorrupt { .. }),
+            "got {err:?}"
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn tcp_corrupt_frames_are_typed() {
+        corrupt_frames_are_typed(TransportKind::Tcp);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_corrupt_frames_are_typed() {
+        corrupt_frames_are_typed(TransportKind::Uds);
+    }
+
+    #[test]
+    fn severed_connection_surfaces_as_peer_closed() {
+        let (mut a, mut b) = pair(TransportKind::Tcp);
+        let mut tx = a.open_send(1, 3).expect("send side");
+        let mut rx = b.open_recv(0, 3).expect("recv side");
+        tx.send(b"before").expect("send");
+        assert_eq!(rx.recv().expect("frame"), b"before");
+        tx.sever().expect("sever");
+        let err = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect_err("severed");
+        assert!(err.is_peer_closed(), "got {err:?}");
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_uds_paths_are_reclaimed() {
+        let path = std::env::temp_dir().join(format!(
+            "actcomp-stale-{}-{}.sock",
+            std::process::id(),
+            UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        // Bind and drop without unlinking — exactly what a SIGKILLed
+        // worker leaves behind (std does not remove the file on drop).
+        drop(UnixListener::bind(&path).expect("first bind"));
+        assert!(path.exists(), "precondition: stale socket file remains");
+        let reclaimed = bind_uds(&path).expect("stale path taken over");
+        drop(reclaimed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_path_guard_unlinks_on_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "actcomp-guard-{}-{}.sock",
+            std::process::id(),
+            UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&path, b"").expect("create");
+        assert!(path.exists());
+        drop(UdsPathGuard(path.clone()));
+        assert!(!path.exists(), "guard must unlink the path");
+    }
+
+    #[test]
     fn dead_peer_surfaces_within_the_timeout() {
         let (mut a, mut b) = pair(TransportKind::Tcp);
-        let mut tx = a.open_send(1, 0).expect("send side");
+        let mut tx = a.open_send(1, 1).expect("send side");
         tx.send(b"x").expect("send");
-        let mut rx = b.open_recv(0, 0).expect("recv side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
         assert_eq!(rx.recv().expect("frame"), b"x");
         // Kill rank 0 entirely; rank 1's reader sees EOF and the
         // blocked receive wakes with PeerClosed, not a hang.
@@ -878,7 +1117,7 @@ mod tests {
         };
         a.set_peer(1, dead);
         assert!(matches!(
-            a.open_send(1, 0),
+            a.open_send(1, 1),
             Err(TransportError::Timeout { .. })
         ));
     }
@@ -894,8 +1133,8 @@ mod tests {
             .expect("bind");
         a.set_peer(1, b.local_addr().to_string());
         b.set_peer(0, a.local_addr().to_string());
-        let mut tx = a.open_send(1, 0).expect("send side");
-        let mut rx = b.open_recv(0, 0).expect("recv side");
+        let mut tx = a.open_send(1, 1).expect("send side");
+        let mut rx = b.open_recv(0, 1).expect("recv side");
         let payload = vec![0u8; 256 * 1024];
         let t0 = Instant::now();
         for _ in 0..20 {

@@ -1,15 +1,106 @@
 //! Checkpoint serialization for encoders and heads.
 //!
 //! A checkpoint is the model configuration plus every parameter value in
-//! `visit_params` order (gradients are not persisted). The format is JSON
-//! via serde — human-inspectable and adequate at the scales this
-//! workspace trains.
+//! `visit_params` order (gradients are not persisted), and — for resuming
+//! training rather than just inference — the step counter and optimizer
+//! slot state ([`OptimizerState`]). Both training fields are
+//! serde-defaulted, so checkpoints written before they existed still
+//! load. The format is JSON via serde — human-inspectable and adequate
+//! at the scales this workspace trains.
 
+use crate::optim::{Adam, Sgd};
 use crate::{BertConfig, BertEncoder, Parameter};
 use actcomp_tensor::Tensor;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// Optimizer slot state persisted alongside the parameters, so a
+/// restored run continues the exact optimization trajectory instead of
+/// restarting momentum/moment estimates from zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerState {
+    /// SGD momentum buffers (empty when momentum is disabled — plain
+    /// SGD is stateless).
+    Sgd {
+        /// Momentum buffers in parameter-visit order.
+        velocity: Vec<Tensor>,
+    },
+    /// Adam bias-correction counter and moment estimates.
+    Adam {
+        /// Optimization steps taken (drives bias correction).
+        step: u64,
+        /// First moments in parameter-visit order.
+        m: Vec<Tensor>,
+        /// Second moments in parameter-visit order.
+        v: Vec<Tensor>,
+    },
+}
+
+impl OptimizerState {
+    /// Snapshots an SGD optimizer's slots.
+    pub fn of_sgd(opt: &Sgd) -> Self {
+        OptimizerState::Sgd {
+            velocity: opt.velocity().to_vec(),
+        }
+    }
+
+    /// Snapshots an Adam optimizer's slots and counter.
+    pub fn of_adam(opt: &Adam) -> Self {
+        let (m, v) = opt.moments();
+        OptimizerState::Adam {
+            step: opt.steps(),
+            m: m.to_vec(),
+            v: v.to_vec(),
+        }
+    }
+
+    /// Restores the state into an SGD optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Mismatch`] if the state was taken from a
+    /// different optimizer kind.
+    pub fn apply_to_sgd(&self, opt: &mut Sgd) -> Result<(), LoadError> {
+        match self {
+            OptimizerState::Sgd { velocity } => {
+                opt.set_velocity(velocity.clone());
+                Ok(())
+            }
+            OptimizerState::Adam { .. } => Err(LoadError::Mismatch(
+                "checkpoint holds Adam state, not SGD".to_string(),
+            )),
+        }
+    }
+
+    /// Restores the state into an Adam optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Mismatch`] if the state was taken from a
+    /// different optimizer kind.
+    pub fn apply_to_adam(&self, opt: &mut Adam) -> Result<(), LoadError> {
+        match self {
+            OptimizerState::Adam { step, m, v } => {
+                opt.set_state(*step, m.clone(), v.clone());
+                Ok(())
+            }
+            OptimizerState::Sgd { .. } => Err(LoadError::Mismatch(
+                "checkpoint holds SGD state, not Adam".to_string(),
+            )),
+        }
+    }
+}
+
+/// Step counter plus optimizer slots — everything beyond the weights a
+/// resumed run needs to continue the same trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingState {
+    /// Training step the snapshot was taken at.
+    pub step: usize,
+    /// Optimizer slot state.
+    pub optimizer: OptimizerState,
+}
 
 /// A serialized model snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,6 +109,11 @@ pub struct Checkpoint {
     pub config: BertConfig,
     /// Parameter values, in `visit_params` order.
     pub params: Vec<Tensor>,
+    /// Training state, when the checkpoint is meant for resuming
+    /// training rather than inference. `None` for model-only snapshots
+    /// — including every checkpoint written before this field existed,
+    /// which still load (missing `Option` fields decode as `None`).
+    pub training: Option<TrainingState>,
 }
 
 /// Errors from loading a checkpoint.
@@ -71,7 +167,15 @@ impl Checkpoint {
         Checkpoint {
             config: encoder.config().clone(),
             params,
+            training: None,
         }
+    }
+
+    /// Attaches training state (step counter + optimizer slots) to a
+    /// model snapshot, turning it into a resumable checkpoint.
+    pub fn with_training_state(mut self, step: usize, optimizer: OptimizerState) -> Self {
+        self.training = Some(TrainingState { step, optimizer });
+        self
     }
 
     /// Rebuilds an encoder from the snapshot.
@@ -218,5 +322,56 @@ mod tests {
     fn load_errors_are_reportable() {
         let err = Checkpoint::load("/definitely/not/here.json").unwrap_err();
         assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn optimizer_state_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut model = BertEncoder::new(&mut rng, tiny());
+        // Exercise momentum so the velocity buffers are non-trivial.
+        let mut opt = Sgd::with_momentum(1e-2, 0.9);
+        for _ in 0..2 {
+            let y = model.forward(&[1, 2, 3, 4], 1, 4);
+            model.backward(&y);
+            crate::optim::step(&mut opt, |f| model.visit_params(f));
+            model.visit_params(&mut |p| p.zero_grad());
+        }
+        let ckpt = Checkpoint::from_encoder(&mut model)
+            .with_training_state(2, OptimizerState::of_sgd(&opt));
+        let json = serde_json::to_string(&ckpt).expect("encode");
+        let back: Checkpoint = serde_json::from_str(&json).expect("decode");
+        let training = back.training.expect("state present");
+        assert_eq!(training.step, 2);
+        let mut restored = Sgd::with_momentum(1e-2, 0.9);
+        training
+            .optimizer
+            .apply_to_sgd(&mut restored)
+            .expect("same kind");
+        assert_eq!(restored.velocity().len(), opt.velocity().len());
+        for (a, b) in restored.velocity().iter().zip(opt.velocity()) {
+            assert_eq!(a.as_slice(), b.as_slice(), "bitwise identical slots");
+        }
+        // Wrong-kind restore is a typed error, not silent garbage.
+        let mut adam = Adam::new(1e-3);
+        assert!(matches!(
+            training.optimizer.apply_to_adam(&mut adam),
+            Err(LoadError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn pre_training_state_checkpoints_still_load() {
+        // JSON written before the `training` field existed.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut model = BertEncoder::new(&mut rng, tiny());
+        let full = Checkpoint::from_encoder(&mut model);
+        let legacy = format!(
+            "{{\"config\":{},\"params\":{}}}",
+            serde_json::to_string(&full.config).unwrap(),
+            serde_json::to_string(&full.params).unwrap()
+        );
+        let back: Checkpoint = serde_json::from_str(&legacy).expect("legacy decode");
+        assert!(back.training.is_none());
+        assert!(back.into_encoder().is_ok());
     }
 }

@@ -53,7 +53,7 @@ pub mod transformer;
 
 pub use activation::{Gelu, Relu, Tanh};
 pub use attention::MultiHeadAttention;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, OptimizerState, TrainingState};
 pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use layernorm::{LayerNorm, LnCache};

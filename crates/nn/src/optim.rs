@@ -103,6 +103,19 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
+
+    /// The momentum buffers, in parameter-visit order (empty until the
+    /// first momentum update, or when momentum is disabled).
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Replaces the momentum buffers — the restore half of
+    /// [`Sgd::velocity`]; checkpointing persists them so a resumed run
+    /// continues the same trajectory.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
 }
 
 impl Optimizer for Sgd {
@@ -174,6 +187,19 @@ impl Adam {
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// The moment estimates `(m, v)`, in parameter-visit order.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the full Adam state — bias-correction counter and both
+    /// moment vectors — from a checkpoint.
+    pub fn set_state(&mut self, step: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        self.step = step;
+        self.m = m;
+        self.v = v;
     }
 }
 

@@ -77,6 +77,8 @@ pub mod procs;
 mod rank;
 pub mod report;
 mod runtime;
+pub mod shard;
+pub mod supervisor;
 mod trace;
 mod wire;
 
@@ -89,3 +91,5 @@ pub use procs::{run_worker, ProcsError, ProcsOptions, ProcsRuntime, WorkerArgs};
 pub use rank::RankGrads;
 pub use report::{PhaseTimers, RankReport, RuntimeReport};
 pub use runtime::ThreadedRuntime;
+pub use shard::ShardError;
+pub use supervisor::{supervise, RecoveryEvent, RecoveryTrace, SuperviseOptions};

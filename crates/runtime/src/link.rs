@@ -24,6 +24,15 @@ use crate::wire::{decode_msg, encode_msg, WireMsg};
 use actcomp_net::{FrameRx, FrameTx, Transport, TransportError};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bound on one framed data-plane receive. A *dead* peer surfaces
+/// much sooner as `PeerClosed` (the socket demux drops its queues on
+/// EOF); this deadline only catches a peer that is alive but silent —
+/// e.g. a dropped frame under fault injection — turning an indefinite
+/// stall into a typed timeout that fails the step instead of hanging
+/// the worker forever.
+const RECV_DEADLINE: Duration = Duration::from_secs(600);
 
 /// Ring-collective traffic between TP neighbours.
 pub(crate) const CHAN_RING: u16 = 1;
@@ -99,7 +108,8 @@ impl<T: WireMsg> MsgRx<T> {
             MsgRx::Framed(rx) => {
                 let buf = {
                     let mut rx = rx.lock().unwrap_or_else(|e| e.into_inner());
-                    rx.recv().map_err(LinkError::Transport)?
+                    rx.recv_timeout(RECV_DEADLINE)
+                        .map_err(LinkError::Transport)?
                 };
                 decode_msg(&buf).map_err(LinkError::Decode)
             }

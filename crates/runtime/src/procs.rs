@@ -57,15 +57,26 @@ use std::time::Duration;
 /// Environment variable carrying the run configuration JSON to workers.
 pub const WORKER_CFG_ENV: &str = "ACTCOMP_WORKER_CFG";
 
-/// How long the launcher waits for workers to dial in and report ready
-/// (covers model construction in the workers).
-const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(120);
-/// How long the launcher waits for a step response. Generous: a full
-/// BERT-Large step on a loaded machine is minutes, and a dead worker is
-/// detected much earlier by its closed connection.
-const STEP_TIMEOUT: Duration = Duration::from_secs(600);
+/// Default launcher-side deadline for workers to dial in and report
+/// ready (covers model construction in the workers). Override with
+/// [`ProcsOptions::rendezvous_timeout`].
+pub const DEFAULT_RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default launcher-side deadline for a step response. Generous: a full
+/// BERT-Large step on a loaded machine is minutes — a dead worker is
+/// detected within the 10-second liveness window instead, by its
+/// closed connection or its missing heartbeats. Override with
+/// [`ProcsOptions::step_timeout`].
+pub const DEFAULT_STEP_TIMEOUT: Duration = Duration::from_secs(600);
 /// How long a worker waits for the coordinator during rendezvous.
 const WORKER_DIAL_TIMEOUT: Duration = Duration::from_secs(30);
+/// How often a worker pings the launcher while its rank thread is busy
+/// computing a command, so a slow step is distinguishable from a dead
+/// process.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
+/// How much total control-plane silence (no response, no heartbeat) the
+/// launcher tolerates from a worker that owes it a response. Detection
+/// of a hung rank is bounded by this window, not the step timeout.
+const LIVENESS_WINDOW: Duration = Duration::from_secs(10);
 
 /// Errors launching or driving a multi-process run.
 #[derive(Debug)]
@@ -93,6 +104,15 @@ pub enum ProcsError {
         /// What the launcher was doing.
         detail: String,
     },
+    /// A worker went silent — its connection is still open, but neither
+    /// a response nor a heartbeat arrived within the liveness window
+    /// (or the step timeout expired with only heartbeats).
+    RankTimeout {
+        /// The silent worker's rank.
+        rank: usize,
+        /// How long the launcher waited before giving up.
+        after: Duration,
+    },
     /// A control frame arrived that does not fit the protocol.
     Protocol {
         /// What was wrong.
@@ -118,6 +138,11 @@ impl std::fmt::Display for ProcsError {
                 Some(r) => write!(f, "worker {r} lost: {detail}"),
                 None => write!(f, "worker lost: {detail}"),
             },
+            ProcsError::RankTimeout { rank, after } => write!(
+                f,
+                "rank {rank} silent for {:.1}s (no response, no heartbeat)",
+                after.as_secs_f64()
+            ),
             ProcsError::Protocol { detail } => {
                 write!(f, "control protocol violation: {detail}")
             }
@@ -170,6 +195,10 @@ enum CtrlMsg {
     Cmd(Command),
     /// Worker → launcher: the command's response.
     Resp(Response),
+    /// Worker → launcher: still alive, still computing. Sent while a
+    /// command runs so the launcher can bound failure detection by the
+    /// liveness window instead of the step timeout.
+    Heartbeat,
 }
 
 impl WireMsg for CtrlMsg {
@@ -196,6 +225,7 @@ impl WireMsg for CtrlMsg {
                 put_u8(out, 5);
                 resp.encode(out);
             }
+            CtrlMsg::Heartbeat => put_u8(out, 6),
         }
     }
 
@@ -221,6 +251,7 @@ impl WireMsg for CtrlMsg {
             3 => CtrlMsg::Ready,
             4 => CtrlMsg::Cmd(Command::decode(r)?),
             5 => CtrlMsg::Resp(Response::decode(r)?),
+            6 => CtrlMsg::Heartbeat,
             _ => {
                 return Err(WireError {
                     what: "control tag",
@@ -242,6 +273,7 @@ fn recv_ctrl(conn: &mut CtrlConn, timeout: Duration) -> Result<CtrlMsg, ProcsErr
 }
 
 /// How to launch a multi-process run.
+#[derive(Clone)]
 pub struct ProcsOptions {
     /// The run configuration (shared verbatim with every worker).
     pub cfg: RuntimeConfig,
@@ -258,6 +290,39 @@ pub struct ProcsOptions {
     /// Test hook: this rank exits right after rendezvous, simulating a
     /// mid-run crash.
     pub fail_rank: Option<usize>,
+    /// Launcher-side deadline for one step response. Heartbeats keep a
+    /// slow rank alive within it; detection of a *silent* rank is
+    /// bounded by the (much shorter) liveness window.
+    pub step_timeout: Duration,
+    /// Deadline for the whole rendezvous (dial-in, peer table, ready).
+    pub rendezvous_timeout: Duration,
+    /// Restart generation: 0 for a fresh run, incremented by the
+    /// supervisor on every relaunch after a worker loss. Carried in the
+    /// data-plane handshake, so a fenced-off survivor of a previous
+    /// generation is refused with a typed handshake error.
+    pub epoch: u32,
+    /// Fault-injection spec (see `actcomp_net::FaultPlan`), passed
+    /// verbatim to every worker. `None`: no injection.
+    pub fault: Option<String>,
+}
+
+impl ProcsOptions {
+    /// Options for a plain (fault-free, first-generation) run with the
+    /// default timeouts.
+    pub fn new(cfg: RuntimeConfig, seed: u64, kind: TransportKind) -> ProcsOptions {
+        ProcsOptions {
+            cfg,
+            seed,
+            kind,
+            link_mbps: None,
+            worker_exe: None,
+            fail_rank: None,
+            step_timeout: DEFAULT_STEP_TIMEOUT,
+            rendezvous_timeout: DEFAULT_RENDEZVOUS_TIMEOUT,
+            epoch: 0,
+            fault: None,
+        }
+    }
 }
 
 /// One spawned worker as the launcher sees it.
@@ -272,6 +337,11 @@ struct WorkerHandle {
 pub struct ProcsRuntime {
     workers: Vec<WorkerHandle>,
     cfg: RuntimeConfig,
+    /// Per-step response deadline (heartbeat-extended liveness aside).
+    step_timeout: Duration,
+    /// The run's config hash — stamped into checkpoint shards so a
+    /// restore from a different run is refused.
+    tag: u64,
 }
 
 impl std::fmt::Debug for ProcsRuntime {
@@ -305,8 +375,16 @@ impl ProcsRuntime {
         if opts.kind == TransportKind::Mpsc {
             return Err(ProcsError::MpscUnsupported);
         }
+        if let Some(spec) = &opts.fault {
+            // Validate up front so a typo dies in the launcher, not as
+            // a protocol error in every worker.
+            actcomp_net::FaultPlan::parse(spec).map_err(|e| ProcsError::Protocol {
+                detail: format!("fault spec: {e}"),
+            })?;
+        }
         let world = opts.cfg.world();
         let cfg_json = serde_json::to_string(&opts.cfg).expect("config serializes");
+        let tag = config_hash(&cfg_json, opts.seed);
         let exe = match &opts.worker_exe {
             Some(p) => p.clone(),
             None => std::env::current_exe().map_err(|e| ProcsError::Spawn {
@@ -332,9 +410,16 @@ impl ProcsRuntime {
                 .arg(opts.kind.name())
                 .arg("--seed")
                 .arg(opts.seed.to_string())
+                .arg("--epoch")
+                .arg(opts.epoch.to_string())
+                .arg("--rendezvous-timeout-ms")
+                .arg(opts.rendezvous_timeout.as_millis().to_string())
                 .env(WORKER_CFG_ENV, &cfg_json);
             if let Some(mbps) = opts.link_mbps {
                 cmd.arg("--link-mbps").arg(mbps.to_string());
+            }
+            if let Some(spec) = &opts.fault {
+                cmd.arg("--fault").arg(spec);
             }
             if opts.fail_rank == Some(rank) {
                 cmd.arg("--fail-after-rendezvous");
@@ -354,8 +439,13 @@ impl ProcsRuntime {
             return Err(e);
         }
 
-        match Self::rendezvous(&listener, children, world, &opts.cfg) {
-            Ok(rt) => Ok(rt),
+        match Self::rendezvous(&listener, children, world, &opts) {
+            Ok(workers) => Ok(ProcsRuntime {
+                workers,
+                cfg: opts.cfg.clone(),
+                step_timeout: opts.step_timeout,
+                tag,
+            }),
             Err(e) => Err(e),
         }
     }
@@ -367,8 +457,9 @@ impl ProcsRuntime {
         listener: &CtrlListener,
         mut children: Vec<Child>,
         world: usize,
-        cfg: &RuntimeConfig,
-    ) -> Result<ProcsRuntime, ProcsError> {
+        opts: &ProcsOptions,
+    ) -> Result<Vec<WorkerHandle>, ProcsError> {
+        let rdv = opts.rendezvous_timeout;
         let kill_all = |children: &mut Vec<Child>| {
             for c in children.iter_mut() {
                 let _ = c.kill();
@@ -379,8 +470,8 @@ impl ProcsRuntime {
             let mut conns: Vec<Option<CtrlConn>> = (0..world).map(|_| None).collect();
             let mut addrs: Vec<String> = vec![String::new(); world];
             for _ in 0..world {
-                let mut conn = listener.accept(RENDEZVOUS_TIMEOUT)?;
-                match recv_ctrl(&mut conn, RENDEZVOUS_TIMEOUT)? {
+                let mut conn = listener.accept(rdv)?;
+                match recv_ctrl(&mut conn, rdv)? {
                     CtrlMsg::Hello { rank, data_addr } => {
                         if rank >= world || conns[rank].is_some() {
                             return Err(ProcsError::Protocol {
@@ -420,7 +511,7 @@ impl ProcsRuntime {
         }
         for (rank, conn) in conns.iter_mut().enumerate() {
             let conn = conn.as_mut().expect("all ranks said hello");
-            match recv_ctrl(conn, RENDEZVOUS_TIMEOUT) {
+            match recv_ctrl(conn, rdv) {
                 Ok(CtrlMsg::Ready) => {}
                 Ok(_) => {
                     kill_all(&mut children);
@@ -438,18 +529,14 @@ impl ProcsRuntime {
             }
         }
 
-        let workers = children
+        Ok(children
             .into_iter()
             .zip(conns)
             .map(|(child, ctrl)| WorkerHandle {
                 child,
                 ctrl: ctrl.expect("all ranks said hello"),
             })
-            .collect();
-        Ok(ProcsRuntime {
-            workers,
-            cfg: cfg.clone(),
-        })
+            .collect())
     }
 
     /// The run configuration.
@@ -460,6 +547,11 @@ impl ProcsRuntime {
     /// Total rank (process) count.
     pub fn world(&self) -> usize {
         self.cfg.world()
+    }
+
+    /// The run's config hash (the checkpoint/handshake stamp).
+    pub fn tag(&self) -> u64 {
+        self.tag
     }
 
     /// Sends one command to every worker.
@@ -475,24 +567,51 @@ impl ProcsRuntime {
     }
 
     /// Collects one response per worker, in rank order.
+    ///
+    /// A busy worker emits heartbeats while its rank thread computes,
+    /// so the launcher tolerates up to the full step timeout of
+    /// heartbeat-backed computation but only [`LIVENESS_WINDOW`] of
+    /// *silence* — a dead or hung rank surfaces as a typed
+    /// [`ProcsError::RankTimeout`] (or [`ProcsError::WorkerLost`] on a
+    /// closed connection) in seconds, not minutes.
     fn collect(&mut self) -> Result<Vec<Response>, ProcsError> {
+        let step_timeout = self.step_timeout;
         let mut out = Vec::with_capacity(self.workers.len());
         for (rank, w) in self.workers.iter_mut().enumerate() {
-            match recv_ctrl(&mut w.ctrl, STEP_TIMEOUT) {
-                Ok(CtrlMsg::Resp(resp)) => out.push(resp),
-                Ok(_) => {
-                    return Err(ProcsError::Protocol {
-                        detail: format!("expected a response from rank {rank}"),
-                    })
+            let deadline = std::time::Instant::now() + step_timeout;
+            let resp = loop {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(ProcsError::RankTimeout {
+                        rank,
+                        after: step_timeout,
+                    });
                 }
-                Err(ProcsError::Transport(e)) => {
-                    return Err(ProcsError::WorkerLost {
-                        rank: Some(rank),
-                        detail: format!("waiting for a response: {e}"),
-                    })
+                let window = LIVENESS_WINDOW.min(deadline - now);
+                match recv_ctrl(&mut w.ctrl, window) {
+                    Ok(CtrlMsg::Heartbeat) => continue,
+                    Ok(CtrlMsg::Resp(resp)) => break resp,
+                    Ok(_) => {
+                        return Err(ProcsError::Protocol {
+                            detail: format!("expected a response from rank {rank}"),
+                        })
+                    }
+                    Err(ProcsError::Transport(TransportError::Timeout { .. })) => {
+                        return Err(ProcsError::RankTimeout {
+                            rank,
+                            after: window,
+                        })
+                    }
+                    Err(ProcsError::Transport(e)) => {
+                        return Err(ProcsError::WorkerLost {
+                            rank: Some(rank),
+                            detail: format!("waiting for a response: {e}"),
+                        })
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
-            }
+            };
+            out.push(resp);
         }
         Ok(out)
     }
@@ -541,6 +660,34 @@ impl ProcsRuntime {
     /// Applies one SGD step with learning rate `lr` on every rank.
     pub fn sgd_step(&mut self, lr: f32) -> Result<(), ProcsError> {
         self.broadcast(&Command::SgdStep { lr })?;
+        self.collect()?;
+        Ok(())
+    }
+
+    /// Takes a distributed checkpoint at `step`: every rank writes its
+    /// parameter shard to `dir/rank-<r>.ckpt`, CRC-trailed and stamped
+    /// with the run's config hash and the step, so a restore from the
+    /// wrong run (or the wrong point) is refused instead of silently
+    /// diverging.
+    pub fn checkpoint(&mut self, dir: &std::path::Path, step: usize) -> Result<(), ProcsError> {
+        self.broadcast(&Command::Checkpoint {
+            dir: dir.to_string_lossy().into_owned(),
+            step,
+            tag: self.tag,
+        })?;
+        self.collect()?;
+        Ok(())
+    }
+
+    /// Restores every rank's parameter shard from the checkpoint taken
+    /// at `step` in `dir`. Shards are CRC-verified and must carry this
+    /// run's config hash and the requested step.
+    pub fn restore(&mut self, dir: &std::path::Path, step: usize) -> Result<(), ProcsError> {
+        self.broadcast(&Command::Restore {
+            dir: dir.to_string_lossy().into_owned(),
+            step,
+            tag: self.tag,
+        })?;
         self.collect()?;
         Ok(())
     }
@@ -632,6 +779,13 @@ pub struct WorkerArgs {
     pub link_mbps: Option<f64>,
     /// Test hook: exit right after rendezvous to simulate a crash.
     pub fail_after_rendezvous: bool,
+    /// Restart generation, echoed into the data-plane handshake.
+    pub epoch: u32,
+    /// Fault-injection spec (parsed locally; every worker gets the same
+    /// spec and applies only its own clauses).
+    pub fault: Option<String>,
+    /// How long to wait for the launcher's peer table.
+    pub rendezvous_timeout: Duration,
 }
 
 /// The worker process body: rendezvous, rebuild the model, run the
@@ -658,6 +812,12 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
         });
     }
     let hash = config_hash(&cfg_json, args.seed);
+    let plan = match &args.fault {
+        Some(spec) => actcomp_net::FaultPlan::parse(spec).map_err(|e| ProcsError::Protocol {
+            detail: format!("fault spec: {e}"),
+        })?,
+        None => actcomp_net::FaultPlan::default(),
+    };
 
     let mut ctrl = CtrlConn::connect(args.kind, &args.coord, WORKER_DIAL_TIMEOUT)?;
     let mut transport = SocketTransport::bind(
@@ -667,6 +827,7 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
         hash,
         SocketOptions {
             link_mbps: args.link_mbps,
+            epoch: args.epoch,
             ..SocketOptions::default()
         },
     )?;
@@ -677,7 +838,7 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
             data_addr: transport.local_addr().to_string(),
         },
     )?;
-    let addrs = match recv_ctrl(&mut ctrl, RENDEZVOUS_TIMEOUT)? {
+    let addrs = match recv_ctrl(&mut ctrl, args.rendezvous_timeout)? {
         CtrlMsg::PeerTable { addrs } => addrs,
         _ => {
             return Err(ProcsError::Protocol {
@@ -693,7 +854,17 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
     for (peer, addr) in addrs.into_iter().enumerate() {
         transport.set_peer(peer, addr);
     }
-    let links = build_rank_links(&mut transport, cfg.mp.tp, cfg.mp.pp)?;
+    // Frame faults wrap the data plane only — the control plane must
+    // stay honest or the launcher could not even learn of the chaos.
+    let mut transport: Box<dyn Transport> = if plan.has_frame_faults(args.rank) {
+        Box::new(actcomp_net::FaultyTransport::new(
+            Box::new(transport),
+            plan.clone(),
+        ))
+    } else {
+        Box::new(transport)
+    };
+    let links = build_rank_links(transport.as_mut(), cfg.mp.tp, cfg.mp.pp)?;
 
     // Rebuild the identical model and compressor stack every process
     // shares: same seed, same draw order as the threaded engine.
@@ -717,8 +888,11 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
     }
 
     // Bridge loop: every command yields exactly one response, except
-    // Shutdown which ends the run.
-    let loop_result = loop {
+    // Shutdown which ends the run. While the rank thread computes, the
+    // bridge pings the launcher so a slow step never reads as a death.
+    let kill_at = plan.kill_at(args.rank);
+    let mut forwards_seen: usize = 0;
+    let loop_result = 'cmds: loop {
         let frame = match ctrl.recv_blocking() {
             Ok(f) => f,
             Err(e) => break Err(ProcsError::from(e)),
@@ -739,6 +913,14 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
                 })
             }
         };
+        if matches!(cmd, Command::Forward { .. }) {
+            if Some(forwards_seen) == kill_at {
+                // The injected crash: vanish mid-step without any
+                // shutdown, exactly like a SIGKILLed worker.
+                std::process::exit(3);
+            }
+            forwards_seen += 1;
+        }
         let is_shutdown = matches!(cmd, Command::Shutdown);
         if cmd_tx.send(cmd).is_err() {
             break Err(ProcsError::Protocol {
@@ -748,14 +930,22 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
         if is_shutdown {
             break Ok(());
         }
-        let resp = match resp_rx.recv() {
-            Ok(r) => r,
-            // The rank thread panicked (e.g. a data-plane peer died);
-            // exit with a typed error so the launcher sees the close.
-            Err(_) => {
-                break Err(ProcsError::Protocol {
-                    detail: "rank worker failed mid-command".to_string(),
-                })
+        let resp = loop {
+            match resp_rx.recv_timeout(HEARTBEAT_INTERVAL) {
+                Ok(r) => break r,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if let Err(e) = send_ctrl(&mut ctrl, &CtrlMsg::Heartbeat) {
+                        break 'cmds Err(ProcsError::from(e));
+                    }
+                }
+                // The rank thread panicked (e.g. a data-plane peer
+                // died); exit with a typed error so the launcher sees
+                // the close.
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    break 'cmds Err(ProcsError::Protocol {
+                        detail: "rank worker failed mid-command".to_string(),
+                    })
+                }
             }
         };
         if let Err(e) = send_ctrl(&mut ctrl, &CtrlMsg::Resp(resp)) {

@@ -50,6 +50,26 @@ pub(crate) enum Command {
     TakeTrace,
     /// Exit the worker loop.
     Shutdown,
+    /// Write this rank's parameter shard to `dir/rank-<r>.ckpt`,
+    /// stamped with `step` and the run's config hash `tag`.
+    Checkpoint {
+        /// Checkpoint directory (shared by all ranks).
+        dir: String,
+        /// Training step the checkpoint captures.
+        step: usize,
+        /// Config hash stamped into the shard.
+        tag: u64,
+    },
+    /// Load this rank's parameter shard back from a checkpoint; the
+    /// shard must verify (CRC) and carry the expected `step` and `tag`.
+    Restore {
+        /// Checkpoint directory (shared by all ranks).
+        dir: String,
+        /// Training step the checkpoint was taken at.
+        step: usize,
+        /// Config hash the shard must carry.
+        tag: u64,
+    },
 }
 
 impl WireMsg for Command {
@@ -77,6 +97,18 @@ impl WireMsg for Command {
             Command::Report => put_u8(out, 5),
             Command::TakeTrace => put_u8(out, 6),
             Command::Shutdown => put_u8(out, 7),
+            Command::Checkpoint { dir, step, tag } => {
+                put_u8(out, 8);
+                put_string(out, dir);
+                put_usize(out, *step);
+                crate::wire::put_u64(out, *tag);
+            }
+            Command::Restore { dir, step, tag } => {
+                put_u8(out, 9);
+                put_string(out, dir);
+                put_usize(out, *step);
+                crate::wire::put_u64(out, *tag);
+            }
         }
     }
 
@@ -110,6 +142,16 @@ impl WireMsg for Command {
             5 => Command::Report,
             6 => Command::TakeTrace,
             7 => Command::Shutdown,
+            8 => Command::Checkpoint {
+                dir: r.read_string("checkpoint dir")?,
+                step: r.read_usize("checkpoint step")?,
+                tag: r.read_u64("checkpoint tag")?,
+            },
+            9 => Command::Restore {
+                dir: r.read_string("restore dir")?,
+                step: r.read_usize("restore step")?,
+                tag: r.read_u64("restore tag")?,
+            },
             _ => {
                 return Err(WireError {
                     what: "command tag",
@@ -453,8 +495,51 @@ impl RankWorker {
                     });
                 }
                 Command::Shutdown => break,
+                Command::Checkpoint { dir, step, tag } => {
+                    self.save_shard(std::path::Path::new(&dir), step, tag);
+                    self.done();
+                }
+                Command::Restore { dir, step, tag } => {
+                    self.load_shard(std::path::Path::new(&dir), step, tag);
+                    self.done();
+                }
             }
         }
+    }
+
+    /// Writes every owned parameter, in visit order, as this rank's
+    /// checkpoint shard. A failed write panics: the worker dies, the
+    /// launcher sees the loss, and the supervisor treats it like any
+    /// other crash — better than acking a checkpoint that isn't there.
+    fn save_shard(&mut self, dir: &std::path::Path, step: usize, tag: u64) {
+        let mut tensors = Vec::new();
+        self.visit_owned_params(&mut |p| tensors.push(p.value.clone()));
+        crate::shard::write_shard(dir, self.rank, step, tag, &tensors)
+            .unwrap_or_else(|e| panic!("rank {} checkpoint failed: {e}", self.rank));
+    }
+
+    /// Restores every owned parameter from this rank's shard, in the
+    /// same visit order it was written. Verification failures (CRC,
+    /// run/step mismatch, wrong tensor count or shape) panic for the
+    /// same reason a failed save does.
+    fn load_shard(&mut self, dir: &std::path::Path, step: usize, tag: u64) {
+        let tensors = crate::shard::read_shard(dir, self.rank, step, tag)
+            .unwrap_or_else(|e| panic!("rank {} restore failed: {e}", self.rank));
+        let mut i = 0;
+        self.visit_owned_params(&mut |p| {
+            let t = tensors
+                .get(i)
+                .unwrap_or_else(|| panic!("shard has only {i} tensors"));
+            assert_eq!(
+                t.dims(),
+                p.value.dims(),
+                "shard tensor {i} shape disagrees with the model"
+            );
+            p.value = t.clone();
+            p.grad = Tensor::zeros_like(&p.value);
+            i += 1;
+        });
+        assert_eq!(i, tensors.len(), "shard holds more tensors than the model");
     }
 
     fn done(&self) {

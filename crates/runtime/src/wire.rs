@@ -378,6 +378,11 @@ impl Reader<'_> {
         self.usize(what)
     }
 
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        self.u64(what)
+    }
+
     /// Reads a little-endian `f32`.
     pub fn read_f32(&mut self, what: &'static str) -> Result<f32, WireError> {
         self.f32(what)

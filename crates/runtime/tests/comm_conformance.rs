@@ -54,18 +54,10 @@ fn experiment(
     cfg.batch.num_micro_batches = 1;
     cfg.plan.spec = spec.to_string();
     cfg.runtime = Some(RuntimeSection {
-        backend: "threads".to_string(),
-        threads: None,
         micro_batches: Some(m),
-        rank_map: None,
-        kernel_threads: None,
         chunk_rows,
         pipeline_depth: Some(depth),
-        transport: None,
-        link_mbps: None,
-        world_size: None,
-        listen: None,
-        trace: None,
+        ..RuntimeSection::threads_default()
     });
     cfg
 }

@@ -12,7 +12,10 @@
 use actcomp_compress::plan::CompressionPlan;
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_mp::MpConfig;
-use actcomp_net::{mpsc_world, SocketOptions, SocketTransport, Transport, TransportKind};
+use actcomp_net::{
+    mpsc_world, FaultPlan, FaultyTransport, FrameRx, FrameTx, SocketOptions, SocketTransport,
+    Transport, TransportError, TransportKind,
+};
 use actcomp_nn::{BertConfig, BertEncoder};
 use actcomp_runtime::{RuntimeConfig, ThreadedRuntime};
 use actcomp_tensor::Tensor;
@@ -184,6 +187,73 @@ fn microbatched_compressed_steps_are_bit_identical_across_transports() {
         CompressionPlan::last_layers(CompressorSpec::T2, 4, 2)
     }
     conformance_grid(plan, 2);
+}
+
+/// A 2-rank socket world with rank 0's sends routed through a
+/// [`FaultyTransport`] driven by `spec`; returns the faulty send end
+/// and the honest receive end of one channel.
+fn faulty_socket_pair(kind: TransportKind, spec: &str) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+    let mut world = socket_world(kind, 2);
+    let mut recv_side = world.pop().expect("rank 1");
+    let send_side = world.pop().expect("rank 0");
+    let plan = FaultPlan::parse(spec).expect("valid spec");
+    let mut faulty = FaultyTransport::new(send_side, plan);
+    let tx = faulty.open_send(1, 1).expect("send side");
+    let rx = recv_side.open_recv(0, 1).expect("recv side");
+    // Keep both transports (demux threads, socket files) alive for the
+    // duration of the test.
+    std::mem::forget(faulty);
+    std::mem::forget(recv_side);
+    (tx, rx)
+}
+
+/// The injection grid from the issue: drop / dup / corrupt × uds / tcp.
+/// Every fault must surface as typed, bounded-time behaviour at the
+/// honest receiver — never a hang, never a garbage decode.
+#[test]
+fn fault_injection_grid_surfaces_typed_errors_on_sockets() {
+    use std::time::Duration;
+    for kind in [TransportKind::Uds, TransportKind::Tcp] {
+        // drop: the matched frame never arrives; the receiver's typed
+        // timeout bounds the wait, and later frames still flow.
+        let (mut tx, mut rx) = faulty_socket_pair(kind, "drop:frame=0");
+        tx.send(b"swallowed").expect("send");
+        assert!(
+            matches!(
+                rx.recv_timeout(Duration::from_millis(200)),
+                Err(TransportError::Timeout { .. })
+            ),
+            "{kind}: dropped frame must surface as a typed timeout"
+        );
+        tx.send(b"after-drop").expect("send");
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10))
+                .expect("later frame"),
+            b"after-drop",
+            "{kind}: the stream survives a dropped frame"
+        );
+
+        // dup: the matched frame arrives exactly twice, in order.
+        let (mut tx, mut rx) = faulty_socket_pair(kind, "dup:frame=0");
+        tx.send(b"twin").expect("send");
+        tx.send(b"solo").expect("send");
+        for want in [b"twin" as &[u8], b"twin", b"solo"] {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(10)).expect("frame"),
+                want,
+                "{kind}: duplicate ordering"
+            );
+        }
+
+        // corrupt: the CRC trailer catches it and the receiver reports
+        // the typed FrameCorrupt — the stream is poisoned, not garbage.
+        let (mut tx, mut rx) = faulty_socket_pair(kind, "corrupt:frame=0");
+        tx.send(b"poisoned").expect("send");
+        assert!(
+            matches!(rx.recv(), Err(TransportError::FrameCorrupt { .. })),
+            "{kind}: corruption must surface as FrameCorrupt"
+        );
+    }
 }
 
 #[test]
