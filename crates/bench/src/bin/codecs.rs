@@ -256,12 +256,18 @@ fn main() {
         std::hint::black_box(&topk.compress(&x));
     });
     // At a 5% keep rate the benefit gate routes the selection to the
-    // single-chunk loop; record which path actually ran.
+    // single-chunk loop; record which path actually ran, and pin it so a
+    // gate change that silently re-admits the losing pooled path fails
+    // the bench rather than just shifting a number in the artifact.
     let topk_path = if actcomp_compress::pooled_select_beneficial(elems, k, pooled_threads) {
         "pooled"
     } else {
         "serial"
     };
+    assert_eq!(
+        topk_path, "serial",
+        "benefit gate must route the paper's 5% keep rate to the serial select"
+    );
     push(
         &mut table,
         "topk (keep 5%)",

@@ -2,16 +2,28 @@
 //!
 //! Measures GFLOP/s for each kernel variant (`A@B`, `Aᵀ@B`, `A@Bᵀ`) at
 //! the shapes the BERT configs actually exercise, single- vs
-//! multi-thread, and records the speedup over a faithful copy of the
+//! pooled-thread, and records the speedup over a faithful copy of the
 //! *seed* kernels (the pre-blocking `i-k-j` loops, skip-branch included)
-//! so the before/after is part of the artifact. Results land in
-//! `BENCH_kernels.json` at the repo root, next to `BENCH_runtime.json`;
-//! CI runs this bin with `--quick` and fails if the file is missing or
-//! malformed.
+//! so the before/after is part of the artifact. A second section
+//! measures the graph executor's GEMM-epilogue fusion against both the
+//! unfused plan (same kernels, separate elementwise passes) and a frozen
+//! copy of the PR 4 path (separate bias/GELU passes with the libm tanh),
+//! and a third records the workspace planner's peak bytes for an 8-layer
+//! FFN/LN stack against the hand-threaded `_ws` baseline. Results land
+//! in `BENCH_kernels.json` at the repo root, next to
+//! `BENCH_runtime.json`; CI runs this bin with `--quick` and fails if
+//! the file is missing or malformed.
+//!
+//! The thread-pool width honors `ACTCOMP_THREADS` (the same spec the
+//! library itself reads); `available_parallelism` is recorded so a
+//! pool that cannot help (1-core runner) is visible in the artifact,
+//! and any case where the pool adds less than 5% is flagged.
 
 use actcomp_bench::util;
 use actcomp_core::report::Table;
-use actcomp_tensor::{kernels, Workspace};
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{CompiledPlan, FusePolicy, OutBind};
+use actcomp_tensor::{kernels, pool, Workspace};
 use std::time::Instant;
 
 /// One row of `BENCH_kernels.json`.
@@ -27,6 +39,48 @@ struct CaseResult {
     gflops_multi: f64,
     multi_threads: usize,
     speedup_1t_vs_seed: f64,
+    /// `gflops_multi / gflops_1t`.
+    pool_gain: f64,
+    /// True when the pool added less than 5% over one thread — either a
+    /// scheduling regression or a runner without spare cores.
+    pool_gain_below_5pct: bool,
+}
+
+/// One fused-vs-unfused comparison in `BENCH_kernels.json`.
+#[derive(serde::Serialize)]
+struct FusionResult {
+    label: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Frozen PR 4 path: blocked GEMM, then separate bias/activation
+    /// passes using `f32::tanh`.
+    pr4_gflops: f64,
+    /// Same graph compiled with `FusePolicy::None`: identical kernels,
+    /// epilogue ops run as separate planned elementwise steps.
+    unfused_gflops: f64,
+    /// Graph compiled with `FusePolicy::Auto`: elementwise chain applied
+    /// in the GEMM's register-tile epilogue.
+    fused_gflops: f64,
+    fused_vs_pr4: f64,
+    fused_vs_unfused: f64,
+}
+
+/// Workspace-planner section of `BENCH_kernels.json`.
+#[derive(serde::Serialize)]
+struct PlannerResult {
+    config: String,
+    layers: usize,
+    tokens: usize,
+    hidden: usize,
+    ff_hidden: usize,
+    /// Liveness-planned peak of the compiled 8-layer plan.
+    peak_workspace_bytes: usize,
+    /// What the hand-threaded `_ws` style would lease: one buffer per
+    /// non-input value, all live at once.
+    unfused_ws_baseline_bytes: usize,
+    /// `unfused_ws_baseline_bytes / peak_workspace_bytes`.
+    reuse_ratio: f64,
 }
 
 /// Top-level `BENCH_kernels.json` document.
@@ -35,7 +89,11 @@ struct BenchDoc {
     bench: String,
     quick: bool,
     iters_per_case: usize,
+    available_parallelism: usize,
+    pool_threads: usize,
     cases: Vec<CaseResult>,
+    fusion: Vec<FusionResult>,
+    planner: PlannerResult,
 }
 
 /// The seed crate's matmul kernels, copied verbatim (including the
@@ -88,6 +146,67 @@ mod seed {
             }
         }
         out
+    }
+}
+
+/// The PR 4 unfused layer path, frozen verbatim as the "before" side of
+/// the fusion comparison: the blocked GEMM writes the full output, then
+/// a separate row-broadcast bias pass re-reads it, then a separate GELU
+/// pass re-reads it again — with the tanh-GELU computed through
+/// `f32::tanh`, as `Tensor::gelu` did before the fused epilogues (and
+/// the rational fast-tanh) landed.
+mod pr4 {
+    use actcomp_tensor::{kernels, Workspace};
+
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+
+    fn gelu_libm(x: f32) -> f32 {
+        0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+    }
+
+    /// `gelu(x·W + b)` as three full passes over the `[m, n]` output.
+    #[allow(clippy::too_many_arguments)]
+    pub fn linear_bias_gelu(
+        out: &mut [f32],
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        threads: usize,
+        ws: &mut Workspace,
+    ) {
+        kernels::gemm_nn(out, false, x, w, m, k, n, threads, ws);
+        for row in out.chunks_mut(n) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        for o in out.iter_mut() {
+            *o = gelu_libm(*o);
+        }
+    }
+
+    /// `x·W + b` as two passes (the bias-only projections).
+    #[allow(clippy::too_many_arguments)]
+    pub fn linear_bias(
+        out: &mut [f32],
+        x: &[f32],
+        w: &[f32],
+        bias: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        threads: usize,
+        ws: &mut Workspace,
+    ) {
+        kernels::gemm_nn(out, false, x, w, m, k, n, threads, ws);
+        for row in out.chunks_mut(n) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
     }
 }
 
@@ -165,7 +284,8 @@ const CASES: &[Case] = &[
     },
 ];
 
-/// In `--quick` mode only the headline shapes run (CI smoke).
+/// In `--quick` mode only the headline shapes run (CI smoke); the
+/// fusion and planner sections always run because CI asserts on them.
 fn active_cases(quick: bool) -> Vec<&'static Case> {
     CASES
         .iter()
@@ -191,10 +311,126 @@ fn filled(len: usize, scale: f32) -> Vec<f32> {
         .collect()
 }
 
+/// `act = gelu(x·W + b)` as a graph, compiled with the given policy.
+fn linear_gelu_plan(m: usize, k: usize, n: usize, policy: FusePolicy) -> CompiledPlan {
+    let mut g = Graph::new();
+    let gx = g.input(m, k);
+    let gw = g.input(k, n);
+    let gb = g.input_vec(n);
+    let y = g.matmul(gx, gw);
+    let h = g.bias_add(y, gb);
+    let act = g.gelu(h);
+    g.mark_output(act);
+    g.compile(policy).expect("linear+bias+gelu graph")
+}
+
+/// `y = x·W + b` as a graph, compiled with the given policy.
+fn linear_bias_plan(m: usize, k: usize, n: usize, policy: FusePolicy) -> CompiledPlan {
+    let mut g = Graph::new();
+    let gx = g.input(m, k);
+    let gw = g.input(k, n);
+    let gb = g.input_vec(n);
+    let y = g.matmul(gx, gw);
+    let h = g.bias_add(y, gb);
+    g.mark_output(h);
+    g.compile(policy).expect("linear+bias graph")
+}
+
+/// Compiles the "8-layer bench config": eight chained FFN blocks with
+/// residual adds and layer norms at BERT-Base width (the attention
+/// softmax lives outside the IR, so this is the planner's view of a
+/// layer). The unfused `_ws` baseline is one live buffer per non-input
+/// value — exactly what the hand-threaded code used to lease.
+fn planner_stack(layers: usize, tokens: usize, hidden: usize, ff: usize) -> CompiledPlan {
+    let mut g = Graph::new();
+    let mut x = g.input(tokens, hidden);
+    let w1 = g.input(hidden, ff);
+    let b1 = g.input_vec(ff);
+    let w2 = g.input(ff, hidden);
+    let b2 = g.input_vec(hidden);
+    let gamma = g.input_vec(hidden);
+    let beta = g.input_vec(hidden);
+    for _ in 0..layers {
+        let y1 = g.matmul(x, w1);
+        let h1 = g.bias_add(y1, b1);
+        let a = g.gelu(h1);
+        let y2 = g.matmul(a, w2);
+        let f = g.bias_add(y2, b2);
+        let r = g.residual_add(f, x);
+        let (y, _xhat, _inv_std) = g.layernorm(r, gamma, beta, 1e-5);
+        x = y;
+    }
+    g.mark_output(x);
+    g.compile(FusePolicy::Auto).expect("8-layer planner stack")
+}
+
+/// Measures the fused / unfused / frozen-PR4 variants of one fusible
+/// layer segment.
+#[allow(clippy::too_many_arguments)]
+fn fusion_case(
+    label: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    with_gelu: bool,
+    iters: usize,
+    threads: usize,
+    ws: &mut Workspace,
+) -> FusionResult {
+    let flops = 2.0 * (m * k * n) as f64;
+    let gf = |secs: f64| flops / secs / 1e9;
+    let x = filled(m * k, 0.03125);
+    let w = filled(k * n, 0.0625);
+    let bias = filled(n, 0.125);
+    let mut out = vec![0.0f32; m * n];
+
+    let pr4_s = time_best(iters, || {
+        if with_gelu {
+            pr4::linear_bias_gelu(&mut out, &x, &w, &bias, m, k, n, threads, ws);
+        } else {
+            pr4::linear_bias(&mut out, &x, &w, &bias, m, k, n, threads, ws);
+        }
+        std::hint::black_box(&out);
+    });
+
+    let build = |policy| {
+        if with_gelu {
+            linear_gelu_plan(m, k, n, policy)
+        } else {
+            linear_bias_plan(m, k, n, policy)
+        }
+    };
+    let unfused = build(FusePolicy::None);
+    let unfused_s = time_best(iters, || {
+        let res = unfused.run(&[&x, &w, &bias], vec![OutBind::Write(&mut out)], ws);
+        std::hint::black_box(&res);
+    });
+    let fused = build(FusePolicy::Auto);
+    let fused_s = time_best(iters, || {
+        let res = fused.run(&[&x, &w, &bias], vec![OutBind::Write(&mut out)], ws);
+        std::hint::black_box(&res);
+    });
+
+    FusionResult {
+        label: label.to_string(),
+        m,
+        k,
+        n,
+        pr4_gflops: gf(pr4_s),
+        unfused_gflops: gf(unfused_s),
+        fused_gflops: gf(fused_s),
+        fused_vs_pr4: pr4_s / fused_s,
+        fused_vs_unfused: unfused_s / fused_s,
+    }
+}
+
 fn main() {
     let opts = util::Options::from_args();
     let iters = if opts.quick { 2 } else { 5 };
-    let multi = std::thread::available_parallelism().map_or(2, |p| p.get().max(2));
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // The pool width the library itself would pick: `ACTCOMP_THREADS`
+    // if set, otherwise the machine's parallelism.
+    let multi = pool::configured_threads().max(1);
     let mut ws = Workspace::new();
     let mut table = Table::new(
         "Blocked kernels vs seed kernels (GFLOP/s, best of several runs)",
@@ -205,6 +441,7 @@ fn main() {
             "Blocked 1T",
             &format!("Blocked {multi}T"),
             "Speedup 1T",
+            "Pool gain",
         ]
         .into_iter()
         .map(String::from)
@@ -247,6 +484,8 @@ fn main() {
         });
 
         let speedup = seed_s / one_s;
+        let pool_gain = one_s / multi_s;
+        let flagged = pool_gain < 1.05;
         table.push_row(vec![
             format!("{}x{}x{} ({})", m, k, n, case.label),
             case.variant.to_string(),
@@ -254,6 +493,7 @@ fn main() {
             format!("{:.2}", gf(one_s)),
             format!("{:.2}", gf(multi_s)),
             format!("{:.2}x", speedup),
+            format!("{:.2}x{}", pool_gain, if flagged { " [<5%]" } else { "" }),
         ]);
         entries.push(CaseResult {
             label: case.label.to_string(),
@@ -266,15 +506,86 @@ fn main() {
             gflops_multi: gf(multi_s),
             multi_threads: multi,
             speedup_1t_vs_seed: speedup,
+            pool_gain,
+            pool_gain_below_5pct: flagged,
         });
     }
     println!("{table}");
+
+    let mut fusion_table = Table::new(
+        "GEMM-epilogue fusion vs unfused plan vs frozen PR 4 path (GFLOP/s)",
+        ["Segment", "PR4", "Unfused", "Fused", "vs PR4", "vs unfused"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    );
+    // Best-of-N needs a larger N here: the fusion ratio is an acceptance
+    // number and single-digit-ms noise on a shared core can invert it.
+    let fusion_iters = iters.max(8);
+    let fusion = vec![
+        fusion_case(
+            "ffn up (bias+gelu)",
+            1024,
+            768,
+            3072,
+            true,
+            fusion_iters,
+            multi,
+            &mut ws,
+        ),
+        fusion_case(
+            "qkv proj (bias)",
+            1024,
+            768,
+            768,
+            false,
+            fusion_iters,
+            multi,
+            &mut ws,
+        ),
+    ];
+    for f in &fusion {
+        fusion_table.push_row(vec![
+            format!("{} {}x{}x{}", f.label, f.m, f.k, f.n),
+            format!("{:.2}", f.pr4_gflops),
+            format!("{:.2}", f.unfused_gflops),
+            format!("{:.2}", f.fused_gflops),
+            format!("{:.2}x", f.fused_vs_pr4),
+            format!("{:.2}x", f.fused_vs_unfused),
+        ]);
+    }
+    println!("{fusion_table}");
+
+    let (layers, tokens, hidden, ff) = (8, 1024, 768, 3072);
+    let stack = planner_stack(layers, tokens, hidden, ff);
+    let planner = PlannerResult {
+        config: format!("{layers}-layer FFN/LN stack, tokens={tokens} hidden={hidden} ff={ff}"),
+        layers,
+        tokens,
+        hidden,
+        ff_hidden: ff,
+        peak_workspace_bytes: stack.peak_workspace_bytes(),
+        unfused_ws_baseline_bytes: stack.unfused_value_bytes(),
+        reuse_ratio: stack.unfused_value_bytes() as f64
+            / stack.peak_workspace_bytes().max(1) as f64,
+    };
+    println!(
+        "[planner] {}: peak {} B vs hand-threaded {} B ({:.1}x reuse)",
+        planner.config,
+        planner.peak_workspace_bytes,
+        planner.unfused_ws_baseline_bytes,
+        planner.reuse_ratio
+    );
 
     let doc = BenchDoc {
         bench: "kernels".to_string(),
         quick: opts.quick,
         iters_per_case: iters,
+        available_parallelism: avail,
+        pool_threads: multi,
         cases: entries,
+        fusion,
+        planner,
     };
     let json = serde_json::to_string_pretty(&doc).expect("benchmark JSON serializes");
     if let Err(e) = std::fs::write("BENCH_kernels.json", &json) {

@@ -6,8 +6,10 @@
 //! configuration, `AC05xx` ring-collective chunking, `AC06xx`
 //! comm-protocol analysis (message-flow graph, deadlock-freedom,
 //! trace conformance), `AC07xx` multi-process transport
-//! configuration. Codes are append-only — once published
-//! in a diagnostic they keep their meaning so scripts can match on them.
+//! configuration, `AC08xx` fault injection and recovery, `AC09xx`
+//! op-graph plans (cycle / shape mismatch / illegal fusion). Codes are
+//! append-only — once published in a diagnostic they keep their meaning
+//! so scripts can match on them.
 
 /// Hidden width not divisible by the head count.
 pub const HIDDEN_NOT_DIVISIBLE_BY_HEADS: &str = "AC0001";
@@ -121,6 +123,16 @@ pub const FAULT_RANK_OUT_OF_WORLD: &str = "AC0804";
 /// `runtime.checkpoint_every` is zero (checkpoints must be at least
 /// one step apart).
 pub const CHECKPOINT_INTERVAL_INVALID: &str = "AC0805";
+
+/// An op-graph plan's dependency relation has a cycle — no
+/// def-before-use execution order exists.
+pub const GRAPH_CYCLE: &str = "AC0901";
+/// An op-graph node's operand shapes disagree with its declared shape
+/// (or an operand/output id does not exist).
+pub const GRAPH_SHAPE_MISMATCH: &str = "AC0902";
+/// A fusion the plan requires (`FusePolicy::Forced`) is not legal under
+/// the epilogue-fusion rules.
+pub const GRAPH_ILLEGAL_FUSION: &str = "AC0903";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -355,6 +367,17 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             CHECKPOINT_INTERVAL_INVALID,
             "checkpoint interval is zero",
+            false,
+        ),
+        row(GRAPH_CYCLE, "op-graph plan has a dependency cycle", false),
+        row(
+            GRAPH_SHAPE_MISMATCH,
+            "op-graph node shapes disagree with their operands",
+            false,
+        ),
+        row(
+            GRAPH_ILLEGAL_FUSION,
+            "required GEMM-epilogue fusion is illegal",
             false,
         ),
     ]

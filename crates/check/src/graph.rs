@@ -1,0 +1,239 @@
+//! Op-graph plan checks (`AC0901`–`AC0903`).
+//!
+//! The nn/mp/runtime layers no longer thread workspace buffers by hand:
+//! they emit op-graph segments (`actcomp_tensor::graph`) and execute
+//! compiled plans, with elementwise chains fused into GEMM epilogues.
+//! That moves a class of failures from "panic mid-layer" to "graph does
+//! not compile", so the checker audits them up front, the same way it
+//! audits comm protocols before any rank runs:
+//!
+//! - `AC0901` — the plan's dependency relation has a cycle (no
+//!   def-before-use order exists);
+//! - `AC0902` — a node's operand shapes disagree with its declared
+//!   shape (or an operand/output id does not exist);
+//! - `AC0903` — a fusion the plan *requires* (the hot FFN and
+//!   projection epilogues) is not legal under the fusion rules.
+//!
+//! The config pass rebuilds the exact fused segments the runtime
+//! executes for this model — QKV/output projection (`bias`), FFN up
+//! (`bias + GELU`) and FFN down (`bias + residual`), at the TP-sharded
+//! per-rank widths — and compiles them under
+//! [`FusePolicy::Forced`], sharing [`Graph::from_raw_nodes`] /
+//! [`Graph::compile`] with the engine so the checker and the executor
+//! can never disagree on what a legal plan is.
+
+use crate::codes;
+use crate::config::ExperimentConfig;
+use crate::diagnostics::{Diagnostic, Diagnostics};
+use actcomp_tensor::graph::{Graph, GraphError, Node, ValueId};
+use actcomp_tensor::plan::FusePolicy;
+
+/// Maps a [`GraphError`] onto its diagnostic, anchored at `span`.
+fn graph_diagnostic(span: &str, segment: &str, err: &GraphError) -> Diagnostic {
+    match err {
+        GraphError::Cycle { node } => Diagnostic::error(
+            codes::GRAPH_CYCLE,
+            span,
+            format!("{segment}: dependency cycle through node {node}"),
+        )
+        .with_help("an op graph must be a DAG: no value may (transitively) consume itself"),
+        GraphError::ShapeMismatch { node, detail } => Diagnostic::error(
+            codes::GRAPH_SHAPE_MISMATCH,
+            span,
+            format!("{segment}: shape mismatch at node {node}: {detail}"),
+        )
+        .with_help("operand shapes must agree with the node's declared [rows, cols] shape"),
+        GraphError::IllegalFusion { gemm, detail } => Diagnostic::error(
+            codes::GRAPH_ILLEGAL_FUSION,
+            span,
+            format!("{segment}: required fusion at gemm node {gemm} is illegal: {detail}"),
+        )
+        .with_help(
+            "a fused chain must be single-consumer elementwise ops directly after the GEMM; \
+             stash at most one intermediate",
+        ),
+    }
+}
+
+/// Audits one plan given as raw nodes + outputs (the form external plan
+/// descriptions arrive in): structural validation via
+/// [`Graph::from_raw_nodes`] (AC0901/AC0902), then fusion legality for
+/// the `forced` GEMMs via [`FusePolicy::Forced`] (AC0903). Pushes at
+/// most one diagnostic — compilation stops at the first structural
+/// error, and a structurally broken graph cannot be fusion-audited.
+pub fn audit_raw_plan(
+    nodes: Vec<Node>,
+    outputs: Vec<ValueId>,
+    forced: &[ValueId],
+    span: &str,
+    segment: &str,
+    diags: &mut Diagnostics,
+) {
+    match Graph::from_raw_nodes(nodes, outputs) {
+        Err(e) => diags.push(graph_diagnostic(span, segment, &e)),
+        Ok(g) => {
+            if let Err(e) = g.compile(FusePolicy::Forced(forced.to_vec())) {
+                diags.push(graph_diagnostic(span, segment, &e));
+            }
+        }
+    }
+}
+
+/// Builds and force-compiles one `x·W (+bias, +GELU?)` projection
+/// segment at `[m, k] × [k, n]`, as the runtime's layer code emits it.
+fn audit_projection(
+    m: usize,
+    k: usize,
+    n: usize,
+    with_gelu: bool,
+    span: &str,
+    segment: &str,
+    diags: &mut Diagnostics,
+) {
+    let mut g = Graph::new();
+    let x = g.input(m, k);
+    let w = g.input(k, n);
+    let b = g.input_vec(n);
+    let y = g.matmul(x, w);
+    let h = g.bias_add(y, b);
+    let out = if with_gelu { g.gelu(h) } else { h };
+    g.mark_output(out);
+    if let Err(e) = g.compile(FusePolicy::Forced(vec![y])) {
+        diags.push(graph_diagnostic(span, segment, &e));
+    }
+}
+
+/// The op-graph pass: audits the fused plan segments the runtime will
+/// execute for this model at its TP-sharded per-rank widths.
+pub fn check_graph(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
+    let tp = cfg.parallelism.tp.max(1);
+    let h = cfg.model.hidden;
+    let ff = cfg.model.ff_hidden;
+    // Per-rank shard widths; divisibility itself is AC0002/AC0003
+    // territory, so only audit the graphs when the shards are exact —
+    // a half-shard graph would report a misleading shape mismatch on
+    // top of the real divisibility error.
+    if h == 0 || ff == 0 || !h.is_multiple_of(tp) || !ff.is_multiple_of(tp) {
+        return;
+    }
+    let m = cfg.batch.micro_batch * cfg.batch.seq;
+    let span = "model";
+    audit_projection(
+        m,
+        h,
+        h / tp,
+        false,
+        span,
+        "attention projection (bias)",
+        diags,
+    );
+    audit_projection(m, h, ff / tp, true, span, "ffn up (bias+gelu)", diags);
+    audit_projection(m, ff / tp, h, false, span, "ffn down (bias)", diags);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actcomp_tensor::graph::{EwOp, GemmKind, NodeKind};
+
+    fn codes_of(diags: Diagnostics) -> Vec<&'static str> {
+        diags.into_vec().iter().map(|d| d.code).collect()
+    }
+
+    fn input(rows: usize, cols: usize) -> Node {
+        Node {
+            kind: NodeKind::Input,
+            shape: (rows, cols),
+        }
+    }
+
+    #[test]
+    fn paper_default_plans_are_clean() {
+        let mut diags = Diagnostics::new();
+        check_graph(&ExperimentConfig::paper_default(), &mut diags);
+        assert!(diags.into_vec().is_empty());
+    }
+
+    #[test]
+    fn non_divisible_shards_are_left_to_shape_codes() {
+        // ff 4096 % tp 3 != 0: the graph pass stays silent so AC0003
+        // reports the root cause alone.
+        let mut cfg = ExperimentConfig::paper_default();
+        cfg.parallelism.tp = 3;
+        let mut diags = Diagnostics::new();
+        check_graph(&cfg, &mut diags);
+        assert!(diags.into_vec().is_empty());
+    }
+
+    #[test]
+    fn cycle_is_ac0901() {
+        // Two Ew nodes consuming each other: no def-before-use order.
+        let nodes = vec![
+            input(4, 4),
+            Node {
+                kind: NodeKind::Ew {
+                    x: 2,
+                    op: EwOp::Relu,
+                },
+                shape: (4, 4),
+            },
+            Node {
+                kind: NodeKind::Ew {
+                    x: 1,
+                    op: EwOp::Relu,
+                },
+                shape: (4, 4),
+            },
+        ];
+        let mut diags = Diagnostics::new();
+        audit_raw_plan(nodes, vec![2], &[], "plan", "test segment", &mut diags);
+        assert_eq!(codes_of(diags), vec![codes::GRAPH_CYCLE]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_ac0902() {
+        // [4, 8] × [4, 8]: inner dimensions disagree.
+        let nodes = vec![
+            input(4, 8),
+            input(4, 8),
+            Node {
+                kind: NodeKind::Gemm {
+                    kind: GemmKind::NN,
+                    a: 0,
+                    b: 1,
+                },
+                shape: (4, 8),
+            },
+        ];
+        let mut diags = Diagnostics::new();
+        audit_raw_plan(nodes, vec![2], &[], "plan", "test segment", &mut diags);
+        assert_eq!(codes_of(diags), vec![codes::GRAPH_SHAPE_MISMATCH]);
+    }
+
+    #[test]
+    fn illegal_forced_fusion_is_ac0903() {
+        // The GEMM's consumer chain forks (bias_add feeds two readers),
+        // so forcing the fusion must fail.
+        let mut g = Graph::new();
+        let x = g.input(8, 8);
+        let w = g.input(8, 8);
+        let b = g.input_vec(8);
+        let y = g.matmul(x, w);
+        let h = g.bias_add(y, b);
+        let t = g.tanh(h);
+        let r = g.relu(h);
+        g.mark_output(t);
+        g.mark_output(r);
+        let (nodes, outputs) = g.into_raw_nodes();
+        let mut diags = Diagnostics::new();
+        audit_raw_plan(nodes, outputs, &[y], "plan", "test segment", &mut diags);
+        assert_eq!(codes_of(diags), vec![codes::GRAPH_ILLEGAL_FUSION]);
+    }
+
+    #[test]
+    fn config_pass_feeds_check() {
+        let mut diags = Diagnostics::new();
+        check_graph(&ExperimentConfig::paper_pretrain(), &mut diags);
+        assert!(diags.into_vec().is_empty());
+    }
+}

@@ -25,6 +25,7 @@ pub mod collectives;
 pub mod comm_graph;
 pub mod config;
 pub mod diagnostics;
+pub mod graph;
 pub mod kernels;
 pub mod plan;
 pub mod runtime;
@@ -58,8 +59,8 @@ impl std::fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// Runs every check pass, returning all findings in pass order
-/// (shape, plan, schedule, runtime, kernels, collectives). An empty
-/// vector means the config is clean.
+/// (shape, plan, schedule, runtime, kernels, collectives, graph). An
+/// empty vector means the config is clean.
 pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     let mut diags = Diagnostics::new();
     shape::check_shapes(cfg, &mut diags);
@@ -68,6 +69,7 @@ pub fn check(cfg: &ExperimentConfig) -> Vec<Diagnostic> {
     runtime::check_runtime(cfg, &mut diags);
     kernels::check_kernels(cfg, &mut diags);
     collectives::check_collectives(cfg, &mut diags);
+    graph::check_graph(cfg, &mut diags);
     diags.into_vec()
 }
 

@@ -8,6 +8,8 @@
 //! order — is shared rather than duplicated.
 
 use actcomp_nn::Parameter;
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{CompiledPlan, FusePolicy, OutBind};
 use actcomp_tensor::{workspace, Tensor, Workspace};
 
 /// One worker's shard of a column-parallel linear: full input, a
@@ -49,10 +51,31 @@ impl ColumnShard {
         workspace::with_thread_default(|ws| self.forward_ws(x, ws))
     }
 
-    /// [`ColumnShard::forward`] with caller-provided scratch.
+    /// [`ColumnShard::forward`] with caller-provided scratch: the same
+    /// `matmul → bias` graph segment the serial [`actcomp_nn::Linear`]
+    /// emits, so a shard's columns are bit-identical to the serial
+    /// layer's column slice.
     pub fn forward_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        x.matmul_ws(&self.weight.value, ws)
-            .add_row_broadcast(&self.bias.value)
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = self.bias.value.len();
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gw = g.input(kin, n);
+        let gb = g.input_vec(n);
+        let y = g.matmul(gx, gw);
+        let h = g.bias_add(y, gb);
+        g.mark_output(h);
+        let plan = g.compile(FusePolicy::Auto).expect("column shard graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                self.weight.value.as_slice(),
+                self.bias.value.as_slice(),
+            ],
+            vec![OutBind::Lease],
+            ws,
+        );
+        Tensor::from_vec(res[0].take().expect("leased output"), [m, n])
     }
 
     /// Accumulates weight/bias gradients from `dout` against the forward
@@ -62,12 +85,33 @@ impl ColumnShard {
         workspace::with_thread_default(|ws| self.backward_ws(x, dout, ws))
     }
 
-    /// [`ColumnShard::backward`] with caller-provided scratch; the weight
-    /// gradient accumulates in place (`grad += xᵀ dout`, no temporary).
+    /// [`ColumnShard::backward`] with caller-provided scratch; one graph
+    /// segment whose weight/bias gradient outputs accumulate in place
+    /// (`grad += xᵀ dout`, no temporary).
     pub fn backward_ws(&mut self, x: &Tensor, dout: &Tensor, ws: &mut Workspace) -> Tensor {
-        self.weight.grad.add_matmul_tn_ws(x, dout, ws);
-        self.bias.grad.add_assign(&dout.sum_axis0());
-        dout.matmul_nt_ws(&self.weight.value, ws)
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = dout.dims()[1];
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gdy = g.input(m, n);
+        let gw = g.input(kin, n);
+        let dw = g.matmul_tn(gx, gdy);
+        let db = g.sum_axis0(gdy);
+        let dx = g.matmul_nt(gdy, gw);
+        g.mark_output(dw);
+        g.mark_output(db);
+        g.mark_output(dx);
+        let plan = g.compile(FusePolicy::Auto).expect("column shard backward");
+        let mut res = plan.run(
+            &[x.as_slice(), dout.as_slice(), self.weight.value.as_slice()],
+            vec![
+                OutBind::Acc(self.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.bias.grad.as_mut_slice()),
+                OutBind::Lease,
+            ],
+            ws,
+        );
+        Tensor::from_vec(res[2].take().expect("leased dx"), [m, kin])
     }
 
     /// Visits the weight then the bias.
@@ -111,7 +155,20 @@ impl RowShard {
 
     /// [`RowShard::partial`] with caller-provided scratch.
     pub fn partial_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        x.matmul_ws(&self.weight.value, ws)
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = self.weight.value.dims()[1];
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gw = g.input(kin, n);
+        let y = g.matmul(gx, gw);
+        g.mark_output(y);
+        let plan = g.compile(FusePolicy::Auto).expect("row shard graph");
+        let mut res = plan.run(
+            &[x.as_slice(), self.weight.value.as_slice()],
+            vec![OutBind::Lease],
+            ws,
+        );
+        Tensor::from_vec(res[0].take().expect("leased partial"), [m, n])
     }
 
     /// Accumulates the weight gradient from the (post-reduce) partial
@@ -121,11 +178,33 @@ impl RowShard {
         workspace::with_thread_default(|ws| self.backward_ws(x, dpartial, ws))
     }
 
-    /// [`RowShard::backward`] with caller-provided scratch; the weight
-    /// gradient accumulates in place.
+    /// [`RowShard::backward`] with caller-provided scratch; one graph
+    /// segment, weight gradient accumulating in place.
     pub fn backward_ws(&mut self, x: &Tensor, dpartial: &Tensor, ws: &mut Workspace) -> Tensor {
-        self.weight.grad.add_matmul_tn_ws(x, dpartial, ws);
-        dpartial.matmul_nt_ws(&self.weight.value, ws)
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = dpartial.dims()[1];
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gdy = g.input(m, n);
+        let gw = g.input(kin, n);
+        let dw = g.matmul_tn(gx, gdy);
+        let dx = g.matmul_nt(gdy, gw);
+        g.mark_output(dw);
+        g.mark_output(dx);
+        let plan = g.compile(FusePolicy::Auto).expect("row shard backward");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                dpartial.as_slice(),
+                self.weight.value.as_slice(),
+            ],
+            vec![
+                OutBind::Acc(self.weight.grad.as_mut_slice()),
+                OutBind::Lease,
+            ],
+            ws,
+        );
+        Tensor::from_vec(res[1].take().expect("leased dx"), [m, kin])
     }
 
     /// Visits the weight.
@@ -195,8 +274,23 @@ pub fn attn_context_forward(
     })
 }
 
+/// Per-head `q kᵀ → scaled scores` plan: the `1/√d` scale fuses into the
+/// `nt` GEMM's register-tile epilogue. Compiled once per call, run per
+/// (batch, head).
+fn scores_plan(seq: usize, d: usize, scale: f32) -> CompiledPlan {
+    let mut g = Graph::new();
+    let gq = g.input(seq, d);
+    let gk = g.input(seq, d);
+    let s = g.matmul_nt(gq, gk);
+    let ss = g.scale(s, scale);
+    g.mark_output(ss);
+    g.compile(FusePolicy::Forced(vec![s]))
+        .expect("scores graph: scale always fuses")
+}
+
 /// [`attn_context_forward`] with caller-provided scratch: head blocks and
-/// score matrices are leased from `ws` and recycled per head.
+/// score matrices are leased from `ws` and recycled per head; the softmax
+/// scale executes inside the scores GEMM's epilogue.
 #[allow(clippy::too_many_arguments)]
 pub fn attn_context_forward_ws(
     q: &Tensor,
@@ -210,6 +304,15 @@ pub fn attn_context_forward_ws(
 ) -> (Tensor, Vec<Tensor>) {
     let hw = local_heads * d;
     let scale = 1.0 / (d as f32).sqrt();
+    let sc_plan = scores_plan(seq, d, scale);
+    let cx_plan = {
+        let mut g = Graph::new();
+        let gp = g.input(seq, seq);
+        let gv = g.input(seq, d);
+        let c = g.matmul(gp, gv);
+        g.mark_output(c);
+        g.compile(FusePolicy::Auto).expect("context graph")
+    };
     let mut ctx = ws.lease_tensor([batch * seq, hw]);
     let mut probs = Vec::with_capacity(batch * local_heads);
     for t in 0..batch {
@@ -217,10 +320,11 @@ pub fn attn_context_forward_ws(
             let qb = head_block_ws(q, t, hd, seq, d, hw, ws);
             let kb = head_block_ws(k, t, hd, seq, d, hw, ws);
             let vb = head_block_ws(v, t, hd, seq, d, hw, ws);
-            let mut scores = qb.matmul_nt_ws(&kb, ws);
-            scores.scale_assign(scale);
+            let mut sres = sc_plan.run(&[qb.as_slice(), kb.as_slice()], vec![OutBind::Lease], ws);
+            let scores = Tensor::from_vec(sres[0].take().expect("leased scores"), [seq, seq]);
             let p = scores.softmax_rows();
-            let c = p.matmul_ws(&vb, ws);
+            let mut cres = cx_plan.run(&[p.as_slice(), vb.as_slice()], vec![OutBind::Lease], ws);
+            let c = Tensor::from_vec(cres[0].take().expect("leased context"), [seq, d]);
             write_head_block(&mut ctx, &c, t, hd, seq, d, hw);
             for tmp in [qb, kb, vb, scores, c] {
                 ws.recycle_tensor(tmp);
@@ -270,6 +374,32 @@ pub fn attn_context_backward_ws(
     let mut dq = ws.lease_tensor([batch * seq, hw]);
     let mut dk = ws.lease_tensor([batch * seq, hw]);
     let mut dv = ws.lease_tensor([batch * seq, hw]);
+    // c = p v → dp = dc vᵀ ; dv = pᵀ dc, then after the softmax backward
+    // s = α q kᵀ → dq = (α ds) k ; dk = (α ds)ᵀ q. Two plans, compiled
+    // once and run per (batch, head).
+    let ctx_bwd = {
+        let mut g = Graph::new();
+        let gdc = g.input(seq, d);
+        let gvb = g.input(seq, d);
+        let gp = g.input(seq, seq);
+        let dp = g.matmul_nt(gdc, gvb);
+        let dvb = g.matmul_tn(gp, gdc);
+        g.mark_output(dp);
+        g.mark_output(dvb);
+        g.compile(FusePolicy::Auto).expect("context backward graph")
+    };
+    let score_bwd = {
+        let mut g = Graph::new();
+        let gds = g.input(seq, seq);
+        let gkb = g.input(seq, d);
+        let gqb = g.input(seq, d);
+        let dss = g.scale(gds, scale);
+        let dqb = g.matmul(dss, gkb);
+        let dkb = g.matmul_tn(dss, gqb);
+        g.mark_output(dqb);
+        g.mark_output(dkb);
+        g.compile(FusePolicy::Auto).expect("scores backward graph")
+    };
     for t in 0..batch {
         for hd in 0..local_heads {
             let p = &probs[t * local_heads + hd];
@@ -278,12 +408,21 @@ pub fn attn_context_backward_ws(
             let vb = head_block_ws(v, t, hd, seq, d, hw, ws);
             let dc = head_block_ws(dctx, t, hd, seq, d, hw, ws);
 
-            let dp = dc.matmul_nt_ws(&vb, ws);
-            let dvb = p.matmul_tn_ws(&dc, ws);
-            let mut ds = Tensor::softmax_rows_backward(p, &dp);
-            ds.scale_assign(scale);
-            let dqb = ds.matmul_ws(&kb, ws);
-            let dkb = ds.matmul_tn_ws(&qb, ws);
+            let mut cres = ctx_bwd.run(
+                &[dc.as_slice(), vb.as_slice(), p.as_slice()],
+                vec![OutBind::Lease, OutBind::Lease],
+                ws,
+            );
+            let dp = Tensor::from_vec(cres[0].take().expect("leased dp"), [seq, seq]);
+            let dvb = Tensor::from_vec(cres[1].take().expect("leased dvb"), [seq, d]);
+            let ds = Tensor::softmax_rows_backward(p, &dp);
+            let mut sres = score_bwd.run(
+                &[ds.as_slice(), kb.as_slice(), qb.as_slice()],
+                vec![OutBind::Lease, OutBind::Lease],
+                ws,
+            );
+            let dqb = Tensor::from_vec(sres[0].take().expect("leased dqb"), [seq, d]);
+            let dkb = Tensor::from_vec(sres[1].take().expect("leased dkb"), [seq, d]);
 
             write_head_block(&mut dq, &dqb, t, hd, seq, d, hw);
             write_head_block(&mut dk, &dkb, t, hd, seq, d, hw);

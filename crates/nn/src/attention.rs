@@ -1,6 +1,8 @@
 //! Multi-head self-attention with a full manual backward pass.
 
 use crate::{Layer, Linear, Parameter};
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{CompiledPlan, FusePolicy, OutBind};
 use actcomp_tensor::{workspace, Tensor, Workspace};
 use rand::Rng;
 
@@ -41,6 +43,7 @@ pub struct MultiHeadAttention {
 
 #[derive(Debug, Clone)]
 struct AttnCache {
+    x: Tensor,
     q: Tensor,
     k: Tensor,
     v: Tensor,
@@ -48,6 +51,30 @@ struct AttnCache {
     probs: Vec<Tensor>,
     batch: usize,
     seq: usize,
+}
+
+/// Builds the `[seq, d] × [seq, d] → scaled scores` per-head graph; the
+/// `1/√d` scale fuses into the `q kᵀ` GEMM's epilogue. Compiled once per
+/// call, run once per (batch, head).
+fn scores_plan(seq: usize, d: usize, scale: f32) -> CompiledPlan {
+    let mut g = Graph::new();
+    let gq = g.input(seq, d);
+    let gk = g.input(seq, d);
+    let s = g.matmul_nt(gq, gk);
+    let ss = g.scale(s, scale);
+    g.mark_output(ss);
+    g.compile(FusePolicy::Forced(vec![s]))
+        .expect("scores graph: scale always fuses")
+}
+
+/// Builds the `probs × v → context` per-head graph.
+fn context_plan(seq: usize, d: usize) -> CompiledPlan {
+    let mut g = Graph::new();
+    let gp = g.input(seq, seq);
+    let gv = g.input(seq, d);
+    let c = g.matmul(gp, gv);
+    g.mark_output(c);
+    g.compile(FusePolicy::Auto).expect("context graph")
 }
 
 impl MultiHeadAttention {
@@ -147,22 +174,61 @@ impl MultiHeadAttention {
         );
         let d = self.head_dim();
         let scale = 1.0 / (d as f32).sqrt();
+        let m = batch * seq;
 
-        let q = self.wq.forward_ws(x, ws);
-        let k = self.wk.forward_ws(x, ws);
-        let v = self.wv.forward_ws(x, ws);
+        // One graph segment for all three projections; each GEMM fuses
+        // its bias add into the epilogue.
+        let mut g = Graph::new();
+        let gx = g.input(m, h);
+        let gwq = g.input(h, h);
+        let gbq = g.input_vec(h);
+        let gwk = g.input(h, h);
+        let gbk = g.input_vec(h);
+        let gwv = g.input(h, h);
+        let gbv = g.input_vec(h);
+        let yq = g.matmul(gx, gwq);
+        let q = g.bias_add(yq, gbq);
+        let yk = g.matmul(gx, gwk);
+        let k = g.bias_add(yk, gbk);
+        let yv = g.matmul(gx, gwv);
+        let v = g.bias_add(yv, gbv);
+        g.mark_output(q);
+        g.mark_output(k);
+        g.mark_output(v);
+        let plan = g.compile(FusePolicy::Auto).expect("qkv graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                self.wq.weight.value.as_slice(),
+                self.wq.bias.value.as_slice(),
+                self.wk.weight.value.as_slice(),
+                self.wk.bias.value.as_slice(),
+                self.wv.weight.value.as_slice(),
+                self.wv.bias.value.as_slice(),
+            ],
+            vec![OutBind::Lease, OutBind::Lease, OutBind::Lease],
+            ws,
+        );
+        let q = Tensor::from_vec(res[0].take().expect("leased q"), [m, h]);
+        let k = Tensor::from_vec(res[1].take().expect("leased k"), [m, h]);
+        let v = Tensor::from_vec(res[2].take().expect("leased v"), [m, h]);
 
-        let mut ctx = ws.lease_tensor([batch * seq, h]);
+        let sc_plan = scores_plan(seq, d, scale);
+        let cx_plan = context_plan(seq, d);
+        let mut ctx = ws.lease_tensor([m, h]);
         let mut probs = Vec::with_capacity(batch * self.heads);
         for t in 0..batch {
             for hd in 0..self.heads {
                 let qb = head_block_ws(&q, t, hd, seq, d, h, ws);
                 let kb = head_block_ws(&k, t, hd, seq, d, h, ws);
                 let vb = head_block_ws(&v, t, hd, seq, d, h, ws);
-                let mut scores = qb.matmul_nt_ws(&kb, ws);
-                scores.scale_assign(scale);
+                let mut sres =
+                    sc_plan.run(&[qb.as_slice(), kb.as_slice()], vec![OutBind::Lease], ws);
+                let scores = Tensor::from_vec(sres[0].take().expect("leased scores"), [seq, seq]);
                 let p = scores.softmax_rows();
-                let c = p.matmul_ws(&vb, ws);
+                let mut cres =
+                    cx_plan.run(&[p.as_slice(), vb.as_slice()], vec![OutBind::Lease], ws);
+                let c = Tensor::from_vec(cres[0].take().expect("leased ctx"), [seq, d]);
                 write_head_block(&mut ctx, &c, t, hd, seq, d, h);
                 for tmp in [qb, kb, vb, scores, c] {
                     ws.recycle_tensor(tmp);
@@ -173,6 +239,7 @@ impl MultiHeadAttention {
         let out = self.wo.forward_ws(&ctx, ws);
         ws.recycle_tensor(ctx);
         self.cache = Some(AttnCache {
+            x: x.clone(),
             q,
             k,
             v,
@@ -199,6 +266,7 @@ impl MultiHeadAttention {
     /// Panics if called without a preceding [`MultiHeadAttention::forward`].
     pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let AttnCache {
+            x,
             q,
             k,
             v,
@@ -212,11 +280,39 @@ impl MultiHeadAttention {
         let h = self.hidden();
         let d = self.head_dim();
         let scale = 1.0 / (d as f32).sqrt();
+        let m = batch * seq;
 
         let dctx = self.wo.backward_ws(dy, ws);
-        let mut dq = ws.lease_tensor([batch * seq, h]);
-        let mut dk = ws.lease_tensor([batch * seq, h]);
-        let mut dv = ws.lease_tensor([batch * seq, h]);
+        let mut dq = ws.lease_tensor([m, h]);
+        let mut dk = ws.lease_tensor([m, h]);
+        let mut dv = ws.lease_tensor([m, h]);
+
+        // Per-head plans, compiled once and run per (batch, head):
+        // c = p v  →  dp = dc vᵀ ; dv = pᵀ dc, then after the softmax
+        // backward, s = α q kᵀ  →  dq = (α ds) k ; dk = (α ds)ᵀ q.
+        let ctx_bwd = {
+            let mut g = Graph::new();
+            let gdc = g.input(seq, d);
+            let gvb = g.input(seq, d);
+            let gp = g.input(seq, seq);
+            let dp = g.matmul_nt(gdc, gvb);
+            let dvb = g.matmul_tn(gp, gdc);
+            g.mark_output(dp);
+            g.mark_output(dvb);
+            g.compile(FusePolicy::Auto).expect("context backward graph")
+        };
+        let score_bwd = {
+            let mut g = Graph::new();
+            let gds = g.input(seq, seq);
+            let gkb = g.input(seq, d);
+            let gqb = g.input(seq, d);
+            let dss = g.scale(gds, scale);
+            let dqb = g.matmul(dss, gkb);
+            let dkb = g.matmul_tn(dss, gqb);
+            g.mark_output(dqb);
+            g.mark_output(dkb);
+            g.compile(FusePolicy::Auto).expect("scores backward graph")
+        };
 
         for t in 0..batch {
             for hd in 0..self.heads {
@@ -226,14 +322,21 @@ impl MultiHeadAttention {
                 let vb = head_block_ws(&v, t, hd, seq, d, h, ws);
                 let dc = head_block_ws(&dctx, t, hd, seq, d, h, ws);
 
-                // c = p v  →  dp = dc vᵀ ; dv = pᵀ dc
-                let dp = dc.matmul_nt_ws(&vb, ws);
-                let dvb = p.matmul_tn_ws(&dc, ws);
-                // p = softmax(s), s = α q kᵀ
-                let mut ds = Tensor::softmax_rows_backward(p, &dp);
-                ds.scale_assign(scale);
-                let dqb = ds.matmul_ws(&kb, ws);
-                let dkb = ds.matmul_tn_ws(&qb, ws);
+                let mut cres = ctx_bwd.run(
+                    &[dc.as_slice(), vb.as_slice(), p.as_slice()],
+                    vec![OutBind::Lease, OutBind::Lease],
+                    ws,
+                );
+                let dp = Tensor::from_vec(cres[0].take().expect("leased dp"), [seq, seq]);
+                let dvb = Tensor::from_vec(cres[1].take().expect("leased dvb"), [seq, d]);
+                let ds = Tensor::softmax_rows_backward(p, &dp);
+                let mut sres = score_bwd.run(
+                    &[ds.as_slice(), kb.as_slice(), qb.as_slice()],
+                    vec![OutBind::Lease, OutBind::Lease],
+                    ws,
+                );
+                let dqb = Tensor::from_vec(sres[0].take().expect("leased dqb"), [seq, d]);
+                let dkb = Tensor::from_vec(sres[1].take().expect("leased dkb"), [seq, d]);
 
                 write_head_block(&mut dq, &dqb, t, hd, seq, d, h);
                 write_head_block(&mut dk, &dkb, t, hd, seq, d, h);
@@ -245,10 +348,59 @@ impl MultiHeadAttention {
         }
         ws.recycle_tensor(dctx);
 
-        let mut dx = self.wq.backward_ws(&dq, ws);
-        dx.add_assign(&self.wk.backward_ws(&dk, ws));
-        dx.add_assign(&self.wv.backward_ws(&dv, ws));
-        for tmp in [dq, dk, dv] {
+        // One graph for all three projection backwards. The `dx` partial
+        // sums fuse into the final `nt` GEMM's epilogue:
+        // dx = dq Wqᵀ + dk Wkᵀ + dv Wvᵀ, accumulated per register tile.
+        let mut g = Graph::new();
+        let gx = g.input(m, h);
+        let gdq = g.input(m, h);
+        let gdk = g.input(m, h);
+        let gdv = g.input(m, h);
+        let gwq = g.input(h, h);
+        let gwk = g.input(h, h);
+        let gwv = g.input(h, h);
+        let dwq = g.matmul_tn(gx, gdq);
+        let dbq = g.sum_axis0(gdq);
+        let dwk = g.matmul_tn(gx, gdk);
+        let dbk = g.sum_axis0(gdk);
+        let dwv = g.matmul_tn(gx, gdv);
+        let dbv = g.sum_axis0(gdv);
+        let dxk = g.matmul_nt(gdk, gwk);
+        let dxv = g.matmul_nt(gdv, gwv);
+        let dxq = g.matmul_nt(gdq, gwq);
+        let t1 = g.residual_add(dxq, dxk);
+        let dx = g.residual_add(t1, dxv);
+        g.mark_output(dwq);
+        g.mark_output(dbq);
+        g.mark_output(dwk);
+        g.mark_output(dbk);
+        g.mark_output(dwv);
+        g.mark_output(dbv);
+        g.mark_output(dx);
+        let plan = g.compile(FusePolicy::Auto).expect("qkv backward graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                dq.as_slice(),
+                dk.as_slice(),
+                dv.as_slice(),
+                self.wq.weight.value.as_slice(),
+                self.wk.weight.value.as_slice(),
+                self.wv.weight.value.as_slice(),
+            ],
+            vec![
+                OutBind::Acc(self.wq.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.wq.bias.grad.as_mut_slice()),
+                OutBind::Acc(self.wk.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.wk.bias.grad.as_mut_slice()),
+                OutBind::Acc(self.wv.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.wv.bias.grad.as_mut_slice()),
+                OutBind::Lease,
+            ],
+            ws,
+        );
+        let dx = Tensor::from_vec(res[6].take().expect("leased dx"), [m, h]);
+        for tmp in [x, q, k, v, dq, dk, dv] {
             ws.recycle_tensor(tmp);
         }
         dx

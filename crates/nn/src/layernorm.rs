@@ -1,6 +1,8 @@
 //! Layer normalization.
 
 use crate::{Layer, Parameter};
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{FusePolicy, OutBind};
 use actcomp_tensor::{workspace, Tensor, Workspace};
 
 /// Layer normalization over the feature axis of `[tokens, features]`
@@ -39,7 +41,35 @@ pub struct LnCache {
     inv_std: Tensor,
 }
 
+impl LnCache {
+    /// Builds a cache from parts produced by an external graph plan
+    /// (e.g. a rank worker that emits its own `LnForward` node).
+    pub fn from_parts(xhat: Tensor, inv_std: Tensor) -> Self {
+        LnCache { xhat, inv_std }
+    }
+
+    /// The cached normalized activation `x̂`.
+    pub fn xhat(&self) -> &Tensor {
+        &self.xhat
+    }
+
+    /// The cached per-row inverse standard deviations.
+    pub fn inv_std(&self) -> &Tensor {
+        &self.inv_std
+    }
+
+    /// Consumes the cache into `(x̂, 1/σ)`.
+    pub fn into_parts(self) -> (Tensor, Tensor) {
+        (self.xhat, self.inv_std)
+    }
+}
+
 impl LayerNorm {
+    /// Numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Creates a layer norm over `features` with `γ = 1`, `β = 0`,
     /// `ε = 1e-5`.
     pub fn new(features: usize) -> Self {
@@ -66,9 +96,10 @@ impl LayerNorm {
         workspace::with_thread_default(|ws| self.forward_cached_ws(x, ws))
     }
 
-    /// [`LayerNorm::forward_cached`] with caller-provided scratch: the
-    /// normalize / scale / shift passes are fused into one loop writing
-    /// `x̂` and `y` (both leased from `ws`) together.
+    /// [`LayerNorm::forward_cached`] with caller-provided scratch: emits
+    /// an `LnForward` graph node and runs the compiled plan, which writes
+    /// `y`, `x̂`, and the per-row inverse standard deviations in a single
+    /// fused pass (all leased from `ws`).
     ///
     /// # Panics
     ///
@@ -89,28 +120,94 @@ impl LayerNorm {
             x.dims()[1]
         );
         let m = x.dims()[0];
-        let (mean, var) = x.row_moments();
-        let g = self.gamma.value.as_slice();
-        let b = self.beta.value.as_slice();
-        let mut xhat = ws.lease(m * n);
-        let mut y = ws.lease(m * n);
-        let mut inv_std = vec![0.0f32; m];
-        for i in 0..m {
-            let is = 1.0 / (var[i] + self.eps).sqrt();
-            inv_std[i] = is;
-            for j in 0..n {
-                let xh = (x.as_slice()[i * n + j] - mean[i]) * is;
-                xhat[i * n + j] = xh;
-                y[i * n + j] = xh * g[j] + b[j];
-            }
-        }
+        let mut g = Graph::new();
+        let gx = g.input(m, n);
+        let gg = g.input_vec(n);
+        let gb = g.input_vec(n);
+        let (y, xhat, inv_std) = g.layernorm(gx, gg, gb, self.eps);
+        g.mark_output(y);
+        g.mark_output(xhat);
+        g.mark_output(inv_std);
+        let plan = g.compile(FusePolicy::Auto).expect("layernorm graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                self.gamma.value.as_slice(),
+                self.beta.value.as_slice(),
+            ],
+            vec![OutBind::Lease, OutBind::Lease, OutBind::Lease],
+            ws,
+        );
         (
-            Tensor::from_vec(y, [m, n]),
+            Tensor::from_vec(res[0].take().expect("leased y"), [m, n]),
             LnCache {
-                xhat: Tensor::from_vec(xhat, [m, n]),
-                inv_std: Tensor::from_vec(inv_std, [m]),
+                xhat: Tensor::from_vec(res[1].take().expect("leased xhat"), [m, n]),
+                inv_std: Tensor::from_vec(res[2].take().expect("leased inv_std"), [m]),
             },
         )
+    }
+
+    /// Fused residual + layer norm: computes `LN(x + r)` as one graph
+    /// segment — the residual sum is a plan-internal intermediate,
+    /// recycled the moment the normalization has consumed it, instead of
+    /// a caller-held full activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree or are not `[tokens, features]`.
+    pub fn forward_residual_cached_ws(
+        &self,
+        x: &Tensor,
+        r: &Tensor,
+        ws: &mut Workspace,
+    ) -> (Tensor, LnCache) {
+        assert!(
+            x.shape().same_as(r.shape()),
+            "residual shape {} != input shape {}",
+            r.shape(),
+            x.shape()
+        );
+        let n = self.features();
+        assert_eq!(x.rank(), 2, "LayerNorm input must be rank 2");
+        assert_eq!(x.dims()[1], n, "LayerNorm width mismatch");
+        let m = x.dims()[0];
+        let mut g = Graph::new();
+        let gx = g.input(m, n);
+        let gr = g.input(m, n);
+        let gg = g.input_vec(n);
+        let gb = g.input_vec(n);
+        let s = g.residual_add(gx, gr);
+        let (y, xhat, inv_std) = g.layernorm(s, gg, gb, self.eps);
+        g.mark_output(y);
+        g.mark_output(xhat);
+        g.mark_output(inv_std);
+        let plan = g.compile(FusePolicy::Auto).expect("residual+ln graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                r.as_slice(),
+                self.gamma.value.as_slice(),
+                self.beta.value.as_slice(),
+            ],
+            vec![OutBind::Lease, OutBind::Lease, OutBind::Lease],
+            ws,
+        );
+        (
+            Tensor::from_vec(res[0].take().expect("leased y"), [m, n]),
+            LnCache {
+                xhat: Tensor::from_vec(res[1].take().expect("leased xhat"), [m, n]),
+                inv_std: Tensor::from_vec(res[2].take().expect("leased inv_std"), [m]),
+            },
+        )
+    }
+
+    /// [`LayerNorm::forward_residual_cached_ws`] storing the cache
+    /// internally, as [`Layer::forward`] does.
+    pub fn forward_residual(&mut self, x: &Tensor, r: &Tensor) -> Tensor {
+        let (y, cache) =
+            workspace::with_thread_default(|ws| self.forward_residual_cached_ws(x, r, ws));
+        self.cache = Some(cache);
+        y
     }
 
     /// Backward pass from an explicit [`LnCache`], accumulating `γ`/`β`
@@ -141,33 +238,36 @@ impl LayerNorm {
             dy.shape().same_as(xhat.shape()),
             "LayerNorm dy shape mismatch"
         );
-
-        // Parameter grads.
-        self.gamma.grad.add_assign(&dy.mul(&xhat).sum_axis0());
-        self.beta.grad.add_assign(&dy.sum_axis0());
-
-        // Input grad: dx = (γ·inv_std/n) * (n·dy − Σdy − x̂·Σ(dy⊙x̂)) per row
-        // where the per-row sums are over dŷ = dy ⊙ γ.
-        let g = self.gamma.value.as_slice();
-        let mut dx = ws.lease(m * n);
-        for i in 0..m {
-            let row_dy = &dy.as_slice()[i * n..(i + 1) * n];
-            let row_xh = &xhat.as_slice()[i * n..(i + 1) * n];
-            let mut s1 = 0.0; // Σ dŷ
-            let mut s2 = 0.0; // Σ dŷ ⊙ x̂
-            for j in 0..n {
-                let dyh = row_dy[j] * g[j];
-                s1 += dyh;
-                s2 += dyh * row_xh[j];
-            }
-            let is = inv_std[i];
-            for j in 0..n {
-                let dyh = row_dy[j] * g[j];
-                dx[i * n + j] = is * (dyh - (s1 + row_xh[j] * s2) / n as f32);
-            }
-        }
+        // One LnBackward graph node: dx leased, dγ/dβ accumulated
+        // straight into the parameter grads.
+        let mut g = Graph::new();
+        let gdy = g.input(m, n);
+        let gxh = g.input(m, n);
+        let gis = g.input(m, 1);
+        let gg = g.input_vec(n);
+        let (dx, dgamma, dbeta) = g.layernorm_backward(gdy, gxh, gis, gg);
+        g.mark_output(dx);
+        g.mark_output(dgamma);
+        g.mark_output(dbeta);
+        let plan = g
+            .compile(FusePolicy::Auto)
+            .expect("layernorm backward graph");
+        let mut res = plan.run(
+            &[
+                dy.as_slice(),
+                xhat.as_slice(),
+                inv_std.as_slice(),
+                self.gamma.value.as_slice(),
+            ],
+            vec![
+                OutBind::Lease,
+                OutBind::Acc(self.gamma.grad.as_mut_slice()),
+                OutBind::Acc(self.beta.grad.as_mut_slice()),
+            ],
+            ws,
+        );
         ws.recycle_tensor(xhat);
-        Tensor::from_vec(dx, [m, n])
+        Tensor::from_vec(res[0].take().expect("leased dx"), [m, n])
     }
 }
 

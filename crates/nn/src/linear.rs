@@ -1,6 +1,8 @@
 //! Fully-connected layer.
 
 use crate::{Layer, Parameter};
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{FusePolicy, OutBind};
 use actcomp_tensor::{init, workspace, Tensor, Workspace};
 use rand::Rng;
 
@@ -85,11 +87,31 @@ impl Linear {
         workspace::with_thread_default(|ws| self.apply_ws(x, ws))
     }
 
-    /// [`Linear::apply`] with caller-provided scratch (matmul packing
-    /// buffers and the output are leased from `ws`).
+    /// [`Linear::apply`] with caller-provided scratch: emits the
+    /// `matmul → bias` graph segment and runs the compiled plan, so the
+    /// bias add executes in the GEMM's register-tile epilogue instead of
+    /// a second pass over the output.
     pub fn apply_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        x.matmul_ws(&self.weight.value, ws)
-            .add_row_broadcast(&self.bias.value)
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = self.fan_out();
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gw = g.input(kin, n);
+        let gb = g.input_vec(n);
+        let y = g.matmul(gx, gw);
+        let h = g.bias_add(y, gb);
+        g.mark_output(h);
+        let plan = g.compile(FusePolicy::Auto).expect("linear forward graph");
+        let mut out = plan.run(
+            &[
+                x.as_slice(),
+                self.weight.value.as_slice(),
+                self.bias.value.as_slice(),
+            ],
+            vec![OutBind::Lease],
+            ws,
+        );
+        Tensor::from_vec(out[0].take().expect("leased output"), [m, n])
     }
 
     /// [`Layer::forward`] with caller-provided scratch.
@@ -99,18 +121,39 @@ impl Linear {
         y
     }
 
-    /// [`Layer::backward`] with caller-provided scratch. Accumulates the
-    /// weight gradient in place (`grad += xᵀ dy`, no product temporary).
+    /// [`Layer::backward`] with caller-provided scratch. The whole
+    /// backward — `dW = xᵀ dy`, `db = Σ_rows dy`, `dx = dy Wᵀ` — is one
+    /// graph segment whose parameter-gradient outputs accumulate straight
+    /// into `grad` ([`OutBind::Acc`], no product temporary).
     pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cache_x
             .take()
             .expect("Linear::backward called without forward");
-        // dW = xᵀ dy ; db = Σ_rows dy ; dx = dy Wᵀ
-        self.weight.grad.add_matmul_tn_ws(&x, dy, ws);
-        self.bias.grad.add_assign(&dy.sum_axis0());
+        let (m, kin) = (x.dims()[0], x.dims()[1]);
+        let n = self.fan_out();
+        let mut g = Graph::new();
+        let gx = g.input(m, kin);
+        let gdy = g.input(m, n);
+        let gw = g.input(kin, n);
+        let dw = g.matmul_tn(gx, gdy);
+        let db = g.sum_axis0(gdy);
+        let dx = g.matmul_nt(gdy, gw);
+        g.mark_output(dw);
+        g.mark_output(db);
+        g.mark_output(dx);
+        let plan = g.compile(FusePolicy::Auto).expect("linear backward graph");
+        let mut res = plan.run(
+            &[x.as_slice(), dy.as_slice(), self.weight.value.as_slice()],
+            vec![
+                OutBind::Acc(self.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.bias.grad.as_mut_slice()),
+                OutBind::Lease,
+            ],
+            ws,
+        );
         ws.recycle_tensor(x);
-        dy.matmul_nt_ws(&self.weight.value, ws)
+        Tensor::from_vec(res[2].take().expect("leased dx"), [m, kin])
     }
 }
 

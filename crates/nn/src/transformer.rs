@@ -1,9 +1,9 @@
 //! BERT-style Transformer encoder built from the primitive layers.
 
-use crate::{
-    Dropout, Embedding, Gelu, Layer, LayerNorm, Linear, MultiHeadAttention, Parameter, Tanh,
-};
-use actcomp_tensor::Tensor;
+use crate::{Dropout, Embedding, Layer, LayerNorm, Linear, MultiHeadAttention, Parameter, Tanh};
+use actcomp_tensor::graph::Graph;
+use actcomp_tensor::plan::{FusePolicy, OutBind};
+use actcomp_tensor::{workspace, Tensor, Workspace};
 use rand::Rng;
 
 /// An architecturally impossible [`BertConfig`].
@@ -134,13 +134,20 @@ impl BertConfig {
 }
 
 /// Position-wise feed-forward block: `Linear → GELU → Linear`.
+///
+/// Forward and backward each execute as **one** op-graph segment: the
+/// up-projection fuses `bias + GELU` into its GEMM epilogue (stashing the
+/// pre-activation for backward in the same pass), the down-projection
+/// fuses its bias, and the backward `nt` GEMM fuses the GELU-derivative
+/// multiply.
 #[derive(Debug, Clone)]
 pub struct FeedForward {
     /// Expansion projection `[h, ff]`.
     pub fc1: Linear,
     /// Contraction projection `[ff, h]`.
     pub fc2: Linear,
-    act: Gelu,
+    /// `(x, pre-activation h₁, activation a)` from the last forward.
+    cache: Option<(Tensor, Tensor, Tensor)>,
 }
 
 impl FeedForward {
@@ -149,7 +156,7 @@ impl FeedForward {
         FeedForward {
             fc1: Linear::new(rng, hidden, ff_hidden),
             fc2: Linear::new(rng, ff_hidden, hidden),
-            act: Gelu::new(),
+            cache: None,
         }
     }
 
@@ -167,22 +174,110 @@ impl FeedForward {
         FeedForward {
             fc1,
             fc2,
-            act: Gelu::new(),
+            cache: None,
         }
+    }
+
+    /// [`Layer::forward`] with caller-provided scratch.
+    pub fn forward_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (m, h) = (x.dims()[0], x.dims()[1]);
+        let ff = self.fc1.fan_out();
+        let mut g = Graph::new();
+        let gx = g.input(m, h);
+        let gw1 = g.input(h, ff);
+        let gb1 = g.input_vec(ff);
+        let gw2 = g.input(ff, h);
+        let gb2 = g.input_vec(h);
+        let y1 = g.matmul(gx, gw1);
+        let h1 = g.bias_add(y1, gb1);
+        let a = g.gelu(h1);
+        let y2 = g.matmul(a, gw2);
+        let out = g.bias_add(y2, gb2);
+        g.mark_output(out);
+        g.mark_output(h1); // pre-activation, stashed by the fused up-GEMM
+        g.mark_output(a);
+        let plan = g.compile(FusePolicy::Auto).expect("ffn forward graph");
+        let mut res = plan.run(
+            &[
+                x.as_slice(),
+                self.fc1.weight.value.as_slice(),
+                self.fc1.bias.value.as_slice(),
+                self.fc2.weight.value.as_slice(),
+                self.fc2.bias.value.as_slice(),
+            ],
+            vec![OutBind::Lease, OutBind::Lease, OutBind::Lease],
+            ws,
+        );
+        let out = Tensor::from_vec(res[0].take().expect("leased out"), [m, h]);
+        let h1 = Tensor::from_vec(res[1].take().expect("leased h1"), [m, ff]);
+        let a = Tensor::from_vec(res[2].take().expect("leased a"), [m, ff]);
+        self.cache = Some((x.clone(), h1, a));
+        out
+    }
+
+    /// [`Layer::backward`] with caller-provided scratch. Parameter
+    /// gradients accumulate in place; the GELU-derivative multiply fuses
+    /// into the `dy·W₂ᵀ` GEMM's epilogue.
+    pub fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (x, h1, a) = self
+            .cache
+            .take()
+            .expect("FeedForward::backward called without forward");
+        let (m, h) = (dy.dims()[0], dy.dims()[1]);
+        let ff = self.fc1.fan_out();
+        let mut g = Graph::new();
+        let gdy = g.input(m, h);
+        let ga = g.input(m, ff);
+        let gh1 = g.input(m, ff);
+        let gx = g.input(m, x.dims()[1]);
+        let gw2 = g.input(ff, h);
+        let gw1 = g.input(x.dims()[1], ff);
+        let dw2 = g.matmul_tn(ga, gdy);
+        let db2 = g.sum_axis0(gdy);
+        let da = g.matmul_nt(gdy, gw2);
+        let dh = g.gelu_grad_mul(da, gh1);
+        let dw1 = g.matmul_tn(gx, dh);
+        let db1 = g.sum_axis0(dh);
+        let dx = g.matmul_nt(dh, gw1);
+        g.mark_output(dw2);
+        g.mark_output(db2);
+        g.mark_output(dw1);
+        g.mark_output(db1);
+        g.mark_output(dx);
+        let plan = g.compile(FusePolicy::Auto).expect("ffn backward graph");
+        let mut res = plan.run(
+            &[
+                dy.as_slice(),
+                a.as_slice(),
+                h1.as_slice(),
+                x.as_slice(),
+                self.fc2.weight.value.as_slice(),
+                self.fc1.weight.value.as_slice(),
+            ],
+            vec![
+                OutBind::Acc(self.fc2.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.fc2.bias.grad.as_mut_slice()),
+                OutBind::Acc(self.fc1.weight.grad.as_mut_slice()),
+                OutBind::Acc(self.fc1.bias.grad.as_mut_slice()),
+                OutBind::Lease,
+            ],
+            ws,
+        );
+        let dx = Tensor::from_vec(res[4].take().expect("leased dx"), [m, x.dims()[1]]);
+        for tmp in [x, h1, a] {
+            ws.recycle_tensor(tmp);
+        }
+        dx
     }
 }
 
 impl Layer for FeedForward {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let h = self.fc1.forward(x);
-        let a = self.act.forward(&h);
-        self.fc2.forward(&a)
+        workspace::with_thread_default(|ws| self.forward_ws(x, ws))
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let da = self.fc2.backward(dy);
-        let dh = self.act.backward(&da);
-        self.fc1.backward(&dh)
+        workspace::with_thread_default(|ws| self.backward_ws(dy, ws))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
@@ -226,12 +321,14 @@ impl EncoderLayer {
         EncoderLayer { attn, ln1, ff, ln2 }
     }
 
-    /// Forward pass over `[batch·seq, hidden]`.
+    /// Forward pass over `[batch·seq, hidden]`. Each residual + layer
+    /// norm runs as one graph segment ([`LayerNorm::forward_residual`]),
+    /// so the residual sums never persist as caller-held activations.
     pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
         let a = self.attn.forward(x, batch, seq);
-        let h1 = self.ln1.forward(&x.add(&a));
+        let h1 = self.ln1.forward_residual(x, &a);
         let f = self.ff.forward(&h1);
-        self.ln2.forward(&h1.add(&f))
+        self.ln2.forward_residual(&h1, &f)
     }
 
     /// Backward pass; returns the input gradient.

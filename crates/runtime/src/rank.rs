@@ -329,7 +329,11 @@ impl EmbeddingStage {
         let t = self.tok.forward_cached(ids);
         let pos_ids: Vec<usize> = (0..mb_batch).flat_map(|_| 0..seq).collect();
         let p = self.pos.forward_cached(&pos_ids);
-        let (x, cache) = self.emb_ln.forward_cached_ws(&t.add(&p), ws);
+        // Fused residual + LN plan: the token+position sum never leaves
+        // the compiled segment.
+        let (x, cache) = self.emb_ln.forward_residual_cached_ws(&t, &p, ws);
+        ws.recycle_tensor(t);
+        ws.recycle_tensor(p);
         self.caches.push((ids.to_vec(), pos_ids, cache));
         x
     }

@@ -1,4 +1,4 @@
-//! Cache-blocked, register-tiled GEMM kernels.
+//! Cache-blocked, register-tiled GEMM kernels with fusable epilogues.
 //!
 //! All three matmul variants (`A@B`, `Aᵀ@B`, `A@Bᵀ`) funnel into one
 //! blocked core:
@@ -9,14 +9,21 @@
 //!   are 64-byte aligned inside their leased buffer — each panel row is
 //!   a whole number of cache lines, so full-width vector loads never
 //!   split a line (measured ≈10% on 512³).
-//! - `A` is **streamed directly** from the caller's tensor: the
-//!   micro-kernel reads its [`MR`] multipliers either from `MR` parallel
-//!   row streams (`A[m,k]`, the `nn`/`nt` case) or from one contiguous
-//!   `MR`-wide group per `k` step (`A[k,m]`, the `tn` case). An `MR`-row
-//!   tile of `A` is only ~`4·k` floats, L1-resident across all `j`
-//!   panels, so packing it would cost a full extra pass over `A` for no
-//!   locality gain. Only the ragged last row-tile (when `m % MR != 0`)
-//!   is staged into a small zero-padded scratch tile.
+//! - `A` is **streamed row-major** from the caller's tensor: the
+//!   micro-kernel reads its [`MR`] multipliers from `MR` parallel row
+//!   streams (`A[m,k]`). The `tn` variant (`A[k,m]`, the weight-gradient
+//!   shape) first stages `Aᵀ` into a row-major scratch panel — one
+//!   `O(m·k)` blocked-transpose pass against an `O(m·k·n)` product —
+//!   because streaming column-major `A` cost a strided cache-line touch
+//!   per `k` step and left `tn` ~30% behind `nn` (55.5 vs 79.5 GFLOP/s
+//!   at 512³ in `BENCH_kernels.json`). Only the ragged last row-tile
+//!   (when `m % MR != 0`) is additionally staged into a small
+//!   zero-padded scratch tile.
+//! - The `j` dimension is **cache-blocked** in groups of [`NC_TILES`]
+//!   panels: each thread sweeps all of its row tiles against one
+//!   `k × NC` slab of packed `B` before moving to the next slab, so a
+//!   slab is read once per row-chunk sweep instead of the whole packed
+//!   `B` (up to several MB at FFN widths) being re-read per row tile.
 //!
 //! The micro-kernel keeps an `MR × NR` accumulator block in registers;
 //! its inner loop is an explicit unrolled pass over one `NR`-wide panel
@@ -25,22 +32,36 @@
 //! fmadds (see the private `fmadd` helper's cfg gate and
 //! `.cargo/config.toml`'s `target-cpu=native`).
 //!
-//! Threading parallelizes over *output row tiles*: the i-tile range is
-//! split into at most `threads` contiguous chunks (the pool's private
-//! `plan_chunks`) and each chunk is computed by one scoped thread
-//! against the caller's `A` and the shared read-only packed `B`.
+//! # Epilogues
+//!
+//! Every kernel takes an [`Epilogue`]: a short chain of elementwise ops
+//! ([`EpOp`] — bias add, GELU/tanh/ReLU, scale, residual add, dropout-mask
+//! multiply, GELU-gradient multiply) applied to each accumulator tile
+//! **while it is still in registers**, instead of writing the tile and
+//! re-reading the whole output once per elementwise op. An optional
+//! *stash* buffer receives the value after a chosen prefix of the chain
+//! (e.g. the pre-activation of a fused `linear+bias+GELU`), so backward
+//! passes that need the intermediate still get it in the same single
+//! output pass. The op-graph fusion pass in [`crate::fuse`] decides which
+//! chains are folded; the legality rules live there.
 //!
 //! # Determinism contract
 //!
 //! Every output element is produced by exactly one micro-kernel call that
 //! accumulates over `p = 0..k` in strictly increasing order, and the tile
 //! decomposition depends only on the matrix shape — never on the thread
-//! count or runtime load. Results are therefore **bit-identical for every
-//! pool size** (1, 2, 8, ...). They are *not* bit-identical to the naive
+//! count or runtime load. Epilogue ops are pure per-element functions of
+//! the accumulated value and the element's `(i, j)` coordinates, applied
+//! in chain order after accumulation — exactly the value the unfused
+//! path computes by running the same ops as separate output passes.
+//! Results are therefore **bit-identical for every pool size** (1, 2,
+//! 8, ...) *and* bit-identical between fused and unfused execution of
+//! the same op chain. They are *not* bit-identical to the naive
 //! reference kernels in [`reference`](mod@reference) on FMA hardware, because fused
 //! multiply-adds round once instead of twice; tests compare against the
 //! reference with a tolerance and across pool sizes exactly.
 
+use crate::ops;
 use crate::pool;
 use crate::workspace::Workspace;
 
@@ -48,18 +69,90 @@ use crate::workspace::Workspace;
 pub const MR: usize = 4;
 /// Columns per packed panel of `B` / register tile of the output.
 pub const NR: usize = 32;
+/// Packed-`B` panels per cache block of the `j` loop: each thread sweeps
+/// its whole row range against one `k × NC_TILES·NR` slab before moving
+/// on, keeping the slab L2-resident (256 columns = 1&nbsp;KB per `k` step).
+pub const NC_TILES: usize = 8;
 /// `f32`s per 64-byte cache line; packed `B` panels are aligned to this.
 const LINE_F32S: usize = 16;
 /// Spawn threads only when each chunk gets at least this many flops.
 const GRAIN_FLOPS: usize = 1 << 20;
 
-/// How the micro-kernel reads its `A` operand.
+/// One elementwise step of a GEMM epilogue, applied per output element
+/// after accumulation (and after the `+= existing` add when the kernel
+/// runs in accumulate mode).
+///
+/// Operand slices are row-major over the full `[m, n]` output for the
+/// full-shape ops and length-`n` for the per-column ops; `apply` receives
+/// the element's flat index `i·n + j` and column `j` so each op can
+/// address its operand. Ops are `Copy` borrows — building an epilogue
+/// allocates nothing.
 #[derive(Clone, Copy)]
-enum ASrc<'a> {
-    /// `A[m, k]` row-major: element `(i, p)` at `a[i * k + p]`.
-    RowMajor(&'a [f32]),
-    /// `A[k, m]` (logical `Aᵀ`): element `(i, p)` at `a[p * m + i]`.
-    ColMajor(&'a [f32]),
+pub enum EpOp<'a> {
+    /// `v + bias[j]` — per-output-column bias.
+    BiasAdd(&'a [f32]),
+    /// `v + other[i·n + j]` — residual add against a full `[m, n]` operand.
+    ResidualAdd(&'a [f32]),
+    /// `v · other[i·n + j]` — dropout-mask (or any elementwise) multiply.
+    MaskMul(&'a [f32]),
+    /// `v · s` — constant scale (attention `1/√d`).
+    Scale(f32),
+    /// `gelu(v)` (tanh approximation, [`ops::gelu`]).
+    Gelu,
+    /// `tanh(v)` ([`ops::fast_tanh`], the same scalar the unfused path uses).
+    Tanh,
+    /// `max(v, 0)`.
+    Relu,
+    /// `v · gelu'(other[i·n + j])` — the backward-GELU chain
+    /// (`dh = da ⊙ gelu'(h)`, with `h` the stashed pre-activation) as a
+    /// single op on the incoming gradient `v = da`.
+    GeluGradMul(&'a [f32]),
+}
+
+impl EpOp<'_> {
+    /// Applies this op to one value at flat index `idx = i·n + j`,
+    /// column `j`.
+    #[inline(always)]
+    pub fn apply(&self, v: f32, idx: usize, j: usize) -> f32 {
+        match *self {
+            EpOp::BiasAdd(b) => v + b[j],
+            EpOp::ResidualAdd(r) => v + r[idx],
+            EpOp::MaskMul(m) => v * m[idx],
+            EpOp::Scale(s) => v * s,
+            EpOp::Gelu => ops::gelu(v),
+            EpOp::Tanh => ops::fast_tanh(v),
+            EpOp::Relu => v.max(0.0),
+            EpOp::GeluGradMul(h) => v * ops::gelu_grad(h[idx]),
+        }
+    }
+}
+
+/// An epilogue chain plus an optional stash point.
+///
+/// `stash_after = Some(s)` writes the value after `ops[..s]` into the
+/// kernel's stash buffer (same `[m, n]` layout as the output) — the hook
+/// that lets a fused `linear+bias+GELU` still materialize its
+/// pre-activation for the backward pass in the same output pass.
+#[derive(Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// The op chain, applied in order.
+    pub ops: &'a [EpOp<'a>],
+    /// Prefix length after which the intermediate is stashed.
+    pub stash_after: Option<usize>,
+}
+
+impl Epilogue<'_> {
+    /// The empty epilogue: plain GEMM.
+    pub const NONE: Epilogue<'static> = Epilogue {
+        ops: &[],
+        stash_after: None,
+    };
+
+    /// True when there is nothing to apply and nothing to stash.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.stash_after.is_none()
+    }
 }
 
 /// Fused multiply-add where the hardware has it, plain `a * b + c`
@@ -110,29 +203,8 @@ fn micro_rows(k: usize, a: &[f32], i0: usize, b_panel: &[f32], acc: &mut [[f32; 
     }
 }
 
-/// As [`micro_rows`], but reading `A[k, m]` column-tiles: one contiguous
-/// `MR`-wide group per `k` step.
-///
-/// The loop must stay single-exit and panic-free for the same register
-/// allocation reasons as [`micro_rows`]: the `i0 + MR <= arow.len()`
-/// bound below is loop-invariant, so after the up-front `assert!` LLVM
-/// hoists the slice check and the body carries no side exits.
-#[inline(always)]
-fn micro_cols(a: &[f32], m: usize, i0: usize, b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
-    assert!(i0 + MR <= m, "column tile must fit inside the row width");
-    for (bp, arow) in b_panel.chunks_exact(NR).zip(a.chunks_exact(m)) {
-        let ag = &arow[i0..i0 + MR];
-        for r in 0..MR {
-            let av = ag[r];
-            for c in 0..NR {
-                acc[r][c] = fmadd(av, bp[c], acc[r][c]);
-            }
-        }
-    }
-}
-
 /// Writes (or adds) one accumulator row into the output, trimming the
-/// ragged column edge.
+/// ragged column edge — the fast path when the epilogue is empty.
 #[inline(always)]
 fn store_row(orow: &mut [f32], acc_row: &[f32; NR], accumulate: bool) {
     if accumulate {
@@ -142,6 +214,93 @@ fn store_row(orow: &mut [f32], acc_row: &[f32; NR], accumulate: bool) {
     } else {
         for (o, &v) in orow.iter_mut().zip(acc_row) {
             *o = v;
+        }
+    }
+}
+
+/// Applies the epilogue chain (and the stash copy, when requested) to
+/// one stored row segment of a row-tile × j-block window, after the
+/// window's accumulator tiles have been stored. `base` is the segment's
+/// flat index into the full `[m, n]` output (for the full-shape
+/// operands), `jbase` its first column (for the per-column bias).
+fn apply_ep_window(
+    row: &mut [f32],
+    base: usize,
+    jbase: usize,
+    ep: &Epilogue<'_>,
+    mut stash_row: Option<&mut [f32]>,
+) {
+    if ep.stash_after == Some(0) {
+        if let Some(s) = stash_row.take() {
+            s.copy_from_slice(row);
+        }
+    }
+    let mut applied = 0;
+    for op in ep.ops {
+        apply_ep_op(row, op, base, jbase);
+        applied += 1;
+        if ep.stash_after == Some(applied) {
+            if let Some(s) = stash_row.take() {
+                s.copy_from_slice(row);
+            }
+        }
+    }
+}
+
+/// Applies one epilogue op across a row segment starting at flat output
+/// index `base` (column `jbase`). Dispatches once per op, not per
+/// element: each arm is a tight fixed-op loop the autovectorizer can
+/// widen (a per-element `EpOp::apply` match blocks SIMD and costs the
+/// fusion win). Every arm computes exactly `EpOp::apply` per element,
+/// in the same order, so fused output stays bit-identical to running
+/// the ops as separate passes.
+#[inline(always)]
+fn apply_ep_op(vals: &mut [f32], op: &EpOp<'_>, base: usize, jbase: usize) {
+    let cols = vals.len();
+    match *op {
+        EpOp::BiasAdd(b) => {
+            let bw = &b[jbase..jbase + cols];
+            for (v, &bv) in vals.iter_mut().zip(bw) {
+                *v += bv;
+            }
+        }
+        EpOp::ResidualAdd(r) => {
+            let rw = &r[base..base + cols];
+            for (v, &rv) in vals.iter_mut().zip(rw) {
+                *v += rv;
+            }
+        }
+        EpOp::MaskMul(mk) => {
+            let mw = &mk[base..base + cols];
+            for (v, &mv) in vals.iter_mut().zip(mw) {
+                *v *= mv;
+            }
+        }
+        EpOp::Scale(s) => {
+            for v in vals.iter_mut() {
+                *v *= s;
+            }
+        }
+        EpOp::Gelu => {
+            for v in vals.iter_mut() {
+                *v = ops::gelu(*v);
+            }
+        }
+        EpOp::Tanh => {
+            for v in vals.iter_mut() {
+                *v = ops::fast_tanh(*v);
+            }
+        }
+        EpOp::Relu => {
+            for v in vals.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        EpOp::GeluGradMul(h) => {
+            let hw = &h[base..base + cols];
+            for (v, &hv) in vals.iter_mut().zip(hw) {
+                *v *= ops::gelu_grad(hv);
+            }
         }
     }
 }
@@ -180,44 +339,65 @@ fn pack_b_nt(bp: &mut [f32], b: &[f32], n: usize, k: usize) {
     }
 }
 
+/// Transpose block edge for [`pack_a_tn`]: 32×32 `f32` blocks keep both
+/// the source row window and the destination column window inside a few
+/// cache lines.
+const TB: usize = 32;
+
+/// Stages `a[k, m]` (logical `Aᵀ`) into row-major `at[m, k]` with a
+/// blocked transpose, so the micro-kernel streams it like any other
+/// row-major `A`. One `O(m·k)` pass against an `O(m·k·n)` product —
+/// the strided column-major streaming it replaces cost a separate cache
+/// line per `k` step and held `gemm_tn` ~30% behind `gemm_nn`.
+fn pack_a_tn(at: &mut [f32], a: &[f32], k: usize, m: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(at.len(), m * k);
+    for p0 in (0..k).step_by(TB) {
+        let pb = TB.min(k - p0);
+        for i0 in (0..m).step_by(TB) {
+            let ib = TB.min(m - i0);
+            for p in p0..p0 + pb {
+                let arow = &a[p * m + i0..][..ib];
+                for (di, &v) in arow.iter().enumerate() {
+                    at[(i0 + di) * k + p] = v;
+                }
+            }
+        }
+    }
+}
+
 /// Stages the ragged last row-tile of `A` (when `m % MR != 0`) into a
 /// zero-padded `[MR][k]` row-major scratch tile the row-stream
 /// micro-kernel can use directly.
-fn pad_last_tile(ws: &mut Workspace, a: ASrc<'_>, m: usize, k: usize) -> Option<Vec<f32>> {
+fn pad_last_tile(ws: &mut Workspace, a: &[f32], m: usize, k: usize) -> Option<Vec<f32>> {
     let ragged = m % MR;
     if ragged == 0 {
         return None;
     }
     let i0 = m - ragged;
     let mut pad = ws.lease(MR * k);
-    match a {
-        ASrc::RowMajor(a) => {
-            pad[..ragged * k].copy_from_slice(&a[i0 * k..][..ragged * k]);
-        }
-        ASrc::ColMajor(a) => {
-            for (p, arow) in a.chunks_exact(m).enumerate() {
-                for r in 0..ragged {
-                    pad[r * k + p] = arow[i0 + r];
-                }
-            }
-        }
-    }
+    pad[..ragged * k].copy_from_slice(&a[i0 * k..][..ragged * k]);
     Some(pad)
 }
 
-/// The blocked core: `out (+)= A @ packed_b`, parallelized over i-tile
-/// chunks. `pad` is the zero-padded ragged tile from [`pad_last_tile`].
+/// The blocked core: `out (+)= A @ packed_b` (with the epilogue applied
+/// per element), parallelized over i-tile chunks. `pad` is the
+/// zero-padded ragged tile from [`pad_last_tile`]; `stash` (when the
+/// epilogue requests one) has the same `[m, n]` layout as `out` and is
+/// chunked identically so every thread writes only its own rows.
 #[allow(clippy::too_many_arguments)]
 fn gemm_core(
     out: &mut [f32],
     accumulate: bool,
-    a: ASrc<'_>,
+    a: &[f32],
     bp: &[f32],
     pad: Option<&[f32]>,
     m: usize,
     k: usize,
     n: usize,
     threads: usize,
+    ep: &Epilogue<'_>,
+    stash: Option<&mut [f32]>,
 ) {
     let itiles = m.div_ceil(MR);
     let jtiles = n.div_ceil(NR);
@@ -225,27 +405,49 @@ fn gemm_core(
     let tile_flops = 2 * MR * n * k;
     let min_tiles = (GRAIN_FLOPS / tile_flops.max(1)).max(1);
     let plan = pool::plan_chunks(itiles, MR, last_rows, threads, min_tiles);
-    pool::run_row_chunks(out, n, &plan, |row0, chunk| {
+    let plain = ep.is_empty();
+    pool::run_row_chunks_pair(out, stash, n, &plan, |row0, chunk, mut stash_chunk| {
         let chunk_rows = chunk.len() / n;
-        for t in 0..chunk_rows.div_ceil(MR) {
-            let i0 = row0 + t * MR;
-            let rows = MR.min(chunk_rows - t * MR);
-            for jt in 0..jtiles {
-                let cols = NR.min(n - jt * NR);
-                let panel = &bp[jt * k * NR..][..k * NR];
-                let mut acc = [[0.0f32; NR]; MR];
-                if rows == MR {
-                    match a {
-                        ASrc::RowMajor(a) => micro_rows(k, a, i0, panel, &mut acc),
-                        ASrc::ColMajor(a) => micro_cols(a, m, i0, panel, &mut acc),
+        let ctiles = chunk_rows.div_ceil(MR);
+        // j-blocked sweep: all row tiles of this chunk against one slab
+        // of NC_TILES packed panels at a time, so the slab stays cached
+        // across the whole row range instead of the full packed B being
+        // re-read per row tile.
+        for jb in (0..jtiles).step_by(NC_TILES) {
+            let jb_end = (jb + NC_TILES).min(jtiles);
+            for t in 0..ctiles {
+                let i0 = row0 + t * MR;
+                let rows = MR.min(chunk_rows - t * MR);
+                for jt in jb..jb_end {
+                    let cols = NR.min(n - jt * NR);
+                    let panel = &bp[jt * k * NR..][..k * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    if rows == MR {
+                        micro_rows(k, a, i0, panel, &mut acc);
+                    } else {
+                        let pad = pad.expect("ragged tile requires a pad buffer");
+                        micro_rows(k, pad, 0, panel, &mut acc);
                     }
-                } else {
-                    let pad = pad.expect("ragged tile requires a pad buffer");
-                    micro_rows(k, pad, 0, panel, &mut acc);
+                    for (r, acc_row) in acc.iter().take(rows).enumerate() {
+                        let off = (t * MR + r) * n + jt * NR;
+                        let orow = &mut chunk[off..][..cols];
+                        store_row(orow, acc_row, accumulate);
+                    }
                 }
-                for r in 0..rows {
-                    let orow = &mut chunk[(t * MR + r) * n + jt * NR..][..cols];
-                    store_row(orow, &acc[r], accumulate);
+                if !plain {
+                    // Epilogue over the whole row-tile × j-block window
+                    // (≤ MR × NC_TILES·NR values, still L1-hot): the
+                    // long per-row segments amortize vector startup that
+                    // 32-wide per-tile application could not, while the
+                    // values never make a round trip to DRAM.
+                    let wj0 = jb * NR;
+                    let wcols = (jb_end * NR).min(n) - wj0;
+                    for r in 0..rows {
+                        let off = (t * MR + r) * n + wj0;
+                        let row = &mut chunk[off..][..wcols];
+                        let srow = stash_chunk.as_deref_mut().map(|s| &mut s[off..][..wcols]);
+                        apply_ep_window(row, (i0 + r) * n + wj0, wj0, ep, srow);
+                    }
                 }
             }
         }
@@ -258,13 +460,15 @@ fn gemm_core(
 fn gemm(
     out: &mut [f32],
     accumulate: bool,
-    a: ASrc<'_>,
+    a: &[f32],
     pack: impl FnOnce(&mut [f32]),
     m: usize,
     k: usize,
     n: usize,
     threads: usize,
     ws: &mut Workspace,
+    ep: &Epilogue<'_>,
+    stash: Option<&mut [f32]>,
 ) {
     let blen = n.div_ceil(NR) * k * NR;
     let (mut bp, boff) = lease_aligned(ws, blen);
@@ -280,6 +484,8 @@ fn gemm(
         k,
         n,
         threads,
+        ep,
+        stash,
     );
     if let Some(pad) = pad {
         ws.recycle(pad);
@@ -287,11 +493,73 @@ fn gemm(
     ws.recycle(bp);
 }
 
-/// `out (+)= a[m,k] @ b[k,n]` with `threads` workers; scratch for the
-/// packed panels is leased from (and returned to) `ws`.
+/// Validates the operand lengths of an epilogue against the output shape
+/// and its stash point against the chain length.
+fn check_epilogue(ep: &Epilogue<'_>, m: usize, n: usize, stash: &Option<&mut [f32]>, what: &str) {
+    for op in ep.ops {
+        match *op {
+            EpOp::BiasAdd(b) => assert_eq!(b.len(), n, "{what} bias len"),
+            EpOp::ResidualAdd(o) | EpOp::MaskMul(o) | EpOp::GeluGradMul(o) => {
+                assert_eq!(o.len(), m * n, "{what} epilogue operand len");
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = ep.stash_after {
+        assert!(s <= ep.ops.len(), "{what} stash point beyond chain");
+        let stash = stash.as_ref().expect("stash requested without a buffer");
+        assert_eq!(stash.len(), m * n, "{what} stash len");
+    } else {
+        assert!(stash.is_none(), "{what} stash buffer without a stash point");
+    }
+}
+
+/// `out (+)= epilogue(a[m,k] @ b[k,n])` with `threads` workers; scratch
+/// for the packed panels is leased from (and returned to) `ws`.
 ///
 /// With `accumulate == false` every output element is overwritten; with
-/// `true` the product is added to the existing contents.
+/// `true` the product is added to the existing contents (the epilogue
+/// applies to the sum). `stash` receives the pre-suffix intermediate
+/// when the epilogue requests one.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions or the
+/// epilogue's operands/stash disagree with the output shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_ep(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+    ep: &Epilogue<'_>,
+    stash: Option<&mut [f32]>,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn lhs len");
+    assert_eq!(b.len(), k * n, "gemm_nn rhs len");
+    assert_eq!(out.len(), m * n, "gemm_nn out len");
+    check_epilogue(ep, m, n, &stash, "gemm_nn");
+    gemm(
+        out,
+        accumulate,
+        a,
+        |dst| pack_b_nn(dst, b, k, n),
+        m,
+        k,
+        n,
+        threads,
+        ws,
+        ep,
+        stash,
+    );
+}
+
+/// `out (+)= a[m,k] @ b[k,n]` — [`gemm_nn_ep`] with the empty epilogue.
 ///
 /// # Panics
 ///
@@ -308,23 +576,67 @@ pub fn gemm_nn(
     threads: usize,
     ws: &mut Workspace,
 ) {
-    assert_eq!(a.len(), m * k, "gemm_nn lhs len");
-    assert_eq!(b.len(), k * n, "gemm_nn rhs len");
-    assert_eq!(out.len(), m * n, "gemm_nn out len");
+    gemm_nn_ep(
+        out,
+        accumulate,
+        a,
+        b,
+        m,
+        k,
+        n,
+        threads,
+        ws,
+        &Epilogue::NONE,
+        None,
+    );
+}
+
+/// `out (+)= epilogue(aᵀ @ b)` for `a[k,m]`, `b[k,n]` — the
+/// weight-gradient shape. `Aᵀ` is staged row-major by `pack_a_tn`
+/// before the shared core runs; the per-element accumulation order is
+/// unchanged, so results are bit-identical to the un-staged variant.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions or the
+/// epilogue's operands/stash disagree with the output shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_ep(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+    ep: &Epilogue<'_>,
+    stash: Option<&mut [f32]>,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs len");
+    assert_eq!(b.len(), k * n, "gemm_tn rhs len");
+    assert_eq!(out.len(), m * n, "gemm_tn out len");
+    check_epilogue(ep, m, n, &stash, "gemm_tn");
+    let mut at = ws.lease(m * k);
+    pack_a_tn(&mut at, a, k, m);
     gemm(
         out,
         accumulate,
-        ASrc::RowMajor(a),
+        &at,
         |dst| pack_b_nn(dst, b, k, n),
         m,
         k,
         n,
         threads,
         ws,
+        ep,
+        stash,
     );
+    ws.recycle(at);
 }
 
-/// `out (+)= aᵀ @ b` for `a[k,m]`, `b[k,n]` — the weight-gradient shape.
+/// `out (+)= aᵀ @ b` — [`gemm_tn_ep`] with the empty epilogue.
 ///
 /// # Panics
 ///
@@ -341,24 +653,62 @@ pub fn gemm_tn(
     threads: usize,
     ws: &mut Workspace,
 ) {
-    assert_eq!(a.len(), k * m, "gemm_tn lhs len");
-    assert_eq!(b.len(), k * n, "gemm_tn rhs len");
-    assert_eq!(out.len(), m * n, "gemm_tn out len");
+    gemm_tn_ep(
+        out,
+        accumulate,
+        a,
+        b,
+        k,
+        m,
+        n,
+        threads,
+        ws,
+        &Epilogue::NONE,
+        None,
+    );
+}
+
+/// `out (+)= epilogue(a @ bᵀ)` for `a[m,k]`, `b[n,k]` — the
+/// input-gradient and attention-score shape.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the given dimensions or the
+/// epilogue's operands/stash disagree with the output shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_ep(
+    out: &mut [f32],
+    accumulate: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    ws: &mut Workspace,
+    ep: &Epilogue<'_>,
+    stash: Option<&mut [f32]>,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt lhs len");
+    assert_eq!(b.len(), n * k, "gemm_nt rhs len");
+    assert_eq!(out.len(), m * n, "gemm_nt out len");
+    check_epilogue(ep, m, n, &stash, "gemm_nt");
     gemm(
         out,
         accumulate,
-        ASrc::ColMajor(a),
-        |dst| pack_b_nn(dst, b, k, n),
+        a,
+        |dst| pack_b_nt(dst, b, n, k),
         m,
         k,
         n,
         threads,
         ws,
+        ep,
+        stash,
     );
 }
 
-/// `out (+)= a @ bᵀ` for `a[m,k]`, `b[n,k]` — the input-gradient and
-/// attention-score shape.
+/// `out (+)= a @ bᵀ` — [`gemm_nt_ep`] with the empty epilogue.
 ///
 /// # Panics
 ///
@@ -375,19 +725,18 @@ pub fn gemm_nt(
     threads: usize,
     ws: &mut Workspace,
 ) {
-    assert_eq!(a.len(), m * k, "gemm_nt lhs len");
-    assert_eq!(b.len(), n * k, "gemm_nt rhs len");
-    assert_eq!(out.len(), m * n, "gemm_nt out len");
-    gemm(
+    gemm_nt_ep(
         out,
         accumulate,
-        ASrc::RowMajor(a),
-        |dst| pack_b_nt(dst, b, n, k),
+        a,
+        b,
         m,
         k,
         n,
         threads,
         ws,
+        &Epilogue::NONE,
+        None,
     );
 }
 
@@ -483,6 +832,21 @@ mod tests {
     }
 
     #[test]
+    fn wide_shapes_cross_jblock_boundaries() {
+        // n > NC_TILES·NR exercises the j-blocked sweep, including a
+        // ragged final block.
+        for &(m, k, n) in &[(9, 7, NC_TILES * NR + 5), (4, 3, 2 * NC_TILES * NR)] {
+            let a = seq(m * k, 0.25);
+            let b = seq(k * n, 0.25);
+            let want = reference::matmul(&a, &b, m, k, n);
+            let mut ws = Workspace::new();
+            let mut out = vec![0.0; m * n];
+            gemm_nn(&mut out, false, &a, &b, m, k, n, 2, &mut ws);
+            assert_close(&out, &want, 1e-5);
+        }
+    }
+
+    #[test]
     fn tn_and_nt_match_reference() {
         let (m, k, n) = (11, 19, 37);
         let a_tn = seq(k * m, 0.25);
@@ -557,5 +921,104 @@ mod tests {
             gemm_nn(&mut out, false, &a, &b, m, k, n, 1, &mut ws);
             assert_close(&out, &reference::matmul(&a, &b, m, k, n), 1e-5);
         }
+    }
+
+    #[test]
+    fn epilogue_matches_separate_passes_bitwise() {
+        let (m, k, n) = (13, 9, 41);
+        let a = seq(m * k, 0.25);
+        let b = seq(k * n, 0.125);
+        let bias = seq(n, 0.5);
+        let res = seq(m * n, 0.0625);
+        let mut ws = Workspace::new();
+
+        // Unfused: plain gemm, then the same scalar ops as output passes.
+        let mut want = vec![0.0; m * n];
+        gemm_nn(&mut want, false, &a, &b, m, k, n, 1, &mut ws);
+        for i in 0..m {
+            for (j, &bj) in bias.iter().enumerate() {
+                let idx = i * n + j;
+                let v = want[idx] + bj;
+                let v = crate::ops::gelu(v);
+                want[idx] = v + res[idx];
+            }
+        }
+
+        let ops = [EpOp::BiasAdd(&bias), EpOp::Gelu, EpOp::ResidualAdd(&res)];
+        let ep = Epilogue {
+            ops: &ops,
+            stash_after: None,
+        };
+        for threads in [1, 2, 8] {
+            let mut out = vec![0.0; m * n];
+            gemm_nn_ep(
+                &mut out, false, &a, &b, m, k, n, threads, &mut ws, &ep, None,
+            );
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stash_captures_pre_activation() {
+        let (m, k, n) = (10, 6, 35);
+        let a = seq(m * k, 0.25);
+        let b = seq(k * n, 0.125);
+        let bias = seq(n, 0.5);
+        let mut ws = Workspace::new();
+
+        let mut pre = vec![0.0; m * n];
+        gemm_nn(&mut pre, false, &a, &b, m, k, n, 1, &mut ws);
+        for i in 0..m {
+            for j in 0..n {
+                pre[i * n + j] += bias[j];
+            }
+        }
+        let post: Vec<f32> = pre.iter().map(|&v| crate::ops::gelu(v)).collect();
+
+        let ops = [EpOp::BiasAdd(&bias), EpOp::Gelu];
+        let ep = Epilogue {
+            ops: &ops,
+            stash_after: Some(1),
+        };
+        for threads in [1, 3] {
+            let mut out = vec![0.0; m * n];
+            let mut stash = vec![0.0; m * n];
+            gemm_nn_ep(
+                &mut out,
+                false,
+                &a,
+                &b,
+                m,
+                k,
+                n,
+                threads,
+                &mut ws,
+                &ep,
+                Some(&mut stash),
+            );
+            assert_eq!(stash, pre, "threads={threads} stash");
+            assert_eq!(out, post, "threads={threads} out");
+        }
+    }
+
+    #[test]
+    fn tn_staging_is_bit_identical_to_nn_on_transposed_input() {
+        // gemm_tn(a) must equal gemm_nn(aᵀ) exactly: the staged transpose
+        // feeds the identical micro-kernel in the identical order.
+        let (m, k, n) = (23, 17, 45);
+        let a_t = seq(k * m, 0.25); // [k, m]
+        let b = seq(k * n, 0.5);
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = a_t[p * m + i];
+            }
+        }
+        let mut ws = Workspace::new();
+        let mut out_tn = vec![0.0; m * n];
+        gemm_tn(&mut out_tn, false, &a_t, &b, k, m, n, 2, &mut ws);
+        let mut out_nn = vec![0.0; m * n];
+        gemm_nn(&mut out_nn, false, &a, &b, m, k, n, 2, &mut ws);
+        assert_eq!(out_tn, out_nn);
     }
 }

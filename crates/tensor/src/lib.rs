@@ -17,6 +17,10 @@
 //!   [`Tensor::matmul_nt`]) for backprop, threaded via [`pool`]
 //!   (`ACTCOMP_THREADS`) and fed scratch by a reusable [`Workspace`],
 //! - [`ops`]: softmax / GELU / layer-norm statistics with derivatives,
+//! - [`graph`] / [`fuse`] / [`plan`]: a small op-graph IR with
+//!   GEMM-epilogue fusion and automatic workspace planning — layers emit
+//!   graph segments and execute [`plan::CompiledPlan`]s instead of
+//!   hand-threading `_ws` scratch buffers,
 //! - [`linalg`]: a Jacobi SVD for the paper's Figure 2 low-rank analysis,
 //! - [`init`]: seeded initializers so every experiment is reproducible.
 //!
@@ -38,10 +42,13 @@
 mod shape;
 mod tensor;
 
+pub mod fuse;
+pub mod graph;
 pub mod init;
 pub mod kernels;
 pub mod linalg;
 pub mod ops;
+pub mod plan;
 pub mod pool;
 pub mod workspace;
 

@@ -175,6 +175,70 @@ where
     });
 }
 
+/// Like [`run_row_chunks`], but additionally splits an optional second
+/// buffer (same `[rows, row_width]` layout) along the identical chunk
+/// boundaries, so each worker owns matching slices of both. The GEMM
+/// epilogue stash uses this: the output tile and its stashed
+/// pre-activation tile are written by the same thread in the same pass.
+///
+/// # Panics
+///
+/// Panics if the chunk sizes do not tile `out` exactly, or if `pair` is
+/// present with a length different from `out`.
+pub(crate) fn run_row_chunks_pair<F>(
+    out: &mut [f32],
+    pair: Option<&mut [f32]>,
+    row_width: usize,
+    chunk_rows: &[usize],
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], Option<&mut [f32]>) + Sync,
+{
+    let Some(pair) = pair else {
+        run_row_chunks(out, row_width, chunk_rows, |row0, chunk| {
+            f(row0, chunk, None);
+        });
+        return;
+    };
+    assert_eq!(pair.len(), out.len(), "pair buffer must match the output");
+    if row_width == 0 {
+        assert!(out.is_empty(), "chunk plan does not tile the output");
+        return;
+    }
+    let lens: Vec<usize> = chunk_rows.iter().map(|&r| r * row_width).collect();
+    assert_eq!(
+        lens.iter().sum::<usize>(),
+        out.len(),
+        "chunk plan does not tile the output"
+    );
+    if lens.len() <= 1 {
+        f(0, out, Some(pair));
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut prest = pair;
+        let mut start = 0;
+        let mut first: Option<(usize, &mut [f32], &mut [f32])> = None;
+        for (ci, &len) in lens.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let (pchunk, ptail) = prest.split_at_mut(len);
+            prest = ptail;
+            if ci == 0 {
+                first = Some((start, chunk, pchunk));
+            } else {
+                let fr = &f;
+                let row0 = start / row_width;
+                scope.spawn(move || fr(row0, chunk, Some(pchunk)));
+            }
+            start += len;
+        }
+        let (start, chunk, pchunk) = first.expect("at least one chunk");
+        f(start / row_width, chunk, Some(pchunk));
+    });
+}
+
 /// Splits `units` work units into at most `threads` contiguous chunks of
 /// at least `min_units` each, returning per-chunk unit counts. The split
 /// depends only on the arguments — never on runtime load — so chunk
