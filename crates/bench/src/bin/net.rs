@@ -23,6 +23,7 @@ use actcomp_bench::util;
 use actcomp_compress::plan::CompressionPlan;
 use actcomp_compress::spec::CompressorSpec;
 use actcomp_core::report::{write_records, Table};
+use actcomp_distsim::calibration;
 use actcomp_distsim::collective::allreduce_time;
 use actcomp_distsim::hardware::{LinkKind, LinkSpec};
 use actcomp_mp::MpConfig;
@@ -36,7 +37,8 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// Loopback round-trip budget for the prediction's α term: generous for
-/// a kernel socket hop, far below any real NIC.
+/// a kernel socket hop, far below any real NIC. Kept as the *uncalibrated*
+/// reference point; the calibrated rows measure this instead of guessing.
 const LOOPBACK_LATENCY_S: f64 = 50e-6;
 
 #[derive(Serialize)]
@@ -53,8 +55,15 @@ struct CollectiveRow {
 struct DistsimRow {
     link_mbps: f64,
     measured_ms: f64,
+    /// Prediction with the hand-guessed `LOOPBACK_LATENCY_S` α term.
     predicted_ms: f64,
     rel_error: f64,
+    /// Per-round latency measured from a tiny-payload all-reduce on the
+    /// same throttled transport (`calibration::round_latency_from_allreduce`).
+    frame_latency_us: f64,
+    /// Prediction with the measured per-round constant folded in.
+    calibrated_ms: f64,
+    calibrated_rel_error: f64,
 }
 
 #[derive(Serialize)]
@@ -281,6 +290,39 @@ fn main() {
 
     // 2. Simulator cross-check on the throttled TCP rows, where the
     // nominal bandwidth is known exactly (it is the token bucket's).
+    //
+    // Two predictions per row: one with the hand-guessed loopback α, and
+    // one calibrated from measured transport overhead. The calibration
+    // takes two measurements on the *unthrottled* TCP transport: a
+    // tiny-payload all-reduce, whose time is pure per-round overhead
+    // (`round_latency_from_allreduce` maps it through the model's
+    // `2(p−1)` round count), and the full-payload row from section 1,
+    // whose remainder after the α term is the host-side socket-copy
+    // rate (`host_bandwidth_from_allreduce`). Each throttled row is
+    // then a genuine prediction: same constants, only the token-bucket
+    // cap changes.
+    let (tiny_s, _) = bench_collective(
+        socket_world(TransportKind::Tcp, world, None),
+        1,
+        16,
+        iters.max(16),
+    );
+    let alpha = calibration::round_latency_from_allreduce(world, tiny_s);
+    let tcp_loopback = collectives
+        .iter()
+        .find(|r| r.transport == "tcp" && r.link_mbps.is_none())
+        .expect("unthrottled tcp row measured above");
+    let host_bw = calibration::host_bandwidth_from_allreduce(
+        world,
+        payload_bytes,
+        tcp_loopback.per_op_ms / 1e3,
+        alpha,
+    );
+    println!(
+        "calibration (unthrottled tcp): α={:.1} µs/round, host copy rate {:.1} MB/s",
+        alpha * 1e6,
+        host_bw / 1e6
+    );
     let mut distsim = Vec::new();
     for row in collectives.iter().filter(|r| r.link_mbps.is_some()) {
         let cap = row.link_mbps.expect("filtered");
@@ -291,13 +333,23 @@ fn main() {
             scales_with_peers: false,
             compressed_collective_overhead: 0.0,
         };
+        let calibrated_link = calibration::calibrate_loopback_link(&link, alpha, host_bw);
         let predicted = allreduce_time(&link, world, payload_bytes as usize);
+        let calibrated = allreduce_time(&calibrated_link, world, payload_bytes as usize);
         let measured = row.per_op_ms / 1e3;
         let rel_error = (measured - predicted) / predicted;
+        let calibrated_rel_error = (measured - calibrated) / calibrated;
         records.push(util::record(
             "net",
             format!("tcp@{cap}Mbps vs distsim"),
             Some(predicted * 1e3),
+            measured * 1e3,
+            "ms",
+        ));
+        records.push(util::record(
+            "net",
+            format!("tcp@{cap}Mbps vs distsim (calibrated)"),
+            Some(calibrated * 1e3),
             measured * 1e3,
             "ms",
         ));
@@ -306,6 +358,9 @@ fn main() {
             measured_ms: measured * 1e3,
             predicted_ms: predicted * 1e3,
             rel_error,
+            frame_latency_us: alpha * 1e6,
+            calibrated_ms: calibrated * 1e3,
+            calibrated_rel_error,
         });
     }
 
@@ -380,11 +435,15 @@ fn main() {
     println!("{table}");
     for d in &distsim {
         println!(
-            "distsim check @{:.0} Mbit/s: measured {:.3} ms vs predicted {:.3} ms ({:+.0}% error)",
+            "distsim check @{:.0} Mbit/s: measured {:.3} ms vs predicted {:.3} ms ({:+.0}% error); \
+             calibrated α={:.1} µs/round → {:.3} ms ({:+.0}% error)",
             d.link_mbps,
             d.measured_ms,
             d.predicted_ms,
-            100.0 * d.rel_error
+            100.0 * d.rel_error,
+            d.frame_latency_us,
+            d.calibrated_ms,
+            100.0 * d.calibrated_rel_error
         );
     }
     println!();

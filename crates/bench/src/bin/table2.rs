@@ -1,9 +1,14 @@
 //! Table 2 — fine-tuning iteration time (ms) on the NVLink machine,
 //! b=32, s=512, across (TP, PP) and all compression settings.
+//!
+//! The grid points are independent, so they are fanned across the
+//! kernel pool (`ACTCOMP_THREADS`) with `par_map`; the pool preserves
+//! input order, so the emitted table is identical to the serial walk.
 
 use actcomp_bench::{paper, util};
 use actcomp_core::report::Table;
 use actcomp_core::throughput::{finetune_breakdown, Machine};
+use actcomp_distsim::par_map;
 
 fn main() {
     let opts = util::Options::from_args();
@@ -15,10 +20,22 @@ fn main() {
     );
     let mut records = Vec::new();
 
-    for ((tp, pp), paper_row) in paper::table2() {
+    // Flatten the (tp, pp) x spec grid so every simulator call is one
+    // independent pool unit, then reassemble rows in grid order.
+    let rows: Vec<_> = paper::table2().into_iter().collect();
+    let grid: Vec<(usize, usize, usize)> = rows
+        .iter()
+        .flat_map(|((tp, pp), _)| (0..paper::TIMING_SPECS.len()).map(move |s| (*tp, *pp, s)))
+        .collect();
+    let breakdowns = par_map(&grid, |&(tp, pp, s)| {
+        finetune_breakdown(Machine::AwsP3, tp, pp, 32, 512, paper::TIMING_SPECS[s])
+    });
+
+    let mut it = grid.iter().zip(breakdowns);
+    for ((tp, pp), paper_row) in &rows {
         let mut row = vec![format!("TP={tp}, PP={pp}")];
-        for (spec, paper_val) in paper::TIMING_SPECS.iter().zip(paper_row) {
-            let b = finetune_breakdown(Machine::AwsP3, tp, pp, 32, 512, *spec);
+        for (spec, paper_val) in paper::TIMING_SPECS.iter().zip(paper_row.iter().copied()) {
+            let (_, b) = it.next().expect("one breakdown per grid point");
             row.push(util::vs(b.total_ms, paper_val));
             records.push(util::record(
                 "table2",

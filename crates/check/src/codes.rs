@@ -7,7 +7,8 @@
 //! comm-protocol analysis (message-flow graph, deadlock-freedom,
 //! trace conformance), `AC07xx` multi-process transport
 //! configuration, `AC08xx` fault injection and recovery, `AC09xx`
-//! op-graph plans (cycle / shape mismatch / illegal fusion). Codes are
+//! op-graph plans (cycle / shape mismatch / illegal fusion), `AC10xx`
+//! serving engine and wire-precision configuration. Codes are
 //! append-only — once published in a diagnostic they keep their meaning
 //! so scripts can match on them.
 
@@ -133,6 +134,15 @@ pub const GRAPH_SHAPE_MISMATCH: &str = "AC0902";
 /// A fusion the plan requires (`FusePolicy::Forced`) is not legal under
 /// the epilogue-fusion rules.
 pub const GRAPH_ILLEGAL_FUSION: &str = "AC0903";
+
+/// `runtime.max_batch` is zero (the serving dispatcher cannot build
+/// empty engine batches).
+pub const SERVE_BATCH_INVALID: &str = "AC1001";
+/// Serving options on the serial backend (serving needs resident rank
+/// workers; `serial` has none).
+pub const SERVE_WRONG_BACKEND: &str = "AC1002";
+/// `runtime.wire_dtype` is not `f32` or `f16`.
+pub const WIRE_DTYPE_UNKNOWN: &str = "AC1003";
 
 /// One registry row: code, summary, whether it can only warn.
 pub struct CodeInfo {
@@ -378,6 +388,21 @@ pub fn registry() -> Vec<CodeInfo> {
         row(
             GRAPH_ILLEGAL_FUSION,
             "required GEMM-epilogue fusion is illegal",
+            false,
+        ),
+        row(
+            SERVE_BATCH_INVALID,
+            "serving max_batch is zero (dispatcher cannot batch)",
+            false,
+        ),
+        row(
+            SERVE_WRONG_BACKEND,
+            "serving options on a backend without resident workers",
+            false,
+        ),
+        row(
+            WIRE_DTYPE_UNKNOWN,
+            "runtime.wire_dtype is not f32 or f16",
             false,
         ),
     ]

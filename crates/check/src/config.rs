@@ -175,6 +175,17 @@ pub struct RuntimeSection {
     /// Worker-generation restarts the supervisor may attempt before
     /// giving up (`procs` backend only).
     pub max_restarts: Option<usize>,
+    /// `actcomp serve`: most requests coalesced into one engine batch
+    /// (omitted: 8). Must be at least 1 when given; serving requires
+    /// the `threads` or `procs` backend.
+    pub max_batch: Option<usize>,
+    /// `actcomp serve`: microseconds the dispatcher waits to fill a
+    /// batch beyond the first queued request (omitted: 200).
+    pub batch_window_us: Option<u64>,
+    /// Dense-activation precision on framed transports: `f32` (default,
+    /// bit-exact) or `f16` (half the dense wire bytes, ~1e-3 relative
+    /// rounding). Ignored by in-process typed channels.
+    pub wire_dtype: Option<String>,
 }
 
 impl RuntimeSection {
@@ -200,6 +211,9 @@ impl RuntimeSection {
             checkpoint_every: None,
             checkpoint_dir: None,
             max_restarts: None,
+            max_batch: None,
+            batch_window_us: None,
+            wire_dtype: None,
         }
     }
 

@@ -1,6 +1,7 @@
 //! Execution-backend checks (`AC0301`–`AC0304`), multi-process
-//! transport checks (`AC0701`–`AC0706`), and fault-injection /
-//! recovery checks (`AC0801`–`AC0805`).
+//! transport checks (`AC0701`–`AC0706`), fault-injection / recovery
+//! checks (`AC0801`–`AC0805`), and serving / wire-precision checks
+//! (`AC1001`–`AC1003`).
 //!
 //! The threaded engine (`actcomp-runtime`) has its own structural
 //! invariants on top of the shape/plan/schedule algebra: the backend
@@ -57,6 +58,7 @@ pub fn check_runtime(cfg: &ExperimentConfig, diags: &mut Diagnostics) {
 
     check_transport(cfg, rt, diags);
     check_fault(cfg, rt, diags);
+    check_serve(rt, diags);
 
     // --- thread count (AC0302) -----------------------------------------
     // The threaded engine spawns exactly one OS thread per rank, so an
@@ -422,6 +424,62 @@ fn check_fault(cfg: &ExperimentConfig, rt: &RuntimeSection, diags: &mut Diagnost
     }
 }
 
+/// The serving / wire-precision pass (`AC1001`–`AC1003`). `actcomp
+/// serve` keeps rank workers resident behind an admission queue; its
+/// knobs only make sense on backends that *have* resident workers, and
+/// an empty batch ceiling would stall the dispatcher before the first
+/// request.
+fn check_serve(rt: &RuntimeSection, diags: &mut Diagnostics) {
+    // --- batch ceiling (AC1001) ----------------------------------------
+    if rt.max_batch == Some(0) {
+        diags.push(
+            Diagnostic::error(
+                codes::SERVE_BATCH_INVALID,
+                "runtime.max_batch",
+                "max_batch is zero; the serving dispatcher cannot build empty engine batches"
+                    .to_string(),
+            )
+            .with_help("use max_batch >= 1 (1 disables coalescing, serving one request per batch)"),
+        );
+    }
+
+    // --- serving options on the serial backend (AC1002) ----------------
+    if rt.backend == "serial" {
+        for (field, set) in [
+            ("runtime.max_batch", rt.max_batch.is_some()),
+            ("runtime.batch_window_us", rt.batch_window_us.is_some()),
+        ] {
+            if set {
+                diags.push(
+                    Diagnostic::error(
+                        codes::SERVE_WRONG_BACKEND,
+                        field,
+                        format!(
+                            "{field} is set but the serial backend keeps no resident rank \
+                             workers to serve from"
+                        ),
+                    )
+                    .with_help("serving belongs to `backend = \"threads\"` or `\"procs\"`"),
+                );
+            }
+        }
+    }
+
+    // --- wire dtype label (AC1003) -------------------------------------
+    if let Some(dtype) = &rt.wire_dtype {
+        if dtype != "f32" && dtype != "f16" {
+            diags.push(
+                Diagnostic::error(
+                    codes::WIRE_DTYPE_UNKNOWN,
+                    "runtime.wire_dtype",
+                    format!("unknown wire dtype `{dtype}`"),
+                )
+                .with_help("known dtypes: f32 (bit-exact) and f16 (half the dense wire bytes)"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,5 +824,53 @@ mod tests {
             codes_of(&run(&with_runtime(rt))),
             vec![codes::CHECKPOINT_INTERVAL_INVALID]
         );
+    }
+
+    #[test]
+    fn clean_serving_configs_pass() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.max_batch = Some(8);
+        rt.batch_window_us = Some(200);
+        rt.wire_dtype = Some("f16".to_string());
+        assert!(run(&with_runtime(rt)).is_empty());
+
+        // max_batch = 1 is the one-request-at-a-time baseline, not an
+        // error; procs serves too.
+        let mut rt = procs_default();
+        rt.max_batch = Some(1);
+        rt.wire_dtype = Some("f32".to_string());
+        assert!(run(&with_runtime(rt)).is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_max_batch() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.max_batch = Some(0);
+        assert_eq!(
+            codes_of(&run(&with_runtime(rt))),
+            vec![codes::SERVE_BATCH_INVALID]
+        );
+    }
+
+    #[test]
+    fn rejects_serving_options_on_serial_backend() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.backend = "serial".to_string();
+        rt.max_batch = Some(8);
+        rt.batch_window_us = Some(100);
+        let diags = run(&with_runtime(rt));
+        assert_eq!(diags.len(), 2);
+        assert!(codes_of(&diags)
+            .iter()
+            .all(|c| *c == codes::SERVE_WRONG_BACKEND));
+    }
+
+    #[test]
+    fn rejects_unknown_wire_dtype() {
+        let mut rt = RuntimeSection::threads_default();
+        rt.wire_dtype = Some("bf16".to_string());
+        let diags = run(&with_runtime(rt));
+        assert_eq!(codes_of(&diags), vec![codes::WIRE_DTYPE_UNKNOWN]);
+        assert!(diags[0].message.contains("bf16"));
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! actcomp check experiment.json
 //! actcomp run --backend threads --tp 2 --pp 2 --spec T2 --steps 3
+//! actcomp serve --bench --quick --tp 2 --pp 2 --spec T2
 //! actcomp simulate --machine pcie --tp 2 --pp 2 --batch 32 --seq 512 --spec A1
 //! actcomp pretrain-sim --tp 4 --pp 4 --spec A2
 //! actcomp finetune --task cola --spec Q2 --steps 150
@@ -28,6 +29,7 @@ fn main() {
     match args.command.as_deref() {
         Some("check") => check(&args),
         Some("run") => run(&args),
+        Some("serve") => serve(&args),
         Some("simulate") => simulate(&args),
         Some("pretrain-sim") => pretrain_sim(&args),
         Some("finetune") => finetune(&args),
@@ -57,6 +59,12 @@ USAGE:
                         [--transport uds|tcp] [--link-mbps X] [--grad-hash]
                         [--fault SPEC] [--checkpoint-every N] [--checkpoint-dir PATH]
                         [--max-restarts N] [--step-timeout SECS] [--rendezvous-timeout SECS]
+  actcomp serve         [--backend threads|procs] [--tp N] [--pp N] [--spec ID] [--seq N]
+                        [--layers N] [--hidden N] [--heads N] [--ff N] [--vocab N]
+                        [--max-batch N] [--batch-window-us N] [--depth N] [--wire-dtype f32|f16]
+                        [--requests N] [--clients N] [--arrival closed|open] [--rate X]
+                        [--bench] [--quick] [--seed N] [--out PATH]
+                        [--transport uds|tcp] [--fault SPEC]
   actcomp simulate      [--machine nvlink|pcie] [--tp N] [--pp N] [--batch N] [--seq N] [--spec ID] [--json]
   actcomp pretrain-sim  [--tp N] [--pp N] [--spec ID] [--json]
   actcomp finetune      [--task NAME] [--spec ID] [--steps N] [--seed N]
@@ -335,6 +343,9 @@ fn run(args: &Args) {
         // default directory is not a config statement.
         checkpoint_dir: args.raw("checkpoint-dir").map(str::to_string),
         max_restarts: args.raw("max-restarts").and(Some(max_restarts)),
+        max_batch: None,
+        batch_window_us: None,
+        wire_dtype: None,
     });
     validate_or_exit(&cfg);
     if let Some(n) = kernel_threads {
@@ -572,6 +583,388 @@ fn run(args: &Args) {
     }
 }
 
+/// An in-process framed transport world for the threads serving
+/// backend: one transport per rank, every peer wired to every other.
+fn serve_transports(label: &str, world: usize) -> Vec<Box<dyn actcomp_net::Transport>> {
+    use actcomp_net::{mpsc_world, SocketOptions, SocketTransport, Transport, TransportKind};
+    match label {
+        "mpsc" => mpsc_world(world)
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn Transport>)
+            .collect(),
+        "uds" | "tcp" => {
+            let kind = TransportKind::parse(label).expect("known transport");
+            let mut ts: Vec<SocketTransport> = (0..world)
+                .map(|r| {
+                    SocketTransport::bind(kind, r, world, 0x5EAF, SocketOptions::default())
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            std::process::exit(1);
+                        })
+                })
+                .collect();
+            let addrs: Vec<String> = ts.iter().map(|t| t.local_addr().to_string()).collect();
+            for t in ts.iter_mut() {
+                for (p, a) in addrs.iter().enumerate() {
+                    t.set_peer(p, a.clone());
+                }
+            }
+            ts.into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+                .collect()
+        }
+        other => {
+            eprintln!("error: unknown serve transport '{other}' (typed|mpsc|uds|tcp)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `actcomp serve`: forward-only inference serving with continuous
+/// request batching on resident rank workers (see DESIGN.md, Serving
+/// engine).
+///
+/// Plain mode runs one synthetic load (closed- or open-loop) and
+/// prints throughput, latency percentiles, and the per-rank phase
+/// breakdown. `--bench` additionally measures the one-request-at-a-time
+/// baseline (`max_batch = 1`, `depth = 1`) and a fixed-rate open-loop
+/// run on identically-initialised engines and writes the comparison as
+/// `BENCH_serve.json`.
+fn serve(args: &Args) {
+    use actcomp_runtime::{
+        run_load, Arrival, LoadConfig, ProcsOptions, ProcsRuntime, ServeBackend, ServeConfig,
+        ServeEngine, ThreadedRuntime, WireDtype,
+    };
+    use rand::SeedableRng;
+
+    let backend = args.get("backend", "threads").to_string();
+    let tp = args.get_usize("tp", 2);
+    let pp = args.get_usize("pp", 2);
+    let layers = args.get_usize("layers", 4);
+    let hidden = args.get_usize("hidden", 32);
+    let heads = args.get_usize("heads", 4);
+    let ff = args.get_usize("ff", 64);
+    let vocab = args.get_usize("vocab", 64);
+    let seq = args.get_usize("seq", 8);
+    let seed = args.get_usize("seed", 0) as u64;
+    let spec = parse_spec(args.get("spec", "w/o"));
+    let max_batch = args.get_usize("max-batch", 8);
+    let window_us = args.get_usize("batch-window-us", 200) as u64;
+    let depth = args.get_usize("depth", 2);
+    let wire = args.get("wire-dtype", "f32").to_string();
+    let bench = args.flag("bench");
+    let quick = args.flag("quick");
+    let requests = args.get_usize("requests", if quick { 96 } else { 512 });
+    let clients = args.get_usize("clients", 2 * max_batch);
+    let out = args.get("out", "BENCH_serve.json").to_string();
+    let rate = args.raw("rate").map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("error: --rate expects requests per second, got '{v}'");
+            std::process::exit(2);
+        })
+    });
+    let fault = args.raw("fault").map(str::to_string);
+    let transport = match args.raw("transport") {
+        Some(t) => Some(t.to_string()),
+        None if backend == "procs" => Some("uds".to_string()),
+        None => None,
+    };
+
+    // Static validation first — the AC03xx backend pass plus the AC10xx
+    // serving/wire pass — so a bad flag combination dies with a
+    // diagnosis, not a panic in a worker.
+    let mut cfg = ExperimentConfig::paper_default();
+    cfg.model.layers = layers;
+    cfg.model.hidden = hidden;
+    cfg.model.heads = heads;
+    cfg.model.ff_hidden = ff;
+    cfg.model.vocab = vocab;
+    cfg.model.max_seq = seq;
+    cfg.parallelism.tp = tp;
+    cfg.parallelism.pp = pp;
+    let world = tp * pp;
+    if world > 4 {
+        cfg.cluster.preset = "p3_cluster".to_string();
+        cfg.cluster.nodes = world.div_ceil(4);
+    }
+    // Serving is forward-only: one request = one micro-batch of `seq`
+    // tokens, so the boundary/collective compressors are sized per
+    // request.
+    cfg.batch.micro_batch = 1;
+    cfg.batch.seq = seq;
+    cfg.batch.num_micro_batches = 1;
+    cfg.plan.spec = spec.label().to_string();
+    cfg.plan.error_feedback = args.flag("error-feedback");
+    cfg.runtime = Some(RuntimeSection {
+        backend: backend.clone(),
+        threads: None,
+        micro_batches: Some(1),
+        rank_map: None,
+        kernel_threads: None,
+        chunk_rows: None,
+        pipeline_depth: None,
+        // For the threads backend `--transport` picks in-process wiring
+        // (typed/mpsc/uds/tcp), which is not launcher configuration —
+        // the AC07xx pass only validates the procs launcher's wire.
+        transport: if backend == "procs" {
+            transport.clone()
+        } else {
+            None
+        },
+        link_mbps: None,
+        world_size: None,
+        listen: None,
+        trace: None,
+        step_timeout_s: None,
+        rendezvous_timeout_s: None,
+        fault: fault.clone(),
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        max_restarts: None,
+        max_batch: Some(max_batch),
+        batch_window_us: Some(window_us),
+        wire_dtype: Some(wire.clone()),
+    });
+    validate_or_exit(&cfg);
+
+    // The wire dtype is process-global; procs workers inherit it via
+    // the environment (the spawned `worker` subcommand reads it back).
+    let wd = WireDtype::parse(&wire).expect("validated wire dtype");
+    actcomp_runtime::set_wire_dtype(wd);
+    std::env::set_var("ACTCOMP_WIRE_DTYPE", wd.name());
+
+    let plan = cfg.resolve_plan().expect("validated spec resolves");
+    let make_cfg = || actcomp_runtime::RuntimeConfig {
+        mp: actcomp_mp::MpConfig {
+            bert: actcomp_nn::BertConfig {
+                vocab,
+                hidden,
+                layers,
+                heads,
+                ff_hidden: ff,
+                max_seq: seq,
+            },
+            tp,
+            pp,
+            plan,
+            tokens: seq,
+            error_feedback: cfg.plan.error_feedback,
+        },
+        micro_batches: 1,
+        tuning: None,
+        trace: false,
+    };
+    let make_backend = || -> ServeBackend {
+        match backend.as_str() {
+            "threads" => {
+                // Reseeded per engine so every bench mode serves
+                // identically-initialised weights. `--transport` picks
+                // the in-process wire the rank threads frame over
+                // (default: typed channels, no byte framing).
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                let rt = match transport.as_deref() {
+                    None | Some("typed") => ThreadedRuntime::new(&mut rng, make_cfg()),
+                    Some(label) => {
+                        let c = make_cfg();
+                        let serial = actcomp_nn::BertEncoder::new(&mut rng, c.mp.bert.clone());
+                        let ts = serve_transports(label, world);
+                        ThreadedRuntime::with_transports(&serial, c, &mut rng, ts)
+                    }
+                };
+                ServeBackend::Threads(rt.unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }))
+            }
+            "procs" => {
+                let kind = actcomp_net::TransportKind::parse(transport.as_deref().unwrap_or("uds"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    });
+                let mut opts = ProcsOptions::new(make_cfg(), seed, kind);
+                opts.fault = fault.clone();
+                ServeBackend::Procs(ProcsRuntime::launch(opts).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }))
+            }
+            other => {
+                eprintln!("error: `actcomp serve` needs --backend threads|procs, got '{other}'");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    println!(
+        "serve: {backend} {layers}L h{hidden} tp={tp} pp={pp} spec={} seq={seq} wire={wire} \
+         max_batch={max_batch} window={window_us}us depth={depth}",
+        spec.label()
+    );
+
+    // One load run on a fresh engine; any failed request is a typed
+    // serving error and exits non-zero (the dispatcher answers every
+    // request on a dead world, so probing it recovers the error).
+    let run_mode = |label: &str, scfg: ServeConfig, arrival: Arrival| {
+        let engine = ServeEngine::start(make_backend(), scfg).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let lcfg = LoadConfig {
+            requests,
+            arrival,
+            vocab,
+            seed: seed ^ 0x10ad,
+        };
+        let report = run_load(&engine, &lcfg);
+        if report.failed > 0 {
+            let probe = engine.handle().submit(vec![0; seq]).wait();
+            match probe {
+                Err(e) => eprintln!("error: {} request(s) failed: {e}", report.failed),
+                Ok(_) => eprintln!("error: {} request(s) failed", report.failed),
+            }
+            drop(engine);
+            std::process::exit(1);
+        }
+        println!(
+            "{label:>8}: {:>8.1} req/s  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  \
+             mean {:.2} ms  ({} reqs, {:.2} s)",
+            report.req_per_s,
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.mean_ms,
+            report.completed,
+            report.elapsed_s
+        );
+        let (stats, phase) = engine.finish();
+        (report, stats, phase)
+    };
+
+    let batched_cfg = ServeConfig {
+        max_batch,
+        batch_window: std::time::Duration::from_micros(window_us),
+        depth,
+    };
+    if !bench {
+        let arrival = match args.get("arrival", "closed") {
+            "closed" => Arrival::Closed { clients },
+            "open" => Arrival::Open {
+                rate: rate.unwrap_or_else(|| {
+                    eprintln!("error: --arrival open needs --rate REQ_PER_S");
+                    std::process::exit(2);
+                }),
+            },
+            other => {
+                eprintln!("error: unknown arrival process '{other}' (closed|open)");
+                std::process::exit(2);
+            }
+        };
+        let (_, stats, phase) = run_mode("load", batched_cfg, arrival);
+        println!(
+            "batches: {} dispatched, size histogram {:?}",
+            stats.batches, stats.batch_hist
+        );
+        if let Some(phase) = &phase {
+            print_phase_report(phase);
+        }
+        return;
+    }
+
+    // --bench: the one-request-at-a-time baseline — a single closed-loop
+    // client against an unbatched engine (`max_batch = 1`, `depth = 1`),
+    // so at most one request is anywhere in the system — vs continuous
+    // batching under saturating closed-loop load, plus a fixed-rate
+    // open-loop latency run.
+    let serial_cfg = ServeConfig {
+        max_batch: 1,
+        batch_window: std::time::Duration::ZERO,
+        depth: 1,
+    };
+    let (serial_lr, _, _) = run_mode("serial", serial_cfg, Arrival::Closed { clients: 1 });
+    let (batched_lr, batched_stats, phase) =
+        run_mode("batched", batched_cfg, Arrival::Closed { clients });
+    // Default offered load: 70% of measured saturated throughput, so
+    // the open-loop run measures latency below the knee.
+    let open_rate = rate.unwrap_or(0.7 * batched_lr.req_per_s).max(1.0);
+    let (open_lr, _, _) = run_mode("open", batched_cfg, Arrival::Open { rate: open_rate });
+    let speedup = if serial_lr.req_per_s > 0.0 {
+        batched_lr.req_per_s / serial_lr.req_per_s
+    } else {
+        0.0
+    };
+    println!(
+        "speedup: {speedup:.2}x (continuous batching vs one-request-at-a-time), \
+         batch histogram {:?}",
+        batched_stats.batch_hist
+    );
+    #[derive(serde::Serialize)]
+    struct BenchConfig {
+        backend: String,
+        transport: Option<String>,
+        tp: usize,
+        pp: usize,
+        layers: usize,
+        hidden: usize,
+        heads: usize,
+        ff: usize,
+        vocab: usize,
+        seq: usize,
+        spec: String,
+        wire_dtype: String,
+        max_batch: usize,
+        batch_window_us: u64,
+        depth: usize,
+        requests: usize,
+        clients: usize,
+        open_rate_req_per_s: f64,
+    }
+    #[derive(serde::Serialize)]
+    struct BenchDoc {
+        config: BenchConfig,
+        serial: actcomp_runtime::LoadReport,
+        batched: actcomp_runtime::LoadReport,
+        open: actcomp_runtime::LoadReport,
+        speedup_batched_vs_serial: f64,
+        batches: usize,
+        batch_hist: Vec<usize>,
+        report: Option<actcomp_runtime::RuntimeReport>,
+    }
+    let doc = BenchDoc {
+        config: BenchConfig {
+            backend: backend.clone(),
+            transport: transport.clone(),
+            tp,
+            pp,
+            layers,
+            hidden,
+            heads,
+            ff,
+            vocab,
+            seq,
+            spec: spec.label().to_string(),
+            wire_dtype: wire.clone(),
+            max_batch,
+            batch_window_us: window_us,
+            depth,
+            requests,
+            clients,
+            open_rate_req_per_s: open_rate,
+        },
+        serial: serial_lr,
+        batched: batched_lr,
+        open: open_lr,
+        speedup_batched_vs_serial: speedup,
+        batches: batched_stats.batches,
+        batch_hist: batched_stats.batch_hist.clone(),
+        report: phase,
+    };
+    match std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("serialize")) {
+        Ok(()) => println!("[bench written to {out}]"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+}
+
 /// FNV-1a 64 over the little-endian `f32` bytes of every gradient, in
 /// the serial executor's parameter visit order.
 ///
@@ -597,6 +990,14 @@ fn grads_fnv(grads: &[actcomp_tensor::Tensor]) -> u64 {
 /// arrives via the `ACTCOMP_WORKER_CFG` environment variable, the seed
 /// and topology via flags so `u64` values never round-trip through JSON.
 fn worker(args: &Args) {
+    // Serving propagates the wire dtype to workers via the environment
+    // (it is process-global state, not part of the run config JSON).
+    if let Some(wd) = std::env::var("ACTCOMP_WIRE_DTYPE")
+        .ok()
+        .and_then(|v| actcomp_runtime::WireDtype::parse(&v))
+    {
+        actcomp_runtime::set_wire_dtype(wd);
+    }
     let required = |key: &str| -> &str {
         args.raw(key).unwrap_or_else(|| {
             eprintln!("error: worker needs --{key} (spawned by `run --backend procs`)");

@@ -55,6 +55,7 @@ pub mod memory;
 pub mod pipeline;
 pub mod plan;
 pub mod schedule;
+pub mod sweep;
 pub mod topology;
 pub mod workload;
 
@@ -63,4 +64,5 @@ pub use iteration::{simulate_iteration, IterationBreakdown, TrainSetup};
 pub use pipeline::{simulate_gpipe, PipelineResult};
 pub use plan::CompressionPlan;
 pub use schedule::simulate_1f1b;
+pub use sweep::{par_grid, par_map};
 pub use topology::{Parallelism, TopologyError};

@@ -1,0 +1,92 @@
+//! The parallel sweep must be indistinguishable from the serial one.
+//!
+//! Grid points are independent pure functions of their `TrainSetup`, so
+//! fanning them across the kernel pool may change wall-clock time but
+//! never a single bit of the output. This pins the ROADMAP's
+//! "parallelize the sweeps" step to an exact-equality contract: the same
+//! `(tp, pp) x spec` grid the paper-table regenerators walk, evaluated
+//! serially and through `par_map` at several pool sizes, must produce
+//! identical `IterationBreakdown`s in identical order.
+
+use actcomp_compress::cost::CostModel;
+use actcomp_compress::spec::CompressorSpec;
+use actcomp_distsim::workload::ModelShape;
+use actcomp_distsim::{
+    calibration, par_grid, par_map, simulate_iteration, ClusterSpec, CompressionPlan,
+    IterationBreakdown, Parallelism, TrainSetup,
+};
+use actcomp_tensor::pool::set_threads;
+
+fn setup(tp: usize, pp: usize, spec: CompressorSpec) -> TrainSetup {
+    let plan = if spec == CompressorSpec::Baseline {
+        CompressionPlan::none()
+    } else {
+        CompressionPlan::last_layers(spec, 24, 12)
+    };
+    TrainSetup {
+        model: ModelShape::bert_large(),
+        seq: 512,
+        micro_batch: 32,
+        num_micro_batches: 1,
+        parallelism: Parallelism::new(tp, pp),
+        cluster: ClusterSpec::local_no_nvlink(),
+        gpu: calibration::v100_finetune(),
+        plan,
+        cost: CostModel::v100(),
+    }
+}
+
+fn grid() -> Vec<TrainSetup> {
+    let mut points = Vec::new();
+    for &(tp, pp) in &[(1, 1), (2, 1), (1, 2), (2, 2), (4, 1), (1, 4)] {
+        for &spec in &[
+            CompressorSpec::Baseline,
+            CompressorSpec::A1,
+            CompressorSpec::T2,
+            CompressorSpec::R3,
+        ] {
+            points.push(setup(tp, pp, spec));
+        }
+    }
+    points
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let points = grid();
+    let serial: Vec<IterationBreakdown> = points.iter().map(simulate_iteration).collect();
+    for threads in [1, 2, 3, 8] {
+        set_threads(threads);
+        let par = par_map(&points, simulate_iteration);
+        assert_eq!(
+            par, serial,
+            "sweep results diverged from the serial walk at pool size {threads}"
+        );
+    }
+    set_threads(1);
+}
+
+#[test]
+fn par_grid_walks_the_axes_in_nested_loop_order() {
+    set_threads(4);
+    let tps = [1usize, 2];
+    let pps = [1usize, 2];
+    let got = par_grid(&tps, &pps, |tp, pp| {
+        simulate_iteration(&setup(tp, pp, CompressorSpec::A1)).total_ms
+    });
+    set_threads(1);
+    let mut i = 0;
+    for &tp in &tps {
+        for &pp in &pps {
+            let (gtp, gpp, ms) = got[i];
+            assert_eq!((gtp, gpp), (tp, pp), "grid order must match the loops");
+            let want = simulate_iteration(&setup(tp, pp, CompressorSpec::A1)).total_ms;
+            assert!(
+                ms.to_bits() == want.to_bits(),
+                "point ({tp},{pp}) diverged: {ms} vs {want}"
+            );
+            i += 1;
+        }
+    }
+    assert_eq!(i, got.len());
+}

@@ -459,6 +459,41 @@ impl RankLayer {
         dx
     }
 
+    /// Drops every cached forward activation without running backward —
+    /// the forward-only serving path's per-batch cleanup. All cache
+    /// tensors are recycled into the workspace arena, so serving a
+    /// stream of requests reuses the same buffers instead of growing
+    /// the cache stack forever.
+    pub fn clear_caches(&mut self, ws: &mut Workspace) {
+        for c in self.caches.drain(..) {
+            let LayerCache {
+                x,
+                q,
+                k,
+                v,
+                probs,
+                ctx,
+                h1,
+                h,
+                act,
+                ln1c,
+                ln2c,
+                ..
+            } = c;
+            for t in [x, q, k, v, ctx, h1, h, act] {
+                ws.recycle_tensor(t);
+            }
+            for t in probs {
+                ws.recycle_tensor(t);
+            }
+            for cache in [ln1c, ln2c] {
+                let (xhat, inv_std) = cache.into_parts();
+                ws.recycle_tensor(xhat);
+                ws.recycle_tensor(inv_std);
+            }
+        }
+    }
+
     /// Ring-syncs this layer's compressor-parameter gradients (the
     /// threaded counterpart of the serial `sync_compressor_grads`).
     pub fn sync_compressor_grads(&mut self, tp: &mut TpGroup, timers: &mut PhaseTimers) {

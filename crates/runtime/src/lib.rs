@@ -77,6 +77,7 @@ pub mod procs;
 mod rank;
 pub mod report;
 mod runtime;
+pub mod serve;
 pub mod shard;
 pub mod supervisor;
 mod trace;
@@ -91,5 +92,10 @@ pub use procs::{run_worker, ProcsError, ProcsOptions, ProcsRuntime, WorkerArgs};
 pub use rank::RankGrads;
 pub use report::{PhaseTimers, RankReport, RuntimeReport};
 pub use runtime::ThreadedRuntime;
+pub use serve::{
+    run_load, Arrival, LoadConfig, LoadReport, ServeBackend, ServeConfig, ServeEngine, ServeError,
+    ServeHandle, ServeStats, Ticket,
+};
 pub use shard::ShardError;
 pub use supervisor::{supervise, RecoveryEvent, RecoveryTrace, SuperviseOptions};
+pub use wire::{set_wire_dtype, wire_dtype, WireDtype};

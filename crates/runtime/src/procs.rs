@@ -640,6 +640,57 @@ impl ProcsRuntime {
         })
     }
 
+    /// Dispatches a forward-only inference pass over a coalesced
+    /// request batch (one micro-batch per request) without waiting for
+    /// the result — the process-mode half of the serving engine's
+    /// continuous-batching overlap. Pair with [`Self::infer_wait`].
+    pub fn infer_submit(
+        &mut self,
+        ids: &[usize],
+        nreq: usize,
+        seq: usize,
+    ) -> Result<(), ProcsError> {
+        if nreq == 0 {
+            return Err(ProcsError::Config(RuntimeError::ZeroMicroBatches));
+        }
+        if ids.len() != nreq * seq {
+            return Err(ProcsError::Config(RuntimeError::IdsLengthMismatch {
+                len: ids.len(),
+                batch: nreq,
+                seq,
+            }));
+        }
+        self.broadcast(&Command::Infer {
+            ids: ids.to_vec(),
+            batch: nreq,
+            seq,
+            micro: nreq,
+        })
+    }
+
+    /// Collects the result of the oldest outstanding
+    /// [`Self::infer_submit`]. A worker that dies or goes silent
+    /// mid-batch surfaces as a typed [`ProcsError::WorkerLost`] /
+    /// [`ProcsError::RankTimeout`] within the liveness window — serving
+    /// never hangs on a dead rank.
+    pub fn infer_wait(&mut self) -> Result<Tensor, ProcsError> {
+        let mut out = None;
+        for resp in self.collect()? {
+            if let Response::Output { y } = resp {
+                out = Some(y);
+            }
+        }
+        out.ok_or_else(|| ProcsError::Protocol {
+            detail: "no rank produced an inference output".to_string(),
+        })
+    }
+
+    /// [`Self::infer_submit`] + [`Self::infer_wait`] in one call.
+    pub fn infer(&mut self, ids: &[usize], nreq: usize, seq: usize) -> Result<Tensor, ProcsError> {
+        self.infer_submit(ids, nreq, seq)?;
+        self.infer_wait()
+    }
+
     /// Runs the pipelined backward pass from the gradient of the final
     /// hidden states.
     pub fn backward(&mut self, dhidden: &Tensor) -> Result<(), ProcsError> {
@@ -913,7 +964,9 @@ pub fn run_worker(args: WorkerArgs) -> Result<(), ProcsError> {
                 })
             }
         };
-        if matches!(cmd, Command::Forward { .. }) {
+        // Both step-starting commands count towards the kill-at fault:
+        // training forwards and serving inference batches.
+        if matches!(cmd, Command::Forward { .. } | Command::Infer { .. }) {
             if Some(forwards_seen) == kill_at {
                 // The injected crash: vanish mid-step without any
                 // shutdown, exactly like a SIGKILLed worker.

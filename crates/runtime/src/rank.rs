@@ -70,6 +70,20 @@ pub(crate) enum Command {
         /// Config hash the shard must carry.
         tag: u64,
     },
+    /// Forward-only inference over a coalesced request batch: one
+    /// micro-batch per request (`micro` of them, overriding the
+    /// configured training micro-batch count), no caches retained.
+    Infer {
+        /// Token ids for the whole request batch, request-major.
+        ids: Vec<usize>,
+        /// Requests in the batch.
+        batch: usize,
+        /// Tokens per request.
+        seq: usize,
+        /// Micro-batch count for this batch (the request count: each
+        /// request pipelines through the stages independently).
+        micro: usize,
+    },
 }
 
 impl WireMsg for Command {
@@ -108,6 +122,21 @@ impl WireMsg for Command {
                 put_string(out, dir);
                 put_usize(out, *step);
                 crate::wire::put_u64(out, *tag);
+            }
+            Command::Infer {
+                ids,
+                batch,
+                seq,
+                micro,
+            } => {
+                put_u8(out, 10);
+                put_usize(out, ids.len());
+                for &id in ids {
+                    put_usize(out, id);
+                }
+                put_usize(out, *batch);
+                put_usize(out, *seq);
+                put_usize(out, *micro);
             }
         }
     }
@@ -152,6 +181,24 @@ impl WireMsg for Command {
                 step: r.read_usize("restore step")?,
                 tag: r.read_u64("restore tag")?,
             },
+            10 => {
+                let n = r.read_usize("infer id count")?;
+                if n > 1 << 28 {
+                    return Err(WireError {
+                        what: "infer id count",
+                    });
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.read_usize("infer id")?);
+                }
+                Command::Infer {
+                    ids,
+                    batch: r.read_usize("infer batch")?,
+                    seq: r.read_usize("infer seq")?,
+                    micro: r.read_usize("infer micro")?,
+                }
+            }
             _ => {
                 return Err(WireError {
                     what: "command tag",
@@ -349,6 +396,17 @@ impl EmbeddingStage {
         ws.recycle_tensor(demb);
     }
 
+    /// Drops every cached forward without running backward — the
+    /// forward-only serving path's per-batch cleanup. LN cache tensors
+    /// go back to the arena.
+    fn clear_caches(&mut self, ws: &mut Workspace) {
+        for (_, _, cache) in self.caches.drain(..) {
+            let (xhat, inv_std) = cache.into_parts();
+            ws.recycle_tensor(xhat);
+            ws.recycle_tensor(inv_std);
+        }
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
         self.tok.visit_params(f);
         self.pos.visit_params(f);
@@ -507,6 +565,12 @@ impl RankWorker {
                     self.load_shard(std::path::Path::new(&dir), step, tag);
                     self.done();
                 }
+                Command::Infer {
+                    ids,
+                    batch,
+                    seq,
+                    micro,
+                } => self.infer(&ids, batch, seq, micro),
             }
         }
     }
@@ -600,16 +664,45 @@ impl RankWorker {
     /// GPipe fill: run this stage's forwards in the shared schedule's
     /// micro-batch order.
     fn forward(&mut self, ids: &[usize], batch: usize, seq: usize) {
+        let m = self.micro_batches;
+        self.run_forward(ids, batch, seq, m);
+        self.respond_forward_output();
+    }
+
+    /// Forward-only pass over a coalesced request batch: `micro`
+    /// micro-batches (one per request) instead of the configured
+    /// training count, with every activation cache dropped afterwards —
+    /// no backward follows, and serving must not grow memory per
+    /// request.
+    fn infer(&mut self, ids: &[usize], batch: usize, seq: usize, micro: usize) {
+        self.run_forward(ids, batch, seq, micro);
+        for layer in &mut self.layers {
+            layer.clear_caches(&mut self.ws);
+        }
+        if let Some(emb) = self.embedding.as_mut() {
+            emb.clear_caches(&mut self.ws);
+        }
+        self.respond_forward_output();
+    }
+
+    /// Shared fill body for `forward` and `infer`: reset per-step
+    /// ordinals, then run the schedule with `m` micro-batches.
+    fn run_forward(&mut self, ids: &[usize], batch: usize, seq: usize, m: usize) {
         // A forward command starts a new step: collective and broadcast
         // ordinals restart so traces match the per-step static graph.
         self.tp.reset_step();
         self.bcast_seq = 0;
         self.fwd_out.clear();
         if self.overlap_boundaries() {
-            self.forward_overlapped(ids, batch, seq);
+            self.forward_overlapped(ids, batch, seq, m);
         } else {
-            self.forward_inline(ids, batch, seq);
+            self.forward_inline(ids, batch, seq, m);
         }
+    }
+
+    /// The last stage's rank 0 answers a fill with the concatenated
+    /// hidden states; everyone else just acks.
+    fn respond_forward_output(&mut self) {
         if self.is_last_stage() && self.tpi == 0 {
             let parts: Vec<&Tensor> = self.fwd_out.iter().collect();
             self.respond(Response::Output {
@@ -666,8 +759,7 @@ impl RankWorker {
     /// Inline forward path: boundary receives/decodes and encode/sends
     /// run on this thread, interleaved with compute (required under
     /// tracing, and what every non-boundary rank runs).
-    fn forward_inline(&mut self, ids: &[usize], batch: usize, seq: usize) {
-        let m = self.micro_batches;
+    fn forward_inline(&mut self, ids: &[usize], batch: usize, seq: usize, m: usize) {
         let mb_batch = batch / m;
         let order = gpipe_order(self.pp, m, self.stage);
         for op in order.into_iter().filter(|o| !o.backward) {
@@ -725,8 +817,7 @@ impl RankWorker {
     /// and encodes/sends behind it. Compressor call order is unchanged
     /// (both hand-offs are FIFO in micro-batch order), so results are
     /// bitwise identical to the inline path.
-    fn forward_overlapped(&mut self, ids: &[usize], batch: usize, seq: usize) {
-        let m = self.micro_batches;
+    fn forward_overlapped(&mut self, ids: &[usize], batch: usize, seq: usize, m: usize) {
         let mb_batch = batch / m;
         let order = gpipe_order(self.pp, m, self.stage);
         let fwd_mbs: Vec<usize> = order

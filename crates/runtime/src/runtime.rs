@@ -237,7 +237,7 @@ impl<'a> WorkerBuilder<'a> {
 /// [`CompressionPlan::none`]: actcomp_compress::plan::CompressionPlan::none
 pub struct ThreadedRuntime {
     cmd_txs: Vec<Sender<Command>>,
-    resp_rx: Receiver<Response>,
+    resp_rxs: Vec<Receiver<Response>>,
     handles: Vec<JoinHandle<()>>,
     cfg: RuntimeConfig,
     /// Transports backing the rank links in [`Self::with_transports`]
@@ -349,13 +349,20 @@ impl ThreadedRuntime {
         let seeds = Seeds::draw(&cfg, rng);
         let builder = WorkerBuilder::new(serial, &cfg, seeds);
 
-        let (resp_tx, resp_rx) = channel::<Response>();
+        // One response channel per rank: each rank's stream is FIFO in
+        // its own command order, so overlapped commands (the serving
+        // engine keeps up to `depth` inference batches in flight) demux
+        // correctly — a shared channel would interleave a fast stage's
+        // batch-N+1 response ahead of the last stage's batch-N output.
+        let mut resp_rxs = Vec::with_capacity(world);
         let mut cmd_txs = Vec::with_capacity(world);
         let mut handles = Vec::with_capacity(world);
         for (rank, rank_links) in links.into_iter().enumerate() {
             let (cmd_tx, cmd_rx) = channel::<Command>();
             cmd_txs.push(cmd_tx);
-            let worker = builder.build(rank, rank_links, cmd_rx, resp_tx.clone());
+            let (resp_tx, resp_rx) = channel::<Response>();
+            resp_rxs.push(resp_rx);
+            let worker = builder.build(rank, rank_links, cmd_rx, resp_tx);
             let handle = std::thread::Builder::new()
                 .name(format!("actcomp-rank-{rank}"))
                 .spawn(move || worker.run())
@@ -365,7 +372,7 @@ impl ThreadedRuntime {
 
         Ok(ThreadedRuntime {
             cmd_txs,
-            resp_rx,
+            resp_rxs,
             handles,
             cfg,
             transports,
@@ -388,10 +395,14 @@ impl ThreadedRuntime {
         }
     }
 
-    /// Collects one response per rank, returning them unordered.
+    /// Collects one response per rank for the oldest outstanding
+    /// command. Per-rank channels keep this correct even with several
+    /// commands in flight: rank `r`'s next response always belongs to
+    /// its oldest unanswered command.
     fn collect(&self) -> Vec<Response> {
-        (0..self.cmd_txs.len())
-            .map(|_| self.resp_rx.recv().expect("rank thread hung up"))
+        self.resp_rxs
+            .iter()
+            .map(|rx| rx.recv().expect("rank thread hung up"))
             .collect()
     }
 
@@ -442,6 +453,79 @@ impl ThreadedRuntime {
             }
         }
         Ok(out.expect("last stage produced an output"))
+    }
+
+    /// Validates and dispatches a forward-only inference pass over a
+    /// coalesced request batch of `nreq` requests of `seq` tokens each
+    /// (`ids.len() == nreq * seq`, request-major) without waiting for
+    /// the result. Each request runs as its own micro-batch, so the
+    /// arithmetic per request is identical to submitting it alone —
+    /// batching changes throughput, not bits.
+    ///
+    /// Pair every submit with exactly one [`Self::infer_wait`]. Because
+    /// command channels buffer, a second batch can be submitted while
+    /// the first computes: the ranks start it the moment their part of
+    /// the previous batch retires, which is what keeps the pipeline full
+    /// across batch boundaries (continuous batching).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::IdsLengthMismatch`], [`RuntimeError::SeqTooLong`],
+    /// and [`RuntimeError::ZeroMicroBatches`] if `nreq == 0`. Nothing is
+    /// dispatched on any error.
+    pub fn infer_submit(
+        &mut self,
+        ids: &[usize],
+        nreq: usize,
+        seq: usize,
+    ) -> Result<(), RuntimeError> {
+        if nreq == 0 {
+            return Err(RuntimeError::ZeroMicroBatches);
+        }
+        if ids.len() != nreq * seq {
+            return Err(RuntimeError::IdsLengthMismatch {
+                len: ids.len(),
+                batch: nreq,
+                seq,
+            });
+        }
+        if seq > self.cfg.mp.bert.max_seq {
+            return Err(RuntimeError::SeqTooLong {
+                seq,
+                max_seq: self.cfg.mp.bert.max_seq,
+            });
+        }
+        self.broadcast(Command::Infer {
+            ids: ids.to_vec(),
+            batch: nreq,
+            seq,
+            micro: nreq,
+        });
+        Ok(())
+    }
+
+    /// Collects the result of the oldest outstanding
+    /// [`Self::infer_submit`]: the final hidden states
+    /// `[nreq · seq, hidden]`, request-major.
+    pub fn infer_wait(&mut self) -> Result<Tensor, RuntimeError> {
+        let mut out = None;
+        for resp in self.collect() {
+            if let Response::Output { y } = resp {
+                out = Some(y);
+            }
+        }
+        Ok(out.expect("last stage produced an output"))
+    }
+
+    /// [`Self::infer_submit`] + [`Self::infer_wait`] in one call.
+    pub fn infer(
+        &mut self,
+        ids: &[usize],
+        nreq: usize,
+        seq: usize,
+    ) -> Result<Tensor, RuntimeError> {
+        self.infer_submit(ids, nreq, seq)?;
+        self.infer_wait()
     }
 
     /// Runs the pipelined backward pass from the gradient of the final

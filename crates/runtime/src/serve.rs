@@ -1,0 +1,704 @@
+//! Forward-only inference serving with continuous request batching.
+//!
+//! The serving engine keeps the rank workers of a [`ThreadedRuntime`]
+//! or [`ProcsRuntime`] resident across requests — no per-request spawn
+//! or rendezvous — and puts an admission queue in front of them:
+//!
+//! - clients submit fixed-length requests through a cloneable
+//!   [`ServeHandle`] and get back a [`Ticket`] they can wait on;
+//! - a dispatcher thread coalesces queued requests into engine batches
+//!   of up to [`ServeConfig::max_batch`] requests, waiting at most
+//!   [`ServeConfig::batch_window`] to fill a batch beyond the first
+//!   arrival;
+//! - each request runs as its **own micro-batch** of the GPipe fill, so
+//!   the per-request arithmetic — every GEMM shape, every collective,
+//!   every compressor call — is identical to running the request alone.
+//!   Batching changes throughput, not bits (test-enforced);
+//! - with [`ServeConfig::depth`] ≥ 2 the dispatcher submits the next
+//!   batch while the current one computes (command channels buffer), so
+//!   stage 0 starts batch *N + 1* the moment its last micro-batch of
+//!   batch *N* retires instead of waiting for the whole pipeline to
+//!   drain — new arrivals enter at micro-batch boundaries, which is
+//!   what makes the batching *continuous*.
+//!
+//! Failures are typed, never hangs: a dead or silent rank in a procs
+//! backend surfaces through the PR 8 liveness machinery
+//! ([`ProcsError::WorkerLost`] / [`ProcsError::RankTimeout`]) and fails
+//! every in-flight and queued ticket with a [`ServeError`] carrying the
+//! same information.
+//!
+//! The module also ships the synthetic load generator behind
+//! `actcomp serve --bench`: closed-loop (a fixed set of clients, each
+//! submitting its next request when the previous completes) and
+//! open-loop (fixed-rate arrivals independent of completions) drivers
+//! that measure throughput and p50/p95/p99 latency.
+//!
+//! One sharp edge worth stating: with error feedback enabled the
+//! boundary compressors carry residual state across calls, so outputs
+//! depend on the order requests reach the compressor — still
+//! deterministic for a fixed arrival order, but not independent of
+//! batching history the way stateless codecs are.
+//!
+//! [`ProcsError::WorkerLost`]: crate::ProcsError::WorkerLost
+//! [`ProcsError::RankTimeout`]: crate::ProcsError::RankTimeout
+
+use crate::config::{RuntimeConfig, RuntimeError};
+use crate::procs::{ProcsError, ProcsRuntime};
+use crate::report::RuntimeReport;
+use crate::runtime::ThreadedRuntime;
+use actcomp_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The execution engine a [`ServeEngine`] dispatches to.
+pub enum ServeBackend {
+    /// Rank threads in this process — over typed channels or any
+    /// [`Transport`](actcomp_net::Transport) set (mpsc/uds/tcp).
+    Threads(ThreadedRuntime),
+    /// One OS process per rank (control-socket rendezvous, heartbeat
+    /// liveness, typed worker-loss errors).
+    Procs(ProcsRuntime),
+}
+
+impl ServeBackend {
+    fn config(&self) -> &RuntimeConfig {
+        match self {
+            ServeBackend::Threads(rt) => rt.config(),
+            ServeBackend::Procs(rt) => rt.config(),
+        }
+    }
+
+    fn infer_submit(&mut self, ids: &[usize], nreq: usize, seq: usize) -> Result<(), ServeError> {
+        match self {
+            ServeBackend::Threads(rt) => rt.infer_submit(ids, nreq, seq).map_err(ServeError::from),
+            ServeBackend::Procs(rt) => rt.infer_submit(ids, nreq, seq).map_err(ServeError::from),
+        }
+    }
+
+    fn infer_wait(&mut self) -> Result<Tensor, ServeError> {
+        match self {
+            ServeBackend::Threads(rt) => rt.infer_wait().map_err(ServeError::from),
+            ServeBackend::Procs(rt) => rt.infer_wait().map_err(ServeError::from),
+        }
+    }
+
+    fn report(&mut self) -> Option<RuntimeReport> {
+        match self {
+            ServeBackend::Threads(rt) => Some(rt.report()),
+            ServeBackend::Procs(rt) => rt.report().ok(),
+        }
+    }
+}
+
+/// Typed serving failures. Cloneable so one backend failure can fail
+/// every affected ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request itself is malformed (wrong token count).
+    BadRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The engine has shut down (or died) and accepts no more requests.
+    Stopped,
+    /// A rank worker process died mid-request (closed control
+    /// connection; [`crate::ProcsError::WorkerLost`]).
+    WorkerLost {
+        /// The lost worker's rank, when known.
+        rank: Option<usize>,
+        /// What the dispatcher was doing.
+        detail: String,
+    },
+    /// A rank went silent past the liveness window
+    /// ([`crate::ProcsError::RankTimeout`]).
+    RankTimeout {
+        /// The silent rank.
+        rank: usize,
+        /// The error rendering (window duration included).
+        detail: String,
+    },
+    /// Any other backend failure (config, transport, protocol).
+    Backend {
+        /// The underlying error rendering.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Stopped => write!(f, "serving engine stopped"),
+            ServeError::WorkerLost { rank, detail } => match rank {
+                Some(r) => write!(f, "serving worker {r} lost: {detail}"),
+                None => write!(f, "serving worker lost: {detail}"),
+            },
+            ServeError::RankTimeout { rank, detail } => {
+                write!(f, "serving rank {rank} timed out: {detail}")
+            }
+            ServeError::Backend { detail } => write!(f, "serving backend: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        ServeError::Backend {
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl From<ProcsError> for ServeError {
+    fn from(e: ProcsError) -> Self {
+        match e {
+            ProcsError::WorkerLost { rank, detail } => ServeError::WorkerLost { rank, detail },
+            ProcsError::RankTimeout { rank, .. } => ServeError::RankTimeout {
+                rank,
+                detail: e.to_string(),
+            },
+            other => ServeError::Backend {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Admission-queue and batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one engine batch.
+    pub max_batch: usize,
+    /// How long the dispatcher waits to fill a batch beyond the first
+    /// queued request. Zero dispatches whatever is queued immediately.
+    pub batch_window: Duration,
+    /// Engine batches in flight at once. `2` overlaps admission of the
+    /// next batch with the current one (continuous batching); `1`
+    /// drains each batch before dispatching the next — the
+    /// one-batch-at-a-time baseline the bench compares against.
+    pub depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            batch_window: Duration::from_micros(200),
+            depth: 2,
+        }
+    }
+}
+
+/// Counters the dispatcher keeps while serving.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct ServeStats {
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests failed with a typed error.
+    pub failed: usize,
+    /// Engine batches dispatched.
+    pub batches: usize,
+    /// `batch_hist[i]` = batches that coalesced exactly `i + 1`
+    /// requests.
+    pub batch_hist: Vec<usize>,
+}
+
+impl ServeStats {
+    fn record_batch(&mut self, n: usize) {
+        self.batches += 1;
+        if self.batch_hist.len() < n {
+            self.batch_hist.resize(n, 0);
+        }
+        self.batch_hist[n - 1] += 1;
+    }
+}
+
+/// One queued request.
+struct Request {
+    ids: Vec<usize>,
+    reply: Sender<Result<(Tensor, Instant), ServeError>>,
+}
+
+/// What flows down the admission queue. `Stop` is the engine's own
+/// shutdown sentinel: it lets [`ServeEngine::finish`] terminate the
+/// dispatcher even while client [`ServeHandle`] clones are still alive
+/// (requests enqueued before the sentinel are still served — the
+/// channel is FIFO).
+enum Msg {
+    Req(Request),
+    Stop,
+}
+
+/// A submitted request's receipt: wait on it for the final hidden
+/// states `[seq, hidden]` or a typed error.
+pub struct Ticket {
+    rx: Receiver<Result<(Tensor, Instant), ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.wait_at().map(|(y, _)| y)
+    }
+
+    /// Blocks until the request completes, returning the instant the
+    /// dispatcher finished it (latency measured at completion, not at
+    /// whenever the caller got around to receiving).
+    pub fn wait_at(self) -> Result<(Tensor, Instant), ServeError> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            // The dispatcher dropped the reply sender without answering
+            // (engine torn down mid-request).
+            Err(_) => Err(ServeError::Stopped),
+        }
+    }
+}
+
+/// A cloneable submission handle: many client threads can feed the same
+/// admission queue.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: Sender<Msg>,
+    seq: usize,
+}
+
+impl ServeHandle {
+    /// Submits one request of exactly `seq` token ids; returns its
+    /// ticket immediately. Malformed requests fail the ticket without
+    /// touching the queue.
+    pub fn submit(&self, ids: Vec<usize>) -> Ticket {
+        let (reply, rx) = channel();
+        if ids.len() != self.seq {
+            let _ = reply.send(Err(ServeError::BadRequest {
+                detail: format!("{} token ids for a {}-token request", ids.len(), self.seq),
+            }));
+        } else {
+            // If the dispatcher is gone (engine finished or died) the
+            // message — and with it the reply sender — is dropped, and
+            // the ticket reads as Stopped.
+            let _ = self.tx.send(Msg::Req(Request { ids, reply }));
+        }
+        Ticket { rx }
+    }
+
+    /// Tokens per request this engine serves.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+}
+
+/// The serving engine: resident rank workers behind an admission queue
+/// with continuous request batching. See the module docs for the
+/// queueing semantics.
+pub struct ServeEngine {
+    tx: Option<Sender<Msg>>,
+    dispatcher: Option<JoinHandle<ServeBackend>>,
+    stats: Arc<Mutex<ServeStats>>,
+    seq: usize,
+}
+
+impl ServeEngine {
+    /// Starts serving on `backend`. The backend should be built
+    /// forward-only: `micro_batches = 1` and `tokens = seq`, so the
+    /// boundary/collective compressors are sized for exactly one
+    /// request's activation — the serving micro-batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for a zero `max_batch` or `depth`.
+    pub fn start(backend: ServeBackend, cfg: ServeConfig) -> Result<ServeEngine, ServeError> {
+        if cfg.max_batch == 0 || cfg.depth == 0 {
+            return Err(ServeError::BadRequest {
+                detail: "max_batch and depth must be at least 1".to_string(),
+            });
+        }
+        let rc = backend.config();
+        let seq = rc.mp.tokens / rc.micro_batches;
+        let stats = Arc::new(Mutex::new(ServeStats::default()));
+        let (tx, rx) = channel::<Msg>();
+        let stats2 = Arc::clone(&stats);
+        let dispatcher = std::thread::Builder::new()
+            .name("actcomp-serve".to_string())
+            .spawn(move || dispatch(backend, cfg, seq, rx, stats2))
+            .expect("spawn serve dispatcher");
+        Ok(ServeEngine {
+            tx: Some(tx),
+            dispatcher: Some(dispatcher),
+            stats,
+            seq,
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            tx: self.tx.as_ref().expect("engine running").clone(),
+            seq: self.seq,
+        }
+    }
+
+    /// Tokens per request this engine serves.
+    pub fn seq(&self) -> usize {
+        self.seq
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Stops admission, drains every request queued before this call
+    /// plus everything in flight, and returns the final counters plus
+    /// the backend's per-rank phase report (`None` if the dispatcher
+    /// died, e.g. a threads-backend rank panicked). Outstanding
+    /// `ServeHandle` clones keep working until their tickets resolve;
+    /// submissions racing past `finish` read as [`ServeError::Stopped`].
+    pub fn finish(mut self) -> (ServeStats, Option<RuntimeReport>) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Stop);
+        }
+        let report = match self.dispatcher.take().expect("dispatcher running").join() {
+            Ok(mut backend) => backend.report(),
+            Err(_) => None,
+        };
+        let stats = self.stats.lock().expect("stats lock").clone();
+        (stats, report)
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Stop);
+        }
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+/// The dispatcher body: admit → submit → retire, keeping up to
+/// `cfg.depth` engine batches in flight.
+fn dispatch(
+    mut backend: ServeBackend,
+    cfg: ServeConfig,
+    seq: usize,
+    rx: Receiver<Msg>,
+    stats: Arc<Mutex<ServeStats>>,
+) -> ServeBackend {
+    let mut inflight: VecDeque<Vec<Request>> = VecDeque::new();
+    let mut closed = false;
+
+    loop {
+        // Admit while there is capacity and demand. Block only when
+        // nothing is in flight — with work computing, a missing next
+        // batch costs nothing, so only take what is already queued.
+        while !closed && inflight.len() < cfg.depth {
+            let mut batch: Vec<Request> = Vec::new();
+            if inflight.is_empty() {
+                match rx.recv() {
+                    Ok(Msg::Req(r)) => batch.push(r),
+                    Ok(Msg::Stop) | Err(_) => {
+                        closed = true;
+                        break;
+                    }
+                }
+            }
+            // Coalesce: wait up to the batch window for followers once
+            // a first request is in hand; with batches computing, just
+            // drain what is queued without waiting.
+            let deadline = Instant::now() + cfg.batch_window;
+            while batch.len() < cfg.max_batch && !closed {
+                let next = if batch.is_empty() {
+                    match rx.try_recv() {
+                        Ok(m) => Some(m),
+                        Err(TryRecvError::Empty) => None,
+                        Err(TryRecvError::Disconnected) => {
+                            closed = true;
+                            None
+                        }
+                    }
+                } else {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        None
+                    } else {
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(m) => Some(m),
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                                closed = true;
+                                None
+                            }
+                        }
+                    }
+                };
+                match next {
+                    Some(Msg::Req(r)) => batch.push(r),
+                    Some(Msg::Stop) => closed = true,
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let ids: Vec<usize> = batch.iter().flat_map(|r| r.ids.iter().copied()).collect();
+            match backend.infer_submit(&ids, batch.len(), seq) {
+                Ok(()) => {
+                    stats.lock().expect("stats lock").record_batch(batch.len());
+                    inflight.push_back(batch);
+                }
+                Err(e) => {
+                    fail_batch(batch, &e, &stats);
+                    while let Some(b) = inflight.pop_front() {
+                        let _ = backend.infer_wait();
+                        fail_batch(b, &e, &stats);
+                    }
+                    return answer_until_stop(rx, e, backend, &stats);
+                }
+            }
+        }
+
+        // Retire the oldest in-flight batch: split the request-major
+        // output rows back onto the tickets.
+        if let Some(batch) = inflight.pop_front() {
+            match backend.infer_wait() {
+                Ok(y) => {
+                    let done = Instant::now();
+                    let mut st = stats.lock().expect("stats lock");
+                    for (i, r) in batch.into_iter().enumerate() {
+                        let rows = y.slice_rows(i * seq, (i + 1) * seq);
+                        st.completed += 1;
+                        let _ = r.reply.send(Ok((rows, done)));
+                    }
+                }
+                Err(e) => {
+                    // Everything else in flight shares the dead world.
+                    fail_batch(batch, &e, &stats);
+                    while let Some(b) = inflight.pop_front() {
+                        fail_batch(b, &e, &stats);
+                    }
+                    return answer_until_stop(rx, e, backend, &stats);
+                }
+            }
+        } else if closed {
+            return backend;
+        }
+    }
+}
+
+/// After a fatal backend error the dispatcher keeps answering incoming
+/// requests with the typed error until the engine is told to stop (or
+/// every handle is gone) — clients must never hang on a dead world.
+fn answer_until_stop(
+    rx: Receiver<Msg>,
+    e: ServeError,
+    backend: ServeBackend,
+    stats: &Arc<Mutex<ServeStats>>,
+) -> ServeBackend {
+    loop {
+        match rx.recv() {
+            Ok(Msg::Req(r)) => {
+                stats.lock().expect("stats lock").failed += 1;
+                let _ = r.reply.send(Err(e.clone()));
+            }
+            Ok(Msg::Stop) | Err(_) => return backend,
+        }
+    }
+}
+
+fn fail_batch(batch: Vec<Request>, e: &ServeError, stats: &Arc<Mutex<ServeStats>>) {
+    let mut st = stats.lock().expect("stats lock");
+    for r in batch {
+        st.failed += 1;
+        let _ = r.reply.send(Err(e.clone()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synthetic load generation
+// ---------------------------------------------------------------------
+
+/// Arrival process for the synthetic load generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// `clients` concurrent loops, each submitting its next request the
+    /// moment the previous one completes — measures saturated
+    /// throughput.
+    Closed {
+        /// Concurrent client loops.
+        clients: usize,
+    },
+    /// Arrivals at a fixed rate (requests per second), independent of
+    /// completions — measures latency under a target offered load.
+    Open {
+        /// Offered load in requests per second.
+        rate: f64,
+    },
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Vocabulary size for the synthetic token ids.
+    pub vocab: usize,
+    /// Seed for the synthetic request streams.
+    pub seed: u64,
+}
+
+/// What one load run measured (the per-mode payload of
+/// `BENCH_serve.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadReport {
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests that failed with a typed error.
+    pub failed: usize,
+    /// First submission to last completion.
+    pub elapsed_s: f64,
+    /// Completed-request throughput.
+    pub req_per_s: f64,
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Mean request latency.
+    pub mean_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(latencies: &mut [f64], failed: usize, elapsed: Duration) -> LoadReport {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len();
+    let elapsed_s = elapsed.as_secs_f64();
+    LoadReport {
+        completed,
+        failed,
+        elapsed_s,
+        req_per_s: if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile(latencies, 50.0) * 1e3,
+        p95_ms: percentile(latencies, 95.0) * 1e3,
+        p99_ms: percentile(latencies, 99.0) * 1e3,
+        mean_ms: if completed > 0 {
+            latencies.iter().sum::<f64>() / completed as f64 * 1e3
+        } else {
+            0.0
+        },
+        max_ms: latencies.last().copied().unwrap_or(0.0) * 1e3,
+    }
+}
+
+fn synth_request(rng: &mut ChaCha8Rng, seq: usize, vocab: usize) -> Vec<usize> {
+    (0..seq).map(|_| rng.gen_range(0..vocab)).collect()
+}
+
+/// Drives `engine` with synthetic traffic and measures throughput and
+/// latency. Closed-loop mode spawns the client threads; open-loop mode
+/// paces arrivals from a single submitter with a collector draining
+/// completions behind it.
+pub fn run_load(engine: &ServeEngine, lcfg: &LoadConfig) -> LoadReport {
+    let seq = engine.seq();
+    match lcfg.arrival {
+        Arrival::Closed { clients } => {
+            let clients = clients.max(1);
+            let t0 = Instant::now();
+            let mut latencies: Vec<f64> = Vec::with_capacity(lcfg.requests);
+            let mut failed = 0usize;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let handle = engine.handle();
+                        // Spread the remainder so exactly `requests` go out.
+                        let n = lcfg.requests / clients + usize::from(c < lcfg.requests % clients);
+                        let mut rng = ChaCha8Rng::seed_from_u64(lcfg.seed ^ (0x9e37 + c as u64));
+                        s.spawn(move || {
+                            let mut lats = Vec::with_capacity(n);
+                            let mut fails = 0usize;
+                            for _ in 0..n {
+                                let ids = synth_request(&mut rng, seq, lcfg.vocab);
+                                let start = Instant::now();
+                                match handle.submit(ids).wait_at() {
+                                    Ok((_, done)) => lats.push((done - start).as_secs_f64()),
+                                    Err(_) => fails += 1,
+                                }
+                            }
+                            (lats, fails)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (lats, fails) = h.join().expect("load client");
+                    latencies.extend(lats);
+                    failed += fails;
+                }
+            });
+            summarize(&mut latencies, failed, t0.elapsed())
+        }
+        Arrival::Open { rate } => {
+            let rate = rate.max(1e-3);
+            let gap = Duration::from_secs_f64(1.0 / rate);
+            let (tk_tx, tk_rx) = channel::<(Instant, Ticket)>();
+            let t0 = Instant::now();
+            let mut latencies: Vec<f64> = Vec::with_capacity(lcfg.requests);
+            let mut failed = 0usize;
+            std::thread::scope(|s| {
+                let handle = engine.handle();
+                let requests = lcfg.requests;
+                let (seed, vocab) = (lcfg.seed, lcfg.vocab);
+                s.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x09e1);
+                    let mut next = Instant::now();
+                    for _ in 0..requests {
+                        let now = Instant::now();
+                        if next > now {
+                            std::thread::sleep(next - now);
+                        }
+                        let ids = synth_request(&mut rng, seq, vocab);
+                        let start = Instant::now();
+                        let ticket = handle.submit(ids);
+                        if tk_tx.send((start, ticket)).is_err() {
+                            break;
+                        }
+                        next += gap;
+                    }
+                });
+                // Collector: completion instants come from the
+                // dispatcher, so FIFO draining does not distort
+                // latency.
+                for (start, ticket) in tk_rx {
+                    match ticket.wait_at() {
+                        Ok((_, done)) => latencies.push((done - start).as_secs_f64()),
+                        Err(_) => failed += 1,
+                    }
+                }
+            });
+            summarize(&mut latencies, failed, t0.elapsed())
+        }
+    }
+}
